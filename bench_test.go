@@ -1,0 +1,299 @@
+package repro
+
+// The benchmark harness: one benchmark per table and figure of the
+// paper's evaluation section, plus ablation benches for the design
+// choices DESIGN.md calls out. Each benchmark reports the headline
+// quantities of its experiment through b.ReportMetric so `go test
+// -bench=. -benchmem` regenerates the paper's numbers alongside the
+// harness cost itself. Reduced sweep sizes keep the full suite in the
+// minutes range; cmd/experiments runs the full-size versions.
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/vtime"
+	"repro/internal/workload"
+)
+
+// BenchmarkTable1 regenerates Table I: standalone application
+// execution times on 3C+2F under FRFS.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.TableI()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.ReportMetric(r.ExecTime.Milliseconds(), r.App+"_ms")
+			}
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates the Table II injection traces.
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.TableIIGen()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			total := 0
+			for _, r := range res {
+				total += r.Row.Total()
+			}
+			b.ReportMetric(float64(total), "instances")
+		}
+	}
+}
+
+// BenchmarkFig9 regenerates Figure 9 (5 jittered iterations per
+// configuration; the paper uses 50 — run cmd/experiments for the full
+// version).
+func BenchmarkFig9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.Fig9(5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, p := range points {
+				b.ReportMetric(p.MeanMS, p.Config+"_ms")
+			}
+		}
+	}
+}
+
+// BenchmarkFig10 regenerates Figure 10 over the three lowest Table II
+// rates (the full five-rate sweep runs via cmd/experiments).
+func BenchmarkFig10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.Fig10(3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, p := range points {
+				if p.RateJobsPerMS < 1.8 { // report the first rate column
+					b.ReportMetric(p.ExecTime.Seconds(), p.Policy+"_s")
+					b.ReportMetric(p.AvgOverheadUS, p.Policy+"_ovh_us")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFig11 regenerates Figure 11 at the sweep's endpoints.
+func BenchmarkFig11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.Fig11([]float64{6, 18})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, p := range points {
+				if p.RateJobsPerMS > 17 {
+					switch p.Config {
+					case "4BIG+1LTL", "4BIG+3LTL", "3BIG+2LTL", "0BIG+3LTL":
+						b.ReportMetric(p.ExecTime.Seconds(), p.Config+"_s")
+					}
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkCS4 regenerates Case Study 4 at n=512 (n=1024, the paper's
+// size, runs via cmd/experiments; the speedup grows with n).
+func BenchmarkCS4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.CS4(512, 73)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(r.SpeedupOpt, "speedup_opt_x")
+			b.ReportMetric(r.SpeedupAccel, "speedup_accel_x")
+			b.ReportMetric(float64(r.KernelsDetected), "kernels")
+		}
+	}
+}
+
+// --- ablation benches (DESIGN.md section 5) ---------------------------------
+
+func mixedWorkload(b *testing.B, rate float64) []core.Arrival {
+	b.Helper()
+	trace, err := workload.RateTrace(apps.Specs(), rate, workload.TableIIFrame)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return trace
+}
+
+// BenchmarkAblationReservationQueues quantifies the paper's
+// future-work claim: per-PE work queues reduce scheduler invocations
+// (and thus overlay overhead) relative to plain FRFS.
+func BenchmarkAblationReservationQueues(b *testing.B) {
+	cfg, err := platform.OdroidXU3(4, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	trace := mixedWorkload(b, 12)
+	for i := 0; i < b.N; i++ {
+		eP, _ := core.New(core.Options{Config: cfg, Policy: sched.FRFS{}, Registry: apps.Registry(), Seed: 1, SkipExecution: true})
+		plain, err := eP.Run(trace)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eQ, _ := core.New(core.Options{Config: cfg, Policy: sched.FRFSQ{Depth: 4}, Registry: apps.Registry(), Seed: 1, SkipExecution: true})
+		queued, err := eQ.Run(trace)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(plain.Sched.Invocations), "frfs_invocations")
+			b.ReportMetric(float64(queued.Sched.Invocations), "frfsrq_invocations")
+			b.ReportMetric(plain.Makespan.Seconds(), "frfs_s")
+			b.ReportMetric(queued.Makespan.Seconds(), "frfsrq_s")
+		}
+	}
+}
+
+// BenchmarkAblationOverheadCharging compares the charged
+// scheduling-overhead model against a zero-overhead idealisation: the
+// gap is the paper's central claim that discrete-event simulators
+// missing this overhead mispredict execution time under load.
+func BenchmarkAblationOverheadCharging(b *testing.B) {
+	cfg, err := platform.OdroidXU3(4, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Idealised copy: an overlay that charges nothing per op.
+	ideal := *cfg
+	zero := *cfg.Overlay
+	zero.SchedOpNS = 0
+	ideal.Overlay = &zero
+	trace := mixedWorkload(b, 15)
+	run := func(c *platform.Config) float64 {
+		e, err := core.New(core.Options{
+			Config: c, Policy: sched.FRFS{}, Registry: apps.Registry(),
+			Seed: 1, SkipExecution: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := e.Run(trace)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return rep.Makespan.Seconds()
+	}
+	for i := 0; i < b.N; i++ {
+		charged := run(cfg)
+		idealised := run(&ideal)
+		if i == 0 {
+			b.ReportMetric(charged, "charged_s")
+			b.ReportMetric(idealised, "idealised_s")
+			b.ReportMetric(charged/idealised, "overhead_inflation_x")
+		}
+	}
+}
+
+// BenchmarkAblationManagerPlacement isolates the accelerator
+// manager-thread contention model behind Figure 9's 2C+2F anomaly:
+// mean accelerator task duration with dedicated manager cores (1C+2F
+// placement) vs a shared manager core (2C+2F placement).
+func BenchmarkAblationManagerPlacement(b *testing.B) {
+	// Several concurrent range detections keep the cores busy so FRFS
+	// overflows FFT work onto the accelerators.
+	arr, err := workload.Validation(apps.Specs(), map[string]int{apps.NameRangeDetection: 6})
+	if err != nil {
+		b.Fatal(err)
+	}
+	meanAccel := func(cfg *platform.Config) float64 {
+		e, err := core.New(core.Options{Config: cfg, Policy: sched.FRFS{}, Registry: apps.Registry(), Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := e.Run(arr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sum vtime.Duration
+		var n int
+		for _, t := range rep.Tasks {
+			if t.Platform == "fft" {
+				sum += t.Duration()
+				n++
+			}
+		}
+		if n == 0 {
+			return 0
+		}
+		return (sum / vtime.Duration(n)).Microseconds()
+	}
+	dedicated, _ := platform.ZCU102(1, 2)
+	shared, _ := platform.ZCU102(2, 2)
+	for i := 0; i < b.N; i++ {
+		d := meanAccel(dedicated)
+		s := meanAccel(shared)
+		if i == 0 && d > 0 && s > 0 {
+			b.ReportMetric(d, "dedicated_us")
+			b.ReportMetric(s, "shared_us")
+		}
+	}
+}
+
+// BenchmarkEmulatorThroughput measures the harness itself: emulated
+// tasks processed per second of host time in the timing-only mode the
+// large sweeps use.
+func BenchmarkEmulatorThroughput(b *testing.B) {
+	cfg, err := platform.ZCU102(3, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	trace := mixedWorkload(b, 2)
+	var tasks int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, _ := core.New(core.Options{Config: cfg, Policy: sched.FRFS{}, Registry: apps.Registry(), Seed: 1, SkipExecution: true})
+		rep, err := e.Run(trace)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tasks = len(rep.Tasks)
+	}
+	b.ReportMetric(float64(tasks), "tasks/op")
+}
+
+// BenchmarkFullValidationRun measures a complete functional validation
+// (kernels executing for real) of the paper's four-application
+// workload.
+func BenchmarkFullValidationRun(b *testing.B) {
+	cfg, err := platform.ZCU102(3, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	arr, err := workload.Validation(apps.Specs(), map[string]int{
+		apps.NamePulseDoppler:   1,
+		apps.NameRangeDetection: 1,
+		apps.NameWiFiTX:         1,
+		apps.NameWiFiRX:         1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, _ := core.New(core.Options{Config: cfg, Policy: sched.FRFS{}, Registry: apps.Registry(), Seed: 1})
+		if _, err := e.Run(arr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

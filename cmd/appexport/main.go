@@ -1,0 +1,55 @@
+// Command appexport writes the built-in application library to JSON
+// DAG files, one per application — the on-disk form a framework user
+// edits, recombines ("define a new application simply by linking
+// [kernels] together in a novel way"), or feeds back through
+// cmd/emulate with -app-json.
+//
+//	appexport -dir ./appdefs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/apps"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "appexport:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("appexport", flag.ContinueOnError)
+	dir := fs.String("dir", "appdefs", "output directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		return err
+	}
+	specs := apps.Specs()
+	names := make([]string, 0, len(specs))
+	for name := range specs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		data, err := specs[name].MarshalIndentJSON()
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(*dir, name+".json")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d nodes, %d variables, %d bytes)\n",
+			path, specs[name].TaskCount(), len(specs[name].Variables), len(data))
+	}
+	return nil
+}

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/appmodel"
+)
+
+func TestExportAndReload(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-dir", dir}); err != nil {
+		t.Fatal(err)
+	}
+	specs, err := appmodel.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{
+		"range_detection": 6,
+		"pulse_doppler":   770,
+		"wifi_tx":         7,
+		"wifi_rx":         9,
+	}
+	if len(specs) != len(want) {
+		t.Fatalf("exported %d apps", len(specs))
+	}
+	for name, tasks := range want {
+		spec, ok := specs[name]
+		if !ok {
+			t.Fatalf("missing %s", name)
+		}
+		if spec.TaskCount() != tasks {
+			t.Fatalf("%s: %d tasks after reload", name, spec.TaskCount())
+		}
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestExportBadDir(t *testing.T) {
+	if err := run([]string{"-dir", "/proc/definitely/not/writable"}); err == nil {
+		t.Fatal("unwritable directory accepted")
+	}
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/appmodel"
+)
+
+func TestBuiltinDemoConversion(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "rd.json")
+	if err := run([]string{"-n", "128", "-lag", "17", "-o", out, "-recognize"}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := appmodel.ParseJSON(data)
+	if err != nil {
+		t.Fatalf("generated JSON invalid: %v", err)
+	}
+	// 6 kernels + 2 non-kernel glue groups.
+	if spec.TaskCount() != 8 {
+		t.Fatalf("generated DAG has %d nodes, want 8", spec.TaskCount())
+	}
+	// Recognition redirected transforms to the accelerator namespace.
+	accel := 0
+	for _, node := range spec.DAG {
+		if _, ok := node.PlatformFor("fft"); ok {
+			accel++
+		}
+	}
+	if accel != 3 {
+		t.Fatalf("%d accelerator-capable nodes, want 3", accel)
+	}
+}
+
+func TestExternalSource(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "prog.c")
+	program := `
+float acc;
+float main() {
+  float i;
+  for (i = 0; i < 100; i = i + 1) { acc = acc + i; }
+  return acc;
+}`
+	if err := os.WriteFile(src, []byte(program), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-src", src, "-name", "summer"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSourceErrors(t *testing.T) {
+	if err := run([]string{"-src", "/nope/missing.c"}); err == nil {
+		t.Fatal("missing source accepted")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.c")
+	if err := os.WriteFile(bad, []byte("float main() { return }"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"-src", bad})
+	if err == nil || !strings.Contains(err.Error(), "front end") {
+		t.Fatalf("want front-end error, got %v", err)
+	}
+}

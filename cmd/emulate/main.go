@@ -1,0 +1,197 @@
+// Command emulate runs one emulation of a DSSoC configuration against
+// a workload, printing the scheduling statistics the framework
+// collects before termination.
+//
+// Validation mode injects all instances at t=0 and runs to completion;
+// performance mode injects applications periodically over a time frame
+// (the paper's two operation modes).
+//
+// Examples:
+//
+//	emulate -platform zcu102 -cores 3 -ffts 2 -sched frfs \
+//	        -apps range_detection=1,wifi_tx=2
+//	emulate -platform odroid -big 3 -little 2 -mode performance \
+//	        -rate 8 -frame 100ms -sched frfs
+//	emulate -config hw.json -apps pulse_doppler=1 -timing measured
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/appmodel"
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/vtime"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "emulate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("emulate", flag.ContinueOnError)
+	var (
+		configPath = fs.String("config", "", "hardware configuration JSON file (overrides -platform/-cores/...)")
+		platName   = fs.String("platform", "zcu102", "platform: zcu102 or odroid")
+		cores      = fs.Int("cores", 3, "ZCU102 A53 cores")
+		ffts       = fs.Int("ffts", 2, "ZCU102 FFT accelerators")
+		big        = fs.Int("big", 3, "Odroid big cores")
+		little     = fs.Int("little", 2, "Odroid LITTLE cores")
+		schedName  = fs.String("sched", "frfs", "scheduling policy: "+strings.Join(sched.Names(), ", "))
+		mode       = fs.String("mode", "validation", "operation mode: validation or performance")
+		appsFlag   = fs.String("apps", "range_detection=1,pulse_doppler=1,wifi_tx=1,wifi_rx=1",
+			"validation-mode workload: app=count,...")
+		rate     = fs.Float64("rate", 4, "performance-mode injection rate (jobs/ms)")
+		frame    = fs.Duration("frame", 100_000_000, "performance-mode injection time frame")
+		seed     = fs.Int64("seed", 1, "jitter seed")
+		sigma    = fs.Float64("jitter", 0, "log-normal timing jitter sigma (0 = deterministic)")
+		timing   = fs.String("timing", "modeled", "task timing: modeled or measured")
+		appJSON  = fs.String("app-json", "", "additional application JSON file to load")
+		tasks    = fs.Bool("tasks", false, "print the per-task trace")
+		traceOut = fs.String("trace", "", "write a Chrome trace-event JSON of the run here")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg, err := buildConfig(*configPath, *platName, *cores, *ffts, *big, *little)
+	if err != nil {
+		return err
+	}
+	policy, err := sched.New(*schedName, *seed)
+	if err != nil {
+		return err
+	}
+
+	specs := apps.Specs()
+	if *appJSON != "" {
+		data, err := os.ReadFile(*appJSON)
+		if err != nil {
+			return err
+		}
+		spec, err := appmodel.ParseJSON(data)
+		if err != nil {
+			return err
+		}
+		specs[spec.AppName] = spec
+	}
+
+	var arrivals []core.Arrival
+	switch *mode {
+	case "validation":
+		counts, err := parseAppCounts(*appsFlag)
+		if err != nil {
+			return err
+		}
+		arrivals, err = workload.Validation(specs, counts)
+		if err != nil {
+			return err
+		}
+	case "performance":
+		arrivals, err = workload.RateTrace(specs, *rate, vtime.FromStd(*frame))
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown mode %q (validation or performance)", *mode)
+	}
+
+	opts := core.Options{
+		Config:      cfg,
+		Policy:      policy,
+		Registry:    apps.Registry(),
+		Seed:        *seed,
+		JitterSigma: *sigma,
+	}
+	switch *timing {
+	case "modeled":
+	case "measured":
+		opts.Timing = core.Measured
+	default:
+		return fmt.Errorf("unknown timing %q (modeled or measured)", *timing)
+	}
+	e, err := core.New(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("emulating %d application instances on %s under %s (%s mode)\n",
+		len(arrivals), cfg.Name, policy.Name(), *mode)
+	report, err := e.Run(arrivals)
+	if err != nil {
+		return err
+	}
+	fmt.Print(report.Summary())
+	fmt.Println("mean response time per application:")
+	for app, d := range report.AppResponse() {
+		fmt.Printf("  %-18s %v\n", app, d)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		if err := report.WriteTraceEvents(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote Chrome trace to %s (open in chrome://tracing or Perfetto)\n", *traceOut)
+	}
+	if *tasks {
+		fmt.Println("task trace:")
+		for _, r := range report.Tasks {
+			fmt.Printf("  %8v..%-8v %-10s %-24s inst %d on %s\n",
+				r.Start, r.End, r.Node, r.App, r.Instance, r.PELabel)
+		}
+	}
+	return nil
+}
+
+func buildConfig(path, plat string, cores, ffts, big, little int) (*platform.Config, error) {
+	if path != "" {
+		return platform.LoadConfigFile(path)
+	}
+	switch strings.ToLower(plat) {
+	case "zcu102":
+		return platform.ZCU102(cores, ffts)
+	case "odroid", "odroid-xu3", "xu3":
+		return platform.OdroidXU3(big, little)
+	default:
+		return nil, fmt.Errorf("unknown platform %q", plat)
+	}
+}
+
+func parseAppCounts(s string) (map[string]int, error) {
+	counts := map[string]int{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("bad app spec %q (want app=count)", part)
+		}
+		n, err := strconv.Atoi(kv[1])
+		if err != nil {
+			return nil, fmt.Errorf("bad count in %q: %w", part, err)
+		}
+		counts[strings.TrimSpace(kv[0])] = n
+	}
+	if len(counts) == 0 {
+		return nil, fmt.Errorf("empty workload")
+	}
+	return counts, nil
+}

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/apps"
+)
+
+func TestRunValidationMode(t *testing.T) {
+	err := run([]string{
+		"-platform", "zcu102", "-cores", "2", "-ffts", "1",
+		"-apps", "range_detection=1,wifi_tx=1",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPerformanceMode(t *testing.T) {
+	err := run([]string{
+		"-platform", "odroid", "-big", "2", "-little", "1",
+		"-mode", "performance", "-rate", "2", "-frame", "10ms",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMeasuredTimingAndTasks(t *testing.T) {
+	err := run([]string{
+		"-cores", "1", "-ffts", "0",
+		"-apps", "wifi_tx=1", "-timing", "measured", "-tasks",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithConfigFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "hw.json")
+	if err := os.WriteFile(path, []byte(`{"platform":"zcu102","cores":1,"ffts":1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-config", path, "-apps", "range_detection=1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithAppJSON(t *testing.T) {
+	dir := t.TempDir()
+	spec := apps.WiFiTX(apps.DefaultWiFiParams())
+	spec.AppName = "wifi_tx_external"
+	data, err := spec.MarshalIndentJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "app.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = run([]string{
+		"-cores", "1", "-ffts", "0",
+		"-app-json", path, "-apps", "wifi_tx_external=2",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"bad platform", []string{"-platform", "riscv"}, "unknown platform"},
+		{"bad mode", []string{"-mode", "chaos"}, "unknown mode"},
+		{"bad sched", []string{"-sched", "heft"}, "unknown policy"},
+		{"bad timing", []string{"-timing", "psychic"}, "unknown timing"},
+		{"bad app count", []string{"-apps", "wifi_tx=lots"}, "bad count"},
+		{"bad app format", []string{"-apps", "wifi_tx"}, "bad app spec"},
+		{"empty workload", []string{"-apps", ""}, "empty workload"},
+		{"unknown app", []string{"-apps", "ghost=1"}, "not found"},
+		{"missing config", []string{"-config", "/nope/x.json"}, "reading config"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := run(c.args)
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("want error containing %q, got %v", c.want, err)
+			}
+		})
+	}
+}

@@ -1,0 +1,129 @@
+// Command experiments regenerates every table and figure of the
+// paper's evaluation section.
+//
+//	experiments -exp table1     Table I  (standalone app times, 3C+2F)
+//	experiments -exp table2     Table II (injection-rate traces)
+//	experiments -exp fig9       Figure 9 (validation-mode config sweep)
+//	experiments -exp fig10      Figure 10 (scheduler comparison)
+//	experiments -exp fig11      Figure 11 (Odroid big.LITTLE sweep)
+//	experiments -exp cs4        Case Study 4 (automatic conversion)
+//	experiments -exp all        everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		exp    = fs.String("exp", "all", "experiment: table1, table2, fig9, fig10, fig11, cs4, all")
+		iters  = fs.Int("iters", 50, "Figure 9 iteration count (paper uses 50)")
+		n      = fs.Int("n", 1024, "Case Study 4 transform length (paper uses 1024)")
+		csvDir = fs.String("csv", "", "also write plot-ready CSV files into this directory")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	writeCSV := func(name string, fill func(*os.File) error) error {
+		if *csvDir == "" {
+			return nil
+		}
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+		f, err := os.Create(filepath.Join(*csvDir, name))
+		if err != nil {
+			return err
+		}
+		if err := fill(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+
+	runOne := func(name string) error {
+		switch name {
+		case "table1":
+			rows, err := experiments.TableI()
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.RenderTableI(rows))
+			if err := writeCSV("table1.csv", func(f *os.File) error { return experiments.TableICSV(f, rows) }); err != nil {
+				return err
+			}
+		case "table2":
+			res, err := experiments.TableIIGen()
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.RenderTableII(res))
+			if err := writeCSV("table2.csv", func(f *os.File) error { return experiments.TableIICSV(f, res) }); err != nil {
+				return err
+			}
+		case "fig9":
+			pts, err := experiments.Fig9(*iters)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.RenderFig9(pts))
+			if err := writeCSV("fig9.csv", func(f *os.File) error { return experiments.Fig9CSV(f, pts) }); err != nil {
+				return err
+			}
+		case "fig10":
+			pts, err := experiments.Fig10(0)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.RenderFig10(pts))
+			if err := writeCSV("fig10.csv", func(f *os.File) error { return experiments.Fig10CSV(f, pts) }); err != nil {
+				return err
+			}
+		case "fig11":
+			pts, err := experiments.Fig11(nil)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.RenderFig11(pts))
+			if err := writeCSV("fig11.csv", func(f *os.File) error { return experiments.Fig11CSV(f, pts) }); err != nil {
+				return err
+			}
+		case "cs4":
+			r, err := experiments.CS4(*n, 0)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.RenderCS4(r))
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+		fmt.Println()
+		return nil
+	}
+
+	if *exp == "all" {
+		for _, name := range []string{"table1", "table2", "fig9", "fig10", "fig11", "cs4"} {
+			fmt.Printf("=== %s ===\n", name)
+			if err := runOne(name); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+		}
+		return nil
+	}
+	return runOne(*exp)
+}

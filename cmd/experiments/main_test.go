@@ -1,0 +1,32 @@
+package main
+
+import "testing"
+
+func TestSmallExperiments(t *testing.T) {
+	// The quick experiments run at full size; the long sweeps are
+	// covered by internal/experiments tests at reduced size and by the
+	// bench harness.
+	for _, exp := range []string{"table1", "table2"} {
+		if err := run([]string{"-exp", exp}); err != nil {
+			t.Fatalf("%s: %v", exp, err)
+		}
+	}
+}
+
+func TestCS4Reduced(t *testing.T) {
+	if err := run([]string{"-exp", "cs4", "-n", "128"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig9Reduced(t *testing.T) {
+	if err := run([]string{"-exp", "fig9", "-iters", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "fig99"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

@@ -1,0 +1,74 @@
+// Command workloadgen generates and inspects performance-mode
+// injection traces: the Table II traces of the paper, or a trace at an
+// arbitrary rate with the paper's application mix.
+//
+// Examples:
+//
+//	workloadgen -table2            # regenerate all Table II rows
+//	workloadgen -rate 8 -frame 100ms -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/apps"
+	"repro/internal/vtime"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "workloadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("workloadgen", flag.ContinueOnError)
+	var (
+		table2  = fs.Bool("table2", false, "regenerate the paper's Table II")
+		rate    = fs.Float64("rate", 4, "injection rate (jobs/ms)")
+		frame   = fs.Duration("frame", 100_000_000, "injection time frame")
+		verbose = fs.Bool("v", false, "print every arrival")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	specs := apps.Specs()
+
+	if *table2 {
+		fmt.Printf("%-16s %14s %16s %9s %9s %9s\n",
+			"Rate (jobs/ms)", "PulseDoppler", "RangeDetection", "WiFiTX", "WiFiRX", "Total")
+		for _, row := range workload.TableII {
+			trace, err := workload.TableIITrace(specs, row)
+			if err != nil {
+				return err
+			}
+			c := workload.Counts(trace)
+			fmt.Printf("%-16.2f %14d %16d %9d %9d %9d\n",
+				workload.RateJobsPerMS(trace, workload.TableIIFrame),
+				c[apps.NamePulseDoppler], c[apps.NameRangeDetection],
+				c[apps.NameWiFiTX], c[apps.NameWiFiRX], len(trace))
+		}
+		return nil
+	}
+
+	trace, err := workload.RateTrace(specs, *rate, vtime.FromStd(*frame))
+	if err != nil {
+		return err
+	}
+	c := workload.Counts(trace)
+	fmt.Printf("trace: %d instances over %v (realised rate %.2f jobs/ms)\n",
+		len(trace), vtime.FromStd(*frame), workload.RateJobsPerMS(trace, vtime.FromStd(*frame)))
+	for app, n := range c {
+		fmt.Printf("  %-18s %d\n", app, n)
+	}
+	if *verbose {
+		for i, a := range trace {
+			fmt.Printf("  %5d  t=%-10v %s\n", i, a.At, a.Spec.AppName)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+func TestTable2Mode(t *testing.T) {
+	if err := run([]string{"-table2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRateMode(t *testing.T) {
+	if err := run([]string{"-rate", "5", "-frame", "20ms"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-rate", "2", "-frame", "5ms", "-v"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRateModeRejectsZero(t *testing.T) {
+	if err := run([]string{"-rate", "0"}); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+}

@@ -1,0 +1,10 @@
+// Package repro is a Go reproduction of "User-Space Emulation
+// Framework for Domain-Specific SoC Design" (Mack et al., 2020): a
+// pre-silicon DSSoC emulation framework with pluggable applications,
+// schedulers and processing elements, plus the paper's automatic
+// application conversion toolchain.
+//
+// The library lives under internal/ (see README.md for the map); this
+// root package hosts the benchmark harness that regenerates every
+// table and figure of the paper's evaluation (bench_test.go).
+package repro

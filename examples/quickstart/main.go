@@ -1,0 +1,64 @@
+// Quickstart: parse one application from its JSON DAG representation,
+// emulate it in validation mode on a small DSSoC configuration, and
+// print the collected statistics — the framework's minimal end-to-end
+// flow.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/sched"
+)
+
+func main() {
+	// Applications are archetypes: a JSON-serialisable DAG plus
+	// variables with real initial data. Round-trip through JSON to
+	// show the on-disk format is the source of truth.
+	params := apps.DefaultRangeParams()
+	spec := apps.RangeDetection(params)
+	data, err := spec.MarshalIndentJSON()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("range_detection JSON DAG: %d bytes, %d task nodes, %d variables\n",
+		len(data), spec.TaskCount(), len(spec.Variables))
+
+	// Emulated hardware: 2 ARM cores + 1 FFT accelerator drawn from
+	// the ZCU102 resource pool.
+	cfg, err := platform.ZCU102(2, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	e, err := core.New(core.Options{
+		Config:   cfg,
+		Policy:   sched.FRFS{},
+		Registry: apps.Registry(),
+		Seed:     1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Validation mode: everything injected at t=0, emulation finishes
+	// when all applications complete.
+	report, err := e.Run([]core.Arrival{{Spec: spec, At: 0}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(report.Summary())
+
+	// The kernels really executed: the pipeline located the synthetic
+	// target embedded in the rx variable.
+	inst := e.Instances()[0]
+	if err := apps.CheckRangeDetection(inst.Mem, params); err != nil {
+		log.Fatal(err)
+	}
+	lag := inst.Mem.MustLookup("lag").Int32()
+	fmt.Printf("functional check passed: detected target at lag %d (expected %d)\n",
+		lag, params.TargetLag)
+}

@@ -1,0 +1,51 @@
+package appmodel
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// LoadFile parses and validates one application JSON file.
+func LoadFile(path string) (*AppSpec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("appmodel: reading %s: %w", path, err)
+	}
+	spec, err := ParseJSON(data)
+	if err != nil {
+		return nil, fmt.Errorf("appmodel: %s: %w", path, err)
+	}
+	return spec, nil
+}
+
+// LoadDir parses every *.json application in a directory, keyed by
+// AppName — the application handler's "parse all available
+// applications" pass. Duplicate AppNames are an error.
+func LoadDir(dir string) (map[string]*AppSpec, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("appmodel: reading directory %s: %w", dir, err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	out := make(map[string]*AppSpec, len(names))
+	for _, name := range names {
+		spec, err := LoadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := out[spec.AppName]; dup {
+			return nil, fmt.Errorf("appmodel: duplicate AppName %q in %s", spec.AppName, dir)
+		}
+		out[spec.AppName] = spec
+	}
+	return out, nil
+}

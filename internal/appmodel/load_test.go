@@ -1,0 +1,72 @@
+package appmodel
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeApp(t *testing.T, dir, file, appName string) {
+	t.Helper()
+	s := &AppSpec{
+		AppName:   appName,
+		Variables: map[string]VariableSpec{"x": {Bytes: 4}},
+		DAG: map[string]NodeSpec{
+			"n": {Arguments: []string{"x"},
+				Platforms: []PlatformSpec{{Name: "cpu", RunFunc: "f", CostNS: 1}}},
+		},
+	}
+	data, err := s.MarshalIndentJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, file), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	writeApp(t, dir, "a.json", "alpha")
+	spec, err := LoadFile(filepath.Join(dir, "a.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.AppName != "alpha" {
+		t.Fatalf("AppName = %q", spec.AppName)
+	}
+	if _, err := LoadFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(bad); err == nil {
+		t.Fatal("malformed file accepted")
+	}
+}
+
+func TestLoadDir(t *testing.T) {
+	dir := t.TempDir()
+	writeApp(t, dir, "a.json", "alpha")
+	writeApp(t, dir, "b.json", "beta")
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("ignore me"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	specs, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 || specs["alpha"] == nil || specs["beta"] == nil {
+		t.Fatalf("specs = %v", specs)
+	}
+	// Duplicate AppName across files.
+	writeApp(t, dir, "c.json", "alpha")
+	if _, err := LoadDir(dir); err == nil {
+		t.Fatal("duplicate AppName accepted")
+	}
+	if _, err := LoadDir(filepath.Join(dir, "nope")); err == nil {
+		t.Fatal("missing directory accepted")
+	}
+}

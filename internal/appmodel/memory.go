@@ -1,0 +1,195 @@
+package appmodel
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"unsafe"
+)
+
+// Value is the runtime storage of one application variable. Scalar
+// variables live entirely in Raw; pointer variables additionally own a
+// heap block (the paper's "assigned a location in the heap that is
+// allocated ... upon initialization by the framework").
+type Value struct {
+	Spec VariableSpec
+	// Raw is the variable's own storage (e.g. the 4 bytes of an
+	// int32, or the 8 bytes of a pointer). For pointer variables the
+	// framework does not store a real address here; the heap block is
+	// reached through the Value, mirroring how kernels receive their
+	// arguments by name.
+	Raw []byte
+	// heap is the pointer target, allocated 8-byte aligned so that
+	// kernels may reinterpret it as wider numeric types.
+	heap []byte
+	// backing keeps the aligned allocation alive.
+	backing []uint64
+}
+
+// Memory is the per-instance variable store created by the application
+// handler when it instantiates an application from its archetype.
+type Memory struct {
+	vars map[string]*Value
+}
+
+// NewMemory allocates and initialises every variable declared by the
+// spec, reproducing the handler's initialisation phase: scalars get
+// their little-endian initial bytes, pointer variables get a zeroed
+// heap block with any initial bytes copied to its head.
+func NewMemory(s *AppSpec) (*Memory, error) {
+	m := &Memory{vars: make(map[string]*Value, len(s.Variables))}
+	for name, vs := range s.Variables {
+		v := &Value{Spec: vs, Raw: make([]byte, vs.Bytes)}
+		if vs.IsPtr {
+			// Back the heap with []uint64 so the base address is
+			// 8-byte aligned regardless of allocator behaviour; DSP
+			// kernels view it as float32/complex64/complex128 data.
+			words := (vs.PtrAllocBytes + 7) / 8
+			if words == 0 {
+				words = 1
+			}
+			v.backing = make([]uint64, words)
+			v.heap = unsafe.Slice((*byte)(unsafe.Pointer(&v.backing[0])), vs.PtrAllocBytes)
+			copy(v.heap, vs.Val)
+		} else {
+			copy(v.Raw, vs.Val)
+		}
+		m.vars[name] = v
+	}
+	return m, nil
+}
+
+// Lookup returns the named variable.
+func (m *Memory) Lookup(name string) (*Value, error) {
+	v, ok := m.vars[name]
+	if !ok {
+		return nil, fmt.Errorf("appmodel: unknown variable %q", name)
+	}
+	return v, nil
+}
+
+// MustLookup is Lookup for callers that have already validated the
+// spec; it panics on unknown names, which indicates a framework bug.
+func (m *Memory) MustLookup(name string) *Value {
+	v, err := m.Lookup(name)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Len reports the number of variables.
+func (m *Memory) Len() int { return len(m.vars) }
+
+// --- scalar accessors ---------------------------------------------------
+
+// Int32 interprets the variable storage as a little-endian int32.
+func (v *Value) Int32() int32 {
+	if len(v.Raw) < 4 {
+		return 0
+	}
+	return int32(binary.LittleEndian.Uint32(v.Raw))
+}
+
+// SetInt32 stores a little-endian int32.
+func (v *Value) SetInt32(x int32) {
+	if len(v.Raw) >= 4 {
+		binary.LittleEndian.PutUint32(v.Raw, uint32(x))
+	}
+}
+
+// Int64 interprets the variable storage as a little-endian int64.
+func (v *Value) Int64() int64 {
+	if len(v.Raw) < 8 {
+		return int64(v.Int32())
+	}
+	return int64(binary.LittleEndian.Uint64(v.Raw))
+}
+
+// SetInt64 stores a little-endian int64.
+func (v *Value) SetInt64(x int64) {
+	if len(v.Raw) >= 8 {
+		binary.LittleEndian.PutUint64(v.Raw, uint64(x))
+	}
+}
+
+// Float32 interprets the variable storage as a little-endian float32.
+func (v *Value) Float32() float32 {
+	if len(v.Raw) < 4 {
+		return 0
+	}
+	return math.Float32frombits(binary.LittleEndian.Uint32(v.Raw))
+}
+
+// SetFloat32 stores a little-endian float32.
+func (v *Value) SetFloat32(x float32) {
+	if len(v.Raw) >= 4 {
+		binary.LittleEndian.PutUint32(v.Raw, math.Float32bits(x))
+	}
+}
+
+// Float64 interprets the variable storage as a little-endian float64.
+func (v *Value) Float64() float64 {
+	if len(v.Raw) < 8 {
+		return float64(v.Float32())
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(v.Raw))
+}
+
+// SetFloat64 stores a little-endian float64.
+func (v *Value) SetFloat64(x float64) {
+	if len(v.Raw) >= 8 {
+		binary.LittleEndian.PutUint64(v.Raw, math.Float64bits(x))
+	}
+}
+
+// --- heap views -----------------------------------------------------------
+
+// Bytes returns the pointer variable's heap block. It is nil for
+// scalar variables.
+func (v *Value) Bytes() []byte { return v.heap }
+
+// HeapLen reports the heap block size in bytes (0 for scalars).
+func (v *Value) HeapLen() int { return len(v.heap) }
+
+// Float32s views the heap as a []float32. The view aliases the heap:
+// kernel writes are visible to successor tasks, exactly as shared
+// memory communication works on the emulated SoC.
+func (v *Value) Float32s() []float32 {
+	n := len(v.heap) / 4
+	if n == 0 {
+		return nil
+	}
+	return unsafe.Slice((*float32)(unsafe.Pointer(&v.heap[0])), n)
+}
+
+// Float64s views the heap as a []float64.
+func (v *Value) Float64s() []float64 {
+	n := len(v.heap) / 8
+	if n == 0 {
+		return nil
+	}
+	return unsafe.Slice((*float64)(unsafe.Pointer(&v.heap[0])), n)
+}
+
+// Complex64s views the heap as a []complex64 (interleaved re,im
+// float32 pairs, the layout the signal-processing kernels exchange).
+func (v *Value) Complex64s() []complex64 {
+	n := len(v.heap) / 8
+	if n == 0 {
+		return nil
+	}
+	return unsafe.Slice((*complex64)(unsafe.Pointer(&v.heap[0])), n)
+}
+
+// Int32s views the heap as a []int32.
+func (v *Value) Int32s() []int32 {
+	n := len(v.heap) / 4
+	if n == 0 {
+		return nil
+	}
+	return unsafe.Slice((*int32)(unsafe.Pointer(&v.heap[0])), n)
+}
+
+// Uint8s is an alias of Bytes kept for symmetry with the other views.
+func (v *Value) Uint8s() []byte { return v.heap }

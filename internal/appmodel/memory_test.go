@@ -1,0 +1,197 @@
+package appmodel
+
+import (
+	"testing"
+	"testing/quick"
+	"unsafe"
+)
+
+func memFor(t *testing.T, vars map[string]VariableSpec) *Memory {
+	t.Helper()
+	s := &AppSpec{
+		AppName:   "t",
+		Variables: vars,
+		DAG: map[string]NodeSpec{
+			"n": {Platforms: []PlatformSpec{{Name: "cpu", RunFunc: "f"}}},
+		},
+	}
+	m, err := NewMemory(s)
+	if err != nil {
+		t.Fatalf("NewMemory: %v", err)
+	}
+	return m
+}
+
+func TestMemoryLookup(t *testing.T) {
+	m := memFor(t, map[string]VariableSpec{"a": {Bytes: 4}})
+	if _, err := m.Lookup("a"); err != nil {
+		t.Fatalf("Lookup(a): %v", err)
+	}
+	if _, err := m.Lookup("b"); err == nil {
+		t.Fatalf("Lookup(b) succeeded on missing variable")
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("MustLookup on missing variable did not panic")
+		}
+	}()
+	m.MustLookup("b")
+}
+
+func TestScalarAccessorsRoundTrip(t *testing.T) {
+	m := memFor(t, map[string]VariableSpec{
+		"i32": {Bytes: 4},
+		"i64": {Bytes: 8},
+		"f32": {Bytes: 4},
+		"f64": {Bytes: 8},
+	})
+	i32 := m.MustLookup("i32")
+	i32.SetInt32(-12345)
+	if got := i32.Int32(); got != -12345 {
+		t.Fatalf("int32 round trip: %d", got)
+	}
+	i64 := m.MustLookup("i64")
+	i64.SetInt64(-1 << 40)
+	if got := i64.Int64(); got != -1<<40 {
+		t.Fatalf("int64 round trip: %d", got)
+	}
+	f32 := m.MustLookup("f32")
+	f32.SetFloat32(3.5)
+	if got := f32.Float32(); got != 3.5 {
+		t.Fatalf("float32 round trip: %v", got)
+	}
+	f64 := m.MustLookup("f64")
+	f64.SetFloat64(-2.25)
+	if got := f64.Float64(); got != -2.25 {
+		t.Fatalf("float64 round trip: %v", got)
+	}
+}
+
+// Property: SetInt32/Int32 round-trips every value, stored
+// little-endian (byte 0 is the least significant byte).
+func TestInt32RoundTripProperty(t *testing.T) {
+	m := memFor(t, map[string]VariableSpec{"x": {Bytes: 4}})
+	v := m.MustLookup("x")
+	f := func(x int32) bool {
+		v.SetInt32(x)
+		if v.Int32() != x {
+			return false
+		}
+		return v.Raw[0] == byte(uint32(x)&0xff)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShortScalarAccessors(t *testing.T) {
+	m := memFor(t, map[string]VariableSpec{"b": {Bytes: 2, Val: []byte{7, 0}}})
+	v := m.MustLookup("b")
+	if v.Int32() != 0 { // too short for int32 view
+		t.Fatalf("short Int32 should be 0")
+	}
+	v.SetInt32(5) // must not panic or write
+	v.SetInt64(5)
+	v.SetFloat32(5)
+	v.SetFloat64(5)
+	if v.Raw[0] != 7 {
+		t.Fatalf("short setter overwrote storage")
+	}
+	if v.Float32() != 0 || v.Int64() != 0 || v.Float64() != 0 {
+		t.Fatalf("short getters should be 0")
+	}
+}
+
+func TestHeapInitialisation(t *testing.T) {
+	m := memFor(t, map[string]VariableSpec{
+		"buf": {Bytes: 8, IsPtr: true, PtrAllocBytes: 16, Val: []byte{1, 2, 3}},
+	})
+	v := m.MustLookup("buf")
+	if v.HeapLen() != 16 {
+		t.Fatalf("HeapLen = %d, want 16", v.HeapLen())
+	}
+	b := v.Bytes()
+	if b[0] != 1 || b[1] != 2 || b[2] != 3 || b[3] != 0 || b[15] != 0 {
+		t.Fatalf("heap initialisation wrong: %v", b)
+	}
+	if &b[0] != &v.Uint8s()[0] {
+		t.Fatalf("Uint8s must alias Bytes")
+	}
+}
+
+func TestHeapAlignment(t *testing.T) {
+	for _, size := range []int{1, 7, 8, 9, 2048, 4097} {
+		m := memFor(t, map[string]VariableSpec{
+			"buf": {Bytes: 8, IsPtr: true, PtrAllocBytes: size},
+		})
+		v := m.MustLookup("buf")
+		addr := uintptr(unsafe.Pointer(&v.Bytes()[0]))
+		if addr%8 != 0 {
+			t.Fatalf("heap of %d bytes not 8-byte aligned: %#x", size, addr)
+		}
+	}
+}
+
+func TestTypedViewsAlias(t *testing.T) {
+	m := memFor(t, map[string]VariableSpec{
+		"buf": {Bytes: 8, IsPtr: true, PtrAllocBytes: 64},
+	})
+	v := m.MustLookup("buf")
+	cs := v.Complex64s()
+	if len(cs) != 8 {
+		t.Fatalf("Complex64s len = %d, want 8", len(cs))
+	}
+	cs[0] = complex(1, 2)
+	fs := v.Float32s()
+	if len(fs) != 16 {
+		t.Fatalf("Float32s len = %d, want 16", len(fs))
+	}
+	if fs[0] != 1 || fs[1] != 2 {
+		t.Fatalf("views do not alias: fs[0:2] = %v %v", fs[0], fs[1])
+	}
+	ds := v.Float64s()
+	if len(ds) != 8 {
+		t.Fatalf("Float64s len = %d", len(ds))
+	}
+	is := v.Int32s()
+	if len(is) != 16 {
+		t.Fatalf("Int32s len = %d", len(is))
+	}
+	is[15] = 42
+	if v.Bytes()[60] != 42 {
+		t.Fatalf("Int32s does not alias heap")
+	}
+}
+
+func TestViewsOnScalar(t *testing.T) {
+	m := memFor(t, map[string]VariableSpec{"x": {Bytes: 4}})
+	v := m.MustLookup("x")
+	if v.Bytes() != nil || v.Float32s() != nil || v.Complex64s() != nil ||
+		v.Float64s() != nil || v.Int32s() != nil {
+		t.Fatalf("scalar variable must have nil heap views")
+	}
+	if v.HeapLen() != 0 {
+		t.Fatalf("scalar HeapLen = %d", v.HeapLen())
+	}
+}
+
+func TestInstancesIsolated(t *testing.T) {
+	s := &AppSpec{
+		AppName: "iso",
+		Variables: map[string]VariableSpec{
+			"buf": {Bytes: 8, IsPtr: true, PtrAllocBytes: 8},
+		},
+		DAG: map[string]NodeSpec{
+			"n": {Arguments: []string{"buf"}, Platforms: []PlatformSpec{{Name: "cpu", RunFunc: "f"}}},
+		},
+	}
+	m1, _ := NewMemory(s)
+	m2, _ := NewMemory(s)
+	m1.MustLookup("buf").Bytes()[0] = 0xEE
+	if m2.MustLookup("buf").Bytes()[0] != 0 {
+		t.Fatalf("instances share heap storage; they must be isolated copies")
+	}
+}

@@ -1,0 +1,332 @@
+// Package appmodel implements the framework-compatible representation
+// of user applications: the JSON schema of the paper's Listing 1
+// (AppName / SharedObject / Variables / DAG), validation of the
+// task-graph structure, and the per-instance variable memory that the
+// application handler allocates and initialises.
+//
+// In the paper each application ships as a shared object of kernels
+// plus a JSON DAG whose nodes name `runfunc` symbols resolved with
+// dlsym. Here the shared object is replaced by a named kernel registry
+// (package kernels); the JSON schema is preserved field-for-field.
+package appmodel
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// VariableSpec describes one program variable exactly as in Listing 1:
+// its representation size, whether it is a pointer, how much heap the
+// pointer target needs, and the little-endian initial bytes.
+type VariableSpec struct {
+	// Bytes is the size of the variable's own storage (4 for int32,
+	// 8 for a pointer on 64-bit systems, ...).
+	Bytes int `json:"bytes"`
+	// IsPtr flags pointer-typed variables that own a heap allocation.
+	IsPtr bool `json:"is_ptr"`
+	// PtrAllocBytes is the size of the heap block allocated for a
+	// pointer variable at initialisation time.
+	PtrAllocBytes int `json:"ptr_alloc_bytes"`
+	// Val holds initial bytes, little-endian. For scalar variables it
+	// initialises the variable storage; for pointer variables it
+	// initialises the head of the heap block.
+	Val []byte `json:"val"`
+}
+
+// PlatformSpec is one supported execution platform for a DAG node: the
+// PE kind it runs on ("cpu", "fft", ...), the kernel symbol to invoke,
+// an optional per-platform shared object override (the paper's
+// fft_accel.so mechanism), and the execution-time cost annotation the
+// schedulers (MET/EFT) consult.
+type PlatformSpec struct {
+	Name         string `json:"name"`
+	RunFunc      string `json:"runfunc"`
+	SharedObject string `json:"shared_object,omitempty"`
+	// CostNS is the profiled execution-time cost of this node on this
+	// platform in nanoseconds. The paper's JSON carries "execution
+	// time cost on supported platforms"; MET and EFT read it. For
+	// accelerator platforms it includes the nominal (uncontended) DMA
+	// transfers.
+	CostNS int64 `json:"cost_ns,omitempty"`
+	// ComputeNS is the compute-only portion of CostNS. For CPU
+	// platforms it equals CostNS; for accelerators the resource
+	// manager re-derives the transfer component at dispatch time,
+	// when the manager-thread contention factor is known.
+	ComputeNS int64 `json:"compute_ns,omitempty"`
+}
+
+// NodeSpec is one task node of the application DAG.
+type NodeSpec struct {
+	Arguments    []string       `json:"arguments"`
+	Predecessors []string       `json:"predecessors"`
+	Successors   []string       `json:"successors"`
+	Platforms    []PlatformSpec `json:"platforms"`
+	// TransferBytes is the node's communication cost annotation (the
+	// paper's "data transfer volumes"): the bytes a resource manager
+	// moves per direction when the node runs on an accelerator. When
+	// zero, the sum of the pointer arguments' allocations is used.
+	TransferBytes int `json:"transfer_bytes,omitempty"`
+}
+
+// AppSpec is the archetypal instance of an application: the parsed
+// JSON from which the application handler instantiates copies.
+type AppSpec struct {
+	AppName      string                  `json:"AppName"`
+	SharedObject string                  `json:"SharedObject"`
+	Variables    map[string]VariableSpec `json:"Variables"`
+	DAG          map[string]NodeSpec     `json:"DAG"`
+}
+
+// ParseJSON decodes and validates an application JSON document.
+func ParseJSON(data []byte) (*AppSpec, error) {
+	var s AppSpec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("appmodel: decoding application JSON: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// MarshalIndentJSON renders the spec as the canonical JSON document.
+func (s *AppSpec) MarshalIndentJSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// Validate checks the structural invariants the application handler
+// relies on: every referenced variable is declared, edge lists are
+// mutually consistent, every node has at least one platform with a
+// runfunc, and the graph is acyclic with at least one head node.
+func (s *AppSpec) Validate() error {
+	if s.AppName == "" {
+		return fmt.Errorf("appmodel: application has no AppName")
+	}
+	if len(s.DAG) == 0 {
+		return fmt.Errorf("appmodel: %s: empty DAG", s.AppName)
+	}
+	for name, v := range s.Variables {
+		if v.Bytes <= 0 {
+			return fmt.Errorf("appmodel: %s: variable %q has non-positive size %d", s.AppName, name, v.Bytes)
+		}
+		if v.IsPtr && v.PtrAllocBytes <= 0 {
+			return fmt.Errorf("appmodel: %s: pointer variable %q has no allocation size", s.AppName, name)
+		}
+		if !v.IsPtr && v.PtrAllocBytes != 0 {
+			return fmt.Errorf("appmodel: %s: non-pointer variable %q declares ptr_alloc_bytes", s.AppName, name)
+		}
+		limit := v.Bytes
+		if v.IsPtr {
+			limit = v.PtrAllocBytes
+		}
+		if len(v.Val) > limit {
+			return fmt.Errorf("appmodel: %s: variable %q initialiser (%d bytes) exceeds storage (%d bytes)",
+				s.AppName, name, len(v.Val), limit)
+		}
+	}
+	for name, n := range s.DAG {
+		for _, arg := range n.Arguments {
+			if _, ok := s.Variables[arg]; !ok {
+				return fmt.Errorf("appmodel: %s: node %q references undeclared variable %q", s.AppName, name, arg)
+			}
+		}
+		if len(n.Platforms) == 0 {
+			return fmt.Errorf("appmodel: %s: node %q supports no platforms", s.AppName, name)
+		}
+		for _, p := range n.Platforms {
+			if p.Name == "" || p.RunFunc == "" {
+				return fmt.Errorf("appmodel: %s: node %q has a platform without name or runfunc", s.AppName, name)
+			}
+		}
+		for _, pred := range n.Predecessors {
+			pn, ok := s.DAG[pred]
+			if !ok {
+				return fmt.Errorf("appmodel: %s: node %q lists unknown predecessor %q", s.AppName, name, pred)
+			}
+			if !contains(pn.Successors, name) {
+				return fmt.Errorf("appmodel: %s: edge %s->%s missing from %s's successors", s.AppName, pred, name, pred)
+			}
+		}
+		for _, succ := range n.Successors {
+			sn, ok := s.DAG[succ]
+			if !ok {
+				return fmt.Errorf("appmodel: %s: node %q lists unknown successor %q", s.AppName, name, succ)
+			}
+			if !contains(sn.Predecessors, name) {
+				return fmt.Errorf("appmodel: %s: edge %s->%s missing from %s's predecessors", s.AppName, name, succ, succ)
+			}
+		}
+	}
+	if _, err := s.TopoOrder(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// Heads returns the DAG's entry nodes (no predecessors), sorted for
+// determinism. These are the nodes the workload manager appends to the
+// ready task list when an application instance is injected.
+func (s *AppSpec) Heads() []string {
+	var heads []string
+	for name, n := range s.DAG {
+		if len(n.Predecessors) == 0 {
+			heads = append(heads, name)
+		}
+	}
+	sort.Strings(heads)
+	return heads
+}
+
+// TaskCount reports the number of task nodes, the paper's Table I
+// "Task Count" column.
+func (s *AppSpec) TaskCount() int { return len(s.DAG) }
+
+// TopoOrder returns node names in a deterministic topological order,
+// or an error naming a cycle participant if the graph is cyclic.
+func (s *AppSpec) TopoOrder() ([]string, error) {
+	indeg := make(map[string]int, len(s.DAG))
+	for name, n := range s.DAG {
+		indeg[name] = len(n.Predecessors)
+	}
+	var frontier []string
+	for name, d := range indeg {
+		if d == 0 {
+			frontier = append(frontier, name)
+		}
+	}
+	sort.Strings(frontier)
+	if len(frontier) == 0 {
+		return nil, fmt.Errorf("appmodel: %s: DAG has no head node (cyclic)", s.AppName)
+	}
+	order := make([]string, 0, len(s.DAG))
+	for len(frontier) > 0 {
+		// Pop the lexicographically smallest ready node so the order
+		// is unique for a given graph.
+		name := frontier[0]
+		frontier = frontier[1:]
+		order = append(order, name)
+		next := s.DAG[name].Successors
+		added := false
+		for _, succ := range next {
+			indeg[succ]--
+			if indeg[succ] == 0 {
+				frontier = append(frontier, succ)
+				added = true
+			}
+		}
+		if added {
+			sort.Strings(frontier)
+		}
+	}
+	if len(order) != len(s.DAG) {
+		for name, d := range indeg {
+			if d > 0 {
+				return nil, fmt.Errorf("appmodel: %s: cycle detected involving node %q", s.AppName, name)
+			}
+		}
+	}
+	return order, nil
+}
+
+// DataBytes reports the volume of data a node moves per DMA
+// direction: the explicit transfer_bytes annotation when present,
+// otherwise the sum of the heap allocations of its pointer arguments.
+// The resource manager uses it to model DDR<->accelerator transfers.
+func (s *AppSpec) DataBytes(node string) int {
+	n, ok := s.DAG[node]
+	if !ok {
+		return 0
+	}
+	if n.TransferBytes > 0 {
+		return n.TransferBytes
+	}
+	total := 0
+	for _, arg := range n.Arguments {
+		if v, ok := s.Variables[arg]; ok && v.IsPtr {
+			total += v.PtrAllocBytes
+		}
+	}
+	return total
+}
+
+// PlatformFor returns the platform entry of the node matching the PE
+// type key, if the node supports it.
+func (n *NodeSpec) PlatformFor(key string) (PlatformSpec, bool) {
+	for _, p := range n.Platforms {
+		if p.Name == key {
+			return p, true
+		}
+	}
+	return PlatformSpec{}, false
+}
+
+// Normalize fills in missing reciprocal edges: if A names B as a
+// successor but B does not name A as a predecessor, the predecessor
+// entry is added (and vice versa). Hand-written DAG JSONs commonly
+// specify each edge once; the paper's parser tolerates this.
+func (s *AppSpec) Normalize() {
+	for name, n := range s.DAG {
+		for _, succ := range n.Successors {
+			if sn, ok := s.DAG[succ]; ok && !contains(sn.Predecessors, name) {
+				sn.Predecessors = append(sn.Predecessors, name)
+				s.DAG[succ] = sn
+			}
+		}
+		for _, pred := range n.Predecessors {
+			if pn, ok := s.DAG[pred]; ok && !contains(pn.Successors, name) {
+				pn.Successors = append(pn.Successors, name)
+				s.DAG[pred] = pn
+			}
+		}
+	}
+}
+
+// CriticalPathNS returns the length of the DAG's critical path using
+// each node's minimum platform cost, in nanoseconds. This is the lower
+// bound on makespan with infinite PEs; tests use it as a sanity bound.
+func (s *AppSpec) CriticalPathNS() int64 {
+	order, err := s.TopoOrder()
+	if err != nil {
+		return 0
+	}
+	finish := make(map[string]int64, len(order))
+	var longest int64
+	for _, name := range order {
+		n := s.DAG[name]
+		var start int64
+		for _, pred := range n.Predecessors {
+			if finish[pred] > start {
+				start = finish[pred]
+			}
+		}
+		f := start + n.minCost()
+		finish[name] = f
+		if f > longest {
+			longest = f
+		}
+	}
+	return longest
+}
+
+func (n *NodeSpec) minCost() int64 {
+	var best int64 = -1
+	for _, p := range n.Platforms {
+		if best < 0 || (p.CostNS > 0 && p.CostNS < best) {
+			best = p.CostNS
+		}
+	}
+	if best < 0 {
+		return 0
+	}
+	return best
+}

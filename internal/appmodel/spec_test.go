@@ -1,0 +1,346 @@
+package appmodel
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// listing1 is a trimmed version of the paper's Listing 1 (range
+// detection) exercising every schema feature: scalar and pointer
+// variables, per-platform runfuncs, and an accelerator shared-object
+// override.
+const listing1 = `{
+  "AppName": "range_detection",
+  "SharedObject": "range_detection.so",
+  "Variables": {
+    "n_samples": {"bytes": 4, "is_ptr": false, "ptr_alloc_bytes": 0, "val": [0, 1, 0, 0]},
+    "lfm_waveform": {"bytes": 8, "is_ptr": true, "ptr_alloc_bytes": 2048, "val": []},
+    "rx": {"bytes": 8, "is_ptr": true, "ptr_alloc_bytes": 2048, "val": []},
+    "X1": {"bytes": 8, "is_ptr": true, "ptr_alloc_bytes": 4096, "val": []}
+  },
+  "DAG": {
+    "LFM": {
+      "arguments": ["n_samples", "lfm_waveform"],
+      "predecessors": [],
+      "successors": ["FFT_1"],
+      "platforms": [{"name": "cpu", "runfunc": "range_detect_LFM"}]
+    },
+    "FFT_0": {
+      "arguments": ["n_samples", "rx", "X1"],
+      "predecessors": [],
+      "successors": ["MUL"],
+      "platforms": [
+        {"name": "cpu", "runfunc": "range_detect_FFT_0_CPU"},
+        {"name": "fft", "runfunc": "range_detect_FFT_0_ACCEL", "shared_object": "fft_accel.so"}
+      ]
+    },
+    "FFT_1": {
+      "arguments": ["n_samples", "lfm_waveform"],
+      "predecessors": ["LFM"],
+      "successors": ["MUL"],
+      "platforms": [{"name": "cpu", "runfunc": "range_detect_FFT_1_CPU"}]
+    },
+    "MUL": {
+      "arguments": ["n_samples", "X1"],
+      "predecessors": ["FFT_0", "FFT_1"],
+      "successors": [],
+      "platforms": [{"name": "cpu", "runfunc": "range_detect_MUL"}]
+    }
+  }
+}`
+
+func parseListing1(t *testing.T) *AppSpec {
+	t.Helper()
+	s, err := ParseJSON([]byte(listing1))
+	if err != nil {
+		t.Fatalf("ParseJSON: %v", err)
+	}
+	return s
+}
+
+func TestParseListing1(t *testing.T) {
+	s := parseListing1(t)
+	if s.AppName != "range_detection" {
+		t.Fatalf("AppName = %q", s.AppName)
+	}
+	if s.SharedObject != "range_detection.so" {
+		t.Fatalf("SharedObject = %q", s.SharedObject)
+	}
+	if s.TaskCount() != 4 {
+		t.Fatalf("TaskCount = %d, want 4", s.TaskCount())
+	}
+	v := s.Variables["n_samples"]
+	if v.Bytes != 4 || v.IsPtr || len(v.Val) != 4 {
+		t.Fatalf("n_samples spec mangled: %+v", v)
+	}
+	fft0 := s.DAG["FFT_0"]
+	p, ok := fft0.PlatformFor("fft")
+	if !ok || p.RunFunc != "range_detect_FFT_0_ACCEL" || p.SharedObject != "fft_accel.so" {
+		t.Fatalf("accelerator platform entry mangled: %+v ok=%v", p, ok)
+	}
+	if _, ok := fft0.PlatformFor("gpu"); ok {
+		t.Fatalf("PlatformFor found an unsupported platform")
+	}
+}
+
+func TestLittleEndianScalarInit(t *testing.T) {
+	s := parseListing1(t)
+	m, err := NewMemory(s)
+	if err != nil {
+		t.Fatalf("NewMemory: %v", err)
+	}
+	// The paper: n_samples "initialized with a little-endian
+	// representation of 256 as the byte vector [0,1,0,0]".
+	if got := m.MustLookup("n_samples").Int32(); got != 256 {
+		t.Fatalf("n_samples = %d, want 256", got)
+	}
+}
+
+func TestHeadsAndTopoOrder(t *testing.T) {
+	s := parseListing1(t)
+	heads := s.Heads()
+	if len(heads) != 2 || heads[0] != "FFT_0" || heads[1] != "LFM" {
+		t.Fatalf("Heads = %v, want [FFT_0 LFM]", heads)
+	}
+	order, err := s.TopoOrder()
+	if err != nil {
+		t.Fatalf("TopoOrder: %v", err)
+	}
+	pos := make(map[string]int)
+	for i, n := range order {
+		pos[n] = i
+	}
+	for name, n := range s.DAG {
+		for _, pred := range n.Predecessors {
+			if pos[pred] >= pos[name] {
+				t.Fatalf("topological violation: %s (%d) before its predecessor %s (%d)",
+					name, pos[name], pred, pos[pred])
+			}
+		}
+	}
+	// Determinism: repeated calls yield the identical order.
+	order2, _ := s.TopoOrder()
+	for i := range order {
+		if order[i] != order2[i] {
+			t.Fatalf("TopoOrder nondeterministic: %v vs %v", order, order2)
+		}
+	}
+}
+
+func TestDataBytes(t *testing.T) {
+	s := parseListing1(t)
+	// FFT_0 touches rx (2048) and X1 (4096); n_samples is scalar.
+	if got := s.DataBytes("FFT_0"); got != 2048+4096 {
+		t.Fatalf("DataBytes(FFT_0) = %d, want 6144", got)
+	}
+	if got := s.DataBytes("nope"); got != 0 {
+		t.Fatalf("DataBytes on unknown node = %d, want 0", got)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	s := parseListing1(t)
+	out, err := s.MarshalIndentJSON()
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	s2, err := ParseJSON(out)
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if s2.AppName != s.AppName || s2.TaskCount() != s.TaskCount() || len(s2.Variables) != len(s.Variables) {
+		t.Fatalf("round trip lost structure")
+	}
+}
+
+func mutate(t *testing.T, f func(*AppSpec)) error {
+	t.Helper()
+	s := parseListing1(t)
+	f(s)
+	return s.Validate()
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name    string
+		mut     func(*AppSpec)
+		wantSub string
+	}{
+		{"no name", func(s *AppSpec) { s.AppName = "" }, "no AppName"},
+		{"empty dag", func(s *AppSpec) { s.DAG = nil }, "empty DAG"},
+		{"undeclared var", func(s *AppSpec) {
+			n := s.DAG["MUL"]
+			n.Arguments = append(n.Arguments, "ghost")
+			s.DAG["MUL"] = n
+		}, "undeclared variable"},
+		{"no platforms", func(s *AppSpec) {
+			n := s.DAG["MUL"]
+			n.Platforms = nil
+			s.DAG["MUL"] = n
+		}, "no platforms"},
+		{"platform without runfunc", func(s *AppSpec) {
+			n := s.DAG["MUL"]
+			n.Platforms = []PlatformSpec{{Name: "cpu"}}
+			s.DAG["MUL"] = n
+		}, "without name or runfunc"},
+		{"unknown predecessor", func(s *AppSpec) {
+			n := s.DAG["MUL"]
+			n.Predecessors = append(n.Predecessors, "ghost")
+			s.DAG["MUL"] = n
+		}, "unknown predecessor"},
+		{"unknown successor", func(s *AppSpec) {
+			n := s.DAG["LFM"]
+			n.Successors = append(n.Successors, "ghost")
+			s.DAG["LFM"] = n
+		}, "unknown successor"},
+		{"asymmetric edge", func(s *AppSpec) {
+			n := s.DAG["LFM"]
+			n.Successors = append(n.Successors, "MUL") // MUL does not list LFM
+			s.DAG["LFM"] = n
+		}, "missing from"},
+		{"zero-size variable", func(s *AppSpec) {
+			s.Variables["bad"] = VariableSpec{Bytes: 0}
+			n := s.DAG["MUL"]
+			n.Arguments = append(n.Arguments, "bad")
+			s.DAG["MUL"] = n
+		}, "non-positive size"},
+		{"pointer without alloc", func(s *AppSpec) {
+			s.Variables["bad"] = VariableSpec{Bytes: 8, IsPtr: true}
+		}, "no allocation size"},
+		{"scalar with alloc", func(s *AppSpec) {
+			s.Variables["bad"] = VariableSpec{Bytes: 4, PtrAllocBytes: 16}
+		}, "declares ptr_alloc_bytes"},
+		{"oversized initialiser", func(s *AppSpec) {
+			s.Variables["bad"] = VariableSpec{Bytes: 2, Val: []byte{1, 2, 3}}
+		}, "exceeds storage"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := mutate(t, c.mut)
+			if err == nil {
+				t.Fatalf("Validate accepted a broken spec")
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, c.wantSub)
+			}
+		})
+	}
+}
+
+func TestValidateCycle(t *testing.T) {
+	s := parseListing1(t)
+	// Close the loop MUL -> LFM.
+	mul := s.DAG["MUL"]
+	mul.Successors = append(mul.Successors, "LFM")
+	s.DAG["MUL"] = mul
+	lfm := s.DAG["LFM"]
+	lfm.Predecessors = append(lfm.Predecessors, "MUL")
+	s.DAG["LFM"] = lfm
+	err := s.Validate()
+	if err == nil {
+		t.Fatalf("Validate accepted a cyclic DAG")
+	}
+	// Fully cyclic graph: no head node at all.
+	for name, n := range s.DAG {
+		if len(n.Predecessors) == 0 {
+			n.Predecessors = []string{"MUL"}
+			s.DAG[name] = n
+		}
+	}
+	if _, err := s.TopoOrder(); err == nil {
+		t.Fatalf("TopoOrder accepted a headless graph")
+	}
+}
+
+func TestNormalizeCompletesEdges(t *testing.T) {
+	s := parseListing1(t)
+	// Strip all predecessor lists; Normalize must restore them from
+	// the successor lists.
+	for name, n := range s.DAG {
+		n.Predecessors = nil
+		s.DAG[name] = n
+	}
+	s.Normalize()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate after Normalize: %v", err)
+	}
+	if got := s.DAG["MUL"].Predecessors; len(got) != 2 {
+		t.Fatalf("MUL predecessors after Normalize = %v", got)
+	}
+}
+
+func TestCriticalPath(t *testing.T) {
+	s := parseListing1(t)
+	// Annotate costs: LFM=10, FFT_1=20, FFT_0=5, MUL=7.
+	set := func(node string, cost int64) {
+		n := s.DAG[node]
+		for i := range n.Platforms {
+			n.Platforms[i].CostNS = cost
+		}
+		s.DAG[node] = n
+	}
+	set("LFM", 10)
+	set("FFT_1", 20)
+	set("FFT_0", 5)
+	set("MUL", 7)
+	// Critical path: LFM -> FFT_1 -> MUL = 37.
+	if got := s.CriticalPathNS(); got != 37 {
+		t.Fatalf("CriticalPathNS = %d, want 37", got)
+	}
+}
+
+// Property: any linear chain of n nodes is valid, topologically
+// ordered 0..n-1, and has exactly one head.
+func TestChainProperty(t *testing.T) {
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%20) + 1
+		s := &AppSpec{
+			AppName:   "chain",
+			Variables: map[string]VariableSpec{"x": {Bytes: 4}},
+			DAG:       map[string]NodeSpec{},
+		}
+		name := func(i int) string { return string(rune('A'+i/26)) + string(rune('a'+i%26)) }
+		for i := 0; i < n; i++ {
+			node := NodeSpec{
+				Arguments: []string{"x"},
+				Platforms: []PlatformSpec{{Name: "cpu", RunFunc: "f"}},
+			}
+			if i > 0 {
+				node.Predecessors = []string{name(i - 1)}
+			}
+			if i < n-1 {
+				node.Successors = []string{name(i + 1)}
+			}
+			s.DAG[name(i)] = node
+		}
+		if err := s.Validate(); err != nil {
+			return false
+		}
+		if len(s.Heads()) != 1 {
+			return false
+		}
+		order, err := s.TopoOrder()
+		if err != nil || len(order) != n {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if order[i] != name(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseJSONErrors(t *testing.T) {
+	if _, err := ParseJSON([]byte("{")); err == nil {
+		t.Fatalf("accepted malformed JSON")
+	}
+	if _, err := ParseJSON([]byte(`{"AppName":"x","DAG":{}}`)); err == nil {
+		t.Fatalf("accepted empty DAG")
+	}
+}

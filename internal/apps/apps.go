@@ -1,0 +1,138 @@
+// Package apps provides the framework's default application library:
+// the four software-defined-radio applications of the paper's case
+// studies (range detection, pulse Doppler, WiFi TX, WiFi RX) as
+// hand-crafted JSON DAG archetypes plus their kernel shared objects.
+//
+// Each builder returns an appmodel.AppSpec whose variables carry real
+// initial data (synthesised radar returns, noisy WiFi frames), whose
+// platform entries carry calibrated cost annotations for the
+// schedulers, and whose runfuncs execute real DSP against instance
+// memory — so validation mode genuinely verifies functional
+// integration, exactly as on the paper's testbeds.
+package apps
+
+import (
+	"encoding/binary"
+	"math"
+	"sync"
+
+	"repro/internal/appmodel"
+	"repro/internal/kernels"
+	"repro/internal/platform"
+)
+
+// Application names as they appear in workload descriptions (paper
+// Tables I and II).
+const (
+	NameRangeDetection = "range_detection"
+	NamePulseDoppler   = "pulse_doppler"
+	NameWiFiTX         = "wifi_tx"
+	NameWiFiRX         = "wifi_rx"
+)
+
+var (
+	regOnce sync.Once
+	reg     *kernels.Registry
+)
+
+// Registry returns the kernel registry populated with the generic DSP
+// library plus every application shared object in this package.
+func Registry() *kernels.Registry {
+	regOnce.Do(func() {
+		reg = kernels.Default()
+		registerRangeDetection(reg)
+		registerPulseDoppler(reg)
+		registerWiFiTX(reg)
+		registerWiFiRX(reg)
+	})
+	return reg
+}
+
+// Specs builds the default archetype of every application, keyed by
+// AppName. Panics on internal inconsistency (covered by tests).
+func Specs() map[string]*appmodel.AppSpec {
+	return map[string]*appmodel.AppSpec{
+		NameRangeDetection: RangeDetection(DefaultRangeParams()),
+		NamePulseDoppler:   PulseDoppler(DefaultDopplerParams()),
+		NameWiFiTX:         WiFiTX(DefaultWiFiParams()),
+		NameWiFiRX:         WiFiRX(DefaultWiFiParams()),
+	}
+}
+
+// --- initial-value encoding helpers -----------------------------------------
+
+// int32Bytes renders x little-endian, the paper's [0,1,0,0]-style
+// variable initialiser format.
+func int32Bytes(x int32) []byte {
+	b := make([]byte, 4)
+	binary.LittleEndian.PutUint32(b, uint32(x))
+	return b
+}
+
+// c64Bytes renders interleaved float32 re/im pairs little-endian.
+func c64Bytes(xs []complex64) []byte {
+	b := make([]byte, 8*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint32(b[8*i:], math.Float32bits(real(x)))
+		binary.LittleEndian.PutUint32(b[8*i+4:], math.Float32bits(imag(x)))
+	}
+	return b
+}
+
+// scalarVar declares a 4-byte scalar with an initial value.
+func scalarVar(x int32) appmodel.VariableSpec {
+	return appmodel.VariableSpec{Bytes: 4, Val: int32Bytes(x)}
+}
+
+// outScalarVar declares an uninitialised scalar output of the given
+// width.
+func outScalarVar(bytes int) appmodel.VariableSpec {
+	return appmodel.VariableSpec{Bytes: bytes}
+}
+
+// bufVar declares a pointer variable backing `bytes` bytes of heap,
+// optionally initialised.
+func bufVar(bytes int, val []byte) appmodel.VariableSpec {
+	return appmodel.VariableSpec{Bytes: 8, IsPtr: true, PtrAllocBytes: bytes, Val: val}
+}
+
+// --- platform annotation helpers ---------------------------------------------
+
+// cpuPlatform builds the "cpu" platform entry for a node with the
+// calibrated baseline cost of `kernel` over n points.
+func cpuPlatform(runFunc, kernel string, n int) appmodel.PlatformSpec {
+	cost := platform.CPUBaseNS(kernel, n)
+	return appmodel.PlatformSpec{Name: "cpu", RunFunc: runFunc, CostNS: cost, ComputeNS: cost}
+}
+
+// fftPlatform builds the "fft" accelerator platform entry; transfer
+// bytes are the node's pointer-argument volume, charged both ways at
+// nominal (uncontended) DMA cost for the scheduler annotation.
+func fftPlatform(runFunc, kernel string, n, transferBytes int) (appmodel.PlatformSpec, bool) {
+	compute, ok := platform.AccelComputeNS(kernel, n)
+	if !ok {
+		return appmodel.PlatformSpec{}, false
+	}
+	cfg, err := platform.ZCU102(1, 1)
+	if err != nil {
+		return appmodel.PlatformSpec{}, false
+	}
+	full, _ := platform.AccelCostNS(kernel, n, transferBytes, cfg.DMA)
+	return appmodel.PlatformSpec{
+		Name:         "fft",
+		RunFunc:      runFunc,
+		SharedObject: kernels.SharedObjectFFTAccel,
+		CostNS:       full,
+		ComputeNS:    compute,
+	}, true
+}
+
+// node assembles a NodeSpec.
+func node(args, preds, succs []string, platforms ...appmodel.PlatformSpec) appmodel.NodeSpec {
+	return appmodel.NodeSpec{
+		Arguments:    args,
+		Predecessors: preds,
+		Successors:   succs,
+		Platforms:    platforms,
+	}
+}

@@ -1,0 +1,335 @@
+package apps
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/appmodel"
+	"repro/internal/kernels"
+)
+
+func TestSpecsValidateAndTaskCounts(t *testing.T) {
+	// Table I task counts: RD 6, PD 770, TX 7, RX 9.
+	want := map[string]int{
+		NameRangeDetection: 6,
+		NamePulseDoppler:   770,
+		NameWiFiTX:         7,
+		NameWiFiRX:         9,
+	}
+	specs := Specs()
+	if len(specs) != len(want) {
+		t.Fatalf("Specs() returned %d apps", len(specs))
+	}
+	for name, spec := range specs {
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("%s: Validate: %v", name, err)
+		}
+		if got := spec.TaskCount(); got != want[name] {
+			t.Errorf("%s: task count %d, want %d", name, got, want[name])
+		}
+		if spec.AppName != name {
+			t.Errorf("%s: AppName %q", name, spec.AppName)
+		}
+	}
+}
+
+func TestAllRunFuncsResolve(t *testing.T) {
+	// The application handler resolves every runfunc at parse time;
+	// verify every platform entry of every node has a registered
+	// symbol in its shared object.
+	r := Registry()
+	for name, spec := range Specs() {
+		for node, ns := range spec.DAG {
+			for _, p := range ns.Platforms {
+				so := p.SharedObject
+				if so == "" {
+					so = spec.SharedObject
+				}
+				if _, err := r.Lookup(so, p.RunFunc); err != nil {
+					t.Errorf("%s/%s: %v", name, node, err)
+				}
+			}
+		}
+	}
+}
+
+func TestCostAnnotationsPresent(t *testing.T) {
+	for name, spec := range Specs() {
+		for node, ns := range spec.DAG {
+			for _, p := range ns.Platforms {
+				if p.CostNS <= 0 {
+					t.Errorf("%s/%s platform %s: missing cost annotation", name, node, p.Name)
+				}
+				if p.Name == "fft" && p.ComputeNS >= p.CostNS {
+					t.Errorf("%s/%s: accelerator compute %d should be below full cost %d (DMA included)",
+						name, node, p.ComputeNS, p.CostNS)
+				}
+			}
+		}
+	}
+}
+
+func TestJSONRoundTripAllApps(t *testing.T) {
+	for name, spec := range Specs() {
+		data, err := spec.MarshalIndentJSON()
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", name, err)
+		}
+		back, err := appmodel.ParseJSON(data)
+		if err != nil {
+			t.Fatalf("%s: reparse: %v", name, err)
+		}
+		if back.TaskCount() != spec.TaskCount() || len(back.Variables) != len(spec.Variables) {
+			t.Fatalf("%s: JSON round trip lost structure", name)
+		}
+	}
+}
+
+// runSequential executes an application spec in plain topological
+// order against a fresh memory — the ground-truth execution the
+// emulator must preserve under any schedule.
+func runSequential(t *testing.T, spec *appmodel.AppSpec) *appmodel.Memory {
+	t.Helper()
+	r := Registry()
+	mem, err := appmodel.NewMemory(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order, err := spec.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range order {
+		ns := spec.DAG[name]
+		p := ns.Platforms[0] // cpu implementation
+		so := p.SharedObject
+		if so == "" {
+			so = spec.SharedObject
+		}
+		f, err := r.Lookup(so, p.RunFunc)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := f(&kernels.Context{Mem: mem, Args: ns.Arguments, Node: name}); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	return mem
+}
+
+func TestRangeDetectionFunctional(t *testing.T) {
+	p := DefaultRangeParams()
+	mem := runSequential(t, RangeDetection(p))
+	if err := CheckRangeDetection(mem, p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRangeDetectionVariousLags(t *testing.T) {
+	// Lags near N leave almost no pulse overlap in the capture window,
+	// so detection is physically impossible there; stay within 3N/4.
+	for _, lag := range []int{0, 1, 17, 100, 192} {
+		p := DefaultRangeParams()
+		p.TargetLag = lag
+		mem := runSequential(t, RangeDetection(p))
+		if err := CheckRangeDetection(mem, p); err != nil {
+			t.Errorf("lag %d: %v", lag, err)
+		}
+	}
+}
+
+func TestRangeDetectionAccelPathEquivalent(t *testing.T) {
+	// Running the FFT nodes through the accelerator runfuncs must give
+	// the same detection result.
+	p := DefaultRangeParams()
+	spec := RangeDetection(p)
+	r := Registry()
+	mem, err := appmodel.NewMemory(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order, _ := spec.TopoOrder()
+	for _, name := range order {
+		ns := spec.DAG[name]
+		// Prefer the accelerator platform when present.
+		chosen := ns.Platforms[0]
+		for _, pl := range ns.Platforms {
+			if pl.Name == "fft" {
+				chosen = pl
+			}
+		}
+		so := chosen.SharedObject
+		if so == "" {
+			so = spec.SharedObject
+		}
+		f, err := r.Lookup(so, chosen.RunFunc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f(&kernels.Context{Mem: mem, Args: ns.Arguments, Node: name}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := CheckRangeDetection(mem, p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPulseDopplerFunctional(t *testing.T) {
+	p := DefaultDopplerParams()
+	mem := runSequential(t, PulseDoppler(p))
+	if err := CheckPulseDoppler(mem, p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPulseDopplerOtherTargets(t *testing.T) {
+	cases := []struct {
+		gate int
+		dop  float64
+	}{
+		{10, -0.25},
+		{200, 0.125},
+		{0, 0.0},
+	}
+	for _, c := range cases {
+		p := DefaultDopplerParams()
+		p.TargetGate = c.gate
+		p.TargetDoppler = c.dop
+		mem := runSequential(t, PulseDoppler(p))
+		if err := CheckPulseDoppler(mem, p); err != nil {
+			t.Errorf("gate=%d dop=%v: %v", c.gate, c.dop, err)
+		}
+	}
+}
+
+func TestPulseDopplerTaskBreakdown(t *testing.T) {
+	spec := PulseDoppler(DefaultDopplerParams())
+	counts := map[string]int{}
+	for name := range spec.DAG {
+		switch {
+		case strings.HasPrefix(name, "FFT_"):
+			counts["fft"]++
+		case strings.HasPrefix(name, "MUL_"):
+			counts["mul"]++
+		case strings.HasPrefix(name, "IFFT_"):
+			counts["ifft"]++
+		case strings.HasPrefix(name, "DOP_"):
+			counts["dop"]++
+		case strings.HasPrefix(name, "SHIFT_"):
+			counts["shift"]++
+		default:
+			counts["other"]++
+		}
+	}
+	want := map[string]int{"fft": 128, "mul": 128, "ifft": 128, "dop": 256, "shift": 128, "other": 2}
+	for k, v := range want {
+		if counts[k] != v {
+			t.Errorf("%s tasks = %d, want %d", k, counts[k], v)
+		}
+	}
+}
+
+func TestWiFiTXFunctional(t *testing.T) {
+	p := DefaultWiFiParams()
+	mem := runSequential(t, WiFiTX(p))
+	if err := CheckWiFiTX(mem, p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWiFiRXFunctional(t *testing.T) {
+	p := DefaultWiFiParams()
+	mem := runSequential(t, WiFiRX(p))
+	if err := CheckWiFiRX(mem, p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWiFiRXAcrossSeedsAndOffsets(t *testing.T) {
+	for seed := int64(10); seed < 16; seed++ {
+		p := DefaultWiFiParams()
+		p.Seed = seed
+		p.FrameOffset = 8 * int(seed%12)
+		mem := runSequential(t, WiFiRX(p))
+		if err := CheckWiFiRX(mem, p); err != nil {
+			t.Errorf("seed %d offset %d: %v", seed, p.FrameOffset, err)
+		}
+	}
+}
+
+func TestWiFiRXLowSNRStillDecodes(t *testing.T) {
+	// The Viterbi decoder should carry the frame through a moderately
+	// noisy channel.
+	p := DefaultWiFiParams()
+	p.SNRdB = 14
+	mem := runSequential(t, WiFiRX(p))
+	if err := CheckWiFiRX(mem, p); err != nil {
+		t.Fatalf("14 dB decode failed: %v", err)
+	}
+}
+
+func TestWiFiGeometryPanics(t *testing.T) {
+	bad := DefaultWiFiParams()
+	bad.InterleaverRows = 11 // 140 % 11 != 0
+	assertPanics(t, func() { WiFiTX(bad) }, "interleaver")
+	bad2 := DefaultWiFiParams()
+	bad2.FrameOffset = 1000
+	assertPanics(t, func() { WiFiRX(bad2) }, "capture buffer")
+	bad3 := DefaultWiFiParams()
+	bad3.SpectrumBins = 100 // not a power of two
+	assertPanics(t, func() { WiFiTX(bad3) }, "spectrum")
+}
+
+func TestRangeDetectionPanics(t *testing.T) {
+	p := DefaultRangeParams()
+	p.N = 100
+	assertPanics(t, func() { RangeDetection(p) }, "power of two")
+	p2 := DefaultRangeParams()
+	p2.TargetLag = -1
+	assertPanics(t, func() { RangeDetection(p2) }, "lag")
+}
+
+func TestPulseDopplerPanics(t *testing.T) {
+	p := DefaultDopplerParams()
+	p.Pulses = 100
+	assertPanics(t, func() { PulseDoppler(p) }, "powers of two")
+	p2 := DefaultDopplerParams()
+	p2.TargetGate = p2.N
+	assertPanics(t, func() { PulseDoppler(p2) }, "gate")
+}
+
+func assertPanics(t *testing.T, f func(), wantSub string) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected panic mentioning %q", wantSub)
+		}
+		if msg, ok := r.(string); ok && !strings.Contains(msg, wantSub) {
+			t.Fatalf("panic %q does not mention %q", msg, wantSub)
+		}
+	}()
+	f()
+}
+
+func TestGeomWordRoundTrip(t *testing.T) {
+	p := DefaultWiFiParams()
+	rows, spacing, bins := geomUnpack(geomWord(p))
+	if rows != p.InterleaverRows || spacing != p.PilotSpacing || bins != p.SpectrumBins {
+		t.Fatalf("geom round trip: %d %d %d", rows, spacing, bins)
+	}
+}
+
+func TestTransferAnnotationsRowSized(t *testing.T) {
+	// Accelerator transfers for pulse doppler are per row, not the
+	// whole matrix.
+	p := DefaultDopplerParams()
+	spec := PulseDoppler(p)
+	if got := spec.DataBytes("FFT_0"); got != p.N*8 {
+		t.Fatalf("FFT_0 transfer = %d bytes, want %d", got, p.N*8)
+	}
+	if got := spec.DataBytes("DOP_0"); got != p.Pulses*8 {
+		t.Fatalf("DOP_0 transfer = %d bytes, want %d", got, p.Pulses*8)
+	}
+}

@@ -1,0 +1,380 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/appmodel"
+	"repro/internal/kernels"
+	"repro/internal/platform"
+)
+
+// Pulse Doppler (paper Figure 8): a burst of m pulses is correlated
+// against the reference waveform per pulse (fast time), the resulting
+// range profiles are realigned into per-range-gate slow-time series,
+// and an FFT across slow time recovers target velocity. The archetype
+// reproduces the paper's 770-task DAG:
+//
+//	m x (FFT, MUL, IFFT)      = 3*128 = 384 per-pulse correlator tasks
+//	REALIGN (matrix transpose) = 1
+//	per-gate Doppler FFT       = 256
+//	per-gate-pair FFT shift    = 128 (two gates per task)
+//	MAX (2-D peak search)      = 1
+//	                    total  = 770
+type DopplerParams struct {
+	// Pulses is m, the slow-time length (power of two).
+	Pulses int
+	// N is the fast-time sample count per pulse (power of two).
+	N int
+	// TargetGate is the simulated target's range gate.
+	TargetGate int
+	// TargetDoppler is the normalised Doppler frequency in (-0.5,
+	// 0.5): the post-shift peak lands at bin Pulses/2 +
+	// round(TargetDoppler*Pulses).
+	TargetDoppler float64
+	// NoiseSigma and Seed drive the synthetic receiver noise.
+	NoiseSigma float64
+	Seed       int64
+}
+
+// DefaultDopplerParams yields the paper's 770-task shape.
+func DefaultDopplerParams() DopplerParams {
+	return DopplerParams{Pulses: 128, N: 256, TargetGate: 100, TargetDoppler: 0.25, NoiseSigma: 0.02, Seed: 2}
+}
+
+// PulseDopplerTaskCount is the Table I task count this builder
+// reproduces.
+const PulseDopplerTaskCount = 770
+
+const dopplerSO = "pulse_doppler.so"
+
+// PulseDoppler builds the archetype with a synthetic moving target
+// embedded in the rx matrix.
+func PulseDoppler(p DopplerParams) *appmodel.AppSpec {
+	if !kernels.IsPow2(p.Pulses) || !kernels.IsPow2(p.N) {
+		panic(fmt.Sprintf("apps: pulse doppler dims %dx%d must be powers of two", p.Pulses, p.N))
+	}
+	if p.TargetGate < 0 || p.TargetGate >= p.N {
+		panic(fmt.Sprintf("apps: target gate %d outside [0,%d)", p.TargetGate, p.N))
+	}
+	m, n := p.Pulses, p.N
+
+	// Reference pulse and its spectrum (known a priori, initialised by
+	// the application handler rather than computed per instance).
+	ref := make([]complex64, n)
+	kernels.LFMChirp(ref, 0.5)
+	refSpec := append([]complex64(nil), ref...)
+	if err := kernels.FFTInPlace(refSpec); err != nil {
+		panic(err)
+	}
+
+	// Synthesise the m x n receive matrix: the reference delayed by
+	// the target gate, rotated per pulse by the Doppler phase, plus
+	// noise.
+	rng := rand.New(rand.NewSource(p.Seed))
+	rxMat := make([]complex64, m*n)
+	delayed := kernels.Delay(ref, p.TargetGate)
+	for pi := 0; pi < m; pi++ {
+		phase := 2 * math.Pi * p.TargetDoppler * float64(pi)
+		rot := complex(float32(math.Cos(phase)), float32(math.Sin(phase)))
+		row := rxMat[pi*n : (pi+1)*n]
+		for j := range row {
+			row[j] = delayed[j]*rot +
+				complex(float32(p.NoiseSigma*rng.NormFloat64()), float32(p.NoiseSigma*rng.NormFloat64()))
+		}
+	}
+
+	matBytes := m * n * 8
+	rowBytes := n * 8
+	vars := map[string]appmodel.VariableSpec{
+		"n_samples":    scalarVar(int32(n)),
+		"n_pulses":     scalarVar(int32(m)),
+		"ref_spectrum": bufVar(rowBytes, c64Bytes(refSpec)),
+		"rx_matrix":    bufVar(matBytes, c64Bytes(rxMat)),
+		"corr_matrix":  bufVar(matBytes, nil),
+		"realigned":    bufVar(matBytes, nil),
+		"max_gate":     outScalarVar(4),
+		"max_doppler":  outScalarVar(4),
+		"max_mag":      outScalarVar(8),
+	}
+
+	dag := make(map[string]appmodel.NodeSpec, PulseDopplerTaskCount)
+
+	// Per-pulse correlator chains. Row indices travel through scalar
+	// variables so a single runfunc serves every row, as the C kernels
+	// do with row pointers.
+	var realignPreds []string
+	for pi := 0; pi < m; pi++ {
+		rowVar := fmt.Sprintf("row_%d", pi)
+		vars[rowVar] = scalarVar(int32(pi))
+		fftName := fmt.Sprintf("FFT_%d", pi)
+		mulName := fmt.Sprintf("MUL_%d", pi)
+		ifftName := fmt.Sprintf("IFFT_%d", pi)
+
+		fftAcc, _ := fftPlatform("pd_pulse_fft_accel", platform.KFFT, n, rowBytes)
+		fftNode := node(
+			[]string{"n_samples", rowVar, "rx_matrix", "corr_matrix"},
+			nil, []string{mulName},
+			cpuPlatform("pd_pulse_fft", platform.KFFT, n), fftAcc,
+		)
+		// Only the addressed row crosses the DMA, not the whole matrix.
+		fftNode.TransferBytes = rowBytes
+		dag[fftName] = fftNode
+		dag[mulName] = node(
+			[]string{"n_samples", rowVar, "corr_matrix", "ref_spectrum"},
+			[]string{fftName}, []string{ifftName},
+			cpuPlatform("pd_pulse_mul", platform.KVecMulConj, n),
+		)
+		ifftAcc, _ := fftPlatform("pd_pulse_ifft_accel", platform.KIFFT, n, rowBytes)
+		ifftNode := node(
+			[]string{"n_samples", rowVar, "corr_matrix"},
+			[]string{mulName}, []string{"REALIGN"},
+			cpuPlatform("pd_pulse_ifft", platform.KIFFT, n), ifftAcc,
+		)
+		ifftNode.TransferBytes = rowBytes
+		dag[ifftName] = ifftNode
+		realignPreds = append(realignPreds, ifftName)
+	}
+
+	// Realign: transpose the m x n correlation matrix into n x m
+	// slow-time rows.
+	var dopNames []string
+	for g := 0; g < n; g++ {
+		dopNames = append(dopNames, fmt.Sprintf("DOP_%d", g))
+	}
+	dag["REALIGN"] = node(
+		[]string{"n_pulses", "n_samples", "corr_matrix", "realigned"},
+		realignPreds, dopNames,
+		cpuPlatform("pd_realign", platform.KTranspose, m*n),
+	)
+
+	// Per-gate Doppler FFT over slow time, then FFT-shift in gate
+	// pairs (two gates per task to balance task granularity).
+	var shiftNames []string
+	for j := 0; j < n/2; j++ {
+		shiftNames = append(shiftNames, fmt.Sprintf("SHIFT_%d", j))
+	}
+	for g := 0; g < n; g++ {
+		gateVar := fmt.Sprintf("gate_%d", g)
+		vars[gateVar] = scalarVar(int32(g))
+		dopAcc, _ := fftPlatform("pd_doppler_fft_accel", platform.KFFT, m, m*8)
+		dopNode := node(
+			[]string{"n_pulses", gateVar, "realigned"},
+			[]string{"REALIGN"}, []string{shiftNames[g/2]},
+			cpuPlatform("pd_doppler_fft", platform.KFFT, m), dopAcc,
+		)
+		dopNode.TransferBytes = m * 8
+		dag[dopNames[g]] = dopNode
+	}
+	for j := 0; j < n/2; j++ {
+		pairVar := fmt.Sprintf("pair_%d", j)
+		vars[pairVar] = scalarVar(int32(j))
+		dag[shiftNames[j]] = node(
+			[]string{"n_pulses", pairVar, "realigned"},
+			[]string{dopNames[2*j], dopNames[2*j+1]}, []string{"MAX"},
+			cpuPlatform("pd_fft_shift", platform.KFFTShift, 2*m),
+		)
+	}
+
+	dag["MAX"] = node(
+		[]string{"n_pulses", "n_samples", "realigned", "max_gate", "max_doppler", "max_mag"},
+		shiftNames, nil,
+		cpuPlatform("pd_max", platform.KMaxAbs, m*n),
+	)
+
+	return &appmodel.AppSpec{
+		AppName:      NamePulseDoppler,
+		SharedObject: dopplerSO,
+		Variables:    vars,
+		DAG:          dag,
+	}
+}
+
+// CheckPulseDoppler verifies the detected range gate and Doppler bin
+// against the synthesised target.
+func CheckPulseDoppler(mem *appmodel.Memory, p DopplerParams) error {
+	gateV, err := mem.Lookup("max_gate")
+	if err != nil {
+		return err
+	}
+	dopV, err := mem.Lookup("max_doppler")
+	if err != nil {
+		return err
+	}
+	wantDop := p.Pulses/2 + int(math.Round(p.TargetDoppler*float64(p.Pulses)))
+	wantDop = ((wantDop % p.Pulses) + p.Pulses) % p.Pulses
+	if got := int(gateV.Int32()); got != p.TargetGate {
+		return fmt.Errorf("apps: pulse doppler found gate %d, want %d", got, p.TargetGate)
+	}
+	if got := int(dopV.Int32()); got != wantDop {
+		return fmt.Errorf("apps: pulse doppler found doppler bin %d, want %d", got, wantDop)
+	}
+	return nil
+}
+
+// --- runfuncs ----------------------------------------------------------------
+
+// pdRow fetches the row/gate slice addressed by (lenArg, idxArg,
+// matArg): mat[idx*len : (idx+1)*len].
+func pdRow(ctx *kernels.Context, lenArg, idxArg, matArg int) ([]complex64, error) {
+	lv, err := ctx.Arg(lenArg)
+	if err != nil {
+		return nil, err
+	}
+	iv, err := ctx.Arg(idxArg)
+	if err != nil {
+		return nil, err
+	}
+	mv, err := ctx.Arg(matArg)
+	if err != nil {
+		return nil, err
+	}
+	n := int(lv.Int32())
+	idx := int(iv.Int32())
+	mat := mv.Complex64s()
+	if n <= 0 || idx < 0 || (idx+1)*n > len(mat) {
+		return nil, fmt.Errorf("apps: %s: row %d of length %d outside matrix of %d", ctx.Node, idx, n, len(mat))
+	}
+	return mat[idx*n : (idx+1)*n], nil
+}
+
+func pdPulseFFT(ctx *kernels.Context) error {
+	src, err := pdRow(ctx, 0, 1, 2)
+	if err != nil {
+		return err
+	}
+	dst, err := pdRow(ctx, 0, 1, 3)
+	if err != nil {
+		return err
+	}
+	return copyFFT(dst, src, false)
+}
+
+func pdPulseMUL(ctx *kernels.Context) error {
+	row, err := pdRow(ctx, 0, 1, 2)
+	if err != nil {
+		return err
+	}
+	refV, err := ctx.Arg(3)
+	if err != nil {
+		return err
+	}
+	ref := refV.Complex64s()
+	if len(ref) < len(row) {
+		return fmt.Errorf("apps: %s: reference spectrum too short", ctx.Node)
+	}
+	return kernels.VecMulConj(row, row, ref[:len(row)])
+}
+
+func pdPulseIFFT(ctx *kernels.Context) error {
+	row, err := pdRow(ctx, 0, 1, 2)
+	if err != nil {
+		return err
+	}
+	return kernels.IFFTInPlace(row)
+}
+
+func pdRealign(ctx *kernels.Context) error {
+	mv, err := ctx.Arg(0) // n_pulses
+	if err != nil {
+		return err
+	}
+	nv, err := ctx.Arg(1) // n_samples
+	if err != nil {
+		return err
+	}
+	srcV, err := ctx.Arg(2)
+	if err != nil {
+		return err
+	}
+	dstV, err := ctx.Arg(3)
+	if err != nil {
+		return err
+	}
+	m, n := int(mv.Int32()), int(nv.Int32())
+	return kernels.Transpose(dstV.Complex64s()[:m*n], srcV.Complex64s()[:m*n], m, n)
+}
+
+func pdDopplerFFT(ctx *kernels.Context) error {
+	row, err := pdRow(ctx, 0, 1, 2)
+	if err != nil {
+		return err
+	}
+	return kernels.FFTInPlace(row)
+}
+
+// pdFFTShift shifts the two gates of pair j: rows 2j and 2j+1.
+func pdFFTShift(ctx *kernels.Context) error {
+	mv, err := ctx.Arg(0)
+	if err != nil {
+		return err
+	}
+	jv, err := ctx.Arg(1)
+	if err != nil {
+		return err
+	}
+	matV, err := ctx.Arg(2)
+	if err != nil {
+		return err
+	}
+	m, j := int(mv.Int32()), int(jv.Int32())
+	mat := matV.Complex64s()
+	for _, g := range []int{2 * j, 2*j + 1} {
+		if (g+1)*m > len(mat) {
+			return fmt.Errorf("apps: %s: gate %d outside matrix", ctx.Node, g)
+		}
+		kernels.FFTShift(mat[g*m : (g+1)*m])
+	}
+	return nil
+}
+
+func pdMax(ctx *kernels.Context) error {
+	mv, err := ctx.Arg(0)
+	if err != nil {
+		return err
+	}
+	nv, err := ctx.Arg(1)
+	if err != nil {
+		return err
+	}
+	matV, err := ctx.Arg(2)
+	if err != nil {
+		return err
+	}
+	gateV, err := ctx.Arg(3)
+	if err != nil {
+		return err
+	}
+	dopV, err := ctx.Arg(4)
+	if err != nil {
+		return err
+	}
+	magV, err := ctx.Arg(5)
+	if err != nil {
+		return err
+	}
+	m, n := int(mv.Int32()), int(nv.Int32())
+	mat := matV.Complex64s()
+	if m*n > len(mat) {
+		return fmt.Errorf("apps: %s: matrix too small", ctx.Node)
+	}
+	idx, mag := kernels.MaxAbsIndex(mat[:m*n])
+	gateV.SetInt32(int32(idx / m))
+	dopV.SetInt32(int32(idx % m))
+	magV.SetFloat64(mag)
+	return nil
+}
+
+func registerPulseDoppler(r *kernels.Registry) {
+	r.MustRegister(dopplerSO, "pd_pulse_fft", pdPulseFFT)
+	r.MustRegister(dopplerSO, "pd_pulse_mul", pdPulseMUL)
+	r.MustRegister(dopplerSO, "pd_pulse_ifft", pdPulseIFFT)
+	r.MustRegister(dopplerSO, "pd_realign", pdRealign)
+	r.MustRegister(dopplerSO, "pd_doppler_fft", pdDopplerFFT)
+	r.MustRegister(dopplerSO, "pd_fft_shift", pdFFTShift)
+	r.MustRegister(dopplerSO, "pd_max", pdMax)
+	r.MustRegister(kernels.SharedObjectFFTAccel, "pd_pulse_fft_accel", pdPulseFFT)
+	r.MustRegister(kernels.SharedObjectFFTAccel, "pd_pulse_ifft_accel", pdPulseIFFT)
+	r.MustRegister(kernels.SharedObjectFFTAccel, "pd_doppler_fft_accel", pdDopplerFFT)
+}

@@ -1,0 +1,260 @@
+package apps
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/appmodel"
+	"repro/internal/kernels"
+	"repro/internal/platform"
+)
+
+// Range detection (paper Figure 2 / Listing 1): correlate a received
+// radar return against the transmitted LFM chirp in the frequency
+// domain and locate the correlation peak, whose lag gives the target
+// distance. Six tasks: LFM, FFT_0, FFT_1, MUL, IFFT, MAX.
+
+// RangeParams parameterises the range detection archetype.
+type RangeParams struct {
+	// N is the sample count per waveform (the paper's n_samples=256).
+	N int
+	// TargetLag is the simulated target's delay in samples; the
+	// pipeline must find exactly this value.
+	TargetLag int
+	// NoiseSigma is the per-dimension receiver noise level.
+	NoiseSigma float64
+	// Seed drives the synthetic receiver noise.
+	Seed int64
+}
+
+// DefaultRangeParams mirrors the paper's configuration.
+func DefaultRangeParams() RangeParams {
+	return RangeParams{N: 256, TargetLag: 42, NoiseSigma: 0.05, Seed: 1}
+}
+
+const rangeSO = "range_detection.so"
+
+// RangeDetection builds the archetype with a synthetic return
+// embedded in the rx variable. Panics only on internally inconsistent
+// parameters (covered by tests); use Validate on the result.
+func RangeDetection(p RangeParams) *appmodel.AppSpec {
+	if p.N <= 0 || !kernels.IsPow2(p.N) {
+		panic(fmt.Sprintf("apps: range detection N=%d must be a power of two", p.N))
+	}
+	if p.TargetLag < 0 || p.TargetLag >= p.N {
+		panic(fmt.Sprintf("apps: target lag %d outside [0,%d)", p.TargetLag, p.N))
+	}
+	// Synthesise the received signal: the transmitted chirp delayed by
+	// the target lag plus receiver noise.
+	chirp := make([]complex64, p.N)
+	kernels.LFMChirp(chirp, 0.5)
+	rx := kernels.Delay(chirp, p.TargetLag)
+	rng := rand.New(rand.NewSource(p.Seed))
+	for i := range rx {
+		rx[i] += complex(float32(p.NoiseSigma*rng.NormFloat64()), float32(p.NoiseSigma*rng.NormFloat64()))
+	}
+
+	buf := p.N * 8
+	vars := map[string]appmodel.VariableSpec{
+		"n_samples":    scalarVar(int32(p.N)),
+		"lfm_waveform": bufVar(buf, nil),
+		"rx":           bufVar(buf, c64Bytes(rx)),
+		"X1":           bufVar(buf, nil),
+		"X2":           bufVar(buf, nil),
+		"corr":         bufVar(buf, nil),
+		"corr_time":    bufVar(buf, nil),
+		"lag":          outScalarVar(4),
+		"max_corr":     outScalarVar(8),
+	}
+
+	fft0CPU := cpuPlatform("range_detect_FFT_0_CPU", platform.KFFT, p.N)
+	fft0Acc, _ := fftPlatform("range_detect_FFT_0_ACCEL", platform.KFFT, p.N, buf)
+	fft1CPU := cpuPlatform("range_detect_FFT_1_CPU", platform.KFFT, p.N)
+	fft1Acc, _ := fftPlatform("range_detect_FFT_1_ACCEL", platform.KFFT, p.N, buf)
+	ifftCPU := cpuPlatform("range_detect_IFFT_CPU", platform.KIFFT, p.N)
+	ifftAcc, _ := fftPlatform("range_detect_IFFT_ACCEL", platform.KIFFT, p.N, buf)
+
+	dag := map[string]appmodel.NodeSpec{
+		"LFM": node(
+			[]string{"n_samples", "lfm_waveform"},
+			nil, []string{"FFT_1"},
+			cpuPlatform("range_detect_LFM", platform.KLFM, p.N),
+		),
+		"FFT_0": node(
+			[]string{"n_samples", "rx", "X1"},
+			nil, []string{"MUL"},
+			fft0CPU, fft0Acc,
+		),
+		"FFT_1": node(
+			[]string{"n_samples", "lfm_waveform", "X2"},
+			[]string{"LFM"}, []string{"MUL"},
+			fft1CPU, fft1Acc,
+		),
+		"MUL": node(
+			[]string{"n_samples", "X1", "X2", "corr"},
+			[]string{"FFT_0", "FFT_1"}, []string{"IFFT"},
+			cpuPlatform("range_detect_MUL", platform.KVecMulConj, p.N),
+		),
+		"IFFT": node(
+			[]string{"n_samples", "corr", "corr_time"},
+			[]string{"MUL"}, []string{"MAX"},
+			ifftCPU, ifftAcc,
+		),
+		"MAX": node(
+			[]string{"n_samples", "corr_time", "lag", "max_corr"},
+			[]string{"IFFT"}, nil,
+			cpuPlatform("range_detect_MAX", platform.KMaxAbs, p.N),
+		),
+	}
+
+	return &appmodel.AppSpec{
+		AppName:      NameRangeDetection,
+		SharedObject: rangeSO,
+		Variables:    vars,
+		DAG:          dag,
+	}
+}
+
+// CheckRangeDetection verifies the pipeline output inside an executed
+// instance memory: the detected lag must equal the synthesised target
+// lag.
+func CheckRangeDetection(mem *appmodel.Memory, p RangeParams) error {
+	lagV, err := mem.Lookup("lag")
+	if err != nil {
+		return err
+	}
+	if got := int(lagV.Int32()); got != p.TargetLag {
+		return fmt.Errorf("apps: range detection found lag %d, want %d", got, p.TargetLag)
+	}
+	magV, err := mem.Lookup("max_corr")
+	if err != nil {
+		return err
+	}
+	if magV.Float64() <= 0 {
+		return fmt.Errorf("apps: range detection peak magnitude %v not positive", magV.Float64())
+	}
+	return nil
+}
+
+// --- runfuncs ----------------------------------------------------------------
+
+// copyFFT copies src into dst and transforms dst in place.
+func copyFFT(dst, src []complex64, inverse bool) error {
+	copy(dst, src)
+	if inverse {
+		return kernels.IFFTInPlace(dst)
+	}
+	return kernels.FFTInPlace(dst)
+}
+
+func rdArgs(ctx *kernels.Context) (n int, err error) {
+	v, err := ctx.Arg(0)
+	if err != nil {
+		return 0, err
+	}
+	return int(v.Int32()), nil
+}
+
+func rdComplex(ctx *kernels.Context, idx, n int) ([]complex64, error) {
+	v, err := ctx.Arg(idx)
+	if err != nil {
+		return nil, err
+	}
+	cs := v.Complex64s()
+	if len(cs) < n {
+		return nil, fmt.Errorf("apps: %s: arg %d holds %d samples, need %d", ctx.Node, idx, len(cs), n)
+	}
+	return cs[:n], nil
+}
+
+func rdLFM(ctx *kernels.Context) error {
+	n, err := rdArgs(ctx)
+	if err != nil {
+		return err
+	}
+	buf, err := rdComplex(ctx, 1, n)
+	if err != nil {
+		return err
+	}
+	kernels.LFMChirp(buf, 0.5)
+	return nil
+}
+
+// rdFFT builds the FFT_0/FFT_1/IFFT runfuncs, which share the shape
+// (n, src, dst).
+func rdFFT(inverse bool) kernels.Func {
+	return func(ctx *kernels.Context) error {
+		n, err := rdArgs(ctx)
+		if err != nil {
+			return err
+		}
+		src, err := rdComplex(ctx, 1, n)
+		if err != nil {
+			return err
+		}
+		dst, err := rdComplex(ctx, 2, n)
+		if err != nil {
+			return err
+		}
+		return copyFFT(dst, src, inverse)
+	}
+}
+
+func rdMUL(ctx *kernels.Context) error {
+	n, err := rdArgs(ctx)
+	if err != nil {
+		return err
+	}
+	a, err := rdComplex(ctx, 1, n)
+	if err != nil {
+		return err
+	}
+	b, err := rdComplex(ctx, 2, n)
+	if err != nil {
+		return err
+	}
+	dst, err := rdComplex(ctx, 3, n)
+	if err != nil {
+		return err
+	}
+	return kernels.VecMulConj(dst, a, b)
+}
+
+func rdMAX(ctx *kernels.Context) error {
+	n, err := rdArgs(ctx)
+	if err != nil {
+		return err
+	}
+	buf, err := rdComplex(ctx, 1, n)
+	if err != nil {
+		return err
+	}
+	lagV, err := ctx.Arg(2)
+	if err != nil {
+		return err
+	}
+	magV, err := ctx.Arg(3)
+	if err != nil {
+		return err
+	}
+	idx, mag := kernels.MaxAbsIndex(buf)
+	lagV.SetInt32(int32(idx))
+	magV.SetFloat64(mag)
+	return nil
+}
+
+func registerRangeDetection(r *kernels.Registry) {
+	r.MustRegister(rangeSO, "range_detect_LFM", rdLFM)
+	r.MustRegister(rangeSO, "range_detect_FFT_0_CPU", rdFFT(false))
+	r.MustRegister(rangeSO, "range_detect_FFT_1_CPU", rdFFT(false))
+	r.MustRegister(rangeSO, "range_detect_IFFT_CPU", rdFFT(true))
+	r.MustRegister(rangeSO, "range_detect_MUL", rdMUL)
+	r.MustRegister(rangeSO, "range_detect_MAX", rdMAX)
+	// Accelerator entry points live in the accelerator interface
+	// library, referenced via the node's shared_object override as in
+	// Listing 1. Functionally identical; the resource manager owns
+	// the DMA timing difference.
+	r.MustRegister(kernels.SharedObjectFFTAccel, "range_detect_FFT_0_ACCEL", rdFFT(false))
+	r.MustRegister(kernels.SharedObjectFFTAccel, "range_detect_FFT_1_ACCEL", rdFFT(false))
+	r.MustRegister(kernels.SharedObjectFFTAccel, "range_detect_IFFT_ACCEL", rdFFT(true))
+}

@@ -1,0 +1,391 @@
+package apps
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/appmodel"
+	"repro/internal/kernels"
+	"repro/internal/platform"
+)
+
+// WiFi receiver (paper Figure 7, right column): matched-filter frame
+// synchronisation, payload extraction, FFT back to the frequency
+// domain, pilot removal, QPSK demodulation, deinterleaving, Viterbi
+// decoding, descrambling, and CRC check. Nine tasks, matching Table I.
+//
+// The archetype's rx_buffer variable carries a synthesised capture: a
+// real transmitter chain run through an AWGN channel and embedded at a
+// non-trivial offset in receiver noise, so a successful emulation
+// demonstrates true end-to-end functional correctness.
+
+const wifiRXSO = "wifi_rx.so"
+
+// wifiPayload derives the frame payload bits from the seed; TX and RX
+// builders share it so a TX/RX pair with equal params agrees.
+func wifiPayload(p WiFiParams) []byte {
+	rng := rand.New(rand.NewSource(p.Seed))
+	payload := make([]byte, p.PayloadBits)
+	for i := range payload {
+		payload[i] = byte(rng.Intn(2))
+	}
+	return payload
+}
+
+// synthesizeCapture runs the transmitter chain over the payload and
+// returns the noisy receiver capture buffer.
+func synthesizeCapture(p WiFiParams) ([]complex64, error) {
+	payload := wifiPayload(p)
+
+	scrambled := make([]byte, p.PayloadBits)
+	if err := kernels.Scramble(scrambled, payload, kernels.ScramblerSeed); err != nil {
+		return nil, err
+	}
+	withTail := append(append([]byte(nil), scrambled...), make([]byte, kernels.ConvTail)...)
+	coded := make([]byte, 2*len(withTail))
+	if err := kernels.ConvEncode(coded, withTail); err != nil {
+		return nil, err
+	}
+	interleaved := make([]byte, len(coded))
+	if err := kernels.Interleave(interleaved, coded, p.InterleaverRows); err != nil {
+		return nil, err
+	}
+	syms := make([]complex64, len(interleaved)/2)
+	if err := kernels.QPSKMod(syms, interleaved); err != nil {
+		return nil, err
+	}
+	framed := make([]complex64, p.framedSymbols())
+	if err := kernels.PilotInsert(framed, syms, p.PilotSpacing); err != nil {
+		return nil, err
+	}
+	timeBlock, err := ofdmTimeDomain(framed, p.SpectrumBins)
+	if err != nil {
+		return nil, err
+	}
+	frame := append(append([]complex64(nil), kernels.Preamble()...), timeBlock...)
+
+	// Channel: receiver noise floor plus AWGN on the frame itself.
+	rng := rand.New(rand.NewSource(p.Seed + 1))
+	capture := make([]complex64, p.RXBufferLen)
+	floor := float32(0.01)
+	for i := range capture {
+		capture[i] = complex(floor*float32(rng.NormFloat64()), floor*float32(rng.NormFloat64()))
+	}
+	noisy := make([]complex64, len(frame))
+	if err := kernels.AWGN(noisy, frame, p.SNRdB, rng); err != nil {
+		return nil, err
+	}
+	for i, s := range noisy {
+		capture[p.FrameOffset+i] += s
+	}
+	return capture, nil
+}
+
+// WiFiRX builds the receiver archetype.
+func WiFiRX(p WiFiParams) *appmodel.AppSpec {
+	p.check()
+	capture, err := synthesizeCapture(p)
+	if err != nil {
+		panic(fmt.Sprintf("apps: wifi rx synthesis failed: %v", err))
+	}
+	payload := wifiPayload(p)
+
+	coded := p.codedBits()
+	dataSyms := p.dataSymbols()
+	decodedLen := p.PayloadBits + kernels.ConvTail
+
+	vars := map[string]appmodel.VariableSpec{
+		"n_bits":       scalarVar(int32(p.PayloadBits)),
+		"geom":         scalarVar(geomWord(p)),
+		"rx_buffer":    bufVar(p.RXBufferLen*8, c64Bytes(capture)),
+		"frame_start":  outScalarVar(4),
+		"payload_time": bufVar(p.SpectrumBins*8, nil),
+		"data_syms":    bufVar(dataSyms*8, nil),
+		"demod_bits":   bufVar(coded, nil),
+		"deint_bits":   bufVar(coded, nil),
+		"decoded_bits": bufVar(decodedLen, nil),
+		"descrambled":  bufVar(p.PayloadBits, nil),
+		"crc_expected": scalarVar(int32(kernels.CRC32Bits(payload))),
+		"crc_ok":       outScalarVar(4),
+	}
+
+	// Matched-filter work scales with (buffer - preamble) * preamble.
+	mfWork := (p.RXBufferLen - kernels.PreambleLen + 1) * kernels.PreambleLen
+
+	fftCPU := cpuPlatform("wifi_rx_fft", platform.KFFT, p.SpectrumBins)
+	fftAcc, _ := fftPlatform("wifi_rx_fft_accel", platform.KFFT, p.SpectrumBins, p.SpectrumBins*8)
+
+	dag := map[string]appmodel.NodeSpec{
+		"MATCH_FILT": node(
+			[]string{"rx_buffer", "frame_start"},
+			nil, []string{"PAYLOAD_EXT"},
+			cpuPlatform("wifi_rx_match_filter", platform.KMatchFilter, mfWork),
+		),
+		"PAYLOAD_EXT": node(
+			[]string{"geom", "rx_buffer", "frame_start", "payload_time"},
+			[]string{"MATCH_FILT"}, []string{"FFT"},
+			cpuPlatform("wifi_rx_payload_extract", platform.KExtract, p.SpectrumBins),
+		),
+		"FFT": node(
+			[]string{"geom", "payload_time"},
+			[]string{"PAYLOAD_EXT"}, []string{"PILOT_RM"},
+			fftCPU, fftAcc,
+		),
+		"PILOT_RM": node(
+			[]string{"geom", "payload_time", "data_syms"},
+			[]string{"FFT"}, []string{"QPSK_DEMOD"},
+			cpuPlatform("wifi_rx_pilot_remove", platform.KPilotRemove, p.framedSymbols()),
+		),
+		"QPSK_DEMOD": node(
+			[]string{"data_syms", "demod_bits"},
+			[]string{"PILOT_RM"}, []string{"DEINTERLEAVE"},
+			cpuPlatform("wifi_rx_qpsk_demod", platform.KQPSKDemod, dataSyms),
+		),
+		"DEINTERLEAVE": node(
+			[]string{"geom", "demod_bits", "deint_bits"},
+			[]string{"QPSK_DEMOD"}, []string{"DECODE"},
+			cpuPlatform("wifi_rx_deinterleave", platform.KDeinterleave, coded),
+		),
+		"DECODE": node(
+			[]string{"deint_bits", "decoded_bits"},
+			[]string{"DEINTERLEAVE"}, []string{"DESCRAMBLE"},
+			cpuPlatform("wifi_rx_decode", platform.KViterbi, decodedLen),
+		),
+		"DESCRAMBLE": node(
+			[]string{"n_bits", "decoded_bits", "descrambled"},
+			[]string{"DECODE"}, []string{"CRC_CHECK"},
+			cpuPlatform("wifi_rx_descramble", platform.KScramble, p.PayloadBits),
+		),
+		"CRC_CHECK": node(
+			[]string{"n_bits", "descrambled", "crc_expected", "crc_ok"},
+			[]string{"DESCRAMBLE"}, nil,
+			cpuPlatform("wifi_rx_crc_check", platform.KCRC, p.PayloadBits),
+		),
+	}
+
+	return &appmodel.AppSpec{
+		AppName:      NameWiFiRX,
+		SharedObject: wifiRXSO,
+		Variables:    vars,
+		DAG:          dag,
+	}
+}
+
+// CheckWiFiRX verifies end-to-end decode: the CRC check passed and the
+// descrambled bits equal the transmitted payload.
+func CheckWiFiRX(mem *appmodel.Memory, p WiFiParams) error {
+	okV, err := mem.Lookup("crc_ok")
+	if err != nil {
+		return err
+	}
+	if okV.Int32() != 1 {
+		return fmt.Errorf("apps: wifi rx CRC check failed")
+	}
+	gotV, err := mem.Lookup("descrambled")
+	if err != nil {
+		return err
+	}
+	want := wifiPayload(p)
+	if !bytes.Equal(gotV.Bytes(), want) {
+		return fmt.Errorf("apps: wifi rx decoded payload differs from transmitted bits")
+	}
+	startV, err := mem.Lookup("frame_start")
+	if err != nil {
+		return err
+	}
+	if got := int(startV.Int32()); got != p.FrameOffset {
+		return fmt.Errorf("apps: wifi rx synchronised at %d, want %d", got, p.FrameOffset)
+	}
+	return nil
+}
+
+// --- runfuncs ----------------------------------------------------------------
+
+func rxMatchFilter(ctx *kernels.Context) error {
+	bufV, err := ctx.Arg(0)
+	if err != nil {
+		return err
+	}
+	outV, err := ctx.Arg(1)
+	if err != nil {
+		return err
+	}
+	lag, _ := kernels.MatchFilter(bufV.Complex64s(), kernels.Preamble())
+	if lag < 0 {
+		return fmt.Errorf("apps: %s: no frame found", ctx.Node)
+	}
+	outV.SetInt32(int32(lag))
+	return nil
+}
+
+func rxPayloadExtract(ctx *kernels.Context) error {
+	gV, err := ctx.Arg(0)
+	if err != nil {
+		return err
+	}
+	_, _, bins := geomUnpack(gV.Int32())
+	bufV, err := ctx.Arg(1)
+	if err != nil {
+		return err
+	}
+	startV, err := ctx.Arg(2)
+	if err != nil {
+		return err
+	}
+	dstV, err := ctx.Arg(3)
+	if err != nil {
+		return err
+	}
+	dst := dstV.Complex64s()
+	if len(dst) < bins {
+		return fmt.Errorf("apps: %s: payload buffer too small", ctx.Node)
+	}
+	return kernels.PayloadExtract(dst[:bins], bufV.Complex64s(), int(startV.Int32()), kernels.PreambleLen)
+}
+
+func rxFFT(ctx *kernels.Context) error {
+	gV, err := ctx.Arg(0)
+	if err != nil {
+		return err
+	}
+	_, _, bins := geomUnpack(gV.Int32())
+	bufV, err := ctx.Arg(1)
+	if err != nil {
+		return err
+	}
+	buf := bufV.Complex64s()
+	if len(buf) < bins {
+		return fmt.Errorf("apps: %s: spectrum buffer too small", ctx.Node)
+	}
+	return kernels.FFTInPlace(buf[:bins])
+}
+
+func rxPilotRemove(ctx *kernels.Context) error {
+	gV, err := ctx.Arg(0)
+	if err != nil {
+		return err
+	}
+	_, spacing, _ := geomUnpack(gV.Int32())
+	specV, err := ctx.Arg(1)
+	if err != nil {
+		return err
+	}
+	dstV, err := ctx.Arg(2)
+	if err != nil {
+		return err
+	}
+	dst := dstV.Complex64s()
+	framedLen := len(dst) + len(dst)/spacing
+	spec := specV.Complex64s()
+	if len(spec) < framedLen {
+		return fmt.Errorf("apps: %s: spectrum %d shorter than framed symbols %d", ctx.Node, len(spec), framedLen)
+	}
+	return kernels.PilotRemove(dst, spec[:framedLen], spacing)
+}
+
+func rxQPSKDemod(ctx *kernels.Context) error {
+	symsV, err := ctx.Arg(0)
+	if err != nil {
+		return err
+	}
+	dstV, err := ctx.Arg(1)
+	if err != nil {
+		return err
+	}
+	return kernels.QPSKDemod(dstV.Bytes(), symsV.Complex64s())
+}
+
+func rxDeinterleave(ctx *kernels.Context) error {
+	gV, err := ctx.Arg(0)
+	if err != nil {
+		return err
+	}
+	rows, _, _ := geomUnpack(gV.Int32())
+	srcV, err := ctx.Arg(1)
+	if err != nil {
+		return err
+	}
+	dstV, err := ctx.Arg(2)
+	if err != nil {
+		return err
+	}
+	return kernels.Deinterleave(dstV.Bytes(), srcV.Bytes(), rows)
+}
+
+func rxDecode(ctx *kernels.Context) error {
+	srcV, err := ctx.Arg(0)
+	if err != nil {
+		return err
+	}
+	dstV, err := ctx.Arg(1)
+	if err != nil {
+		return err
+	}
+	return kernels.ViterbiDecode(dstV.Bytes(), srcV.Bytes())
+}
+
+func rxDescramble(ctx *kernels.Context) error {
+	nV, err := ctx.Arg(0)
+	if err != nil {
+		return err
+	}
+	srcV, err := ctx.Arg(1)
+	if err != nil {
+		return err
+	}
+	dstV, err := ctx.Arg(2)
+	if err != nil {
+		return err
+	}
+	n := int(nV.Int32())
+	src := srcV.Bytes()
+	dst := dstV.Bytes()
+	if n > len(src) || n > len(dst) {
+		return fmt.Errorf("apps: %s: %d bits exceed buffers", ctx.Node, n)
+	}
+	return kernels.Scramble(dst[:n], src[:n], kernels.ScramblerSeed)
+}
+
+func rxCRCCheck(ctx *kernels.Context) error {
+	nV, err := ctx.Arg(0)
+	if err != nil {
+		return err
+	}
+	bitsV, err := ctx.Arg(1)
+	if err != nil {
+		return err
+	}
+	wantV, err := ctx.Arg(2)
+	if err != nil {
+		return err
+	}
+	okV, err := ctx.Arg(3)
+	if err != nil {
+		return err
+	}
+	n := int(nV.Int32())
+	bits := bitsV.Bytes()
+	if n > len(bits) {
+		return fmt.Errorf("apps: %s: %d bits exceed buffer", ctx.Node, n)
+	}
+	if kernels.CRC32Bits(bits[:n]) == uint32(wantV.Int32()) {
+		okV.SetInt32(1)
+	} else {
+		okV.SetInt32(0)
+	}
+	return nil
+}
+
+func registerWiFiRX(r *kernels.Registry) {
+	r.MustRegister(wifiRXSO, "wifi_rx_match_filter", rxMatchFilter)
+	r.MustRegister(wifiRXSO, "wifi_rx_payload_extract", rxPayloadExtract)
+	r.MustRegister(wifiRXSO, "wifi_rx_fft", rxFFT)
+	r.MustRegister(wifiRXSO, "wifi_rx_pilot_remove", rxPilotRemove)
+	r.MustRegister(wifiRXSO, "wifi_rx_qpsk_demod", rxQPSKDemod)
+	r.MustRegister(wifiRXSO, "wifi_rx_deinterleave", rxDeinterleave)
+	r.MustRegister(wifiRXSO, "wifi_rx_decode", rxDecode)
+	r.MustRegister(wifiRXSO, "wifi_rx_descramble", rxDescramble)
+	r.MustRegister(wifiRXSO, "wifi_rx_crc_check", rxCRCCheck)
+	r.MustRegister(kernels.SharedObjectFFTAccel, "wifi_rx_fft_accel", rxFFT)
+}

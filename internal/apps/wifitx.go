@@ -1,0 +1,387 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/appmodel"
+	"repro/internal/kernels"
+	"repro/internal/platform"
+)
+
+// WiFi transmitter (paper Figure 7, left column): 64 payload bits per
+// frame through scrambler, rate-1/2 convolutional encoder,
+// block interleaver, QPSK modulation, pilot insertion, IFFT into time
+// domain (with frame assembly behind the known preamble), and CRC.
+// Seven tasks, matching Table I.
+
+// WiFiParams parameterises both the transmitter and the receiver so a
+// TX/RX pair agrees on frame geometry.
+type WiFiParams struct {
+	// PayloadBits is the frame payload size (the paper's 64 bits).
+	PayloadBits int
+	// InterleaverRows is the block interleaver depth.
+	InterleaverRows int
+	// PilotSpacing inserts one pilot after this many data symbols.
+	PilotSpacing int
+	// SpectrumBins is the IFFT/FFT length (power of two).
+	SpectrumBins int
+	// RXBufferLen is the receiver capture buffer length in samples.
+	RXBufferLen int
+	// FrameOffset is where the frame starts inside the RX capture.
+	FrameOffset int
+	// SNRdB is the synthetic channel quality for the RX archetype.
+	SNRdB float64
+	// Seed drives payload generation and channel noise.
+	Seed int64
+}
+
+// DefaultWiFiParams reproduces the paper's 64-bit frame geometry:
+// 64 payload bits -> scramble (64) -> encode with 6 tail bits (140
+// coded bits) -> interleave (10x14) -> QPSK (70 symbols) -> pilots
+// every 7 data symbols (80 symbols) -> 128-bin IFFT.
+func DefaultWiFiParams() WiFiParams {
+	return WiFiParams{
+		PayloadBits:     64,
+		InterleaverRows: 10,
+		PilotSpacing:    7,
+		SpectrumBins:    128,
+		RXBufferLen:     256,
+		FrameOffset:     24,
+		SNRdB:           22,
+		Seed:            3,
+	}
+}
+
+// Derived frame geometry.
+func (p WiFiParams) codedBits() int   { return 2 * (p.PayloadBits + kernels.ConvTail) }
+func (p WiFiParams) dataSymbols() int { return p.codedBits() / 2 }
+func (p WiFiParams) framedSymbols() int {
+	return p.dataSymbols() + p.dataSymbols()/p.PilotSpacing
+}
+func (p WiFiParams) frameLen() int { return kernels.PreambleLen + p.SpectrumBins }
+
+func (p WiFiParams) check() {
+	if p.PayloadBits <= 0 || p.codedBits()%2 != 0 {
+		panic(fmt.Sprintf("apps: wifi payload %d invalid", p.PayloadBits))
+	}
+	if p.codedBits()%p.InterleaverRows != 0 {
+		panic(fmt.Sprintf("apps: wifi coded bits %d not divisible by %d interleaver rows",
+			p.codedBits(), p.InterleaverRows))
+	}
+	if p.dataSymbols()%p.PilotSpacing != 0 {
+		panic(fmt.Sprintf("apps: wifi data symbols %d not divisible by pilot spacing %d",
+			p.dataSymbols(), p.PilotSpacing))
+	}
+	if !kernels.IsPow2(p.SpectrumBins) || p.framedSymbols() > p.SpectrumBins {
+		panic(fmt.Sprintf("apps: wifi spectrum bins %d cannot hold %d framed symbols",
+			p.SpectrumBins, p.framedSymbols()))
+	}
+	if p.FrameOffset < 0 || p.FrameOffset+p.frameLen() > p.RXBufferLen {
+		panic(fmt.Sprintf("apps: wifi frame [%d,%d) outside capture buffer %d",
+			p.FrameOffset, p.FrameOffset+p.frameLen(), p.RXBufferLen))
+	}
+}
+
+const wifiTXSO = "wifi_tx.so"
+
+// WiFiTX builds the transmitter archetype with a seeded random
+// payload.
+func WiFiTX(p WiFiParams) *appmodel.AppSpec {
+	p.check()
+	rng := rand.New(rand.NewSource(p.Seed))
+	payload := make([]byte, p.PayloadBits)
+	for i := range payload {
+		payload[i] = byte(rng.Intn(2))
+	}
+
+	coded := p.codedBits()
+	dataSyms := p.dataSymbols()
+	framed := p.framedSymbols()
+
+	vars := map[string]appmodel.VariableSpec{
+		"n_bits":       scalarVar(int32(p.PayloadBits)),
+		"payload_bits": bufVar(p.PayloadBits, payload),
+		"scrambled":    bufVar(p.PayloadBits, nil),
+		"encoded":      bufVar(coded, nil),
+		"interleaved":  bufVar(coded, nil),
+		"mod_syms":     bufVar(dataSyms*8, nil),
+		"framed_syms":  bufVar(framed*8, nil),
+		"tx_frame":     bufVar(p.frameLen()*8, nil),
+		"crc_out":      outScalarVar(4),
+		"geom":         scalarVar(geomWord(p)),
+	}
+
+	ifftCPU := cpuPlatform("wifi_tx_ifft", platform.KIFFT, p.SpectrumBins)
+	ifftAcc, _ := fftPlatform("wifi_tx_ifft_accel", platform.KIFFT, p.SpectrumBins, p.SpectrumBins*8)
+
+	dag := map[string]appmodel.NodeSpec{
+		"SCRAMBLE": node(
+			[]string{"n_bits", "payload_bits", "scrambled"},
+			nil, []string{"ENCODE"},
+			cpuPlatform("wifi_tx_scramble", platform.KScramble, p.PayloadBits),
+		),
+		"ENCODE": node(
+			[]string{"n_bits", "scrambled", "encoded"},
+			[]string{"SCRAMBLE"}, []string{"INTERLEAVE"},
+			cpuPlatform("wifi_tx_encode", platform.KConvEncode, p.PayloadBits+kernels.ConvTail),
+		),
+		"INTERLEAVE": node(
+			[]string{"geom", "encoded", "interleaved"},
+			[]string{"ENCODE"}, []string{"QPSK_MOD"},
+			cpuPlatform("wifi_tx_interleave", platform.KInterleave, coded),
+		),
+		"QPSK_MOD": node(
+			[]string{"geom", "interleaved", "mod_syms"},
+			[]string{"INTERLEAVE"}, []string{"PILOT_INS"},
+			cpuPlatform("wifi_tx_qpsk_mod", platform.KQPSKMod, dataSyms),
+		),
+		"PILOT_INS": node(
+			[]string{"geom", "mod_syms", "framed_syms"},
+			[]string{"QPSK_MOD"}, []string{"IFFT"},
+			cpuPlatform("wifi_tx_pilot_insert", platform.KPilotInsert, framed),
+		),
+		"IFFT": node(
+			[]string{"geom", "framed_syms", "tx_frame"},
+			[]string{"PILOT_INS"}, []string{"CRC"},
+			ifftCPU, ifftAcc,
+		),
+		"CRC": node(
+			[]string{"n_bits", "payload_bits", "crc_out"},
+			[]string{"IFFT"}, nil,
+			cpuPlatform("wifi_tx_crc", platform.KCRC, p.PayloadBits),
+		),
+	}
+
+	return &appmodel.AppSpec{
+		AppName:      NameWiFiTX,
+		SharedObject: wifiTXSO,
+		Variables:    vars,
+		DAG:          dag,
+	}
+}
+
+// CheckWiFiTX verifies that the transmitter produced a frame (preamble
+// in place, CRC recorded).
+func CheckWiFiTX(mem *appmodel.Memory, p WiFiParams) error {
+	frameV, err := mem.Lookup("tx_frame")
+	if err != nil {
+		return err
+	}
+	frame := frameV.Complex64s()
+	pre := kernels.Preamble()
+	for i := range pre {
+		if frame[i] != pre[i] {
+			return fmt.Errorf("apps: wifi tx frame missing preamble at %d", i)
+		}
+	}
+	crcV, err := mem.Lookup("crc_out")
+	if err != nil {
+		return err
+	}
+	payloadV, err := mem.Lookup("payload_bits")
+	if err != nil {
+		return err
+	}
+	want := kernels.CRC32Bits(payloadV.Bytes())
+	if uint32(crcV.Int32()) != want {
+		return fmt.Errorf("apps: wifi tx crc %#x, want %#x", uint32(crcV.Int32()), want)
+	}
+	return nil
+}
+
+// --- geometry word -----------------------------------------------------------
+//
+// Several kernels need more than one geometry parameter; rather than a
+// variable per parameter they receive one packed scalar, mirroring the
+// C kernels' config word: rows (8 bits) | pilot spacing (8 bits) |
+// spectrum bins (16 bits).
+
+func geomWord(p WiFiParams) int32 {
+	return int32(p.InterleaverRows) | int32(p.PilotSpacing)<<8 | int32(p.SpectrumBins)<<16
+}
+
+func geomUnpack(w int32) (rows, spacing, bins int) {
+	return int(w & 0xFF), int((w >> 8) & 0xFF), int((w >> 16) & 0xFFFF)
+}
+
+// --- runfuncs ----------------------------------------------------------------
+
+func txBits(ctx *kernels.Context, idx int) ([]byte, error) {
+	v, err := ctx.Arg(idx)
+	if err != nil {
+		return nil, err
+	}
+	return v.Bytes(), nil
+}
+
+func txScramble(ctx *kernels.Context) error {
+	nV, err := ctx.Arg(0)
+	if err != nil {
+		return err
+	}
+	src, err := txBits(ctx, 1)
+	if err != nil {
+		return err
+	}
+	dst, err := txBits(ctx, 2)
+	if err != nil {
+		return err
+	}
+	n := int(nV.Int32())
+	if n > len(src) || n > len(dst) {
+		return fmt.Errorf("apps: %s: %d bits exceed buffers", ctx.Node, n)
+	}
+	return kernels.Scramble(dst[:n], src[:n], kernels.ScramblerSeed)
+}
+
+func txEncode(ctx *kernels.Context) error {
+	nV, err := ctx.Arg(0)
+	if err != nil {
+		return err
+	}
+	src, err := txBits(ctx, 1)
+	if err != nil {
+		return err
+	}
+	dst, err := txBits(ctx, 2)
+	if err != nil {
+		return err
+	}
+	n := int(nV.Int32())
+	withTail := append(append([]byte(nil), src[:n]...), make([]byte, kernels.ConvTail)...)
+	want := 2 * len(withTail)
+	if len(dst) < want {
+		return fmt.Errorf("apps: %s: encoded buffer %d < %d", ctx.Node, len(dst), want)
+	}
+	return kernels.ConvEncode(dst[:want], withTail)
+}
+
+func txInterleave(ctx *kernels.Context) error {
+	gV, err := ctx.Arg(0)
+	if err != nil {
+		return err
+	}
+	rows, _, _ := geomUnpack(gV.Int32())
+	src, err := txBits(ctx, 1)
+	if err != nil {
+		return err
+	}
+	dst, err := txBits(ctx, 2)
+	if err != nil {
+		return err
+	}
+	return kernels.Interleave(dst, src, rows)
+}
+
+func txQPSKMod(ctx *kernels.Context) error {
+	src, err := txBits(ctx, 1)
+	if err != nil {
+		return err
+	}
+	dstV, err := ctx.Arg(2)
+	if err != nil {
+		return err
+	}
+	return kernels.QPSKMod(dstV.Complex64s(), src)
+}
+
+func txPilotInsert(ctx *kernels.Context) error {
+	gV, err := ctx.Arg(0)
+	if err != nil {
+		return err
+	}
+	_, spacing, _ := geomUnpack(gV.Int32())
+	srcV, err := ctx.Arg(1)
+	if err != nil {
+		return err
+	}
+	dstV, err := ctx.Arg(2)
+	if err != nil {
+		return err
+	}
+	return kernels.PilotInsert(dstV.Complex64s(), srcV.Complex64s(), spacing)
+}
+
+// ofdmTimeDomain converts framed frequency-domain symbols into the
+// transmitted time-domain block: the symbols occupy the low bins,
+// scaled by sqrt(bins) so the time-domain signal keeps near-unit
+// power through the normalised IFFT (standard OFDM power scaling).
+func ofdmTimeDomain(framed []complex64, bins int) ([]complex64, error) {
+	spectrum := make([]complex64, bins)
+	scale := float32(math.Sqrt(float64(bins)))
+	for i, s := range framed {
+		if i >= bins {
+			break
+		}
+		spectrum[i] = complex(real(s)*scale, imag(s)*scale)
+	}
+	if err := kernels.IFFTInPlace(spectrum); err != nil {
+		return nil, err
+	}
+	return spectrum, nil
+}
+
+// txIFFT places the framed symbols into the low spectrum bins,
+// transforms to time domain, and assembles the frame behind the known
+// preamble.
+func txIFFT(ctx *kernels.Context) error {
+	gV, err := ctx.Arg(0)
+	if err != nil {
+		return err
+	}
+	_, _, bins := geomUnpack(gV.Int32())
+	framedV, err := ctx.Arg(1)
+	if err != nil {
+		return err
+	}
+	frameV, err := ctx.Arg(2)
+	if err != nil {
+		return err
+	}
+	framed := framedV.Complex64s()
+	frame := frameV.Complex64s()
+	if len(frame) < kernels.PreambleLen+bins {
+		return fmt.Errorf("apps: %s: frame buffer %d too small", ctx.Node, len(frame))
+	}
+	timeBlock, err := ofdmTimeDomain(framed, bins)
+	if err != nil {
+		return err
+	}
+	copy(frame, kernels.Preamble())
+	copy(frame[kernels.PreambleLen:], timeBlock)
+	return nil
+}
+
+func txCRC(ctx *kernels.Context) error {
+	nV, err := ctx.Arg(0)
+	if err != nil {
+		return err
+	}
+	bits, err := txBits(ctx, 1)
+	if err != nil {
+		return err
+	}
+	outV, err := ctx.Arg(2)
+	if err != nil {
+		return err
+	}
+	n := int(nV.Int32())
+	if n > len(bits) {
+		return fmt.Errorf("apps: %s: %d bits exceed buffer", ctx.Node, n)
+	}
+	outV.SetInt32(int32(kernels.CRC32Bits(bits[:n])))
+	return nil
+}
+
+func registerWiFiTX(r *kernels.Registry) {
+	r.MustRegister(wifiTXSO, "wifi_tx_scramble", txScramble)
+	r.MustRegister(wifiTXSO, "wifi_tx_encode", txEncode)
+	r.MustRegister(wifiTXSO, "wifi_tx_interleave", txInterleave)
+	r.MustRegister(wifiTXSO, "wifi_tx_qpsk_mod", txQPSKMod)
+	r.MustRegister(wifiTXSO, "wifi_tx_pilot_insert", txPilotInsert)
+	r.MustRegister(wifiTXSO, "wifi_tx_ifft", txIFFT)
+	r.MustRegister(wifiTXSO, "wifi_tx_crc", txCRC)
+	r.MustRegister(kernels.SharedObjectFFTAccel, "wifi_tx_ifft_accel", txIFFT)
+}

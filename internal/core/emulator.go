@@ -1,0 +1,532 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/appmodel"
+	"repro/internal/kernels"
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/vtime"
+)
+
+// ExecTiming selects how task durations are obtained.
+type ExecTiming int
+
+const (
+	// Modeled uses the calibrated platform timing model (the default;
+	// fully deterministic).
+	Modeled ExecTiming = iota
+	// Measured times the actual Go kernel execution on the host and
+	// scales it by the PE speed factor — closer in spirit to the
+	// paper's real-hardware emulation, but host-dependent.
+	Measured
+)
+
+// Overhead charging weights: abstract operation counts for the
+// workload-manager work that the paper's Figure 10b measures around
+// the policy invocation itself (completion monitoring, ready-queue
+// update, communicating tasks to resource managers). Multiplied by the
+// overlay core's SchedOpNS.
+const (
+	// monitorOpsPerPE covers acquiring the resource-handler lock,
+	// reading the status field, and updating the ready list.
+	monitorOpsPerPE = 6
+	// dispatchOpsPerTask covers transferring one scheduled task to its
+	// resource manager through the handler.
+	dispatchOpsPerTask = 10
+	// invocationBaseOps is the fixed entry/exit cost per scheduler
+	// invocation.
+	invocationBaseOps = 8
+	// measuredAccelComputeFactor scales a host-measured CPU kernel
+	// time to the accelerator's compute time in Measured mode (the
+	// pipelined IP computes faster than the A53 but sits behind DMA).
+	measuredAccelComputeFactor = 0.12
+)
+
+// Options configures an Emulator.
+type Options struct {
+	// Config is the emulated DSSoC hardware configuration.
+	Config *platform.Config
+	// Policy is the task scheduling heuristic.
+	Policy sched.Policy
+	// Registry resolves runfunc symbols; kernels.Default() plus the
+	// application library is typical.
+	Registry *kernels.Registry
+	// Seed drives the jitter model (and nothing else).
+	Seed int64
+	// JitterSigma is the log-normal run-to-run noise level; 0 for
+	// fully deterministic timing.
+	JitterSigma float64
+	// Timing selects modeled or host-measured task durations.
+	Timing ExecTiming
+	// SkipExecution disables functional kernel execution, leaving a
+	// pure timing simulation. Used by large scheduler sweeps where
+	// the numeric results are not inspected.
+	SkipExecution bool
+}
+
+// Arrival pairs an application archetype with its injection timestamp
+// relative to the emulation reference start time.
+type Arrival struct {
+	Spec *appmodel.AppSpec
+	At   vtime.Time
+}
+
+// Emulator runs one emulation: it owns the virtual clock, the resource
+// handlers, and the statistics collector.
+type Emulator struct {
+	opts     Options
+	clock    vtime.Clock
+	jitter   *vtime.Jitter
+	handlers []*ResourceHandler
+
+	ready     []*Task
+	instances []*AppInstance
+
+	report            *stats.Report
+	pendingMonitorOps int
+}
+
+// New validates the options and builds an emulator.
+func New(opts Options) (*Emulator, error) {
+	if opts.Config == nil || len(opts.Config.PEs) == 0 {
+		return nil, fmt.Errorf("core: configuration with at least one PE required")
+	}
+	if opts.Policy == nil {
+		return nil, fmt.Errorf("core: scheduling policy required")
+	}
+	if opts.Registry == nil {
+		return nil, fmt.Errorf("core: kernel registry required")
+	}
+	e := &Emulator{
+		opts:   opts,
+		jitter: vtime.NewJitter(opts.Seed, opts.JitterSigma),
+	}
+	for _, pe := range opts.Config.PEs {
+		e.handlers = append(e.handlers, &ResourceHandler{PE: pe, status: StatusIdle})
+	}
+	return e, nil
+}
+
+// instantiate performs the application handler's parse-time work for
+// one workload entry: memory allocation/initialisation and runfunc
+// symbol resolution, failing fast on unknown symbols or unsupported
+// platforms exactly as the paper's parser does.
+func (e *Emulator) instantiate(spec *appmodel.AppSpec, index int, arrival vtime.Time) (*AppInstance, error) {
+	mem, err := appmodel.NewMemory(spec)
+	if err != nil {
+		return nil, err
+	}
+	inst := &AppInstance{
+		Spec:    spec,
+		Index:   index,
+		Arrival: arrival,
+		Mem:     mem,
+		Tasks:   make(map[string]*Task, len(spec.DAG)),
+	}
+	for name, node := range spec.DAG {
+		t := &Task{
+			App:            inst,
+			Name:           name,
+			Spec:           node,
+			funcs:          make(map[string]kernels.Func, len(node.Platforms)),
+			remainingPreds: len(node.Predecessors),
+		}
+		supported := false
+		for _, p := range node.Platforms {
+			so := p.SharedObject
+			if so == "" {
+				so = spec.SharedObject
+			}
+			f, err := e.opts.Registry.Lookup(so, p.RunFunc)
+			if err != nil {
+				return nil, fmt.Errorf("core: %s node %s: %w", spec.AppName, name, err)
+			}
+			t.funcs[p.Name] = f
+			t.choices = append(t.choices, sched.PlatformChoice{Key: p.Name, CostNS: p.CostNS})
+			if e.opts.Config.SupportsKey(p.Name) {
+				supported = true
+			}
+		}
+		if !supported {
+			return nil, fmt.Errorf("core: %s node %s supports no PE present in config %s",
+				spec.AppName, name, e.opts.Config.Name)
+		}
+		inst.Tasks[name] = t
+	}
+	inst.remaining = len(inst.Tasks)
+	return inst, nil
+}
+
+// Run executes the emulation for the given workload and returns the
+// collected statistics. The emulator is single-use: each Run starts a
+// fresh clock and fresh state.
+func (e *Emulator) Run(arrivals []Arrival) (*stats.Report, error) {
+	e.clock.Reset()
+	e.ready = nil
+	e.instances = nil
+	e.pendingMonitorOps = 0
+	// Re-seed so repeated Runs of one emulator are identical.
+	e.jitter = vtime.NewJitter(e.opts.Seed, e.opts.JitterSigma)
+	for _, h := range e.handlers {
+		h.status = StatusIdle
+		h.current = nil
+		h.busyUntil = 0
+		h.queue = nil
+		h.busyNS = 0
+		h.tasks = 0
+	}
+	e.report = &stats.Report{
+		ConfigName: e.opts.Config.Name,
+		PolicyName: e.opts.Policy.Name(),
+	}
+
+	// Initialisation phase: instantiate every workload entry (memory
+	// allocation + symbol resolution), then sort the workload queue by
+	// arrival time.
+	sorted := append([]Arrival(nil), arrivals...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].At < sorted[j].At })
+	for i, a := range sorted {
+		if a.Spec == nil {
+			return nil, fmt.Errorf("core: workload entry %d has no application", i)
+		}
+		if a.At < 0 {
+			return nil, fmt.Errorf("core: workload entry %d has negative arrival %v", i, a.At)
+		}
+		inst, err := e.instantiate(a.Spec, i, a.At)
+		if err != nil {
+			return nil, err
+		}
+		e.instances = append(e.instances, inst)
+	}
+
+	if err := e.loop(); err != nil {
+		return nil, err
+	}
+
+	e.report.Makespan = vtime.Duration(e.clock.Now())
+	for _, h := range e.handlers {
+		e.report.PEs = append(e.report.PEs, stats.PEStats{
+			PEID:    h.PE.ID,
+			Label:   h.PE.Label(),
+			BusyNS:  h.busyNS,
+			Tasks:   h.tasks,
+			EnergyJ: float64(h.busyNS) * h.PE.Type.PowerW * 1e-9,
+		})
+	}
+	return e.report, nil
+}
+
+// loop is the workload manager's execution flow (Figure 3) as a
+// discrete-event loop.
+func (e *Emulator) loop() error {
+	next := 0 // next workload-queue entry to inject
+	dirty := true
+	for {
+		now := e.clock.Now()
+
+		// Inject applications whose arrival time has passed.
+		for next < len(e.instances) && e.instances[next].Arrival <= now {
+			inst := e.instances[next]
+			next++
+			inst.injected = now
+			for _, head := range inst.Spec.Heads() {
+				t := inst.Tasks[head]
+				t.readyAt = now
+				e.ready = append(e.ready, t)
+			}
+			dirty = true
+		}
+
+		// Monitor running PEs; collect completions and update the
+		// ready list with newly unblocked tasks.
+		completions := 0
+		for _, h := range e.handlers {
+			if h.status == StatusRun && h.busyUntil <= now {
+				h.status = StatusComplete
+			}
+			if h.status == StatusComplete {
+				e.completeTask(h, now)
+				completions++
+				// Reservation-queue PEs pull their next task locally,
+				// without waiting for a scheduler invocation — the
+				// low-overhead dispatch the paper's future work
+				// targets.
+				if len(h.queue) > 0 {
+					nextTask := h.queue[0]
+					h.queue = h.queue[1:]
+					if err := e.dispatch(nextTask, h, now); err != nil {
+						return err
+					}
+				} else {
+					h.status = StatusIdle
+				}
+			}
+		}
+		if completions > 0 {
+			// The reference workload manager processes one completion
+			// per poll of its loop, scanning every resource handler's
+			// status field under its lock each time — so the charged
+			// monitoring cost is one full handler scan per collected
+			// completion. This PE-count proportionality is what makes
+			// large configurations on a slow overlay lose ground
+			// (Figure 11's 4BIG+3LTL inversion).
+			e.pendingMonitorOps += monitorOpsPerPE * len(e.handlers) * completions
+			dirty = true
+		}
+
+		// Run the heuristic scheduler over the ready list.
+		if dirty && len(e.ready) > 0 {
+			if _, err := e.schedule(); err != nil {
+				return err
+			}
+			dirty = false
+			// The overhead charge moved the clock; re-observe state
+			// (arrivals or completions may have become due) before
+			// advancing to the next event.
+			continue
+		}
+		dirty = false
+
+		// Advance the clock to the next event.
+		nextEvent := vtime.Time(math.MaxInt64)
+		if next < len(e.instances) {
+			nextEvent = e.instances[next].Arrival
+		}
+		anyRunning := false
+		for _, h := range e.handlers {
+			if h.status == StatusRun {
+				anyRunning = true
+				if h.busyUntil < nextEvent {
+					nextEvent = h.busyUntil
+				}
+			}
+		}
+		if !anyRunning && next >= len(e.instances) {
+			if len(e.ready) > 0 {
+				return fmt.Errorf("core: %d ready tasks cannot be scheduled on config %s (policy %s): first is %s",
+					len(e.ready), e.opts.Config.Name, e.opts.Policy.Name(), e.ready[0].Label())
+			}
+			return nil // emulation complete
+		}
+		if nextEvent == vtime.Time(math.MaxInt64) {
+			return fmt.Errorf("core: emulation stalled with no future event")
+		}
+		if nextEvent > now {
+			if err := e.clock.AdvanceTo(nextEvent); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// schedule invokes the policy, charges the workload-manager overhead
+// on the virtual clock (the overlay core is the serialising resource),
+// and dispatches the returned assignments. Returns whether any task
+// was dispatched or queued.
+func (e *Emulator) schedule() (bool, error) {
+	now := e.clock.Now()
+	readyViews := make([]sched.Task, len(e.ready))
+	for i, t := range e.ready {
+		readyViews[i] = t
+	}
+	peViews := make([]sched.PE, len(e.handlers))
+	for i, h := range e.handlers {
+		peViews[i] = h
+	}
+	res := e.opts.Policy.Schedule(now, readyViews, peViews)
+
+	ops := res.Ops + e.pendingMonitorOps + invocationBaseOps +
+		dispatchOpsPerTask*len(res.Assignments)
+	e.pendingMonitorOps = 0
+	overhead := vtime.Duration(float64(ops) * e.opts.Config.Overlay.SchedOpNS)
+	e.report.Sched.Invocations++
+	e.report.Sched.TotalOps += int64(ops)
+	e.report.Sched.OverheadNS += int64(overhead)
+	e.report.Sched.TotalReadyLn += int64(len(e.ready))
+	if len(e.ready) > e.report.Sched.MaxReadyLen {
+		e.report.Sched.MaxReadyLen = len(e.ready)
+	}
+	if err := e.clock.Advance(overhead); err != nil {
+		return false, err
+	}
+	dispatchAt := e.clock.Now()
+
+	if len(res.Assignments) == 0 {
+		return false, nil
+	}
+	// Validate and apply the batch.
+	taken := make(map[int]bool, len(res.Assignments))
+	remove := make([]bool, len(e.ready))
+	for _, a := range res.Assignments {
+		if a.TaskIndex < 0 || a.TaskIndex >= len(e.ready) || a.PEIndex < 0 || a.PEIndex >= len(e.handlers) {
+			return false, fmt.Errorf("core: policy %s produced out-of-range assignment %+v", e.opts.Policy.Name(), a)
+		}
+		if remove[a.TaskIndex] {
+			return false, fmt.Errorf("core: policy %s assigned task %d twice", e.opts.Policy.Name(), a.TaskIndex)
+		}
+		h := e.handlers[a.PEIndex]
+		t := e.ready[a.TaskIndex]
+		if _, ok := t.Spec.PlatformFor(h.PE.Type.Key); !ok {
+			return false, fmt.Errorf("core: policy %s sent %s to unsupported PE %s",
+				e.opts.Policy.Name(), t.Label(), h.PE.Label())
+		}
+		if h.status != StatusIdle {
+			if !e.opts.Policy.UsesQueues() {
+				return false, fmt.Errorf("core: policy %s assigned busy PE %s", e.opts.Policy.Name(), h.PE.Label())
+			}
+			h.queue = append(h.queue, t)
+		} else if taken[a.PEIndex] {
+			if !e.opts.Policy.UsesQueues() {
+				return false, fmt.Errorf("core: policy %s double-booked PE %s", e.opts.Policy.Name(), h.PE.Label())
+			}
+			h.queue = append(h.queue, t)
+		} else {
+			if err := e.dispatch(t, h, dispatchAt); err != nil {
+				return false, err
+			}
+			taken[a.PEIndex] = true
+		}
+		remove[a.TaskIndex] = true
+	}
+	kept := e.ready[:0]
+	for i, t := range e.ready {
+		if !remove[i] {
+			kept = append(kept, t)
+		}
+	}
+	e.ready = kept
+	return true, nil
+}
+
+// dispatch starts a task on a PE: functional execution against the
+// instance memory plus the duration model of the resource manager
+// (Figure 4): direct execution on cores, DMA-in / compute / DMA-out on
+// accelerators with host-core contention.
+func (e *Emulator) dispatch(t *Task, h *ResourceHandler, now vtime.Time) error {
+	key := h.PE.Type.Key
+	plat, ok := t.Spec.PlatformFor(key)
+	if !ok {
+		return fmt.Errorf("core: dispatch of %s to unsupported PE %s", t.Label(), h.PE.Label())
+	}
+
+	var measuredNS int64
+	if !e.opts.SkipExecution {
+		f := t.funcs[key]
+		ctx := &kernels.Context{Mem: t.App.Mem, Args: t.Spec.Arguments, Node: t.Name}
+		start := time.Now()
+		if err := f(ctx); err != nil {
+			return fmt.Errorf("core: task %s failed on %s: %w", t.Label(), h.PE.Label(), err)
+		}
+		measuredNS = time.Since(start).Nanoseconds()
+	}
+
+	dur, busy := e.taskDuration(t, h, plat, measuredNS)
+	t.assignedKey = key
+	t.busyDur = busy
+	t.start = now
+	t.end = now.Add(dur)
+	h.current = t
+	h.status = StatusRun
+	h.busyUntil = t.end
+	return nil
+}
+
+// taskDuration applies the timing model. It returns the task's total
+// occupancy of the PE slot and the portion that counts as PE "usage"
+// for utilisation statistics: for CPU cores the two coincide, but an
+// accelerator is only in use while computing and streaming data — the
+// host-side DMA setup and manager-thread contention leave the IP idle,
+// which is why the paper's Figure 9b shows FFT accelerator utilisation
+// far below CPU utilisation.
+func (e *Emulator) taskDuration(t *Task, h *ResourceHandler, plat appmodel.PlatformSpec, measuredNS int64) (total, busy vtime.Duration) {
+	var base, used float64
+	switch h.PE.Type.Class {
+	case platform.CPU:
+		cost := float64(plat.CostNS)
+		if e.opts.Timing == Measured && measuredNS > 0 {
+			cost = float64(measuredNS)
+		}
+		base = cost * h.PE.Type.SpeedFactor
+		used = base
+	case platform.Accelerator:
+		compute := float64(plat.ComputeNS)
+		if compute == 0 {
+			compute = float64(plat.CostNS)
+		}
+		if e.opts.Timing == Measured && measuredNS > 0 {
+			compute = float64(measuredNS) * measuredAccelComputeFactor
+		}
+		bytes := t.App.Spec.DataBytes(t.Name)
+		xfer := e.opts.Config.DMA.TransferNS(bytes, h.PE.Share) * 2
+		base = compute + xfer
+		stream := 2 * float64(bytes) * e.opts.Config.DMA.NSPerByte
+		used = compute + stream
+	}
+	if base < 1 {
+		base = 1
+	}
+	if used > base {
+		used = base
+	}
+	total = e.jitter.Scale(vtime.Duration(base))
+	// Scale the busy share proportionally with the jitter.
+	busy = vtime.Duration(float64(total) * used / base)
+	return total, busy
+}
+
+// completeTask finalises the task on handler h at virtual time now:
+// records statistics, decrements successors' predecessor counts, and
+// appends newly-ready tasks to the ready list.
+func (e *Emulator) completeTask(h *ResourceHandler, now vtime.Time) {
+	t := h.current
+	h.current = nil
+	h.busyNS += int64(t.busyDur)
+	h.tasks++
+
+	e.report.Tasks = append(e.report.Tasks, stats.TaskRecord{
+		App:      t.App.Spec.AppName,
+		Instance: t.App.Index,
+		Node:     t.Name,
+		PEID:     h.PE.ID,
+		PELabel:  h.PE.Label(),
+		Platform: t.assignedKey,
+		Ready:    t.readyAt,
+		Start:    t.start,
+		End:      t.end,
+	})
+
+	inst := t.App
+	inst.remaining--
+	if inst.remaining == 0 {
+		inst.done = now
+		e.report.Apps = append(e.report.Apps, stats.AppRecord{
+			App:      inst.Spec.AppName,
+			Instance: inst.Index,
+			Arrival:  inst.Arrival,
+			Injected: inst.injected,
+			Done:     now,
+			Tasks:    len(inst.Tasks),
+		})
+	}
+	for _, succ := range t.Spec.Successors {
+		st := inst.Tasks[succ]
+		st.remainingPreds--
+		if st.remainingPreds == 0 {
+			st.readyAt = now
+			e.ready = append(e.ready, st)
+		}
+	}
+}
+
+// Handlers exposes the resource handlers for tests.
+func (e *Emulator) Handlers() []*ResourceHandler { return e.handlers }
+
+// Instances exposes the instantiated applications of the last Run so
+// callers can inspect final variable memory (functional verification).
+func (e *Emulator) Instances() []*AppInstance { return e.instances }

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/appmodel"
+	"repro/internal/apps"
+	"repro/internal/kernels"
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/vtime"
+)
+
+// randomDAGSpec generates a random layered DAG application whose
+// kernels increment a shared counter; emulating it must execute every
+// node exactly once regardless of schedule.
+func randomDAGSpec(rng *rand.Rand, reg *kernels.Registry, idx int) *appmodel.AppSpec {
+	layers := rng.Intn(4) + 1
+	spec := &appmodel.AppSpec{
+		AppName:      fmt.Sprintf("fuzz_%d", idx),
+		SharedObject: fmt.Sprintf("fuzz_%d.so", idx),
+		Variables: map[string]appmodel.VariableSpec{
+			"counter": {Bytes: 8},
+		},
+		DAG: map[string]appmodel.NodeSpec{},
+	}
+	_ = reg.Register(spec.SharedObject, "bump", func(ctx *kernels.Context) error {
+		v, err := ctx.Arg(0)
+		if err != nil {
+			return err
+		}
+		v.SetInt64(v.Int64() + 1)
+		return nil
+	})
+
+	var prevLayer []string
+	node := 0
+	for l := 0; l < layers; l++ {
+		width := rng.Intn(3) + 1
+		var layer []string
+		for w := 0; w < width; w++ {
+			name := fmt.Sprintf("n%d", node)
+			node++
+			ns := appmodel.NodeSpec{
+				Arguments: []string{"counter"},
+				Platforms: []appmodel.PlatformSpec{{
+					Name: "cpu", RunFunc: "bump",
+					CostNS: int64(rng.Intn(20_000) + 1000),
+				}},
+			}
+			// Random subset of the previous layer as predecessors.
+			for _, p := range prevLayer {
+				if rng.Intn(2) == 0 {
+					ns.Predecessors = append(ns.Predecessors, p)
+				}
+			}
+			if len(ns.Predecessors) == 0 && l > 0 {
+				ns.Predecessors = []string{prevLayer[0]}
+			}
+			spec.DAG[name] = ns
+			layer = append(layer, name)
+		}
+		prevLayer = layer
+	}
+	spec.Normalize()
+	return spec
+}
+
+// TestRandomDAGsAllPolicies emulates batches of random DAG apps under
+// every policy and checks the core invariants: every task runs exactly
+// once, precedence holds in virtual time, no PE overlaps two tasks,
+// and the counter proves functional execution.
+func TestRandomDAGsAllPolicies(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	cfg, err := platform.ZCU102(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 25; trial++ {
+		reg := kernels.NewRegistry()
+		var arrivals []Arrival
+		total := 0
+		nApps := rng.Intn(3) + 1
+		var specs []*appmodel.AppSpec
+		for a := 0; a < nApps; a++ {
+			spec := randomDAGSpec(rng, reg, a)
+			if err := spec.Validate(); err != nil {
+				t.Fatalf("trial %d: generated spec invalid: %v", trial, err)
+			}
+			specs = append(specs, spec)
+			total += spec.TaskCount()
+			arrivals = append(arrivals, Arrival{Spec: spec, At: vtime.Time(rng.Intn(1000))})
+		}
+		for _, polName := range sched.Names() {
+			pol, _ := sched.New(polName, int64(trial))
+			e, err := New(Options{Config: cfg, Policy: pol, Registry: reg, Seed: int64(trial)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			report, err := e.Run(arrivals)
+			if err != nil {
+				t.Fatalf("trial %d policy %s: %v", trial, polName, err)
+			}
+			if len(report.Tasks) != total {
+				t.Fatalf("trial %d policy %s: executed %d of %d tasks", trial, polName, len(report.Tasks), total)
+			}
+			// Each task exactly once.
+			seen := map[string]bool{}
+			for _, r := range report.Tasks {
+				key := fmt.Sprintf("%s#%d/%s", r.App, r.Instance, r.Node)
+				if seen[key] {
+					t.Fatalf("trial %d policy %s: task %s ran twice", trial, polName, key)
+				}
+				seen[key] = true
+			}
+			// Precedence: per instance, node start >= every pred's end.
+			end := map[string]vtime.Time{}
+			start := map[string]vtime.Time{}
+			for _, r := range report.Tasks {
+				key := fmt.Sprintf("%d/%s", r.Instance, r.Node)
+				end[key] = r.End
+				start[key] = r.Start
+			}
+			for _, inst := range e.Instances() {
+				for name, node := range inst.Spec.DAG {
+					for _, pred := range node.Predecessors {
+						sKey := fmt.Sprintf("%d/%s", inst.Index, name)
+						pKey := fmt.Sprintf("%d/%s", inst.Index, pred)
+						if start[sKey] < end[pKey] {
+							t.Fatalf("trial %d policy %s: %s started before pred %s finished", trial, polName, sKey, pKey)
+						}
+					}
+				}
+			}
+			// No PE executes two tasks at once.
+			byPE := map[int][][2]vtime.Time{}
+			for _, r := range report.Tasks {
+				byPE[r.PEID] = append(byPE[r.PEID], [2]vtime.Time{r.Start, r.End})
+			}
+			for pe, spans := range byPE {
+				for i := range spans {
+					for j := i + 1; j < len(spans); j++ {
+						a, bSpan := spans[i], spans[j]
+						if a[0] < bSpan[1] && bSpan[0] < a[1] {
+							t.Fatalf("trial %d policy %s: PE %d overlap %v and %v", trial, polName, pe, a, bSpan)
+						}
+					}
+				}
+			}
+			// Functional execution: counters equal task counts.
+			for _, inst := range e.Instances() {
+				got := inst.Mem.MustLookup("counter").Int64()
+				if int(got) != inst.Spec.TaskCount() {
+					t.Fatalf("trial %d policy %s: %s counter %d != %d tasks",
+						trial, polName, inst.Spec.AppName, got, inst.Spec.TaskCount())
+				}
+			}
+		}
+	}
+}
+
+// TestKernelErrorPropagates: a failing kernel aborts the emulation
+// with a descriptive error.
+func TestKernelErrorPropagates(t *testing.T) {
+	reg := kernels.NewRegistry()
+	_ = reg.Register("bad.so", "boom", func(ctx *kernels.Context) error {
+		return fmt.Errorf("injected kernel failure")
+	})
+	spec := &appmodel.AppSpec{
+		AppName:      "bad",
+		SharedObject: "bad.so",
+		Variables:    map[string]appmodel.VariableSpec{"x": {Bytes: 4}},
+		DAG: map[string]appmodel.NodeSpec{
+			"n": {Arguments: []string{"x"},
+				Platforms: []appmodel.PlatformSpec{{Name: "cpu", RunFunc: "boom", CostNS: 10}}},
+		},
+	}
+	cfg, _ := platform.ZCU102(1, 0)
+	e, err := New(Options{Config: cfg, Policy: sched.FRFS{}, Registry: reg, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = e.Run([]Arrival{{Spec: spec, At: 0}})
+	if err == nil {
+		t.Fatal("kernel failure swallowed")
+	}
+}
+
+// TestReservationQueueWithAccel runs the queue policy on a
+// heterogeneous config with real applications: queued dispatch must
+// not break precedence or functional output.
+func TestReservationQueueWithAccel(t *testing.T) {
+	p := apps.DefaultRangeParams()
+	arrivals := []Arrival{
+		{Spec: apps.RangeDetection(p), At: 0},
+		{Spec: apps.RangeDetection(p), At: 0},
+		{Spec: apps.RangeDetection(p), At: 0},
+	}
+	cfg, _ := platform.ZCU102(1, 2)
+	e, err := New(Options{Config: cfg, Policy: sched.FRFSQ{Depth: 3}, Registry: apps.Registry(), Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := e.Run(arrivals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Tasks) != 18 {
+		t.Fatalf("ran %d tasks, want 18", len(report.Tasks))
+	}
+	for _, inst := range e.Instances() {
+		if err := apps.CheckRangeDetection(inst.Mem, p); err != nil {
+			t.Fatalf("instance %d: %v", inst.Index, err)
+		}
+	}
+}

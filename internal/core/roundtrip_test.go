@@ -1,0 +1,74 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/appmodel"
+	"repro/internal/apps"
+	"repro/internal/sched"
+)
+
+// TestJSONRoundTripEmulationEquality: serialising an application to
+// its JSON DAG form and reloading it must produce a bit-identical
+// emulation — same makespan, same task placement, same numeric output.
+// This is the contract that makes the JSON files the framework's
+// source of truth.
+func TestJSONRoundTripEmulationEquality(t *testing.T) {
+	params := apps.DefaultWiFiParams()
+	for _, build := range []func() *appmodel.AppSpec{
+		func() *appmodel.AppSpec { return apps.RangeDetection(apps.DefaultRangeParams()) },
+		func() *appmodel.AppSpec { return apps.WiFiTX(params) },
+		func() *appmodel.AppSpec { return apps.WiFiRX(params) },
+	} {
+		orig := build()
+		data, err := orig.MarshalIndentJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		reloaded, err := appmodel.ParseJSON(data)
+		if err != nil {
+			t.Fatalf("%s: reload: %v", orig.AppName, err)
+		}
+
+		runSpec := func(spec *appmodel.AppSpec) (*Emulator, int64) {
+			e, err := New(Options{
+				Config:   zcu(t, 2, 1),
+				Policy:   sched.FRFS{},
+				Registry: apps.Registry(),
+				Seed:     9,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := e.Run([]Arrival{{Spec: spec, At: 0}})
+			if err != nil {
+				t.Fatalf("%s: %v", spec.AppName, err)
+			}
+			return e, int64(rep.Makespan)
+		}
+		e1, m1 := runSpec(orig)
+		e2, m2 := runSpec(reloaded)
+		if m1 != m2 {
+			t.Fatalf("%s: makespan changed across JSON round trip: %d vs %d", orig.AppName, m1, m2)
+		}
+		// Output variables are byte-identical.
+		for name := range orig.Variables {
+			v1 := e1.Instances()[0].Mem.MustLookup(name)
+			v2 := e2.Instances()[0].Mem.MustLookup(name)
+			b1, b2 := v1.Bytes(), v2.Bytes()
+			if len(b1) != len(b2) {
+				t.Fatalf("%s/%s: heap sizes differ", orig.AppName, name)
+			}
+			for i := range b1 {
+				if b1[i] != b2[i] {
+					t.Fatalf("%s/%s: output differs at byte %d after JSON round trip", orig.AppName, name, i)
+				}
+			}
+			for i := range v1.Raw {
+				if v1.Raw[i] != v2.Raw[i] {
+					t.Fatalf("%s/%s: scalar differs after JSON round trip", orig.AppName, name)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,142 @@
+// Package core is the emulation runtime: the application handler that
+// instantiates framework-compatible applications, the workload manager
+// that drives the emulation (injection, ready-list maintenance,
+// scheduling, completion monitoring), and the per-PE resource managers
+// with their idle/run/complete resource-handler handshake (Figures
+// 1, 3 and 4 of the paper).
+//
+// The paper's implementation runs these as POSIX threads against the
+// wall clock; this reproduction runs the identical state machine as a
+// deterministic discrete-event loop against a virtual clock (see
+// DESIGN.md for the substitution rationale). Task kernels still
+// execute for real against instance memory, so validation mode
+// genuinely verifies functional integration.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/appmodel"
+	"repro/internal/kernels"
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/vtime"
+)
+
+// Status is the resource-handler availability field the workload and
+// resource managers exchange under the handler's lock in the paper.
+type Status int
+
+const (
+	// StatusIdle means the PE can accept a task.
+	StatusIdle Status = iota
+	// StatusRun means the PE is executing its assigned task.
+	StatusRun
+	// StatusComplete means the task finished and awaits collection by
+	// the workload manager's monitor pass.
+	StatusComplete
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusIdle:
+		return "idle"
+	case StatusRun:
+		return "run"
+	case StatusComplete:
+		return "complete"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Task is the runtime state of one DAG node inside one application
+// instance: "a DAG node data structure with all the information
+// necessary for scheduling, dispatch, and measurement".
+type Task struct {
+	App  *AppInstance
+	Name string
+	Spec appmodel.NodeSpec
+
+	// choices caches the sched.PlatformChoice view.
+	choices []sched.PlatformChoice
+	// funcs maps platform key -> resolved kernel, bound at parse time
+	// exactly like the paper's dlsym pass.
+	funcs map[string]kernels.Func
+
+	remainingPreds int
+	readyAt        vtime.Time
+	start, end     vtime.Time
+	busyDur        vtime.Duration
+	assignedKey    string
+}
+
+// Label implements sched.Task.
+func (t *Task) Label() string {
+	return fmt.Sprintf("%s#%d/%s", t.App.Spec.AppName, t.App.Index, t.Name)
+}
+
+// Choices implements sched.Task.
+func (t *Task) Choices() []sched.PlatformChoice { return t.choices }
+
+// ReadyAt implements sched.Task.
+func (t *Task) ReadyAt() vtime.Time { return t.readyAt }
+
+// AppInstance is one injected copy of an application archetype with
+// its own initialised variable memory.
+type AppInstance struct {
+	Spec    *appmodel.AppSpec
+	Index   int
+	Arrival vtime.Time
+
+	Mem      *appmodel.Memory
+	Tasks    map[string]*Task
+	injected vtime.Time
+	// remaining counts unfinished tasks; the instance completes when
+	// it reaches zero.
+	remaining int
+	done      vtime.Time
+}
+
+// ResourceHandler is the per-PE object coordinating the workload
+// manager with that PE's resource manager thread: availability status,
+// PE type and id, current workload, and usage accounting.
+type ResourceHandler struct {
+	PE     *platform.PE
+	status Status
+
+	current   *Task
+	busyUntil vtime.Time
+	// queue is the reservation queue used by queue-capable policies
+	// (the paper's future-work extension).
+	queue []*Task
+
+	busyNS int64
+	tasks  int
+}
+
+// ID implements sched.PE.
+func (h *ResourceHandler) ID() int { return h.PE.ID }
+
+// TypeKey implements sched.PE.
+func (h *ResourceHandler) TypeKey() string { return h.PE.Type.Key }
+
+// SpeedFactor implements sched.PE.
+func (h *ResourceHandler) SpeedFactor() float64 { return h.PE.Type.SpeedFactor }
+
+// PowerW implements sched.PE.
+func (h *ResourceHandler) PowerW() float64 { return h.PE.Type.PowerW }
+
+// Idle implements sched.PE.
+func (h *ResourceHandler) Idle() bool { return h.status == StatusIdle }
+
+// AvailableAt implements sched.PE; it reports when the PE frees up
+// including queued reservations (approximated by the running task's
+// completion, as queued task costs are recomputed at dispatch).
+func (h *ResourceHandler) AvailableAt() vtime.Time { return h.busyUntil }
+
+// QueueLen implements sched.PE.
+func (h *ResourceHandler) QueueLen() int { return len(h.queue) }
+
+// Status exposes the handshake state for tests and tooling.
+func (h *ResourceHandler) Status() Status { return h.status }

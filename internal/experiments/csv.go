@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+
+	"repro/internal/apps"
+)
+
+// CSV exports: plot-ready data for each experiment, so the paper's
+// figures can be redrawn with any plotting tool.
+
+// TableICSV writes app,exec_ms,tasks,paper_ms rows.
+func TableICSV(w io.Writer, rows []TableIRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"app", "exec_ms", "tasks", "paper_ms"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		paper := TableIPaper[r.App]
+		if err := cw.Write([]string{
+			r.App,
+			fmt.Sprintf("%.4f", r.ExecTime.Milliseconds()),
+			fmt.Sprintf("%d", r.TaskCount),
+			fmt.Sprintf("%.2f", paper.ExecMS),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// TableIICSV writes rate,app,count rows.
+func TableIICSV(w io.Writer, results []TableIIResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"rate_jobs_per_ms", "app", "count"}); err != nil {
+		return err
+	}
+	appsOrder := []string{
+		apps.NamePulseDoppler, apps.NameRangeDetection, apps.NameWiFiTX, apps.NameWiFiRX,
+	}
+	for _, r := range results {
+		for _, app := range appsOrder {
+			if err := cw.Write([]string{
+				fmt.Sprintf("%.2f", r.Rate), app, fmt.Sprintf("%d", r.Counts[app]),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Fig9CSV writes config,min,q1,median,q3,max,mean plus per-PE
+// utilisation rows (long format, one row per PE).
+func Fig9CSV(w io.Writer, points []Fig9Point) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"config", "metric", "pe", "value"}); err != nil {
+		return err
+	}
+	for _, p := range points {
+		for name, v := range map[string]float64{
+			"min_ms": p.Box.Min, "q1_ms": p.Box.Q1, "median_ms": p.Box.Median,
+			"q3_ms": p.Box.Q3, "max_ms": p.Box.Max, "mean_ms": p.MeanMS,
+		} {
+			if err := cw.Write([]string{p.Config, name, "", fmt.Sprintf("%.4f", v)}); err != nil {
+				return err
+			}
+		}
+		for _, u := range p.PEUtil {
+			if err := cw.Write([]string{p.Config, "util", u.Label, fmt.Sprintf("%.4f", u.Util)}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Fig10CSV writes policy,rate,exec_s,overhead_us,invocations rows.
+func Fig10CSV(w io.Writer, points []Fig10Point) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"policy", "rate_jobs_per_ms", "exec_s", "avg_overhead_us", "invocations"}); err != nil {
+		return err
+	}
+	for _, p := range points {
+		if err := cw.Write([]string{
+			p.Policy,
+			fmt.Sprintf("%.2f", p.RateJobsPerMS),
+			fmt.Sprintf("%.4f", p.ExecTime.Seconds()),
+			fmt.Sprintf("%.2f", p.AvgOverheadUS),
+			fmt.Sprintf("%d", p.Invocations),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Fig11CSV writes config,rate,exec_s rows.
+func Fig11CSV(w io.Writer, points []Fig11Point) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"config", "rate_jobs_per_ms", "exec_s"}); err != nil {
+		return err
+	}
+	for _, p := range points {
+		if err := cw.Write([]string{
+			p.Config,
+			fmt.Sprintf("%.2f", p.RateJobsPerMS),
+			fmt.Sprintf("%.4f", p.ExecTime.Seconds()),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/vtime"
+)
+
+func parseCSV(t *testing.T, buf *bytes.Buffer) [][]string {
+	t.Helper()
+	rows, err := csv.NewReader(buf).ReadAll()
+	if err != nil {
+		t.Fatalf("output is not valid CSV: %v", err)
+	}
+	return rows
+}
+
+func TestTableICSV(t *testing.T) {
+	rows := []TableIRow{
+		{App: "wifi_tx", ExecTime: 60 * vtime.Microsecond, TaskCount: 7},
+	}
+	var buf bytes.Buffer
+	if err := TableICSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	parsed := parseCSV(t, &buf)
+	if len(parsed) != 2 || parsed[0][0] != "app" || parsed[1][0] != "wifi_tx" {
+		t.Fatalf("rows: %v", parsed)
+	}
+	if parsed[1][2] != "7" {
+		t.Fatalf("task count column: %v", parsed[1])
+	}
+}
+
+func TestTableIICSV(t *testing.T) {
+	res, err := TableIIGen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := TableIICSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	parsed := parseCSV(t, &buf)
+	// header + 5 rates x 4 apps.
+	if len(parsed) != 1+5*4 {
+		t.Fatalf("%d rows", len(parsed))
+	}
+}
+
+func TestFig9CSV(t *testing.T) {
+	points := []Fig9Point{{
+		Config: "2C+1F",
+		Box:    stats.Box{Min: 1, Q1: 2, Median: 3, Q3: 4, Max: 5},
+		MeanMS: 3,
+		PEUtil: []Fig9PEUtil{{Label: "A531", Util: 0.9}},
+	}}
+	var buf bytes.Buffer
+	if err := Fig9CSV(&buf, points); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"2C+1F", "median_ms", "util", "A531"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("CSV missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig10And11CSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := Fig10CSV(&buf, []Fig10Point{{
+		Policy: "frfs", RateJobsPerMS: 1.71,
+		ExecTime: 99 * vtime.Millisecond, AvgOverheadUS: 3.5, Invocations: 5000,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows := parseCSV(t, &buf); len(rows) != 2 || rows[1][0] != "frfs" {
+		t.Fatalf("fig10 rows: %v", rows)
+	}
+	buf.Reset()
+	err = Fig11CSV(&buf, []Fig11Point{{
+		Config: "3BIG+2LTL", RateJobsPerMS: 18, ExecTime: 700 * vtime.Millisecond,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows := parseCSV(t, &buf); len(rows) != 2 || rows[1][0] != "3BIG+2LTL" {
+		t.Fatalf("fig11 rows: %v", rows)
+	}
+}

@@ -1,0 +1,403 @@
+// Package experiments programmatically defines every table and figure
+// of the paper's evaluation (Section III) so they can be regenerated
+// by cmd/experiments, the root bench harness, and the test suite. Each
+// experiment returns structured data plus a text rendering close to
+// the paper's presentation; EXPERIMENTS.md records paper-vs-measured.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/vtime"
+	"repro/internal/workload"
+)
+
+// newEmulator assembles an emulator for one experiment run.
+func newEmulator(cfg *platform.Config, policy sched.Policy, seed int64, sigma float64, skipExec bool) (*core.Emulator, error) {
+	return core.New(core.Options{
+		Config:        cfg,
+		Policy:        policy,
+		Registry:      apps.Registry(),
+		Seed:          seed,
+		JitterSigma:   sigma,
+		SkipExecution: skipExec,
+	})
+}
+
+// --- Table I -----------------------------------------------------------------
+
+// TableIRow is one application's standalone execution time and task
+// count on the 3C+2F configuration under FRFS.
+type TableIRow struct {
+	App       string
+	ExecTime  vtime.Duration
+	TaskCount int
+}
+
+// TableIPaper holds the paper's measured values for comparison.
+var TableIPaper = map[string]struct {
+	ExecMS float64
+	Tasks  int
+}{
+	apps.NameRangeDetection: {0.32, 6},
+	apps.NamePulseDoppler:   {5.60, 770},
+	apps.NameWiFiTX:         {0.13, 7},
+	apps.NameWiFiRX:         {2.22, 9},
+}
+
+// TableI runs each application standalone in validation mode on
+// 3 cores + 2 FFT accelerators with FRFS, the paper's Table I setup.
+func TableI() ([]TableIRow, error) {
+	cfg, err := platform.ZCU102(3, 2)
+	if err != nil {
+		return nil, err
+	}
+	specs := apps.Specs()
+	var rows []TableIRow
+	for _, name := range []string{
+		apps.NameRangeDetection, apps.NamePulseDoppler, apps.NameWiFiTX, apps.NameWiFiRX,
+	} {
+		e, err := newEmulator(cfg, sched.FRFS{}, 1, 0, false)
+		if err != nil {
+			return nil, err
+		}
+		report, err := e.Run([]core.Arrival{{Spec: specs[name], At: 0}})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: table I %s: %w", name, err)
+		}
+		rows = append(rows, TableIRow{App: name, ExecTime: report.Makespan, TaskCount: len(report.Tasks)})
+	}
+	return rows, nil
+}
+
+// RenderTableI formats the rows as the paper prints them.
+func RenderTableI(rows []TableIRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table I: application execution time and task count (3C+2F, FRFS)\n")
+	fmt.Fprintf(&b, "%-18s %18s %12s %14s\n", "Application", "Exec Time (ms)", "Task Count", "paper (ms)")
+	for _, r := range rows {
+		paper := TableIPaper[r.App]
+		fmt.Fprintf(&b, "%-18s %18.2f %12d %14.2f\n",
+			r.App, r.ExecTime.Milliseconds(), r.TaskCount, paper.ExecMS)
+	}
+	return b.String()
+}
+
+// --- Table II ----------------------------------------------------------------
+
+// TableIIResult captures a generated trace's realised counts.
+type TableIIResult struct {
+	Row    workload.TableIIRow
+	Counts map[string]int
+	Rate   float64
+}
+
+// TableIIGen regenerates the paper's Table II traces and verifies the
+// instance counts.
+func TableIIGen() ([]TableIIResult, error) {
+	specs := apps.Specs()
+	var out []TableIIResult
+	for _, row := range workload.TableII {
+		trace, err := workload.TableIITrace(specs, row)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, TableIIResult{
+			Row:    row,
+			Counts: workload.Counts(trace),
+			Rate:   workload.RateJobsPerMS(trace, workload.TableIIFrame),
+		})
+	}
+	return out, nil
+}
+
+// RenderTableII formats the regenerated Table II.
+func RenderTableII(results []TableIIResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table II: instance counts per injection rate (100 ms frame)\n")
+	fmt.Fprintf(&b, "%-16s %14s %16s %9s %9s\n", "Rate (jobs/ms)", "PulseDoppler", "RangeDetection", "WiFiTX", "WiFiRX")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%-16.2f %14d %16d %9d %9d\n",
+			r.Rate,
+			r.Counts[apps.NamePulseDoppler], r.Counts[apps.NameRangeDetection],
+			r.Counts[apps.NameWiFiTX], r.Counts[apps.NameWiFiRX])
+	}
+	return b.String()
+}
+
+// --- Figure 9 ----------------------------------------------------------------
+
+// Fig9Configs are the seven ZCU102 configurations of Figure 9, in the
+// paper's x-axis order.
+var Fig9Configs = [][2]int{
+	{1, 0}, {1, 1}, {1, 2}, {2, 0}, {2, 1}, {2, 2}, {3, 0},
+}
+
+// Fig9PEUtil is one PE's average utilisation in a configuration.
+type Fig9PEUtil struct {
+	Label string
+	Util  float64
+}
+
+// Fig9Point is one configuration's result: the execution-time box over
+// the iterations (Figure 9a) and mean per-PE utilisation (Figure 9b).
+type Fig9Point struct {
+	Config  string
+	TimesMS []float64
+	Box     stats.Box
+	PEUtil  []Fig9PEUtil
+	MeanMS  float64
+}
+
+// Fig9 runs the validation-mode workload (one instance each of pulse
+// Doppler, range detection, WiFi TX and RX) on every configuration for
+// the given iteration count (the paper uses 50) under FRFS, with
+// log-normal timing jitter producing the box spread. Kernels execute
+// functionally on the first iteration of each configuration only;
+// timing is independent of execution.
+func Fig9(iterations int) ([]Fig9Point, error) {
+	if iterations <= 0 {
+		iterations = 1
+	}
+	specs := apps.Specs()
+	arr, err := workload.Validation(specs, map[string]int{
+		apps.NamePulseDoppler:   1,
+		apps.NameRangeDetection: 1,
+		apps.NameWiFiTX:         1,
+		apps.NameWiFiRX:         1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig9Point
+	for _, cf := range Fig9Configs {
+		cfg, err := platform.ZCU102(cf[0], cf[1])
+		if err != nil {
+			return nil, err
+		}
+		point := Fig9Point{Config: cfg.Name}
+		utilSums := map[string]float64{}
+		var utilOrder []string
+		for it := 0; it < iterations; it++ {
+			e, err := newEmulator(cfg, sched.FRFS{}, int64(1000+it), 0.04, it != 0)
+			if err != nil {
+				return nil, err
+			}
+			report, err := e.Run(arr)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: fig9 %s: %w", cfg.Name, err)
+			}
+			point.TimesMS = append(point.TimesMS, report.Makespan.Milliseconds())
+			for _, pe := range report.PEs {
+				if _, seen := utilSums[pe.Label]; !seen {
+					utilOrder = append(utilOrder, pe.Label)
+				}
+				utilSums[pe.Label] += report.Utilization(pe.PEID)
+			}
+		}
+		point.Box = stats.BoxOf(point.TimesMS)
+		point.MeanMS = stats.Mean(point.TimesMS)
+		for _, label := range utilOrder {
+			point.PEUtil = append(point.PEUtil, Fig9PEUtil{
+				Label: label,
+				Util:  utilSums[label] / float64(iterations),
+			})
+		}
+		out = append(out, point)
+	}
+	return out, nil
+}
+
+// RenderFig9 formats both panels of Figure 9.
+func RenderFig9(points []Fig9Point) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 9a: workload execution time (ms) per DSSoC configuration (FRFS)\n")
+	fmt.Fprintf(&b, "%-8s %10s %30s\n", "Config", "mean", "box [min | q1 med q3 | max]")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%-8s %10.2f %30s\n", p.Config, p.MeanMS, p.Box.String())
+	}
+	fmt.Fprintf(&b, "\nFigure 9b: mean PE utilisation (%%)\n")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%-8s ", p.Config)
+		for _, u := range p.PEUtil {
+			fmt.Fprintf(&b, " %s=%.1f%%", u.Label, u.Util*100)
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// --- Figure 10 ----------------------------------------------------------------
+
+// Fig10Point is one (policy, rate) cell: total workload execution time
+// and average scheduling overhead on the 3C+2F configuration.
+type Fig10Point struct {
+	Policy        string
+	RateJobsPerMS float64
+	ExecTime      vtime.Duration
+	AvgOverheadUS float64
+	Invocations   int
+}
+
+// Fig10Policies are the schedulers the paper compares.
+var Fig10Policies = []string{"eft", "met", "frfs"}
+
+// Fig10 sweeps the Table II injection rates for EFT, MET and FRFS on
+// 3C+2F in performance mode. rows limits how many Table II rates run
+// (0 = all five). Kernels are not executed (pure scheduling study).
+func Fig10(rows int) ([]Fig10Point, error) {
+	cfg, err := platform.ZCU102(3, 2)
+	if err != nil {
+		return nil, err
+	}
+	specs := apps.Specs()
+	table := workload.TableII
+	if rows > 0 && rows < len(table) {
+		table = table[:rows]
+	}
+	var out []Fig10Point
+	for _, policyName := range Fig10Policies {
+		for _, row := range table {
+			trace, err := workload.TableIITrace(specs, row)
+			if err != nil {
+				return nil, err
+			}
+			policy, err := sched.New(policyName, 7)
+			if err != nil {
+				return nil, err
+			}
+			e, err := newEmulator(cfg, policy, 7, 0, true)
+			if err != nil {
+				return nil, err
+			}
+			report, err := e.Run(traceToArrivals(trace))
+			if err != nil {
+				return nil, fmt.Errorf("experiments: fig10 %s@%.2f: %w", policyName, row.RateJobsPerMS, err)
+			}
+			out = append(out, Fig10Point{
+				Policy:        policyName,
+				RateJobsPerMS: row.RateJobsPerMS,
+				ExecTime:      report.Makespan,
+				AvgOverheadUS: report.Sched.AvgOverheadNS() / 1e3,
+				Invocations:   report.Sched.Invocations,
+			})
+		}
+	}
+	return out, nil
+}
+
+func traceToArrivals(trace []core.Arrival) []core.Arrival { return trace }
+
+// RenderFig10 formats both panels of Figure 10.
+func RenderFig10(points []Fig10Point) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 10: performance mode on 3C+2F\n")
+	fmt.Fprintf(&b, "%-8s %14s %18s %22s %12s\n",
+		"Policy", "Rate (j/ms)", "Exec time (s)", "Avg sched ovh (us)", "Invocations")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%-8s %14.2f %18.3f %22.2f %12d\n",
+			p.Policy, p.RateJobsPerMS, p.ExecTime.Seconds(), p.AvgOverheadUS, p.Invocations)
+	}
+	return b.String()
+}
+
+// --- Figure 11 ----------------------------------------------------------------
+
+// Fig11Configs are the twelve Odroid XU3 big.LITTLE configurations of
+// Figure 11.
+var Fig11Configs = [][2]int{
+	{0, 3}, {1, 2}, {1, 3}, {2, 1}, {2, 2}, {2, 3},
+	{3, 1}, {3, 2}, {3, 3}, {4, 1}, {4, 2}, {4, 3},
+}
+
+// Fig11DefaultRates spans the paper's 4-18 jobs/ms x-axis.
+var Fig11DefaultRates = []float64{4, 8, 12, 15, 18}
+
+// Fig11Point is one (configuration, rate) cell.
+type Fig11Point struct {
+	Config        string
+	RateJobsPerMS float64
+	ExecTime      vtime.Duration
+}
+
+// Fig11 sweeps injection rates across big.LITTLE configurations in
+// performance mode under FRFS, reproducing the Odroid portability
+// study. For a given rate the same workload trace is used across all
+// configurations, as in the paper.
+func Fig11(rates []float64) ([]Fig11Point, error) {
+	if len(rates) == 0 {
+		rates = Fig11DefaultRates
+	}
+	specs := apps.Specs()
+	var out []Fig11Point
+	for _, rate := range rates {
+		trace, err := workload.RateTrace(specs, rate, workload.TableIIFrame)
+		if err != nil {
+			return nil, err
+		}
+		realised := workload.RateJobsPerMS(trace, workload.TableIIFrame)
+		for _, cf := range Fig11Configs {
+			cfg, err := platform.OdroidXU3(cf[0], cf[1])
+			if err != nil {
+				return nil, err
+			}
+			e, err := newEmulator(cfg, sched.FRFS{}, 11, 0, true)
+			if err != nil {
+				return nil, err
+			}
+			report, err := e.Run(trace)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: fig11 %s@%.0f: %w", cfg.Name, rate, err)
+			}
+			out = append(out, Fig11Point{
+				Config:        cfg.Name,
+				RateJobsPerMS: realised,
+				ExecTime:      report.Makespan,
+			})
+		}
+	}
+	return out, nil
+}
+
+// RenderFig11 formats the sweep grouped by rate.
+func RenderFig11(points []Fig11Point) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 11: Odroid XU3 execution time (s) vs injection rate (FRFS)\n")
+	var lastRate float64 = -1
+	for _, p := range points {
+		if p.RateJobsPerMS != lastRate {
+			fmt.Fprintf(&b, "rate %.2f jobs/ms:\n", p.RateJobsPerMS)
+			lastRate = p.RateJobsPerMS
+		}
+		fmt.Fprintf(&b, "  %-10s %10.3f s\n", p.Config, p.ExecTime.Seconds())
+	}
+	return b.String()
+}
+
+// Fig11Best returns the configuration with the lowest execution time
+// at the highest swept rate.
+func Fig11Best(points []Fig11Point) (string, vtime.Duration) {
+	var bestCfg string
+	var bestTime vtime.Duration
+	var maxRate float64
+	for _, p := range points {
+		if p.RateJobsPerMS > maxRate {
+			maxRate = p.RateJobsPerMS
+		}
+	}
+	for _, p := range points {
+		if p.RateJobsPerMS != maxRate {
+			continue
+		}
+		if bestCfg == "" || p.ExecTime < bestTime {
+			bestCfg, bestTime = p.Config, p.ExecTime
+		}
+	}
+	return bestCfg, bestTime
+}

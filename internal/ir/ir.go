@@ -1,0 +1,280 @@
+// Package ir defines the compiler toolchain's intermediate
+// representation: the stand-in for LLVM IR in the paper's automatic
+// application conversion flow (Section II-E). Functions are lists of
+// basic blocks holding three-address instructions over virtual
+// registers; arrays and cross-function data live in module globals,
+// mirroring how the paper's CodeExtractor-based outliner communicates
+// through memory.
+//
+// All values are float64 (MiniC's numeric type); indices truncate.
+package ir
+
+import "fmt"
+
+// Op is an instruction opcode.
+type Op int
+
+// Instruction opcodes.
+const (
+	OpConst Op = iota // dst = Imm
+	OpMov             // dst = a
+	OpAdd             // dst = a + b
+	OpSub             // dst = a - b
+	OpMul             // dst = a * b
+	OpDiv             // dst = a / b
+	OpMod             // dst = fmod(a, b)
+	OpNeg             // dst = -a
+	OpEq              // dst = a == b (0/1)
+	OpNe              // dst = a != b
+	OpLt              // dst = a < b
+	OpLe              // dst = a <= b
+	OpGt              // dst = a > b
+	OpGe              // dst = a >= b
+	OpAnd             // dst = (a != 0) && (b != 0)
+	OpOr              // dst = (a != 0) || (b != 0)
+	OpNot             // dst = a == 0
+	OpSin             // dst = sin(a)
+	OpCos             // dst = cos(a)
+	OpSqrt            // dst = sqrt(a)
+	OpAbs             // dst = |a|
+	OpFloor           // dst = floor(a)
+	OpLoad            // dst = global[Sym][int(a)]
+	OpStore           // global[Sym][int(a)] = b
+	OpCall            // dst = call Sym(Args...)
+)
+
+var opNames = map[Op]string{
+	OpConst: "const", OpMov: "mov", OpAdd: "add", OpSub: "sub", OpMul: "mul",
+	OpDiv: "div", OpMod: "mod", OpNeg: "neg", OpEq: "eq", OpNe: "ne",
+	OpLt: "lt", OpLe: "le", OpGt: "gt", OpGe: "ge", OpAnd: "and", OpOr: "or",
+	OpNot: "not", OpSin: "sin", OpCos: "cos", OpSqrt: "sqrt", OpAbs: "abs",
+	OpFloor: "floor", OpLoad: "load", OpStore: "store", OpCall: "call",
+}
+
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// Instr is one three-address instruction. Register operands are
+// indices into the executing function's register file.
+type Instr struct {
+	Op   Op
+	Dst  int
+	A, B int
+	Imm  float64
+	Sym  string // global name (load/store) or callee (call)
+	Args []int  // call arguments (registers)
+}
+
+// TermKind classifies block terminators.
+type TermKind int
+
+// Terminator kinds.
+const (
+	TermBr     TermKind = iota // unconditional jump to Then
+	TermCondBr                 // if reg Cond != 0 jump Then else Else
+	TermRet                    // return reg Cond (or 0 if Cond < 0)
+)
+
+// Terminator ends a basic block.
+type Terminator struct {
+	Kind TermKind
+	Cond int // condition or return register; -1 for void return
+	Then int // target block index within the function
+	Else int
+}
+
+// Block is a basic block: straight-line instructions plus one
+// terminator. GlobalID is assigned by Module.Finalize and identifies
+// the block module-wide in dynamic traces.
+type Block struct {
+	Label    string
+	Instrs   []Instr
+	Term     Terminator
+	GlobalID int
+}
+
+// Region marks a contiguous top-level source region of a function as
+// [Start, End) block indices; the front end emits one region per
+// top-level statement so the outliner can cut at single-entry/
+// single-exit boundaries, like the paper's kernel/non-kernel grouping.
+type Region struct {
+	Start, End int
+	// Hint carries the front end's name for the region (source
+	// comment or statement kind), for diagnostics only.
+	Hint string
+}
+
+// Func is an IR function.
+type Func struct {
+	Name string
+	// NumParams registers are bound to call arguments; the register
+	// file has NumRegs slots total.
+	NumParams int
+	NumRegs   int
+	Blocks    []*Block
+	Regions   []Region
+}
+
+// Global is a module-level array (scalars are length-1 arrays).
+type Global struct {
+	Name  string
+	Elems int
+	Init  []float64
+}
+
+// Module is a compilation unit.
+type Module struct {
+	Name    string
+	Funcs   map[string]*Func
+	Globals map[string]*Global
+	// order preserves declaration order for deterministic output.
+	FuncOrder   []string
+	GlobalOrder []string
+
+	finalized bool
+	numBlocks int
+}
+
+// NewModule creates an empty module.
+func NewModule(name string) *Module {
+	return &Module{
+		Name:    name,
+		Funcs:   map[string]*Func{},
+		Globals: map[string]*Global{},
+	}
+}
+
+// AddGlobal declares a global array.
+func (m *Module) AddGlobal(g *Global) error {
+	if g.Elems <= 0 {
+		return fmt.Errorf("ir: global %q has %d elements", g.Name, g.Elems)
+	}
+	if _, dup := m.Globals[g.Name]; dup {
+		return fmt.Errorf("ir: duplicate global %q", g.Name)
+	}
+	m.Globals[g.Name] = g
+	m.GlobalOrder = append(m.GlobalOrder, g.Name)
+	m.finalized = false
+	return nil
+}
+
+// AddFunc installs a function.
+func (m *Module) AddFunc(f *Func) error {
+	if _, dup := m.Funcs[f.Name]; dup {
+		return fmt.Errorf("ir: duplicate function %q", f.Name)
+	}
+	m.Funcs[f.Name] = f
+	m.FuncOrder = append(m.FuncOrder, f.Name)
+	m.finalized = false
+	return nil
+}
+
+// Finalize assigns module-wide block IDs and validates structure. It
+// must be called before execution or tracing and after any mutation.
+func (m *Module) Finalize() error {
+	id := 0
+	for _, name := range m.FuncOrder {
+		f := m.Funcs[name]
+		if len(f.Blocks) == 0 {
+			return fmt.Errorf("ir: function %q has no blocks", name)
+		}
+		for bi, b := range f.Blocks {
+			b.GlobalID = id
+			id++
+			if err := m.checkBlock(f, bi, b); err != nil {
+				return err
+			}
+		}
+		for _, r := range f.Regions {
+			if r.Start < 0 || r.End > len(f.Blocks) || r.Start >= r.End {
+				return fmt.Errorf("ir: %s: bad region [%d,%d)", name, r.Start, r.End)
+			}
+		}
+	}
+	m.numBlocks = id
+	m.finalized = true
+	return nil
+}
+
+func (m *Module) checkBlock(f *Func, bi int, b *Block) error {
+	where := fmt.Sprintf("ir: %s block %d (%s)", f.Name, bi, b.Label)
+	checkReg := func(r int) error {
+		if r < 0 || r >= f.NumRegs {
+			return fmt.Errorf("%s: register %d outside file of %d", where, r, f.NumRegs)
+		}
+		return nil
+	}
+	for _, in := range b.Instrs {
+		switch in.Op {
+		case OpLoad, OpStore:
+			if _, ok := m.Globals[in.Sym]; !ok {
+				return fmt.Errorf("%s: unknown global %q", where, in.Sym)
+			}
+		case OpCall:
+			if _, ok := m.Funcs[in.Sym]; !ok {
+				return fmt.Errorf("%s: call to unknown function %q", where, in.Sym)
+			}
+			for _, a := range in.Args {
+				if err := checkReg(a); err != nil {
+					return err
+				}
+			}
+		}
+		if in.Op != OpStore {
+			if err := checkReg(in.Dst); err != nil {
+				return err
+			}
+		}
+	}
+	switch b.Term.Kind {
+	case TermBr:
+		if b.Term.Then < 0 || b.Term.Then >= len(f.Blocks) {
+			return fmt.Errorf("%s: branch target %d out of range", where, b.Term.Then)
+		}
+	case TermCondBr:
+		if b.Term.Then < 0 || b.Term.Then >= len(f.Blocks) ||
+			b.Term.Else < 0 || b.Term.Else >= len(f.Blocks) {
+			return fmt.Errorf("%s: conditional targets %d/%d out of range", where, b.Term.Then, b.Term.Else)
+		}
+		if err := checkReg(b.Term.Cond); err != nil {
+			return err
+		}
+	case TermRet:
+		if b.Term.Cond >= 0 {
+			if err := checkReg(b.Term.Cond); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("%s: unknown terminator", where)
+	}
+	return nil
+}
+
+// Finalized reports whether Finalize has run since the last mutation.
+func (m *Module) Finalized() bool { return m.finalized }
+
+// NumBlocks is the module-wide block count after Finalize.
+func (m *Module) NumBlocks() int { return m.numBlocks }
+
+// String renders a readable listing, useful in tests and tooling.
+func (m *Module) String() string {
+	s := fmt.Sprintf("module %s\n", m.Name)
+	for _, gn := range m.GlobalOrder {
+		g := m.Globals[gn]
+		s += fmt.Sprintf("  global %s[%d]\n", g.Name, g.Elems)
+	}
+	for _, fn := range m.FuncOrder {
+		f := m.Funcs[fn]
+		s += fmt.Sprintf("  func %s/%d (%d regs, %d blocks)\n", f.Name, f.NumParams, f.NumRegs, len(f.Blocks))
+		for bi, b := range f.Blocks {
+			s += fmt.Sprintf("    b%d %s: %d instrs, term %v->%d/%d\n",
+				bi, b.Label, len(b.Instrs), b.Term.Kind, b.Term.Then, b.Term.Else)
+		}
+	}
+	return s
+}

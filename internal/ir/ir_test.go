@@ -1,0 +1,161 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildCountdown builds: func f(n) { s := 0; while (n > 0) { s = s + n;
+// n = n - 1 } return s } with globals out[1].
+func buildCountdown(t *testing.T) *Module {
+	t.Helper()
+	m := NewModule("test")
+	if err := m.AddGlobal(&Global{Name: "out", Elems: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// registers: 0=n (param), 1=s, 2=tmp, 3=zero
+	f := &Func{Name: "f", NumParams: 1, NumRegs: 4}
+	f.Blocks = []*Block{
+		{ // b0: s=0; zero=0
+			Label: "entry",
+			Instrs: []Instr{
+				{Op: OpConst, Dst: 1, Imm: 0},
+				{Op: OpConst, Dst: 3, Imm: 0},
+			},
+			Term: Terminator{Kind: TermBr, Then: 1},
+		},
+		{ // b1: cond = n > 0
+			Label: "cond",
+			Instrs: []Instr{
+				{Op: OpGt, Dst: 2, A: 0, B: 3},
+			},
+			Term: Terminator{Kind: TermCondBr, Cond: 2, Then: 2, Else: 3},
+		},
+		{ // b2: s += n; n -= 1
+			Label: "body",
+			Instrs: []Instr{
+				{Op: OpAdd, Dst: 1, A: 1, B: 0},
+				{Op: OpConst, Dst: 2, Imm: 1},
+				{Op: OpSub, Dst: 0, A: 0, B: 2},
+			},
+			Term: Terminator{Kind: TermBr, Then: 1},
+		},
+		{ // b3: out[0] = s; ret s
+			Label: "exit",
+			Instrs: []Instr{
+				{Op: OpConst, Dst: 2, Imm: 0},
+				{Op: OpStore, Sym: "out", A: 2, B: 1},
+			},
+			Term: Terminator{Kind: TermRet, Cond: 1},
+		},
+	}
+	f.Regions = []Region{{Start: 0, End: 4, Hint: "all"}}
+	if err := m.AddFunc(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestModuleFinalizeAssignsIDs(t *testing.T) {
+	m := buildCountdown(t)
+	if !m.Finalized() {
+		t.Fatal("not finalized")
+	}
+	if m.NumBlocks() != 4 {
+		t.Fatalf("NumBlocks = %d", m.NumBlocks())
+	}
+	f := m.Funcs["f"]
+	for i, b := range f.Blocks {
+		if b.GlobalID != i {
+			t.Fatalf("block %d has id %d", i, b.GlobalID)
+		}
+	}
+}
+
+func TestModuleValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Module)
+		want string
+	}{
+		{"unknown global", func(m *Module) {
+			m.Funcs["f"].Blocks[3].Instrs[1].Sym = "ghost"
+		}, "unknown global"},
+		{"register out of range", func(m *Module) {
+			m.Funcs["f"].Blocks[0].Instrs[0].Dst = 99
+		}, "register 99"},
+		{"branch out of range", func(m *Module) {
+			m.Funcs["f"].Blocks[0].Term.Then = 9
+		}, "branch target"},
+		{"cond out of range", func(m *Module) {
+			m.Funcs["f"].Blocks[1].Term.Cond = 77
+		}, "register 77"},
+		{"bad region", func(m *Module) {
+			m.Funcs["f"].Regions = []Region{{Start: 2, End: 1}}
+		}, "bad region"},
+		{"unknown callee", func(m *Module) {
+			b := m.Funcs["f"].Blocks[0]
+			b.Instrs = append(b.Instrs, Instr{Op: OpCall, Dst: 1, Sym: "missing"})
+		}, "unknown function"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			m := buildCountdown(t)
+			c.mut(m)
+			err := m.Finalize()
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("want error containing %q, got %v", c.want, err)
+			}
+		})
+	}
+}
+
+func TestModuleDuplicates(t *testing.T) {
+	m := NewModule("d")
+	if err := m.AddGlobal(&Global{Name: "g", Elems: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddGlobal(&Global{Name: "g", Elems: 2}); err == nil {
+		t.Fatal("duplicate global accepted")
+	}
+	if err := m.AddGlobal(&Global{Name: "z", Elems: 0}); err == nil {
+		t.Fatal("zero-size global accepted")
+	}
+	f := &Func{Name: "f", NumRegs: 1, Blocks: []*Block{{Term: Terminator{Kind: TermRet, Cond: -1}}}}
+	if err := m.AddFunc(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddFunc(&Func{Name: "f"}); err == nil {
+		t.Fatal("duplicate function accepted")
+	}
+	if err := m.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	// Empty function rejected.
+	m2 := NewModule("e")
+	_ = m2.AddFunc(&Func{Name: "empty"})
+	if err := m2.Finalize(); err == nil {
+		t.Fatal("empty function accepted")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpAdd.String() != "add" || OpStore.String() != "store" {
+		t.Fatal("op names wrong")
+	}
+	if Op(999).String() == "" {
+		t.Fatal("unknown op name empty")
+	}
+}
+
+func TestModuleString(t *testing.T) {
+	s := buildCountdown(t).String()
+	for _, want := range []string{"module test", "global out[1]", "func f/1"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("listing missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package kernels
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randComplex128(rng *rand.Rand, n int) []complex128 {
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return x
+}
+
+func TestFFT64RejectsNonPow2(t *testing.T) {
+	if err := FFT64InPlace(make([]complex128, 5)); err == nil {
+		t.Fatal("accepted length 5")
+	}
+	if err := IFFT64InPlace(nil); err == nil {
+		t.Fatal("accepted empty input")
+	}
+	if err := FFT64InPlace(make([]complex128, 1)); err != nil {
+		t.Fatalf("length 1 should be identity: %v", err)
+	}
+}
+
+func TestFFT64MatchesComplex64Path(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	n := 128
+	d64 := randComplex128(rng, n)
+	d32 := make([]complex64, n)
+	for i, c := range d64 {
+		d32[i] = complex64(c)
+	}
+	if err := FFT64InPlace(d64); err != nil {
+		t.Fatal(err)
+	}
+	if err := FFTInPlace(d32); err != nil {
+		t.Fatal(err)
+	}
+	for i := range d64 {
+		if cmplx.Abs(d64[i]-complex128(d32[i])) > 1e-2 {
+			t.Fatalf("bin %d: %v vs %v", i, d64[i], d32[i])
+		}
+	}
+}
+
+// Property: the complex128 round trip is the identity to float64
+// precision.
+func TestFFT64RoundTripProperty(t *testing.T) {
+	f := func(seed int64, szExp uint8) bool {
+		n := 1 << (szExp%9 + 1) // 2..512
+		rng := rand.New(rand.NewSource(seed))
+		orig := randComplex128(rng, n)
+		x := append([]complex128(nil), orig...)
+		if FFT64InPlace(x) != nil {
+			return false
+		}
+		if IFFT64InPlace(x) != nil {
+			return false
+		}
+		for i := range x {
+			if cmplx.Abs(x[i]-orig[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFFT64ImpulseAndTone(t *testing.T) {
+	x := make([]complex128, 16)
+	x[0] = 1
+	if err := FFT64InPlace(x); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range x {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("impulse bin %d = %v", i, v)
+		}
+	}
+	n := 32
+	tone := make([]complex128, n)
+	k := 5
+	for i := range tone {
+		ang := 2 * math.Pi * float64(k) * float64(i) / float64(n)
+		tone[i] = cmplx.Exp(complex(0, ang))
+	}
+	if err := FFT64InPlace(tone); err != nil {
+		t.Fatal(err)
+	}
+	for i := range tone {
+		want := 0.0
+		if i == k {
+			want = float64(n)
+		}
+		if math.Abs(cmplx.Abs(tone[i])-want) > 1e-9 {
+			t.Fatalf("tone bin %d magnitude %v, want %v", i, cmplx.Abs(tone[i]), want)
+		}
+	}
+}

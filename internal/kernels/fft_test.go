@@ -1,0 +1,365 @@
+package kernels
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randComplex(rng *rand.Rand, n int) []complex64 {
+	x := make([]complex64, n)
+	for i := range x {
+		x[i] = complex(float32(rng.NormFloat64()), float32(rng.NormFloat64()))
+	}
+	return x
+}
+
+func maxErr(a, b []complex64) float64 {
+	var worst float64
+	for i := range a {
+		d := cmplx.Abs(complex128(a[i]) - complex128(b[i]))
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+func TestIsPow2(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 1024} {
+		if !IsPow2(n) {
+			t.Errorf("IsPow2(%d) = false", n)
+		}
+	}
+	for _, n := range []int{0, -4, 3, 6, 1000} {
+		if IsPow2(n) {
+			t.Errorf("IsPow2(%d) = true", n)
+		}
+	}
+}
+
+func TestFFTRejectsNonPow2(t *testing.T) {
+	if err := FFTInPlace(make([]complex64, 3)); err == nil {
+		t.Fatalf("FFT accepted length 3")
+	}
+	if err := IFFTInPlace(make([]complex64, 0)); err == nil {
+		t.Fatalf("IFFT accepted length 0")
+	}
+}
+
+func TestFFTKnownValues(t *testing.T) {
+	// Impulse transforms to all-ones.
+	x := make([]complex64, 8)
+	x[0] = 1
+	if err := FFTInPlace(x); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range x {
+		if cmplx.Abs(complex128(v)-1) > 1e-5 {
+			t.Fatalf("FFT(impulse)[%d] = %v, want 1", i, v)
+		}
+	}
+	// Constant transforms to a scaled impulse.
+	y := make([]complex64, 8)
+	for i := range y {
+		y[i] = 1
+	}
+	if err := FFTInPlace(y); err != nil {
+		t.Fatal(err)
+	}
+	if cmplx.Abs(complex128(y[0])-8) > 1e-5 {
+		t.Fatalf("FFT(ones)[0] = %v, want 8", y[0])
+	}
+	for i := 1; i < 8; i++ {
+		if cmplx.Abs(complex128(y[i])) > 1e-5 {
+			t.Fatalf("FFT(ones)[%d] = %v, want 0", i, y[i])
+		}
+	}
+	// A pure tone lands in exactly one bin.
+	n := 16
+	tone := make([]complex64, n)
+	k := 3
+	for i := range tone {
+		ang := 2 * math.Pi * float64(k) * float64(i) / float64(n)
+		tone[i] = complex(float32(math.Cos(ang)), float32(math.Sin(ang)))
+	}
+	if err := FFTInPlace(tone); err != nil {
+		t.Fatal(err)
+	}
+	for i := range tone {
+		want := 0.0
+		if i == k {
+			want = float64(n)
+		}
+		if math.Abs(cmplx.Abs(complex128(tone[i]))-want) > 1e-3 {
+			t.Fatalf("tone bin %d = %v, want magnitude %v", i, tone[i], want)
+		}
+	}
+}
+
+func TestFFTMatchesNaiveDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 4, 8, 64, 256} {
+		src := randComplex(rng, n)
+		want := make([]complex64, n)
+		if err := DFTNaive(want, src); err != nil {
+			t.Fatal(err)
+		}
+		got := append([]complex64(nil), src...)
+		if err := FFTInPlace(got); err != nil {
+			t.Fatal(err)
+		}
+		if e := maxErr(got, want); e > 1e-2 {
+			t.Fatalf("n=%d: FFT vs naive DFT max error %v", n, e)
+		}
+	}
+}
+
+func TestIFFTInvertsFFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{2, 16, 128, 1024} {
+		orig := randComplex(rng, n)
+		x := append([]complex64(nil), orig...)
+		if err := FFTInPlace(x); err != nil {
+			t.Fatal(err)
+		}
+		if err := IFFTInPlace(x); err != nil {
+			t.Fatal(err)
+		}
+		if e := maxErr(x, orig); e > 1e-3 {
+			t.Fatalf("n=%d: IFFT(FFT(x)) error %v", n, e)
+		}
+	}
+}
+
+// Property: the FFT round trip is the identity (within float32
+// tolerance) and Parseval's energy relation holds.
+func TestFFTRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func(seed int64, szExp uint8) bool {
+		n := 1 << (szExp%8 + 1) // 2..256
+		r := rand.New(rand.NewSource(seed))
+		_ = rng
+		orig := randComplex(r, n)
+		x := append([]complex64(nil), orig...)
+		if FFTInPlace(x) != nil {
+			return false
+		}
+		var eTime, eFreq float64
+		for i := range orig {
+			eTime += float64(real(orig[i]))*float64(real(orig[i])) + float64(imag(orig[i]))*float64(imag(orig[i]))
+			eFreq += float64(real(x[i]))*float64(real(x[i])) + float64(imag(x[i]))*float64(imag(x[i]))
+		}
+		if eTime > 0 && math.Abs(eFreq/float64(n)-eTime)/eTime > 1e-3 {
+			return false
+		}
+		if IFFTInPlace(x) != nil {
+			return false
+		}
+		return maxErr(x, orig) < 1e-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIDFTInvertsDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 32
+	src := randComplex(rng, n)
+	freq := make([]complex64, n)
+	back := make([]complex64, n)
+	if err := DFTNaive(freq, src); err != nil {
+		t.Fatal(err)
+	}
+	if err := IDFTNaive(back, freq); err != nil {
+		t.Fatal(err)
+	}
+	if e := maxErr(back, src); e > 1e-3 {
+		t.Fatalf("IDFT(DFT(x)) error %v", e)
+	}
+}
+
+func TestDFTShapeErrors(t *testing.T) {
+	if err := DFTNaive(make([]complex64, 3), make([]complex64, 4)); err == nil {
+		t.Fatal("DFTNaive accepted mismatched lengths")
+	}
+	if err := IDFTNaive(make([]complex64, 3), make([]complex64, 4)); err == nil {
+		t.Fatal("IDFTNaive accepted mismatched lengths")
+	}
+}
+
+func TestFFTShift(t *testing.T) {
+	x := []complex64{0, 1, 2, 3}
+	FFTShift(x)
+	want := []complex64{2, 3, 0, 1}
+	for i := range want {
+		if x[i] != want[i] {
+			t.Fatalf("FFTShift = %v, want %v", x, want)
+		}
+	}
+	// Applying the shift twice on even lengths is the identity.
+	y := []complex64{5, 6, 7, 8, 9, 10, 11, 12}
+	orig := append([]complex64(nil), y...)
+	FFTShift(y)
+	FFTShift(y)
+	for i := range orig {
+		if y[i] != orig[i] {
+			t.Fatalf("double FFTShift not identity: %v", y)
+		}
+	}
+	// Odd length: rotation by (n+1)/2.
+	z := []complex64{1, 2, 3}
+	FFTShift(z)
+	wantOdd := []complex64{3, 1, 2}
+	for i := range wantOdd {
+		if z[i] != wantOdd[i] {
+			t.Fatalf("odd FFTShift = %v, want %v", z, wantOdd)
+		}
+	}
+	// Degenerate sizes must not panic.
+	FFTShift(nil)
+	FFTShift([]complex64{42})
+}
+
+func TestLFMChirpProperties(t *testing.T) {
+	n := 256
+	chirp := make([]complex64, n)
+	LFMChirp(chirp, 0.5)
+	for i, c := range chirp {
+		mag := math.Hypot(float64(real(c)), float64(imag(c)))
+		if math.Abs(mag-1) > 1e-5 {
+			t.Fatalf("chirp sample %d magnitude %v, want 1", i, mag)
+		}
+	}
+	// Autocorrelation peaks at zero lag: matched filtering the chirp
+	// against itself must find lag 0 decisively.
+	lag, _ := MatchFilter(chirp, chirp)
+	if lag != 0 {
+		t.Fatalf("chirp autocorrelation peak at lag %d, want 0", lag)
+	}
+	LFMChirp(nil, 0.5) // must not panic
+}
+
+func TestConjVecMul(t *testing.T) {
+	a := []complex64{complex(1, 2), complex(3, -4)}
+	b := []complex64{complex(5, 6), complex(-7, 8)}
+	dst := make([]complex64, 2)
+	if err := VecMul(dst, a, b); err != nil {
+		t.Fatal(err)
+	}
+	// (1+2i)(5+6i) = 5+6i+10i-12 = -7+16i
+	if dst[0] != complex(-7, 16) {
+		t.Fatalf("VecMul[0] = %v", dst[0])
+	}
+	if err := VecMulConj(dst, a, b); err != nil {
+		t.Fatal(err)
+	}
+	// (1+2i)(5-6i) = 5-6i+10i+12 = 17+4i
+	if dst[0] != complex(17, 4) {
+		t.Fatalf("VecMulConj[0] = %v", dst[0])
+	}
+	x := []complex64{complex(1, 2)}
+	ConjInPlace(x)
+	if x[0] != complex(1, -2) {
+		t.Fatalf("ConjInPlace = %v", x[0])
+	}
+	if err := VecMul(dst, a, b[:1]); err == nil {
+		t.Fatal("VecMul accepted mismatched lengths")
+	}
+	if err := VecMulConj(dst[:1], a, b); err == nil {
+		t.Fatal("VecMulConj accepted mismatched lengths")
+	}
+}
+
+// Property: VecMulConj(x, x) is real non-negative (|x|^2).
+func TestVecMulConjSelfProperty(t *testing.T) {
+	f := func(re, im float32) bool {
+		a := []complex64{complex(re, im)}
+		dst := make([]complex64, 1)
+		if VecMulConj(dst, a, a) != nil {
+			return false
+		}
+		return real(dst[0]) >= 0 && imag(dst[0]) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxAbsIndex(t *testing.T) {
+	idx, mag := MaxAbsIndex(nil)
+	if idx != -1 || mag != 0 {
+		t.Fatalf("empty MaxAbsIndex = %d,%v", idx, mag)
+	}
+	x := []complex64{1, complex(0, -5), 3}
+	idx, mag = MaxAbsIndex(x)
+	if idx != 1 || math.Abs(mag-5) > 1e-6 {
+		t.Fatalf("MaxAbsIndex = %d,%v, want 1,5", idx, mag)
+	}
+	// First maximum wins ties.
+	y := []complex64{2, complex(0, 2)}
+	if idx, _ := MaxAbsIndex(y); idx != 0 {
+		t.Fatalf("tie break index %d, want 0", idx)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	// 2x3 matrix.
+	src := []complex64{1, 2, 3, 4, 5, 6}
+	dst := make([]complex64, 6)
+	if err := Transpose(dst, src, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	want := []complex64{1, 4, 2, 5, 3, 6}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("Transpose = %v, want %v", dst, want)
+		}
+	}
+	if err := Transpose(dst, src, 3, 3); err == nil {
+		t.Fatal("Transpose accepted bad shape")
+	}
+	// Double transpose is the identity.
+	back := make([]complex64, 6)
+	if err := Transpose(back, dst, 3, 2); err != nil {
+		t.Fatal(err)
+	}
+	for i := range src {
+		if back[i] != src[i] {
+			t.Fatalf("transpose involution broken: %v", back)
+		}
+	}
+}
+
+func TestDelay(t *testing.T) {
+	x := []complex64{1, 2, 3, 4}
+	d := Delay(x, 2)
+	want := []complex64{0, 0, 1, 2}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Fatalf("Delay = %v, want %v", d, want)
+		}
+	}
+}
+
+func BenchmarkFFT256(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := randComplex(rng, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = FFTInPlace(x)
+	}
+}
+
+func BenchmarkDFTNaive256(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	src := randComplex(rng, 256)
+	dst := make([]complex64, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = DFTNaive(dst, src)
+	}
+}

@@ -1,0 +1,110 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+)
+
+// Radar kernels: LFM chirp generation, complex conjugation, the
+// frequency-domain correlator building blocks (vector multiply by
+// conjugate), peak search, and the matrix realignment used by pulse
+// Doppler (Figures 2 and 8).
+
+// LFMChirp fills dst with a unit-amplitude linear frequency modulated
+// chirp spanning normalised bandwidth bw in [0,1] (fraction of the
+// sampling rate). This is the reference waveform of the range
+// detection application.
+func LFMChirp(dst []complex64, bw float64) {
+	n := len(dst)
+	if n == 0 {
+		return
+	}
+	// Instantaneous frequency sweeps -bw/2 .. +bw/2 over n samples:
+	// phase(t) = pi*bw*(t^2/n - t), t in samples.
+	for t := 0; t < n; t++ {
+		ft := float64(t)
+		phase := math.Pi * bw * (ft*ft/float64(n) - ft)
+		dst[t] = complex(float32(math.Cos(phase)), float32(math.Sin(phase)))
+	}
+}
+
+// ConjInPlace conjugates every element of x.
+func ConjInPlace(x []complex64) {
+	for i := range x {
+		x[i] = complex(real(x[i]), -imag(x[i]))
+	}
+}
+
+// VecMul computes dst = a .* b elementwise.
+func VecMul(dst, a, b []complex64) error {
+	if len(a) != len(b) || len(dst) != len(a) {
+		return fmt.Errorf("kernels: VecMul length mismatch %d/%d/%d", len(dst), len(a), len(b))
+	}
+	for i := range a {
+		ar, ai := float64(real(a[i])), float64(imag(a[i]))
+		br, bi := float64(real(b[i])), float64(imag(b[i]))
+		dst[i] = complex(float32(ar*br-ai*bi), float32(ar*bi+ai*br))
+	}
+	return nil
+}
+
+// VecMulConj computes dst = a .* conj(b), the frequency-domain
+// cross-correlation product at the heart of both radar pipelines.
+func VecMulConj(dst, a, b []complex64) error {
+	if len(a) != len(b) || len(dst) != len(a) {
+		return fmt.Errorf("kernels: VecMulConj length mismatch %d/%d/%d", len(dst), len(a), len(b))
+	}
+	for i := range a {
+		ar, ai := float64(real(a[i])), float64(imag(a[i]))
+		br, bi := float64(real(b[i])), -float64(imag(b[i]))
+		dst[i] = complex(float32(ar*br-ai*bi), float32(ar*bi+ai*br))
+	}
+	return nil
+}
+
+// MaxAbsIndex returns the index and magnitude of the largest-magnitude
+// element (the "find maximum" / "determine maximum index" kernels).
+// The index of the first maximum wins ties; an empty slice returns
+// (-1, 0).
+func MaxAbsIndex(x []complex64) (int, float64) {
+	best, bestMag := -1, 0.0
+	for i, v := range x {
+		m := float64(real(v))*float64(real(v)) + float64(imag(v))*float64(imag(v))
+		if best == -1 || m > bestMag {
+			best, bestMag = i, m
+		}
+	}
+	if best == -1 {
+		return -1, 0
+	}
+	return best, math.Sqrt(bestMag)
+}
+
+// Transpose writes the rows-by-cols matrix src (row major) into dst as
+// its cols-by-rows transpose: the pulse Doppler "realign matrix" step
+// that turns per-pulse range profiles into per-range-gate slow-time
+// series.
+func Transpose(dst, src []complex64, rows, cols int) error {
+	if rows <= 0 || cols <= 0 || len(src) != rows*cols || len(dst) != rows*cols {
+		return fmt.Errorf("kernels: Transpose shape mismatch: %dx%d with len(src)=%d len(dst)=%d",
+			rows, cols, len(src), len(dst))
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			dst[c*rows+r] = src[r*cols+c]
+		}
+	}
+	return nil
+}
+
+// Delay returns a copy of x delayed by lag samples with zero fill, a
+// test helper for building synthetic radar returns.
+func Delay(x []complex64, lag int) []complex64 {
+	out := make([]complex64, len(x))
+	for i := lag; i < len(x); i++ {
+		if i-lag >= 0 && i-lag < len(x) {
+			out[i] = x[i-lag]
+		}
+	}
+	return out
+}

@@ -1,0 +1,145 @@
+// Package kernels is the framework's kernel library: the signal
+// processing routines (FFT, Viterbi, QPSK, correlators, ...) that the
+// paper's applications ship inside shared-object files, plus the
+// registry that stands in for dlopen/dlsym.
+//
+// A DAG node's platform entry names a `runfunc` and optionally a
+// `shared_object`; the application handler looks the symbol up at
+// parse time and attaches the resolved function to the node. Here the
+// lookup key is (shared object name, runfunc name) and the value is a
+// Go function operating on the instance's variable memory.
+package kernels
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/appmodel"
+)
+
+// Context is what a kernel invocation receives: the application
+// instance's memory and the node's argument list, in declaration
+// order, exactly as the framework dispatches tasks in the paper.
+type Context struct {
+	// Mem is the instance's variable store (shared memory between the
+	// instance's tasks).
+	Mem *appmodel.Memory
+	// Args holds the node's argument variable names in order.
+	Args []string
+	// Node is the DAG node name, for diagnostics.
+	Node string
+}
+
+// Arg resolves the i-th argument variable.
+func (c *Context) Arg(i int) (*appmodel.Value, error) {
+	if i < 0 || i >= len(c.Args) {
+		return nil, fmt.Errorf("kernels: %s: argument index %d out of range (%d args)", c.Node, i, len(c.Args))
+	}
+	return c.Mem.Lookup(c.Args[i])
+}
+
+// MustArg resolves the i-th argument or panics; kernels use it after
+// the spec has been validated.
+func (c *Context) MustArg(i int) *appmodel.Value {
+	v, err := c.Arg(i)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Func is a kernel entry point. It runs the node's computation against
+// the instance memory and returns an error only for framework-level
+// failures (bad argument shapes); numeric results flow through memory.
+type Func func(ctx *Context) error
+
+// Registry maps (shared object, runfunc) pairs to kernel functions.
+// It replaces the paper's dlopen/dlsym lookup while preserving the
+// late-binding failure mode: an unknown symbol is detected at
+// application parse time, not at dispatch.
+type Registry struct {
+	mu    sync.RWMutex
+	funcs map[string]Func
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{funcs: make(map[string]Func)}
+}
+
+func key(sharedObject, runFunc string) string { return sharedObject + "\x00" + runFunc }
+
+// Register adds a kernel under a shared object namespace. Duplicate
+// registrations are rejected, mirroring symbol-collision errors.
+func (r *Registry) Register(sharedObject, runFunc string, f Func) error {
+	if runFunc == "" {
+		return fmt.Errorf("kernels: empty runfunc name")
+	}
+	if f == nil {
+		return fmt.Errorf("kernels: nil function for %s/%s", sharedObject, runFunc)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	k := key(sharedObject, runFunc)
+	if _, dup := r.funcs[k]; dup {
+		return fmt.Errorf("kernels: duplicate symbol %s in %s", runFunc, sharedObject)
+	}
+	r.funcs[k] = f
+	return nil
+}
+
+// MustRegister is Register that panics on error; used by the package's
+// own init-time registrations.
+func (r *Registry) MustRegister(sharedObject, runFunc string, f Func) {
+	if err := r.Register(sharedObject, runFunc, f); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup resolves a runfunc within a shared object.
+func (r *Registry) Lookup(sharedObject, runFunc string) (Func, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if f, ok := r.funcs[key(sharedObject, runFunc)]; ok {
+		return f, nil
+	}
+	return nil, fmt.Errorf("kernels: undefined symbol %q in %q", runFunc, sharedObject)
+}
+
+// Symbols lists the registered (sharedObject, runFunc) pairs, sorted;
+// used by tooling and tests.
+func (r *Registry) Symbols() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.funcs))
+	for k := range r.funcs {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	for i, k := range out {
+		for j := 0; j < len(k); j++ {
+			if k[j] == 0 {
+				out[i] = k[:j] + "/" + k[j+1:]
+				break
+			}
+		}
+	}
+	return out
+}
+
+var (
+	defaultOnce sync.Once
+	defaultReg  *Registry
+)
+
+// Default returns the registry pre-populated with every SDR kernel
+// this repository ships (the framework's default signal-processing
+// application library).
+func Default() *Registry {
+	defaultOnce.Do(func() {
+		defaultReg = NewRegistry()
+		registerSDRKernels(defaultReg)
+	})
+	return defaultReg
+}

@@ -1,0 +1,219 @@
+package kernels
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/appmodel"
+)
+
+func TestRegistryRegisterLookup(t *testing.T) {
+	r := NewRegistry()
+	f := func(ctx *Context) error { return nil }
+	if err := r.Register("a.so", "f", f); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if _, err := r.Lookup("a.so", "f"); err != nil {
+		t.Fatalf("Lookup: %v", err)
+	}
+	if _, err := r.Lookup("a.so", "g"); err == nil {
+		t.Fatal("Lookup found undefined symbol")
+	}
+	if _, err := r.Lookup("b.so", "f"); err == nil {
+		t.Fatal("Lookup crossed shared-object namespaces")
+	}
+	if err := r.Register("a.so", "f", f); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+	if err := r.Register("a.so", "", f); err == nil {
+		t.Fatal("empty runfunc accepted")
+	}
+	if err := r.Register("a.so", "g", nil); err == nil {
+		t.Fatal("nil function accepted")
+	}
+	syms := r.Symbols()
+	if len(syms) != 1 || syms[0] != "a.so/f" {
+		t.Fatalf("Symbols = %v", syms)
+	}
+}
+
+func TestMustRegisterPanics(t *testing.T) {
+	r := NewRegistry()
+	r.MustRegister("x.so", "f", func(*Context) error { return nil })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustRegister did not panic on duplicate")
+		}
+	}()
+	r.MustRegister("x.so", "f", func(*Context) error { return nil })
+}
+
+func TestDefaultRegistryComplete(t *testing.T) {
+	r := Default()
+	for _, sym := range []struct{ so, name string }{
+		{SharedObjectDSP, "fft"},
+		{SharedObjectDSP, "ifft"},
+		{SharedObjectDSP, "dft_naive"},
+		{SharedObjectDSP, "idft_naive"},
+		{SharedObjectDSP, "conj"},
+		{SharedObjectDSP, "vec_mul_conj"},
+		{SharedObjectDSP, "fft_shift"},
+		{SharedObjectDSP, "max_abs"},
+		{SharedObjectDSP, "lfm_chirp"},
+		{SharedObjectFFTAccel, "fft_forward_accel"},
+		{SharedObjectFFTAccel, "fft_inverse_accel"},
+	} {
+		if _, err := r.Lookup(sym.so, sym.name); err != nil {
+			t.Errorf("default registry missing %s/%s", sym.so, sym.name)
+		}
+	}
+	if r != Default() {
+		t.Fatal("Default is not a singleton")
+	}
+}
+
+// genericMem builds an instance memory matching the generic runfunc
+// argument conventions.
+func genericMem(t *testing.T, n int) *appmodel.Memory {
+	t.Helper()
+	nBytes := make([]byte, 4)
+	nBytes[0] = byte(n)
+	nBytes[1] = byte(n >> 8)
+	spec := &appmodel.AppSpec{
+		AppName: "generic",
+		Variables: map[string]appmodel.VariableSpec{
+			"n":   {Bytes: 4, Val: nBytes},
+			"buf": {Bytes: 8, IsPtr: true, PtrAllocBytes: 8 * n},
+			"aux": {Bytes: 8, IsPtr: true, PtrAllocBytes: 8 * n},
+			"dst": {Bytes: 8, IsPtr: true, PtrAllocBytes: 8 * n},
+			"idx": {Bytes: 4},
+			"mag": {Bytes: 8},
+		},
+		DAG: map[string]appmodel.NodeSpec{
+			"x": {Platforms: []appmodel.PlatformSpec{{Name: "cpu", RunFunc: "f"}}},
+		},
+	}
+	m, err := appmodel.NewMemory(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestGenericFFTRunFuncs(t *testing.T) {
+	r := Default()
+	m := genericMem(t, 16)
+	buf := m.MustLookup("buf").Complex64s()
+	buf[0] = 1 // impulse
+	fft, err := r.Lookup(SharedObjectDSP, "fft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := &Context{Mem: m, Args: []string{"n", "buf"}, Node: "t"}
+	if err := fft(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for i := range buf {
+		if math.Abs(float64(real(buf[i]))-1) > 1e-5 || math.Abs(float64(imag(buf[i]))) > 1e-5 {
+			t.Fatalf("fft(impulse)[%d] = %v", i, buf[i])
+		}
+	}
+	ifft, _ := r.Lookup(SharedObjectDSP, "ifft")
+	if err := ifft(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(real(buf[0]))-1) > 1e-4 {
+		t.Fatalf("ifft did not restore impulse: %v", buf[0])
+	}
+	// The accelerator namespace computes the same transform.
+	accel, _ := r.Lookup(SharedObjectFFTAccel, "fft_forward_accel")
+	if err := accel(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for i := range buf {
+		if math.Abs(float64(real(buf[i]))-1) > 1e-4 {
+			t.Fatalf("accel fft mismatch at %d: %v", i, buf[i])
+		}
+	}
+}
+
+func TestGenericMaxAbsRunFunc(t *testing.T) {
+	r := Default()
+	m := genericMem(t, 8)
+	buf := m.MustLookup("buf").Complex64s()
+	buf[5] = complex(0, 9)
+	maxf, _ := r.Lookup(SharedObjectDSP, "max_abs")
+	ctx := &Context{Mem: m, Args: []string{"n", "buf", "idx", "mag"}, Node: "t"}
+	if err := maxf(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.MustLookup("idx").Int32(); got != 5 {
+		t.Fatalf("idx = %d, want 5", got)
+	}
+	if got := m.MustLookup("mag").Float64(); math.Abs(got-9) > 1e-6 {
+		t.Fatalf("mag = %v, want 9", got)
+	}
+}
+
+func TestGenericVecMulConjRunFunc(t *testing.T) {
+	r := Default()
+	m := genericMem(t, 4)
+	a := m.MustLookup("buf").Complex64s()
+	b := m.MustLookup("aux").Complex64s()
+	for i := range a[:4] {
+		a[i] = complex(1, 2)
+		b[i] = complex(1, 2)
+	}
+	f, _ := r.Lookup(SharedObjectDSP, "vec_mul_conj")
+	ctx := &Context{Mem: m, Args: []string{"n", "buf", "aux", "dst"}, Node: "t"}
+	if err := f(ctx); err != nil {
+		t.Fatal(err)
+	}
+	dst := m.MustLookup("dst").Complex64s()
+	if real(dst[0]) != 5 || imag(dst[0]) != 0 {
+		t.Fatalf("vec_mul_conj self = %v, want 5+0i", dst[0])
+	}
+}
+
+func TestGenericRunFuncErrors(t *testing.T) {
+	r := Default()
+	m := genericMem(t, 16)
+	fft, _ := r.Lookup(SharedObjectDSP, "fft")
+	// Missing argument.
+	if err := fft(&Context{Mem: m, Args: []string{"n"}, Node: "t"}); err == nil {
+		t.Fatal("fft accepted missing buffer argument")
+	}
+	// Unknown variable.
+	if err := fft(&Context{Mem: m, Args: []string{"n", "ghost"}, Node: "t"}); err == nil {
+		t.Fatal("fft accepted unknown variable")
+	}
+	// Zero n.
+	m.MustLookup("n").SetInt32(0)
+	if err := fft(&Context{Mem: m, Args: []string{"n", "buf"}, Node: "t"}); err == nil {
+		t.Fatal("fft accepted n=0")
+	}
+	// Buffer shorter than n.
+	m.MustLookup("n").SetInt32(1024)
+	err := fft(&Context{Mem: m, Args: []string{"n", "buf"}, Node: "t"})
+	if err == nil || !strings.Contains(err.Error(), "need 1024") {
+		t.Fatalf("short buffer error = %v", err)
+	}
+}
+
+func TestContextArgBounds(t *testing.T) {
+	m := genericMem(t, 4)
+	ctx := &Context{Mem: m, Args: []string{"n"}, Node: "t"}
+	if _, err := ctx.Arg(-1); err == nil {
+		t.Fatal("Arg(-1) succeeded")
+	}
+	if _, err := ctx.Arg(1); err == nil {
+		t.Fatal("Arg out of range succeeded")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustArg did not panic")
+		}
+	}()
+	ctx.MustArg(5)
+}

@@ -1,0 +1,216 @@
+package kernels
+
+import "fmt"
+
+// Generic runfunc wrappers. Application-specific shared objects
+// (range_detection.so, wifi_tx.so, ...) live in package apps; the
+// symbols here form the framework's common DSP library ("dsp.so") and
+// the accelerator interface library ("fft_accel.so") that nodes
+// reference through per-platform shared_object overrides, as the
+// FFT_0 node of Listing 1 does.
+//
+// Argument conventions for the generic symbols:
+//
+//	arg0: n_samples (scalar int32) — number of complex samples
+//	arg1: primary buffer (complex64 heap)
+//	arg2: secondary buffer where applicable (operand or destination)
+const (
+	// SharedObjectDSP is the common DSP library namespace.
+	SharedObjectDSP = "dsp.so"
+	// SharedObjectFFTAccel is the accelerator interface namespace the
+	// paper demonstrates with its ZCU102 FFT IP.
+	SharedObjectFFTAccel = "fft_accel.so"
+)
+
+func argComplexN(ctx *Context, idx int, n int) ([]complex64, error) {
+	v, err := ctx.Arg(idx)
+	if err != nil {
+		return nil, err
+	}
+	cs := v.Complex64s()
+	if len(cs) < n {
+		return nil, fmt.Errorf("kernels: %s: argument %d holds %d complex samples, need %d",
+			ctx.Node, idx, len(cs), n)
+	}
+	return cs[:n], nil
+}
+
+func argN(ctx *Context) (int, error) {
+	v, err := ctx.Arg(0)
+	if err != nil {
+		return 0, err
+	}
+	n := int(v.Int32())
+	if n <= 0 {
+		return 0, fmt.Errorf("kernels: %s: n_samples = %d", ctx.Node, n)
+	}
+	return n, nil
+}
+
+// fftForward is the in-place FFT over arg1[0:n].
+func fftForward(ctx *Context) error {
+	n, err := argN(ctx)
+	if err != nil {
+		return err
+	}
+	buf, err := argComplexN(ctx, 1, n)
+	if err != nil {
+		return err
+	}
+	return FFTInPlace(buf)
+}
+
+func fftInverse(ctx *Context) error {
+	n, err := argN(ctx)
+	if err != nil {
+		return err
+	}
+	buf, err := argComplexN(ctx, 1, n)
+	if err != nil {
+		return err
+	}
+	return IFFTInPlace(buf)
+}
+
+func dftNaive(ctx *Context) error {
+	n, err := argN(ctx)
+	if err != nil {
+		return err
+	}
+	src, err := argComplexN(ctx, 1, n)
+	if err != nil {
+		return err
+	}
+	dst, err := argComplexN(ctx, 2, n)
+	if err != nil {
+		return err
+	}
+	return DFTNaive(dst, src)
+}
+
+func idftNaive(ctx *Context) error {
+	n, err := argN(ctx)
+	if err != nil {
+		return err
+	}
+	src, err := argComplexN(ctx, 1, n)
+	if err != nil {
+		return err
+	}
+	dst, err := argComplexN(ctx, 2, n)
+	if err != nil {
+		return err
+	}
+	return IDFTNaive(dst, src)
+}
+
+func conj(ctx *Context) error {
+	n, err := argN(ctx)
+	if err != nil {
+		return err
+	}
+	buf, err := argComplexN(ctx, 1, n)
+	if err != nil {
+		return err
+	}
+	ConjInPlace(buf)
+	return nil
+}
+
+func vecMulConj(ctx *Context) error {
+	n, err := argN(ctx)
+	if err != nil {
+		return err
+	}
+	a, err := argComplexN(ctx, 1, n)
+	if err != nil {
+		return err
+	}
+	b, err := argComplexN(ctx, 2, n)
+	if err != nil {
+		return err
+	}
+	dst, err := argComplexN(ctx, 3, n)
+	if err != nil {
+		return err
+	}
+	return VecMulConj(dst, a, b)
+}
+
+func fftShift(ctx *Context) error {
+	n, err := argN(ctx)
+	if err != nil {
+		return err
+	}
+	buf, err := argComplexN(ctx, 1, n)
+	if err != nil {
+		return err
+	}
+	FFTShift(buf)
+	return nil
+}
+
+// maxAbs writes the argmax index into arg2 (int32 scalar) and the
+// magnitude into arg3 (float64 scalar).
+func maxAbs(ctx *Context) error {
+	n, err := argN(ctx)
+	if err != nil {
+		return err
+	}
+	buf, err := argComplexN(ctx, 1, n)
+	if err != nil {
+		return err
+	}
+	idxV, err := ctx.Arg(2)
+	if err != nil {
+		return err
+	}
+	magV, err := ctx.Arg(3)
+	if err != nil {
+		return err
+	}
+	idx, mag := MaxAbsIndex(buf)
+	idxV.SetInt32(int32(idx))
+	magV.SetFloat64(mag)
+	return nil
+}
+
+func lfmChirp(ctx *Context) error {
+	n, err := argN(ctx)
+	if err != nil {
+		return err
+	}
+	buf, err := argComplexN(ctx, 1, n)
+	if err != nil {
+		return err
+	}
+	LFMChirp(buf, 0.5)
+	return nil
+}
+
+// registerSDRKernels populates a registry with the generic library.
+// The accelerator namespace registers functionally identical
+// transforms — on real silicon the accelerator computes the same FFT;
+// only the timing model (DMA + accelerator clock) differs, which the
+// resource manager owns.
+func registerSDRKernels(r *Registry) {
+	type entry struct {
+		so, name string
+		f        Func
+	}
+	for _, e := range []entry{
+		{SharedObjectDSP, "fft", fftForward},
+		{SharedObjectDSP, "ifft", fftInverse},
+		{SharedObjectDSP, "dft_naive", dftNaive},
+		{SharedObjectDSP, "idft_naive", idftNaive},
+		{SharedObjectDSP, "conj", conj},
+		{SharedObjectDSP, "vec_mul_conj", vecMulConj},
+		{SharedObjectDSP, "fft_shift", fftShift},
+		{SharedObjectDSP, "max_abs", maxAbs},
+		{SharedObjectDSP, "lfm_chirp", lfmChirp},
+		{SharedObjectFFTAccel, "fft_forward_accel", fftForward},
+		{SharedObjectFFTAccel, "fft_inverse_accel", fftInverse},
+	} {
+		r.MustRegister(e.so, e.name, e.f)
+	}
+}

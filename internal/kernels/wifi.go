@@ -1,0 +1,166 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+)
+
+// WiFi baseband kernels (Figure 7): scrambler, convolutional encoder
+// and Viterbi decoder, block interleaver, QPSK modulation, pilot
+// handling, CRC, the AWGN channel connecting transmitter to receiver,
+// and the receiver's matched filter / payload extraction.
+//
+// Bits travel as []byte with values 0/1 (one bit per byte), the
+// representation the original C kernels use for clarity; symbols are
+// interleaved complex64.
+
+// --- scrambler ------------------------------------------------------------
+
+// ScramblerSeed is the default initial LFSR state (non-zero).
+const ScramblerSeed byte = 0x5D
+
+// Scramble XORs src with the output of the 802.11 frame-synchronous
+// scrambler LFSR (x^7 + x^4 + 1) seeded with seed, writing to dst.
+// Applying it twice with the same seed restores the input, so the
+// receiver's descrambler is the same kernel.
+func Scramble(dst, src []byte, seed byte) error {
+	if len(dst) != len(src) {
+		return fmt.Errorf("kernels: Scramble length mismatch %d/%d", len(dst), len(src))
+	}
+	state := seed & 0x7F
+	if state == 0 {
+		state = ScramblerSeed
+	}
+	for i, b := range src {
+		if b > 1 {
+			return fmt.Errorf("kernels: Scramble input %d at index %d is not a bit", b, i)
+		}
+		fb := ((state >> 6) ^ (state >> 3)) & 1
+		state = ((state << 1) | fb) & 0x7F
+		dst[i] = b ^ fb
+	}
+	return nil
+}
+
+// --- convolutional code ---------------------------------------------------
+
+// Industry-standard K=7 rate-1/2 generators (octal 133, 171).
+const (
+	convG0 = 0x5B // 133 octal = 1011011b
+	convG1 = 0x79 // 171 octal = 1111001b
+	// ConvK is the constraint length.
+	ConvK = 7
+	// ConvTail is the number of zero tail bits that flush the encoder
+	// back to state zero.
+	ConvTail = ConvK - 1
+)
+
+func parity7(x int) byte {
+	x ^= x >> 4
+	x ^= x >> 2
+	x ^= x >> 1
+	return byte(x & 1)
+}
+
+// ConvEncode encodes src (bits) at rate 1/2 into dst, which must be
+// exactly twice as long. Callers append ConvTail zero bits to src to
+// terminate the trellis.
+func ConvEncode(dst, src []byte) error {
+	if len(dst) != 2*len(src) {
+		return fmt.Errorf("kernels: ConvEncode dst length %d != 2*%d", len(dst), len(src))
+	}
+	window := 0 // 7-bit window, newest bit at LSB
+	for i, b := range src {
+		if b > 1 {
+			return fmt.Errorf("kernels: ConvEncode input %d at index %d is not a bit", b, i)
+		}
+		window = ((window << 1) | int(b)) & 0x7F
+		dst[2*i] = parity7(window & convG0)
+		dst[2*i+1] = parity7(window & convG1)
+	}
+	return nil
+}
+
+// ViterbiDecode performs hard-decision maximum-likelihood decoding of
+// a rate-1/2 K=7 stream. src holds 2n coded bits; dst receives n
+// decoded bits. The decoder assumes the encoder was flushed with tail
+// zeros (trellis terminates in state 0) and falls back to the best
+// surviving state when it was not.
+func ViterbiDecode(dst, src []byte) error {
+	if len(src)%2 != 0 {
+		return fmt.Errorf("kernels: ViterbiDecode: odd coded length %d", len(src))
+	}
+	n := len(src) / 2
+	if len(dst) != n {
+		return fmt.Errorf("kernels: ViterbiDecode dst length %d != %d", len(dst), n)
+	}
+	if n == 0 {
+		return nil
+	}
+	// State = the encoder's last 6 input bits, newest at LSB. A step
+	// with input b moves state s to ns = ((s<<1)|b) & 63 emitting the
+	// parities of the 7-bit window (s<<1)|b. Consequently the low bit
+	// of ns IS the input bit, and the two branches into ns come from
+	// predecessors (ns>>1) and (ns>>1)|32 — they differ only in the
+	// oldest window bit. The decision array therefore records which
+	// predecessor's top bit survived.
+	const nStates = 1 << (ConvK - 1)
+	const inf = math.MaxInt32 / 2
+	metric := make([]int32, nStates)
+	next := make([]int32, nStates)
+	for s := 1; s < nStates; s++ {
+		metric[s] = inf
+	}
+	decisions := make([][]byte, n)
+	for t := 0; t < n; t++ {
+		r0, r1 := src[2*t], src[2*t+1]
+		if r0 > 1 || r1 > 1 {
+			return fmt.Errorf("kernels: ViterbiDecode input at step %d is not a bit", t)
+		}
+		dec := make([]byte, nStates)
+		for ns := 0; ns < nStates; ns++ {
+			b := ns & 1
+			base := ns >> 1
+			bestM := int32(inf)
+			var bestTop byte
+			for top := 0; top < 2; top++ {
+				s := base | (top << 5)
+				if metric[s] >= inf {
+					continue
+				}
+				window := (s << 1) | b
+				bm := int32(0)
+				if parity7(window&convG0) != r0 {
+					bm++
+				}
+				if parity7(window&convG1) != r1 {
+					bm++
+				}
+				if m := metric[s] + bm; m < bestM {
+					bestM = m
+					bestTop = byte(top)
+				}
+			}
+			next[ns] = bestM
+			dec[ns] = bestTop
+		}
+		metric, next = next, metric
+		decisions[t] = dec
+	}
+	// Terminated trellis ends in state 0; otherwise take the best
+	// surviving state.
+	state := 0
+	if metric[0] >= inf {
+		best := int32(inf)
+		for s := 0; s < nStates; s++ {
+			if metric[s] < best {
+				best, state = metric[s], s
+			}
+		}
+	}
+	for t := n - 1; t >= 0; t-- {
+		dst[t] = byte(state & 1)
+		state = (state >> 1) | int(decisions[t][state])<<5
+	}
+	return nil
+}

@@ -1,0 +1,273 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// --- block interleaver ------------------------------------------------------
+
+// Interleave writes src row-wise into a rows x cols matrix and reads
+// it column-wise into dst. len(src) must be a multiple of rows.
+func Interleave(dst, src []byte, rows int) error {
+	n := len(src)
+	if len(dst) != n {
+		return fmt.Errorf("kernels: Interleave length mismatch %d/%d", len(dst), n)
+	}
+	if rows <= 0 || n%rows != 0 {
+		return fmt.Errorf("kernels: Interleave: length %d not divisible by %d rows", n, rows)
+	}
+	cols := n / rows
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			dst[c*rows+r] = src[r*cols+c]
+		}
+	}
+	return nil
+}
+
+// Deinterleave inverts Interleave with the same row count.
+func Deinterleave(dst, src []byte, rows int) error {
+	n := len(src)
+	if len(dst) != n {
+		return fmt.Errorf("kernels: Deinterleave length mismatch %d/%d", len(dst), n)
+	}
+	if rows <= 0 || n%rows != 0 {
+		return fmt.Errorf("kernels: Deinterleave: length %d not divisible by %d rows", n, rows)
+	}
+	cols := n / rows
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			dst[r*cols+c] = src[c*rows+r]
+		}
+	}
+	return nil
+}
+
+// --- QPSK ---------------------------------------------------------------
+
+var qpskScale = float32(1 / math.Sqrt2)
+
+// QPSKMod Gray-maps bit pairs to unit-energy QPSK symbols:
+// (b0,b1)=(0,0) -> (+1+1i)/sqrt2, a 1 bit flips the corresponding axis
+// sign. len(bits) must be even and len(dst) = len(bits)/2.
+func QPSKMod(dst []complex64, bits []byte) error {
+	if len(bits)%2 != 0 {
+		return fmt.Errorf("kernels: QPSKMod: odd bit count %d", len(bits))
+	}
+	if len(dst) != len(bits)/2 {
+		return fmt.Errorf("kernels: QPSKMod dst length %d != %d", len(dst), len(bits)/2)
+	}
+	for i := 0; i < len(dst); i++ {
+		b0, b1 := bits[2*i], bits[2*i+1]
+		if b0 > 1 || b1 > 1 {
+			return fmt.Errorf("kernels: QPSKMod input at %d is not a bit", i)
+		}
+		re := qpskScale
+		if b0 == 1 {
+			re = -re
+		}
+		im := qpskScale
+		if b1 == 1 {
+			im = -im
+		}
+		dst[i] = complex(re, im)
+	}
+	return nil
+}
+
+// QPSKDemod hard-decides symbols back to bit pairs.
+func QPSKDemod(dst []byte, syms []complex64) error {
+	if len(dst) != 2*len(syms) {
+		return fmt.Errorf("kernels: QPSKDemod dst length %d != %d", len(dst), 2*len(syms))
+	}
+	for i, s := range syms {
+		if real(s) < 0 {
+			dst[2*i] = 1
+		} else {
+			dst[2*i] = 0
+		}
+		if imag(s) < 0 {
+			dst[2*i+1] = 1
+		} else {
+			dst[2*i+1] = 0
+		}
+	}
+	return nil
+}
+
+// --- pilots ----------------------------------------------------------------
+
+// PilotSymbol is the known reference symbol inserted between data
+// symbols for channel tracking.
+var PilotSymbol = complex(float32(1), float32(0))
+
+// PilotInsert interleaves one pilot after every `spacing` data
+// symbols. len(src) must be a multiple of spacing and len(dst) must be
+// len(src) + len(src)/spacing.
+func PilotInsert(dst, src []complex64, spacing int) error {
+	if spacing <= 0 || len(src)%spacing != 0 {
+		return fmt.Errorf("kernels: PilotInsert: %d symbols not divisible by spacing %d", len(src), spacing)
+	}
+	want := len(src) + len(src)/spacing
+	if len(dst) != want {
+		return fmt.Errorf("kernels: PilotInsert dst length %d != %d", len(dst), want)
+	}
+	di := 0
+	for i, s := range src {
+		dst[di] = s
+		di++
+		if (i+1)%spacing == 0 {
+			dst[di] = PilotSymbol
+			di++
+		}
+	}
+	return nil
+}
+
+// PilotRemove strips the pilots inserted by PilotInsert with the same
+// spacing. len(src) must be a multiple of spacing+1.
+func PilotRemove(dst, src []complex64, spacing int) error {
+	if spacing <= 0 || len(src)%(spacing+1) != 0 {
+		return fmt.Errorf("kernels: PilotRemove: %d symbols not divisible by %d", len(src), spacing+1)
+	}
+	want := len(src) - len(src)/(spacing+1)
+	if len(dst) != want {
+		return fmt.Errorf("kernels: PilotRemove dst length %d != %d", len(dst), want)
+	}
+	di := 0
+	for i, s := range src {
+		if (i+1)%(spacing+1) == 0 {
+			continue // pilot slot
+		}
+		dst[di] = s
+		di++
+	}
+	return nil
+}
+
+// --- CRC ---------------------------------------------------------------
+
+// crcTable is the reflected CRC-32 (IEEE 802.3, poly 0xEDB88320)
+// lookup table, built once at package init. The kernel is implemented
+// from scratch rather than via hash/crc32 because it is one of the
+// application tasks the framework schedules; tests cross-check it
+// against the standard library.
+var crcTable [256]uint32
+
+func init() {
+	const poly = 0xEDB88320
+	for i := range crcTable {
+		c := uint32(i)
+		for k := 0; k < 8; k++ {
+			if c&1 != 0 {
+				c = (c >> 1) ^ poly
+			} else {
+				c >>= 1
+			}
+		}
+		crcTable[i] = c
+	}
+}
+
+// CRC32 computes the IEEE CRC-32 of data.
+func CRC32(data []byte) uint32 {
+	c := ^uint32(0)
+	for _, b := range data {
+		c = crcTable[byte(c)^b] ^ (c >> 8)
+	}
+	return ^c
+}
+
+// CRC32Bits computes the CRC over a bit slice (values 0/1) by packing
+// bits MSB-first into bytes, zero-padding the tail.
+func CRC32Bits(bits []byte) uint32 {
+	packed := make([]byte, (len(bits)+7)/8)
+	for i, b := range bits {
+		if b != 0 {
+			packed[i/8] |= 1 << (7 - uint(i%8))
+		}
+	}
+	return CRC32(packed)
+}
+
+// --- channel ----------------------------------------------------------------
+
+// AWGN adds white Gaussian noise to src at the given per-symbol SNR in
+// dB, measuring signal power from src itself. The rng parameter keeps
+// the channel deterministic per emulation run.
+func AWGN(dst, src []complex64, snrDB float64, rng *rand.Rand) error {
+	if len(dst) != len(src) {
+		return fmt.Errorf("kernels: AWGN length mismatch %d/%d", len(dst), len(src))
+	}
+	if len(src) == 0 {
+		return nil
+	}
+	var power float64
+	for _, s := range src {
+		power += float64(real(s))*float64(real(s)) + float64(imag(s))*float64(imag(s))
+	}
+	power /= float64(len(src))
+	noisePower := power / math.Pow(10, snrDB/10)
+	sigma := math.Sqrt(noisePower / 2)
+	for i, s := range src {
+		dst[i] = complex(
+			real(s)+float32(sigma*rng.NormFloat64()),
+			imag(s)+float32(sigma*rng.NormFloat64()),
+		)
+	}
+	return nil
+}
+
+// --- frame synchronisation -------------------------------------------------
+
+// PreambleLen is the length of the known synchronisation preamble.
+const PreambleLen = 32
+
+// Preamble returns the fixed pseudo-random QPSK preamble prepended to
+// every frame. It is generated from the scrambler LFSR so transmitter
+// and receiver agree without shared state.
+func Preamble() []complex64 {
+	bits := make([]byte, 2*PreambleLen)
+	_ = Scramble(bits, bits, 0x2A) // scrambling zeros yields the LFSR stream
+	p := make([]complex64, PreambleLen)
+	_ = QPSKMod(p, bits)
+	return p
+}
+
+// MatchFilter cross-correlates rx against the reference sequence and
+// returns the lag with the largest correlation magnitude — the frame
+// start estimate (the receiver's "match filter" block).
+func MatchFilter(rx, ref []complex64) (int, float64) {
+	if len(ref) == 0 || len(rx) < len(ref) {
+		return -1, 0
+	}
+	bestLag, bestMag := -1, 0.0
+	for lag := 0; lag+len(ref) <= len(rx); lag++ {
+		var cr, ci float64
+		for j, r := range ref {
+			x := rx[lag+j]
+			// x * conj(r)
+			cr += float64(real(x))*float64(real(r)) + float64(imag(x))*float64(imag(r))
+			ci += float64(imag(x))*float64(real(r)) - float64(real(x))*float64(imag(r))
+		}
+		m := cr*cr + ci*ci
+		if bestLag == -1 || m > bestMag {
+			bestLag, bestMag = lag, m
+		}
+	}
+	return bestLag, math.Sqrt(bestMag)
+}
+
+// PayloadExtract copies len(dst) symbols of rx starting just after the
+// preamble at the given frame offset.
+func PayloadExtract(dst, rx []complex64, frameStart, preambleLen int) error {
+	begin := frameStart + preambleLen
+	if begin < 0 || begin+len(dst) > len(rx) {
+		return fmt.Errorf("kernels: PayloadExtract: payload [%d,%d) outside rx of %d symbols",
+			begin, begin+len(dst), len(rx))
+	}
+	copy(dst, rx[begin:begin+len(dst)])
+	return nil
+}

@@ -1,0 +1,509 @@
+package kernels
+
+import (
+	"bytes"
+	"hash/crc32"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randBits(rng *rand.Rand, n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(rng.Intn(2))
+	}
+	return b
+}
+
+// --- scrambler -----------------------------------------------------------
+
+func TestScrambleInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	src := randBits(rng, 200)
+	mid := make([]byte, len(src))
+	out := make([]byte, len(src))
+	if err := Scramble(mid, src, ScramblerSeed); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(mid, src) {
+		t.Fatal("scrambler left the data unchanged")
+	}
+	if err := Scramble(out, mid, ScramblerSeed); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, src) {
+		t.Fatal("descramble(scramble(x)) != x")
+	}
+}
+
+func TestScrambleProperty(t *testing.T) {
+	f := func(data []byte, seed byte) bool {
+		src := make([]byte, len(data))
+		for i := range data {
+			src[i] = data[i] & 1
+		}
+		mid := make([]byte, len(src))
+		out := make([]byte, len(src))
+		if Scramble(mid, src, seed) != nil {
+			return false
+		}
+		if Scramble(out, mid, seed) != nil {
+			return false
+		}
+		return bytes.Equal(out, src)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScrambleErrors(t *testing.T) {
+	if err := Scramble(make([]byte, 2), make([]byte, 3), 1); err == nil {
+		t.Fatal("accepted length mismatch")
+	}
+	if err := Scramble(make([]byte, 1), []byte{2}, 1); err == nil {
+		t.Fatal("accepted non-bit input")
+	}
+	// A zero seed falls back to the default rather than emitting the
+	// all-zero keystream (which would make scrambling a no-op).
+	src := make([]byte, 64)
+	out := make([]byte, 64)
+	if err := Scramble(out, src, 0); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(out, src) {
+		t.Fatal("zero seed produced the identity keystream")
+	}
+}
+
+// --- convolutional code -----------------------------------------------------
+
+func encodeWithTail(t *testing.T, payload []byte) []byte {
+	t.Helper()
+	src := append(append([]byte(nil), payload...), make([]byte, ConvTail)...)
+	dst := make([]byte, 2*len(src))
+	if err := ConvEncode(dst, src); err != nil {
+		t.Fatal(err)
+	}
+	return dst
+}
+
+func TestViterbiRecoversCleanStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 8, 64, 200} {
+		payload := randBits(rng, n)
+		coded := encodeWithTail(t, payload)
+		decoded := make([]byte, n+ConvTail)
+		if err := ViterbiDecode(decoded, coded); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(decoded[:n], payload) {
+			t.Fatalf("n=%d: clean decode mismatch", n)
+		}
+		for _, b := range decoded[n:] {
+			if b != 0 {
+				t.Fatalf("n=%d: tail bits not zero: %v", n, decoded[n:])
+			}
+		}
+	}
+}
+
+func TestViterbiCorrectsBitErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	payload := randBits(rng, 64)
+	coded := encodeWithTail(t, payload)
+	// Flip three well-separated coded bits; a K=7 code corrects them.
+	for _, pos := range []int{10, 60, 120} {
+		coded[pos] ^= 1
+	}
+	decoded := make([]byte, 64+ConvTail)
+	if err := ViterbiDecode(decoded, coded); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(decoded[:64], payload) {
+		t.Fatal("Viterbi failed to correct 3 separated bit errors")
+	}
+}
+
+// Property: decode(encode(x)) == x for random payloads (clean channel).
+func TestViterbiRoundTripProperty(t *testing.T) {
+	f := func(data []byte) bool {
+		if len(data) == 0 {
+			return true
+		}
+		if len(data) > 96 {
+			data = data[:96]
+		}
+		payload := make([]byte, len(data))
+		for i := range data {
+			payload[i] = data[i] & 1
+		}
+		src := append(append([]byte(nil), payload...), make([]byte, ConvTail)...)
+		coded := make([]byte, 2*len(src))
+		if ConvEncode(coded, src) != nil {
+			return false
+		}
+		decoded := make([]byte, len(src))
+		if ViterbiDecode(decoded, coded) != nil {
+			return false
+		}
+		return bytes.Equal(decoded[:len(payload)], payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestViterbiUnterminated(t *testing.T) {
+	// Without tail flush the decoder falls back to the best surviving
+	// state; early bits still decode correctly.
+	payload := []byte{1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1, 0, 0, 1, 0, 1}
+	coded := make([]byte, 2*len(payload))
+	if err := ConvEncode(coded, payload); err != nil {
+		t.Fatal(err)
+	}
+	decoded := make([]byte, len(payload))
+	if err := ViterbiDecode(decoded, coded); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(decoded[:8], payload[:8]) {
+		t.Fatalf("unterminated decode lost early bits: %v vs %v", decoded[:8], payload[:8])
+	}
+}
+
+func TestConvCodeErrors(t *testing.T) {
+	if err := ConvEncode(make([]byte, 3), make([]byte, 2)); err == nil {
+		t.Fatal("ConvEncode accepted bad dst length")
+	}
+	if err := ConvEncode(make([]byte, 2), []byte{5}); err == nil {
+		t.Fatal("ConvEncode accepted non-bit")
+	}
+	if err := ViterbiDecode(make([]byte, 1), make([]byte, 3)); err == nil {
+		t.Fatal("ViterbiDecode accepted odd coded length")
+	}
+	if err := ViterbiDecode(make([]byte, 2), make([]byte, 2)); err == nil {
+		t.Fatal("ViterbiDecode accepted bad dst length")
+	}
+	if err := ViterbiDecode(make([]byte, 1), []byte{3, 0}); err == nil {
+		t.Fatal("ViterbiDecode accepted non-bit input")
+	}
+	if err := ViterbiDecode([]byte{}, []byte{}); err != nil {
+		t.Fatalf("empty decode should be a no-op: %v", err)
+	}
+}
+
+// --- interleaver ----------------------------------------------------------
+
+func TestInterleaveRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	src := randBits(rng, 140)
+	il := make([]byte, 140)
+	out := make([]byte, 140)
+	if err := Interleave(il, src, 10); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(il, src) {
+		t.Fatal("interleaver was the identity on random data")
+	}
+	if err := Deinterleave(out, il, 10); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, src) {
+		t.Fatal("deinterleave(interleave(x)) != x")
+	}
+}
+
+func TestInterleaveSpreadsBursts(t *testing.T) {
+	// The whole point of the interleaver: a burst of adjacent coded
+	// bits must land far apart. Check a 4-burst maps to pairwise
+	// distances >= rows.
+	n, rows := 40, 8
+	src := make([]byte, n)
+	il := make([]byte, n)
+	for i := 12; i < 16; i++ {
+		src[i] = 1
+	}
+	if err := Interleave(il, src, rows); err != nil {
+		t.Fatal(err)
+	}
+	var positions []int
+	for i, b := range il {
+		if b == 1 {
+			positions = append(positions, i)
+		}
+	}
+	if len(positions) != 4 {
+		t.Fatalf("lost bits: %v", positions)
+	}
+	for i := 1; i < len(positions); i++ {
+		if positions[i]-positions[i-1] < rows {
+			t.Fatalf("burst not spread: positions %v", positions)
+		}
+	}
+}
+
+func TestInterleaveErrors(t *testing.T) {
+	if err := Interleave(make([]byte, 9), make([]byte, 10), 2); err == nil {
+		t.Fatal("accepted length mismatch")
+	}
+	if err := Interleave(make([]byte, 10), make([]byte, 10), 3); err == nil {
+		t.Fatal("accepted indivisible rows")
+	}
+	if err := Deinterleave(make([]byte, 9), make([]byte, 10), 2); err == nil {
+		t.Fatal("accepted length mismatch")
+	}
+	if err := Deinterleave(make([]byte, 10), make([]byte, 10), 0); err == nil {
+		t.Fatal("accepted zero rows")
+	}
+}
+
+// --- QPSK -----------------------------------------------------------------
+
+func TestQPSKRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	bits := randBits(rng, 128)
+	syms := make([]complex64, 64)
+	back := make([]byte, 128)
+	if err := QPSKMod(syms, bits); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range syms {
+		e := float64(real(s))*float64(real(s)) + float64(imag(s))*float64(imag(s))
+		if e < 0.99 || e > 1.01 {
+			t.Fatalf("symbol %d energy %v, want 1", i, e)
+		}
+	}
+	if err := QPSKDemod(back, syms); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, bits) {
+		t.Fatal("QPSK round trip mismatch")
+	}
+}
+
+func TestQPSKRobustToModerateNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	bits := randBits(rng, 512)
+	syms := make([]complex64, 256)
+	noisy := make([]complex64, 256)
+	back := make([]byte, 512)
+	if err := QPSKMod(syms, bits); err != nil {
+		t.Fatal(err)
+	}
+	if err := AWGN(noisy, syms, 15, rng); err != nil {
+		t.Fatal(err)
+	}
+	if err := QPSKDemod(back, noisy); err != nil {
+		t.Fatal(err)
+	}
+	errs := 0
+	for i := range bits {
+		if back[i] != bits[i] {
+			errs++
+		}
+	}
+	if errs > 2 {
+		t.Fatalf("QPSK at 15 dB: %d bit errors in 512", errs)
+	}
+}
+
+func TestQPSKErrors(t *testing.T) {
+	if err := QPSKMod(make([]complex64, 1), []byte{1}); err == nil {
+		t.Fatal("accepted odd bit count")
+	}
+	if err := QPSKMod(make([]complex64, 3), []byte{1, 0, 1, 1}); err == nil {
+		t.Fatal("accepted bad dst length")
+	}
+	if err := QPSKMod(make([]complex64, 1), []byte{2, 0}); err == nil {
+		t.Fatal("accepted non-bit")
+	}
+	if err := QPSKDemod(make([]byte, 3), make([]complex64, 2)); err == nil {
+		t.Fatal("accepted bad demod dst length")
+	}
+}
+
+// --- pilots ----------------------------------------------------------------
+
+func TestPilotRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	data := randComplex(rng, 70)
+	framed := make([]complex64, 80)
+	back := make([]complex64, 70)
+	if err := PilotInsert(framed, data, 7); err != nil {
+		t.Fatal(err)
+	}
+	// Every 8th slot is the pilot.
+	for i := 7; i < 80; i += 8 {
+		if framed[i] != PilotSymbol {
+			t.Fatalf("slot %d = %v, want pilot", i, framed[i])
+		}
+	}
+	if err := PilotRemove(back, framed, 7); err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if back[i] != data[i] {
+			t.Fatalf("pilot round trip mismatch at %d", i)
+		}
+	}
+}
+
+func TestPilotErrors(t *testing.T) {
+	if err := PilotInsert(make([]complex64, 8), make([]complex64, 6), 7); err == nil {
+		t.Fatal("accepted indivisible data length")
+	}
+	if err := PilotInsert(make([]complex64, 9), make([]complex64, 7), 7); err == nil {
+		t.Fatal("accepted bad dst length")
+	}
+	if err := PilotRemove(make([]complex64, 7), make([]complex64, 9), 7); err == nil {
+		t.Fatal("accepted indivisible frame length")
+	}
+	if err := PilotRemove(make([]complex64, 6), make([]complex64, 8), 7); err == nil {
+		t.Fatal("accepted bad dst length")
+	}
+}
+
+// --- CRC ------------------------------------------------------------------
+
+func TestCRC32MatchesStdlib(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, n := range []int{0, 1, 7, 64, 1000} {
+		data := make([]byte, n)
+		rng.Read(data)
+		if got, want := CRC32(data), crc32.ChecksumIEEE(data); got != want {
+			t.Fatalf("n=%d: CRC32 = %#x, stdlib = %#x", n, got, want)
+		}
+	}
+}
+
+// Property: flipping any single bit changes the CRC.
+func TestCRC32DetectsSingleBitErrors(t *testing.T) {
+	f := func(data []byte, idx uint16) bool {
+		if len(data) == 0 {
+			return true
+		}
+		orig := CRC32(data)
+		i := int(idx) % (len(data) * 8)
+		data[i/8] ^= 1 << (i % 8)
+		return CRC32(data) != orig
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCRC32Bits(t *testing.T) {
+	// 0x80 packed MSB-first from a single 1 bit.
+	if got, want := CRC32Bits([]byte{1}), CRC32([]byte{0x80}); got != want {
+		t.Fatalf("CRC32Bits single bit = %#x, want %#x", got, want)
+	}
+	bits := []byte{1, 0, 1, 0, 1, 0, 1, 0}
+	if got, want := CRC32Bits(bits), CRC32([]byte{0xAA}); got != want {
+		t.Fatalf("CRC32Bits byte = %#x, want %#x", got, want)
+	}
+}
+
+// --- channel / sync ---------------------------------------------------------
+
+func TestAWGNStatistics(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	n := 4096
+	src := make([]complex64, n)
+	for i := range src {
+		src[i] = 1 // unit power
+	}
+	dst := make([]complex64, n)
+	if err := AWGN(dst, src, 10, rng); err != nil { // SNR 10 dB => noise power 0.1
+		t.Fatal(err)
+	}
+	var noise float64
+	for i := range dst {
+		dr := float64(real(dst[i]) - real(src[i]))
+		di := float64(imag(dst[i]) - imag(src[i]))
+		noise += dr*dr + di*di
+	}
+	noise /= float64(n)
+	if noise < 0.08 || noise > 0.12 {
+		t.Fatalf("noise power %v, want ~0.1", noise)
+	}
+	if err := AWGN(make([]complex64, 1), make([]complex64, 2), 10, rng); err == nil {
+		t.Fatal("accepted length mismatch")
+	}
+	if err := AWGN(nil, nil, 10, rng); err != nil {
+		t.Fatalf("empty AWGN: %v", err)
+	}
+}
+
+func TestPreambleStable(t *testing.T) {
+	a, b := Preamble(), Preamble()
+	if len(a) != PreambleLen {
+		t.Fatalf("preamble length %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("preamble not deterministic")
+		}
+	}
+}
+
+func TestMatchFilterFindsFrame(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	pre := Preamble()
+	payload := randComplex(rng, 64)
+	frame := append(append([]complex64(nil), pre...), payload...)
+	// Embed at offset 37 in a noisy buffer.
+	buf := make([]complex64, 200)
+	if err := AWGN(buf, buf, 0, rng); err != nil {
+		t.Fatal(err)
+	}
+	// AWGN of a zero signal is zero noise (power measured from src);
+	// fill with small noise manually instead.
+	for i := range buf {
+		buf[i] = complex(float32(0.05*rng.NormFloat64()), float32(0.05*rng.NormFloat64()))
+	}
+	const offset = 37
+	for i, s := range frame {
+		buf[offset+i] += s
+	}
+	lag, mag := MatchFilter(buf, pre)
+	if lag != offset {
+		t.Fatalf("MatchFilter lag = %d, want %d", lag, offset)
+	}
+	if mag <= 0 {
+		t.Fatalf("MatchFilter magnitude %v", mag)
+	}
+	got := make([]complex64, 64)
+	if err := PayloadExtract(got, buf, lag, PreambleLen); err != nil {
+		t.Fatal(err)
+	}
+	// Extracted payload should be close to what was embedded.
+	var errSum float64
+	for i := range got {
+		dr := float64(real(got[i]) - real(payload[i]))
+		di := float64(imag(got[i]) - imag(payload[i]))
+		errSum += dr*dr + di*di
+	}
+	if errSum/64 > 0.02 {
+		t.Fatalf("extracted payload error %v", errSum/64)
+	}
+}
+
+func TestMatchFilterDegenerate(t *testing.T) {
+	if lag, _ := MatchFilter(nil, Preamble()); lag != -1 {
+		t.Fatalf("short rx should give lag -1, got %d", lag)
+	}
+	if lag, _ := MatchFilter(make([]complex64, 4), nil); lag != -1 {
+		t.Fatalf("empty ref should give lag -1, got %d", lag)
+	}
+}
+
+func TestPayloadExtractBounds(t *testing.T) {
+	rx := make([]complex64, 10)
+	if err := PayloadExtract(make([]complex64, 8), rx, 0, 4); err == nil {
+		t.Fatal("accepted out-of-range payload")
+	}
+	if err := PayloadExtract(make([]complex64, 2), rx, -9, 4); err == nil {
+		t.Fatal("accepted negative start")
+	}
+}

@@ -1,0 +1,116 @@
+package minic
+
+// AST node definitions. The tree is deliberately small: everything is
+// a float expression or one of six statement forms.
+
+type program struct {
+	globals []*globalDecl
+	funcs   []*funcDecl
+}
+
+type globalDecl struct {
+	name  string
+	elems int // 1 for scalars
+	init  []float64
+	line  int
+}
+
+type funcDecl struct {
+	name   string
+	params []string
+	body   []stmt
+	line   int
+}
+
+type stmt interface{ stmtNode() }
+
+type declStmt struct {
+	name string
+	init expr // may be nil
+	line int
+}
+
+type assignStmt struct {
+	name  string
+	index expr // nil for scalar assignment
+	value expr
+	line  int
+}
+
+type ifStmt struct {
+	cond      expr
+	then, els []stmt
+	line      int
+}
+
+type whileStmt struct {
+	cond expr
+	body []stmt
+	line int
+}
+
+type forStmt struct {
+	init *assignStmt // may be nil
+	cond expr        // may be nil (infinite)
+	post *assignStmt // may be nil
+	body []stmt
+	line int
+}
+
+type returnStmt struct {
+	value expr // may be nil
+	line  int
+}
+
+type exprStmt struct {
+	value expr
+	line  int
+}
+
+func (*declStmt) stmtNode()   {}
+func (*assignStmt) stmtNode() {}
+func (*ifStmt) stmtNode()     {}
+func (*whileStmt) stmtNode()  {}
+func (*forStmt) stmtNode()    {}
+func (*returnStmt) stmtNode() {}
+func (*exprStmt) stmtNode()   {}
+
+type expr interface{ exprNode() }
+
+type numberExpr struct{ val float64 }
+
+type varExpr struct {
+	name string
+	line int
+}
+
+type indexExpr struct {
+	name  string
+	index expr
+	line  int
+}
+
+type binaryExpr struct {
+	op   string
+	l, r expr
+	line int
+}
+
+type unaryExpr struct {
+	op   string // "-" or "!"
+	x    expr
+	line int
+}
+
+type callExpr struct {
+	name string
+	args []expr
+	line int
+}
+
+func (*numberExpr) exprNode() {}
+func (*varExpr) exprNode()    {}
+func (*indexExpr) exprNode()  {}
+func (*binaryExpr) exprNode() {}
+func (*unaryExpr) exprNode()  {}
+func (*callExpr) exprNode()   {}

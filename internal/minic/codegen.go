@@ -1,0 +1,522 @@
+package minic
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// Compile translates MiniC source into an ir.Module. Locals of the
+// entry function `main` are promoted to module globals (prefixed
+// "main_"), which is this toolchain's version of the paper's memory
+// analysis: the outliner's extracted kernels must reach main's state
+// through memory, exactly as CodeExtractor captures variables.
+func Compile(src, moduleName string) (*ir.Module, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := parse(toks)
+	if err != nil {
+		return nil, err
+	}
+	m := ir.NewModule(moduleName)
+	// Globals first.
+	for _, g := range prog.globals {
+		if err := m.AddGlobal(&ir.Global{Name: g.name, Elems: g.elems, Init: g.init}); err != nil {
+			return nil, fmt.Errorf("minic:%d: %w", g.line, err)
+		}
+	}
+	// Collect signatures for forward references.
+	arity := map[string]int{}
+	for _, f := range prog.funcs {
+		if _, dup := arity[f.name]; dup {
+			return nil, fmt.Errorf("minic:%d: duplicate function %q", f.line, f.name)
+		}
+		arity[f.name] = len(f.params)
+	}
+	for _, f := range prog.funcs {
+		fc := &fnCompiler{
+			m:       m,
+			prog:    prog,
+			arity:   arity,
+			promote: f.name == "main",
+			decl:    f,
+			locals:  map[string]localSlot{},
+		}
+		irf, err := fc.compile()
+		if err != nil {
+			return nil, err
+		}
+		if err := m.AddFunc(irf); err != nil {
+			return nil, err
+		}
+	}
+	if err := m.Finalize(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// builtins maps MiniC intrinsic calls to unary opcodes.
+var builtins = map[string]ir.Op{
+	"sin": ir.OpSin, "cos": ir.OpCos, "sqrt": ir.OpSqrt,
+	"abs": ir.OpAbs, "floor": ir.OpFloor,
+}
+
+// localSlot records where a local lives: a register, or a promoted
+// module global.
+type localSlot struct {
+	reg      int
+	global   string
+	promoted bool
+}
+
+type fnCompiler struct {
+	m       *ir.Module
+	prog    *program
+	arity   map[string]int
+	decl    *funcDecl
+	promote bool
+
+	f       *ir.Func
+	curIdx  int
+	locals  map[string]localSlot
+	nextReg int
+	sealed  bool // current block already has a terminator
+}
+
+func (fc *fnCompiler) compile() (*ir.Func, error) {
+	fc.f = &ir.Func{Name: fc.decl.name, NumParams: len(fc.decl.params)}
+	for _, p := range fc.decl.params {
+		fc.locals[p] = localSlot{reg: fc.nextReg}
+		fc.nextReg++
+	}
+	fc.newBlock(fmt.Sprintf("%s.entry", fc.decl.name))
+
+	if fc.promote {
+		// Each top-level statement of main becomes an outlining
+		// region, opened on a fresh block.
+		for _, s := range fc.decl.body {
+			start := fc.freshBlock(stmtHint(s))
+			if err := fc.stmt(s); err != nil {
+				return nil, err
+			}
+			fc.f.Regions = append(fc.f.Regions, ir.Region{Start: start, Hint: stmtHint(s)})
+		}
+		// Close the open regions at the following region's start.
+		for i := range fc.f.Regions {
+			if i+1 < len(fc.f.Regions) {
+				fc.f.Regions[i].End = fc.f.Regions[i+1].Start
+			}
+		}
+	} else {
+		for _, s := range fc.decl.body {
+			if err := fc.stmt(s); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Fall-through return.
+	if !fc.sealed {
+		fc.setTerm(ir.Terminator{Kind: ir.TermRet, Cond: -1})
+	}
+	if fc.promote && len(fc.f.Regions) > 0 {
+		fc.f.Regions[len(fc.f.Regions)-1].End = len(fc.f.Blocks)
+	}
+	fc.f.NumRegs = fc.nextReg
+	if fc.f.NumRegs == 0 {
+		fc.f.NumRegs = 1
+	}
+	return fc.f, nil
+}
+
+func stmtHint(s stmt) string {
+	switch st := s.(type) {
+	case *declStmt:
+		return fmt.Sprintf("decl %s@%d", st.name, st.line)
+	case *assignStmt:
+		return fmt.Sprintf("assign %s@%d", st.name, st.line)
+	case *ifStmt:
+		return fmt.Sprintf("if@%d", st.line)
+	case *whileStmt:
+		return fmt.Sprintf("while@%d", st.line)
+	case *forStmt:
+		return fmt.Sprintf("for@%d", st.line)
+	case *returnStmt:
+		return fmt.Sprintf("return@%d", st.line)
+	case *exprStmt:
+		return fmt.Sprintf("expr@%d", st.line)
+	default:
+		return "stmt"
+	}
+}
+
+// --- block plumbing -----------------------------------------------------------
+
+func (fc *fnCompiler) cur() *ir.Block { return fc.f.Blocks[fc.curIdx] }
+
+// newBlock appends a block and makes it current; returns its index.
+func (fc *fnCompiler) newBlock(label string) int {
+	fc.f.Blocks = append(fc.f.Blocks, &ir.Block{Label: label})
+	fc.curIdx = len(fc.f.Blocks) - 1
+	fc.sealed = false
+	return fc.curIdx
+}
+
+// freshBlock seals the current block with a branch to a new block and
+// returns the new block's index. Used at region boundaries so every
+// top-level statement is single-entry.
+func (fc *fnCompiler) freshBlock(label string) int {
+	prev := fc.curIdx
+	idx := len(fc.f.Blocks)
+	if !fc.sealed {
+		fc.f.Blocks[prev].Term = ir.Terminator{Kind: ir.TermBr, Then: idx}
+	}
+	fc.f.Blocks = append(fc.f.Blocks, &ir.Block{Label: label})
+	fc.curIdx = idx
+	fc.sealed = false
+	return idx
+}
+
+func (fc *fnCompiler) setTerm(t ir.Terminator) {
+	if !fc.sealed {
+		fc.cur().Term = t
+		fc.sealed = true
+	}
+}
+
+func (fc *fnCompiler) emit(in ir.Instr) {
+	if fc.sealed {
+		// Unreachable code after return: drop it into a fresh block so
+		// the IR stays well formed.
+		fc.newBlock("dead")
+	}
+	b := fc.cur()
+	b.Instrs = append(b.Instrs, in)
+}
+
+func (fc *fnCompiler) reg() int {
+	r := fc.nextReg
+	fc.nextReg++
+	return r
+}
+
+// --- statements -----------------------------------------------------------
+
+func (fc *fnCompiler) stmt(s stmt) error {
+	switch st := s.(type) {
+	case *declStmt:
+		return fc.declStmt(st)
+	case *assignStmt:
+		return fc.assignStmt(st)
+	case *ifStmt:
+		return fc.ifStmt(st)
+	case *whileStmt:
+		return fc.whileStmt(st)
+	case *forStmt:
+		return fc.forStmt(st)
+	case *returnStmt:
+		if st.value == nil {
+			fc.setTerm(ir.Terminator{Kind: ir.TermRet, Cond: -1})
+			return nil
+		}
+		r, err := fc.expr(st.value)
+		if err != nil {
+			return err
+		}
+		fc.setTerm(ir.Terminator{Kind: ir.TermRet, Cond: r})
+		return nil
+	case *exprStmt:
+		_, err := fc.expr(st.value)
+		return err
+	default:
+		return fmt.Errorf("minic: unknown statement %T", s)
+	}
+}
+
+func (fc *fnCompiler) declStmt(st *declStmt) error {
+	if _, dup := fc.locals[st.name]; dup {
+		return fmt.Errorf("minic:%d: duplicate local %q", st.line, st.name)
+	}
+	if _, isGlobal := fc.m.Globals[st.name]; isGlobal {
+		return fmt.Errorf("minic:%d: local %q shadows a global", st.line, st.name)
+	}
+	var slot localSlot
+	if fc.promote {
+		gname := "main_" + st.name
+		if err := fc.m.AddGlobal(&ir.Global{Name: gname, Elems: 1}); err != nil {
+			return fmt.Errorf("minic:%d: %w", st.line, err)
+		}
+		slot = localSlot{global: gname, promoted: true}
+	} else {
+		slot = localSlot{reg: fc.reg()}
+	}
+	fc.locals[st.name] = slot
+	if st.init != nil {
+		v, err := fc.expr(st.init)
+		if err != nil {
+			return err
+		}
+		fc.storeLocal(slot, v)
+	}
+	return nil
+}
+
+func (fc *fnCompiler) storeLocal(slot localSlot, src int) {
+	if slot.promoted {
+		zero := fc.reg()
+		fc.emit(ir.Instr{Op: ir.OpConst, Dst: zero, Imm: 0})
+		fc.emit(ir.Instr{Op: ir.OpStore, Sym: slot.global, A: zero, B: src})
+		return
+	}
+	fc.emit(ir.Instr{Op: ir.OpMov, Dst: slot.reg, A: src})
+}
+
+func (fc *fnCompiler) assignStmt(st *assignStmt) error {
+	v, err := fc.expr(st.value)
+	if err != nil {
+		return err
+	}
+	if st.index != nil {
+		if _, ok := fc.m.Globals[st.name]; !ok {
+			return fmt.Errorf("minic:%d: indexed assignment to non-array %q", st.line, st.name)
+		}
+		idx, err := fc.expr(st.index)
+		if err != nil {
+			return err
+		}
+		fc.emit(ir.Instr{Op: ir.OpStore, Sym: st.name, A: idx, B: v})
+		return nil
+	}
+	if slot, ok := fc.locals[st.name]; ok {
+		fc.storeLocal(slot, v)
+		return nil
+	}
+	if g, ok := fc.m.Globals[st.name]; ok {
+		if g.Elems != 1 {
+			return fmt.Errorf("minic:%d: assignment to array %q needs an index", st.line, st.name)
+		}
+		zero := fc.reg()
+		fc.emit(ir.Instr{Op: ir.OpConst, Dst: zero, Imm: 0})
+		fc.emit(ir.Instr{Op: ir.OpStore, Sym: st.name, A: zero, B: v})
+		return nil
+	}
+	return fmt.Errorf("minic:%d: assignment to undeclared %q", st.line, st.name)
+}
+
+func (fc *fnCompiler) ifStmt(st *ifStmt) error {
+	cond, err := fc.expr(st.cond)
+	if err != nil {
+		return err
+	}
+	condIdx := fc.curIdx
+	thenIdx := fc.newBlock("then")
+	if err := fc.body(st.then); err != nil {
+		return err
+	}
+	thenEnd, thenSealed := fc.curIdx, fc.sealed
+
+	elseIdx := -1
+	elseEnd, elseSealed := -1, false
+	if len(st.els) > 0 {
+		elseIdx = fc.newBlock("else")
+		if err := fc.body(st.els); err != nil {
+			return err
+		}
+		elseEnd, elseSealed = fc.curIdx, fc.sealed
+	}
+	join := fc.newBlock("join")
+	if !thenSealed {
+		fc.f.Blocks[thenEnd].Term = ir.Terminator{Kind: ir.TermBr, Then: join}
+	}
+	if elseIdx >= 0 {
+		if !elseSealed {
+			fc.f.Blocks[elseEnd].Term = ir.Terminator{Kind: ir.TermBr, Then: join}
+		}
+		fc.f.Blocks[condIdx].Term = ir.Terminator{Kind: ir.TermCondBr, Cond: cond, Then: thenIdx, Else: elseIdx}
+	} else {
+		fc.f.Blocks[condIdx].Term = ir.Terminator{Kind: ir.TermCondBr, Cond: cond, Then: thenIdx, Else: join}
+	}
+	return nil
+}
+
+// body compiles nested statements without opening regions.
+func (fc *fnCompiler) body(stmts []stmt) error {
+	for _, s := range stmts {
+		if err := fc.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (fc *fnCompiler) whileStmt(st *whileStmt) error {
+	condIdx := fc.freshBlock("while.cond")
+	cond, err := fc.expr(st.cond)
+	if err != nil {
+		return err
+	}
+	condEnd := fc.curIdx
+	bodyIdx := fc.newBlock("while.body")
+	if err := fc.body(st.body); err != nil {
+		return err
+	}
+	if !fc.sealed {
+		fc.setTerm(ir.Terminator{Kind: ir.TermBr, Then: condIdx})
+	}
+	exit := fc.newBlock("while.exit")
+	fc.f.Blocks[condEnd].Term = ir.Terminator{Kind: ir.TermCondBr, Cond: cond, Then: bodyIdx, Else: exit}
+	return nil
+}
+
+func (fc *fnCompiler) forStmt(st *forStmt) error {
+	if st.init != nil {
+		if err := fc.assignStmt(st.init); err != nil {
+			return err
+		}
+	}
+	condIdx := fc.freshBlock("for.cond")
+	var cond int
+	if st.cond != nil {
+		r, err := fc.expr(st.cond)
+		if err != nil {
+			return err
+		}
+		cond = r
+	} else {
+		cond = fc.reg()
+		fc.emit(ir.Instr{Op: ir.OpConst, Dst: cond, Imm: 1})
+	}
+	condEnd := fc.curIdx
+	bodyIdx := fc.newBlock("for.body")
+	if err := fc.body(st.body); err != nil {
+		return err
+	}
+	if st.post != nil {
+		if err := fc.assignStmt(st.post); err != nil {
+			return err
+		}
+	}
+	if !fc.sealed {
+		fc.setTerm(ir.Terminator{Kind: ir.TermBr, Then: condIdx})
+	}
+	exit := fc.newBlock("for.exit")
+	fc.f.Blocks[condEnd].Term = ir.Terminator{Kind: ir.TermCondBr, Cond: cond, Then: bodyIdx, Else: exit}
+	return nil
+}
+
+// --- expressions -----------------------------------------------------------
+
+var binOps = map[string]ir.Op{
+	"+": ir.OpAdd, "-": ir.OpSub, "*": ir.OpMul, "/": ir.OpDiv, "%": ir.OpMod,
+	"==": ir.OpEq, "!=": ir.OpNe, "<": ir.OpLt, "<=": ir.OpLe,
+	">": ir.OpGt, ">=": ir.OpGe, "&&": ir.OpAnd, "||": ir.OpOr,
+}
+
+func (fc *fnCompiler) expr(e expr) (int, error) {
+	switch ex := e.(type) {
+	case *numberExpr:
+		dst := fc.reg()
+		fc.emit(ir.Instr{Op: ir.OpConst, Dst: dst, Imm: ex.val})
+		return dst, nil
+
+	case *varExpr:
+		if slot, ok := fc.locals[ex.name]; ok {
+			if !slot.promoted {
+				return slot.reg, nil
+			}
+			zero := fc.reg()
+			dst := fc.reg()
+			fc.emit(ir.Instr{Op: ir.OpConst, Dst: zero, Imm: 0})
+			fc.emit(ir.Instr{Op: ir.OpLoad, Dst: dst, Sym: slot.global, A: zero})
+			return dst, nil
+		}
+		if g, ok := fc.m.Globals[ex.name]; ok {
+			if g.Elems != 1 {
+				return 0, fmt.Errorf("minic:%d: array %q used without index", ex.line, ex.name)
+			}
+			zero := fc.reg()
+			dst := fc.reg()
+			fc.emit(ir.Instr{Op: ir.OpConst, Dst: zero, Imm: 0})
+			fc.emit(ir.Instr{Op: ir.OpLoad, Dst: dst, Sym: ex.name, A: zero})
+			return dst, nil
+		}
+		return 0, fmt.Errorf("minic:%d: undeclared variable %q", ex.line, ex.name)
+
+	case *indexExpr:
+		if _, ok := fc.m.Globals[ex.name]; !ok {
+			return 0, fmt.Errorf("minic:%d: indexing non-array %q", ex.line, ex.name)
+		}
+		idx, err := fc.expr(ex.index)
+		if err != nil {
+			return 0, err
+		}
+		dst := fc.reg()
+		fc.emit(ir.Instr{Op: ir.OpLoad, Dst: dst, Sym: ex.name, A: idx})
+		return dst, nil
+
+	case *unaryExpr:
+		x, err := fc.expr(ex.x)
+		if err != nil {
+			return 0, err
+		}
+		dst := fc.reg()
+		op := ir.OpNeg
+		if ex.op == "!" {
+			op = ir.OpNot
+		}
+		fc.emit(ir.Instr{Op: op, Dst: dst, A: x})
+		return dst, nil
+
+	case *binaryExpr:
+		op, ok := binOps[ex.op]
+		if !ok {
+			return 0, fmt.Errorf("minic:%d: unknown operator %q", ex.line, ex.op)
+		}
+		l, err := fc.expr(ex.l)
+		if err != nil {
+			return 0, err
+		}
+		r, err := fc.expr(ex.r)
+		if err != nil {
+			return 0, err
+		}
+		dst := fc.reg()
+		fc.emit(ir.Instr{Op: op, Dst: dst, A: l, B: r})
+		return dst, nil
+
+	case *callExpr:
+		if op, ok := builtins[ex.name]; ok {
+			if len(ex.args) != 1 {
+				return 0, fmt.Errorf("minic:%d: builtin %q takes one argument", ex.line, ex.name)
+			}
+			a, err := fc.expr(ex.args[0])
+			if err != nil {
+				return 0, err
+			}
+			dst := fc.reg()
+			fc.emit(ir.Instr{Op: op, Dst: dst, A: a})
+			return dst, nil
+		}
+		want, ok := fc.arity[ex.name]
+		if !ok {
+			return 0, fmt.Errorf("minic:%d: call to undeclared function %q", ex.line, ex.name)
+		}
+		if want != len(ex.args) {
+			return 0, fmt.Errorf("minic:%d: %q expects %d arguments, got %d", ex.line, ex.name, want, len(ex.args))
+		}
+		var args []int
+		for _, a := range ex.args {
+			r, err := fc.expr(a)
+			if err != nil {
+				return 0, err
+			}
+			args = append(args, r)
+		}
+		dst := fc.reg()
+		fc.emit(ir.Instr{Op: ir.OpCall, Dst: dst, Sym: ex.name, Args: args})
+		return dst, nil
+	}
+	return 0, fmt.Errorf("minic: unknown expression %T", e)
+}

@@ -1,0 +1,123 @@
+// Package minic is the toolchain's front end: a small C subset
+// (floats, fixed-size arrays, for/while/if, function calls, math
+// builtins) compiled to the ir package. It stands in for Clang in the
+// paper's automatic application conversion flow: "we utilize the Clang
+// compiler to convert the application into LLVM IR".
+package minic
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokKeyword
+	tokPunct
+)
+
+type token struct {
+	kind tokKind
+	text string
+	num  float64
+	line int
+}
+
+var keywords = map[string]bool{
+	"float": true, "if": true, "else": true, "while": true,
+	"for": true, "return": true,
+}
+
+// twoCharPuncts are the multi-character operators, checked before
+// single characters.
+var twoCharPuncts = []string{"==", "!=", "<=", ">=", "&&", "||"}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func lex(src string) ([]token, error) {
+	lx := &lexer{src: src, line: 1}
+	var toks []token
+	for {
+		tok, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, tok)
+		if tok.kind == tokEOF {
+			return toks, nil
+		}
+	}
+}
+
+func (lx *lexer) next() (token, error) {
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch {
+		case c == '\n':
+			lx.line++
+			lx.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			lx.pos++
+		case c == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '/':
+			for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+				lx.pos++
+			}
+		default:
+			goto scan
+		}
+	}
+	return token{kind: tokEOF, line: lx.line}, nil
+
+scan:
+	c := lx.src[lx.pos]
+	start := lx.pos
+	switch {
+	case unicode.IsLetter(rune(c)) || c == '_':
+		for lx.pos < len(lx.src) && (isIdentChar(lx.src[lx.pos])) {
+			lx.pos++
+		}
+		text := lx.src[start:lx.pos]
+		if keywords[text] {
+			return token{kind: tokKeyword, text: text, line: lx.line}, nil
+		}
+		return token{kind: tokIdent, text: text, line: lx.line}, nil
+	case unicode.IsDigit(rune(c)) || (c == '.' && lx.pos+1 < len(lx.src) && unicode.IsDigit(rune(lx.src[lx.pos+1]))):
+		for lx.pos < len(lx.src) && (unicode.IsDigit(rune(lx.src[lx.pos])) || lx.src[lx.pos] == '.' ||
+			lx.src[lx.pos] == 'e' || lx.src[lx.pos] == 'E' ||
+			((lx.src[lx.pos] == '+' || lx.src[lx.pos] == '-') && (lx.src[lx.pos-1] == 'e' || lx.src[lx.pos-1] == 'E'))) {
+			lx.pos++
+		}
+		text := lx.src[start:lx.pos]
+		v, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return token{}, fmt.Errorf("minic:%d: bad number %q", lx.line, text)
+		}
+		return token{kind: tokNumber, text: text, num: v, line: lx.line}, nil
+	default:
+		for _, p := range twoCharPuncts {
+			if strings.HasPrefix(lx.src[lx.pos:], p) {
+				lx.pos += 2
+				return token{kind: tokPunct, text: p, line: lx.line}, nil
+			}
+		}
+		if strings.ContainsRune("()[]{};,=+-*/%<>!&|", rune(c)) {
+			lx.pos++
+			return token{kind: tokPunct, text: string(c), line: lx.line}, nil
+		}
+		return token{}, fmt.Errorf("minic:%d: unexpected character %q", lx.line, string(c))
+	}
+}
+
+func isIdentChar(c byte) bool {
+	return unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c)) || c == '_'
+}

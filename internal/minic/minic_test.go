@@ -1,0 +1,294 @@
+package minic
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/tracer"
+)
+
+// compileRun compiles src and executes fn, returning the result and
+// final environment.
+func compileRun(t *testing.T, src, fn string, args ...float64) (float64, *tracer.Env) {
+	t.Helper()
+	m, err := Compile(src, "test")
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	env, ret, err := tracer.Run(m, fn, nil, args...)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return ret, env
+}
+
+func TestArithmeticAndPrecedence(t *testing.T) {
+	ret, _ := compileRun(t, `
+float main() {
+  return 2 + 3 * 4 - 10 / 2;
+}`, "main")
+	if ret != 9 {
+		t.Fatalf("got %v, want 9", ret)
+	}
+}
+
+func TestUnaryAndComparison(t *testing.T) {
+	ret, _ := compileRun(t, `
+float main() {
+  float a = -3;
+  float b = !0;
+  if (a < 0 && b == 1) { return 1; }
+  return 0;
+}`, "main")
+	if ret != 1 {
+		t.Fatalf("got %v, want 1", ret)
+	}
+}
+
+func TestIfElseChains(t *testing.T) {
+	src := `
+float classify(float x) {
+  if (x > 10) { return 2; }
+  else if (x > 0) { return 1; }
+  else { return 0; }
+}
+float main() { return classify(5) * 10 + classify(20) + classify(-1); }`
+	ret, _ := compileRun(t, src, "main")
+	if ret != 12 {
+		t.Fatalf("got %v, want 12", ret)
+	}
+}
+
+func TestWhileLoop(t *testing.T) {
+	ret, _ := compileRun(t, `
+float main() {
+  float i = 0;
+  float s = 0;
+  while (i < 10) { s = s + i; i = i + 1; }
+  return s;
+}`, "main")
+	if ret != 45 {
+		t.Fatalf("got %v, want 45", ret)
+	}
+}
+
+func TestForLoopAndArrays(t *testing.T) {
+	ret, env := compileRun(t, `
+float a[8];
+float main() {
+  float i;
+  for (i = 0; i < 8; i = i + 1) { a[i] = i * i; }
+  return a[7];
+}`, "main")
+	if ret != 49 {
+		t.Fatalf("got %v, want 49", ret)
+	}
+	if env.Globals["a"][3] != 9 {
+		t.Fatalf("a[3] = %v", env.Globals["a"][3])
+	}
+}
+
+func TestForWithoutClauses(t *testing.T) {
+	ret, _ := compileRun(t, `
+float main() {
+  float i = 0;
+  for (; i < 3;) { i = i + 1; }
+  return i;
+}`, "main")
+	if ret != 3 {
+		t.Fatalf("got %v, want 3", ret)
+	}
+}
+
+func TestGlobalScalarInit(t *testing.T) {
+	ret, _ := compileRun(t, `
+float n = 41;
+float neg = -5;
+float main() { n = n + 1; return n + neg; }`, "main")
+	if ret != 37 {
+		t.Fatalf("got %v, want 37", ret)
+	}
+}
+
+func TestFunctionCalls(t *testing.T) {
+	ret, _ := compileRun(t, `
+float add(float a, float b) { return a + b; }
+float twice(float x) { return add(x, x); }
+float main() { return twice(add(1, 2)); }`, "main")
+	if ret != 6 {
+		t.Fatalf("got %v, want 6", ret)
+	}
+}
+
+func TestBuiltins(t *testing.T) {
+	ret, _ := compileRun(t, `
+float main() {
+  return sqrt(16) + abs(-2) + floor(3.7) + cos(0);
+}`, "main")
+	if ret != 4+2+3+1 {
+		t.Fatalf("got %v, want 10", ret)
+	}
+	ret2, _ := compileRun(t, `float main() { return sin(1.5707963267948966); }`, "main")
+	if math.Abs(ret2-1) > 1e-12 {
+		t.Fatalf("sin(pi/2) = %v", ret2)
+	}
+}
+
+func TestModuloAndLogicalOr(t *testing.T) {
+	ret, _ := compileRun(t, `
+float main() {
+  float x = 17 % 5;
+  if (x == 2 || 0) { return 1; }
+  return 0;
+}`, "main")
+	if ret != 1 {
+		t.Fatalf("got %v, want 1", ret)
+	}
+}
+
+func TestMainLocalsPromoted(t *testing.T) {
+	m, err := Compile(`
+float main() {
+  float counter = 7;
+  return counter;
+}`, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Globals["main_counter"]; !ok {
+		t.Fatal("main local not promoted to a module global")
+	}
+	// Non-main locals stay in registers.
+	m2, err := Compile(`
+float f() { float x = 1; return x; }
+float main() { return f(); }`, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m2.Globals["f_x"]; ok {
+		t.Fatal("non-main local was promoted")
+	}
+}
+
+func TestRegionsPerTopLevelStatement(t *testing.T) {
+	m, err := Compile(`
+float a[4];
+float main() {
+  float i;
+  for (i = 0; i < 4; i = i + 1) { a[i] = i; }
+  a[0] = 99;
+  return a[0];
+}`, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	regions := m.Funcs["main"].Regions
+	// decl, for, assign, return = 4 regions.
+	if len(regions) != 4 {
+		t.Fatalf("got %d regions: %+v", len(regions), regions)
+	}
+	for i, r := range regions {
+		if r.Start >= r.End {
+			t.Fatalf("region %d empty range: %+v", i, r)
+		}
+		if i > 0 && regions[i-1].End != r.Start {
+			t.Fatalf("regions not contiguous: %+v", regions)
+		}
+	}
+	if !strings.HasPrefix(regions[1].Hint, "for@") {
+		t.Fatalf("region hints wrong: %+v", regions)
+	}
+}
+
+func TestNestedControlFlow(t *testing.T) {
+	ret, _ := compileRun(t, `
+float main() {
+  float i; float j; float s = 0;
+  for (i = 0; i < 4; i = i + 1) {
+    for (j = 0; j < 4; j = j + 1) {
+      if ((i + j) % 2 == 0) { s = s + 1; }
+      else { s = s + 10; }
+    }
+  }
+  return s;
+}`, "main")
+	// 8 even-parity cells + 8 odd: 8 + 80.
+	if ret != 88 {
+		t.Fatalf("got %v, want 88", ret)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"undeclared var", `float main() { return x; }`, "undeclared"},
+		{"undeclared fn", `float main() { return f(1); }`, "undeclared function"},
+		{"bad arity", `float f(float a) { return a; } float main() { return f(1,2); }`, "expects 1 arguments"},
+		{"duplicate local", `float main() { float x; float x; return 0; }`, "duplicate local"},
+		{"duplicate fn", `float f() { return 0; } float f() { return 1; } float main() { return 0; }`, "duplicate function"},
+		{"index non-array", `float main() { float x; x[0] = 1; return 0; }`, "non-array"},
+		{"array without index", `float a[4]; float main() { return a; }`, "without index"},
+		{"array assign no index", `float a[4]; float main() { a = 1; return 0; }`, "needs an index"},
+		{"local shadows global", `float g; float main() { float g; return 0; }`, "shadows"},
+		{"bad array size", `float a[0]; float main() { return 0; }`, "positive integer"},
+		{"builtin arity", `float main() { return sin(1, 2); }`, "one argument"},
+		{"syntax: missing semicolon", `float main() { return 0 }`, "expected"},
+		{"syntax: unclosed block", `float main() { return 0;`, "end of file"},
+		{"syntax: stray token", `float main() { @ }`, "unexpected character"},
+		{"global bad init", `float g = x; float main() { return 0; }`, "number literal"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Compile(c.src, "t")
+			if err == nil {
+				t.Fatalf("compile accepted bad program")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not contain %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestCommentsAndWhitespace(t *testing.T) {
+	ret, _ := compileRun(t, `
+// leading comment
+float main() {
+  // inner comment
+  return 5; // trailing
+}`, "main")
+	if ret != 5 {
+		t.Fatalf("got %v", ret)
+	}
+}
+
+func TestScientificNotation(t *testing.T) {
+	ret, _ := compileRun(t, `float main() { return 1.5e2 + 2E-1; }`, "main")
+	if math.Abs(ret-150.2) > 1e-9 {
+		t.Fatalf("got %v, want 150.2", ret)
+	}
+}
+
+func TestDeadCodeAfterReturn(t *testing.T) {
+	ret, _ := compileRun(t, `
+float main() {
+  return 1;
+  return 2;
+}`, "main")
+	if ret != 1 {
+		t.Fatalf("got %v, want 1", ret)
+	}
+}
+
+func TestExpressionStatement(t *testing.T) {
+	// A bare call as a statement.
+	ret, _ := compileRun(t, `
+float g;
+float bump() { g = g + 1; return g; }
+float main() { bump(); bump(); return g; }`, "main")
+	if ret != 2 {
+		t.Fatalf("got %v, want 2", ret)
+	}
+}

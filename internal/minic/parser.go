@@ -1,0 +1,450 @@
+package minic
+
+import "fmt"
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+func (p *parser) peek() token {
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+
+func (p *parser) advance() token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) accept(kind tokKind, text string) bool {
+	t := p.cur()
+	if t.kind == kind && t.text == text {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokKind, text string) (token, error) {
+	t := p.cur()
+	if t.kind != kind || t.text != text {
+		return t, fmt.Errorf("minic:%d: expected %q, found %q", t.line, text, t.text)
+	}
+	return p.advance(), nil
+}
+
+func (p *parser) expectIdent() (token, error) {
+	t := p.cur()
+	if t.kind != tokIdent {
+		return t, fmt.Errorf("minic:%d: expected identifier, found %q", t.line, t.text)
+	}
+	return p.advance(), nil
+}
+
+func parse(toks []token) (*program, error) {
+	p := &parser{toks: toks}
+	prog := &program{}
+	for p.cur().kind != tokEOF {
+		if _, err := p.expect(tokKeyword, "float"); err != nil {
+			return nil, err
+		}
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		switch p.cur().text {
+		case "(":
+			fd, err := p.parseFuncRest(name)
+			if err != nil {
+				return nil, err
+			}
+			prog.funcs = append(prog.funcs, fd)
+		default:
+			gd, err := p.parseGlobalRest(name)
+			if err != nil {
+				return nil, err
+			}
+			prog.globals = append(prog.globals, gd)
+		}
+	}
+	return prog, nil
+}
+
+// parseGlobalRest parses the remainder of `float name ...;` at module
+// scope: optional [size] and optional scalar initialiser.
+func (p *parser) parseGlobalRest(name token) (*globalDecl, error) {
+	g := &globalDecl{name: name.text, elems: 1, line: name.line}
+	if p.accept(tokPunct, "[") {
+		sz := p.cur()
+		if sz.kind != tokNumber || sz.num != float64(int(sz.num)) || sz.num <= 0 {
+			return nil, fmt.Errorf("minic:%d: array size must be a positive integer literal", sz.line)
+		}
+		p.advance()
+		g.elems = int(sz.num)
+		if _, err := p.expect(tokPunct, "]"); err != nil {
+			return nil, err
+		}
+	}
+	if p.accept(tokPunct, "=") {
+		v := p.cur()
+		neg := false
+		if v.kind == tokPunct && v.text == "-" {
+			neg = true
+			p.advance()
+			v = p.cur()
+		}
+		if v.kind != tokNumber {
+			return nil, fmt.Errorf("minic:%d: global initialiser must be a number literal", v.line)
+		}
+		p.advance()
+		x := v.num
+		if neg {
+			x = -x
+		}
+		g.init = []float64{x}
+	}
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+func (p *parser) parseFuncRest(name token) (*funcDecl, error) {
+	f := &funcDecl{name: name.text, line: name.line}
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	for !p.accept(tokPunct, ")") {
+		if len(f.params) > 0 {
+			if _, err := p.expect(tokPunct, ","); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(tokKeyword, "float"); err != nil {
+			return nil, err
+		}
+		pn, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		f.params = append(f.params, pn.text)
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	f.body = body
+	return f, nil
+}
+
+func (p *parser) parseBlock() ([]stmt, error) {
+	if _, err := p.expect(tokPunct, "{"); err != nil {
+		return nil, err
+	}
+	var stmts []stmt
+	for !p.accept(tokPunct, "}") {
+		if p.cur().kind == tokEOF {
+			return nil, fmt.Errorf("minic:%d: unexpected end of file in block", p.cur().line)
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	return stmts, nil
+}
+
+// parseStmtOrBlock allows both `stmt;` and `{ ... }` as control-flow
+// bodies.
+func (p *parser) parseStmtOrBlock() ([]stmt, error) {
+	if p.cur().kind == tokPunct && p.cur().text == "{" {
+		return p.parseBlock()
+	}
+	s, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	return []stmt{s}, nil
+}
+
+func (p *parser) parseStmt() (stmt, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokKeyword && t.text == "float":
+		p.advance()
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		d := &declStmt{name: name.text, line: name.line}
+		if p.accept(tokPunct, "=") {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			d.init = e
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return d, nil
+
+	case t.kind == tokKeyword && t.text == "if":
+		p.advance()
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseStmtOrBlock()
+		if err != nil {
+			return nil, err
+		}
+		st := &ifStmt{cond: cond, then: then, line: t.line}
+		if p.cur().kind == tokKeyword && p.cur().text == "else" {
+			p.advance()
+			els, err := p.parseStmtOrBlock()
+			if err != nil {
+				return nil, err
+			}
+			st.els = els
+		}
+		return st, nil
+
+	case t.kind == tokKeyword && t.text == "while":
+		p.advance()
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmtOrBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &whileStmt{cond: cond, body: body, line: t.line}, nil
+
+	case t.kind == tokKeyword && t.text == "for":
+		p.advance()
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		st := &forStmt{line: t.line}
+		if !p.accept(tokPunct, ";") {
+			a, err := p.parseAssign()
+			if err != nil {
+				return nil, err
+			}
+			st.init = a
+			if _, err := p.expect(tokPunct, ";"); err != nil {
+				return nil, err
+			}
+		}
+		if !p.accept(tokPunct, ";") {
+			cond, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			st.cond = cond
+			if _, err := p.expect(tokPunct, ";"); err != nil {
+				return nil, err
+			}
+		}
+		if !p.accept(tokPunct, ")") {
+			a, err := p.parseAssign()
+			if err != nil {
+				return nil, err
+			}
+			st.post = a
+			if _, err := p.expect(tokPunct, ")"); err != nil {
+				return nil, err
+			}
+		}
+		body, err := p.parseStmtOrBlock()
+		if err != nil {
+			return nil, err
+		}
+		st.body = body
+		return st, nil
+
+	case t.kind == tokKeyword && t.text == "return":
+		p.advance()
+		st := &returnStmt{line: t.line}
+		if !p.accept(tokPunct, ";") {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			st.value = e
+			if _, err := p.expect(tokPunct, ";"); err != nil {
+				return nil, err
+			}
+		}
+		return st, nil
+
+	case t.kind == tokIdent:
+		// Assignment or expression statement (call).
+		if nxt := p.peek(); nxt.kind == tokPunct && (nxt.text == "=" || nxt.text == "[") {
+			a, err := p.parseAssign()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, ";"); err != nil {
+				return nil, err
+			}
+			return a, nil
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &exprStmt{value: e, line: t.line}, nil
+	}
+	return nil, fmt.Errorf("minic:%d: unexpected token %q", t.line, t.text)
+}
+
+// parseAssign parses `name = expr` or `name[expr] = expr` without the
+// trailing semicolon (shared by statements and for-clauses).
+func (p *parser) parseAssign() (*assignStmt, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	a := &assignStmt{name: name.text, line: name.line}
+	if p.accept(tokPunct, "[") {
+		idx, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		a.index = idx
+		if _, err := p.expect(tokPunct, "]"); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tokPunct, "="); err != nil {
+		return nil, err
+	}
+	v, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	a.value = v
+	return a, nil
+}
+
+// Expression parsing: precedence climbing.
+
+var precedence = map[string]int{
+	"||": 1, "&&": 2,
+	"==": 3, "!=": 3,
+	"<": 4, "<=": 4, ">": 4, ">=": 4,
+	"+": 5, "-": 5,
+	"*": 6, "/": 6, "%": 6,
+}
+
+func (p *parser) parseExpr() (expr, error) { return p.parseBinary(1) }
+
+func (p *parser) parseBinary(minPrec int) (expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		prec, ok := precedence[t.text]
+		if t.kind != tokPunct || !ok || prec < minPrec {
+			return lhs, nil
+		}
+		p.advance()
+		rhs, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &binaryExpr{op: t.text, l: lhs, r: rhs, line: t.line}
+	}
+}
+
+func (p *parser) parseUnary() (expr, error) {
+	t := p.cur()
+	if t.kind == tokPunct && (t.text == "-" || t.text == "!") {
+		p.advance()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &unaryExpr{op: t.text, x: x, line: t.line}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokNumber:
+		p.advance()
+		return &numberExpr{val: t.num}, nil
+	case t.kind == tokPunct && t.text == "(":
+		p.advance()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == tokIdent:
+		p.advance()
+		switch {
+		case p.accept(tokPunct, "["):
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, "]"); err != nil {
+				return nil, err
+			}
+			return &indexExpr{name: t.text, index: idx, line: t.line}, nil
+		case p.cur().kind == tokPunct && p.cur().text == "(":
+			p.advance()
+			call := &callExpr{name: t.text, line: t.line}
+			for !p.accept(tokPunct, ")") {
+				if len(call.args) > 0 {
+					if _, err := p.expect(tokPunct, ","); err != nil {
+						return nil, err
+					}
+				}
+				a, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.args = append(call.args, a)
+			}
+			return call, nil
+		default:
+			return &varExpr{name: t.text, line: t.line}, nil
+		}
+	}
+	return nil, fmt.Errorf("minic:%d: unexpected token %q in expression", t.line, t.text)
+}

@@ -1,0 +1,143 @@
+package outliner
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/tracer"
+)
+
+// buildCondExitFunc hand-builds a function whose region [1,3) contains
+// a loop whose conditional branch exits the region directly (no join
+// block inside), exercising outlineGroup's synthetic-return path.
+//
+//	b0: g[0]=0              (region A)
+//	b1: cond = g[0] < 5 ; condbr cond -> b2 else b3   (region B)
+//	b2: g[0]++ ; br b1                                (region B)
+//	b3: ret g[0]            (region C)
+func buildCondExitFunc(t *testing.T) *ir.Module {
+	t.Helper()
+	m := ir.NewModule("condexit")
+	if err := m.AddGlobal(&ir.Global{Name: "g", Elems: 1}); err != nil {
+		t.Fatal(err)
+	}
+	f := &ir.Func{Name: "main", NumRegs: 5}
+	f.Blocks = []*ir.Block{
+		{Label: "init", Instrs: []ir.Instr{
+			{Op: ir.OpConst, Dst: 0, Imm: 0},
+			{Op: ir.OpConst, Dst: 1, Imm: 0},
+			{Op: ir.OpStore, Sym: "g", A: 0, B: 1},
+		}, Term: ir.Terminator{Kind: ir.TermBr, Then: 1}},
+		{Label: "cond", Instrs: []ir.Instr{
+			{Op: ir.OpConst, Dst: 0, Imm: 0},
+			{Op: ir.OpLoad, Dst: 1, Sym: "g", A: 0},
+			{Op: ir.OpConst, Dst: 2, Imm: 5},
+			{Op: ir.OpLt, Dst: 3, A: 1, B: 2},
+		}, Term: ir.Terminator{Kind: ir.TermCondBr, Cond: 3, Then: 2, Else: 3}},
+		{Label: "body", Instrs: []ir.Instr{
+			{Op: ir.OpConst, Dst: 0, Imm: 0},
+			{Op: ir.OpLoad, Dst: 1, Sym: "g", A: 0},
+			{Op: ir.OpConst, Dst: 2, Imm: 1},
+			{Op: ir.OpAdd, Dst: 4, A: 1, B: 2},
+			{Op: ir.OpStore, Sym: "g", A: 0, B: 4},
+		}, Term: ir.Terminator{Kind: ir.TermBr, Then: 1}},
+		{Label: "exit", Instrs: []ir.Instr{
+			{Op: ir.OpConst, Dst: 0, Imm: 0},
+			{Op: ir.OpLoad, Dst: 1, Sym: "g", A: 0},
+		}, Term: ir.Terminator{Kind: ir.TermRet, Cond: 1}},
+	}
+	f.Regions = []ir.Region{
+		{Start: 0, End: 1, Hint: "init"},
+		{Start: 1, End: 3, Hint: "loop"},
+		{Start: 3, End: 4, Hint: "exit"},
+	}
+	if err := m.AddFunc(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestOutlineConditionalExit(t *testing.T) {
+	m := buildCondExitFunc(t)
+	// Monolithic ground truth.
+	_, want, err := tracer.Run(m, "main", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want != 5 {
+		t.Fatalf("ground truth %v, want 5", want)
+	}
+	res, err := Convert(m, Options{HotCount: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The loop region must be hot and contain a synthetic return block
+	// (its conditional branch exits the region directly).
+	var loopFn string
+	for _, k := range res.Kernels {
+		if k.Hot {
+			loopFn = k.Name
+		}
+	}
+	if loopFn == "" {
+		t.Fatal("loop region not detected as hot")
+	}
+	f := res.Module.Funcs[loopFn]
+	foundSynthetic := false
+	for _, b := range f.Blocks {
+		if b.Label == "outlined.ret" {
+			foundSynthetic = true
+		}
+	}
+	if !foundSynthetic {
+		t.Fatalf("outlined loop lacks the synthetic return block: %v", f)
+	}
+	// Refactored module still computes 5.
+	_, got, err := tracer.Run(res.Module, "main", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("outlined result %v != %v", got, want)
+	}
+}
+
+func TestOutlineRejectsEscapingBranch(t *testing.T) {
+	m := buildCondExitFunc(t)
+	// A region cut through the middle of the loop makes its back edge
+	// escape; outlining must refuse.
+	f := m.Funcs["main"]
+	f.Regions = []ir.Region{
+		{Start: 0, End: 2, Hint: "bad-cut"}, // contains cond but not body
+		{Start: 2, End: 4, Hint: "rest"},
+	}
+	if err := m.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Convert(m, Options{HotCount: 3})
+	if err == nil || !strings.Contains(err.Error(), "escapes group") {
+		t.Fatalf("want escaping-branch error, got %v", err)
+	}
+}
+
+func TestConvertErrors(t *testing.T) {
+	m := ir.NewModule("x")
+	f := &ir.Func{Name: "notmain", NumRegs: 1,
+		Blocks: []*ir.Block{{Term: ir.Terminator{Kind: ir.TermRet, Cond: -1}}}}
+	if err := m.AddFunc(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Convert(m, Options{}); err == nil {
+		t.Fatal("missing main accepted")
+	}
+	if _, err := Convert(m, Options{MainFn: "notmain"}); err == nil {
+		t.Fatal("region-less main accepted")
+	}
+}

@@ -1,0 +1,434 @@
+// Package outliner implements the back half of the paper's automatic
+// application conversion flow (Section II-E): dynamic-trace-based
+// kernel detection (the TraceAtlas substitute), refactoring of the
+// monolithic entry function into a sequence of outlined functions (the
+// LLVM CodeExtractor substitute), memory analysis, generation of a
+// framework-compatible JSON DAG, and hash-based kernel recognition
+// that redirects recognised kernels to optimised or accelerator
+// implementations.
+package outliner
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"repro/internal/ir"
+	"repro/internal/tracer"
+)
+
+// Options tunes the conversion.
+type Options struct {
+	// MainFn is the monolithic entry function; default "main".
+	MainFn string
+	// HotCount is the dynamic execution count above which a block is
+	// "hot": regions containing hot blocks become kernels. Default 16.
+	HotCount int64
+	// MaxSteps bounds the tracing run.
+	MaxSteps int64
+}
+
+func (o *Options) fill() {
+	if o.MainFn == "" {
+		o.MainFn = "main"
+	}
+	if o.HotCount <= 0 {
+		o.HotCount = 16
+	}
+}
+
+// Kernel describes one outlined code group.
+type Kernel struct {
+	// Name is the outlined function name (auto_k0, auto_nk1, ...).
+	Name string
+	// Hot marks kernel groups ("hot" sections); cold groups are the
+	// paper's "non-kernel" glue code.
+	Hot bool
+	// Hints lists the source hints of the merged regions.
+	Hints []string
+	// DynInstrs is the dynamic instruction count the tracing run
+	// attributed to the group — the profile the generated DAG's cost
+	// annotations come from.
+	DynInstrs int64
+	// Globals lists every module global the group touches, in order of
+	// first static appearance (the operand order recognition relies
+	// on). Reads and Writes classify them.
+	Globals []string
+	Reads   []string
+	Writes  []string
+	// Hash is the canonical structural hash used for recognition.
+	Hash uint64
+}
+
+// Result is the conversion output.
+type Result struct {
+	// Module is the refactored program: the entry function reduced to
+	// a sequence of calls to the outlined functions.
+	Module *ir.Module
+	// Kernels lists the outlined groups in execution order.
+	Kernels []Kernel
+	// TotalDynInstrs is the whole tracing run's instruction count.
+	TotalDynInstrs int64
+}
+
+// Convert traces the module's entry function (with the given
+// arguments), detects kernels, and outlines them. The input module is
+// not modified.
+func Convert(m *ir.Module, opts Options, args ...float64) (*Result, error) {
+	opts.fill()
+	main, ok := m.Funcs[opts.MainFn]
+	if !ok {
+		return nil, fmt.Errorf("outliner: module has no %q function", opts.MainFn)
+	}
+	if len(main.Regions) == 0 {
+		return nil, fmt.Errorf("outliner: %q carries no region annotations (compile with the MiniC front end)", opts.MainFn)
+	}
+
+	// 1. Trace instrumentation + collection (Figure 5, first stages).
+	env := tracer.NewEnv(m)
+	counts := tracer.NewCountTrace(m)
+	ip, err := tracer.New(m, env, tracer.Options{Listener: counts, MaxSteps: opts.MaxSteps})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := ip.Call(opts.MainFn, args...); err != nil {
+		return nil, fmt.Errorf("outliner: tracing run failed: %w", err)
+	}
+
+	// 2. Kernel detection: a region is hot when any of its blocks
+	// executed at least HotCount times, then adjacent same-class
+	// regions merge into kernel / non-kernel groups.
+	type group struct {
+		start, end int
+		hot        bool
+		hints      []string
+	}
+	var groups []group
+	for _, r := range main.Regions {
+		hot := false
+		var dyn int64
+		for bi := r.Start; bi < r.End; bi++ {
+			id := main.Blocks[bi].GlobalID
+			if counts.Counts[id] >= opts.HotCount {
+				hot = true
+			}
+			dyn += ip.InstrCount[id]
+		}
+		_ = dyn
+		// Adjacent cold regions merge into one non-kernel group; hot
+		// regions each stand alone — every hot loop nest is its own
+		// kernel, as TraceAtlas separates kernels by their correlated
+		// block sets even when they abut in the layout.
+		if !hot && len(groups) > 0 && !groups[len(groups)-1].hot {
+			g := &groups[len(groups)-1]
+			g.end = r.End
+			g.hints = append(g.hints, r.Hint)
+			continue
+		}
+		groups = append(groups, group{start: r.Start, end: r.End, hot: hot, hints: []string{r.Hint}})
+	}
+
+	// 3. Outline each group into a standalone function and rebuild the
+	// module with the entry function as a call sequence.
+	out := ir.NewModule(m.Name + ".outlined")
+	for _, gn := range m.GlobalOrder {
+		g := m.Globals[gn]
+		if err := out.AddGlobal(&ir.Global{Name: g.Name, Elems: g.Elems, Init: append([]float64(nil), g.Init...)}); err != nil {
+			return nil, err
+		}
+	}
+	for _, fn := range m.FuncOrder {
+		if fn == opts.MainFn {
+			continue
+		}
+		if err := out.AddFunc(cloneFunc(m.Funcs[fn])); err != nil {
+			return nil, err
+		}
+	}
+
+	res := &Result{Module: out, TotalDynInstrs: ip.Steps()}
+	newMain := &ir.Func{Name: opts.MainFn, NumRegs: 1}
+	entry := &ir.Block{Label: "entry"}
+	hotIdx, coldIdx := 0, 0
+	for _, g := range groups {
+		var name string
+		if g.hot {
+			name = fmt.Sprintf("auto_k%d", hotIdx)
+			hotIdx++
+		} else {
+			name = fmt.Sprintf("auto_nk%d", coldIdx)
+			coldIdx++
+		}
+		f, err := outlineGroup(main, g.start, g.end, name)
+		if err != nil {
+			return nil, err
+		}
+		if err := out.AddFunc(f); err != nil {
+			return nil, err
+		}
+		var dyn int64
+		for bi := g.start; bi < g.end; bi++ {
+			dyn += ip.InstrCount[main.Blocks[bi].GlobalID]
+		}
+		k := Kernel{
+			Name:      name,
+			Hot:       g.hot,
+			Hints:     g.hints,
+			DynInstrs: dyn,
+		}
+		k.Globals, k.Reads, k.Writes = analyseGlobals(out, f)
+		k.Hash = StructuralHash(f)
+		res.Kernels = append(res.Kernels, k)
+		entry.Instrs = append(entry.Instrs, ir.Instr{Op: ir.OpCall, Dst: 0, Sym: name})
+	}
+	entry.Term = ir.Terminator{Kind: ir.TermRet, Cond: 0}
+	newMain.Blocks = []*ir.Block{entry}
+	if err := out.AddFunc(newMain); err != nil {
+		return nil, err
+	}
+	if err := out.Finalize(); err != nil {
+		return nil, fmt.Errorf("outliner: refactored module invalid: %w", err)
+	}
+	return res, nil
+}
+
+// cloneFunc deep-copies a function so the output module is independent
+// of the input.
+func cloneFunc(f *ir.Func) *ir.Func {
+	nf := &ir.Func{
+		Name:      f.Name,
+		NumParams: f.NumParams,
+		NumRegs:   f.NumRegs,
+		Regions:   append([]ir.Region(nil), f.Regions...),
+	}
+	for _, b := range f.Blocks {
+		nb := &ir.Block{Label: b.Label, Term: b.Term}
+		nb.Instrs = append(nb.Instrs, b.Instrs...)
+		nf.Blocks = append(nf.Blocks, nb)
+	}
+	return nf
+}
+
+// outlineGroup extracts blocks [start, end) of f into a standalone
+// zero-argument function: internal branch targets are rebased and the
+// single exit branch to `end` becomes a return. Communication happens
+// through module globals (main's locals were promoted by the front
+// end), so no parameters are needed — the CodeExtractor analogue.
+func outlineGroup(f *ir.Func, start, end int, name string) (*ir.Func, error) {
+	nf := &ir.Func{Name: name, NumRegs: f.NumRegs}
+	if nf.NumRegs == 0 {
+		nf.NumRegs = 1
+	}
+	rebase := func(target int, where string) (int, bool, error) {
+		if target == end {
+			return 0, true, nil // exit edge becomes Ret
+		}
+		if target < start || target >= end {
+			return 0, false, fmt.Errorf("outliner: %s: branch from %s escapes group [%d,%d) to %d",
+				f.Name, where, start, end, target)
+		}
+		return target - start, false, nil
+	}
+	for bi := start; bi < end; bi++ {
+		b := f.Blocks[bi]
+		nb := &ir.Block{Label: b.Label}
+		nb.Instrs = append(nb.Instrs, b.Instrs...)
+		switch b.Term.Kind {
+		case ir.TermRet:
+			nb.Term = b.Term
+		case ir.TermBr:
+			t, exit, err := rebase(b.Term.Then, b.Label)
+			if err != nil {
+				return nil, err
+			}
+			if exit {
+				nb.Term = ir.Terminator{Kind: ir.TermRet, Cond: -1}
+			} else {
+				nb.Term = ir.Terminator{Kind: ir.TermBr, Then: t}
+			}
+		case ir.TermCondBr:
+			thenT, thenExit, err := rebase(b.Term.Then, b.Label)
+			if err != nil {
+				return nil, err
+			}
+			elseT, elseExit, err := rebase(b.Term.Else, b.Label)
+			if err != nil {
+				return nil, err
+			}
+			if thenExit || elseExit {
+				// A conditional exit needs a synthetic return block.
+				retIdx := end - start // appended below
+				if thenExit {
+					thenT = retIdx
+				}
+				if elseExit {
+					elseT = retIdx
+				}
+				nb.Term = ir.Terminator{Kind: ir.TermCondBr, Cond: b.Term.Cond, Then: thenT, Else: elseT}
+				nf.Blocks = append(nf.Blocks, nb)
+				continue
+			}
+			nb.Term = ir.Terminator{Kind: ir.TermCondBr, Cond: b.Term.Cond, Then: thenT, Else: elseT}
+		}
+		nf.Blocks = append(nf.Blocks, nb)
+	}
+	// Synthetic return block if any conditional exit referenced it.
+	needRet := false
+	for _, b := range nf.Blocks {
+		if b.Term.Kind == ir.TermCondBr && (b.Term.Then == end-start || b.Term.Else == end-start) {
+			needRet = true
+		}
+	}
+	if needRet {
+		nf.Blocks = append(nf.Blocks, &ir.Block{
+			Label: "outlined.ret",
+			Term:  ir.Terminator{Kind: ir.TermRet, Cond: -1},
+		})
+	}
+	if len(nf.Blocks) == 0 {
+		nf.Blocks = []*ir.Block{{Label: "empty", Term: ir.Terminator{Kind: ir.TermRet, Cond: -1}}}
+	}
+	return nf, nil
+}
+
+// analyseGlobals reports the globals a function touches (in order of
+// first appearance) with read/write classification, following calls
+// transitively — the outliner's memory analysis.
+func analyseGlobals(m *ir.Module, f *ir.Func) (all, reads, writes []string) {
+	seen := map[string]bool{}
+	readSet := map[string]bool{}
+	writeSet := map[string]bool{}
+	visited := map[string]bool{}
+	var walk func(fn *ir.Func)
+	walk = func(fn *ir.Func) {
+		if visited[fn.Name] {
+			return
+		}
+		visited[fn.Name] = true
+		for _, b := range fn.Blocks {
+			for _, in := range b.Instrs {
+				switch in.Op {
+				case ir.OpLoad:
+					if !seen[in.Sym] {
+						seen[in.Sym] = true
+						all = append(all, in.Sym)
+					}
+					readSet[in.Sym] = true
+				case ir.OpStore:
+					if !seen[in.Sym] {
+						seen[in.Sym] = true
+						all = append(all, in.Sym)
+					}
+					writeSet[in.Sym] = true
+				case ir.OpCall:
+					if callee, ok := m.Funcs[in.Sym]; ok {
+						walk(callee)
+					}
+				}
+			}
+		}
+	}
+	walk(f)
+	for _, g := range all {
+		if readSet[g] {
+			reads = append(reads, g)
+		}
+		if writeSet[g] {
+			writes = append(writes, g)
+		}
+	}
+	return all, reads, writes
+}
+
+// StructuralHash computes the canonical hash used for kernel
+// recognition: opcodes, control structure, and immediates, with
+// registers and global names normalised by first appearance so the
+// hash is invariant under renaming — two loops written identically
+// over differently-named arrays hash equal. This is the "hash-based
+// kernel recognition" of Case Study 4 and shares its stated
+// assumption: recognition requires operational/structural identity.
+func StructuralHash(f *ir.Func) uint64 {
+	h := fnv.New64a()
+	regNorm := map[int]int{}
+	globNorm := map[string]int{}
+	normReg := func(r int) int {
+		if v, ok := regNorm[r]; ok {
+			return v
+		}
+		v := len(regNorm)
+		regNorm[r] = v
+		return v
+	}
+	normGlob := func(g string) int {
+		if v, ok := globNorm[g]; ok {
+			return v
+		}
+		v := len(globNorm)
+		globNorm[g] = v
+		return v
+	}
+	wByte := func(b byte) { _, _ = h.Write([]byte{b}) }
+	wInt := func(x int) {
+		var buf [4]byte
+		buf[0] = byte(x)
+		buf[1] = byte(x >> 8)
+		buf[2] = byte(x >> 16)
+		buf[3] = byte(x >> 24)
+		_, _ = h.Write(buf[:])
+	}
+	for _, b := range f.Blocks {
+		wByte(0xBB)
+		for _, in := range b.Instrs {
+			wByte(byte(in.Op))
+			switch in.Op {
+			case ir.OpConst:
+				bits := math.Float64bits(in.Imm)
+				wInt(int(bits))
+				wInt(int(bits >> 32))
+				wInt(normReg(in.Dst))
+			case ir.OpLoad:
+				wInt(normGlob(in.Sym))
+				wInt(normReg(in.A))
+				wInt(normReg(in.Dst))
+			case ir.OpStore:
+				wInt(normGlob(in.Sym))
+				wInt(normReg(in.A))
+				wInt(normReg(in.B))
+			case ir.OpCall:
+				// Callee identity matters structurally.
+				_, _ = h.Write([]byte(in.Sym))
+				for _, a := range in.Args {
+					wInt(normReg(a))
+				}
+				wInt(normReg(in.Dst))
+			case ir.OpMov, ir.OpNeg, ir.OpNot, ir.OpSin, ir.OpCos,
+				ir.OpSqrt, ir.OpAbs, ir.OpFloor:
+				// Unary: the B field is unused and must not leak a
+				// spurious register into the normalisation map.
+				wInt(normReg(in.Dst))
+				wInt(normReg(in.A))
+			default:
+				wInt(normReg(in.Dst))
+				wInt(normReg(in.A))
+				wInt(normReg(in.B))
+			}
+		}
+		wByte(0xEE)
+		wByte(byte(b.Term.Kind))
+		switch b.Term.Kind {
+		case ir.TermBr:
+			wInt(b.Term.Then)
+		case ir.TermCondBr:
+			wInt(normReg(b.Term.Cond))
+			wInt(b.Term.Then)
+			wInt(b.Term.Else)
+		case ir.TermRet:
+			if b.Term.Cond >= 0 {
+				wInt(normReg(b.Term.Cond))
+			} else {
+				wInt(-1)
+			}
+		}
+	}
+	return h.Sum64()
+}

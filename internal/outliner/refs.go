@@ -1,0 +1,212 @@
+package outliner
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/minic"
+)
+
+// The recognition table is built by compiling reference MiniC
+// implementations of the kernels the toolchain knows how to optimise
+// (the naive DFT and the fused conjugate-multiply inverse DFT of the
+// radar correlator), outlining them, and recording the structural
+// hashes of the resulting hot kernels. A user kernel is recognised
+// when its loop is structurally identical modulo renaming — the
+// paper's "fairly strict assumption that it is possible to recognize a
+// kernel operationally in an automatic compilation process with no
+// human input".
+
+// dftLoop renders the canonical naive forward-DFT double loop over
+// arrays named <in>_re/_im into <out>_re/_im, using the given loop
+// variable identifiers. Both the reference programs and the
+// demonstration application render their loops through this template,
+// the way the paper's authors recognised their own application's DFT.
+func dftLoop(k, t, ang, wr, wi, sr, si, n, in, out string) string {
+	return fmt.Sprintf(`for (%[1]s = 0; %[1]s < %[8]s; %[1]s = %[1]s + 1) {
+    %[6]s = 0; %[7]s = 0;
+    for (%[2]s = 0; %[2]s < %[8]s; %[2]s = %[2]s + 1) {
+      %[3]s = 0 - 6.283185307179586 * %[1]s * %[2]s / %[8]s;
+      %[4]s = cos(%[3]s); %[5]s = sin(%[3]s);
+      %[6]s = %[6]s + %[9]s_re[%[2]s] * %[4]s - %[9]s_im[%[2]s] * %[5]s;
+      %[7]s = %[7]s + %[9]s_re[%[2]s] * %[5]s + %[9]s_im[%[2]s] * %[4]s;
+    }
+    %[10]s_re[%[1]s] = %[6]s; %[10]s_im[%[1]s] = %[7]s;
+  }`, k, t, ang, wr, wi, sr, si, n, in, out)
+}
+
+// corrIDFTLoop renders the fused correlator: the inverse DFT of
+// A .* conj(B), accumulating the product on the fly — the single
+// double loop Case Study 4's application implements its IFFT stage as.
+func corrIDFTLoop(k, t, ang, wr, wi, sr, si, pr, pi, n, a, b, out string) string {
+	return fmt.Sprintf(`for (%[1]s = 0; %[1]s < %[10]s; %[1]s = %[1]s + 1) {
+    %[6]s = 0; %[7]s = 0;
+    for (%[2]s = 0; %[2]s < %[10]s; %[2]s = %[2]s + 1) {
+      %[8]s = %[11]s_re[%[2]s] * %[12]s_re[%[2]s] + %[11]s_im[%[2]s] * %[12]s_im[%[2]s];
+      %[9]s = %[11]s_im[%[2]s] * %[12]s_re[%[2]s] - %[11]s_re[%[2]s] * %[12]s_im[%[2]s];
+      %[3]s = 6.283185307179586 * %[1]s * %[2]s / %[10]s;
+      %[4]s = cos(%[3]s); %[5]s = sin(%[3]s);
+      %[6]s = %[6]s + %[8]s * %[4]s - %[9]s * %[5]s;
+      %[7]s = %[7]s + %[8]s * %[5]s + %[9]s * %[4]s;
+    }
+    %[13]s_re[%[1]s] = %[6]s / %[10]s; %[13]s_im[%[1]s] = %[7]s / %[10]s;
+  }`, k, t, ang, wr, wi, sr, si, pr, pi, n, a, b, out)
+}
+
+// referenceDFTProgram is the table-building program for the forward
+// DFT (small n keeps table construction fast; the hash is independent
+// of n).
+func referenceDFTProgram() string {
+	return fmt.Sprintf(`
+float n = 32;
+float x_re[32]; float x_im[32];
+float X_re[32]; float X_im[32];
+float main() {
+  float k; float t; float ang; float wr; float wi; float sr; float si;
+  %s
+  return 0;
+}
+`, dftLoop("k", "t", "ang", "wr", "wi", "sr", "si", "n", "x", "X"))
+}
+
+func referenceCorrIDFTProgram() string {
+	return fmt.Sprintf(`
+float n = 32;
+float A_re[32]; float A_im[32];
+float B_re[32]; float B_im[32];
+float C_re[32]; float C_im[32];
+float main() {
+  float k; float t; float ang; float wr; float wi; float sr; float si; float pr; float pi;
+  %s
+  return 0;
+}
+`, corrIDFTLoop("k", "t", "ang", "wr", "wi", "sr", "si", "pr", "pi", "n", "A", "B", "C"))
+}
+
+var (
+	refOnce  sync.Once
+	refTable map[uint64]string
+	refErr   error
+)
+
+// referenceTable lazily builds hash -> kernel-kind.
+func referenceTable() map[uint64]string {
+	refOnce.Do(func() {
+		refTable = map[uint64]string{}
+		for _, ref := range []struct {
+			src, kind string
+		}{
+			{referenceDFTProgram(), "dft"},
+			{referenceCorrIDFTProgram(), "corr_idft"},
+		} {
+			m, err := minic.Compile(ref.src, "ref_"+ref.kind)
+			if err != nil {
+				refErr = fmt.Errorf("outliner: compiling %s reference: %w", ref.kind, err)
+				return
+			}
+			res, err := Convert(m, Options{HotCount: 8})
+			if err != nil {
+				refErr = fmt.Errorf("outliner: outlining %s reference: %w", ref.kind, err)
+				return
+			}
+			found := false
+			for _, k := range res.Kernels {
+				if k.Hot {
+					refTable[k.Hash] = ref.kind
+					found = true
+					break
+				}
+			}
+			if !found {
+				refErr = fmt.Errorf("outliner: %s reference produced no hot kernel", ref.kind)
+			}
+		}
+	})
+	if refErr != nil {
+		panic(refErr)
+	}
+	return refTable
+}
+
+// MonolithicRangeDetection generates the unlabeled, monolithic C
+// application Case Study 4 converts: range detection written as one
+// main() with six loops — reading the received and reference
+// waveforms (file-I/O-style copies), two naive DFTs, the fused
+// correlator inverse DFT, and the output/peak-search pass. The
+// toolchain must detect exactly those six kernels ("among the six
+// kernels that are currently detected, three of them consist of heavy
+// file I/O, along with two kernels consisting of two FFTs and one
+// kernel consisting of the IFFT").
+//
+// The lag target is embedded in the synthetic input so functional
+// correctness is checkable end to end.
+func MonolithicRangeDetection(n, lag int) string {
+	return fmt.Sprintf(`
+// Monolithic range detection, unlabeled C (MiniC subset).
+float n = %[1]d;
+float lag_true = %[2]d;
+// Raw capture buffers ("file" contents).
+float file_rx_re[%[1]d]; float file_rx_im[%[1]d];
+float file_ref_re[%[1]d]; float file_ref_im[%[1]d];
+// Working arrays.
+float rx_re[%[1]d]; float rx_im[%[1]d];
+float ref_re[%[1]d]; float ref_im[%[1]d];
+float RX_re[%[1]d]; float RX_im[%[1]d];
+float REF_re[%[1]d]; float REF_im[%[1]d];
+float corr_re[%[1]d]; float corr_im[%[1]d];
+float out_mag[%[1]d];
+float peak_index = 0;
+float peak_val = 0;
+
+float main() {
+  float i; float k; float t; float ang; float wr; float wi;
+  float sr; float si; float pr; float pi; float ph; float m;
+
+  // Synthesise the "file" contents: reference chirp and the delayed
+  // return (in a real run these loops stream from disk, which is why
+  // the detector classifies them as heavy I/O kernels).
+  for (i = 0; i < n; i = i + 1) {
+    ph = 3.141592653589793 * 0.5 * (i * i / n - i);
+    file_ref_re[i] = cos(ph);
+    file_ref_im[i] = sin(ph);
+    file_rx_re[i] = 0;
+    file_rx_im[i] = 0;
+  }
+  for (i = 0; i < n; i = i + 1) {
+    if (i >= lag_true) {
+      ph = 3.141592653589793 * 0.5 * ((i - lag_true) * (i - lag_true) / n - (i - lag_true));
+      file_rx_re[i] = cos(ph);
+      file_rx_im[i] = sin(ph);
+    }
+    rx_re[i] = file_rx_re[i];
+    rx_im[i] = file_rx_im[i];
+    ref_re[i] = file_ref_re[i];
+    ref_im[i] = file_ref_im[i];
+  }
+
+  // Naive forward DFT of the received signal.
+  %[3]s
+
+  // Naive forward DFT of the reference chirp.
+  %[4]s
+
+  // Correlator: inverse DFT of RX .* conj(REF), fused in one loop.
+  %[5]s
+
+  // Write the magnitude "file" and track the correlation peak.
+  for (i = 0; i < n; i = i + 1) {
+    m = corr_re[i] * corr_re[i] + corr_im[i] * corr_im[i];
+    out_mag[i] = sqrt(m);
+    if (m > peak_val) {
+      peak_val = m;
+      peak_index = i;
+    }
+  }
+
+  return peak_index;
+}
+`, n, lag,
+		dftLoop("k", "t", "ang", "wr", "wi", "sr", "si", "n", "rx", "RX"),
+		dftLoop("k", "t", "ang", "wr", "wi", "sr", "si", "n", "ref", "REF"),
+		corrIDFTLoop("k", "t", "ang", "wr", "wi", "sr", "si", "pr", "pi", "n", "RX", "REF", "corr"))
+}

@@ -1,0 +1,210 @@
+package platform
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Config is one emulated DSSoC hardware configuration: the PEs drawn
+// from a platform's resource pool, the overlay (management) processor
+// running the application handler and workload manager, and the
+// platform's DMA characteristics.
+type Config struct {
+	// Name is the paper-style configuration label, e.g. "2C+1F" or
+	// "3BIG+2LTL".
+	Name string
+	// Platform identifies the COTS board ("zcu102", "odroid-xu3").
+	Platform string
+	// PEs is the instantiated resource pool subset.
+	PEs []*PE
+	// Overlay is the PE type of the management core; its SchedOpNS
+	// converts scheduler operation counts into charged overhead.
+	Overlay *PEType
+	// DMA models DDR<->accelerator transfers on this board.
+	DMA DMAModel
+}
+
+// ZCU102 board limits: a quad-core A53 (one core reserved as the
+// overlay processor) plus two FFT accelerators in the fabric.
+const (
+	ZCU102PoolCores = 3
+	ZCU102PoolFFTs  = 2
+)
+
+// zcu102DMA reflects the udmabuf + AXI-DMA path of Figure 6: a fixed
+// driver setup plus a per-byte streaming cost. Calibrated so FFTs up
+// to 256 points (the paper's accelerator workloads are 128-point)
+// complete faster on an A53 core than on the accelerator once both
+// transfer directions are charged — the load-bearing observation of
+// Figure 9 — while large transforms (Case Study 4's 1024-point DFT
+// replacement) favour the accelerator over the naive CPU loop yet
+// remain slightly slower than the optimised FFT library, matching the
+// paper's 94x vs 102x speedups.
+var zcu102DMA = DMAModel{SetupNS: 35_000, NSPerByte: 2.3, CtxSwitchNS: 12_000}
+
+// ZCU102 builds a DSSoC configuration with nCores A53 cores and nFFT
+// FFT accelerators, reproducing the resource-manager thread placement
+// of Section II-D: CPU PEs get their own cores; accelerator manager
+// threads fill unused pool cores first and then distribute round-robin
+// across all pool cores, sharing where necessary.
+func ZCU102(nCores, nFFT int) (*Config, error) {
+	if nCores < 0 || nCores > ZCU102PoolCores {
+		return nil, fmt.Errorf("platform: ZCU102 supports 0..%d cores, got %d", ZCU102PoolCores, nCores)
+	}
+	if nFFT < 0 || nFFT > ZCU102PoolFFTs {
+		return nil, fmt.Errorf("platform: ZCU102 supports 0..%d FFT accelerators, got %d", ZCU102PoolFFTs, nFFT)
+	}
+	if nCores+nFFT == 0 {
+		return nil, fmt.Errorf("platform: configuration needs at least one PE")
+	}
+	cfg := &Config{
+		Name:     fmt.Sprintf("%dC+%dF", nCores, nFFT),
+		Platform: "zcu102",
+		Overlay:  A53,
+		DMA:      zcu102DMA,
+	}
+	id := 0
+	for i := 0; i < nCores; i++ {
+		cfg.PEs = append(cfg.PEs, &PE{ID: id, Type: A53, HostCore: i, Share: 1})
+		id++
+	}
+	hosts := managerPlacement(nCores, ZCU102PoolCores, nFFT)
+	occupancy := map[int]int{}
+	for _, h := range hosts {
+		occupancy[h]++
+	}
+	for i := 0; i < nFFT; i++ {
+		cfg.PEs = append(cfg.PEs, &PE{ID: id, Type: FFTAccel, HostCore: hosts[i], Share: occupancy[hosts[i]]})
+		id++
+	}
+	return cfg, nil
+}
+
+// managerPlacement assigns accelerator manager threads to pool cores:
+// unused cores first (one each), then round-robin over the whole pool.
+// Returns the host core index per accelerator.
+func managerPlacement(usedCores, poolCores, nAccel int) []int {
+	hosts := make([]int, nAccel)
+	unused := make([]int, 0, poolCores-usedCores)
+	for c := usedCores; c < poolCores; c++ {
+		unused = append(unused, c)
+	}
+	for i := 0; i < nAccel; i++ {
+		if i < len(unused) {
+			hosts[i] = unused[i]
+			continue
+		}
+		// Overflow: distribute evenly over all pool cores, continuing
+		// from the unused ones so they absorb load first.
+		k := i - len(unused)
+		if len(unused) > 0 {
+			hosts[i] = unused[k%len(unused)]
+		} else {
+			hosts[i] = k % poolCores
+		}
+	}
+	return hosts
+}
+
+// Odroid XU3 board limits: four A15 big cores and four A7 LITTLE cores
+// with one LITTLE core reserved as the overlay processor (Section
+// III-B).
+const (
+	OdroidPoolBig    = 4
+	OdroidPoolLittle = 3
+)
+
+// OdroidXU3 builds a big.LITTLE configuration. There are no
+// accelerators, so the DMA model is unused; the distinguishing feature
+// is the slow LITTLE overlay core, which inflates scheduling overhead
+// as PE counts grow (Figure 11's 4B+3L inversion).
+func OdroidXU3(nBig, nLittle int) (*Config, error) {
+	if nBig < 0 || nBig > OdroidPoolBig {
+		return nil, fmt.Errorf("platform: Odroid XU3 supports 0..%d big cores, got %d", OdroidPoolBig, nBig)
+	}
+	if nLittle < 0 || nLittle > OdroidPoolLittle {
+		return nil, fmt.Errorf("platform: Odroid XU3 supports 0..%d LITTLE cores, got %d", OdroidPoolLittle, nLittle)
+	}
+	if nBig+nLittle == 0 {
+		return nil, fmt.Errorf("platform: configuration needs at least one PE")
+	}
+	cfg := &Config{
+		Name:     fmt.Sprintf("%dBIG+%dLTL", nBig, nLittle),
+		Platform: "odroid-xu3",
+		Overlay:  A7Little,
+	}
+	id := 0
+	for i := 0; i < nBig; i++ {
+		cfg.PEs = append(cfg.PEs, &PE{ID: id, Type: A15Big, HostCore: i, Share: 1})
+		id++
+	}
+	for i := 0; i < nLittle; i++ {
+		cfg.PEs = append(cfg.PEs, &PE{ID: id, Type: A7Little, HostCore: OdroidPoolBig + i, Share: 1})
+		id++
+	}
+	return cfg, nil
+}
+
+// CountByClass reports how many PEs of each class the config has.
+func (c *Config) CountByClass() (cpus, accels int) {
+	for _, pe := range c.PEs {
+		if pe.Type.Class == CPU {
+			cpus++
+		} else {
+			accels++
+		}
+	}
+	return
+}
+
+// SupportsKey reports whether any PE in the configuration matches the
+// given platform key; used to validate that a workload can run.
+func (c *Config) SupportsKey(key string) bool {
+	for _, pe := range c.PEs {
+		if pe.Type.Key == key {
+			return true
+		}
+	}
+	return false
+}
+
+// configJSON is the on-disk form consumed by cmd/emulate: the paper's
+// "input configuration file" naming the number and types of PEs.
+type configJSON struct {
+	Platform string `json:"platform"`
+	Cores    int    `json:"cores"`
+	FFTs     int    `json:"ffts"`
+	Big      int    `json:"big"`
+	Little   int    `json:"little"`
+}
+
+// LoadConfigFile reads a hardware configuration JSON of the form
+//
+//	{"platform": "zcu102", "cores": 2, "ffts": 1}
+//	{"platform": "odroid-xu3", "big": 3, "little": 2}
+func LoadConfigFile(path string) (*Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("platform: reading config: %w", err)
+	}
+	return ParseConfigJSON(data)
+}
+
+// ParseConfigJSON parses the configuration document format of
+// LoadConfigFile.
+func ParseConfigJSON(data []byte) (*Config, error) {
+	var cj configJSON
+	if err := json.Unmarshal(data, &cj); err != nil {
+		return nil, fmt.Errorf("platform: decoding config: %w", err)
+	}
+	switch strings.ToLower(cj.Platform) {
+	case "zcu102":
+		return ZCU102(cj.Cores, cj.FFTs)
+	case "odroid-xu3", "odroid", "xu3":
+		return OdroidXU3(cj.Big, cj.Little)
+	default:
+		return nil, fmt.Errorf("platform: unknown platform %q", cj.Platform)
+	}
+}

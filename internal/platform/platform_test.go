@@ -1,0 +1,266 @@
+package platform
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestZCU102Shapes(t *testing.T) {
+	cfg, err := ZCU102(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Name != "2C+1F" {
+		t.Fatalf("Name = %q", cfg.Name)
+	}
+	cpus, accels := cfg.CountByClass()
+	if cpus != 2 || accels != 1 {
+		t.Fatalf("counts = %d cpus, %d accels", cpus, accels)
+	}
+	if !cfg.SupportsKey("cpu") || !cfg.SupportsKey("fft") || cfg.SupportsKey("gpu") {
+		t.Fatalf("SupportsKey wrong")
+	}
+	if cfg.Overlay != A53 {
+		t.Fatalf("ZCU102 overlay must be an A53")
+	}
+	// IDs are unique and sequential.
+	for i, pe := range cfg.PEs {
+		if pe.ID != i {
+			t.Fatalf("PE %d has ID %d", i, pe.ID)
+		}
+	}
+}
+
+func TestZCU102Limits(t *testing.T) {
+	for _, bad := range [][2]int{{-1, 0}, {4, 0}, {0, 3}, {0, -1}, {0, 0}} {
+		if _, err := ZCU102(bad[0], bad[1]); err == nil {
+			t.Errorf("ZCU102(%d,%d) accepted", bad[0], bad[1])
+		}
+	}
+	if _, err := ZCU102(3, 2); err != nil {
+		t.Fatalf("full pool rejected: %v", err)
+	}
+}
+
+// TestManagerPlacement checks the Section II-D policy across the
+// paper's Figure 9 configurations. The key case: 2C+2F leaves one
+// unused pool core, so both FFT manager threads share it (Share=2),
+// which is why that configuration gains nothing over 2C+1F.
+func TestManagerPlacement(t *testing.T) {
+	cases := []struct {
+		cores, ffts int
+		wantShares  []int
+	}{
+		{1, 1, []int{1}},
+		{1, 2, []int{1, 1}}, // two unused cores, one manager each
+		{2, 1, []int{1}},
+		{2, 2, []int{2, 2}}, // one unused core, both managers on it
+		{3, 1, []int{1}},    // no unused core, manager alone on core 0
+		{3, 2, []int{1, 1}}, // managers on cores 0 and 1, one each
+	}
+	for _, c := range cases {
+		cfg, err := ZCU102(c.cores, c.ffts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var shares []int
+		for _, pe := range cfg.PEs {
+			if pe.Type.Class == Accelerator {
+				shares = append(shares, pe.Share)
+			}
+		}
+		if len(shares) != len(c.wantShares) {
+			t.Fatalf("%s: %d accel PEs", cfg.Name, len(shares))
+		}
+		for i := range shares {
+			if shares[i] != c.wantShares[i] {
+				t.Errorf("%s: accel %d share = %d, want %d", cfg.Name, i, shares[i], c.wantShares[i])
+			}
+		}
+	}
+}
+
+func TestCPUPEsOwnTheirCores(t *testing.T) {
+	cfg, _ := ZCU102(3, 2)
+	seen := map[int]bool{}
+	for _, pe := range cfg.PEs {
+		if pe.Type.Class == CPU {
+			if seen[pe.HostCore] {
+				t.Fatalf("two CPU PEs on core %d", pe.HostCore)
+			}
+			seen[pe.HostCore] = true
+			if pe.Share != 1 {
+				t.Fatalf("CPU PE share = %d", pe.Share)
+			}
+		}
+	}
+}
+
+func TestOdroidConfig(t *testing.T) {
+	cfg, err := OdroidXU3(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Name != "3BIG+2LTL" {
+		t.Fatalf("Name = %q", cfg.Name)
+	}
+	if cfg.Overlay != A7Little {
+		t.Fatalf("Odroid overlay must be a LITTLE core")
+	}
+	cpus, accels := cfg.CountByClass()
+	if cpus != 5 || accels != 0 {
+		t.Fatalf("counts = %d/%d", cpus, accels)
+	}
+	for _, bad := range [][2]int{{5, 0}, {0, 4}, {-1, 1}, {1, -1}, {0, 0}} {
+		if _, err := OdroidXU3(bad[0], bad[1]); err == nil {
+			t.Errorf("OdroidXU3(%d,%d) accepted", bad[0], bad[1])
+		}
+	}
+}
+
+func TestParseConfigJSON(t *testing.T) {
+	cfg, err := ParseConfigJSON([]byte(`{"platform":"zcu102","cores":2,"ffts":2}`))
+	if err != nil || cfg.Name != "2C+2F" {
+		t.Fatalf("zcu102 parse: %v %v", cfg, err)
+	}
+	cfg, err = ParseConfigJSON([]byte(`{"platform":"odroid-xu3","big":4,"little":1}`))
+	if err != nil || cfg.Name != "4BIG+1LTL" {
+		t.Fatalf("odroid parse: %v %v", cfg, err)
+	}
+	if _, err := ParseConfigJSON([]byte(`{"platform":"riscv"}`)); err == nil {
+		t.Fatal("unknown platform accepted")
+	}
+	if _, err := ParseConfigJSON([]byte(`{`)); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+	if _, err := LoadConfigFile("/nonexistent/config.json"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestPELabels(t *testing.T) {
+	cfg, _ := ZCU102(1, 1)
+	if got := cfg.PEs[0].Label(); !strings.HasPrefix(got, "A53") {
+		t.Fatalf("label %q", got)
+	}
+	if got := cfg.PEs[1].Label(); !strings.HasPrefix(got, "FFT") {
+		t.Fatalf("label %q", got)
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if CPU.String() != "cpu-core" || Accelerator.String() != "accelerator" {
+		t.Fatal("Class strings wrong")
+	}
+	if Class(9).String() == "" {
+		t.Fatal("unknown class string empty")
+	}
+}
+
+// --- timing model ---------------------------------------------------------
+
+// TestFFT128FasterOnCPU pins the paper's central Figure 9 observation:
+// "an FFT of this size [128] has a faster turn-around time on a CPU
+// core compared to the FFT accelerator" because of DMA overhead.
+func TestFFT128FasterOnCPU(t *testing.T) {
+	cfg, _ := ZCU102(1, 1)
+	cpu := CPUCostNS(KFFT, 128, A53)
+	accel, ok := AccelCostNS(KFFT, 128, 2*128*8, cfg.DMA) // in+out buffers counted via transferBytes
+	if !ok {
+		t.Fatal("accelerator does not support fft")
+	}
+	if cpu >= accel {
+		t.Fatalf("FFT-128: CPU %dns must beat accel %dns", cpu, accel)
+	}
+}
+
+// TestLargeFFTFasterOnAccel pins the crossover: at large sizes the
+// accelerator wins despite DMA (Case Study 4 uses n=1024).
+func TestLargeFFTFasterOnAccel(t *testing.T) {
+	cfg, _ := ZCU102(1, 1)
+	cpu := CPUCostNS(KFFT, 4096, A53)
+	accel, _ := AccelCostNS(KFFT, 4096, 2*4096*8, cfg.DMA)
+	if accel >= cpu {
+		t.Fatalf("FFT-4096: accel %dns must beat CPU %dns", accel, cpu)
+	}
+}
+
+func TestBigFasterThanLittle(t *testing.T) {
+	for _, k := range []string{KFFT, KViterbi, KScramble} {
+		big := CPUCostNS(k, 256, A15Big)
+		little := CPUCostNS(k, 256, A7Little)
+		a53 := CPUCostNS(k, 256, A53)
+		if !(big < a53 && a53 < little) {
+			t.Fatalf("%s: want big(%d) < A53(%d) < LITTLE(%d)", k, big, a53, little)
+		}
+	}
+}
+
+func TestCostMonotonicInN(t *testing.T) {
+	kernels := []string{KFFT, KDFTNaive, KVecMulConj, KViterbi, KMatchFilter, "unknown_kernel"}
+	f := func(aRaw, bRaw uint16) bool {
+		a, b := int(aRaw%4096)+1, int(bRaw%4096)+1
+		if a > b {
+			a, b = b, a
+		}
+		for _, k := range kernels {
+			if CPUBaseNS(k, a) > CPUBaseNS(k, b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCostEdgeCases(t *testing.T) {
+	if CPUBaseNS(KFFT, 0) != 0 || CPUBaseNS(KFFT, -5) != 0 {
+		t.Fatal("non-positive n must cost 0")
+	}
+	if CPUBaseNS("totally_unknown", 100) != 100*10 {
+		t.Fatalf("unknown kernel default cost wrong: %d", CPUBaseNS("totally_unknown", 100))
+	}
+	if _, ok := AccelComputeNS(KViterbi, 64); ok {
+		t.Fatal("accelerator claimed to support viterbi")
+	}
+	if _, ok := AccelCostNS(KScramble, 64, 64, zcu102DMA); ok {
+		t.Fatal("AccelCostNS accepted unsupported kernel")
+	}
+}
+
+func TestNaiveDFTMuchSlowerThanOptimised(t *testing.T) {
+	// Case Study 4 shape: naive DFT at n=1024 is roughly two orders
+	// of magnitude slower than the optimised library FFT.
+	naive := CPUBaseNS(KDFTNaive, 1024)
+	opt := CPUBaseNS(KFFTOpt, 1024)
+	ratio := float64(naive) / float64(opt)
+	if ratio < 50 || ratio > 200 {
+		t.Fatalf("DFT/FFTopt ratio = %.1f, want ~100", ratio)
+	}
+}
+
+func TestDMASharingPenalty(t *testing.T) {
+	d := zcu102DMA
+	solo := d.TransferNS(2048, 1)
+	shared := d.TransferNS(2048, 2)
+	if shared <= 2*solo {
+		t.Fatalf("sharing two managers must more than double transfer time: %v vs %v", shared, solo)
+	}
+	if d.TransferNS(2048, 0) != solo {
+		t.Fatal("share<1 must clamp to 1")
+	}
+}
+
+func TestViterbiDominatesWiFiRX(t *testing.T) {
+	// Sanity on relative kernel weights: the Viterbi decoder and the
+	// match filter dominate the WiFi RX budget (why RX is ~17x TX in
+	// Table I).
+	vit := CPUBaseNS(KViterbi, 70)
+	scr := CPUBaseNS(KScramble, 64)
+	if vit < 100*scr {
+		t.Fatalf("viterbi (%d) should dwarf scrambler (%d)", vit, scr)
+	}
+}

@@ -1,0 +1,133 @@
+// Package platform models the emulation testbeds: the processing
+// element (PE) types of the ZCU102 (ARM Cortex-A53 cores + FFT
+// accelerators in programmable logic behind AXI DMA) and the Odroid
+// XU3 (big.LITTLE A15/A7 clusters), the DSSoC configurations built
+// from them, the resource-manager thread placement policy, and the
+// calibrated kernel timing model.
+//
+// SUBSTITUTION NOTE (see DESIGN.md): the paper executes on real
+// silicon; this reproduction replaces the hardware with calibrated
+// analytic timing models over a virtual clock. Constants are chosen so
+// the paper's qualitative relations hold (e.g. a 128-point FFT is
+// faster on an A53 core than on the accelerator once DMA overhead is
+// charged; big cores outrun LITTLE cores; the overlay core's speed
+// sets the scheduling overhead).
+package platform
+
+import "fmt"
+
+// Class distinguishes general-purpose cores from custom accelerators;
+// the resource manager executes different flows for the two (Figure 4).
+type Class int
+
+const (
+	// CPU PEs execute the task executable directly with no explicit
+	// data transfer.
+	CPU Class = iota
+	// Accelerator PEs require DDR->local-memory DMA before compute
+	// and the reverse transfer after.
+	Accelerator
+)
+
+func (c Class) String() string {
+	switch c {
+	case CPU:
+		return "cpu-core"
+	case Accelerator:
+		return "accelerator"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// PEType describes one kind of processing element.
+type PEType struct {
+	// Name is the human-readable type ("A53", "A15-big", ...).
+	Name string
+	// Key matches the "name" field of a DAG node's platform entry
+	// ("cpu", "fft"): a node may run on a PE only if a platform entry
+	// with this key exists.
+	Key string
+	// Class selects the resource-manager execution flow.
+	Class Class
+	// SpeedFactor scales baseline (A53) kernel times: a factor of 0.6
+	// runs 40% faster than the A53 reference, 1.8 runs 80% slower.
+	SpeedFactor float64
+	// SchedOpNS is the cost of one abstract scheduler operation when
+	// this PE type serves as the overlay (management) processor. The
+	// paper charges all workload-manager work to the overlay core, so
+	// a slow LITTLE overlay visibly inflates scheduling overhead
+	// (Case Study 3).
+	SchedOpNS float64
+	// PowerW is the active power draw used by the power-aware
+	// scheduling extension (the paper's future-work item).
+	PowerW float64
+}
+
+// The PE types of the two evaluation platforms.
+var (
+	// A53 is the ZCU102's Cortex-A53 application core (1.2 GHz), the
+	// baseline for every kernel cost in this package.
+	A53 = &PEType{Name: "A53", Key: "cpu", Class: CPU, SpeedFactor: 1.0, SchedOpNS: 55, PowerW: 0.8}
+	// FFTAccel is the FFT IP instantiated in the ZCU102 programmable
+	// logic, reached through AXI DMA and udmabuf shared memory.
+	FFTAccel = &PEType{Name: "FFT-PL", Key: "fft", Class: Accelerator, SpeedFactor: 1.0, SchedOpNS: 0, PowerW: 0.3}
+	// A15Big is the Odroid XU3's performance core.
+	A15Big = &PEType{Name: "A15-big", Key: "cpu", Class: CPU, SpeedFactor: 0.55, SchedOpNS: 40, PowerW: 1.6}
+	// A7Little is the Odroid XU3's efficiency core; it also serves as
+	// the Odroid overlay processor, whose lower clock makes the
+	// scheduling overhead relatively larger (paper Section III-E).
+	A7Little = &PEType{Name: "A7-LITTLE", Key: "cpu", Class: CPU, SpeedFactor: 1.9, SchedOpNS: 150, PowerW: 0.35}
+)
+
+// DMAModel captures the cost of moving data between the framework's
+// DDR memory space and an accelerator's local memory (BRAM) through
+// the DMA engine, per Figure 6, plus the OS-level context-switch
+// penalty incurred when several accelerator manager threads share one
+// host CPU core (the 2C+2F anomaly of Figure 9).
+type DMAModel struct {
+	// SetupNS is the fixed per-transfer driver/descriptor cost.
+	SetupNS float64
+	// NSPerByte is the streaming cost per byte per direction.
+	NSPerByte float64
+	// CtxSwitchNS is the penalty per preemption when manager threads
+	// share a core.
+	CtxSwitchNS float64
+}
+
+// TransferNS returns the host-driven time to move `bytes` bytes one
+// way for a manager thread sharing its host core with `share` manager
+// threads in total (share >= 1). Sharing serialises the copy loops and
+// adds context switches, which is exactly why the paper's second FFT
+// accelerator stopped paying off once its manager lost its own core.
+func (d DMAModel) TransferNS(bytes int, share int) float64 {
+	if share < 1 {
+		share = 1
+	}
+	t := d.SetupNS + float64(bytes)*d.NSPerByte
+	t *= float64(share)
+	if share > 1 {
+		t += d.CtxSwitchNS * float64(share)
+	}
+	return t
+}
+
+// PE is one processing element slot in a DSSoC configuration, together
+// with its resource-manager thread placement.
+type PE struct {
+	// ID is the configuration-unique identifier (paper Figure 9 "PE IDs").
+	ID int
+	// Type is the hardware kind.
+	Type *PEType
+	// HostCore is the pool CPU core index running this PE's resource
+	// manager thread. For CPU PEs it is the core itself.
+	HostCore int
+	// Share is the number of accelerator manager threads placed on
+	// HostCore (>= 1 for accelerators; 1 means a dedicated core).
+	Share int
+}
+
+// Label renders a short PE name such as "Core1" or "FFT2".
+func (p *PE) Label() string {
+	return fmt.Sprintf("%s%d", p.Type.Name, p.ID+1)
+}

@@ -1,0 +1,225 @@
+package sched
+
+import "repro/internal/vtime"
+
+// Extensions beyond the paper's shipped library, implementing its
+// stated future work ("abstractions like PE-level work queues to
+// enable lower-overhead task dispatch" and "power aware heuristics").
+// They exist to quantify those design choices in ablation benches.
+
+// DefaultQueueDepth bounds per-PE reservation queues.
+const DefaultQueueDepth = 4
+
+// FRFSQ is FRFS with per-PE reservation queues: ready tasks are
+// dispatched into the shortest supporting queue even when the PE is
+// busy, so PEs pull their next task without waiting for a scheduler
+// invocation. This amortises scheduling overhead — the effect the
+// paper predicts queues will have.
+type FRFSQ struct {
+	// Depth is the maximum reservation-queue length per PE (current
+	// task included).
+	Depth int
+}
+
+// Name implements Policy.
+func (FRFSQ) Name() string { return "frfs-rq" }
+
+// UsesQueues implements Policy.
+func (FRFSQ) UsesQueues() bool { return true }
+
+// Schedule implements Policy.
+func (q FRFSQ) Schedule(now vtime.Time, ready []Task, pes []PE) Result {
+	depth := q.Depth
+	if depth <= 0 {
+		depth = DefaultQueueDepth
+	}
+	res := Result{}
+	load := make([]int, len(pes))
+	free := 0
+	for i, pe := range pes {
+		res.Ops++
+		load[i] = pe.QueueLen()
+		if !pe.Idle() {
+			load[i]++ // count the running task
+		}
+		if d := depth - load[i]; d > 0 {
+			free += d
+		}
+	}
+	// The scan stops as soon as every reservation queue is full, so
+	// the per-invocation cost is bounded by the total queue capacity
+	// rather than the ready-list length — the overhead reduction
+	// reservation queues exist to deliver.
+	for ti := 0; ti < len(ready) && free > 0; ti++ {
+		t := ready[ti]
+		best := -1
+		for pi, pe := range pes {
+			res.Ops++
+			if load[pi] >= depth || !supports(t, pe) {
+				continue
+			}
+			if best == -1 || load[pi] < load[best] {
+				best = pi
+			}
+		}
+		if best == -1 {
+			continue
+		}
+		res.Assignments = append(res.Assignments, Assignment{TaskIndex: ti, PEIndex: best})
+		load[best]++
+		free--
+	}
+	return res
+}
+
+// EFTQ is EFT over reservation queues: tasks are committed to the PE
+// with the earliest estimated finish time even when it is busy, up to
+// the queue depth. This is the "richer scheduling algorithms" the
+// paper expects PE-level work queues to enable: EFT's placement
+// quality without stalling ready tasks behind a single in-flight task
+// per PE.
+type EFTQ struct {
+	// Depth bounds each PE's reservation queue (running task
+	// included).
+	Depth int
+}
+
+// Name implements Policy.
+func (EFTQ) Name() string { return "eft-rq" }
+
+// UsesQueues implements Policy.
+func (EFTQ) UsesQueues() bool { return true }
+
+// Schedule implements Policy.
+func (q EFTQ) Schedule(now vtime.Time, ready []Task, pes []PE) Result {
+	depth := q.Depth
+	if depth <= 0 {
+		depth = DefaultQueueDepth
+	}
+	res := Result{}
+	load := make([]int, len(pes))
+	avail := make([]vtime.Time, len(pes))
+	free := 0
+	for i, pe := range pes {
+		res.Ops++
+		load[i] = pe.QueueLen()
+		if !pe.Idle() {
+			load[i]++
+		}
+		avail[i] = pe.AvailableAt()
+		if avail[i] < now {
+			avail[i] = now
+		}
+		if d := depth - load[i]; d > 0 {
+			free += d
+		}
+	}
+	for ti := 0; ti < len(ready) && free > 0; ti++ {
+		t := ready[ti]
+		best := -1
+		var bestFinish vtime.Time
+		var bestCost int64
+		for pi, pe := range pes {
+			res.Ops += eftPairWeight
+			if load[pi] >= depth {
+				continue
+			}
+			cost, ok := costOn(t, pe)
+			if !ok {
+				continue
+			}
+			finish := avail[pi].Add(vtime.Duration(cost))
+			if best == -1 || finish < bestFinish {
+				best, bestFinish, bestCost = pi, finish, cost
+			}
+		}
+		if best == -1 {
+			continue
+		}
+		res.Assignments = append(res.Assignments, Assignment{TaskIndex: ti, PEIndex: best})
+		load[best]++
+		free--
+		avail[best] = avail[best].Add(vtime.Duration(bestCost))
+	}
+	return res
+}
+
+// PowerEFT is an energy-aware EFT variant: among PEs whose estimated
+// finish time is within Slack of the best finish time, it picks the
+// one with the lowest estimated energy (cost x active power). On
+// big.LITTLE platforms this steers short tasks to LITTLE cores when
+// the makespan penalty is tolerable.
+type PowerEFT struct {
+	// Slack is the tolerated finish-time ratio (>= 1). 1.0 degenerates
+	// to plain EFT tie-broken by energy.
+	Slack float64
+}
+
+// Name implements Policy.
+func (PowerEFT) Name() string { return "eft-power" }
+
+// UsesQueues implements Policy.
+func (PowerEFT) UsesQueues() bool { return false }
+
+// Schedule implements Policy.
+func (p PowerEFT) Schedule(now vtime.Time, ready []Task, pes []PE) Result {
+	slack := p.Slack
+	if slack < 1 {
+		slack = 1
+	}
+	res := Result{}
+	busy := make([]bool, len(pes))
+	avail := make([]vtime.Time, len(pes))
+	for i, pe := range pes {
+		res.Ops++
+		busy[i] = !pe.Idle()
+		avail[i] = pe.AvailableAt()
+		if avail[i] < now {
+			avail[i] = now
+		}
+	}
+	for ti, t := range ready {
+		type cand struct {
+			pi     int
+			finish vtime.Time
+			energy float64
+		}
+		var cands []cand
+		var bestFinish vtime.Time = -1
+		for pi, pe := range pes {
+			res.Ops += eftPairWeight
+			cost, ok := costOn(t, pe)
+			if !ok || busy[pi] {
+				continue
+			}
+			finish := avail[pi].Add(vtime.Duration(cost))
+			energy := float64(cost) * pe.PowerW() * 1e-9
+			cands = append(cands, cand{pi, finish, energy})
+			if bestFinish < 0 || finish < bestFinish {
+				bestFinish = finish
+			}
+		}
+		if len(cands) == 0 {
+			continue
+		}
+		limit := vtime.Time(float64(bestFinish-vtime.Time(0)) * slack)
+		pick := -1
+		bestE := 0.0
+		for _, c := range cands {
+			res.Ops++
+			if c.finish > limit {
+				continue
+			}
+			if pick == -1 || c.energy < bestE {
+				pick, bestE = c.pi, c.energy
+			}
+		}
+		if pick == -1 {
+			pick = cands[0].pi
+		}
+		res.Assignments = append(res.Assignments, Assignment{TaskIndex: ti, PEIndex: pick})
+		busy[pick] = true
+		avail[pick] = avail[pick].Add(1) // occupied marker
+	}
+	return res
+}

@@ -1,0 +1,97 @@
+package sched
+
+import (
+	"testing"
+)
+
+func TestEFTQCommitsToBusyPEs(t *testing.T) {
+	// One fast busy PE freeing soon vs one slow idle PE: EFTQ should
+	// queue behind the fast PE when that still finishes earlier.
+	busyFast := idleCPU(0)
+	busyFast.idle = false
+	busyFast.avail = 100 // frees at t=100, cost 100 -> finish 200
+	slowIdle := idleCPU(1)
+	slowIdle.speed = 10 // cost 100 -> finish 1000
+	pes := asPEs(busyFast, slowIdle)
+	res := EFTQ{Depth: 2}.Schedule(0, asTasks(cpuTask("t", 100)), pes)
+	if len(res.Assignments) != 1 || res.Assignments[0].PEIndex != 0 {
+		t.Fatalf("EFTQ did not queue behind the faster busy PE: %+v", res.Assignments)
+	}
+}
+
+func TestEFTQRespectsDepth(t *testing.T) {
+	pe := idleCPU(0)
+	pe.idle = false
+	pe.queued = 1 // load 2 of depth 2: full
+	res := EFTQ{Depth: 2}.Schedule(0, asTasks(cpuTask("a", 10), cpuTask("b", 10)), asPEs(pe))
+	if len(res.Assignments) != 0 {
+		t.Fatalf("EFTQ overfilled the queue: %+v", res.Assignments)
+	}
+	pe.queued = 0 // load 1: one slot
+	res = EFTQ{Depth: 2}.Schedule(0, asTasks(cpuTask("a", 10), cpuTask("b", 10)), asPEs(pe))
+	if len(res.Assignments) != 1 {
+		t.Fatalf("EFTQ should fill exactly one slot: %+v", res.Assignments)
+	}
+	// Zero depth falls back to the default.
+	res = EFTQ{}.Schedule(0, asTasks(cpuTask("a", 10)), asPEs(idleCPU(0)))
+	if len(res.Assignments) != 1 {
+		t.Fatalf("default-depth EFTQ assigned %d", len(res.Assignments))
+	}
+}
+
+func TestEFTQAccountsForItsOwnPlacements(t *testing.T) {
+	// Two equal PEs, three equal tasks: the third must go behind one of
+	// the first two rather than stacking everything on PE 0.
+	pes := asPEs(idleCPU(0), idleCPU(1))
+	res := EFTQ{Depth: 4}.Schedule(0, asTasks(cpuTask("a", 100), cpuTask("b", 100), cpuTask("c", 100)), pes)
+	if len(res.Assignments) != 3 {
+		t.Fatalf("assigned %d of 3", len(res.Assignments))
+	}
+	perPE := map[int]int{}
+	for _, a := range res.Assignments {
+		perPE[a.PEIndex]++
+	}
+	if perPE[0] == 3 || perPE[1] == 3 {
+		t.Fatalf("EFTQ stacked all tasks on one PE: %v", perPE)
+	}
+}
+
+func TestEFTQSkipsUnsupported(t *testing.T) {
+	res := EFTQ{Depth: 2}.Schedule(0, asTasks(cpuTask("a", 10)), asPEs(idleFFT(0)))
+	if len(res.Assignments) != 0 {
+		t.Fatalf("EFTQ placed a cpu task on an fft PE")
+	}
+}
+
+func TestFRFSQAndEFTQBoundedOps(t *testing.T) {
+	// Queue policies must not scan the whole ready list once capacity
+	// is exhausted: ops stay bounded as the backlog grows.
+	pes := asPEs(idleCPU(0), idleCPU(1))
+	mk := func(n int) []Task {
+		var ts []Task
+		for i := 0; i < n; i++ {
+			ts = append(ts, cpuTask("t", 5))
+		}
+		return ts
+	}
+	for _, pol := range []Policy{FRFSQ{Depth: 3}, EFTQ{Depth: 3}} {
+		small := pol.Schedule(0, mk(10), pes)
+		large := pol.Schedule(0, mk(5000), pes)
+		if large.Ops > small.Ops*3 {
+			t.Fatalf("%s: ops grew with backlog: %d -> %d", pol.Name(), small.Ops, large.Ops)
+		}
+	}
+}
+
+func TestPowerEFTSlackClamp(t *testing.T) {
+	// Slack below 1 clamps to plain earliest-finish behaviour.
+	fast := idleCPU(0)
+	fast.power = 5
+	slowCheap := idleCPU(1)
+	slowCheap.speed = 4
+	slowCheap.power = 0.1
+	res := PowerEFT{Slack: 0}.Schedule(0, asTasks(cpuTask("t", 100)), asPEs(fast, slowCheap))
+	if len(res.Assignments) != 1 || res.Assignments[0].PEIndex != 0 {
+		t.Fatalf("clamped PowerEFT should pick the fastest PE: %+v", res.Assignments)
+	}
+}

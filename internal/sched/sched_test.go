@@ -1,0 +1,396 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/vtime"
+)
+
+// fakeTask and fakePE are lightweight stand-ins for the emulator's
+// resource handler and DAG node types.
+type fakeTask struct {
+	label   string
+	choices []PlatformChoice
+	readyAt vtime.Time
+}
+
+func (t *fakeTask) Label() string             { return t.label }
+func (t *fakeTask) Choices() []PlatformChoice { return t.choices }
+func (t *fakeTask) ReadyAt() vtime.Time       { return t.readyAt }
+
+type fakePE struct {
+	id     int
+	key    string
+	speed  float64
+	power  float64
+	idle   bool
+	avail  vtime.Time
+	queued int
+}
+
+func (p *fakePE) ID() int                 { return p.id }
+func (p *fakePE) TypeKey() string         { return p.key }
+func (p *fakePE) SpeedFactor() float64    { return p.speed }
+func (p *fakePE) PowerW() float64         { return p.power }
+func (p *fakePE) Idle() bool              { return p.idle }
+func (p *fakePE) AvailableAt() vtime.Time { return p.avail }
+func (p *fakePE) QueueLen() int           { return p.queued }
+
+func cpuTask(label string, cost int64) *fakeTask {
+	return &fakeTask{label: label, choices: []PlatformChoice{{Key: "cpu", CostNS: cost}}}
+}
+
+func dualTask(label string, cpuCost, fftCost int64) *fakeTask {
+	return &fakeTask{label: label, choices: []PlatformChoice{
+		{Key: "cpu", CostNS: cpuCost}, {Key: "fft", CostNS: fftCost},
+	}}
+}
+
+func idleCPU(id int) *fakePE { return &fakePE{id: id, key: "cpu", speed: 1, power: 1, idle: true} }
+func idleFFT(id int) *fakePE { return &fakePE{id: id, key: "fft", speed: 1, power: 0.3, idle: true} }
+
+func asTasks(ts ...*fakeTask) []Task {
+	out := make([]Task, len(ts))
+	for i, t := range ts {
+		out[i] = t
+	}
+	return out
+}
+
+func asPEs(ps ...*fakePE) []PE {
+	out := make([]PE, len(ps))
+	for i, p := range ps {
+		out[i] = p
+	}
+	return out
+}
+
+func TestNewDispatch(t *testing.T) {
+	for _, name := range Names() {
+		p, err := New(name, 1)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if p.Name() != name {
+			t.Fatalf("New(%q).Name() = %q", name, p.Name())
+		}
+	}
+	if _, err := New("heft", 1); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	// Upper-case aliases.
+	if p, err := New("FRFS", 1); err != nil || p.Name() != "frfs" {
+		t.Fatalf("FRFS alias: %v", err)
+	}
+}
+
+// checkNoDoubleBooking verifies the core invariant every policy must
+// uphold: within one batch no PE receives two tasks, no task is
+// assigned twice, only idle PEs are used (unless the policy queues),
+// and every assignment respects platform support.
+func checkNoDoubleBooking(t *testing.T, p Policy, ready []Task, pes []PE) {
+	t.Helper()
+	res := p.Schedule(0, ready, pes)
+	seenPE := map[int]int{}
+	seenTask := map[int]bool{}
+	for _, a := range res.Assignments {
+		if a.TaskIndex < 0 || a.TaskIndex >= len(ready) || a.PEIndex < 0 || a.PEIndex >= len(pes) {
+			t.Fatalf("%s: out-of-range assignment %+v", p.Name(), a)
+		}
+		if seenTask[a.TaskIndex] {
+			t.Fatalf("%s: task %d assigned twice", p.Name(), a.TaskIndex)
+		}
+		seenTask[a.TaskIndex] = true
+		seenPE[a.PEIndex]++
+		if !p.UsesQueues() {
+			if seenPE[a.PEIndex] > 1 {
+				t.Fatalf("%s: PE %d double-booked", p.Name(), a.PEIndex)
+			}
+			if !pes[a.PEIndex].Idle() {
+				t.Fatalf("%s: busy PE %d assigned", p.Name(), a.PEIndex)
+			}
+		}
+		if !supports(ready[a.TaskIndex], pes[a.PEIndex]) {
+			t.Fatalf("%s: unsupported platform assignment %+v", p.Name(), a)
+		}
+	}
+}
+
+func TestAllPoliciesRespectInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, name := range Names() {
+		p, _ := New(name, 7)
+		for trial := 0; trial < 200; trial++ {
+			nTasks := rng.Intn(8)
+			nPEs := rng.Intn(5) + 1
+			var tasks []Task
+			for i := 0; i < nTasks; i++ {
+				if rng.Intn(2) == 0 {
+					tasks = append(tasks, cpuTask("t", int64(rng.Intn(1000)+1)))
+				} else {
+					tasks = append(tasks, dualTask("t", int64(rng.Intn(1000)+1), int64(rng.Intn(1000)+1)))
+				}
+			}
+			var pes []PE
+			for i := 0; i < nPEs; i++ {
+				var pe *fakePE
+				if rng.Intn(3) == 0 {
+					pe = idleFFT(i)
+				} else {
+					pe = idleCPU(i)
+				}
+				pe.idle = rng.Intn(3) != 0
+				pe.avail = vtime.Time(rng.Intn(1000))
+				pe.queued = rng.Intn(3)
+				pes = append(pes, pe)
+			}
+			checkNoDoubleBooking(t, p, tasks, pes)
+		}
+	}
+}
+
+func TestFRFSOrderAndSaturation(t *testing.T) {
+	tasks := asTasks(cpuTask("a", 10), cpuTask("b", 10), cpuTask("c", 10))
+	pes := asPEs(idleCPU(0), idleCPU(1))
+	res := FRFS{}.Schedule(0, tasks, pes)
+	if len(res.Assignments) != 2 {
+		t.Fatalf("assigned %d, want 2 (PE-bound)", len(res.Assignments))
+	}
+	// First ready first start: tasks 0 and 1 go, task 2 waits.
+	if res.Assignments[0].TaskIndex != 0 || res.Assignments[1].TaskIndex != 1 {
+		t.Fatalf("FRFS violated ready order: %+v", res.Assignments)
+	}
+}
+
+func TestFRFSSkipsUnsupported(t *testing.T) {
+	// A cpu-only task must not land on the FFT accelerator even when
+	// the accelerator is the only idle PE.
+	tasks := asTasks(cpuTask("a", 10))
+	busy := idleCPU(0)
+	busy.idle = false
+	pes := asPEs(busy, idleFFT(1))
+	res := FRFS{}.Schedule(0, tasks, pes)
+	if len(res.Assignments) != 0 {
+		t.Fatalf("FRFS assigned cpu task to fft PE: %+v", res.Assignments)
+	}
+	// A dual-platform task may use it.
+	res = FRFS{}.Schedule(0, asTasks(dualTask("d", 10, 20)), pes)
+	if len(res.Assignments) != 1 || res.Assignments[0].PEIndex != 1 {
+		t.Fatalf("FRFS missed the idle fft PE: %+v", res.Assignments)
+	}
+}
+
+func TestFRFSOpsScaleWithPEsNotReady(t *testing.T) {
+	pes := asPEs(idleCPU(0), idleCPU(1), idleCPU(2))
+	small := FRFS{}.Schedule(0, asTasks(cpuTask("a", 1)), pes)
+	var many []Task
+	for i := 0; i < 500; i++ {
+		many = append(many, cpuTask("t", 1))
+	}
+	large := FRFS{}.Schedule(0, many, pes)
+	// Once the 3 PEs saturate the scan stops: ops stay within a small
+	// constant of the PE count regardless of 500 waiting tasks.
+	if large.Ops > small.Ops*4 {
+		t.Fatalf("FRFS ops grew with ready length: %d -> %d", small.Ops, large.Ops)
+	}
+}
+
+func TestMETPicksMinimumExecutionTime(t *testing.T) {
+	// fft cost lower: MET must wait for the fft PE even though a cpu
+	// PE idles.
+	tasks := asTasks(dualTask("t", 100, 10))
+	fft := idleFFT(1)
+	fft.idle = false
+	pes := asPEs(idleCPU(0), fft)
+	res := MET{}.Schedule(0, tasks, pes)
+	if len(res.Assignments) != 0 {
+		t.Fatalf("MET assigned off its minimum type: %+v", res.Assignments)
+	}
+	fft.idle = true
+	res = MET{}.Schedule(0, tasks, pes)
+	if len(res.Assignments) != 1 || res.Assignments[0].PEIndex != 1 {
+		t.Fatalf("MET missed its minimum type: %+v", res.Assignments)
+	}
+}
+
+func TestMETOpsLinearInReady(t *testing.T) {
+	pes := asPEs(idleCPU(0), idleFFT(1))
+	mk := func(n int) []Task {
+		var ts []Task
+		for i := 0; i < n; i++ {
+			ts = append(ts, dualTask("t", 5, 9))
+		}
+		return ts
+	}
+	a := MET{}.Schedule(0, mk(10), pes)
+	b := MET{}.Schedule(0, mk(1000), pes)
+	ratio := float64(b.Ops) / float64(a.Ops)
+	if ratio < 50 || ratio > 150 {
+		t.Fatalf("MET ops not ~linear: %d -> %d (ratio %.1f, want ~100)", a.Ops, b.Ops, ratio)
+	}
+}
+
+func TestEFTPicksEarliestFinish(t *testing.T) {
+	// PE0 idle but slow (speed 3x); PE1 idle and fast. EFT must pick
+	// the one that finishes first.
+	slow := idleCPU(0)
+	slow.speed = 3
+	fast := idleCPU(1)
+	pes := asPEs(slow, fast)
+	res := EFT{}.Schedule(0, asTasks(cpuTask("t", 100)), pes)
+	if len(res.Assignments) != 1 || res.Assignments[0].PEIndex != 1 {
+		t.Fatalf("EFT picked PE %+v, want fast PE 1", res.Assignments)
+	}
+	// With the fast PE available far in the future, the slow idle PE
+	// finishes earlier.
+	fast.avail = 10_000
+	fast.idle = false
+	res = EFT{}.Schedule(0, asTasks(cpuTask("t", 100)), pes)
+	if len(res.Assignments) != 1 || res.Assignments[0].PEIndex != 0 {
+		t.Fatalf("EFT ignored availability: %+v", res.Assignments)
+	}
+}
+
+func TestEFTOpsQuadraticInReady(t *testing.T) {
+	pes := asPEs(idleCPU(0), idleCPU(1))
+	mk := func(n int) []Task {
+		var ts []Task
+		for i := 0; i < n; i++ {
+			ts = append(ts, cpuTask("t", 5))
+		}
+		return ts
+	}
+	a := EFT{}.Schedule(0, mk(100), pes)
+	b := EFT{}.Schedule(0, mk(2000), pes)
+	ratio := float64(b.Ops) / float64(a.Ops)
+	// Quadratic charging: 20x the tasks must cost far more than 20x
+	// the ops (the paper's O(n^2)). The rescan constant is small, so
+	// the quadratic term shows at ready-list lengths the congested
+	// Figure 10 sweeps actually reach.
+	if ratio < 35 {
+		t.Fatalf("EFT ops not superlinear: %d -> %d (ratio %.1f)", a.Ops, b.Ops, ratio)
+	}
+}
+
+func TestRandomDeterministicPerSeed(t *testing.T) {
+	mk := func() ([]Task, []PE) {
+		return asTasks(dualTask("a", 1, 1), dualTask("b", 1, 1)),
+			asPEs(idleCPU(0), idleCPU(1), idleFFT(2))
+	}
+	t1, p1 := mk()
+	t2, p2 := mk()
+	r1 := NewRandom(99).Schedule(0, t1, p1)
+	r2 := NewRandom(99).Schedule(0, t2, p2)
+	if len(r1.Assignments) != len(r2.Assignments) {
+		t.Fatal("seeded RANDOM diverged")
+	}
+	for i := range r1.Assignments {
+		if r1.Assignments[i] != r2.Assignments[i] {
+			t.Fatal("seeded RANDOM diverged")
+		}
+	}
+}
+
+func TestFRFSQUsesQueuesAndDepth(t *testing.T) {
+	q := FRFSQ{Depth: 2}
+	busy := idleCPU(0)
+	busy.idle = false // running one task, queue empty: load 1
+	pes := asPEs(busy)
+	tasks := asTasks(cpuTask("a", 1), cpuTask("b", 1), cpuTask("c", 1))
+	res := q.Schedule(0, tasks, pes)
+	// Depth 2 means running + 1 queued: exactly one assignment.
+	if len(res.Assignments) != 1 {
+		t.Fatalf("FRFSQ assigned %d tasks into depth-2 queue, want 1", len(res.Assignments))
+	}
+	// Zero depth falls back to the default.
+	res = FRFSQ{}.Schedule(0, tasks, pes)
+	if len(res.Assignments) != 3 {
+		t.Fatalf("default-depth FRFSQ assigned %d, want 3", len(res.Assignments))
+	}
+}
+
+func TestFRFSQBalancesQueues(t *testing.T) {
+	a := idleCPU(0)
+	a.idle = false
+	a.queued = 2 // load 3
+	b := idleCPU(1)
+	b.idle = false // load 1
+	pes := asPEs(a, b)
+	res := FRFSQ{Depth: 8}.Schedule(0, asTasks(cpuTask("t", 1)), pes)
+	if len(res.Assignments) != 1 || res.Assignments[0].PEIndex != 1 {
+		t.Fatalf("FRFSQ did not pick shortest queue: %+v", res.Assignments)
+	}
+}
+
+func TestPowerEFTPrefersLowEnergyWithinSlack(t *testing.T) {
+	big := idleCPU(0)
+	big.speed = 0.5
+	big.power = 1.6
+	little := idleCPU(1)
+	little.speed = 0.55 // nearly as fast
+	little.power = 0.35
+	pes := asPEs(big, little)
+	res := PowerEFT{Slack: 1.25}.Schedule(0, asTasks(cpuTask("t", 1000)), pes)
+	if len(res.Assignments) != 1 || res.Assignments[0].PEIndex != 1 {
+		t.Fatalf("PowerEFT ignored the low-power core: %+v", res.Assignments)
+	}
+	// With tight slack (and the LITTLE now much slower) it must fall
+	// back to the fast core.
+	little.speed = 3.0
+	res = PowerEFT{Slack: 1.05}.Schedule(0, asTasks(cpuTask("t", 1000)), pes)
+	if len(res.Assignments) != 1 || res.Assignments[0].PEIndex != 0 {
+		t.Fatalf("PowerEFT overshot its slack: %+v", res.Assignments)
+	}
+}
+
+// Property: for random scenarios, FRFS never leaves an idle
+// supporting PE unused while a compatible task waits.
+func TestFRFSWorkConservingProperty(t *testing.T) {
+	f := func(nTasksRaw, nPEsRaw uint8) bool {
+		nTasks := int(nTasksRaw%6) + 1
+		nPEs := int(nPEsRaw%4) + 1
+		var tasks []Task
+		for i := 0; i < nTasks; i++ {
+			tasks = append(tasks, cpuTask("t", 10))
+		}
+		var pes []PE
+		for i := 0; i < nPEs; i++ {
+			pes = append(pes, idleCPU(i))
+		}
+		res := FRFS{}.Schedule(0, tasks, pes)
+		want := nTasks
+		if nPEs < want {
+			want = nPEs
+		}
+		return len(res.Assignments) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkFRFS(b *testing.B) {
+	var tasks []Task
+	for i := 0; i < 64; i++ {
+		tasks = append(tasks, dualTask("t", 100, 200))
+	}
+	pes := asPEs(idleCPU(0), idleCPU(1), idleCPU(2), idleFFT(3), idleFFT(4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FRFS{}.Schedule(0, tasks, pes)
+	}
+}
+
+func BenchmarkEFT(b *testing.B) {
+	var tasks []Task
+	for i := 0; i < 64; i++ {
+		tasks = append(tasks, dualTask("t", 100, 200))
+	}
+	pes := asPEs(idleCPU(0), idleCPU(1), idleCPU(2), idleFFT(3), idleFFT(4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EFT{}.Schedule(0, tasks, pes)
+	}
+}

@@ -1,0 +1,172 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/vtime"
+)
+
+func TestTaskRecordDerived(t *testing.T) {
+	r := TaskRecord{Ready: 10, Start: 25, End: 100}
+	if r.Duration() != 75 {
+		t.Fatalf("Duration = %d", int64(r.Duration()))
+	}
+	if r.WaitTime() != 15 {
+		t.Fatalf("WaitTime = %d", int64(r.WaitTime()))
+	}
+}
+
+func TestAppRecordResponse(t *testing.T) {
+	a := AppRecord{Arrival: 100, Done: 350}
+	if a.ResponseTime() != 250 {
+		t.Fatalf("ResponseTime = %d", int64(a.ResponseTime()))
+	}
+}
+
+func TestSchedStatsAverages(t *testing.T) {
+	var s SchedStats
+	if s.AvgOverheadNS() != 0 || s.AvgReadyLen() != 0 {
+		t.Fatal("empty stats should average to 0")
+	}
+	s = SchedStats{Invocations: 4, OverheadNS: 10_000, TotalReadyLn: 20}
+	if s.AvgOverheadNS() != 2500 {
+		t.Fatalf("AvgOverheadNS = %v", s.AvgOverheadNS())
+	}
+	if s.AvgReadyLen() != 5 {
+		t.Fatalf("AvgReadyLen = %v", s.AvgReadyLen())
+	}
+}
+
+func TestReportUtilizationAndEnergy(t *testing.T) {
+	r := &Report{
+		Makespan: vtime.Duration(1000),
+		PEs: []PEStats{
+			{PEID: 0, Label: "A", BusyNS: 500, EnergyJ: 1.5},
+			{PEID: 1, Label: "B", BusyNS: 250, EnergyJ: 0.5},
+		},
+	}
+	if got := r.Utilization(0); got != 0.5 {
+		t.Fatalf("Utilization(0) = %v", got)
+	}
+	if got := r.Utilization(1); got != 0.25 {
+		t.Fatalf("Utilization(1) = %v", got)
+	}
+	if got := r.Utilization(7); got != 0 {
+		t.Fatalf("unknown PE utilization = %v", got)
+	}
+	if got := r.TotalEnergyJ(); got != 2.0 {
+		t.Fatalf("TotalEnergyJ = %v", got)
+	}
+	zero := &Report{}
+	if zero.Utilization(0) != 0 {
+		t.Fatal("zero-makespan utilization must be 0")
+	}
+}
+
+func TestAppResponseGrouping(t *testing.T) {
+	r := &Report{Apps: []AppRecord{
+		{App: "a", Arrival: 0, Done: 100},
+		{App: "a", Arrival: 0, Done: 300},
+		{App: "b", Arrival: 50, Done: 100},
+	}}
+	m := r.AppResponse()
+	if m["a"] != 200 {
+		t.Fatalf("mean response a = %v", m["a"])
+	}
+	if m["b"] != 50 {
+		t.Fatalf("mean response b = %v", m["b"])
+	}
+}
+
+func TestSummaryRenders(t *testing.T) {
+	r := &Report{
+		ConfigName: "2C+1F",
+		PolicyName: "frfs",
+		Makespan:   vtime.Duration(5 * vtime.Millisecond),
+		PEs:        []PEStats{{PEID: 0, Label: "A531", BusyNS: 100, Tasks: 3}},
+		Sched:      SchedStats{Invocations: 10, OverheadNS: 25_000},
+	}
+	s := r.Summary()
+	for _, want := range []string{"2C+1F", "frfs", "A531", "invocations"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestBoxOfKnown(t *testing.T) {
+	b := BoxOf([]float64{1, 2, 3, 4, 5})
+	if b.Min != 1 || b.Max != 5 || b.Median != 3 || b.Q1 != 2 || b.Q3 != 4 {
+		t.Fatalf("box = %+v", b)
+	}
+	if BoxOf(nil) != (Box{}) {
+		t.Fatal("empty box not zero")
+	}
+	single := BoxOf([]float64{7})
+	if single.Min != 7 || single.Median != 7 || single.Max != 7 {
+		t.Fatalf("single box = %+v", single)
+	}
+}
+
+func TestBoxDoesNotMutateInput(t *testing.T) {
+	v := []float64{3, 1, 2}
+	BoxOf(v)
+	if v[0] != 3 || v[1] != 1 || v[2] != 2 {
+		t.Fatal("BoxOf sorted the caller's slice")
+	}
+}
+
+// Property: the box summary is ordered and bounded by the data.
+func TestBoxOrderingProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		var vals []float64
+		for _, x := range raw {
+			if x == x && x < 1e300 && x > -1e300 { // drop NaN/Inf
+				vals = append(vals, x)
+			}
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		b := BoxOf(vals)
+		sorted := append([]float64(nil), vals...)
+		sort.Float64s(sorted)
+		return b.Min == sorted[0] && b.Max == sorted[len(sorted)-1] &&
+			b.Min <= b.Q1 && b.Q1 <= b.Median && b.Median <= b.Q3 && b.Q3 <= b.Max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean")
+	}
+	if Mean([]float64{2, 4, 6}) != 4 {
+		t.Fatal("mean wrong")
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	v := make([]float64, 1001)
+	for i := range v {
+		v[i] = rng.Float64()
+	}
+	b := BoxOf(v)
+	// With 1001 uniform samples the quartiles approach 0.25/0.5/0.75.
+	if b.Q1 < 0.2 || b.Q1 > 0.3 || b.Median < 0.45 || b.Median > 0.55 || b.Q3 < 0.7 || b.Q3 > 0.8 {
+		t.Fatalf("quartiles off: %+v", b)
+	}
+}
+
+func TestBoxString(t *testing.T) {
+	if s := BoxOf([]float64{1, 2, 3}).String(); !strings.Contains(s, "2") {
+		t.Fatalf("Box.String = %q", s)
+	}
+}

@@ -1,0 +1,73 @@
+package stats
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Chrome trace-event export: the per-task records of a report rendered
+// as a trace viewable in chrome://tracing or Perfetto, one timeline
+// row per PE. This is the visual counterpart of the paper's scheduling
+// statistics — a designer can see exactly how a workload packed onto a
+// hypothetical configuration.
+
+// traceEvent is the Trace Event Format's "complete event" (ph=X).
+type traceEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`  // microseconds
+	Dur  float64           `json:"dur"` // microseconds
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+type traceFile struct {
+	TraceEvents []traceEvent `json:"traceEvents"`
+	DisplayUnit string       `json:"displayTimeUnit"`
+	Metadata    traceMeta    `json:"metadata"`
+}
+
+type traceMeta struct {
+	Config string `json:"configuration"`
+	Policy string `json:"policy"`
+}
+
+// WriteTraceEvents renders the report's task records as a Chrome
+// trace. Each PE becomes a thread row; each task a complete event with
+// its application, instance and platform in the args.
+func (r *Report) WriteTraceEvents(w io.Writer) error {
+	tf := traceFile{
+		DisplayUnit: "ms",
+		Metadata:    traceMeta{Config: r.ConfigName, Policy: r.PolicyName},
+	}
+	// Thread name metadata per PE.
+	for _, pe := range r.PEs {
+		tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+			Name: "thread_name",
+			Ph:   "M",
+			PID:  1,
+			TID:  pe.PEID,
+			Args: map[string]string{"name": pe.Label},
+		})
+	}
+	for _, t := range r.Tasks {
+		tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+			Name: fmt.Sprintf("%s/%s", t.App, t.Node),
+			Cat:  t.Platform,
+			Ph:   "X",
+			TS:   float64(t.Start) / 1e3,
+			Dur:  float64(t.Duration()) / 1e3,
+			PID:  1,
+			TID:  t.PEID,
+			Args: map[string]string{
+				"instance": fmt.Sprintf("%d", t.Instance),
+				"wait":     t.WaitTime().String(),
+			},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(tf)
+}

@@ -1,0 +1,64 @@
+package stats
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/vtime"
+)
+
+func sampleReport() *Report {
+	return &Report{
+		ConfigName: "2C+1F",
+		PolicyName: "frfs",
+		Makespan:   vtime.Duration(10_000),
+		PEs: []PEStats{
+			{PEID: 0, Label: "A531", BusyNS: 5000},
+			{PEID: 1, Label: "FFT-PL2", BusyNS: 2000},
+		},
+		Tasks: []TaskRecord{
+			{App: "wifi_tx", Instance: 0, Node: "SCRAMBLE", PEID: 0, Platform: "cpu",
+				Ready: 0, Start: 100, End: 1100},
+			{App: "wifi_tx", Instance: 0, Node: "IFFT", PEID: 1, Platform: "fft",
+				Ready: 1100, Start: 1200, End: 3200},
+		},
+	}
+}
+
+func TestWriteTraceEvents(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleReport().WriteTraceEvents(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		Metadata    map[string]any   `json:"metadata"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	// 2 thread-name metadata events + 2 task events.
+	if len(decoded.TraceEvents) != 4 {
+		t.Fatalf("%d events, want 4", len(decoded.TraceEvents))
+	}
+	if decoded.Metadata["configuration"] != "2C+1F" {
+		t.Fatalf("metadata: %v", decoded.Metadata)
+	}
+	var taskEvents int
+	for _, e := range decoded.TraceEvents {
+		if e["ph"] == "X" {
+			taskEvents++
+			if e["dur"].(float64) <= 0 {
+				t.Fatalf("non-positive duration: %v", e)
+			}
+		}
+	}
+	if taskEvents != 2 {
+		t.Fatalf("%d task events", taskEvents)
+	}
+	if !strings.Contains(buf.String(), "SCRAMBLE") {
+		t.Fatal("task names missing")
+	}
+}

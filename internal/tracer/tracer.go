@@ -1,0 +1,243 @@
+// Package tracer executes ir modules under instrumentation, producing
+// the dynamic basic-block traces the kernel detector consumes. It is
+// the reproduction's stand-in for the paper's TraceAtlas flow: "we
+// compile a tracing executable that dumps a runtime trace of its
+// application behavior" — here the interpreter emits block events
+// directly.
+package tracer
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ir"
+)
+
+// Env is the mutable execution state: global array storage. Outlined
+// functions communicate through it, mirroring the shared-memory
+// contract of the paper's extracted kernels.
+type Env struct {
+	Globals map[string][]float64
+}
+
+// NewEnv allocates storage for every module global, applying
+// initialisers.
+func NewEnv(m *ir.Module) *Env {
+	env := &Env{Globals: make(map[string][]float64, len(m.Globals))}
+	for name, g := range m.Globals {
+		buf := make([]float64, g.Elems)
+		copy(buf, g.Init)
+		env.Globals[name] = buf
+	}
+	return env
+}
+
+// BlockListener observes dynamic execution, one call per basic block
+// entered.
+type BlockListener interface {
+	OnBlock(fn string, globalID int)
+}
+
+// CountTrace accumulates per-block execution counts plus the total
+// dynamic instruction count — the profile the kernel detector uses.
+type CountTrace struct {
+	Counts []int64
+	Blocks int64
+}
+
+// OnBlock implements BlockListener.
+func (c *CountTrace) OnBlock(_ string, id int) {
+	if id >= 0 && id < len(c.Counts) {
+		c.Counts[id]++
+	}
+	c.Blocks++
+}
+
+// NewCountTrace sizes a trace for the module.
+func NewCountTrace(m *ir.Module) *CountTrace {
+	return &CountTrace{Counts: make([]int64, m.NumBlocks())}
+}
+
+// Options bounds execution.
+type Options struct {
+	// MaxSteps aborts runaway programs (dynamic instruction budget).
+	// Zero means the default of 500M.
+	MaxSteps int64
+	// Listener receives block events; nil disables instrumentation.
+	Listener BlockListener
+}
+
+// Interp executes functions of a finalized module against an Env.
+type Interp struct {
+	m     *ir.Module
+	env   *Env
+	opts  Options
+	steps int64
+	// InstrCount tallies executed instructions per global block id
+	// when a listener is attached, giving the outliner its region
+	// cost profile.
+	InstrCount []int64
+}
+
+// New builds an interpreter. The module must be finalized.
+func New(m *ir.Module, env *Env, opts Options) (*Interp, error) {
+	if !m.Finalized() {
+		return nil, fmt.Errorf("tracer: module %q not finalized", m.Name)
+	}
+	if opts.MaxSteps <= 0 {
+		opts.MaxSteps = 500_000_000
+	}
+	return &Interp{m: m, env: env, opts: opts, InstrCount: make([]int64, m.NumBlocks())}, nil
+}
+
+// Call runs the named function with arguments and returns its value.
+func (ip *Interp) Call(fn string, args ...float64) (float64, error) {
+	f, ok := ip.m.Funcs[fn]
+	if !ok {
+		return 0, fmt.Errorf("tracer: unknown function %q", fn)
+	}
+	if len(args) != f.NumParams {
+		return 0, fmt.Errorf("tracer: %s expects %d arguments, got %d", fn, f.NumParams, len(args))
+	}
+	return ip.exec(f, args)
+}
+
+// Steps reports the dynamic instruction count so far.
+func (ip *Interp) Steps() int64 { return ip.steps }
+
+func (ip *Interp) exec(f *ir.Func, args []float64) (float64, error) {
+	regs := make([]float64, f.NumRegs)
+	copy(regs, args)
+	bi := 0
+	for {
+		b := f.Blocks[bi]
+		if ip.opts.Listener != nil {
+			ip.opts.Listener.OnBlock(f.Name, b.GlobalID)
+		}
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			ip.steps++
+			if ip.steps > ip.opts.MaxSteps {
+				return 0, fmt.Errorf("tracer: step budget exhausted in %s", f.Name)
+			}
+			if err := ip.step(f, regs, in); err != nil {
+				return 0, err
+			}
+		}
+		ip.InstrCount[b.GlobalID] += int64(len(b.Instrs))
+		switch b.Term.Kind {
+		case ir.TermBr:
+			bi = b.Term.Then
+		case ir.TermCondBr:
+			if regs[b.Term.Cond] != 0 {
+				bi = b.Term.Then
+			} else {
+				bi = b.Term.Else
+			}
+		case ir.TermRet:
+			if b.Term.Cond < 0 {
+				return 0, nil
+			}
+			return regs[b.Term.Cond], nil
+		}
+	}
+}
+
+func (ip *Interp) step(f *ir.Func, regs []float64, in *ir.Instr) error {
+	switch in.Op {
+	case ir.OpConst:
+		regs[in.Dst] = in.Imm
+	case ir.OpMov:
+		regs[in.Dst] = regs[in.A]
+	case ir.OpAdd:
+		regs[in.Dst] = regs[in.A] + regs[in.B]
+	case ir.OpSub:
+		regs[in.Dst] = regs[in.A] - regs[in.B]
+	case ir.OpMul:
+		regs[in.Dst] = regs[in.A] * regs[in.B]
+	case ir.OpDiv:
+		regs[in.Dst] = regs[in.A] / regs[in.B]
+	case ir.OpMod:
+		regs[in.Dst] = math.Mod(regs[in.A], regs[in.B])
+	case ir.OpNeg:
+		regs[in.Dst] = -regs[in.A]
+	case ir.OpEq:
+		regs[in.Dst] = b2f(regs[in.A] == regs[in.B])
+	case ir.OpNe:
+		regs[in.Dst] = b2f(regs[in.A] != regs[in.B])
+	case ir.OpLt:
+		regs[in.Dst] = b2f(regs[in.A] < regs[in.B])
+	case ir.OpLe:
+		regs[in.Dst] = b2f(regs[in.A] <= regs[in.B])
+	case ir.OpGt:
+		regs[in.Dst] = b2f(regs[in.A] > regs[in.B])
+	case ir.OpGe:
+		regs[in.Dst] = b2f(regs[in.A] >= regs[in.B])
+	case ir.OpAnd:
+		regs[in.Dst] = b2f(regs[in.A] != 0 && regs[in.B] != 0)
+	case ir.OpOr:
+		regs[in.Dst] = b2f(regs[in.A] != 0 || regs[in.B] != 0)
+	case ir.OpNot:
+		regs[in.Dst] = b2f(regs[in.A] == 0)
+	case ir.OpSin:
+		regs[in.Dst] = math.Sin(regs[in.A])
+	case ir.OpCos:
+		regs[in.Dst] = math.Cos(regs[in.A])
+	case ir.OpSqrt:
+		regs[in.Dst] = math.Sqrt(regs[in.A])
+	case ir.OpAbs:
+		regs[in.Dst] = math.Abs(regs[in.A])
+	case ir.OpFloor:
+		regs[in.Dst] = math.Floor(regs[in.A])
+	case ir.OpLoad:
+		buf := ip.env.Globals[in.Sym]
+		idx := int(regs[in.A])
+		if idx < 0 || idx >= len(buf) {
+			return fmt.Errorf("tracer: %s: load %s[%d] out of bounds (%d elems)", f.Name, in.Sym, idx, len(buf))
+		}
+		regs[in.Dst] = buf[idx]
+	case ir.OpStore:
+		buf := ip.env.Globals[in.Sym]
+		idx := int(regs[in.A])
+		if idx < 0 || idx >= len(buf) {
+			return fmt.Errorf("tracer: %s: store %s[%d] out of bounds (%d elems)", f.Name, in.Sym, idx, len(buf))
+		}
+		buf[idx] = regs[in.B]
+	case ir.OpCall:
+		callee, ok := ip.m.Funcs[in.Sym]
+		if !ok {
+			return fmt.Errorf("tracer: %s: call to unknown %q", f.Name, in.Sym)
+		}
+		args := make([]float64, len(in.Args))
+		for i, r := range in.Args {
+			args[i] = regs[r]
+		}
+		ret, err := ip.exec(callee, args)
+		if err != nil {
+			return err
+		}
+		regs[in.Dst] = ret
+	default:
+		return fmt.Errorf("tracer: %s: unknown opcode %v", f.Name, in.Op)
+	}
+	return nil
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Run is a convenience wrapper: build an env, run fn, return the env
+// for inspection.
+func Run(m *ir.Module, fn string, listener BlockListener, args ...float64) (*Env, float64, error) {
+	env := NewEnv(m)
+	ip, err := New(m, env, Options{Listener: listener})
+	if err != nil {
+		return nil, 0, err
+	}
+	ret, err := ip.Call(fn, args...)
+	return env, ret, err
+}

@@ -1,0 +1,259 @@
+package tracer
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+)
+
+// sumModule builds func sum(n): s=0; for i in n..1: s+=i; out[0]=s.
+func sumModule(t *testing.T) *ir.Module {
+	t.Helper()
+	m := ir.NewModule("t")
+	if err := m.AddGlobal(&ir.Global{Name: "out", Elems: 1}); err != nil {
+		t.Fatal(err)
+	}
+	f := &ir.Func{Name: "sum", NumParams: 1, NumRegs: 4}
+	f.Blocks = []*ir.Block{
+		{Label: "entry", Instrs: []ir.Instr{
+			{Op: ir.OpConst, Dst: 1, Imm: 0},
+			{Op: ir.OpConst, Dst: 3, Imm: 0},
+		}, Term: ir.Terminator{Kind: ir.TermBr, Then: 1}},
+		{Label: "cond", Instrs: []ir.Instr{
+			{Op: ir.OpGt, Dst: 2, A: 0, B: 3},
+		}, Term: ir.Terminator{Kind: ir.TermCondBr, Cond: 2, Then: 2, Else: 3}},
+		{Label: "body", Instrs: []ir.Instr{
+			{Op: ir.OpAdd, Dst: 1, A: 1, B: 0},
+			{Op: ir.OpConst, Dst: 2, Imm: 1},
+			{Op: ir.OpSub, Dst: 0, A: 0, B: 2},
+		}, Term: ir.Terminator{Kind: ir.TermBr, Then: 1}},
+		{Label: "exit", Instrs: []ir.Instr{
+			{Op: ir.OpConst, Dst: 2, Imm: 0},
+			{Op: ir.OpStore, Sym: "out", A: 2, B: 1},
+		}, Term: ir.Terminator{Kind: ir.TermRet, Cond: 1}},
+	}
+	if err := m.AddFunc(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestInterpretSum(t *testing.T) {
+	m := sumModule(t)
+	env, ret, err := Run(m, "sum", nil, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ret != 55 {
+		t.Fatalf("sum(10) = %v, want 55", ret)
+	}
+	if env.Globals["out"][0] != 55 {
+		t.Fatalf("out[0] = %v", env.Globals["out"][0])
+	}
+}
+
+func TestBlockCounts(t *testing.T) {
+	m := sumModule(t)
+	ct := NewCountTrace(m)
+	_, _, err := Run(m, "sum", ct, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// entry 1, cond 11, body 10, exit 1.
+	want := []int64{1, 11, 10, 1}
+	for i, w := range want {
+		if ct.Counts[i] != w {
+			t.Fatalf("block %d count %d, want %d (all: %v)", i, ct.Counts[i], w, ct.Counts)
+		}
+	}
+	if ct.Blocks != 23 {
+		t.Fatalf("total blocks %d", ct.Blocks)
+	}
+}
+
+func TestInstrCountProfile(t *testing.T) {
+	m := sumModule(t)
+	env := NewEnv(m)
+	ip, err := New(m, env, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ip.Call("sum", 5); err != nil {
+		t.Fatal(err)
+	}
+	// body executes 5 times x 3 instrs = 15.
+	if ip.InstrCount[2] != 15 {
+		t.Fatalf("body instr count %d, want 15", ip.InstrCount[2])
+	}
+	if ip.Steps() == 0 {
+		t.Fatal("no steps counted")
+	}
+}
+
+func TestArgumentArity(t *testing.T) {
+	m := sumModule(t)
+	if _, _, err := Run(m, "sum", nil); err == nil {
+		t.Fatal("missing argument accepted")
+	}
+	if _, _, err := Run(m, "nope", nil, 1); err == nil {
+		t.Fatal("unknown function accepted")
+	}
+}
+
+func TestUnfinalizedRejected(t *testing.T) {
+	m := ir.NewModule("x")
+	if _, err := New(m, NewEnv(m), Options{}); err == nil {
+		t.Fatal("unfinalized module accepted")
+	}
+}
+
+func TestBoundsChecking(t *testing.T) {
+	m := sumModule(t)
+	// Patch the store index to 5 (out has 1 element).
+	m.Funcs["sum"].Blocks[3].Instrs[0].Imm = 5
+	_, _, err := Run(m, "sum", nil, 3)
+	if err == nil || !strings.Contains(err.Error(), "out of bounds") {
+		t.Fatalf("want bounds error, got %v", err)
+	}
+}
+
+func TestStepBudget(t *testing.T) {
+	m := ir.NewModule("loop")
+	f := &ir.Func{Name: "spin", NumRegs: 1}
+	f.Blocks = []*ir.Block{{
+		Label:  "b",
+		Instrs: []ir.Instr{{Op: ir.OpConst, Dst: 0, Imm: 1}},
+		Term:   ir.Terminator{Kind: ir.TermBr, Then: 0},
+	}}
+	if err := m.AddFunc(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	env := NewEnv(m)
+	ip, _ := New(m, env, Options{MaxSteps: 1000})
+	_, err := ip.Call("spin")
+	if err == nil || !strings.Contains(err.Error(), "budget") {
+		t.Fatalf("infinite loop not caught: %v", err)
+	}
+}
+
+func TestCallBetweenFunctions(t *testing.T) {
+	m := sumModule(t)
+	// main() { return sum(4) + 1 }
+	main := &ir.Func{Name: "main", NumRegs: 3}
+	main.Blocks = []*ir.Block{{
+		Label: "entry",
+		Instrs: []ir.Instr{
+			{Op: ir.OpConst, Dst: 0, Imm: 4},
+			{Op: ir.OpCall, Dst: 1, Sym: "sum", Args: []int{0}},
+			{Op: ir.OpConst, Dst: 0, Imm: 1},
+			{Op: ir.OpAdd, Dst: 2, A: 1, B: 0},
+		},
+		Term: ir.Terminator{Kind: ir.TermRet, Cond: 2},
+	}}
+	if err := m.AddFunc(main); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	_, ret, err := Run(m, "main", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ret != 11 {
+		t.Fatalf("main = %v, want 11", ret)
+	}
+}
+
+func TestEnvIsolatedPerRun(t *testing.T) {
+	m := sumModule(t)
+	env1, _, err := Run(m, "sum", nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env2, _, err := Run(m, "sum", nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env1.Globals["out"][0] == env2.Globals["out"][0] {
+		t.Fatal("environments shared storage")
+	}
+}
+
+func TestAllScalarOps(t *testing.T) {
+	// One block exercising every arithmetic/comparison opcode.
+	m := ir.NewModule("ops")
+	f := &ir.Func{Name: "f", NumParams: 2, NumRegs: 8}
+	mk := func(op ir.Op) ir.Instr { return ir.Instr{Op: op, Dst: 2, A: 0, B: 1} }
+	checks := []struct {
+		op   ir.Op
+		a, b float64
+		want float64
+	}{
+		{ir.OpAdd, 2, 3, 5},
+		{ir.OpSub, 2, 3, -1},
+		{ir.OpMul, 2, 3, 6},
+		{ir.OpDiv, 6, 3, 2},
+		{ir.OpMod, 7, 3, 1},
+		{ir.OpEq, 2, 2, 1},
+		{ir.OpNe, 2, 2, 0},
+		{ir.OpLt, 1, 2, 1},
+		{ir.OpLe, 2, 2, 1},
+		{ir.OpGt, 1, 2, 0},
+		{ir.OpGe, 2, 3, 0},
+		{ir.OpAnd, 1, 0, 0},
+		{ir.OpOr, 1, 0, 1},
+	}
+	f.Blocks = []*ir.Block{{
+		Label:  "b",
+		Instrs: []ir.Instr{mk(ir.OpAdd)},
+		Term:   ir.Terminator{Kind: ir.TermRet, Cond: 2},
+	}}
+	if err := m.AddFunc(f); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range checks {
+		f.Blocks[0].Instrs[0] = mk(c.op)
+		if err := m.Finalize(); err != nil {
+			t.Fatal(err)
+		}
+		_, got, err := Run(m, "f", nil, c.a, c.b)
+		if err != nil {
+			t.Fatalf("%v: %v", c.op, err)
+		}
+		if got != c.want {
+			t.Fatalf("%v(%v,%v) = %v, want %v", c.op, c.a, c.b, got, c.want)
+		}
+	}
+	// Unary ops.
+	unary := []struct {
+		op      ir.Op
+		a, want float64
+	}{
+		{ir.OpNeg, 3, -3},
+		{ir.OpNot, 0, 1},
+		{ir.OpAbs, -4, 4},
+		{ir.OpSqrt, 9, 3},
+		{ir.OpFloor, 2.9, 2},
+	}
+	for _, c := range unary {
+		f.Blocks[0].Instrs[0] = ir.Instr{Op: c.op, Dst: 2, A: 0}
+		if err := m.Finalize(); err != nil {
+			t.Fatal(err)
+		}
+		_, got, err := Run(m, "f", nil, c.a, 0)
+		if err != nil {
+			t.Fatalf("%v: %v", c.op, err)
+		}
+		if got != c.want {
+			t.Fatalf("%v(%v) = %v, want %v", c.op, c.a, got, c.want)
+		}
+	}
+}

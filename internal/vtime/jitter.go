@@ -1,0 +1,43 @@
+package vtime
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Jitter models run-to-run execution-time variance. On the paper's
+// ZCU102 testbed the variance across the 50 iterations of Figure 9a
+// comes from OS noise (interrupts, cache state, thread migration).
+// Here the same spread is produced by a seeded log-normal multiplier
+// applied to modeled task durations, so box plots have the same
+// structure while staying reproducible.
+type Jitter struct {
+	rng   *rand.Rand
+	sigma float64
+}
+
+// NewJitter creates a jitter source. sigma is the standard deviation
+// of the underlying normal in log space; sigma=0 disables noise.
+// Typical OS-noise levels on the emulated platforms are around 0.03.
+func NewJitter(seed int64, sigma float64) *Jitter {
+	return &Jitter{rng: rand.New(rand.NewSource(seed)), sigma: sigma}
+}
+
+// Scale perturbs d by a log-normal factor with median 1. The result
+// is never negative and is zero only when d is zero.
+func (j *Jitter) Scale(d Duration) Duration {
+	if j == nil || j.sigma == 0 || d == 0 {
+		return d
+	}
+	f := j.factor()
+	out := Duration(float64(d) * f)
+	if out < 1 {
+		out = 1
+	}
+	return out
+}
+
+// factor draws a median-1 log-normal multiplier: exp(sigma * N(0,1)).
+func (j *Jitter) factor() float64 {
+	return math.Exp(j.rng.NormFloat64() * j.sigma)
+}

@@ -1,0 +1,78 @@
+package vtime
+
+import "container/heap"
+
+// Event is a scheduled occurrence in virtual time. Events carry an
+// opaque payload interpreted by the emulation core (task completion,
+// application arrival, ...).
+type Event struct {
+	At      Time
+	Kind    int
+	Payload any
+
+	seq uint64 // tie-breaker: insertion order for equal timestamps
+}
+
+// EventQueue is a deterministic min-priority queue of events ordered
+// by (At, insertion order). Ties resolve FIFO so that replaying the
+// same inputs yields the same event order, which the paper's
+// experiments depend on for run-to-run comparability.
+//
+// The zero value is an empty queue ready for use.
+type EventQueue struct {
+	h   eventHeap
+	seq uint64
+}
+
+// Push schedules an event.
+func (q *EventQueue) Push(e Event) {
+	e.seq = q.seq
+	q.seq++
+	heap.Push(&q.h, e)
+}
+
+// PushAt is shorthand for scheduling a payload at an instant.
+func (q *EventQueue) PushAt(at Time, kind int, payload any) {
+	q.Push(Event{At: at, Kind: kind, Payload: payload})
+}
+
+// Pop removes and returns the earliest event. It panics on an empty
+// queue; callers must check Len first.
+func (q *EventQueue) Pop() Event {
+	return heap.Pop(&q.h).(Event)
+}
+
+// Peek returns the earliest event without removing it. The boolean is
+// false when the queue is empty.
+func (q *EventQueue) Peek() (Event, bool) {
+	if len(q.h) == 0 {
+		return Event{}, false
+	}
+	return q.h[0], true
+}
+
+// Len reports the number of pending events.
+func (q *EventQueue) Len() int { return len(q.h) }
+
+type eventHeap []Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(Event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,119 @@
+// Package vtime provides the virtual-time substrate for the emulation
+// framework: a nanosecond-resolution monotonic clock, durations, and a
+// deterministic event queue.
+//
+// The original paper runs on real hardware and uses the wall clock
+// (CLOCK_MONOTONIC) as its emulation time base. This reproduction
+// replaces the wall clock with a discrete virtual clock so that every
+// experiment is bit-for-bit reproducible on any host, including the
+// single-core container this repository is developed in. The runtime
+// architecture (workload manager, resource handlers, idle/run/complete
+// handshake) is unchanged; only the time source differs.
+package vtime
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Time is an absolute virtual timestamp in nanoseconds since the
+// emulation reference start time (the paper's "reference start time"
+// captured when the workload manager begins).
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds. It is
+// deliberately distinct from time.Duration so that virtual and host
+// time cannot be mixed accidentally, but converts losslessly.
+type Duration int64
+
+// Convenient duration units.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Add returns the time t+d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Before reports whether t is strictly earlier than u.
+func (t Time) Before(u Time) bool { return t < u }
+
+// After reports whether t is strictly later than u.
+func (t Time) After(u Time) bool { return t > u }
+
+// String renders the timestamp with the most natural unit.
+func (t Time) String() string { return Duration(t).String() }
+
+// Std converts d to a time.Duration.
+func (d Duration) Std() time.Duration { return time.Duration(d) }
+
+// FromStd converts a time.Duration to a virtual Duration.
+func FromStd(d time.Duration) Duration { return Duration(d) }
+
+// Seconds returns the duration as a floating-point number of seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Milliseconds returns the duration as floating-point milliseconds.
+func (d Duration) Milliseconds() float64 { return float64(d) / float64(Millisecond) }
+
+// Microseconds returns the duration as floating-point microseconds.
+func (d Duration) Microseconds() float64 { return float64(d) / float64(Microsecond) }
+
+// String renders the duration with the most natural unit.
+func (d Duration) String() string {
+	switch {
+	case d < 0:
+		return "-" + (-d).String()
+	case d < Microsecond:
+		return fmt.Sprintf("%dns", int64(d))
+	case d < Millisecond:
+		return fmt.Sprintf("%.3gus", d.Microseconds())
+	case d < Second:
+		return fmt.Sprintf("%.4gms", d.Milliseconds())
+	default:
+		return fmt.Sprintf("%.4gs", d.Seconds())
+	}
+}
+
+// ErrBackwards is returned when a clock is asked to move to an earlier
+// instant. The virtual clock is strictly monotonic: the workload
+// manager only ever advances it.
+var ErrBackwards = errors.New("vtime: clock cannot move backwards")
+
+// Clock is the monotonic virtual clock driven by the workload manager.
+// The zero value is a clock at t=0, ready to use.
+type Clock struct {
+	now Time
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() Time { return c.now }
+
+// Advance moves the clock forward by d. Negative durations are
+// rejected.
+func (c *Clock) Advance(d Duration) error {
+	if d < 0 {
+		return ErrBackwards
+	}
+	c.now = c.now.Add(d)
+	return nil
+}
+
+// AdvanceTo moves the clock to the absolute instant t, which must not
+// precede the current time. Advancing to the current time is a no-op.
+func (c *Clock) AdvanceTo(t Time) error {
+	if t < c.now {
+		return fmt.Errorf("%w: at %v, asked for %v", ErrBackwards, c.now, t)
+	}
+	c.now = t
+	return nil
+}
+
+// Reset returns the clock to t=0 for a fresh emulation run.
+func (c *Clock) Reset() { c.now = 0 }

@@ -1,0 +1,108 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/appmodel"
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/vtime"
+)
+
+// TableIIFrame is the paper's performance-mode injection time frame
+// (100 milliseconds).
+const TableIIFrame = 100 * vtime.Millisecond
+
+// TableIIRow is one row of the paper's Table II: an average injection
+// rate and the per-application instance counts it produces.
+type TableIIRow struct {
+	RateJobsPerMS float64
+	PulseDoppler  int
+	RangeDetect   int
+	WiFiTX        int
+	WiFiRX        int
+}
+
+// Total is the row's total instance count.
+func (r TableIIRow) Total() int {
+	return r.PulseDoppler + r.RangeDetect + r.WiFiTX + r.WiFiRX
+}
+
+// TableII reproduces the paper's Table II rows exactly: the instance
+// counts per application for each injection rate, driven by periodic
+// injection with probability one. "Compared to Pulse Doppler, we
+// choose higher injection frequencies for the range detection and
+// WiFi applications because of their shorter execution time and
+// smaller DAG."
+var TableII = []TableIIRow{
+	{1.71, 8, 123, 20, 20},
+	{2.28, 10, 164, 27, 27},
+	{3.42, 15, 245, 41, 41},
+	{4.57, 18, 329, 55, 55},
+	{6.92, 32, 495, 82, 83},
+}
+
+// TableIITrace builds the performance-mode trace for one Table II row.
+func TableIITrace(specs map[string]*appmodel.AppSpec, row TableIIRow) ([]core.Arrival, error) {
+	ps := PerfSpec{
+		Frame: TableIIFrame,
+		Injections: []AppInjection{
+			{App: apps.NamePulseDoppler, Period: PeriodForCount(TableIIFrame, row.PulseDoppler), Prob: 1},
+			{App: apps.NameRangeDetection, Period: PeriodForCount(TableIIFrame, row.RangeDetect), Prob: 1},
+			{App: apps.NameWiFiTX, Period: PeriodForCount(TableIIFrame, row.WiFiTX), Prob: 1},
+			{App: apps.NameWiFiRX, Period: PeriodForCount(TableIIFrame, row.WiFiRX), Prob: 1},
+		},
+	}
+	trace, err := Performance(specs, ps)
+	if err != nil {
+		return nil, err
+	}
+	if got := Counts(trace); got[apps.NamePulseDoppler] != row.PulseDoppler ||
+		got[apps.NameRangeDetection] != row.RangeDetect ||
+		got[apps.NameWiFiTX] != row.WiFiTX || got[apps.NameWiFiRX] != row.WiFiRX {
+		return nil, fmt.Errorf("workload: trace counts %v do not reproduce Table II row %+v", got, row)
+	}
+	return trace, nil
+}
+
+// Application mix fractions of the paper's workloads, derived from the
+// densest Table II row; used to synthesise traces at arbitrary rates
+// for the Odroid sweep (Figure 11 spans 4-18 jobs/ms).
+var mixFractions = map[string]float64{
+	apps.NamePulseDoppler:   32.0 / 692.0,
+	apps.NameRangeDetection: 495.0 / 692.0,
+	apps.NameWiFiTX:         82.0 / 692.0,
+	apps.NameWiFiRX:         83.0 / 692.0,
+}
+
+// RateTrace builds a performance-mode trace at approximately the given
+// average rate (jobs/ms) over the frame, using the paper's application
+// mix.
+func RateTrace(specs map[string]*appmodel.AppSpec, rateJobsPerMS float64, frame vtime.Duration) ([]core.Arrival, error) {
+	if rateJobsPerMS <= 0 {
+		return nil, fmt.Errorf("workload: non-positive rate %v", rateJobsPerMS)
+	}
+	totalJobs := rateJobsPerMS * frame.Milliseconds()
+	var injections []AppInjection
+	for app, frac := range mixFractions {
+		count := int(math.Round(totalJobs * frac))
+		if count <= 0 {
+			continue
+		}
+		injections = append(injections, AppInjection{
+			App:    app,
+			Period: PeriodForCount(frame, count),
+			Prob:   1,
+		})
+	}
+	// Deterministic ordering of the injection processes.
+	for i := 0; i < len(injections); i++ {
+		for j := i + 1; j < len(injections); j++ {
+			if injections[j].App < injections[i].App {
+				injections[i], injections[j] = injections[j], injections[i]
+			}
+		}
+	}
+	return Performance(specs, PerfSpec{Frame: frame, Injections: injections})
+}

@@ -1,0 +1,129 @@
+// Package workload implements the application handler's workload
+// generation: validation mode (every instance injected at t=0) and
+// performance mode (periodic injection with a probability over a test
+// time frame), plus the specific injection-rate traces of the paper's
+// Table II and the Odroid sweep of Figure 11.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/appmodel"
+	"repro/internal/core"
+	"repro/internal/vtime"
+)
+
+// Validation builds a validation-mode workload: count instances of
+// each named application, all injected at t=0, with the emulation
+// finishing once all applications complete. Instance order is
+// deterministic (sorted by application name).
+func Validation(specs map[string]*appmodel.AppSpec, counts map[string]int) ([]core.Arrival, error) {
+	names := make([]string, 0, len(counts))
+	for name := range counts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var out []core.Arrival
+	for _, name := range names {
+		spec, ok := specs[name]
+		if !ok {
+			// The paper: "it will output an error if ... it has not
+			// detected [the app] as referenced by its AppName".
+			return nil, fmt.Errorf("workload: application %q not found in parsed library", name)
+		}
+		n := counts[name]
+		if n < 0 {
+			return nil, fmt.Errorf("workload: negative instance count %d for %q", n, name)
+		}
+		for i := 0; i < n; i++ {
+			out = append(out, core.Arrival{Spec: spec, At: 0})
+		}
+	}
+	return out, nil
+}
+
+// AppInjection describes one application's performance-mode injection
+// process: an instance is offered every Period with probability Prob.
+type AppInjection struct {
+	App    string
+	Period vtime.Duration
+	// Prob is the injection probability per period; the paper's case
+	// studies use 1.0 (deterministic periodic injection).
+	Prob float64
+}
+
+// PerfSpec is a performance-mode workload description.
+type PerfSpec struct {
+	// Frame is the injection time frame t_end; applications are
+	// injected in [0, Frame).
+	Frame vtime.Duration
+	// Injections lists the per-application processes.
+	Injections []AppInjection
+	// Seed drives probabilistic injection when any Prob < 1.
+	Seed int64
+}
+
+// Performance builds a performance-mode workload trace. Arrivals are
+// sorted by time (stable across runs for a fixed seed).
+func Performance(specs map[string]*appmodel.AppSpec, ps PerfSpec) ([]core.Arrival, error) {
+	if ps.Frame <= 0 {
+		return nil, fmt.Errorf("workload: non-positive time frame %v", ps.Frame)
+	}
+	rng := rand.New(rand.NewSource(ps.Seed))
+	var out []core.Arrival
+	for _, inj := range ps.Injections {
+		spec, ok := specs[inj.App]
+		if !ok {
+			return nil, fmt.Errorf("workload: application %q not found in parsed library", inj.App)
+		}
+		if inj.Period <= 0 {
+			return nil, fmt.Errorf("workload: %s: non-positive period %v", inj.App, inj.Period)
+		}
+		prob := inj.Prob
+		if prob == 0 {
+			prob = 1
+		}
+		if prob < 0 || prob > 1 {
+			return nil, fmt.Errorf("workload: %s: probability %v outside [0,1]", inj.App, prob)
+		}
+		for t := vtime.Time(0); t < vtime.Time(ps.Frame); t = t.Add(inj.Period) {
+			if prob >= 1 || rng.Float64() < prob {
+				out = append(out, core.Arrival{Spec: spec, At: t})
+			}
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out, nil
+}
+
+// PeriodForCount returns the injection period that yields exactly
+// `count` deterministic injections within the frame.
+func PeriodForCount(frame vtime.Duration, count int) vtime.Duration {
+	if count <= 0 {
+		return frame + 1 // never fires within the frame
+	}
+	// Round the period up: a floored period would squeeze one extra
+	// injection into the frame whenever frame/count is fractional.
+	return vtime.Duration((int64(frame) + int64(count) - 1) / int64(count))
+}
+
+// Counts tallies a trace by application name.
+func Counts(arrivals []core.Arrival) map[string]int {
+	out := map[string]int{}
+	for _, a := range arrivals {
+		out[a.Spec.AppName]++
+	}
+	return out
+}
+
+// RateJobsPerMS computes the realised average injection rate of a
+// trace over the frame, in jobs per millisecond (the x-axis of
+// Figures 10 and 11).
+func RateJobsPerMS(arrivals []core.Arrival, frame vtime.Duration) float64 {
+	if frame <= 0 {
+		return 0
+	}
+	return float64(len(arrivals)) / frame.Milliseconds()
+}

@@ -1,0 +1,205 @@
+package workload
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/apps"
+	"repro/internal/vtime"
+)
+
+func TestValidationWorkload(t *testing.T) {
+	specs := apps.Specs()
+	trace, err := Validation(specs, map[string]int{
+		apps.NameRangeDetection: 3,
+		apps.NameWiFiTX:         1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) != 4 {
+		t.Fatalf("trace length %d, want 4", len(trace))
+	}
+	for _, a := range trace {
+		if a.At != 0 {
+			t.Fatalf("validation arrival at %v, want 0", a.At)
+		}
+	}
+	counts := Counts(trace)
+	if counts[apps.NameRangeDetection] != 3 || counts[apps.NameWiFiTX] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	specs := apps.Specs()
+	if _, err := Validation(specs, map[string]int{"ghost_app": 1}); err == nil {
+		t.Fatal("unknown application accepted (paper requires a parse error)")
+	}
+	if _, err := Validation(specs, map[string]int{apps.NameWiFiTX: -1}); err == nil {
+		t.Fatal("negative count accepted")
+	}
+}
+
+func TestPerformanceDeterministicPeriodic(t *testing.T) {
+	specs := apps.Specs()
+	trace, err := Performance(specs, PerfSpec{
+		Frame: 10 * vtime.Millisecond,
+		Injections: []AppInjection{
+			{App: apps.NameWiFiTX, Period: 1 * vtime.Millisecond, Prob: 1},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) != 10 {
+		t.Fatalf("got %d injections, want 10", len(trace))
+	}
+	for i, a := range trace {
+		if a.At != vtime.Time(i)*vtime.Time(vtime.Millisecond) {
+			t.Fatalf("injection %d at %v", i, a.At)
+		}
+	}
+}
+
+func TestPerformanceProbabilistic(t *testing.T) {
+	specs := apps.Specs()
+	ps := PerfSpec{
+		Frame: 100 * vtime.Millisecond,
+		Injections: []AppInjection{
+			{App: apps.NameWiFiTX, Period: 100 * vtime.Microsecond, Prob: 0.5},
+		},
+		Seed: 11,
+	}
+	trace, err := Performance(specs, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~1000 slots at p=0.5: expect roughly half.
+	if len(trace) < 380 || len(trace) > 620 {
+		t.Fatalf("probabilistic injection produced %d of ~500", len(trace))
+	}
+	// Determinism for a fixed seed.
+	trace2, _ := Performance(specs, ps)
+	if len(trace) != len(trace2) {
+		t.Fatal("same seed produced different traces")
+	}
+	for i := range trace {
+		if trace[i].At != trace2[i].At {
+			t.Fatal("same seed produced different arrival times")
+		}
+	}
+}
+
+func TestPerformanceErrors(t *testing.T) {
+	specs := apps.Specs()
+	if _, err := Performance(specs, PerfSpec{Frame: 0}); err == nil {
+		t.Fatal("zero frame accepted")
+	}
+	if _, err := Performance(specs, PerfSpec{
+		Frame:      vtime.Millisecond,
+		Injections: []AppInjection{{App: "ghost", Period: 1, Prob: 1}},
+	}); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+	if _, err := Performance(specs, PerfSpec{
+		Frame:      vtime.Millisecond,
+		Injections: []AppInjection{{App: apps.NameWiFiTX, Period: 0}},
+	}); err == nil {
+		t.Fatal("zero period accepted")
+	}
+	if _, err := Performance(specs, PerfSpec{
+		Frame:      vtime.Millisecond,
+		Injections: []AppInjection{{App: apps.NameWiFiTX, Period: 1, Prob: 2}},
+	}); err == nil {
+		t.Fatal("probability > 1 accepted")
+	}
+}
+
+func TestArrivalsSorted(t *testing.T) {
+	specs := apps.Specs()
+	trace, err := Performance(specs, PerfSpec{
+		Frame: 50 * vtime.Millisecond,
+		Injections: []AppInjection{
+			{App: apps.NameWiFiTX, Period: 700 * vtime.Microsecond, Prob: 1},
+			{App: apps.NameWiFiRX, Period: 1100 * vtime.Microsecond, Prob: 1},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sort.SliceIsSorted(trace, func(i, j int) bool { return trace[i].At < trace[j].At }) {
+		t.Fatal("trace not sorted by arrival")
+	}
+}
+
+// Property: PeriodForCount yields exactly `count` periodic injections
+// within the frame.
+func TestPeriodForCountProperty(t *testing.T) {
+	specs := apps.Specs()
+	f := func(raw uint16) bool {
+		count := int(raw%500) + 1
+		frame := 100 * vtime.Millisecond
+		trace, err := Performance(specs, PerfSpec{
+			Frame: frame,
+			Injections: []AppInjection{
+				{App: apps.NameWiFiTX, Period: PeriodForCount(frame, count), Prob: 1},
+			},
+		})
+		return err == nil && len(trace) == count
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableIIReproduced(t *testing.T) {
+	specs := apps.Specs()
+	for _, row := range TableII {
+		trace, err := TableIITrace(specs, row)
+		if err != nil {
+			t.Fatalf("rate %.2f: %v", row.RateJobsPerMS, err)
+		}
+		counts := Counts(trace)
+		if counts[apps.NamePulseDoppler] != row.PulseDoppler ||
+			counts[apps.NameRangeDetection] != row.RangeDetect ||
+			counts[apps.NameWiFiTX] != row.WiFiTX ||
+			counts[apps.NameWiFiRX] != row.WiFiRX {
+			t.Errorf("rate %.2f: counts %v != row %+v", row.RateJobsPerMS, counts, row)
+		}
+		// The realised rate matches the paper's column within rounding.
+		rate := RateJobsPerMS(trace, TableIIFrame)
+		if diff := rate - row.RateJobsPerMS; diff > 0.01 || diff < -0.01 {
+			t.Errorf("realised rate %.3f != %.2f", rate, row.RateJobsPerMS)
+		}
+	}
+}
+
+func TestRateTrace(t *testing.T) {
+	specs := apps.Specs()
+	for _, rate := range []float64{4, 10, 18} {
+		trace, err := RateTrace(specs, rate, TableIIFrame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := RateJobsPerMS(trace, TableIIFrame)
+		if got < rate*0.95 || got > rate*1.05 {
+			t.Errorf("rate %v: realised %.2f", rate, got)
+		}
+		counts := Counts(trace)
+		// The paper's mix: range detection dominates instance counts.
+		if counts[apps.NameRangeDetection] <= counts[apps.NamePulseDoppler] {
+			t.Errorf("rate %v: mix inverted: %v", rate, counts)
+		}
+	}
+	if _, err := RateTrace(specs, 0, TableIIFrame); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+}
+
+func TestRateJobsPerMSDegenerate(t *testing.T) {
+	if RateJobsPerMS(nil, 0) != 0 {
+		t.Fatal("zero frame should give rate 0")
+	}
+}
