@@ -1,0 +1,37 @@
+# Repo convention: `make check` is the pre-commit gate — formatting,
+# vet, build, the full test suite, and the sweep engine under the race
+# detector. Tier-1 (the driver's gate) is build + test.
+
+GO ?= go
+
+.PHONY: check fmt vet build test race bench experiments
+
+check: fmt vet build test race
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The sweep engine is the only deliberately concurrent code in the
+# repo; run it (and the core scratch plumbing it exercises) under the
+# race detector. The sweep package's own cells are timing-only, so
+# also race-run the experiments goldens, whose cells execute kernels
+# functionally in parallel.
+race:
+	$(GO) test -race ./internal/sweep/...
+	$(GO) test -race -run ParallelGolden ./internal/experiments
+
+bench:
+	$(GO) test -bench . -benchtime 1x
+
+experiments:
+	$(GO) run ./cmd/experiments -exp all

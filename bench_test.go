@@ -2,20 +2,24 @@ package repro
 
 // The benchmark harness: one benchmark per table and figure of the
 // paper's evaluation section, plus ablation benches for the design
-// choices DESIGN.md calls out. Each benchmark reports the headline
+// choices ARCHITECTURE.md calls out. Each benchmark reports the headline
 // quantities of its experiment through b.ReportMetric so `go test
 // -bench=. -benchmem` regenerates the paper's numbers alongside the
 // harness cost itself. Reduced sweep sizes keep the full suite in the
 // minutes range; cmd/experiments runs the full-size versions.
 
 import (
+	"fmt"
 	"testing"
+	"time"
 
 	"repro/internal/apps"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/platform"
 	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/sweep"
 	"repro/internal/vtime"
 	"repro/internal/workload"
 )
@@ -24,7 +28,7 @@ import (
 // execution times on 3C+2F under FRFS.
 func BenchmarkTable1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.TableI()
+		rows, err := experiments.TableI(sweep.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -58,7 +62,7 @@ func BenchmarkTable2(b *testing.B) {
 // version).
 func BenchmarkFig9(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		points, err := experiments.Fig9(5)
+		points, err := experiments.Fig9(5, sweep.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -74,7 +78,7 @@ func BenchmarkFig9(b *testing.B) {
 // rates (the full five-rate sweep runs via cmd/experiments).
 func BenchmarkFig10(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		points, err := experiments.Fig10(3)
+		points, err := experiments.Fig10(3, sweep.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -92,7 +96,7 @@ func BenchmarkFig10(b *testing.B) {
 // BenchmarkFig11 regenerates Figure 11 at the sweep's endpoints.
 func BenchmarkFig11(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		points, err := experiments.Fig11([]float64{6, 18})
+		points, err := experiments.Fig11([]float64{6, 18}, sweep.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -125,7 +129,7 @@ func BenchmarkCS4(b *testing.B) {
 	}
 }
 
-// --- ablation benches (DESIGN.md section 5) ---------------------------------
+// --- ablation benches (ARCHITECTURE.md, design choices) ---------------------
 
 func mixedWorkload(b *testing.B, rate float64) []core.Arrival {
 	b.Helper()
@@ -294,6 +298,82 @@ func BenchmarkFullValidationRun(b *testing.B) {
 		e, _ := core.New(core.Options{Config: cfg, Policy: sched.FRFS{}, Registry: apps.Registry(), Seed: 1})
 		if _, err := e.Run(arr); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// --- sweep engine benches ----------------------------------------------------
+
+// sweepGrid builds a fixed 8-cell scheduler-study grid (2 policies x 4
+// Table II rates, timing-only) used by the scaling benchmarks.
+func sweepGrid(b *testing.B) []sweep.Cell[*stats.Report] {
+	b.Helper()
+	cfg, err := platform.ZCU102(3, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	specs := apps.Specs()
+	var cells []sweep.Cell[*stats.Report]
+	for _, policyName := range []string{"frfs", "met"} {
+		for _, row := range workload.TableII[:4] {
+			trace, err := workload.TableIITrace(specs, row)
+			if err != nil {
+				b.Fatal(err)
+			}
+			policy, err := sched.New(policyName, 7)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cells = append(cells, sweep.EmulationCell(
+				fmt.Sprintf("%s@%.2f", policyName, row.RateJobsPerMS),
+				sweep.Emulation{
+					Config: cfg, Policy: policy, Registry: apps.Registry(),
+					Arrivals: trace, Seed: 7, SkipExecution: true,
+				}))
+		}
+	}
+	return cells
+}
+
+// BenchmarkSweepWorkers runs the same grid at 1, 2 and 4 workers so
+// `go test -bench=SweepWorkers` shows the wall-clock scaling of the
+// sweep engine directly (on a multi-core host, 4 workers should be
+// >=2x faster than 1; on a single-core host the curves collapse).
+func BenchmarkSweepWorkers(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cells := sweepGrid(b)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sweep.Run(cells, sweep.Options{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSweepSpeedup reports the 4-worker speedup over the
+// sequential sweep as a metric (speedup_4w_x), measured inside one
+// benchmark iteration so the two runs see identical cells.
+func BenchmarkSweepSpeedup(b *testing.B) {
+	cells := sweepGrid(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		if _, err := sweep.Run(cells, sweep.Options{Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
+		seq := time.Since(t0)
+		t0 = time.Now()
+		if _, err := sweep.Run(cells, sweep.Options{Workers: 4}); err != nil {
+			b.Fatal(err)
+		}
+		par := time.Since(t0)
+		if i == 0 {
+			b.ReportMetric(seq.Seconds()*1e3, "seq_ms")
+			b.ReportMetric(par.Seconds()*1e3, "par4_ms")
+			b.ReportMetric(seq.Seconds()/par.Seconds(), "speedup_4w_x")
 		}
 	}
 }

@@ -8,6 +8,10 @@
 //	experiments -exp fig11      Figure 11 (Odroid big.LITTLE sweep)
 //	experiments -exp cs4        Case Study 4 (automatic conversion)
 //	experiments -exp all        everything
+//
+// The grid experiments fan out over the sweep engine; -workers bounds
+// the pool (default GOMAXPROCS) and progress/ETA lines go to stderr.
+// Output is byte-identical at any worker count.
 package main
 
 import (
@@ -17,6 +21,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/experiments"
+	"repro/internal/sweep"
 )
 
 func main() {
@@ -29,13 +34,22 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		exp    = fs.String("exp", "all", "experiment: table1, table2, fig9, fig10, fig11, cs4, all")
-		iters  = fs.Int("iters", 50, "Figure 9 iteration count (paper uses 50)")
-		n      = fs.Int("n", 1024, "Case Study 4 transform length (paper uses 1024)")
-		csvDir = fs.String("csv", "", "also write plot-ready CSV files into this directory")
+		exp     = fs.String("exp", "all", "experiment: table1, table2, fig9, fig10, fig11, cs4, all")
+		iters   = fs.Int("iters", 50, "Figure 9 iteration count (paper uses 50)")
+		n       = fs.Int("n", 1024, "Case Study 4 transform length (paper uses 1024)")
+		csvDir  = fs.String("csv", "", "also write plot-ready CSV files into this directory")
+		workers = fs.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS, 1 = sequential)")
+		quiet   = fs.Bool("quiet", false, "suppress sweep progress/ETA lines on stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	sweepOpt := func(label string) sweep.Options {
+		opt := sweep.Options{Workers: *workers, Label: label}
+		if !*quiet {
+			opt.Progress = os.Stderr
+		}
+		return opt
 	}
 
 	writeCSV := func(name string, fill func(*os.File) error) error {
@@ -59,7 +73,7 @@ func run(args []string) error {
 	runOne := func(name string) error {
 		switch name {
 		case "table1":
-			rows, err := experiments.TableI()
+			rows, err := experiments.TableI(sweepOpt("table1"))
 			if err != nil {
 				return err
 			}
@@ -77,7 +91,7 @@ func run(args []string) error {
 				return err
 			}
 		case "fig9":
-			pts, err := experiments.Fig9(*iters)
+			pts, err := experiments.Fig9(*iters, sweepOpt("fig9"))
 			if err != nil {
 				return err
 			}
@@ -86,7 +100,7 @@ func run(args []string) error {
 				return err
 			}
 		case "fig10":
-			pts, err := experiments.Fig10(0)
+			pts, err := experiments.Fig10(0, sweepOpt("fig10"))
 			if err != nil {
 				return err
 			}
@@ -95,7 +109,7 @@ func run(args []string) error {
 				return err
 			}
 		case "fig11":
-			pts, err := experiments.Fig11(nil)
+			pts, err := experiments.Fig11(nil, sweepOpt("fig11"))
 			if err != nil {
 				return err
 			}

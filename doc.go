@@ -4,7 +4,9 @@
 // schedulers and processing elements, plus the paper's automatic
 // application conversion toolchain.
 //
-// The library lives under internal/ (see README.md for the map); this
-// root package hosts the benchmark harness that regenerates every
-// table and figure of the paper's evaluation (bench_test.go).
+// The library lives under internal/ (see README.md for the package
+// map and ARCHITECTURE.md for the emulation loop and the parallel
+// sweep engine); this root package hosts the benchmark harness that
+// regenerates every table and figure of the paper's evaluation
+// (bench_test.go).
 package repro

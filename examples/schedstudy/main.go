@@ -1,17 +1,21 @@
 // Scheduler study: compare every built-in policy — including the
 // reservation-queue extension the paper lists as future work — on the
 // mixed SDR workload, showing how scheduling overhead and PE-binding
-// decisions shape the makespan (paper Case Study 2, extended).
+// decisions shape the makespan (paper Case Study 2, extended). The
+// per-policy emulations run concurrently on the sweep engine; the
+// merged results print in policy order regardless of worker count.
 package main
 
 import (
 	"fmt"
 	"log"
+	"os"
 
 	"repro/internal/apps"
-	"repro/internal/core"
 	"repro/internal/platform"
 	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/sweep"
 	"repro/internal/workload"
 )
 
@@ -30,27 +34,33 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("%-10s %12s %16s %14s %12s\n",
-		"policy", "exec time", "avg overhead", "invocations", "maxReady")
-	for _, name := range sched.Names() {
+	// One sweep cell per policy, each with its own policy value
+	// (stateful policies must not be shared between workers).
+	names := sched.Names()
+	var cells []sweep.Cell[*stats.Report]
+	for _, name := range names {
 		policy, err := sched.New(name, 5)
 		if err != nil {
 			log.Fatal(err)
 		}
-		e, err := core.New(core.Options{
+		cells = append(cells, sweep.EmulationCell(name, sweep.Emulation{
 			Config:        cfg,
 			Policy:        policy,
 			Registry:      apps.Registry(),
+			Arrivals:      trace,
 			Seed:          5,
 			SkipExecution: true, // timing-only: the numeric results are studied elsewhere
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		report, err := e.Run(trace)
-		if err != nil {
-			log.Fatal(err)
-		}
+		}))
+	}
+	reports, err := sweep.Run(cells, sweep.Options{Label: "schedstudy", Progress: os.Stderr})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-10s %12s %16s %14s %12s\n",
+		"policy", "exec time", "avg overhead", "invocations", "maxReady")
+	for i, name := range names {
+		report := reports[i]
 		fmt.Printf("%-10s %12v %13.2fus %14d %12d\n",
 			name, report.Makespan,
 			report.Sched.AvgOverheadNS()/1e3,

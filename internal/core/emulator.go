@@ -68,6 +68,11 @@ type Options struct {
 	// pure timing simulation. Used by large scheduler sweeps where
 	// the numeric results are not inspected.
 	SkipExecution bool
+	// Scratch supplies reusable working buffers, letting sweep
+	// workers amortise the emulator's per-run allocations across many
+	// cells. nil allocates a private scratch; a non-nil scratch must
+	// not be used by two emulators concurrently.
+	Scratch *Scratch
 }
 
 // Arrival pairs an application archetype with its injection timestamp
@@ -102,6 +107,9 @@ func New(opts Options) (*Emulator, error) {
 	}
 	if opts.Registry == nil {
 		return nil, fmt.Errorf("core: kernel registry required")
+	}
+	if opts.Scratch == nil {
+		opts.Scratch = NewScratch()
 	}
 	e := &Emulator{
 		opts:   opts,
@@ -168,7 +176,7 @@ func (e *Emulator) instantiate(spec *appmodel.AppSpec, index int, arrival vtime.
 // fresh clock and fresh state.
 func (e *Emulator) Run(arrivals []Arrival) (*stats.Report, error) {
 	e.clock.Reset()
-	e.ready = nil
+	e.ready = e.opts.Scratch.ready[:0]
 	e.instances = nil
 	e.pendingMonitorOps = 0
 	// Re-seed so repeated Runs of one emulator are identical.
@@ -184,12 +192,23 @@ func (e *Emulator) Run(arrivals []Arrival) (*stats.Report, error) {
 	e.report = &stats.Report{
 		ConfigName: e.opts.Config.Name,
 		PolicyName: e.opts.Policy.Name(),
+		Tasks:      e.opts.Scratch.taskRecords(),
 	}
+	// Hand the ready backing array and the realised task count back to
+	// the scratch on every exit — error paths included, since a pooled
+	// scratch must never pin a dead emulation's tasks or instance
+	// memory past the Run that produced them.
+	defer func() {
+		e.opts.Scratch.ready = e.ready[:0]
+		e.opts.Scratch.noteTaskCount(len(e.report.Tasks))
+		e.opts.Scratch.release()
+	}()
 
 	// Initialisation phase: instantiate every workload entry (memory
 	// allocation + symbol resolution), then sort the workload queue by
-	// arrival time.
-	sorted := append([]Arrival(nil), arrivals...)
+	// arrival time. The sorted copy lives in scratch; it is consumed
+	// during instantiation and never escapes.
+	sorted := e.opts.Scratch.sortedArrivals(arrivals)
 	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].At < sorted[j].At })
 	for i, a := range sorted {
 		if a.Spec == nil {
@@ -331,14 +350,20 @@ func (e *Emulator) loop() error {
 // was dispatched or queued.
 func (e *Emulator) schedule() (bool, error) {
 	now := e.clock.Now()
-	readyViews := make([]sched.Task, len(e.ready))
-	for i, t := range e.ready {
-		readyViews[i] = t
+	// The view slices come from scratch: the Policy contract forbids
+	// retaining them past the Schedule call, so the buffers are safe to
+	// reuse across invocations and across emulations.
+	s := e.opts.Scratch
+	readyViews := s.readyViews[:0]
+	for _, t := range e.ready {
+		readyViews = append(readyViews, t)
 	}
-	peViews := make([]sched.PE, len(e.handlers))
-	for i, h := range e.handlers {
-		peViews[i] = h
+	s.readyViews = readyViews
+	peViews := s.peViews[:0]
+	for _, h := range e.handlers {
+		peViews = append(peViews, h)
 	}
+	s.peViews = peViews
 	res := e.opts.Policy.Schedule(now, readyViews, peViews)
 
 	ops := res.Ops + e.pendingMonitorOps + invocationBaseOps +

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"repro/internal/sched"
+	"repro/internal/stats"
+)
+
+// Scratch holds the emulator's reusable working buffers: the sorted
+// arrival queue, the ready list, the per-invocation scheduler views,
+// and a capacity hint for the report's task records. None of this
+// memory escapes a Run call (the sched.Policy contract forbids
+// retaining the view slices), so a Scratch can be handed from one
+// emulation to the next — the sweep engine keeps one per worker in a
+// sync.Pool so large grids stop paying the allocation cost of the
+// scheduler hot path on every cell.
+//
+// A Scratch is not safe for concurrent use: at most one Emulator may
+// run against it at a time.
+type Scratch struct {
+	arrivals   []Arrival
+	ready      []*Task
+	readyViews []sched.Task
+	peViews    []sched.PE
+	// taskCap remembers the largest task-record count seen, so the
+	// next report's stats buffer is sized once instead of grown
+	// append-by-append.
+	taskCap int
+}
+
+// NewScratch returns an empty scratch. Emulators created without an
+// explicit scratch allocate their own, so sharing is opt-in.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// sortedArrivals returns a scratch-backed copy of arrivals, to be
+// sorted by the caller.
+func (s *Scratch) sortedArrivals(arrivals []Arrival) []Arrival {
+	s.arrivals = append(s.arrivals[:0], arrivals...)
+	return s.arrivals
+}
+
+// taskRecords returns a fresh record slice presized to the largest
+// emulation this scratch has seen. The slice escapes with the report,
+// so it is allocated, not pooled — only the capacity knowledge is
+// reused.
+func (s *Scratch) taskRecords() []stats.TaskRecord {
+	return make([]stats.TaskRecord, 0, s.taskCap)
+}
+
+// noteTaskCount records a finished emulation's task-record count. The
+// hint tracks the workload: it grows to the largest run seen but
+// decays when runs shrink, so one dense sweep does not leave every
+// later small cell's escaping report slice over-allocated.
+func (s *Scratch) noteTaskCount(n int) {
+	switch {
+	case n > s.taskCap:
+		s.taskCap = n
+	case n < s.taskCap/4:
+		s.taskCap /= 2
+	}
+}
+
+// release zeroes the pointer-bearing slots of the handed-back buffers
+// (including the unused capacity tails), so a scratch parked in the
+// sweep engine's pool does not pin the finished emulation's tasks and
+// instance memory until its next use.
+func (s *Scratch) release() {
+	clear(s.arrivals[:cap(s.arrivals)])
+	clear(s.ready[:cap(s.ready)])
+	clear(s.readyViews[:cap(s.readyViews)])
+	clear(s.peViews[:cap(s.peViews)])
+}

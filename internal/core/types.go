@@ -8,7 +8,7 @@
 // The paper's implementation runs these as POSIX threads against the
 // wall clock; this reproduction runs the identical state machine as a
 // deterministic discrete-event loop against a virtual clock (see
-// DESIGN.md for the substitution rationale). Task kernels still
+// ARCHITECTURE.md for the substitution rationale). Task kernels still
 // execute for real against instance memory, so validation mode
 // genuinely verifies functional integration.
 package core

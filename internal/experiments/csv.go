@@ -62,11 +62,16 @@ func Fig9CSV(w io.Writer, points []Fig9Point) error {
 		return err
 	}
 	for _, p := range points {
-		for name, v := range map[string]float64{
-			"min_ms": p.Box.Min, "q1_ms": p.Box.Q1, "median_ms": p.Box.Median,
-			"q3_ms": p.Box.Q3, "max_ms": p.Box.Max, "mean_ms": p.MeanMS,
+		// Fixed metric order: CSV output must be byte-stable run to
+		// run (the parallel-sweep goldens diff it).
+		for _, m := range []struct {
+			name string
+			v    float64
+		}{
+			{"min_ms", p.Box.Min}, {"q1_ms", p.Box.Q1}, {"median_ms", p.Box.Median},
+			{"q3_ms", p.Box.Q3}, {"max_ms", p.Box.Max}, {"mean_ms", p.MeanMS},
 		} {
-			if err := cw.Write([]string{p.Config, name, "", fmt.Sprintf("%.4f", v)}); err != nil {
+			if err := cw.Write([]string{p.Config, m.name, "", fmt.Sprintf("%.4f", m.v)}); err != nil {
 				return err
 			}
 		}

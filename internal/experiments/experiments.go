@@ -2,7 +2,13 @@
 // of the paper's evaluation (Section III) so they can be regenerated
 // by cmd/experiments, the root bench harness, and the test suite. Each
 // experiment returns structured data plus a text rendering close to
-// the paper's presentation; EXPERIMENTS.md records paper-vs-measured.
+// the paper's presentation; README.md records paper-vs-measured.
+//
+// The grid-shaped experiments (Table I, Figures 9-11) run on the
+// sweep engine: cells fan out over a worker pool sized by
+// sweep.Options and merge in grid order, so the rendered tables and
+// CSV exports are byte-identical at any worker count (see
+// ARCHITECTURE.md for the determinism contract).
 package experiments
 
 import (
@@ -14,20 +20,18 @@ import (
 	"repro/internal/platform"
 	"repro/internal/sched"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 	"repro/internal/vtime"
 	"repro/internal/workload"
 )
 
-// newEmulator assembles an emulator for one experiment run.
-func newEmulator(cfg *platform.Config, policy sched.Policy, seed int64, sigma float64, skipExec bool) (*core.Emulator, error) {
-	return core.New(core.Options{
-		Config:        cfg,
-		Policy:        policy,
-		Registry:      apps.Registry(),
-		Seed:          seed,
-		JitterSigma:   sigma,
-		SkipExecution: skipExec,
-	})
+// labelled stamps a default sweep label for progress output without
+// overriding a caller-chosen one.
+func labelled(opt sweep.Options, name string) sweep.Options {
+	if opt.Label == "" {
+		opt.Label = name
+	}
+	return opt
 }
 
 // --- Table I -----------------------------------------------------------------
@@ -52,28 +56,37 @@ var TableIPaper = map[string]struct {
 }
 
 // TableI runs each application standalone in validation mode on
-// 3 cores + 2 FFT accelerators with FRFS, the paper's Table I setup.
-func TableI() ([]TableIRow, error) {
+// 3 cores + 2 FFT accelerators with FRFS, the paper's Table I setup —
+// one sweep cell per application.
+func TableI(opt sweep.Options) ([]TableIRow, error) {
 	cfg, err := platform.ZCU102(3, 2)
 	if err != nil {
 		return nil, err
 	}
 	specs := apps.Specs()
-	var rows []TableIRow
+	var cells []sweep.Cell[TableIRow]
 	for _, name := range []string{
 		apps.NameRangeDetection, apps.NamePulseDoppler, apps.NameWiFiTX, apps.NameWiFiRX,
 	} {
-		e, err := newEmulator(cfg, sched.FRFS{}, 1, 0, false)
-		if err != nil {
-			return nil, err
-		}
-		report, err := e.Run([]core.Arrival{{Spec: specs[name], At: 0}})
-		if err != nil {
-			return nil, fmt.Errorf("experiments: table I %s: %w", name, err)
-		}
-		rows = append(rows, TableIRow{App: name, ExecTime: report.Makespan, TaskCount: len(report.Tasks)})
+		cells = append(cells, sweep.Cell[TableIRow]{
+			Label: "table1 " + name,
+			Run: func(s *core.Scratch) (TableIRow, error) {
+				em := sweep.Emulation{
+					Config:   cfg,
+					Policy:   sched.FRFS{},
+					Registry: apps.Registry(),
+					Arrivals: []core.Arrival{{Spec: specs[name], At: 0}},
+					Seed:     1,
+				}
+				report, err := em.Run(s)
+				if err != nil {
+					return TableIRow{}, fmt.Errorf("experiments: table I %s: %w", name, err)
+				}
+				return TableIRow{App: name, ExecTime: report.Makespan, TaskCount: len(report.Tasks)}, nil
+			},
+		})
 	}
-	return rows, nil
+	return sweep.Run(cells, labelled(opt, "table1"))
 }
 
 // RenderTableI formats the rows as the paper prints them.
@@ -161,7 +174,7 @@ type Fig9Point struct {
 // log-normal timing jitter producing the box spread. Kernels execute
 // functionally on the first iteration of each configuration only;
 // timing is independent of execution.
-func Fig9(iterations int) ([]Fig9Point, error) {
+func Fig9(iterations int, opt sweep.Options) ([]Fig9Point, error) {
 	if iterations <= 0 {
 		iterations = 1
 	}
@@ -175,30 +188,66 @@ func Fig9(iterations int) ([]Fig9Point, error) {
 	if err != nil {
 		return nil, err
 	}
-	var out []Fig9Point
+	// One cell per (configuration, iteration); the per-iteration seed
+	// makes each cell independent of worker count and schedule.
+	type fig9Cell struct {
+		timeMS float64
+		utils  []Fig9PEUtil
+	}
+	var cells []sweep.Cell[fig9Cell]
+	var cfgNames []string
 	for _, cf := range Fig9Configs {
 		cfg, err := platform.ZCU102(cf[0], cf[1])
 		if err != nil {
 			return nil, err
 		}
-		point := Fig9Point{Config: cfg.Name}
+		cfgNames = append(cfgNames, cfg.Name)
+		for it := 0; it < iterations; it++ {
+			cells = append(cells, sweep.Cell[fig9Cell]{
+				Label: fmt.Sprintf("fig9 %s it%d", cfg.Name, it),
+				Run: func(s *core.Scratch) (fig9Cell, error) {
+					em := sweep.Emulation{
+						Config:        cfg,
+						Policy:        sched.FRFS{},
+						Registry:      apps.Registry(),
+						Arrivals:      arr,
+						Seed:          int64(1000 + it),
+						JitterSigma:   0.04,
+						SkipExecution: it != 0,
+					}
+					report, err := em.Run(s)
+					if err != nil {
+						return fig9Cell{}, fmt.Errorf("experiments: fig9 %s: %w", cfg.Name, err)
+					}
+					c := fig9Cell{timeMS: report.Makespan.Milliseconds()}
+					for _, pe := range report.PEs {
+						c.utils = append(c.utils, Fig9PEUtil{Label: pe.Label, Util: report.Utilization(pe.PEID)})
+					}
+					return c, nil
+				},
+			})
+		}
+	}
+	res, err := sweep.Run(cells, labelled(opt, "fig9"))
+	if err != nil {
+		return nil, err
+	}
+	// Fold results in grid order: the same accumulation order as the
+	// sequential loop, so box statistics and utilisation means are
+	// bit-identical at any worker count.
+	var out []Fig9Point
+	for ci, name := range cfgNames {
+		point := Fig9Point{Config: name}
 		utilSums := map[string]float64{}
 		var utilOrder []string
 		for it := 0; it < iterations; it++ {
-			e, err := newEmulator(cfg, sched.FRFS{}, int64(1000+it), 0.04, it != 0)
-			if err != nil {
-				return nil, err
-			}
-			report, err := e.Run(arr)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: fig9 %s: %w", cfg.Name, err)
-			}
-			point.TimesMS = append(point.TimesMS, report.Makespan.Milliseconds())
-			for _, pe := range report.PEs {
-				if _, seen := utilSums[pe.Label]; !seen {
-					utilOrder = append(utilOrder, pe.Label)
+			c := res[ci*iterations+it]
+			point.TimesMS = append(point.TimesMS, c.timeMS)
+			for _, u := range c.utils {
+				if _, seen := utilSums[u.Label]; !seen {
+					utilOrder = append(utilOrder, u.Label)
 				}
-				utilSums[pe.Label] += report.Utilization(pe.PEID)
+				utilSums[u.Label] += u.Util
 			}
 		}
 		point.Box = stats.BoxOf(point.TimesMS)
@@ -251,7 +300,7 @@ var Fig10Policies = []string{"eft", "met", "frfs"}
 // Fig10 sweeps the Table II injection rates for EFT, MET and FRFS on
 // 3C+2F in performance mode. rows limits how many Table II rates run
 // (0 = all five). Kernels are not executed (pure scheduling study).
-func Fig10(rows int) ([]Fig10Point, error) {
+func Fig10(rows int, opt sweep.Options) ([]Fig10Point, error) {
 	cfg, err := platform.ZCU102(3, 2)
 	if err != nil {
 		return nil, err
@@ -261,38 +310,48 @@ func Fig10(rows int) ([]Fig10Point, error) {
 	if rows > 0 && rows < len(table) {
 		table = table[:rows]
 	}
-	var out []Fig10Point
+	var cells []sweep.Cell[Fig10Point]
 	for _, policyName := range Fig10Policies {
 		for _, row := range table {
-			trace, err := workload.TableIITrace(specs, row)
-			if err != nil {
-				return nil, err
-			}
-			policy, err := sched.New(policyName, 7)
-			if err != nil {
-				return nil, err
-			}
-			e, err := newEmulator(cfg, policy, 7, 0, true)
-			if err != nil {
-				return nil, err
-			}
-			report, err := e.Run(traceToArrivals(trace))
-			if err != nil {
-				return nil, fmt.Errorf("experiments: fig10 %s@%.2f: %w", policyName, row.RateJobsPerMS, err)
-			}
-			out = append(out, Fig10Point{
-				Policy:        policyName,
-				RateJobsPerMS: row.RateJobsPerMS,
-				ExecTime:      report.Makespan,
-				AvgOverheadUS: report.Sched.AvgOverheadNS() / 1e3,
-				Invocations:   report.Sched.Invocations,
+			cells = append(cells, sweep.Cell[Fig10Point]{
+				Label: fmt.Sprintf("fig10 %s@%.2f", policyName, row.RateJobsPerMS),
+				Run: func(s *core.Scratch) (Fig10Point, error) {
+					// The trace generator is seeded per Table II row, so
+					// regenerating it inside the cell is deterministic
+					// and keeps cells fully independent.
+					trace, err := workload.TableIITrace(specs, row)
+					if err != nil {
+						return Fig10Point{}, err
+					}
+					policy, err := sched.New(policyName, 7)
+					if err != nil {
+						return Fig10Point{}, err
+					}
+					em := sweep.Emulation{
+						Config:        cfg,
+						Policy:        policy,
+						Registry:      apps.Registry(),
+						Arrivals:      trace,
+						Seed:          7,
+						SkipExecution: true,
+					}
+					report, err := em.Run(s)
+					if err != nil {
+						return Fig10Point{}, fmt.Errorf("experiments: fig10 %s@%.2f: %w", policyName, row.RateJobsPerMS, err)
+					}
+					return Fig10Point{
+						Policy:        policyName,
+						RateJobsPerMS: row.RateJobsPerMS,
+						ExecTime:      report.Makespan,
+						AvgOverheadUS: report.Sched.AvgOverheadNS() / 1e3,
+						Invocations:   report.Sched.Invocations,
+					}, nil
+				},
 			})
 		}
 	}
-	return out, nil
+	return sweep.Run(cells, labelled(opt, "fig10"))
 }
-
-func traceToArrivals(trace []core.Arrival) []core.Arrival { return trace }
 
 // RenderFig10 formats both panels of Figure 10.
 func RenderFig10(points []Fig10Point) string {
@@ -330,13 +389,16 @@ type Fig11Point struct {
 // performance mode under FRFS, reproducing the Odroid portability
 // study. For a given rate the same workload trace is used across all
 // configurations, as in the paper.
-func Fig11(rates []float64) ([]Fig11Point, error) {
+func Fig11(rates []float64, opt sweep.Options) ([]Fig11Point, error) {
 	if len(rates) == 0 {
 		rates = Fig11DefaultRates
 	}
 	specs := apps.Specs()
-	var out []Fig11Point
+	var cells []sweep.Cell[Fig11Point]
 	for _, rate := range rates {
+		// Generate each rate's trace once, up front: all twelve
+		// configurations of that rate share it read-only, as in the
+		// paper.
 		trace, err := workload.RateTrace(specs, rate, workload.TableIIFrame)
 		if err != nil {
 			return nil, err
@@ -347,22 +409,31 @@ func Fig11(rates []float64) ([]Fig11Point, error) {
 			if err != nil {
 				return nil, err
 			}
-			e, err := newEmulator(cfg, sched.FRFS{}, 11, 0, true)
-			if err != nil {
-				return nil, err
-			}
-			report, err := e.Run(trace)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: fig11 %s@%.0f: %w", cfg.Name, rate, err)
-			}
-			out = append(out, Fig11Point{
-				Config:        cfg.Name,
-				RateJobsPerMS: realised,
-				ExecTime:      report.Makespan,
+			cells = append(cells, sweep.Cell[Fig11Point]{
+				Label: fmt.Sprintf("fig11 %s@%.0f", cfg.Name, rate),
+				Run: func(s *core.Scratch) (Fig11Point, error) {
+					em := sweep.Emulation{
+						Config:        cfg,
+						Policy:        sched.FRFS{},
+						Registry:      apps.Registry(),
+						Arrivals:      trace,
+						Seed:          11,
+						SkipExecution: true,
+					}
+					report, err := em.Run(s)
+					if err != nil {
+						return Fig11Point{}, fmt.Errorf("experiments: fig11 %s@%.0f: %w", cfg.Name, rate, err)
+					}
+					return Fig11Point{
+						Config:        cfg.Name,
+						RateJobsPerMS: realised,
+						ExecTime:      report.Makespan,
+					}, nil
+				},
 			})
 		}
 	}
-	return out, nil
+	return sweep.Run(cells, labelled(opt, "fig11"))
 }
 
 // RenderFig11 formats the sweep grouped by rate.

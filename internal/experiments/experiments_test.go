@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/apps"
+	"repro/internal/sweep"
 )
 
 // These tests assert the qualitative shapes the paper's evaluation
@@ -13,7 +14,7 @@ import (
 // run through cmd/experiments and the root bench harness.
 
 func TestTableIShape(t *testing.T) {
-	rows, err := TableI()
+	rows, err := TableI(sweep.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +74,7 @@ func TestTableIIExact(t *testing.T) {
 }
 
 func TestFig9Shape(t *testing.T) {
-	points, err := Fig9(3)
+	points, err := Fig9(3, sweep.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +133,7 @@ func TestFig9Shape(t *testing.T) {
 
 func TestFig10Shape(t *testing.T) {
 	// Two lowest rates keep the EFT rows fast.
-	points, err := Fig10(2)
+	points, err := Fig10(2, sweep.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +179,7 @@ func TestFig10Shape(t *testing.T) {
 }
 
 func TestFig11Shape(t *testing.T) {
-	points, err := Fig11([]float64{6, 18})
+	points, err := Fig11([]float64{6, 18}, sweep.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

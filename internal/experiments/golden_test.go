@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/sweep"
+)
+
+// The sweep engine's user-facing determinism guarantee: a parallel
+// sweep produces byte-identical renderings and CSV exports to the
+// sequential one. These goldens diff workers=1 against workers=8 on
+// the experiments the paper's figures are built from.
+
+func TestFig10ParallelGolden(t *testing.T) {
+	// The Table II grid (policies x injection rates), reduced to the
+	// two lowest rates to keep the EFT cells fast.
+	seq, err := Fig10(2, sweep.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Fig10(2, sweep.Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := RenderFig10(seq), RenderFig10(par); a != b {
+		t.Fatalf("parallel rendering diverged:\n--- workers=1\n%s--- workers=8\n%s", a, b)
+	}
+	var bufSeq, bufPar bytes.Buffer
+	if err := Fig10CSV(&bufSeq, seq); err != nil {
+		t.Fatal(err)
+	}
+	if err := Fig10CSV(&bufPar, par); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bufSeq.Bytes(), bufPar.Bytes()) {
+		t.Fatalf("parallel CSV diverged:\n--- workers=1\n%s--- workers=8\n%s",
+			bufSeq.String(), bufPar.String())
+	}
+}
+
+func TestFig9ParallelGolden(t *testing.T) {
+	// Jittered iterations: per-cell seeding must keep the box
+	// statistics bit-identical at any worker count.
+	seq, err := Fig9(3, sweep.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Fig9(3, sweep.Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := RenderFig9(seq), RenderFig9(par); a != b {
+		t.Fatalf("parallel rendering diverged:\n--- workers=1\n%s--- workers=8\n%s", a, b)
+	}
+	var bufSeq, bufPar bytes.Buffer
+	if err := Fig9CSV(&bufSeq, seq); err != nil {
+		t.Fatal(err)
+	}
+	if err := Fig9CSV(&bufPar, par); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bufSeq.Bytes(), bufPar.Bytes()) {
+		t.Fatal("parallel Fig9 CSV diverged")
+	}
+}
+
+func TestTableIParallelGolden(t *testing.T) {
+	seq, err := TableI(sweep.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := TableI(sweep.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := RenderTableI(seq), RenderTableI(par); a != b {
+		t.Fatalf("parallel rendering diverged:\n--- workers=1\n%s--- workers=4\n%s", a, b)
+	}
+}

@@ -8,7 +8,8 @@ import "math"
 // are calibration parameters, not microarchitectural truths: they are
 // chosen so the paper's Table I application times and the qualitative
 // relations of Figures 9-11 and Case Study 4 are reproduced (see
-// DESIGN.md and EXPERIMENTS.md for paper-vs-measured values).
+// ARCHITECTURE.md for the model, README.md for paper-vs-measured
+// comparison via the bench harness).
 const (
 	// cFFT scales the n*log2(n) term of the iterative radix-2 FFT.
 	cFFT = 28.0

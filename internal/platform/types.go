@@ -5,7 +5,7 @@
 // from them, the resource-manager thread placement policy, and the
 // calibrated kernel timing model.
 //
-// SUBSTITUTION NOTE (see DESIGN.md): the paper executes on real
+// SUBSTITUTION NOTE (see ARCHITECTURE.md): the paper executes on real
 // silicon; this reproduction replaces the hardware with calibrated
 // analytic timing models over a virtual clock. Constants are chosen so
 // the paper's qualitative relations hold (e.g. a 128-point FFT is

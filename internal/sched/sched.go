@@ -84,7 +84,10 @@ type Policy interface {
 	Name() string
 	// Schedule picks assignments from the ready list. Implementations
 	// must not assign two tasks to the same idle slot: the emulator
-	// trusts the batch.
+	// trusts the batch. The ready and pes slices are scratch views
+	// valid only for the duration of the call — implementations must
+	// not retain them (the emulator reuses the backing arrays across
+	// invocations).
 	Schedule(now vtime.Time, ready []Task, pes []PE) Result
 	// UsesQueues reports whether the policy targets per-PE
 	// reservation queues (may assign to busy PEs).

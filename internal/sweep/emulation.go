@@ -1,0 +1,64 @@
+package sweep
+
+import (
+	"repro/internal/core"
+	"repro/internal/kernels"
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/stats"
+)
+
+// Emulation is the cell spec for the common case: one emulator run.
+// It is a value type so a grid builder can stamp out variants from a
+// base cell. Determinism follows from the emulator's own contract:
+// the seed drives the jitter model and nothing else, and the virtual
+// clock makes the run independent of host timing.
+type Emulation struct {
+	// Config is the emulated DSSoC hardware configuration. Configs
+	// may be shared between cells: emulators only read them.
+	Config *platform.Config
+	// Policy is the scheduling heuristic. Policies are per-cell
+	// values; stateful policies (rand-seeded, queue-depth) must not be
+	// shared between cells.
+	Policy sched.Policy
+	// Registry resolves runfunc symbols; registries are
+	// concurrency-safe and normally shared.
+	Registry *kernels.Registry
+	// Arrivals is the workload trace. Cells may share a trace
+	// read-only (the emulator sorts a private copy).
+	Arrivals []core.Arrival
+	// Seed and JitterSigma drive the per-cell jitter model.
+	Seed        int64
+	JitterSigma float64
+	// SkipExecution selects the timing-only fast path: kernels are
+	// not executed, which is what makes million-cell scheduler sweeps
+	// tractable. Functional validation cells leave it false.
+	SkipExecution bool
+	// Timing selects modeled or host-measured task durations; sweeps
+	// should keep the default Modeled for reproducibility.
+	Timing core.ExecTiming
+}
+
+// Run builds the emulator against the worker's scratch and executes
+// the trace, satisfying the Cell[*stats.Report] signature.
+func (em Emulation) Run(s *core.Scratch) (*stats.Report, error) {
+	e, err := core.New(core.Options{
+		Config:        em.Config,
+		Policy:        em.Policy,
+		Registry:      em.Registry,
+		Seed:          em.Seed,
+		JitterSigma:   em.JitterSigma,
+		SkipExecution: em.SkipExecution,
+		Timing:        em.Timing,
+		Scratch:       s,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(em.Arrivals)
+}
+
+// EmulationCell wraps an Emulation spec as a labelled grid cell.
+func EmulationCell(label string, em Emulation) Cell[*stats.Report] {
+	return Cell[*stats.Report]{Label: label, Run: em.Run}
+}

@@ -1,0 +1,213 @@
+// Package sweep is the framework's parallel experiment engine: it
+// fans a grid of independent emulation cells out over a bounded worker
+// pool and merges the results in grid order, so a sweep parallelised
+// over N workers produces byte-identical output to the sequential run.
+//
+// The paper's evaluation (Section III) is exactly such a grid —
+// policy x injection rate x configuration x trial — and every cell is
+// an independent deterministic emulation against its own virtual
+// clock, so the sweep layer is embarrassingly parallel. Determinism is
+// preserved by construction rather than by locking: each cell carries
+// its own seed and builds its own emulator, workers share nothing but
+// a per-worker scratch buffer (core.Scratch, recycled through a
+// sync.Pool), and results land in a slice indexed by grid position, so
+// neither the worker count nor completion order can influence what a
+// cell computes or where its result ends up.
+//
+// Cells are plain functions, so anything can be swept, but most grids
+// are emulator runs: the Emulation cell spec in this package carries a
+// complete core.Options cell (policy, platform, trace, seed, and the
+// SkipExecution fast path used by timing-only scheduler studies) and
+// handles per-worker scratch plumbing itself.
+package sweep
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Cell is one independent unit of work in a sweep grid. Run receives
+// the worker's reusable scratch; it must not share mutable state with
+// other cells and must compute the same result regardless of which
+// worker executes it or when.
+type Cell[T any] struct {
+	// Label identifies the cell in progress output and errors
+	// ("fig10 eft@6.92").
+	Label string
+	// Run executes the cell. The scratch is owned by the calling
+	// worker for the duration of the call.
+	Run func(s *core.Scratch) (T, error)
+}
+
+// Options configure a sweep run.
+type Options struct {
+	// Workers bounds the worker pool; 0 (the default) uses
+	// runtime.GOMAXPROCS(0). 1 degenerates to a sequential sweep.
+	Workers int
+	// Progress, when non-nil, receives throttled "done/total + ETA"
+	// lines (cmd/experiments points it at stderr). nil is silent.
+	Progress io.Writer
+	// Label names the sweep in progress output.
+	Label string
+}
+
+// scratchPool recycles per-worker emulator scratch state across sweeps
+// so back-to-back grids (cmd/experiments -exp all) keep their warmed
+// buffers.
+var scratchPool = sync.Pool{New: func() any { return core.NewScratch() }}
+
+// Run executes every cell over the worker pool and returns the
+// results in grid order: out[i] is cells[i]'s result, whatever order
+// the workers finished in. On failure it returns the error of the
+// lowest-indexed cell that was observed to fail (remaining cells are
+// skipped, so under concurrency the identity of that cell can vary
+// between runs; successful sweeps are fully deterministic).
+func Run[T any](cells []Cell[T], opts Options) ([]T, error) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	if len(cells) == 0 {
+		return nil, nil
+	}
+
+	out := make([]T, len(cells))
+	errs := make([]error, len(cells))
+	prog := newProgress(opts.Progress, opts.Label, len(cells))
+
+	if workers <= 1 {
+		// Sequential fast path: same code shape, no goroutines, and
+		// errors abort at the exact failing cell.
+		s := scratchPool.Get().(*core.Scratch)
+		defer scratchPool.Put(s)
+		for i, c := range cells {
+			var err error
+			if out[i], err = runCell(c, s); err != nil {
+				return nil, fmt.Errorf("sweep: cell %d (%s): %w", i, c.Label, err)
+			}
+			prog.step()
+		}
+		prog.finish()
+		return out, nil
+	}
+
+	next := make(chan int)
+	var wg sync.WaitGroup
+	var failed sync.Once
+	abort := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// One scratch per worker for its whole lifetime: buffer
+			// reuse without any cross-worker sharing.
+			s := scratchPool.Get().(*core.Scratch)
+			defer scratchPool.Put(s)
+			for i := range next {
+				var err error
+				if out[i], err = runCell(cells[i], s); err != nil {
+					errs[i] = err
+					failed.Do(func() { close(abort) })
+					continue
+				}
+				prog.step()
+			}
+		}()
+	}
+feed:
+	for i := range cells {
+		select {
+		case next <- i:
+		case <-abort:
+			break feed
+		}
+	}
+	close(next)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("sweep: cell %d (%s): %w", i, cells[i].Label, err)
+		}
+	}
+	prog.finish()
+	return out, nil
+}
+
+// runCell executes one cell, converting a panic into an error so a
+// bad cell fails its sweep instead of killing the process from a
+// worker goroutine.
+func runCell[T any](c Cell[T], s *core.Scratch) (out T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v\n%s", r, debug.Stack())
+		}
+	}()
+	return c.Run(s)
+}
+
+// progress is the throttled done/total + ETA reporter. The wall clock
+// here only shapes log lines, never results.
+type progress struct {
+	mu    sync.Mutex
+	w     io.Writer
+	label string
+	total int
+	done  int
+	start time.Time
+	last  time.Time
+}
+
+const progressEvery = 250 * time.Millisecond
+
+func newProgress(w io.Writer, label string, total int) *progress {
+	if label == "" {
+		label = "sweep"
+	}
+	return &progress{w: w, label: label, total: total, start: time.Now()}
+}
+
+func (p *progress) step() {
+	if p.w == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done++
+	now := time.Now()
+	if now.Sub(p.last) < progressEvery || p.done == p.total {
+		return // the final cell is reported by finish's summary line
+	}
+	p.last = now
+	elapsed := now.Sub(p.start)
+	eta := time.Duration(0)
+	if p.done > 0 {
+		eta = time.Duration(float64(elapsed) / float64(p.done) * float64(p.total-p.done))
+	}
+	fmt.Fprintf(p.w, "%s: %d/%d (%.0f%%) elapsed %s eta %s\n",
+		p.label, p.done, p.total, 100*float64(p.done)/float64(p.total),
+		elapsed.Round(time.Millisecond), eta.Round(time.Millisecond))
+}
+
+func (p *progress) finish() {
+	if p.w == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.done < p.total {
+		// Error path already reported; nothing to summarise.
+		return
+	}
+	fmt.Fprintf(p.w, "%s: done (%d cells in %s)\n",
+		p.label, p.total, time.Since(p.start).Round(time.Millisecond))
+}

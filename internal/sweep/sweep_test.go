@@ -1,0 +1,213 @@
+package sweep
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// TestGridOrder verifies the core merge contract: out[i] belongs to
+// cells[i] at every worker count, including worker counts above the
+// cell count.
+func TestGridOrder(t *testing.T) {
+	const n = 64
+	cells := make([]Cell[int], n)
+	for i := range cells {
+		cells[i] = Cell[int]{
+			Label: fmt.Sprintf("cell%d", i),
+			Run:   func(*core.Scratch) (int, error) { return i * i, nil },
+		}
+	}
+	for _, workers := range []int{0, 1, 3, 16, 128} {
+		out, err := Run(cells, Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(out) != n {
+			t.Fatalf("workers=%d: %d results", workers, len(out))
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestEmptyGrid(t *testing.T) {
+	out, err := Run[int](nil, Options{})
+	if err != nil || out != nil {
+		t.Fatalf("empty grid: out=%v err=%v", out, err)
+	}
+}
+
+// TestErrorCarriesLabel checks that a failing cell aborts the sweep
+// with its index and label in the error, sequentially and in parallel.
+func TestErrorCarriesLabel(t *testing.T) {
+	boom := errors.New("boom")
+	cells := make([]Cell[int], 8)
+	for i := range cells {
+		cells[i] = Cell[int]{
+			Label: fmt.Sprintf("cell%d", i),
+			Run: func(*core.Scratch) (int, error) {
+				if i == 5 {
+					return 0, boom
+				}
+				return i, nil
+			},
+		}
+	}
+	for _, workers := range []int{1, 4} {
+		out, err := Run(cells, Options{Workers: workers})
+		if err == nil {
+			t.Fatalf("workers=%d: error swallowed", workers)
+		}
+		if !errors.Is(err, boom) || !strings.Contains(err.Error(), "cell5") {
+			t.Fatalf("workers=%d: error lost cause or label: %v", workers, err)
+		}
+		if out != nil {
+			t.Fatalf("workers=%d: partial results returned alongside error", workers)
+		}
+	}
+}
+
+// TestPanicBecomesError ensures a panicking cell fails its sweep
+// instead of killing the process from a worker goroutine.
+func TestPanicBecomesError(t *testing.T) {
+	cells := []Cell[int]{
+		{Label: "ok", Run: func(*core.Scratch) (int, error) { return 1, nil }},
+		{Label: "bad", Run: func(*core.Scratch) (int, error) { panic("kernel bug") }},
+	}
+	for _, workers := range []int{1, 2} {
+		_, err := Run(cells, Options{Workers: workers})
+		if err == nil || !strings.Contains(err.Error(), "panic") || !strings.Contains(err.Error(), "kernel bug") {
+			t.Fatalf("workers=%d: panic not converted: %v", workers, err)
+		}
+	}
+}
+
+// emulationGrid builds a small real scheduler-study grid: 2 policies x
+// 2 Table II rates on 3C+2F, timing-only.
+func emulationGrid(t *testing.T) []Cell[*stats.Report] {
+	t.Helper()
+	cfg, err := platform.ZCU102(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := apps.Specs()
+	var cells []Cell[*stats.Report]
+	for _, policyName := range []string{"frfs", "met"} {
+		for _, row := range workload.TableII[:2] {
+			cells = append(cells, Cell[*stats.Report]{
+				Label: fmt.Sprintf("%s@%.2f", policyName, row.RateJobsPerMS),
+				Run: func(s *core.Scratch) (*stats.Report, error) {
+					trace, err := workload.TableIITrace(specs, row)
+					if err != nil {
+						return nil, err
+					}
+					policy, err := sched.New(policyName, 7)
+					if err != nil {
+						return nil, err
+					}
+					return Emulation{
+						Config: cfg, Policy: policy, Registry: apps.Registry(),
+						Arrivals: trace, Seed: 7, SkipExecution: true,
+					}.Run(s)
+				},
+			})
+		}
+	}
+	return cells
+}
+
+// TestEmulationDeterminism is the engine-level determinism check: the
+// same emulation grid at 1 and at 8 workers yields identical makespans,
+// overhead charges and invocation counts in identical order. Run with
+// -race (the Makefile's check target does) this also exercises the
+// scratch-isolation claims under the race detector.
+func TestEmulationDeterminism(t *testing.T) {
+	seq, err := Run(emulationGrid(t), Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Run(emulationGrid(t), Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("result counts differ: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		s, p := seq[i], par[i]
+		if s.Makespan != p.Makespan || s.Sched.Invocations != p.Sched.Invocations ||
+			s.Sched.OverheadNS != p.Sched.OverheadNS || len(s.Tasks) != len(p.Tasks) {
+			t.Fatalf("cell %d diverged: seq{%v %d %d %d} par{%v %d %d %d}", i,
+				s.Makespan, s.Sched.Invocations, s.Sched.OverheadNS, len(s.Tasks),
+				p.Makespan, p.Sched.Invocations, p.Sched.OverheadNS, len(p.Tasks))
+		}
+	}
+}
+
+// TestScratchReuseIsInvisible runs the same emulation on a cold and on
+// a heavily warmed scratch: the reports must match exactly, proving
+// buffer reuse never leaks state between cells.
+func TestScratchReuseIsInvisible(t *testing.T) {
+	cells := emulationGrid(t)
+	cold := core.NewScratch()
+	first, err := cells[0].Run(cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := core.NewScratch()
+	for _, c := range cells {
+		if _, err := c.Run(warm); err != nil {
+			t.Fatal(err)
+		}
+	}
+	again, err := cells[0].Run(warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Makespan != again.Makespan || first.Sched.TotalOps != again.Sched.TotalOps ||
+		len(first.Tasks) != len(again.Tasks) {
+		t.Fatalf("warm scratch changed the result: %v/%d vs %v/%d",
+			first.Makespan, len(first.Tasks), again.Makespan, len(again.Tasks))
+	}
+	for i := range first.Tasks {
+		if first.Tasks[i] != again.Tasks[i] {
+			t.Fatalf("task record %d diverged: %+v vs %+v", i, first.Tasks[i], again.Tasks[i])
+		}
+	}
+}
+
+// TestProgressReporting checks the throttled reporter emits a final
+// summary and never mixes lines (the buffer is written under the
+// progress mutex).
+func TestProgressReporting(t *testing.T) {
+	var buf bytes.Buffer
+	cells := make([]Cell[int], 10)
+	for i := range cells {
+		cells[i] = Cell[int]{Label: "c", Run: func(*core.Scratch) (int, error) { return i, nil }}
+	}
+	if _, err := Run(cells, Options{Workers: 4, Progress: &buf, Label: "unit"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "unit: done (10 cells") {
+		t.Fatalf("missing summary line:\n%s", out)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if !strings.HasPrefix(line, "unit: ") {
+			t.Fatalf("garbled progress line %q", line)
+		}
+	}
+}
