@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench experiments
+.PHONY: check fmt vet build test race bench benchfull experiments
 
 check: fmt vet build test race
 
@@ -30,7 +30,28 @@ race:
 	$(GO) test -race ./internal/sweep/...
 	$(GO) test -race -run ParallelGolden ./internal/experiments
 
+# `make bench` records the perf trajectory: the emulator throughput
+# benches (tasks/sec, allocs/op) and the sweep scaling benches, parsed
+# into BENCH_<PR>.json by cmd/benchreport. Bump BENCH_N when a PR
+# moves the numbers.
+BENCH_N ?= 2
+
+# Both steps land in temp files first so neither a failed benchmark run
+# nor a benchreport parse error can truncate the recorded
+# BENCH_$(BENCH_N).json (a pipe would mask go test's exit status, and
+# `>` truncates before the command runs). The .out temp survives a
+# failure for debugging.
 bench:
+	$(GO) test -run NONE -bench 'EmulatorThroughput|SweepWorkers' \
+		-benchmem -benchtime 10x . > BENCH_$(BENCH_N).out
+	@cat BENCH_$(BENCH_N).out
+	$(GO) run ./cmd/benchreport < BENCH_$(BENCH_N).out > BENCH_$(BENCH_N).json.tmp
+	@mv BENCH_$(BENCH_N).json.tmp BENCH_$(BENCH_N).json
+	@rm BENCH_$(BENCH_N).out
+
+# The full benchmark harness (every table/figure of the paper) at one
+# iteration each.
+benchfull:
 	$(GO) test -bench . -benchtime 1x
 
 experiments:

@@ -256,17 +256,45 @@ func BenchmarkAblationManagerPlacement(b *testing.B) {
 
 // BenchmarkEmulatorThroughput measures the harness itself: emulated
 // tasks processed per second of host time in the timing-only mode the
-// large sweeps use.
+// large sweeps use. One scratch serves every iteration — the
+// steady-state shape of a sweep worker crunching cell after cell —
+// so with compiled templates the loop allocates only the escaping
+// report (BENCH_2.json records both tasks/sec and allocs/op).
 func BenchmarkEmulatorThroughput(b *testing.B) {
 	cfg, err := platform.ZCU102(3, 2)
 	if err != nil {
 		b.Fatal(err)
 	}
 	trace := mixedWorkload(b, 2)
+	s := core.NewScratch()
 	var tasks int
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		e, _ := core.New(core.Options{Config: cfg, Policy: sched.FRFS{}, Registry: apps.Registry(), Seed: 1, SkipExecution: true})
+		e, _ := core.New(core.Options{Config: cfg, Policy: sched.FRFS{}, Registry: apps.Registry(), Seed: 1, SkipExecution: true, Scratch: s})
+		rep, err := e.Run(trace)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tasks = len(rep.Tasks)
+	}
+	b.ReportMetric(float64(tasks), "tasks/op")
+}
+
+// BenchmarkEmulatorThroughputManyPE is the same measurement on the
+// synthetic 32C+8F configuration — eight times the ZCU102's PE pool —
+// exercising the incremental next-event tracker that keeps the
+// discrete-event loop from degrading with PE count.
+func BenchmarkEmulatorThroughputManyPE(b *testing.B) {
+	cfg, err := platform.Synthetic(32, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	trace := mixedWorkload(b, 8)
+	s := core.NewScratch()
+	var tasks int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, _ := core.New(core.Options{Config: cfg, Policy: sched.FRFS{}, Registry: apps.Registry(), Seed: 1, SkipExecution: true, Scratch: s})
 		rep, err := e.Run(trace)
 		if err != nil {
 			b.Fatal(err)

@@ -1,0 +1,140 @@
+// Command benchreport converts `go test -bench -benchmem` output read
+// from stdin into a machine-readable JSON record, so the repository's
+// performance trajectory is pinned in version control instead of
+// commit messages.
+//
+//	go test -run NONE -bench 'EmulatorThroughput|SweepWorkers' -benchmem . | benchreport > BENCH_2.json
+//
+// For benchmarks that report a tasks/op metric (the emulator
+// throughput benches), the derived tasks_per_sec field is the headline
+// number: emulated tasks processed per second of host time.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Name string  `json:"name"`
+	Iter int64   `json:"iterations"`
+	NsOp float64 `json:"ns_per_op"`
+	// TasksOp is the emulated task count per benchmark iteration
+	// (present only on benches reporting a tasks/op metric).
+	TasksOp float64 `json:"tasks_per_op,omitempty"`
+	// TasksPerSec = TasksOp / (NsOp * 1e-9).
+	TasksPerSec float64 `json:"tasks_per_sec,omitempty"`
+	BytesOp     float64 `json:"bytes_per_op,omitempty"`
+	AllocsOp    float64 `json:"allocs_per_op,omitempty"`
+	// Metrics carries every other custom ReportMetric column verbatim.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the BENCH_N.json document.
+type Report struct {
+	CPU        string      `json:"cpu,omitempty"`
+	GoVersion  string      `json:"go,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	rep, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchreport: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+}
+
+// parse consumes `go test -bench` output. Benchmark lines look like
+//
+//	BenchmarkName-8   20   6705221 ns/op   8172 tasks/op   1063324 B/op   48 allocs/op
+//
+// with tab- or space-separated "<value> <unit>" pairs after the
+// iteration count; header lines (goos/goarch/pkg/cpu) are sniffed for
+// provenance.
+func parse(r io.Reader) (*Report, error) {
+	rep := &Report{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case strings.HasPrefix(line, "go version") || strings.HasPrefix(line, "toolchain:"):
+			rep.GoVersion = line
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iter, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{Name: trimProcSuffix(fields[0]), Iter: iter}
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %q: bad value %q", line, fields[i])
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				b.NsOp = val
+			case "tasks/op":
+				b.TasksOp = val
+			case "B/op":
+				b.BytesOp = val
+			case "allocs/op":
+				b.AllocsOp = val
+			default:
+				if b.Metrics == nil {
+					b.Metrics = map[string]float64{}
+				}
+				b.Metrics[unit] = val
+			}
+		}
+		if b.TasksOp > 0 && b.NsOp > 0 {
+			b.TasksPerSec = b.TasksOp / (b.NsOp * 1e-9)
+		}
+		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// trimProcSuffix drops the -GOMAXPROCS suffix go test appends to
+// benchmark names ("BenchmarkX-8" -> "BenchmarkX"), keeping sub-bench
+// paths intact.
+func trimProcSuffix(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}

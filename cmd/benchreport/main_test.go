@@ -1,0 +1,62 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkEmulatorThroughput 	      20	   6705221 ns/op	      8172 tasks/op	 1063324 B/op	      48 allocs/op
+BenchmarkSweepWorkers/workers=1-8 	       5	  52000000 ns/op	  9000000 B/op	   1200 allocs/op
+BenchmarkSweepSpeedup 	       2	 100000000 ns/op	       2.1 speedup_4w_x
+PASS
+ok  	repro	1.234s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CPU != "Intel(R) Xeon(R) Processor @ 2.10GHz" {
+		t.Fatalf("cpu = %q", rep.CPU)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[0]
+	if b.Name != "BenchmarkEmulatorThroughput" || b.Iter != 20 {
+		t.Fatalf("header wrong: %+v", b)
+	}
+	if b.NsOp != 6705221 || b.TasksOp != 8172 || b.BytesOp != 1063324 || b.AllocsOp != 48 {
+		t.Fatalf("values wrong: %+v", b)
+	}
+	wantRate := 8172 / (6705221e-9)
+	if diff := b.TasksPerSec - wantRate; diff > 1 || diff < -1 {
+		t.Fatalf("tasks_per_sec = %f, want %f", b.TasksPerSec, wantRate)
+	}
+	// Sub-benchmark name keeps its path but drops the -8 suffix.
+	if rep.Benchmarks[1].Name != "BenchmarkSweepWorkers/workers=1" {
+		t.Fatalf("sub-bench name = %q", rep.Benchmarks[1].Name)
+	}
+	if rep.Benchmarks[1].TasksPerSec != 0 {
+		t.Fatal("tasks_per_sec derived without tasks/op")
+	}
+	// Custom metric columns survive verbatim.
+	if rep.Benchmarks[2].Metrics["speedup_4w_x"] != 2.1 {
+		t.Fatalf("custom metric lost: %+v", rep.Benchmarks[2].Metrics)
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	rep, err := parse(strings.NewReader("PASS\nok x 0.1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 0 {
+		t.Fatalf("phantom benchmarks: %+v", rep.Benchmarks)
+	}
+}

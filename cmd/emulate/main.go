@@ -42,9 +42,9 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("emulate", flag.ContinueOnError)
 	var (
 		configPath = fs.String("config", "", "hardware configuration JSON file (overrides -platform/-cores/...)")
-		platName   = fs.String("platform", "zcu102", "platform: zcu102 or odroid")
-		cores      = fs.Int("cores", 3, "ZCU102 A53 cores")
-		ffts       = fs.Int("ffts", 2, "ZCU102 FFT accelerators")
+		platName   = fs.String("platform", "zcu102", "platform: zcu102, odroid or synthetic")
+		cores      = fs.Int("cores", 3, "ZCU102/synthetic CPU cores")
+		ffts       = fs.Int("ffts", 2, "ZCU102/synthetic FFT accelerators")
 		big        = fs.Int("big", 3, "Odroid big cores")
 		little     = fs.Int("little", 2, "Odroid LITTLE cores")
 		schedName  = fs.String("sched", "frfs", "scheduling policy: "+strings.Join(sched.Names(), ", "))
@@ -168,6 +168,8 @@ func buildConfig(path, plat string, cores, ffts, big, little int) (*platform.Con
 		return platform.ZCU102(cores, ffts)
 	case "odroid", "odroid-xu3", "xu3":
 		return platform.OdroidXU3(big, little)
+	case "synthetic", "syn":
+		return platform.Synthetic(cores, ffts)
 	default:
 		return nil, fmt.Errorf("unknown platform %q", plat)
 	}

@@ -7,6 +7,7 @@
 //	experiments -exp fig10      Figure 10 (scheduler comparison)
 //	experiments -exp fig11      Figure 11 (Odroid big.LITTLE sweep)
 //	experiments -exp cs4        Case Study 4 (automatic conversion)
+//	experiments -exp scale      synthetic many-PE scale study (up to 80 PEs)
 //	experiments -exp all        everything
 //
 // The grid experiments fan out over the sweep engine; -workers bounds
@@ -34,7 +35,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		exp     = fs.String("exp", "all", "experiment: table1, table2, fig9, fig10, fig11, cs4, all")
+		exp     = fs.String("exp", "all", "experiment: table1, table2, fig9, fig10, fig11, cs4, scale, all")
 		iters   = fs.Int("iters", 50, "Figure 9 iteration count (paper uses 50)")
 		n       = fs.Int("n", 1024, "Case Study 4 transform length (paper uses 1024)")
 		csvDir  = fs.String("csv", "", "also write plot-ready CSV files into this directory")
@@ -123,6 +124,15 @@ func run(args []string) error {
 				return err
 			}
 			fmt.Print(experiments.RenderCS4(r))
+		case "scale":
+			pts, err := experiments.Scale(nil, 0, sweepOpt("scale"))
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.RenderScale(pts))
+			if err := writeCSV("scale.csv", func(f *os.File) error { return experiments.ScaleCSV(f, pts) }); err != nil {
+				return err
+			}
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -131,7 +141,7 @@ func run(args []string) error {
 	}
 
 	if *exp == "all" {
-		for _, name := range []string{"table1", "table2", "fig9", "fig10", "fig11", "cs4"} {
+		for _, name := range []string{"table1", "table2", "fig9", "fig10", "fig11", "cs4", "scale"} {
 			fmt.Printf("=== %s ===\n", name)
 			if err := runOne(name); err != nil {
 				return fmt.Errorf("%s: %w", name, err)

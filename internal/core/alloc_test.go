@@ -1,0 +1,129 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/vtime"
+)
+
+// steadyWorkload builds a mixed trace of the three small applications
+// (~50 instances, ~370 tasks) with staggered arrivals.
+func steadyWorkload(t *testing.T) []Arrival {
+	t.Helper()
+	rd := apps.RangeDetection(apps.DefaultRangeParams())
+	wtx := apps.WiFiTX(apps.DefaultWiFiParams())
+	wrx := apps.WiFiRX(apps.DefaultWiFiParams())
+	var out []Arrival
+	at := vtime.Time(0)
+	for i := 0; i < 17; i++ {
+		out = append(out,
+			Arrival{Spec: rd, At: at},
+			Arrival{Spec: wtx, At: at + 7_000},
+			Arrival{Spec: wrx, At: at + 13_000},
+		)
+		at += 60_000
+	}
+	return out
+}
+
+// TestRunSteadyStateAllocs pins the hot path's allocation behaviour:
+// once the scratch and template cache are warm, a timing-only Run may
+// allocate only the escaping report (a handful of slice headers plus
+// the record arrays) — nothing proportional to tasks x PEs, and no
+// per-task maps or lookup structures. The bound is deliberately a
+// small constant: the pre-compilation emulator spent ~12 allocations
+// per task (95k for this workload scaled up), so any reintroduced
+// per-task allocation trips this immediately.
+func TestRunSteadyStateAllocs(t *testing.T) {
+	trace := steadyWorkload(t)
+	e, err := New(Options{
+		Config:        zcu(t, 3, 2),
+		Policy:        sched.FRFS{},
+		Registry:      apps.Registry(),
+		Seed:          1,
+		SkipExecution: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tasks int
+	// Warm the scratch slabs, template cache and pooled buffers.
+	for i := 0; i < 2; i++ {
+		rep, err := e.Run(trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tasks = len(rep.Tasks)
+	}
+	if tasks != 17*(6+7+9) {
+		t.Fatalf("workload executed %d tasks", tasks)
+	}
+	avg := testing.AllocsPerRun(10, func() {
+		if _, err := e.Run(trace); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Escaping report: the Report struct, its Tasks/Apps/PEs arrays
+	// (with append growth for Apps/PEs), plus pool slack. 64 is ~4x
+	// the measured steady state — tight enough that any O(tasks) term
+	// (374 tasks here) blows through it.
+	if avg > 64 {
+		t.Fatalf("steady-state Run allocates %.0f objects for %d tasks; hot path has regressed", avg, tasks)
+	}
+}
+
+// TestManyPEConfigDeterministic exercises the next-event tracker and
+// the scheduler hot path on a synthetic 64-PE configuration — far past
+// any COTS board — and checks full determinism across repeated runs.
+func TestManyPEConfigDeterministic(t *testing.T) {
+	cfg, err := platform.Synthetic(48, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := steadyWorkload(t)
+	for _, policyName := range []string{"frfs", "eft", "frfs-rq", "random"} {
+		policy, err := sched.New(policyName, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := New(Options{
+			Config:        cfg,
+			Policy:        policy,
+			Registry:      apps.Registry(),
+			Seed:          3,
+			JitterSigma:   0.03,
+			SkipExecution: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r1, err := e.Run(trace)
+		if err != nil {
+			t.Fatalf("%s: %v", policyName, err)
+		}
+		r2, err := e.Run(trace)
+		if err != nil {
+			t.Fatalf("%s: %v", policyName, err)
+		}
+		if len(r1.Tasks) != len(trace)/3*(6+7+9) {
+			t.Fatalf("%s: %d tasks", policyName, len(r1.Tasks))
+		}
+		compareReports(t, r1, r2)
+		// The tracker must have collected every dispatched task: each
+		// (instance, node) pair appears exactly once.
+		seen := map[[2]string]map[int]bool{}
+		for _, r := range r1.Tasks {
+			k := [2]string{r.App, r.Node}
+			if seen[k] == nil {
+				seen[k] = map[int]bool{}
+			}
+			if seen[k][r.Instance] {
+				t.Fatalf("%s: task %s#%d/%s completed twice", policyName, r.App, r.Instance, r.Node)
+			}
+			seen[k][r.Instance] = true
+		}
+	}
+}

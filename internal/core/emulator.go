@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 	"time"
 
@@ -66,13 +67,18 @@ type Options struct {
 	Timing ExecTiming
 	// SkipExecution disables functional kernel execution, leaving a
 	// pure timing simulation. Used by large scheduler sweeps where
-	// the numeric results are not inspected.
+	// the numeric results are not inspected. Timing-only instances
+	// also skip variable-memory allocation entirely (Mem is nil).
 	SkipExecution bool
 	// Scratch supplies reusable working buffers, letting sweep
 	// workers amortise the emulator's per-run allocations across many
 	// cells. nil allocates a private scratch; a non-nil scratch must
 	// not be used by two emulators concurrently.
 	Scratch *Scratch
+	// Programs supplies the compiled-template cache. nil uses the
+	// process-wide shared cache; set a private cache only for
+	// isolation (tests, generated-spec churn).
+	Programs *ProgramCache
 }
 
 // Arrival pairs an application archetype with its injection timestamp
@@ -89,6 +95,12 @@ type Emulator struct {
 	clock    vtime.Clock
 	jitter   *vtime.Jitter
 	handlers []*ResourceHandler
+	// handlerSlab backs handlers with one allocation.
+	handlerSlab []ResourceHandler
+	// programs memoises this emulator's (config, registry) view of the
+	// template cache per spec, so the per-arrival lookup in Run is one
+	// map probe without cache locking.
+	programs map[*appmodel.AppSpec]*Program
 
 	ready     []*Task
 	instances []*AppInstance
@@ -111,105 +123,86 @@ func New(opts Options) (*Emulator, error) {
 	if opts.Scratch == nil {
 		opts.Scratch = NewScratch()
 	}
-	e := &Emulator{
-		opts:   opts,
-		jitter: vtime.NewJitter(opts.Seed, opts.JitterSigma),
+	if opts.Programs == nil {
+		opts.Programs = sharedPrograms
 	}
-	for _, pe := range opts.Config.PEs {
-		e.handlers = append(e.handlers, &ResourceHandler{PE: pe, status: StatusIdle})
+	e := &Emulator{
+		opts:     opts,
+		jitter:   vtime.NewJitter(opts.Seed, opts.JitterSigma),
+		programs: make(map[*appmodel.AppSpec]*Program),
+	}
+	e.handlerSlab = make([]ResourceHandler, len(opts.Config.PEs))
+	for i, pe := range opts.Config.PEs {
+		h := &e.handlerSlab[i]
+		*h = ResourceHandler{
+			PE:      pe,
+			status:  StatusIdle,
+			idx:     int32(i),
+			typeIdx: int32(opts.Config.TypeIndex(pe.Type.Key)),
+		}
+		e.handlers = append(e.handlers, h)
 	}
 	return e, nil
 }
 
-// instantiate performs the application handler's parse-time work for
-// one workload entry: memory allocation/initialisation and runfunc
-// symbol resolution, failing fast on unknown symbols or unsupported
-// platforms exactly as the paper's parser does.
-func (e *Emulator) instantiate(spec *appmodel.AppSpec, index int, arrival vtime.Time) (*AppInstance, error) {
-	mem, err := appmodel.NewMemory(spec)
+// program resolves the compiled template of one archetype for this
+// emulator's configuration and registry: the application handler's
+// parse-time work (symbol resolution, platform validation), executed
+// at most once per (spec, config, registry) process-wide.
+func (e *Emulator) program(spec *appmodel.AppSpec) (*Program, error) {
+	if p, ok := e.programs[spec]; ok {
+		return p, nil
+	}
+	p, err := e.opts.Programs.Get(spec, e.opts.Config, e.opts.Registry)
 	if err != nil {
 		return nil, err
 	}
-	inst := &AppInstance{
-		Spec:    spec,
-		Index:   index,
-		Arrival: arrival,
-		Mem:     mem,
-		Tasks:   make(map[string]*Task, len(spec.DAG)),
-	}
-	for name, node := range spec.DAG {
-		t := &Task{
-			App:            inst,
-			Name:           name,
-			Spec:           node,
-			funcs:          make(map[string]kernels.Func, len(node.Platforms)),
-			remainingPreds: len(node.Predecessors),
-		}
-		supported := false
-		for _, p := range node.Platforms {
-			so := p.SharedObject
-			if so == "" {
-				so = spec.SharedObject
-			}
-			f, err := e.opts.Registry.Lookup(so, p.RunFunc)
-			if err != nil {
-				return nil, fmt.Errorf("core: %s node %s: %w", spec.AppName, name, err)
-			}
-			t.funcs[p.Name] = f
-			t.choices = append(t.choices, sched.PlatformChoice{Key: p.Name, CostNS: p.CostNS})
-			if e.opts.Config.SupportsKey(p.Name) {
-				supported = true
-			}
-		}
-		if !supported {
-			return nil, fmt.Errorf("core: %s node %s supports no PE present in config %s",
-				spec.AppName, name, e.opts.Config.Name)
-		}
-		inst.Tasks[name] = t
-	}
-	inst.remaining = len(inst.Tasks)
-	return inst, nil
+	e.programs[spec] = p
+	return p, nil
 }
 
 // Run executes the emulation for the given workload and returns the
-// collected statistics. The emulator is single-use: each Run starts a
-// fresh clock and fresh state.
+// collected statistics. Each Run starts a fresh clock and fresh state;
+// the same emulator may Run repeatedly and reuses its buffers.
 func (e *Emulator) Run(arrivals []Arrival) (*stats.Report, error) {
+	s := e.opts.Scratch
 	e.clock.Reset()
-	e.ready = e.opts.Scratch.ready[:0]
+	e.ready = s.ready[:0]
 	e.instances = nil
 	e.pendingMonitorOps = 0
-	// Re-seed so repeated Runs of one emulator are identical.
-	e.jitter = vtime.NewJitter(e.opts.Seed, e.opts.JitterSigma)
-	for _, h := range e.handlers {
-		h.status = StatusIdle
-		h.current = nil
-		h.busyUntil = 0
-		h.queue = nil
-		h.busyNS = 0
-		h.tasks = 0
+	// Re-seed so repeated Runs of one emulator are identical; stateful
+	// policies (RANDOM's generator) reset the same way.
+	e.jitter.Reseed(e.opts.Seed, e.opts.JitterSigma)
+	if r, ok := e.opts.Policy.(sched.Resettable); ok {
+		r.Reset()
 	}
+	for _, h := range e.handlers {
+		h.resetForRun()
+	}
+	s.events = s.events[:0]
 	e.report = &stats.Report{
 		ConfigName: e.opts.Config.Name,
 		PolicyName: e.opts.Policy.Name(),
-		Tasks:      e.opts.Scratch.taskRecords(),
+		Tasks:      s.taskRecords(),
 	}
 	// Hand the ready backing array and the realised task count back to
-	// the scratch on every exit — error paths included, since a pooled
-	// scratch must never pin a dead emulation's tasks or instance
-	// memory past the Run that produced them.
+	// the scratch on every exit — error paths included — and clear
+	// everything that must not outlive this Run (see Scratch.release).
 	defer func() {
-		e.opts.Scratch.ready = e.ready[:0]
-		e.opts.Scratch.noteTaskCount(len(e.report.Tasks))
-		e.opts.Scratch.release()
+		s.ready = e.ready[:0]
+		s.noteTaskCount(len(e.report.Tasks))
+		s.release()
 	}()
 
-	// Initialisation phase: instantiate every workload entry (memory
-	// allocation + symbol resolution), then sort the workload queue by
-	// arrival time. The sorted copy lives in scratch; it is consumed
-	// during instantiation and never escapes.
-	sorted := e.opts.Scratch.sortedArrivals(arrivals)
+	// Initialisation phase, split compile/instantiate: resolve every
+	// workload entry's compiled template (cached parse-time work),
+	// then stamp instances into one contiguous task slab. The sorted
+	// copy lives in scratch; it is consumed during instantiation and
+	// never escapes.
+	sorted := s.sortedArrivals(arrivals)
 	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].At < sorted[j].At })
+	progs := s.programSlots(len(sorted))
+	totalTasks := 0
 	for i, a := range sorted {
 		if a.Spec == nil {
 			return nil, fmt.Errorf("core: workload entry %d has no application", i)
@@ -217,12 +210,51 @@ func (e *Emulator) Run(arrivals []Arrival) (*stats.Report, error) {
 		if a.At < 0 {
 			return nil, fmt.Errorf("core: workload entry %d has negative arrival %v", i, a.At)
 		}
-		inst, err := e.instantiate(a.Spec, i, a.At)
+		p, err := e.program(a.Spec)
 		if err != nil {
 			return nil, err
 		}
-		e.instances = append(e.instances, inst)
+		progs[i] = p
+		totalTasks += len(p.nodes)
 	}
+	taskSlab := s.taskSlots(totalTasks)
+	instSlab, instPtrs := s.instanceSlots(len(sorted))
+	off := 0
+	for i, a := range sorted {
+		prog := progs[i]
+		n := len(prog.nodes)
+		slab := taskSlab[off : off+n : off+n]
+		off += n
+		inst := &instSlab[i]
+		*inst = AppInstance{
+			Spec:      a.Spec,
+			Index:     i,
+			Arrival:   a.At,
+			Tasks:     slab,
+			prog:      prog,
+			remaining: n,
+		}
+		if !e.opts.SkipExecution {
+			// Memory allocation/initialisation is per-instance work and
+			// cannot be compiled away; timing-only runs skip it.
+			mem, err := appmodel.NewMemory(a.Spec)
+			if err != nil {
+				return nil, err
+			}
+			inst.Mem = mem
+		}
+		for id := range prog.nodes {
+			nd := &prog.nodes[id]
+			slab[id] = Task{
+				App:            inst,
+				node:           nd,
+				choice:         -1,
+				remainingPreds: nd.preds,
+			}
+		}
+		instPtrs[i] = inst
+	}
+	e.instances = instPtrs
 
 	if err := e.loop(); err != nil {
 		return nil, err
@@ -241,6 +273,73 @@ func (e *Emulator) Run(arrivals []Arrival) (*stats.Report, error) {
 	return e.report, nil
 }
 
+// --- completion-event tracker ------------------------------------------------
+
+// pushEvent records that handler h completes its running task at `at`.
+// The heap is exact: every StatusRun handler has exactly one pending
+// event (dispatch pushes, the monitor pass pops), so its minimum IS
+// the next completion instant and its length the running-PE count.
+func (e *Emulator) pushEvent(at vtime.Time, h int32) {
+	s := e.opts.Scratch
+	s.events = append(s.events, peEvent{at: at, h: h})
+	// Sift up. Ties break on handler index for full determinism.
+	ev := s.events
+	i := len(ev) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if ev[parent].at < ev[i].at || (ev[parent].at == ev[i].at && ev[parent].h < ev[i].h) {
+			break
+		}
+		ev[parent], ev[i] = ev[i], ev[parent]
+		i = parent
+	}
+}
+
+// peekEvent returns the earliest pending completion instant.
+func (e *Emulator) peekEvent() (vtime.Time, bool) {
+	ev := e.opts.Scratch.events
+	if len(ev) == 0 {
+		return 0, false
+	}
+	return ev[0].at, true
+}
+
+// popEventsDue removes every completion due at or before now and
+// returns the handler indices in ascending order — the same order the
+// reference workload manager's status scan observes them in.
+func (e *Emulator) popEventsDue(now vtime.Time) []int32 {
+	s := e.opts.Scratch
+	due := s.due[:0]
+	for len(s.events) > 0 && s.events[0].at <= now {
+		due = append(due, s.events[0].h)
+		// Standard binary-heap pop with sift-down.
+		ev := s.events
+		n := len(ev) - 1
+		ev[0] = ev[n]
+		s.events = ev[:n]
+		ev = s.events
+		i := 0
+		for {
+			l, r := 2*i+1, 2*i+2
+			min := i
+			if l < n && (ev[l].at < ev[min].at || (ev[l].at == ev[min].at && ev[l].h < ev[min].h)) {
+				min = l
+			}
+			if r < n && (ev[r].at < ev[min].at || (ev[r].at == ev[min].at && ev[r].h < ev[min].h)) {
+				min = r
+			}
+			if min == i {
+				break
+			}
+			ev[i], ev[min] = ev[min], ev[i]
+			i = min
+		}
+	}
+	slices.Sort(due)
+	s.due = due
+	return due
+}
+
 // loop is the workload manager's execution flow (Figure 3) as a
 // discrete-event loop.
 func (e *Emulator) loop() error {
@@ -254,8 +353,8 @@ func (e *Emulator) loop() error {
 			inst := e.instances[next]
 			next++
 			inst.injected = now
-			for _, head := range inst.Spec.Heads() {
-				t := inst.Tasks[head]
+			for _, hid := range inst.prog.heads {
+				t := &inst.Tasks[hid]
 				t.readyAt = now
 				e.ready = append(e.ready, t)
 			}
@@ -263,28 +362,25 @@ func (e *Emulator) loop() error {
 		}
 
 		// Monitor running PEs; collect completions and update the
-		// ready list with newly unblocked tasks.
+		// ready list with newly unblocked tasks. The event tracker
+		// yields exactly the handlers whose tasks are due, in handler
+		// order — the order the reference implementation's full status
+		// scan observes them in.
 		completions := 0
-		for _, h := range e.handlers {
-			if h.status == StatusRun && h.busyUntil <= now {
-				h.status = StatusComplete
-			}
-			if h.status == StatusComplete {
-				e.completeTask(h, now)
-				completions++
-				// Reservation-queue PEs pull their next task locally,
-				// without waiting for a scheduler invocation — the
-				// low-overhead dispatch the paper's future work
-				// targets.
-				if len(h.queue) > 0 {
-					nextTask := h.queue[0]
-					h.queue = h.queue[1:]
-					if err := e.dispatch(nextTask, h, now); err != nil {
-						return err
-					}
-				} else {
-					h.status = StatusIdle
+		for _, hi := range e.popEventsDue(now) {
+			h := e.handlers[hi]
+			h.status = StatusComplete
+			e.completeTask(h, now)
+			completions++
+			// Reservation-queue PEs pull their next task locally,
+			// without waiting for a scheduler invocation — the
+			// low-overhead dispatch the paper's future work targets.
+			if h.queueLen() > 0 {
+				if err := e.dispatch(h.dequeue(), h, now); err != nil {
+					return err
 				}
+			} else {
+				h.status = StatusIdle
 			}
 		}
 		if completions > 0 {
@@ -312,18 +408,17 @@ func (e *Emulator) loop() error {
 		}
 		dirty = false
 
-		// Advance the clock to the next event.
+		// Advance the clock to the next event: the earlier of the next
+		// arrival and the tracked next completion.
 		nextEvent := vtime.Time(math.MaxInt64)
 		if next < len(e.instances) {
 			nextEvent = e.instances[next].Arrival
 		}
 		anyRunning := false
-		for _, h := range e.handlers {
-			if h.status == StatusRun {
-				anyRunning = true
-				if h.busyUntil < nextEvent {
-					nextEvent = h.busyUntil
-				}
+		if at, ok := e.peekEvent(); ok {
+			anyRunning = true
+			if at < nextEvent {
+				nextEvent = at
 			}
 		}
 		if !anyRunning && next >= len(e.instances) {
@@ -383,11 +478,13 @@ func (e *Emulator) schedule() (bool, error) {
 	dispatchAt := e.clock.Now()
 
 	if len(res.Assignments) == 0 {
+		sched.ReleaseResult(&res)
 		return false, nil
 	}
-	// Validate and apply the batch.
-	taken := make(map[int]bool, len(res.Assignments))
-	remove := make([]bool, len(e.ready))
+	// Validate and apply the batch. The masks live in scratch; they
+	// are cleared on checkout, not retained.
+	taken := s.takenMask(len(e.handlers))
+	remove := s.removeMask(len(e.ready))
 	for _, a := range res.Assignments {
 		if a.TaskIndex < 0 || a.TaskIndex >= len(e.ready) || a.PEIndex < 0 || a.PEIndex >= len(e.handlers) {
 			return false, fmt.Errorf("core: policy %s produced out-of-range assignment %+v", e.opts.Policy.Name(), a)
@@ -397,7 +494,7 @@ func (e *Emulator) schedule() (bool, error) {
 		}
 		h := e.handlers[a.PEIndex]
 		t := e.ready[a.TaskIndex]
-		if _, ok := t.Spec.PlatformFor(h.PE.Type.Key); !ok {
+		if t.node.choiceByType[h.typeIdx] < 0 {
 			return false, fmt.Errorf("core: policy %s sent %s to unsupported PE %s",
 				e.opts.Policy.Name(), t.Label(), h.PE.Label())
 		}
@@ -405,12 +502,12 @@ func (e *Emulator) schedule() (bool, error) {
 			if !e.opts.Policy.UsesQueues() {
 				return false, fmt.Errorf("core: policy %s assigned busy PE %s", e.opts.Policy.Name(), h.PE.Label())
 			}
-			h.queue = append(h.queue, t)
+			h.enqueue(t)
 		} else if taken[a.PEIndex] {
 			if !e.opts.Policy.UsesQueues() {
 				return false, fmt.Errorf("core: policy %s double-booked PE %s", e.opts.Policy.Name(), h.PE.Label())
 			}
-			h.queue = append(h.queue, t)
+			h.enqueue(t)
 		} else {
 			if err := e.dispatch(t, h, dispatchAt); err != nil {
 				return false, err
@@ -426,6 +523,10 @@ func (e *Emulator) schedule() (bool, error) {
 		}
 	}
 	e.ready = kept
+	// The batch is fully applied; recycle its buffer. Error paths above
+	// leave the buffer to the garbage collector — the emulation is
+	// aborting anyway.
+	sched.ReleaseResult(&res)
 	return true, nil
 }
 
@@ -434,16 +535,16 @@ func (e *Emulator) schedule() (bool, error) {
 // (Figure 4): direct execution on cores, DMA-in / compute / DMA-out on
 // accelerators with host-core contention.
 func (e *Emulator) dispatch(t *Task, h *ResourceHandler, now vtime.Time) error {
-	key := h.PE.Type.Key
-	plat, ok := t.Spec.PlatformFor(key)
-	if !ok {
+	ci := t.node.choiceByType[h.typeIdx]
+	if ci < 0 {
 		return fmt.Errorf("core: dispatch of %s to unsupported PE %s", t.Label(), h.PE.Label())
 	}
+	plat := &t.node.spec.Platforms[ci]
 
 	var measuredNS int64
 	if !e.opts.SkipExecution {
-		f := t.funcs[key]
-		ctx := &kernels.Context{Mem: t.App.Mem, Args: t.Spec.Arguments, Node: t.Name}
+		f := t.node.funcs[ci]
+		ctx := &kernels.Context{Mem: t.App.Mem, Args: t.node.spec.Arguments, Node: t.node.name}
 		start := time.Now()
 		if err := f(ctx); err != nil {
 			return fmt.Errorf("core: task %s failed on %s: %w", t.Label(), h.PE.Label(), err)
@@ -452,13 +553,14 @@ func (e *Emulator) dispatch(t *Task, h *ResourceHandler, now vtime.Time) error {
 	}
 
 	dur, busy := e.taskDuration(t, h, plat, measuredNS)
-	t.assignedKey = key
+	t.choice = ci
 	t.busyDur = busy
 	t.start = now
 	t.end = now.Add(dur)
 	h.current = t
 	h.status = StatusRun
 	h.busyUntil = t.end
+	e.pushEvent(t.end, h.idx)
 	return nil
 }
 
@@ -469,7 +571,7 @@ func (e *Emulator) dispatch(t *Task, h *ResourceHandler, now vtime.Time) error {
 // host-side DMA setup and manager-thread contention leave the IP idle,
 // which is why the paper's Figure 9b shows FFT accelerator utilisation
 // far below CPU utilisation.
-func (e *Emulator) taskDuration(t *Task, h *ResourceHandler, plat appmodel.PlatformSpec, measuredNS int64) (total, busy vtime.Duration) {
+func (e *Emulator) taskDuration(t *Task, h *ResourceHandler, plat *appmodel.PlatformSpec, measuredNS int64) (total, busy vtime.Duration) {
 	var base, used float64
 	switch h.PE.Type.Class {
 	case platform.CPU:
@@ -487,7 +589,7 @@ func (e *Emulator) taskDuration(t *Task, h *ResourceHandler, plat appmodel.Platf
 		if e.opts.Timing == Measured && measuredNS > 0 {
 			compute = float64(measuredNS) * measuredAccelComputeFactor
 		}
-		bytes := t.App.Spec.DataBytes(t.Name)
+		bytes := t.node.dataBytes
 		xfer := e.opts.Config.DMA.TransferNS(bytes, h.PE.Share) * 2
 		base = compute + xfer
 		stream := 2 * float64(bytes) * e.opts.Config.DMA.NSPerByte
@@ -517,10 +619,10 @@ func (e *Emulator) completeTask(h *ResourceHandler, now vtime.Time) {
 	e.report.Tasks = append(e.report.Tasks, stats.TaskRecord{
 		App:      t.App.Spec.AppName,
 		Instance: t.App.Index,
-		Node:     t.Name,
+		Node:     t.node.name,
 		PEID:     h.PE.ID,
 		PELabel:  h.PE.Label(),
-		Platform: t.assignedKey,
+		Platform: t.assignedKey(),
 		Ready:    t.readyAt,
 		Start:    t.start,
 		End:      t.end,
@@ -539,8 +641,8 @@ func (e *Emulator) completeTask(h *ResourceHandler, now vtime.Time) {
 			Tasks:    len(inst.Tasks),
 		})
 	}
-	for _, succ := range t.Spec.Successors {
-		st := inst.Tasks[succ]
+	for _, sid := range t.node.succs {
+		st := &inst.Tasks[sid]
 		st.remainingPreds--
 		if st.remainingPreds == 0 {
 			st.readyAt = now
@@ -554,4 +656,7 @@ func (e *Emulator) Handlers() []*ResourceHandler { return e.handlers }
 
 // Instances exposes the instantiated applications of the last Run so
 // callers can inspect final variable memory (functional verification).
+// The instances are backed by the emulator's Scratch: they stay valid
+// until the next Run against the same Scratch (for the default private
+// scratch, until this emulator's next Run).
 func (e *Emulator) Instances() []*AppInstance { return e.instances }

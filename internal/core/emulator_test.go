@@ -456,9 +456,27 @@ func TestSkipExecutionTimingOnly(t *testing.T) {
 	if len(report.Tasks) != 6 || report.Makespan <= 0 {
 		t.Fatalf("timing-only run incomplete: %d tasks", len(report.Tasks))
 	}
-	// Outputs untouched: the lag variable stays zero.
-	if e.instances[0].Mem.MustLookup("lag").Int32() != 0 {
-		t.Fatal("SkipExecution still executed kernels")
+	// Timing-only instances never allocate variable memory, so kernels
+	// cannot have executed.
+	if e.instances[0].Mem != nil {
+		t.Fatal("SkipExecution still allocated instance memory")
+	}
+	// Timing must match a functional run exactly: execution and the
+	// timing model are independent.
+	ef, err := New(Options{
+		Config:   zcu(t, 1, 0),
+		Policy:   sched.FRFS{},
+		Registry: apps.Registry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := ef.Run([]Arrival{{Spec: spec, At: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Makespan != report.Makespan {
+		t.Fatalf("timing-only makespan %v != functional %v", report.Makespan, full.Makespan)
 	}
 }
 

@@ -17,7 +17,6 @@ import (
 	"fmt"
 
 	"repro/internal/appmodel"
-	"repro/internal/kernels"
 	"repro/internal/platform"
 	"repro/internal/sched"
 	"repro/internal/vtime"
@@ -52,35 +51,49 @@ func (s Status) String() string {
 
 // Task is the runtime state of one DAG node inside one application
 // instance: "a DAG node data structure with all the information
-// necessary for scheduling, dispatch, and measurement".
+// necessary for scheduling, dispatch, and measurement". Tasks are
+// instantiated as one contiguous slab per application instance,
+// indexed by the compiled template's dense node IDs; everything
+// name-, symbol- or platform-shaped lives on the shared *progNode.
 type Task struct {
-	App  *AppInstance
-	Name string
-	Spec appmodel.NodeSpec
+	App *AppInstance
 
-	// choices caches the sched.PlatformChoice view.
-	choices []sched.PlatformChoice
-	// funcs maps platform key -> resolved kernel, bound at parse time
-	// exactly like the paper's dlsym pass.
-	funcs map[string]kernels.Func
+	// node is the compiled template node this task instantiates; the
+	// task's index in App.Tasks is the node's dense ID.
+	node *progNode
+	// choice indexes node.choices with the platform entry the task was
+	// dispatched on; -1 until dispatch.
+	choice int32
 
-	remainingPreds int
+	remainingPreds int32
 	readyAt        vtime.Time
 	start, end     vtime.Time
 	busyDur        vtime.Duration
-	assignedKey    string
 }
+
+// Name is the DAG node name of the task.
+func (t *Task) Name() string { return t.node.name }
 
 // Label implements sched.Task.
 func (t *Task) Label() string {
-	return fmt.Sprintf("%s#%d/%s", t.App.Spec.AppName, t.App.Index, t.Name)
+	return fmt.Sprintf("%s#%d/%s", t.App.Spec.AppName, t.App.Index, t.node.name)
 }
 
-// Choices implements sched.Task.
-func (t *Task) Choices() []sched.PlatformChoice { return t.choices }
+// Choices implements sched.Task; the slice is the compiled template's
+// and must not be mutated.
+func (t *Task) Choices() []sched.PlatformChoice { return t.node.choices }
 
 // ReadyAt implements sched.Task.
 func (t *Task) ReadyAt() vtime.Time { return t.readyAt }
+
+// assignedKey is the platform key the task was dispatched on ("" when
+// not yet dispatched).
+func (t *Task) assignedKey() string {
+	if t.choice < 0 {
+		return ""
+	}
+	return t.node.choices[t.choice].Key
+}
 
 // AppInstance is one injected copy of an application archetype with
 // its own initialised variable memory.
@@ -89,14 +102,25 @@ type AppInstance struct {
 	Index   int
 	Arrival vtime.Time
 
-	Mem      *appmodel.Memory
-	Tasks    map[string]*Task
+	// Mem is the instance's variable store. It is nil in SkipExecution
+	// (timing-only) runs, where no kernel ever reads it.
+	Mem *appmodel.Memory
+	// Tasks is the instance's task slab, indexed by the compiled
+	// template's dense node IDs (Program.NodeID). The backing array is
+	// owned by the emulator's Scratch and stays valid until the next
+	// Run on the same Scratch.
+	Tasks []Task
+
+	prog     *Program
 	injected vtime.Time
 	// remaining counts unfinished tasks; the instance completes when
 	// it reaches zero.
 	remaining int
 	done      vtime.Time
 }
+
+// Program exposes the compiled template the instance was stamped from.
+func (a *AppInstance) Program() *Program { return a.prog }
 
 // ResourceHandler is the per-PE object coordinating the workload
 // manager with that PE's resource manager thread: availability status,
@@ -105,14 +129,54 @@ type ResourceHandler struct {
 	PE     *platform.PE
 	status Status
 
+	// idx is the handler's index in the emulator's handler table, and
+	// typeIdx the configuration's dense type index of the PE — both
+	// fixed at emulator construction.
+	idx     int32
+	typeIdx int32
+
 	current   *Task
 	busyUntil vtime.Time
 	// queue is the reservation queue used by queue-capable policies
-	// (the paper's future-work extension).
+	// (the paper's future-work extension). Dequeueing advances qhead
+	// instead of reslicing, so the backing array survives Run after
+	// Run.
 	queue []*Task
+	qhead int
 
 	busyNS int64
 	tasks  int
+}
+
+// enqueue appends a task to the reservation queue.
+func (h *ResourceHandler) enqueue(t *Task) { h.queue = append(h.queue, t) }
+
+// dequeue pops the oldest reserved task; the queue must be non-empty.
+func (h *ResourceHandler) dequeue() *Task {
+	t := h.queue[h.qhead]
+	h.queue[h.qhead] = nil // drop the slab reference as soon as it leaves the queue
+	h.qhead++
+	if h.qhead == len(h.queue) {
+		h.queue = h.queue[:0]
+		h.qhead = 0
+	}
+	return t
+}
+
+// queueLen reports the reservation-queue depth.
+func (h *ResourceHandler) queueLen() int { return len(h.queue) - h.qhead }
+
+// resetForRun restores the handler's start-of-emulation state while
+// keeping the queue's backing array for reuse.
+func (h *ResourceHandler) resetForRun() {
+	h.status = StatusIdle
+	h.current = nil
+	h.busyUntil = 0
+	clear(h.queue[:cap(h.queue)])
+	h.queue = h.queue[:0]
+	h.qhead = 0
+	h.busyNS = 0
+	h.tasks = 0
 }
 
 // ID implements sched.PE.
@@ -120,6 +184,9 @@ func (h *ResourceHandler) ID() int { return h.PE.ID }
 
 // TypeKey implements sched.PE.
 func (h *ResourceHandler) TypeKey() string { return h.PE.Type.Key }
+
+// TypeID implements sched.PE.
+func (h *ResourceHandler) TypeID() int { return int(h.typeIdx) }
 
 // SpeedFactor implements sched.PE.
 func (h *ResourceHandler) SpeedFactor() float64 { return h.PE.Type.SpeedFactor }
@@ -136,7 +203,7 @@ func (h *ResourceHandler) Idle() bool { return h.status == StatusIdle }
 func (h *ResourceHandler) AvailableAt() vtime.Time { return h.busyUntil }
 
 // QueueLen implements sched.PE.
-func (h *ResourceHandler) QueueLen() int { return len(h.queue) }
+func (h *ResourceHandler) QueueLen() int { return h.queueLen() }
 
 // Status exposes the handshake state for tests and tooling.
 func (h *ResourceHandler) Status() Status { return h.status }

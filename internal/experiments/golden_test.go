@@ -65,6 +65,34 @@ func TestFig9ParallelGolden(t *testing.T) {
 	}
 }
 
+func TestScaleParallelGolden(t *testing.T) {
+	// The many-PE synthetic grid, reduced to one rate and the two
+	// smallest configurations. Every cell injects the same archetypes,
+	// so this also drives the shared compiled-template cache from
+	// eight workers at once.
+	seq, err := Scale([]float64{8}, 2, sweep.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Scale([]float64{8}, 2, sweep.Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := RenderScale(seq), RenderScale(par); a != b {
+		t.Fatalf("parallel rendering diverged:\n--- workers=1\n%s--- workers=8\n%s", a, b)
+	}
+	var bufSeq, bufPar bytes.Buffer
+	if err := ScaleCSV(&bufSeq, seq); err != nil {
+		t.Fatal(err)
+	}
+	if err := ScaleCSV(&bufPar, par); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bufSeq.Bytes(), bufPar.Bytes()) {
+		t.Fatal("parallel scale CSV diverged")
+	}
+}
+
 func TestTableIParallelGolden(t *testing.T) {
 	seq, err := TableI(sweep.Options{Workers: 1})
 	if err != nil {

@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/sweep"
+	"repro/internal/vtime"
+	"repro/internal/workload"
+)
+
+// The scale study goes beyond the paper's COTS boards: synthetic
+// DSSoC configurations up to 64 CPU cores + 16 FFT accelerators under
+// injection rates several times Table II's densest row. It exists to
+// answer the question the paper's future work raises — how do the
+// shipped heuristics and the reservation-queue extension behave when
+// the PE pool is an order of magnitude larger than the overlay was
+// designed for? — and doubles as the emulator's scalability workout:
+// a full run emulates hundreds of thousands of tasks per cell, which
+// is only tractable because instantiation is compiled (one slab per
+// arrival) and the event loop tracks completions incrementally.
+
+// ScaleConfigs are the synthetic testbeds of the study, from the
+// ZCU102's class up to 80 PEs.
+var ScaleConfigs = [][2]int{
+	{8, 2}, {16, 4}, {32, 8}, {64, 16},
+}
+
+// ScaleDefaultRates spans injection rates well past Table II's densest
+// row (6.92 jobs/ms).
+var ScaleDefaultRates = []float64{8, 16, 32}
+
+// ScalePolicies compares plain FRFS against its reservation-queue
+// extension, the pairing the paper's future work singles out for
+// larger platforms.
+var ScalePolicies = []string{"frfs", "frfs-rq"}
+
+// ScalePoint is one (configuration, policy, rate) cell of the study.
+type ScalePoint struct {
+	Config        string
+	PEs           int
+	Policy        string
+	RateJobsPerMS float64
+	ExecTime      vtime.Duration
+	AvgOverheadUS float64
+	Tasks         int
+	// TasksPerMS is the workload throughput in emulated time: tasks
+	// completed per millisecond of virtual makespan.
+	TasksPerMS float64
+}
+
+// Scale sweeps the synthetic many-PE configurations. rates defaults to
+// ScaleDefaultRates; configs limits how many ScaleConfigs entries run
+// (0 = all).
+func Scale(rates []float64, configs int, opt sweep.Options) ([]ScalePoint, error) {
+	if len(rates) == 0 {
+		rates = ScaleDefaultRates
+	}
+	cfgList := ScaleConfigs
+	if configs > 0 && configs < len(cfgList) {
+		cfgList = cfgList[:configs]
+	}
+	specs := apps.Specs()
+	var cells []sweep.Cell[ScalePoint]
+	for _, rate := range rates {
+		// One trace per rate, shared read-only by every configuration
+		// and policy, as in Figure 11.
+		trace, err := workload.RateTrace(specs, rate, workload.TableIIFrame)
+		if err != nil {
+			return nil, err
+		}
+		realised := workload.RateJobsPerMS(trace, workload.TableIIFrame)
+		for _, cf := range cfgList {
+			cfg, err := platform.Synthetic(cf[0], cf[1])
+			if err != nil {
+				return nil, err
+			}
+			for _, policyName := range ScalePolicies {
+				cells = append(cells, sweep.Cell[ScalePoint]{
+					Label: fmt.Sprintf("scale %s/%s@%.0f", cfg.Name, policyName, rate),
+					Run: func(s *core.Scratch) (ScalePoint, error) {
+						policy, err := sched.New(policyName, 17)
+						if err != nil {
+							return ScalePoint{}, err
+						}
+						em := sweep.Emulation{
+							Config:        cfg,
+							Policy:        policy,
+							Registry:      apps.Registry(),
+							Arrivals:      trace,
+							Seed:          17,
+							SkipExecution: true,
+						}
+						report, err := em.Run(s)
+						if err != nil {
+							return ScalePoint{}, fmt.Errorf("experiments: scale %s/%s@%.0f: %w", cfg.Name, policyName, rate, err)
+						}
+						p := ScalePoint{
+							Config:        cfg.Name,
+							PEs:           len(cfg.PEs),
+							Policy:        policyName,
+							RateJobsPerMS: realised,
+							ExecTime:      report.Makespan,
+							AvgOverheadUS: report.Sched.AvgOverheadNS() / 1e3,
+							Tasks:         len(report.Tasks),
+						}
+						if ms := report.Makespan.Milliseconds(); ms > 0 {
+							p.TasksPerMS = float64(p.Tasks) / ms
+						}
+						return p, nil
+					},
+				})
+			}
+		}
+	}
+	return sweep.Run(cells, labelled(opt, "scale"))
+}
+
+// RenderScale formats the study grouped by rate.
+func RenderScale(points []ScalePoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Scale study: synthetic many-PE configurations (timing-only)\n")
+	fmt.Fprintf(&b, "%-12s %5s %-8s %12s %15s %18s %14s\n",
+		"Config", "PEs", "Policy", "Rate (j/ms)", "Exec time (s)", "Avg sched ovh (us)", "Tasks/ms")
+	var lastRate float64 = -1
+	for _, p := range points {
+		if p.RateJobsPerMS != lastRate {
+			if lastRate >= 0 {
+				fmt.Fprintln(&b)
+			}
+			lastRate = p.RateJobsPerMS
+		}
+		fmt.Fprintf(&b, "%-12s %5d %-8s %12.2f %15.3f %18.2f %14.1f\n",
+			p.Config, p.PEs, p.Policy, p.RateJobsPerMS, p.ExecTime.Seconds(), p.AvgOverheadUS, p.TasksPerMS)
+	}
+	return b.String()
+}
+
+// ScaleCSV writes config,pes,policy,rate,exec_s,ovh_us,tasks,tasks_per_ms rows.
+func ScaleCSV(w io.Writer, points []ScalePoint) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"config", "pes", "policy", "rate_jobs_per_ms", "exec_s", "avg_overhead_us", "tasks", "tasks_per_ms",
+	}); err != nil {
+		return err
+	}
+	for _, p := range points {
+		if err := cw.Write([]string{
+			p.Config,
+			fmt.Sprintf("%d", p.PEs),
+			p.Policy,
+			fmt.Sprintf("%.2f", p.RateJobsPerMS),
+			fmt.Sprintf("%.6f", p.ExecTime.Seconds()),
+			fmt.Sprintf("%.2f", p.AvgOverheadUS),
+			fmt.Sprintf("%d", p.Tasks),
+			fmt.Sprintf("%.2f", p.TasksPerMS),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -15,7 +15,8 @@ type Config struct {
 	// Name is the paper-style configuration label, e.g. "2C+1F" or
 	// "3BIG+2LTL".
 	Name string
-	// Platform identifies the COTS board ("zcu102", "odroid-xu3").
+	// Platform identifies the COTS board ("zcu102", "odroid-xu3") or
+	// the synthetic many-PE testbed ("synthetic").
 	Platform string
 	// PEs is the instantiated resource pool subset.
 	PEs []*PE
@@ -24,6 +25,82 @@ type Config struct {
 	Overlay *PEType
 	// DMA models DDR<->accelerator transfers on this board.
 	DMA DMAModel
+
+	// typeKeys/typeIdx intern the distinct PE type keys of this
+	// configuration into dense indices (in first-appearance order over
+	// PEs). The emulation core compiles application platform choices
+	// against these indices so the scheduling hot path compares
+	// integers instead of strings. Filled by finalize(); configurations
+	// built by the package constructors always carry them, and
+	// TypeIndex falls back to a linear scan for hand-built Configs.
+	typeKeys []string
+	typeIdx  map[string]int
+}
+
+// computeTypeKeys derives the configuration's distinct PE type keys in
+// first-appearance order over PEs, with the reverse index. This is THE
+// definition of the interning order: finalize caches its result, and
+// every fallback for hand-built Configs recomputes through it, so the
+// compiled choice TypeIDs and the resource handlers' type indices can
+// never disagree.
+func (c *Config) computeTypeKeys() ([]string, map[string]int) {
+	keys := make([]string, 0, 2)
+	idx := make(map[string]int, 2)
+	for _, pe := range c.PEs {
+		if _, ok := idx[pe.Type.Key]; !ok {
+			idx[pe.Type.Key] = len(keys)
+			keys = append(keys, pe.Type.Key)
+		}
+	}
+	return keys, idx
+}
+
+// finalize interns the configuration's PE type keys and caches the PE
+// labels. Constructors call it once the PE list is complete; after
+// that the Config must be treated as immutable (configs are shared
+// read-only across sweep workers).
+func (c *Config) finalize() {
+	c.typeKeys, c.typeIdx = c.computeTypeKeys()
+	for _, pe := range c.PEs {
+		pe.label = pe.Label()
+	}
+}
+
+// TypeIndex returns the dense index of a PE type key within this
+// configuration, or -1 when no PE of that type is present. Indices are
+// assigned in first-appearance order over PEs and are stable for the
+// lifetime of the Config.
+func (c *Config) TypeIndex(key string) int {
+	idx := c.typeIdx
+	if idx == nil {
+		// Hand-built Config without finalize(): derive without caching
+		// so concurrent readers stay safe.
+		_, idx = c.computeTypeKeys()
+	}
+	if i, ok := idx[key]; ok {
+		return i
+	}
+	return -1
+}
+
+// NumTypes reports how many distinct PE type keys the configuration
+// uses.
+func (c *Config) NumTypes() int {
+	if c.typeIdx != nil {
+		return len(c.typeKeys)
+	}
+	keys, _ := c.computeTypeKeys()
+	return len(keys)
+}
+
+// TypeKeys lists the interned type keys in index order. The returned
+// slice must not be mutated.
+func (c *Config) TypeKeys() []string {
+	if c.typeIdx != nil {
+		return c.typeKeys
+	}
+	keys, _ := c.computeTypeKeys()
+	return keys
 }
 
 // ZCU102 board limits: a quad-core A53 (one core reserved as the
@@ -79,6 +156,53 @@ func ZCU102(nCores, nFFT int) (*Config, error) {
 		cfg.PEs = append(cfg.PEs, &PE{ID: id, Type: FFTAccel, HostCore: hosts[i], Share: occupancy[hosts[i]]})
 		id++
 	}
+	cfg.finalize()
+	return cfg, nil
+}
+
+// SyntheticMaxPEs bounds the synthetic testbed's resource pool per PE
+// class. It exists to catch typos, not hardware limits.
+const SyntheticMaxPEs = 1024
+
+// Synthetic builds a many-PE DSSoC configuration that no COTS board
+// provides: nCores A53-class cores plus nFFT FFT accelerators, with
+// accelerator manager threads placed round-robin across the cores. As
+// everywhere else, Share counts co-located *manager* threads (the
+// contention Figure 9's 2C+2F anomaly measures): with nFFT <= nCores
+// each manager runs alone on its host core (Share=1, like the
+// ZCU102's 3C+1F placement), and managers start contending once
+// accelerators outnumber cores. Synthetic exists to exercise
+// scheduling and emulator scalability well beyond the ZCU102's 3C+2F
+// — the 32- and 64-PE sweeps of the scale study — while reusing the
+// ZCU102's calibrated timing model so results stay comparable.
+func Synthetic(nCores, nFFT int) (*Config, error) {
+	if nCores < 1 || nCores > SyntheticMaxPEs {
+		return nil, fmt.Errorf("platform: synthetic supports 1..%d cores, got %d", SyntheticMaxPEs, nCores)
+	}
+	if nFFT < 0 || nFFT > SyntheticMaxPEs {
+		return nil, fmt.Errorf("platform: synthetic supports 0..%d FFT accelerators, got %d", SyntheticMaxPEs, nFFT)
+	}
+	cfg := &Config{
+		Name:     fmt.Sprintf("%dC+%dF-syn", nCores, nFFT),
+		Platform: "synthetic",
+		Overlay:  A53,
+		DMA:      zcu102DMA,
+	}
+	id := 0
+	for i := 0; i < nCores; i++ {
+		cfg.PEs = append(cfg.PEs, &PE{ID: id, Type: A53, HostCore: i, Share: 1})
+		id++
+	}
+	hosts := managerPlacement(nCores, nCores, nFFT)
+	occupancy := map[int]int{}
+	for _, h := range hosts {
+		occupancy[h]++
+	}
+	for i := 0; i < nFFT; i++ {
+		cfg.PEs = append(cfg.PEs, &PE{ID: id, Type: FFTAccel, HostCore: hosts[i], Share: occupancy[hosts[i]]})
+		id++
+	}
+	cfg.finalize()
 	return cfg, nil
 }
 
@@ -144,6 +268,7 @@ func OdroidXU3(nBig, nLittle int) (*Config, error) {
 		cfg.PEs = append(cfg.PEs, &PE{ID: id, Type: A7Little, HostCore: OdroidPoolBig + i, Share: 1})
 		id++
 	}
+	cfg.finalize()
 	return cfg, nil
 }
 
@@ -184,6 +309,7 @@ type configJSON struct {
 //
 //	{"platform": "zcu102", "cores": 2, "ffts": 1}
 //	{"platform": "odroid-xu3", "big": 3, "little": 2}
+//	{"platform": "synthetic", "cores": 32, "ffts": 8}
 func LoadConfigFile(path string) (*Config, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -204,6 +330,8 @@ func ParseConfigJSON(data []byte) (*Config, error) {
 		return ZCU102(cj.Cores, cj.FFTs)
 	case "odroid-xu3", "odroid", "xu3":
 		return OdroidXU3(cj.Big, cj.Little)
+	case "synthetic", "syn":
+		return Synthetic(cj.Cores, cj.FFTs)
 	default:
 		return nil, fmt.Errorf("platform: unknown platform %q", cj.Platform)
 	}

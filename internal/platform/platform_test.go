@@ -119,6 +119,73 @@ func TestOdroidConfig(t *testing.T) {
 	}
 }
 
+func TestSyntheticConfig(t *testing.T) {
+	cfg, err := Synthetic(32, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Name != "32C+8F-syn" || cfg.Platform != "synthetic" {
+		t.Fatalf("name/platform = %q/%q", cfg.Name, cfg.Platform)
+	}
+	cpus, accels := cfg.CountByClass()
+	if cpus != 32 || accels != 8 {
+		t.Fatalf("counts = %d cpus, %d accels", cpus, accels)
+	}
+	for i, pe := range cfg.PEs {
+		if pe.ID != i {
+			t.Fatalf("PE %d has ID %d", i, pe.ID)
+		}
+	}
+	// Every core hosts an application PE, so accelerator managers
+	// always share their host core with round-robin placement.
+	for _, pe := range cfg.PEs {
+		if pe.Type.Class == Accelerator && pe.HostCore >= 32 {
+			t.Fatalf("accel manager on nonexistent core %d", pe.HostCore)
+		}
+	}
+	for _, bad := range [][2]int{{0, 0}, {0, 4}, {-1, 1}, {1, -1}, {SyntheticMaxPEs + 1, 0}, {1, SyntheticMaxPEs + 1}} {
+		if _, err := Synthetic(bad[0], bad[1]); err == nil {
+			t.Errorf("Synthetic(%d,%d) accepted", bad[0], bad[1])
+		}
+	}
+	if _, err := Synthetic(64, 0); err != nil {
+		t.Fatalf("accelerator-free synthetic rejected: %v", err)
+	}
+}
+
+func TestTypeInterning(t *testing.T) {
+	cfg, _ := ZCU102(3, 2)
+	if got := cfg.NumTypes(); got != 2 {
+		t.Fatalf("NumTypes = %d", got)
+	}
+	if cfg.TypeIndex("cpu") != 0 || cfg.TypeIndex("fft") != 1 || cfg.TypeIndex("gpu") != -1 {
+		t.Fatalf("TypeIndex wrong: cpu=%d fft=%d gpu=%d",
+			cfg.TypeIndex("cpu"), cfg.TypeIndex("fft"), cfg.TypeIndex("gpu"))
+	}
+	if keys := cfg.TypeKeys(); len(keys) != 2 || keys[0] != "cpu" || keys[1] != "fft" {
+		t.Fatalf("TypeKeys = %v", keys)
+	}
+	// Odroid has two CPU type names but both use the "cpu" key: one
+	// interned type.
+	od, _ := OdroidXU3(2, 2)
+	if od.NumTypes() != 1 || od.TypeIndex("cpu") != 0 {
+		t.Fatalf("odroid interning wrong: %d types, cpu=%d", od.NumTypes(), od.TypeIndex("cpu"))
+	}
+	// A hand-built Config (no finalize) must agree via the scan
+	// fallback.
+	hand := &Config{PEs: []*PE{
+		{ID: 0, Type: FFTAccel, Share: 1},
+		{ID: 1, Type: A53, HostCore: 0, Share: 1},
+	}}
+	if hand.TypeIndex("fft") != 0 || hand.TypeIndex("cpu") != 1 || hand.TypeIndex("x") != -1 {
+		t.Fatalf("fallback TypeIndex wrong: fft=%d cpu=%d",
+			hand.TypeIndex("fft"), hand.TypeIndex("cpu"))
+	}
+	if hand.NumTypes() != 2 || len(hand.TypeKeys()) != 2 {
+		t.Fatalf("fallback NumTypes/TypeKeys wrong")
+	}
+}
+
 func TestParseConfigJSON(t *testing.T) {
 	cfg, err := ParseConfigJSON([]byte(`{"platform":"zcu102","cores":2,"ffts":2}`))
 	if err != nil || cfg.Name != "2C+2F" {
@@ -127,6 +194,10 @@ func TestParseConfigJSON(t *testing.T) {
 	cfg, err = ParseConfigJSON([]byte(`{"platform":"odroid-xu3","big":4,"little":1}`))
 	if err != nil || cfg.Name != "4BIG+1LTL" {
 		t.Fatalf("odroid parse: %v %v", cfg, err)
+	}
+	cfg, err = ParseConfigJSON([]byte(`{"platform":"synthetic","cores":32,"ffts":8}`))
+	if err != nil || cfg.Name != "32C+8F-syn" {
+		t.Fatalf("synthetic parse: %v %v", cfg, err)
 	}
 	if _, err := ParseConfigJSON([]byte(`{"platform":"riscv"}`)); err == nil {
 		t.Fatal("unknown platform accepted")

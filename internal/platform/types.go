@@ -125,9 +125,17 @@ type PE struct {
 	// Share is the number of accelerator manager threads placed on
 	// HostCore (>= 1 for accelerators; 1 means a dedicated core).
 	Share int
+
+	// label caches Label() — the emulator stamps it into every task
+	// record, so rendering it per call would allocate on the hot path.
+	// Config.finalize fills it; hand-built PEs render lazily.
+	label string
 }
 
 // Label renders a short PE name such as "Core1" or "FFT2".
 func (p *PE) Label() string {
+	if p.label != "" {
+		return p.label
+	}
 	return fmt.Sprintf("%s%d", p.Type.Name, p.ID+1)
 }

@@ -33,8 +33,10 @@ func (q FRFSQ) Schedule(now vtime.Time, ready []Task, pes []PE) Result {
 	if depth <= 0 {
 		depth = DefaultQueueDepth
 	}
-	res := Result{}
-	load := make([]int, len(pes))
+	res := Result{Assignments: newAssignments()}
+	b := getBuffers()
+	defer b.put()
+	load := b.intSlice(len(pes))
 	free := 0
 	for i, pe := range pes {
 		res.Ops++
@@ -96,9 +98,11 @@ func (q EFTQ) Schedule(now vtime.Time, ready []Task, pes []PE) Result {
 	if depth <= 0 {
 		depth = DefaultQueueDepth
 	}
-	res := Result{}
-	load := make([]int, len(pes))
-	avail := make([]vtime.Time, len(pes))
+	res := Result{Assignments: newAssignments()}
+	b := getBuffers()
+	defer b.put()
+	load := b.intSlice(len(pes))
+	avail := b.timeSlice(len(pes))
 	free := 0
 	for i, pe := range pes {
 		res.Ops++
@@ -144,6 +148,15 @@ func (q EFTQ) Schedule(now vtime.Time, ready []Task, pes []PE) Result {
 	return res
 }
 
+// powerCand is PowerEFT's per-task candidate record (PE index,
+// estimated finish, estimated energy); the slice lives in the pooled
+// scheduling buffers.
+type powerCand struct {
+	pi     int
+	finish vtime.Time
+	energy float64
+}
+
 // PowerEFT is an energy-aware EFT variant: among PEs whose estimated
 // finish time is within Slack of the best finish time, it picks the
 // one with the lowest estimated energy (cost x active power). On
@@ -167,9 +180,11 @@ func (p PowerEFT) Schedule(now vtime.Time, ready []Task, pes []PE) Result {
 	if slack < 1 {
 		slack = 1
 	}
-	res := Result{}
-	busy := make([]bool, len(pes))
-	avail := make([]vtime.Time, len(pes))
+	res := Result{Assignments: newAssignments()}
+	b := getBuffers()
+	defer b.put()
+	busy := b.boolSlice(len(pes))
+	avail := b.timeSlice(len(pes))
 	for i, pe := range pes {
 		res.Ops++
 		busy[i] = !pe.Idle()
@@ -178,13 +193,10 @@ func (p PowerEFT) Schedule(now vtime.Time, ready []Task, pes []PE) Result {
 			avail[i] = now
 		}
 	}
+	cands := b.pcand
+	defer func() { b.pcand = cands }()
 	for ti, t := range ready {
-		type cand struct {
-			pi     int
-			finish vtime.Time
-			energy float64
-		}
-		var cands []cand
+		cands = cands[:0]
 		var bestFinish vtime.Time = -1
 		for pi, pe := range pes {
 			res.Ops += eftPairWeight
@@ -194,7 +206,7 @@ func (p PowerEFT) Schedule(now vtime.Time, ready []Task, pes []PE) Result {
 			}
 			finish := avail[pi].Add(vtime.Duration(cost))
 			energy := float64(cost) * pe.PowerW() * 1e-9
-			cands = append(cands, cand{pi, finish, energy})
+			cands = append(cands, powerCand{pi, finish, energy})
 			if bestFinish < 0 || finish < bestFinish {
 				bestFinish = finish
 			}

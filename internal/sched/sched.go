@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"math/rand"
 	"strings"
+	"sync"
 
 	"repro/internal/vtime"
 )
@@ -27,8 +28,16 @@ import (
 // PlatformChoice is one supported execution platform of a ready task,
 // carrying the JSON cost annotation the schedulers consult.
 type PlatformChoice struct {
-	// Key matches PE type keys ("cpu", "fft").
+	// Key matches PE type keys ("cpu", "fft"); kept for diagnostics
+	// and rendering.
 	Key string
+	// TypeID is the dense per-configuration index of Key
+	// (platform.Config.TypeIndex), or -1 when the emulated
+	// configuration has no PE of this type. The emulation core compiles
+	// choices once per (application, configuration), so the policies'
+	// inner loops match tasks to PEs by integer comparison instead of
+	// string comparison.
+	TypeID int
 	// CostNS is the annotated execution time on that platform.
 	CostNS int64
 }
@@ -50,6 +59,10 @@ type PE interface {
 	ID() int
 	// TypeKey is the platform key this PE matches ("cpu", "fft").
 	TypeKey() string
+	// TypeID is the dense per-configuration index of TypeKey, matching
+	// PlatformChoice.TypeID. Always >= 0 for a PE that is part of the
+	// configuration.
+	TypeID() int
 	// SpeedFactor scales annotated costs for this specific PE.
 	SpeedFactor() float64
 	// PowerW is the active power draw (power-aware extension).
@@ -71,10 +84,44 @@ type Assignment struct {
 
 // Result is a scheduling decision batch plus its charged cost.
 type Result struct {
+	// Assignments is the decision batch. The built-in policies draw
+	// the backing array from a recycling pool: a caller that has fully
+	// consumed the batch may hand it back with ReleaseResult, making
+	// steady-state scheduling allocation-free. Callers that don't
+	// (custom harnesses) simply leave it to the garbage collector.
 	Assignments []Assignment
 	// Ops is the abstract operation count converted to overhead by
 	// the emulator (ops x overlay SchedOpNS).
 	Ops int
+}
+
+// assignmentPool recycles assignment batch buffers (and their slice
+// headers) between newAssignments and ReleaseResult.
+var assignmentPool = sync.Pool{New: func() any { return new([]Assignment) }}
+
+// newAssignments checks a zero-length assignment buffer out of the
+// pool; the emptied holder goes straight back so holders themselves
+// recycle.
+func newAssignments() []Assignment {
+	p := assignmentPool.Get().(*[]Assignment)
+	s := *p
+	*p = nil
+	assignmentPool.Put(p)
+	return s[:0]
+}
+
+// ReleaseResult returns a Result's assignment buffer to the policy
+// buffer pool. Only call it once the batch has been fully consumed;
+// the buffer will be overwritten by a later Schedule invocation of any
+// policy. Safe on an empty Result.
+func ReleaseResult(r *Result) {
+	if cap(r.Assignments) == 0 {
+		return
+	}
+	p := assignmentPool.Get().(*[]Assignment)
+	*p = r.Assignments[:0]
+	assignmentPool.Put(p)
+	r.Assignments = nil
 }
 
 // Policy is the pluggable scheduling algorithm interface — the
@@ -96,10 +143,13 @@ type Policy interface {
 
 // costOn returns the annotated cost of running t on pe, scaled by the
 // PE's speed factor; ok is false when the task does not support the
-// PE's platform.
+// PE's platform. The match compares compiled type indices, not key
+// strings — the emulation core guarantees choice TypeIDs and PE
+// TypeIDs come from the same configuration.
 func costOn(t Task, pe PE) (int64, bool) {
+	id := pe.TypeID()
 	for _, c := range t.Choices() {
-		if c.Key == pe.TypeKey() {
+		if c.TypeID == id {
 			return int64(float64(c.CostNS) * pe.SpeedFactor()), true
 		}
 	}
@@ -108,8 +158,64 @@ func costOn(t Task, pe PE) (int64, bool) {
 
 // supports reports whether t can run on pe at all.
 func supports(t Task, pe PE) bool {
-	_, ok := costOn(t, pe)
-	return ok
+	id := pe.TypeID()
+	for _, c := range t.Choices() {
+		if c.TypeID == id {
+			return true
+		}
+	}
+	return false
+}
+
+// buffers is the per-invocation working storage of the built-in
+// policies (idle masks, tentative finish times, queue loads, candidate
+// lists). Policies check one out per Schedule call and return it on
+// exit, so steady-state scheduling allocates nothing beyond the
+// assignment batch it hands back — the buffers only grow to the
+// largest (PE count, ready length) seen and are recycled through a
+// sync.Pool across invocations, emulators and sweep workers.
+type buffers struct {
+	busy  []bool
+	load  []int
+	times []vtime.Time
+	cand  []int
+	pcand []powerCand
+}
+
+var bufferPool = sync.Pool{New: func() any { return new(buffers) }}
+
+func getBuffers() *buffers { return bufferPool.Get().(*buffers) }
+
+func (b *buffers) put() { bufferPool.Put(b) }
+
+// boolSlice returns a cleared []bool of length n.
+func (b *buffers) boolSlice(n int) []bool {
+	if cap(b.busy) < n {
+		b.busy = make([]bool, n)
+	}
+	b.busy = b.busy[:n]
+	clear(b.busy)
+	return b.busy
+}
+
+// intSlice returns a zeroed []int of length n.
+func (b *buffers) intSlice(n int) []int {
+	if cap(b.load) < n {
+		b.load = make([]int, n)
+	}
+	b.load = b.load[:n]
+	clear(b.load)
+	return b.load
+}
+
+// timeSlice returns a zeroed []vtime.Time of length n.
+func (b *buffers) timeSlice(n int) []vtime.Time {
+	if cap(b.times) < n {
+		b.times = make([]vtime.Time, n)
+	}
+	b.times = b.times[:n]
+	clear(b.times)
+	return b.times
 }
 
 // New constructs a policy by name; the plug-in dispatch of the paper's
@@ -157,8 +263,10 @@ func (FRFS) UsesQueues() bool { return false }
 
 // Schedule implements Policy.
 func (FRFS) Schedule(now vtime.Time, ready []Task, pes []PE) Result {
-	res := Result{}
-	busy := make([]bool, len(pes))
+	res := Result{Assignments: newAssignments()}
+	b := getBuffers()
+	defer b.put()
+	busy := b.boolSlice(len(pes))
 	idle := 0
 	for i, pe := range pes {
 		res.Ops++ // availability check per resource handler
@@ -202,29 +310,33 @@ func (MET) UsesQueues() bool { return false }
 
 // Schedule implements Policy.
 func (MET) Schedule(now vtime.Time, ready []Task, pes []PE) Result {
-	res := Result{}
-	busy := make([]bool, len(pes))
+	res := Result{Assignments: newAssignments()}
+	b := getBuffers()
+	defer b.put()
+	busy := b.boolSlice(len(pes))
 	for i, pe := range pes {
 		res.Ops++
 		busy[i] = !pe.Idle()
 	}
 	for ti, t := range ready {
-		// Find the minimum-cost platform key. The charged cost is the
+		// Find the minimum-cost platform type. The charged cost is the
 		// per-entry comparison; the reference implementation keeps
 		// per-type idle lists, so locating an idle PE of the chosen
 		// type is O(1) and the overall charge stays linear in the
-		// ready-list length (the paper's O(n)).
-		var bestKey string
+		// ready-list length (the paper's O(n)). A best type that is
+		// absent from the configuration (TypeID -1) matches no PE: the
+		// task waits, exactly as with the old key-string match.
+		bestType := -1
 		var bestCost int64 = -1
 		for _, c := range t.Choices() {
 			res.Ops++ // cost comparison per platform entry
 			if bestCost < 0 || c.CostNS < bestCost {
 				bestCost = c.CostNS
-				bestKey = c.Key
+				bestType = c.TypeID
 			}
 		}
 		for pi, pe := range pes {
-			if busy[pi] || pe.TypeKey() != bestKey {
+			if busy[pi] || pe.TypeID() != bestType {
 				continue
 			}
 			res.Assignments = append(res.Assignments, Assignment{TaskIndex: ti, PEIndex: pi})
@@ -260,9 +372,11 @@ const eftPairWeight = 4
 
 // Schedule implements Policy.
 func (EFT) Schedule(now vtime.Time, ready []Task, pes []PE) Result {
-	res := Result{}
-	busy := make([]bool, len(pes))
-	tentative := make([]vtime.Time, len(pes))
+	res := Result{Assignments: newAssignments()}
+	b := getBuffers()
+	defer b.put()
+	busy := b.boolSlice(len(pes))
+	tentative := b.timeSlice(len(pes))
 	for i, pe := range pes {
 		res.Ops++
 		busy[i] = !pe.Idle()
@@ -316,12 +430,26 @@ func (EFT) Schedule(now vtime.Time, ready []Task, pes []PE) Result {
 // Random assigns each ready task to a uniformly random idle supporting
 // PE. It exists as the paper's baseline sanity policy.
 type Random struct {
-	rng *rand.Rand
+	rng  *rand.Rand
+	seed int64
 }
 
 // NewRandom builds the RANDOM policy with a deterministic seed.
 func NewRandom(seed int64) *Random {
-	return &Random{rng: rand.New(rand.NewSource(seed))}
+	return &Random{rng: rand.New(rand.NewSource(seed)), seed: seed}
+}
+
+// Reset restores the policy to its freshly-seeded state. The emulator
+// calls it (through the Resettable interface) at the start of every
+// Run, so repeated Runs of one emulator draw identical random
+// placements.
+func (r *Random) Reset() { r.rng.Seed(r.seed) }
+
+// Resettable is implemented by stateful policies that can restore
+// their initial state; the emulator resets such policies per Run to
+// keep emulator reuse deterministic.
+type Resettable interface {
+	Reset()
 }
 
 // Name implements Policy.
@@ -332,14 +460,20 @@ func (*Random) UsesQueues() bool { return false }
 
 // Schedule implements Policy.
 func (r *Random) Schedule(now vtime.Time, ready []Task, pes []PE) Result {
-	res := Result{}
-	busy := make([]bool, len(pes))
+	res := Result{Assignments: newAssignments()}
+	b := getBuffers()
+	defer b.put()
+	busy := b.boolSlice(len(pes))
 	for i, pe := range pes {
 		res.Ops++
 		busy[i] = !pe.Idle()
 	}
+	// One candidate buffer reused across the ready loop (and, through
+	// the pool, across invocations).
+	candidates := b.cand
+	defer func() { b.cand = candidates }()
 	for ti, t := range ready {
-		var candidates []int
+		candidates = candidates[:0]
 		for pi, pe := range pes {
 			res.Ops++
 			if !busy[pi] && supports(t, pe) {

@@ -32,19 +32,36 @@ type fakePE struct {
 
 func (p *fakePE) ID() int                 { return p.id }
 func (p *fakePE) TypeKey() string         { return p.key }
+func (p *fakePE) TypeID() int             { return typeID(p.key) }
 func (p *fakePE) SpeedFactor() float64    { return p.speed }
 func (p *fakePE) PowerW() float64         { return p.power }
 func (p *fakePE) Idle() bool              { return p.idle }
 func (p *fakePE) AvailableAt() vtime.Time { return p.avail }
 func (p *fakePE) QueueLen() int           { return p.queued }
 
+// typeID mirrors the emulator's per-configuration interning for the
+// two platform keys the fakes use.
+func typeID(key string) int {
+	switch key {
+	case "cpu":
+		return 0
+	case "fft":
+		return 1
+	default:
+		return -1
+	}
+}
+
 func cpuTask(label string, cost int64) *fakeTask {
-	return &fakeTask{label: label, choices: []PlatformChoice{{Key: "cpu", CostNS: cost}}}
+	return &fakeTask{label: label, choices: []PlatformChoice{
+		{Key: "cpu", TypeID: typeID("cpu"), CostNS: cost},
+	}}
 }
 
 func dualTask(label string, cpuCost, fftCost int64) *fakeTask {
 	return &fakeTask{label: label, choices: []PlatformChoice{
-		{Key: "cpu", CostNS: cpuCost}, {Key: "fft", CostNS: fftCost},
+		{Key: "cpu", TypeID: typeID("cpu"), CostNS: cpuCost},
+		{Key: "fft", TypeID: typeID("fft"), CostNS: fftCost},
 	}}
 }
 

@@ -37,6 +37,13 @@ type Emulation struct {
 	// Timing selects modeled or host-measured task durations; sweeps
 	// should keep the default Modeled for reproducibility.
 	Timing core.ExecTiming
+	// Programs optionally overrides the compiled-template cache. The
+	// default (nil) is the process-wide shared cache: all cells of a
+	// grid that inject the same application archetypes onto the same
+	// configuration share one compiled template, so the per-arrival
+	// parse work (symbol resolution, DAG lowering) is paid once per
+	// grid rather than once per arrival of every cell.
+	Programs *core.ProgramCache
 }
 
 // Run builds the emulator against the worker's scratch and executes
@@ -51,6 +58,7 @@ func (em Emulation) Run(s *core.Scratch) (*stats.Report, error) {
 		SkipExecution: em.SkipExecution,
 		Timing:        em.Timing,
 		Scratch:       s,
+		Programs:      em.Programs,
 	})
 	if err != nil {
 		return nil, err

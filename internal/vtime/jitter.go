@@ -23,6 +23,14 @@ func NewJitter(seed int64, sigma float64) *Jitter {
 	return &Jitter{rng: rand.New(rand.NewSource(seed)), sigma: sigma}
 }
 
+// Reseed restores the source to the state NewJitter(seed, sigma)
+// produces, without allocating a new generator — the emulator reseeds
+// per Run so repeated runs of one emulator draw identical noise.
+func (j *Jitter) Reseed(seed int64, sigma float64) {
+	j.sigma = sigma
+	j.rng.Seed(seed)
+}
+
 // Scale perturbs d by a log-normal factor with median 1. The result
 // is never negative and is zero only when d is zero.
 func (j *Jitter) Scale(d Duration) Duration {
