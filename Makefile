@@ -31,10 +31,12 @@ race:
 	$(GO) test -race -run ParallelGolden ./internal/experiments
 
 # `make bench` records the perf trajectory: the emulator throughput
-# benches (tasks/sec, allocs/op) and the sweep scaling benches, parsed
-# into BENCH_<PR>.json by cmd/benchreport. Bump BENCH_N when a PR
-# moves the numbers.
-BENCH_N ?= 2
+# benches (tasks/sec, allocs/op — including the streaming Online-sink
+# path) and the sweep scaling benches, parsed into BENCH_<PR>.json by
+# cmd/benchreport. Bump BENCH_N when a PR moves the numbers. The
+# allocation regression gate lives in `test`: TestRunSteadyStateAllocs
+# plus its sink/stream companions (constant allocs with an Online sink).
+BENCH_N ?= 3
 
 # Both steps land in temp files first so neither a failed benchmark run
 # nor a benchreport parse error can truncate the recorded

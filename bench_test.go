@@ -304,6 +304,45 @@ func BenchmarkEmulatorThroughputManyPE(b *testing.B) {
 	b.ReportMetric(float64(tasks), "tasks/op")
 }
 
+// BenchmarkEmulatorThroughputOnlineSink measures the PR 3 streaming
+// pipeline: an open-loop Poisson workload pulled through RunStream
+// with the constant-memory Online sink (P² percentiles) instead of the
+// full record log — the configuration saturation and long-horizon
+// sweeps run in. Tasks/sec should track BenchmarkEmulatorThroughput;
+// the difference is that memory no longer grows with the horizon.
+func BenchmarkEmulatorThroughputOnlineSink(b *testing.B) {
+	cfg, err := platform.Synthetic(16, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ps, err := workload.RatePoisson(2, 500*vtime.Millisecond, 29)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// One spec set for every iteration: the compiled-template cache
+	// keys on spec identity, so fresh specs would force recompilation.
+	specs := apps.Specs()
+	s := core.NewScratch()
+	var tasks int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src, err := workload.NewPoissonSource(specs, ps)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink := stats.NewOnline(0)
+		e, _ := core.New(core.Options{
+			Config: cfg, Policy: sched.FRFS{}, Registry: apps.Registry(),
+			Seed: 29, SkipExecution: true, Scratch: s, Sink: sink,
+		})
+		if _, err := e.RunStream(src); err != nil {
+			b.Fatal(err)
+		}
+		tasks = sink.TasksSeen
+	}
+	b.ReportMetric(float64(tasks), "tasks/op")
+}
+
 // BenchmarkFullValidationRun measures a complete functional validation
 // (kernels executing for real) of the paper's four-application
 // workload.

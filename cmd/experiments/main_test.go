@@ -25,6 +25,12 @@ func TestFig9Reduced(t *testing.T) {
 	}
 }
 
+func TestSaturationRuns(t *testing.T) {
+	if err := run([]string{"-exp", "saturation", "-quiet"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestUnknownExperiment(t *testing.T) {
 	if err := run([]string{"-exp", "fig99"}); err == nil {
 		t.Fatal("unknown experiment accepted")

@@ -1,19 +1,24 @@
-// Command workloadgen generates and inspects performance-mode
-// injection traces: the Table II traces of the paper, or a trace at an
-// arbitrary rate with the paper's application mix.
+// Command workloadgen generates and inspects injection traces: the
+// Table II traces of the paper, a periodic trace at an arbitrary rate
+// with the paper's application mix, or the open-loop arrival processes
+// (Poisson and bursty on-off) used by the saturation study.
 //
 // Examples:
 //
-//	workloadgen -table2            # regenerate all Table II rows
-//	workloadgen -rate 8 -frame 100ms -v
+//	workloadgen -table2                          # regenerate all Table II rows
+//	workloadgen -rate 8 -frame 100ms -v          # periodic, paper mix
+//	workloadgen -mode poisson -rate 8 -seed 29   # open-loop Poisson
+//	workloadgen -mode bursty -rate 8 -burst-on 2 -burst-off 8
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"repro/internal/apps"
+	"repro/internal/core"
 	"repro/internal/vtime"
 	"repro/internal/workload"
 )
@@ -28,10 +33,14 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("workloadgen", flag.ContinueOnError)
 	var (
-		table2  = fs.Bool("table2", false, "regenerate the paper's Table II")
-		rate    = fs.Float64("rate", 4, "injection rate (jobs/ms)")
-		frame   = fs.Duration("frame", 100_000_000, "injection time frame")
-		verbose = fs.Bool("v", false, "print every arrival")
+		table2   = fs.Bool("table2", false, "regenerate the paper's Table II")
+		mode     = fs.String("mode", "periodic", "arrival process: periodic, poisson, bursty")
+		rate     = fs.Float64("rate", 4, "average injection rate (jobs/ms)")
+		frame    = fs.Duration("frame", 100_000_000, "injection time frame")
+		seed     = fs.Int64("seed", 0, "seed for the open-loop draws (per-app sub-seeded)")
+		burstOn  = fs.Float64("burst-on", 2, "bursty mode: mean on-state dwell (ms)")
+		burstOff = fs.Float64("burst-off", 8, "bursty mode: mean off-state dwell (ms)")
+		verbose  = fs.Bool("v", false, "print every arrival")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -55,15 +64,38 @@ func run(args []string) error {
 		return nil
 	}
 
-	trace, err := workload.RateTrace(specs, *rate, vtime.FromStd(*frame))
+	vframe := vtime.FromStd(*frame)
+	var trace []core.Arrival
+	var err error
+	switch *mode {
+	case "periodic":
+		trace, err = workload.RateTrace(specs, *rate, vframe)
+	case "poisson":
+		var ps workload.PoissonSpec
+		if ps, err = workload.RatePoisson(*rate, vframe, *seed); err == nil {
+			trace, err = workload.Poisson(specs, ps)
+		}
+	case "bursty":
+		var bs workload.BurstySpec
+		if bs, err = workload.RateBursty(*rate, vframe, *seed, *burstOn, *burstOff); err == nil {
+			trace, err = workload.Bursty(specs, bs)
+		}
+	default:
+		return fmt.Errorf("unknown mode %q (periodic, poisson, bursty)", *mode)
+	}
 	if err != nil {
 		return err
 	}
 	c := workload.Counts(trace)
-	fmt.Printf("trace: %d instances over %v (realised rate %.2f jobs/ms)\n",
-		len(trace), vtime.FromStd(*frame), workload.RateJobsPerMS(trace, vtime.FromStd(*frame)))
-	for app, n := range c {
-		fmt.Printf("  %-18s %d\n", app, n)
+	fmt.Printf("%s trace: %d instances over %v (realised rate %.2f jobs/ms)\n",
+		*mode, len(trace), vframe, workload.RateJobsPerMS(trace, vframe))
+	names := make([]string, 0, len(c))
+	for app := range c {
+		names = append(names, app)
+	}
+	sort.Strings(names)
+	for _, app := range names {
+		fmt.Printf("  %-18s %d\n", app, c[app])
 	}
 	if *verbose {
 		for i, a := range trace {

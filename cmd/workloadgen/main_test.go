@@ -22,3 +22,21 @@ func TestRateModeRejectsZero(t *testing.T) {
 		t.Fatal("zero rate accepted")
 	}
 }
+
+func TestOpenLoopModes(t *testing.T) {
+	if err := run([]string{"-mode", "poisson", "-rate", "6", "-frame", "50ms", "-seed", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-mode", "bursty", "-rate", "6", "-frame", "50ms", "-burst-on", "1", "-burst-off", "4"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-mode", "warp"}); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+	if err := run([]string{"-mode", "poisson", "-rate", "0"}); err == nil {
+		t.Fatal("zero poisson rate accepted")
+	}
+	if err := run([]string{"-mode", "bursty", "-burst-on", "0"}); err == nil {
+		t.Fatal("zero on-dwell accepted")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/platform"
 	"repro/internal/sched"
+	"repro/internal/stats"
 	"repro/internal/vtime"
 )
 
@@ -72,6 +73,45 @@ func TestRunSteadyStateAllocs(t *testing.T) {
 	// (374 tasks here) blows through it.
 	if avg > 64 {
 		t.Fatalf("steady-state Run allocates %.0f objects for %d tasks; hot path has regressed", avg, tasks)
+	}
+}
+
+// TestRunSteadyStateAllocsOnlineSink is the sink-path companion of
+// TestRunSteadyStateAllocs: with a streaming Online sink no record
+// ever escapes, so a warm batch Run must allocate even less — just the
+// report header and PE stats. Any per-record allocation in the sink
+// routing trips this.
+func TestRunSteadyStateAllocsOnlineSink(t *testing.T) {
+	trace := steadyWorkload(t)
+	sink := stats.NewOnline(0)
+	e, err := New(Options{
+		Config:        zcu(t, 3, 2),
+		Policy:        sched.FRFS{},
+		Registry:      apps.Registry(),
+		Seed:          1,
+		SkipExecution: true,
+		Sink:          sink,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := e.Run(trace); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sink.Wait.Count() != 2*17*(6+7+9) {
+		t.Fatalf("sink saw %d tasks", sink.Wait.Count())
+	}
+	avg := testing.AllocsPerRun(10, func() {
+		if _, err := e.Run(trace); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// The report struct + its PE array, and nothing per record. 16 is
+	// ~4x the measured steady state.
+	if avg > 16 {
+		t.Fatalf("steady-state Run with Online sink allocates %.0f objects; sink path regressed", avg)
 	}
 }
 

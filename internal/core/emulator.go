@@ -79,6 +79,23 @@ type Options struct {
 	// process-wide shared cache; set a private cache only for
 	// isolation (tests, generated-spec churn).
 	Programs *ProgramCache
+	// Sink receives per-task and per-app records as they complete. nil
+	// keeps the classic behaviour: every record lands in Report.Tasks /
+	// Report.Apps. A non-nil sink replaces that collection — the report
+	// slices stay empty and memory no longer grows with the task count,
+	// which is what long-horizon and saturation runs need (pair with
+	// stats.Online). The sink must not be shared by concurrent runs.
+	Sink stats.Sink
+}
+
+// ArrivalSource is a workload stream: Next returns arrivals one at a
+// time in nondecreasing time order, ok=false when the stream is
+// exhausted. RunStream pulls from the source lazily, so an open-loop
+// generator (workload.Poisson and friends) can drive arbitrarily long
+// horizons without the trace — or the task slab — ever being
+// materialised in memory.
+type ArrivalSource interface {
+	Next() (Arrival, bool)
 }
 
 // Arrival pairs an application archetype with its injection timestamp
@@ -104,6 +121,20 @@ type Emulator struct {
 
 	ready     []*Task
 	instances []*AppInstance
+	// nextIdx is the next not-yet-injected entry of instances (slice
+	// runs only).
+	nextIdx int
+
+	// Streaming-run state (RunStream): the arrival source, a one-entry
+	// lookahead, the arrival sequence counter, and per-program free
+	// lists of recycled instances. Completed instances return to the
+	// free list, so peak memory follows the in-flight instance count
+	// rather than the workload length.
+	src         ArrivalSource
+	pending     Arrival
+	havePending bool
+	arrivalSeq  int
+	freeInst    map[*Program][]*AppInstance
 
 	report            *stats.Report
 	pendingMonitorOps int
@@ -161,14 +192,19 @@ func (e *Emulator) program(spec *appmodel.AppSpec) (*Program, error) {
 	return p, nil
 }
 
-// Run executes the emulation for the given workload and returns the
-// collected statistics. Each Run starts a fresh clock and fresh state;
-// the same emulator may Run repeatedly and reuses its buffers.
-func (e *Emulator) Run(arrivals []Arrival) (*stats.Report, error) {
+// beginRun resets the emulator to its start-of-run state: fresh
+// clock, empty ready list, reseeded jitter, reset policy and handlers,
+// and a fresh report. When no sink is configured the report's task
+// slice is presized from the scratch's capacity hint.
+func (e *Emulator) beginRun() *Scratch {
 	s := e.opts.Scratch
 	e.clock.Reset()
 	e.ready = s.ready[:0]
 	e.instances = nil
+	e.nextIdx = 0
+	e.src = nil
+	e.havePending = false
+	e.arrivalSeq = 0
 	e.pendingMonitorOps = 0
 	// Re-seed so repeated Runs of one emulator are identical; stateful
 	// policies (RANDOM's generator) reset the same way.
@@ -183,16 +219,50 @@ func (e *Emulator) Run(arrivals []Arrival) (*stats.Report, error) {
 	e.report = &stats.Report{
 		ConfigName: e.opts.Config.Name,
 		PolicyName: e.opts.Policy.Name(),
-		Tasks:      s.taskRecords(),
 	}
-	// Hand the ready backing array and the realised task count back to
-	// the scratch on every exit — error paths included — and clear
-	// everything that must not outlive this Run (see Scratch.release).
-	defer func() {
-		s.ready = e.ready[:0]
+	if e.opts.Sink == nil {
+		e.report.Tasks = s.taskRecords()
+	}
+	return s
+}
+
+// endRun hands the ready backing array and the realised task count
+// back to the scratch on every exit — error paths included — and
+// clears everything that must not outlive this run (see
+// Scratch.release). Stream free lists survive between runs: they are
+// bounded by the peak in-flight instance count and reference only
+// templates the emulator's program cache pins anyway, so retaining
+// them keeps back-to-back streamed runs allocation-free.
+func (e *Emulator) endRun(s *Scratch) {
+	s.ready = e.ready[:0]
+	if e.opts.Sink == nil {
 		s.noteTaskCount(len(e.report.Tasks))
-		s.release()
-	}()
+	}
+	e.src = nil
+	s.release()
+}
+
+// finishReport stamps the end-of-run aggregates onto the report.
+func (e *Emulator) finishReport() *stats.Report {
+	e.report.Makespan = vtime.Duration(e.clock.Now())
+	for _, h := range e.handlers {
+		e.report.PEs = append(e.report.PEs, stats.PEStats{
+			PEID:    h.PE.ID,
+			Label:   h.PE.Label(),
+			BusyNS:  h.busyNS,
+			Tasks:   h.tasks,
+			EnergyJ: float64(h.busyNS) * h.PE.Type.PowerW * 1e-9,
+		})
+	}
+	return e.report
+}
+
+// Run executes the emulation for the given workload and returns the
+// collected statistics. Each Run starts a fresh clock and fresh state;
+// the same emulator may Run repeatedly and reuses its buffers.
+func (e *Emulator) Run(arrivals []Arrival) (*stats.Report, error) {
+	s := e.beginRun()
+	defer e.endRun(s)
 
 	// Initialisation phase, split compile/instantiate: resolve every
 	// workload entry's compiled template (cached parse-time work),
@@ -226,31 +296,8 @@ func (e *Emulator) Run(arrivals []Arrival) (*stats.Report, error) {
 		slab := taskSlab[off : off+n : off+n]
 		off += n
 		inst := &instSlab[i]
-		*inst = AppInstance{
-			Spec:      a.Spec,
-			Index:     i,
-			Arrival:   a.At,
-			Tasks:     slab,
-			prog:      prog,
-			remaining: n,
-		}
-		if !e.opts.SkipExecution {
-			// Memory allocation/initialisation is per-instance work and
-			// cannot be compiled away; timing-only runs skip it.
-			mem, err := appmodel.NewMemory(a.Spec)
-			if err != nil {
-				return nil, err
-			}
-			inst.Mem = mem
-		}
-		for id := range prog.nodes {
-			nd := &prog.nodes[id]
-			slab[id] = Task{
-				App:            inst,
-				node:           nd,
-				choice:         -1,
-				remainingPreds: nd.preds,
-			}
+		if err := e.stampInstance(inst, a.Spec, a.At, i, prog, slab); err != nil {
+			return nil, err
 		}
 		instPtrs[i] = inst
 	}
@@ -259,18 +306,117 @@ func (e *Emulator) Run(arrivals []Arrival) (*stats.Report, error) {
 	if err := e.loop(); err != nil {
 		return nil, err
 	}
+	return e.finishReport(), nil
+}
 
-	e.report.Makespan = vtime.Duration(e.clock.Now())
-	for _, h := range e.handlers {
-		e.report.PEs = append(e.report.PEs, stats.PEStats{
-			PEID:    h.PE.ID,
-			Label:   h.PE.Label(),
-			BusyNS:  h.busyNS,
-			Tasks:   h.tasks,
-			EnergyJ: float64(h.busyNS) * h.PE.Type.PowerW * 1e-9,
-		})
+// RunStream executes the emulation against an arrival stream instead
+// of a materialised trace. Arrivals are instantiated lazily at their
+// injection instant and completed instances are recycled through
+// per-program free lists, so peak memory is proportional to the
+// in-flight instance count — independent of the stream length. This is
+// the entry point for open-loop (Poisson, bursty) and long-horizon
+// workloads; pair it with a streaming Sink (stats.Online) or the
+// report's record slices will still grow with the task count.
+//
+// The source must yield arrivals in nondecreasing time order (the
+// workload package's generators do). A given trace produces the exact
+// same report through Run and RunStream. Instances() is empty after a
+// streamed run: completed instances are recycled, so functional
+// (memory-inspecting) validation should use Run.
+func (e *Emulator) RunStream(src ArrivalSource) (*stats.Report, error) {
+	if src == nil {
+		return nil, fmt.Errorf("core: nil arrival source")
 	}
-	return e.report, nil
+	s := e.beginRun()
+	defer e.endRun(s)
+	e.src = src
+	if err := e.advancePending(); err != nil {
+		return nil, err
+	}
+	if err := e.loop(); err != nil {
+		return nil, err
+	}
+	return e.finishReport(), nil
+}
+
+// advancePending pulls the next arrival of the stream into the
+// lookahead slot, validating the source's time-ordering contract.
+func (e *Emulator) advancePending() error {
+	a, ok := e.src.Next()
+	if !ok {
+		e.havePending = false
+		return nil
+	}
+	if a.Spec == nil {
+		return fmt.Errorf("core: stream arrival %d has no application", e.arrivalSeq)
+	}
+	if a.At < 0 {
+		return fmt.Errorf("core: stream arrival %d has negative arrival %v", e.arrivalSeq, a.At)
+	}
+	if e.havePending && a.At < e.pending.At {
+		return fmt.Errorf("core: stream arrival %d at %v precedes predecessor at %v; sources must be time-ordered",
+			e.arrivalSeq, a.At, e.pending.At)
+	}
+	e.pending = a
+	e.havePending = true
+	return nil
+}
+
+// stampInstance initialises one application instance in place: the
+// header, the optional variable memory (skipped on timing-only runs —
+// memory initialisation is per-instance work and cannot be compiled
+// away), and every task of the slab. Both instantiation paths (batch
+// Run and RunStream) go through it, so the byte-for-byte equivalence
+// contract between them cannot drift.
+func (e *Emulator) stampInstance(inst *AppInstance, spec *appmodel.AppSpec, at vtime.Time, idx int, prog *Program, tasks []Task) error {
+	*inst = AppInstance{
+		Spec:      spec,
+		Index:     idx,
+		Arrival:   at,
+		Tasks:     tasks,
+		prog:      prog,
+		remaining: len(prog.nodes),
+	}
+	if !e.opts.SkipExecution {
+		mem, err := appmodel.NewMemory(spec)
+		if err != nil {
+			return err
+		}
+		inst.Mem = mem
+	}
+	for id := range prog.nodes {
+		nd := &prog.nodes[id]
+		tasks[id] = Task{
+			App:            inst,
+			node:           nd,
+			choice:         -1,
+			remainingPreds: nd.preds,
+		}
+	}
+	return nil
+}
+
+// instantiateStream stamps one streamed arrival into an instance,
+// reusing a recycled slab of the same compiled template when one is
+// free.
+func (e *Emulator) instantiateStream(a Arrival) (*AppInstance, error) {
+	prog, err := e.program(a.Spec)
+	if err != nil {
+		return nil, err
+	}
+	var inst *AppInstance
+	if free := e.freeInst[prog]; len(free) > 0 {
+		inst = free[len(free)-1]
+		free[len(free)-1] = nil
+		e.freeInst[prog] = free[:len(free)-1]
+	} else {
+		inst = &AppInstance{Tasks: make([]Task, len(prog.nodes))}
+	}
+	if err := e.stampInstance(inst, a.Spec, a.At, e.arrivalSeq, prog, inst.Tasks); err != nil {
+		return nil, err
+	}
+	e.arrivalSeq++
+	return inst, nil
 }
 
 // --- completion-event tracker ------------------------------------------------
@@ -340,24 +486,70 @@ func (e *Emulator) popEventsDue(now vtime.Time) []int32 {
 	return due
 }
 
+// injectInstance marks the instance injected at now and appends its
+// head tasks to the ready list.
+func (e *Emulator) injectInstance(inst *AppInstance, now vtime.Time) {
+	inst.injected = now
+	for _, hid := range inst.prog.heads {
+		t := &inst.Tasks[hid]
+		t.readyAt = now
+		e.ready = append(e.ready, t)
+	}
+}
+
+// injectDue injects every workload entry due at or before now —
+// pre-instantiated instances on a slice run, lazily instantiated ones
+// on a streamed run — and reports whether anything was injected.
+func (e *Emulator) injectDue(now vtime.Time) (bool, error) {
+	any := false
+	if e.src == nil {
+		for e.nextIdx < len(e.instances) && e.instances[e.nextIdx].Arrival <= now {
+			e.injectInstance(e.instances[e.nextIdx], now)
+			e.nextIdx++
+			any = true
+		}
+		return any, nil
+	}
+	for e.havePending && e.pending.At <= now {
+		inst, err := e.instantiateStream(e.pending)
+		if err != nil {
+			return any, err
+		}
+		if err := e.advancePending(); err != nil {
+			return any, err
+		}
+		e.injectInstance(inst, now)
+		any = true
+	}
+	return any, nil
+}
+
+// nextArrivalAt reports the next pending injection instant; ok=false
+// when the workload is exhausted.
+func (e *Emulator) nextArrivalAt() (vtime.Time, bool) {
+	if e.src == nil {
+		if e.nextIdx < len(e.instances) {
+			return e.instances[e.nextIdx].Arrival, true
+		}
+		return 0, false
+	}
+	if e.havePending {
+		return e.pending.At, true
+	}
+	return 0, false
+}
+
 // loop is the workload manager's execution flow (Figure 3) as a
 // discrete-event loop.
 func (e *Emulator) loop() error {
-	next := 0 // next workload-queue entry to inject
 	dirty := true
 	for {
 		now := e.clock.Now()
 
 		// Inject applications whose arrival time has passed.
-		for next < len(e.instances) && e.instances[next].Arrival <= now {
-			inst := e.instances[next]
-			next++
-			inst.injected = now
-			for _, hid := range inst.prog.heads {
-				t := &inst.Tasks[hid]
-				t.readyAt = now
-				e.ready = append(e.ready, t)
-			}
+		if injected, err := e.injectDue(now); err != nil {
+			return err
+		} else if injected {
 			dirty = true
 		}
 
@@ -411,8 +603,9 @@ func (e *Emulator) loop() error {
 		// Advance the clock to the next event: the earlier of the next
 		// arrival and the tracked next completion.
 		nextEvent := vtime.Time(math.MaxInt64)
-		if next < len(e.instances) {
-			nextEvent = e.instances[next].Arrival
+		arrAt, morePending := e.nextArrivalAt()
+		if morePending {
+			nextEvent = arrAt
 		}
 		anyRunning := false
 		if at, ok := e.peekEvent(); ok {
@@ -421,7 +614,7 @@ func (e *Emulator) loop() error {
 				nextEvent = at
 			}
 		}
-		if !anyRunning && next >= len(e.instances) {
+		if !anyRunning && !morePending {
 			if len(e.ready) > 0 {
 				return fmt.Errorf("core: %d ready tasks cannot be scheduled on config %s (policy %s): first is %s",
 					len(e.ready), e.opts.Config.Name, e.opts.Policy.Name(), e.ready[0].Label())
@@ -616,7 +809,7 @@ func (e *Emulator) completeTask(h *ResourceHandler, now vtime.Time) {
 	h.busyNS += int64(t.busyDur)
 	h.tasks++
 
-	e.report.Tasks = append(e.report.Tasks, stats.TaskRecord{
+	rec := stats.TaskRecord{
 		App:      t.App.Spec.AppName,
 		Instance: t.App.Index,
 		Node:     t.node.name,
@@ -626,20 +819,39 @@ func (e *Emulator) completeTask(h *ResourceHandler, now vtime.Time) {
 		Ready:    t.readyAt,
 		Start:    t.start,
 		End:      t.end,
-	})
+	}
+	if sink := e.opts.Sink; sink != nil {
+		sink.RecordTask(rec)
+	} else {
+		e.report.Tasks = append(e.report.Tasks, rec)
+	}
 
 	inst := t.App
 	inst.remaining--
 	if inst.remaining == 0 {
 		inst.done = now
-		e.report.Apps = append(e.report.Apps, stats.AppRecord{
+		app := stats.AppRecord{
 			App:      inst.Spec.AppName,
 			Instance: inst.Index,
 			Arrival:  inst.Arrival,
 			Injected: inst.injected,
 			Done:     now,
 			Tasks:    len(inst.Tasks),
-		})
+		}
+		if sink := e.opts.Sink; sink != nil {
+			sink.RecordApp(app)
+		} else {
+			e.report.Apps = append(e.report.Apps, app)
+		}
+		if e.src != nil {
+			// Streamed runs recycle the finished instance: every task
+			// is complete, so no live pointer into its slab remains.
+			inst.Mem = nil
+			if e.freeInst == nil {
+				e.freeInst = make(map[*Program][]*AppInstance)
+			}
+			e.freeInst[inst.prog] = append(e.freeInst[inst.prog], inst)
+		}
 	}
 	for _, sid := range t.node.succs {
 		st := &inst.Tasks[sid]

@@ -1,0 +1,261 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/vtime"
+)
+
+// sliceSource adapts a pre-sorted arrival slice to the ArrivalSource
+// interface for differential testing.
+type sliceSource struct {
+	arr []Arrival
+	i   int
+}
+
+func (s *sliceSource) Next() (Arrival, bool) {
+	if s.i >= len(s.arr) {
+		return Arrival{}, false
+	}
+	a := s.arr[s.i]
+	s.i++
+	return a, true
+}
+
+func zcuStream(t *testing.T, cores, ffts int) *platform.Config {
+	t.Helper()
+	cfg, err := platform.ZCU102(cores, ffts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+func newStreamEmulator(t *testing.T, opts Options) *Emulator {
+	t.Helper()
+	e, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestRunStreamMatchesRun: the streamed path (lazy instantiation +
+// instance recycling) must reproduce the batch path byte for byte —
+// same task records, same app records, same PE and scheduler counters.
+func TestRunStreamMatchesRun(t *testing.T) {
+	trace := steadyWorkload(t)
+	for _, policyName := range []string{"frfs", "eft", "frfs-rq", "random"} {
+		policy1, err := sched.New(policyName, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		policy2, _ := sched.New(policyName, 9)
+		base := Options{
+			Config:        zcuStream(t, 3, 2),
+			Registry:      apps.Registry(),
+			Seed:          5,
+			JitterSigma:   0.03,
+			SkipExecution: true,
+		}
+		optA := base
+		optA.Policy = policy1
+		optB := base
+		optB.Policy = policy2
+		batch, err := newStreamEmulator(t, optA).Run(trace)
+		if err != nil {
+			t.Fatalf("%s: batch: %v", policyName, err)
+		}
+		streamed, err := newStreamEmulator(t, optB).RunStream(&sliceSource{arr: trace})
+		if err != nil {
+			t.Fatalf("%s: stream: %v", policyName, err)
+		}
+		compareReports(t, batch, streamed)
+	}
+}
+
+// TestRunStreamFunctional exercises the streamed per-instance memory
+// path: kernels execute for real against lazily allocated instance
+// memory.
+func TestRunStreamFunctional(t *testing.T) {
+	wtx := apps.WiFiTX(apps.DefaultWiFiParams())
+	var trace []Arrival
+	for i := 0; i < 4; i++ {
+		trace = append(trace, Arrival{Spec: wtx, At: vtime.Time(i) * 50_000})
+	}
+	e := newStreamEmulator(t, Options{
+		Config:   zcuStream(t, 2, 1),
+		Policy:   sched.FRFS{},
+		Registry: apps.Registry(),
+		Seed:     1,
+	})
+	rep, err := e.RunStream(&sliceSource{arr: trace})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Apps) != 4 {
+		t.Fatalf("%d apps completed", len(rep.Apps))
+	}
+	// Streamed instances are recycled, so the inspection window is
+	// gone by design.
+	if got := e.Instances(); len(got) != 0 {
+		t.Fatalf("streamed run retained %d instances", len(got))
+	}
+}
+
+// TestRunStreamRejectsUnsortedSource: the time-ordering contract is
+// enforced, not assumed.
+func TestRunStreamRejectsUnsortedSource(t *testing.T) {
+	wtx := apps.WiFiTX(apps.DefaultWiFiParams())
+	e := newStreamEmulator(t, Options{
+		Config:        zcuStream(t, 1, 0),
+		Policy:        sched.FRFS{},
+		Registry:      apps.Registry(),
+		SkipExecution: true,
+	})
+	if _, err := e.RunStream(&sliceSource{arr: []Arrival{
+		{Spec: wtx, At: 1000},
+		{Spec: wtx, At: 500},
+	}}); err == nil {
+		t.Fatal("out-of-order source accepted")
+	}
+	if _, err := e.RunStream(nil); err == nil {
+		t.Fatal("nil source accepted")
+	}
+	if _, err := e.RunStream(&sliceSource{arr: []Arrival{{Spec: nil, At: 0}}}); err == nil {
+		t.Fatal("nil spec accepted")
+	}
+	if _, err := e.RunStream(&sliceSource{arr: []Arrival{{Spec: wtx, At: -1}}}); err == nil {
+		t.Fatal("negative arrival accepted")
+	}
+}
+
+// TestSinkMatchesReport: a FullReport sink observes exactly the
+// records the nil-sink report collects, and with any sink configured
+// the report's own slices stay empty.
+func TestSinkMatchesReport(t *testing.T) {
+	trace := steadyWorkload(t)
+	base := Options{
+		Config:        zcuStream(t, 3, 2),
+		Policy:        sched.FRFS{},
+		Registry:      apps.Registry(),
+		Seed:          2,
+		SkipExecution: true,
+	}
+	classic, err := newStreamEmulator(t, base).Run(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var full stats.FullReport
+	withSink := base
+	withSink.Sink = &full
+	sinkRep, err := newStreamEmulator(t, withSink).Run(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sinkRep.Tasks) != 0 || len(sinkRep.Apps) != 0 {
+		t.Fatalf("sink run still collected %d/%d records in the report",
+			len(sinkRep.Tasks), len(sinkRep.Apps))
+	}
+	if len(full.Tasks) != len(classic.Tasks) {
+		t.Fatalf("sink saw %d tasks, report path %d", len(full.Tasks), len(classic.Tasks))
+	}
+	for i := range full.Tasks {
+		if full.Tasks[i] != classic.Tasks[i] {
+			t.Fatalf("task record %d diverged:\nsink   %+v\nreport %+v", i, full.Tasks[i], classic.Tasks[i])
+		}
+	}
+	if len(full.Apps) != len(classic.Apps) {
+		t.Fatalf("sink saw %d apps, report path %d", len(full.Apps), len(classic.Apps))
+	}
+	for i := range full.Apps {
+		if full.Apps[i] != classic.Apps[i] {
+			t.Fatalf("app record %d diverged:\nsink   %+v\nreport %+v", i, full.Apps[i], classic.Apps[i])
+		}
+	}
+	// Aggregate report fields are identical either way.
+	if classic.Makespan != sinkRep.Makespan || classic.Sched != sinkRep.Sched {
+		t.Fatal("aggregate report fields diverged between sink and report paths")
+	}
+}
+
+// TestOnlineSinkMatchesExactQuantiles is the core-level differential
+// check: the online percentiles must track the exact (full-log)
+// quantiles of the same run within P² tolerance.
+func TestOnlineSinkMatchesExactQuantiles(t *testing.T) {
+	trace := steadyWorkload(t)
+	base := Options{
+		Config:        zcuStream(t, 3, 2),
+		Policy:        sched.FRFS{},
+		Registry:      apps.Registry(),
+		Seed:          3,
+		SkipExecution: true,
+	}
+	classic, err := newStreamEmulator(t, base).Run(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	online := stats.NewOnline(0)
+	withSink := base
+	withSink.Sink = online
+	if _, err := newStreamEmulator(t, withSink).Run(trace); err != nil {
+		t.Fatal(err)
+	}
+	if online.Wait.Count() != int64(len(classic.Tasks)) {
+		t.Fatalf("online saw %d tasks, full log %d", online.Wait.Count(), len(classic.Tasks))
+	}
+	var responses []float64
+	for _, a := range classic.Apps {
+		responses = append(responses, float64(a.ResponseTime()))
+	}
+	exact := stats.BoxOf(responses)
+	got := online.Response.Quantile(0.50)
+	// P² tolerance: within 15% of the span of the exact distribution.
+	span := exact.Max - exact.Min
+	if diff := got - exact.Median; diff > 0.15*span || diff < -0.15*span {
+		t.Fatalf("online p50 response %v vs exact %v (span %v)", got, exact.Median, span)
+	}
+}
+
+// TestRunStreamSteadyStateAllocs pins the streaming path's allocation
+// behaviour with an Online sink: after warm-up, a streamed run
+// allocates O(peak in-flight instances), never O(total tasks). This is
+// the sink-path companion of TestRunSteadyStateAllocs.
+func TestRunStreamSteadyStateAllocs(t *testing.T) {
+	trace := steadyWorkload(t)
+	e := newStreamEmulator(t, Options{
+		Config:        zcuStream(t, 3, 2),
+		Policy:        sched.FRFS{},
+		Registry:      apps.Registry(),
+		Seed:          1,
+		SkipExecution: true,
+		Sink:          stats.NewOnline(0),
+	})
+	var tasks int64
+	for i := 0; i < 2; i++ {
+		if _, err := e.RunStream(&sliceSource{arr: trace}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sink := e.opts.Sink.(*stats.Online)
+	tasks = sink.Wait.Count()
+	if tasks != 2*17*(6+7+9) {
+		t.Fatalf("sink saw %d tasks", tasks)
+	}
+	avg := testing.AllocsPerRun(10, func() {
+		if _, err := e.RunStream(&sliceSource{arr: trace}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Per run: the report struct + PE stats array and the source
+	// wrapper; instances come from the cross-run free lists. 32 is ~4x
+	// the measured steady state; an O(tasks) term (374 tasks/run)
+	// trips it immediately.
+	if avg > 32 {
+		t.Fatalf("steady-state RunStream allocates %.0f objects for %d tasks; stream path regressed", avg, tasks/2)
+	}
+}

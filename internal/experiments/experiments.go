@@ -34,6 +34,17 @@ func labelled(opt sweep.Options, name string) sweep.Options {
 	return opt
 }
 
+// totalTasks sums the per-PE task counters — the record-free way to
+// count completed tasks, so aggregate-only sweeps can run with a
+// Discard sink instead of materialising Report.Tasks.
+func totalTasks(rep *stats.Report) int {
+	n := 0
+	for _, pe := range rep.PEs {
+		n += pe.Tasks
+	}
+	return n
+}
+
 // --- Table I -----------------------------------------------------------------
 
 // TableIRow is one application's standalone execution time and task
@@ -77,12 +88,13 @@ func TableI(opt sweep.Options) ([]TableIRow, error) {
 					Registry: apps.Registry(),
 					Arrivals: []core.Arrival{{Spec: specs[name], At: 0}},
 					Seed:     1,
+					Sink:     stats.Discard{},
 				}
 				report, err := em.Run(s)
 				if err != nil {
 					return TableIRow{}, fmt.Errorf("experiments: table I %s: %w", name, err)
 				}
-				return TableIRow{App: name, ExecTime: report.Makespan, TaskCount: len(report.Tasks)}, nil
+				return TableIRow{App: name, ExecTime: report.Makespan, TaskCount: totalTasks(report)}, nil
 			},
 		})
 	}
@@ -214,6 +226,7 @@ func Fig9(iterations int, opt sweep.Options) ([]Fig9Point, error) {
 						Seed:          int64(1000 + it),
 						JitterSigma:   0.04,
 						SkipExecution: it != 0,
+						Sink:          stats.Discard{},
 					}
 					report, err := em.Run(s)
 					if err != nil {
@@ -334,6 +347,7 @@ func Fig10(rows int, opt sweep.Options) ([]Fig10Point, error) {
 						Arrivals:      trace,
 						Seed:          7,
 						SkipExecution: true,
+						Sink:          stats.Discard{},
 					}
 					report, err := em.Run(s)
 					if err != nil {
@@ -419,6 +433,7 @@ func Fig11(rates []float64, opt sweep.Options) ([]Fig11Point, error) {
 						Arrivals:      trace,
 						Seed:          11,
 						SkipExecution: true,
+						Sink:          stats.Discard{},
 					}
 					report, err := em.Run(s)
 					if err != nil {

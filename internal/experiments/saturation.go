@@ -1,0 +1,223 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/sweep"
+	"repro/internal/vtime"
+	"repro/internal/workload"
+)
+
+// The saturation study drives the synthetic many-PE platforms with
+// open-loop Poisson injection and sweeps the rate until response time
+// diverges. It is the paper's performance mode pushed past its design
+// point: instead of a fixed Table II trace, traffic arrives as a
+// sustained memoryless stream, and instead of the full task log the
+// statistics come from the streaming Online sink — p50/p95/p99
+// response percentiles at constant memory, which is what makes the
+// high-rate (hundreds of thousands of tasks) cells feasible at all.
+// Workloads stream through RunStream, so neither the trace nor the
+// task slab is ever materialised.
+
+// SaturationFrame is each cell's injection horizon. Percentiles are
+// trimmed by a warm-up of SaturationWarmupFraction of the frame.
+const SaturationFrame = 100 * vtime.Millisecond
+
+// SaturationWarmupFraction of the frame is discarded from the online
+// percentiles so the cold start does not pollute steady state.
+const SaturationWarmupFraction = 0.1
+
+// saturationSeed drives the Poisson draws (per-app sub-seeded).
+const saturationSeed = 29
+
+// SaturationConfigs are the swept synthetic testbeds.
+var SaturationConfigs = [][2]int{
+	{16, 4}, {32, 8},
+}
+
+// SaturationDefaultRates spans from comfortably below the platforms'
+// service capacity to far beyond it, so every config shows both the
+// flat region and the divergence. Notably the knee arrives *earlier*
+// on the larger platform: completion monitoring costs
+// O(PEs)/completion on the serialising overlay core, so at 40 PEs the
+// scheduler — not the PE pool — is what saturates first (the same
+// effect as Figure 11's 4BIG+3LTL inversion, at scale).
+var SaturationDefaultRates = []float64{1, 2, 4, 8, 16, 32}
+
+// SaturationPoint is one (configuration, rate) cell of the study. The
+// percentile fields are post-warmup steady-state estimates from the
+// online sink; Apps/Tasks count every completion of the run.
+type SaturationPoint struct {
+	Config        string
+	PEs           int
+	RateJobsPerMS float64
+	Apps          int
+	Tasks         int
+	Makespan      vtime.Duration
+	MeanRespMS    float64
+	P50RespMS     float64
+	P95RespMS     float64
+	P99RespMS     float64
+	P95WaitUS     float64
+	// Diverged marks a saturated cell: the emulation needed more than
+	// half a frame beyond the injection horizon to drain its backlog,
+	// i.e. work arrived faster than the platform retired it.
+	Diverged bool
+}
+
+// Saturation sweeps open-loop Poisson injection rates over the
+// synthetic configurations under FRFS. rates defaults to
+// SaturationDefaultRates; configs limits how many SaturationConfigs
+// entries run (0 = all).
+func Saturation(rates []float64, configs int, opt sweep.Options) ([]SaturationPoint, error) {
+	if len(rates) == 0 {
+		rates = SaturationDefaultRates
+	}
+	cfgList := SaturationConfigs
+	if configs > 0 && configs < len(cfgList) {
+		cfgList = cfgList[:configs]
+	}
+	specs := apps.Specs()
+	warmup := vtime.Time(float64(SaturationFrame) * SaturationWarmupFraction)
+	var cells []sweep.Cell[SaturationPoint]
+	for _, cf := range cfgList {
+		cfg, err := platform.Synthetic(cf[0], cf[1])
+		if err != nil {
+			return nil, err
+		}
+		for _, rate := range rates {
+			cells = append(cells, sweep.Cell[SaturationPoint]{
+				Label: fmt.Sprintf("saturation %s@%.0f", cfg.Name, rate),
+				Run: func(s *core.Scratch) (SaturationPoint, error) {
+					// The sink and source are stateful, so each cell
+					// invocation builds fresh ones; determinism comes
+					// from the fixed seed.
+					ps, err := workload.RatePoisson(rate, SaturationFrame, saturationSeed)
+					if err != nil {
+						return SaturationPoint{}, err
+					}
+					src, err := workload.NewPoissonSource(specs, ps)
+					if err != nil {
+						return SaturationPoint{}, err
+					}
+					sink := stats.NewOnline(warmup)
+					em := sweep.Emulation{
+						Config:        cfg,
+						Policy:        sched.FRFS{},
+						Registry:      apps.Registry(),
+						Seed:          saturationSeed,
+						SkipExecution: true,
+						Sink:          sink,
+						Source:        src,
+					}
+					report, err := em.Run(s)
+					if err != nil {
+						return SaturationPoint{}, fmt.Errorf("experiments: saturation %s@%.0f: %w", cfg.Name, rate, err)
+					}
+					return saturationPoint(cfg, rate, report, sink), nil
+				},
+			})
+		}
+	}
+	return sweep.Run(cells, labelled(opt, "saturation"))
+}
+
+// saturationPoint folds one cell's report and sink into the study row.
+func saturationPoint(cfg *platform.Config, rate float64, report *stats.Report, sink *stats.Online) SaturationPoint {
+	const msNS = float64(vtime.Millisecond)
+	p := SaturationPoint{
+		Config:        cfg.Name,
+		PEs:           len(cfg.PEs),
+		RateJobsPerMS: rate,
+		Apps:          int(sink.AppsSeen),
+		Tasks:         int(sink.TasksSeen),
+		Makespan:      report.Makespan,
+		MeanRespMS:    sink.Response.Mean() / msNS,
+		P50RespMS:     sink.Response.Quantile(0.50) / msNS,
+		P95RespMS:     sink.Response.Quantile(0.95) / msNS,
+		P99RespMS:     sink.Response.Quantile(0.99) / msNS,
+		P95WaitUS:     sink.Wait.Quantile(0.95) / float64(vtime.Microsecond),
+		Diverged:      report.Makespan > SaturationFrame+SaturationFrame/2,
+	}
+	return p
+}
+
+// RenderSaturation formats the study grouped by configuration.
+func RenderSaturation(points []SaturationPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Saturation study: open-loop Poisson injection on synthetic platforms (FRFS, %v frame, online percentiles)\n",
+		vtime.Duration(SaturationFrame))
+	fmt.Fprintf(&b, "%-12s %5s %12s %8s %9s %12s %10s %10s %10s %10s %9s\n",
+		"Config", "PEs", "Rate (j/ms)", "Apps", "Tasks", "Makespan(s)", "p50 (ms)", "p95 (ms)", "p99 (ms)", "mean (ms)", "diverged")
+	lastCfg := ""
+	for _, p := range points {
+		if p.Config != lastCfg {
+			if lastCfg != "" {
+				fmt.Fprintln(&b)
+			}
+			lastCfg = p.Config
+		}
+		mark := ""
+		if p.Diverged {
+			mark = "yes"
+		}
+		fmt.Fprintf(&b, "%-12s %5d %12.2f %8d %9d %12.4f %10.3f %10.3f %10.3f %10.3f %9s\n",
+			p.Config, p.PEs, p.RateJobsPerMS, p.Apps, p.Tasks, p.Makespan.Seconds(),
+			p.P50RespMS, p.P95RespMS, p.P99RespMS, p.MeanRespMS, mark)
+	}
+	return b.String()
+}
+
+// SaturationCSV writes the study as plot-ready rows.
+func SaturationCSV(w io.Writer, points []SaturationPoint) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"config", "pes", "rate_jobs_per_ms", "apps", "tasks", "makespan_s",
+		"resp_p50_ms", "resp_p95_ms", "resp_p99_ms", "resp_mean_ms", "wait_p95_us", "diverged",
+	}); err != nil {
+		return err
+	}
+	for _, p := range points {
+		if err := cw.Write([]string{
+			p.Config,
+			fmt.Sprintf("%d", p.PEs),
+			fmt.Sprintf("%.2f", p.RateJobsPerMS),
+			fmt.Sprintf("%d", p.Apps),
+			fmt.Sprintf("%d", p.Tasks),
+			fmt.Sprintf("%.6f", p.Makespan.Seconds()),
+			fmt.Sprintf("%.6f", p.P50RespMS),
+			fmt.Sprintf("%.6f", p.P95RespMS),
+			fmt.Sprintf("%.6f", p.P99RespMS),
+			fmt.Sprintf("%.6f", p.MeanRespMS),
+			fmt.Sprintf("%.6f", p.P95WaitUS),
+			fmt.Sprintf("%t", p.Diverged),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// SaturationKnee returns the lowest swept rate at which a
+// configuration diverged, or 0 if it never did.
+func SaturationKnee(points []SaturationPoint, config string) float64 {
+	knee := 0.0
+	for _, p := range points {
+		if p.Config != config || !p.Diverged {
+			continue
+		}
+		if knee == 0 || p.RateJobsPerMS < knee {
+			knee = p.RateJobsPerMS
+		}
+	}
+	return knee
+}

@@ -1,0 +1,277 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/sweep"
+	"repro/internal/vtime"
+	"repro/internal/workload"
+)
+
+// exactQuantile interpolates the q-th quantile of unsorted values,
+// the oracle the online estimates are checked against.
+func exactQuantile(values []float64, q float64) float64 {
+	v := append([]float64(nil), values...)
+	sort.Float64s(v)
+	pos := q * float64(len(v)-1)
+	lo := int(pos)
+	if lo+1 >= len(v) {
+		return v[lo]
+	}
+	frac := pos - float64(lo)
+	return v[lo]*(1-frac) + v[lo+1]*frac
+}
+
+func TestSaturationShape(t *testing.T) {
+	points, err := Saturation([]float64{1, 8}, 1, sweep.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("%d points", len(points))
+	}
+	low, high := points[0], points[1]
+	// Below the knee: the run drains essentially with the frame.
+	if low.Diverged {
+		t.Fatalf("rate 1 diverged: %+v", low)
+	}
+	// Far past the knee: response diverges and the run is flagged.
+	if !high.Diverged {
+		t.Fatalf("rate 8 did not diverge: %+v", high)
+	}
+	if high.P50RespMS <= 4*low.P50RespMS {
+		t.Fatalf("saturated p50 %.3fms not clearly above unloaded %.3fms", high.P50RespMS, low.P50RespMS)
+	}
+	for _, p := range points {
+		if !(p.P50RespMS <= p.P95RespMS && p.P95RespMS <= p.P99RespMS) {
+			t.Fatalf("percentiles not ordered: %+v", p)
+		}
+		if p.Apps == 0 || p.Tasks == 0 {
+			t.Fatalf("empty cell: %+v", p)
+		}
+		if math.IsNaN(p.P50RespMS) || math.IsNaN(p.P99RespMS) {
+			t.Fatalf("NaN percentile: %+v", p)
+		}
+	}
+	if knee := SaturationKnee(points, points[0].Config); knee != 8 {
+		t.Fatalf("knee = %v, want 8", knee)
+	}
+	if s := RenderSaturation(points); !strings.Contains(s, "yes") {
+		t.Fatalf("render missing divergence mark:\n%s", s)
+	}
+}
+
+// TestSaturationOverheadInversion pins the study's headline: the
+// larger platform saturates at a lower injection rate, because
+// completion monitoring costs O(PEs) per task on the serialising
+// overlay core (Figure 11's inversion, at scale).
+func TestSaturationOverheadInversion(t *testing.T) {
+	points, err := Saturation([]float64{4, 8}, 0, sweep.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, _ := platform.Synthetic(16, 4)
+	big, _ := platform.Synthetic(32, 8)
+	var smallAt4, bigAt4 SaturationPoint
+	for _, p := range points {
+		if p.RateJobsPerMS == 4 {
+			switch p.Config {
+			case small.Name:
+				smallAt4 = p
+			case big.Name:
+				bigAt4 = p
+			}
+		}
+	}
+	if smallAt4.Diverged {
+		t.Fatalf("16C+4F diverged at rate 4: %+v", smallAt4)
+	}
+	if !bigAt4.Diverged {
+		t.Fatalf("32C+8F kept up at rate 4; overlay monitoring cost inactive: %+v", bigAt4)
+	}
+}
+
+// TestSaturationParallelGolden pins the acceptance criterion: the
+// online p50/p95/p99 estimates are byte-identical between workers=1
+// and workers=8 (the P² fold is a pure function of the per-cell
+// record order, which worker count cannot influence).
+func TestSaturationParallelGolden(t *testing.T) {
+	seq, err := Saturation([]float64{1, 2, 8}, 0, sweep.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Saturation([]float64{1, 2, 8}, 0, sweep.Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := RenderSaturation(seq), RenderSaturation(par); a != b {
+		t.Fatalf("parallel rendering diverged:\n--- workers=1\n%s--- workers=8\n%s", a, b)
+	}
+	var bufSeq, bufPar bytes.Buffer
+	if err := SaturationCSV(&bufSeq, seq); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaturationCSV(&bufPar, par); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bufSeq.Bytes(), bufPar.Bytes()) {
+		t.Fatalf("parallel CSV diverged:\n--- workers=1\n%s--- workers=8\n%s",
+			bufSeq.String(), bufPar.String())
+	}
+}
+
+// TestSaturationOnlineMatchesFullReport is the differential half of
+// the acceptance criterion: the same Poisson workload through the
+// streaming path with an Online sink must reproduce the FullReport
+// path's record counts exactly and its exact quantiles within P²
+// tolerance.
+func TestSaturationOnlineMatchesFullReport(t *testing.T) {
+	specs := apps.Specs()
+	cfg, err := platform.Synthetic(16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := workload.RatePoisson(4, SaturationFrame, saturationSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full path: materialised trace, batch Run, complete record log.
+	trace, err := workload.Poisson(specs, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eFull, err := core.New(core.Options{
+		Config: cfg, Policy: sched.FRFS{}, Registry: apps.Registry(),
+		Seed: saturationSeed, SkipExecution: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := eFull.Run(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Streaming path: same spec as a source, Online sink, no warmup so
+	// the two paths see identical record sets.
+	src, err := workload.NewPoissonSource(specs, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	online := stats.NewOnline(0)
+	eOn, err := core.New(core.Options{
+		Config: cfg, Policy: sched.FRFS{}, Registry: apps.Registry(),
+		Seed: saturationSeed, SkipExecution: true, Sink: online,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	onRep, err := eOn.RunStream(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if online.TasksSeen != int64(len(full.Tasks)) || online.AppsSeen != int64(len(full.Apps)) {
+		t.Fatalf("online saw %d/%d records, full log has %d/%d",
+			online.TasksSeen, online.AppsSeen, len(full.Tasks), len(full.Apps))
+	}
+	if full.Makespan != onRep.Makespan {
+		t.Fatalf("makespan diverged: %v vs %v", full.Makespan, onRep.Makespan)
+	}
+	var responses, waits []float64
+	for _, a := range full.Apps {
+		responses = append(responses, float64(a.ResponseTime()))
+	}
+	for _, r := range full.Tasks {
+		waits = append(waits, float64(r.WaitTime()))
+	}
+	check := func(metric string, d *stats.Dist, exactVals []float64) {
+		span := exactQuantile(exactVals, 1) - exactQuantile(exactVals, 0)
+		for _, p := range stats.DefaultQuantiles {
+			exact := exactQuantile(exactVals, p)
+			got := d.Quantile(p)
+			if diff := math.Abs(got - exact); diff > 0.15*span {
+				t.Errorf("%s p%.0f: online %v vs exact %v (tolerance %v)",
+					metric, p*100, got, exact, 0.15*span)
+			}
+		}
+	}
+	check("response", &online.Response, responses)
+	check("wait", &online.Wait, waits)
+}
+
+// TestSaturationMillionTasksBoundedHeap is the scale half of the
+// acceptance criterion: a sustained open-loop run of over a million
+// tasks through the streaming pipeline completes with allocation
+// count — and therefore peak heap — independent of the task count: no
+// Report.Tasks growth, no per-task or per-instance leak.
+func TestSaturationMillionTasksBoundedHeap(t *testing.T) {
+	specs := apps.Specs()
+	cfg, err := platform.Synthetic(16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rate 2 jobs/ms is comfortably below this platform's knee, so the
+	// system holds steady state for the whole horizon — the in-flight
+	// instance pool stops growing after warm-up. 13 seconds of the
+	// paper mix is ~26k applications, ~1.08M tasks.
+	frame := 13 * vtime.Second
+	ps, err := workload.RatePoisson(2, frame, saturationSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := workload.NewPoissonSource(specs, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := stats.NewOnline(vtime.Time(frame / 10))
+	e, err := core.New(core.Options{
+		Config: cfg, Policy: sched.FRFS{}, Registry: apps.Registry(),
+		Seed: saturationSeed, SkipExecution: true, Sink: sink,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	rep, err := e.RunStream(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runtime.ReadMemStats(&after)
+	if sink.TasksSeen < 1_000_000 {
+		t.Fatalf("run produced only %d tasks; the criterion needs >= 1e6", sink.TasksSeen)
+	}
+	if len(rep.Tasks) != 0 || len(rep.Apps) != 0 {
+		t.Fatalf("report grew records under a sink: %d/%d", len(rep.Tasks), len(rep.Apps))
+	}
+	mallocs := after.Mallocs - before.Mallocs
+	// The whole run may allocate only run-constant state: the report,
+	// the in-flight instance pool (bounded by concurrency, not
+	// horizon), and test noise — measured ~600 for this workload at
+	// any horizon. An O(tasks) or O(apps) term would be >= 26k
+	// mallocs; the bound sits 100x below that and well above the
+	// steady-state constant.
+	if mallocs > 10_000 {
+		t.Fatalf("streamed run of %d tasks performed %d allocations; heap is not task-count independent",
+			sink.TasksSeen, mallocs)
+	}
+	if !(sink.Response.Quantile(0.5) <= sink.Response.Quantile(0.95) &&
+		sink.Response.Quantile(0.95) <= sink.Response.Quantile(0.99)) {
+		t.Fatal("steady-state percentiles not ordered")
+	}
+	t.Logf("%d tasks, %d apps, %d mallocs, p50=%v p95=%v p99=%v",
+		sink.TasksSeen, sink.AppsSeen, mallocs,
+		vtime.Duration(sink.Response.Quantile(0.50)),
+		vtime.Duration(sink.Response.Quantile(0.95)),
+		vtime.Duration(sink.Response.Quantile(0.99)))
+}

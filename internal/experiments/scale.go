@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/platform"
 	"repro/internal/sched"
+	"repro/internal/stats"
 	"repro/internal/sweep"
 	"repro/internal/vtime"
 	"repro/internal/workload"
@@ -96,6 +97,7 @@ func Scale(rates []float64, configs int, opt sweep.Options) ([]ScalePoint, error
 							Arrivals:      trace,
 							Seed:          17,
 							SkipExecution: true,
+							Sink:          stats.Discard{},
 						}
 						report, err := em.Run(s)
 						if err != nil {
@@ -108,7 +110,7 @@ func Scale(rates []float64, configs int, opt sweep.Options) ([]ScalePoint, error
 							RateJobsPerMS: realised,
 							ExecTime:      report.Makespan,
 							AvgOverheadUS: report.Sched.AvgOverheadNS() / 1e3,
-							Tasks:         len(report.Tasks),
+							Tasks:         totalTasks(report),
 						}
 						if ms := report.Makespan.Milliseconds(); ms > 0 {
 							p.TasksPerMS = float64(p.Tasks) / ms

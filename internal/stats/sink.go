@@ -1,0 +1,49 @@
+package stats
+
+// Sink receives per-task and per-application measurement records as
+// the emulator produces them, instead of (or in addition to) the full
+// Report.Tasks / Report.Apps slices. A sink makes long-horizon and
+// saturation runs feasible: an online aggregator keeps memory constant
+// where the full record log grows with the task count.
+//
+// Ownership contract: records are passed by value during Run and the
+// strings they carry (app, node, PE labels) are interned per compiled
+// template, so retaining records is cheap and safe — but a sink must
+// never retain pointers into the emulator's live state (it is only
+// ever handed values, so this falls out of the interface). A sink is
+// used by at most one emulation run at a time; sweep cells must not
+// share one sink instance.
+type Sink interface {
+	// RecordTask is called exactly once per completed task, at its
+	// virtual completion instant, in completion order.
+	RecordTask(TaskRecord)
+	// RecordApp is called exactly once per completed application
+	// instance, when its last task finishes.
+	RecordApp(AppRecord)
+}
+
+// FullReport is the sink reproducing the classic behaviour: it keeps
+// every record. The emulator uses it implicitly when Options.Sink is
+// nil, landing the slices in Report.Tasks / Report.Apps; passing one
+// explicitly keeps the records while leaving the report lean.
+type FullReport struct {
+	Tasks []TaskRecord
+	Apps  []AppRecord
+}
+
+// RecordTask implements Sink.
+func (f *FullReport) RecordTask(r TaskRecord) { f.Tasks = append(f.Tasks, r) }
+
+// RecordApp implements Sink.
+func (f *FullReport) RecordApp(r AppRecord) { f.Apps = append(f.Apps, r) }
+
+// Discard drops every record. Sweeps that only read the aggregate
+// report fields (makespan, PE busy totals, scheduler counters) use it
+// to skip record collection entirely.
+type Discard struct{}
+
+// RecordTask implements Sink.
+func (Discard) RecordTask(TaskRecord) {}
+
+// RecordApp implements Sink.
+func (Discard) RecordApp(AppRecord) {}

@@ -7,6 +7,7 @@ package stats
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -159,12 +160,19 @@ type Box struct {
 }
 
 // BoxOf computes the five-number summary of values (which it sorts in
-// a copy). An empty input yields a zero Box.
+// a copy). NaN inputs are dropped — a single NaN would otherwise
+// poison the sorted quantile lookup — and an input that is empty (or
+// all-NaN) yields a zero Box.
 func BoxOf(values []float64) Box {
-	if len(values) == 0 {
+	v := make([]float64, 0, len(values))
+	for _, x := range values {
+		if !math.IsNaN(x) {
+			v = append(v, x)
+		}
+	}
+	if len(v) == 0 {
 		return Box{}
 	}
-	v := append([]float64(nil), values...)
 	sort.Float64s(v)
 	return Box{
 		Min:    v[0],
@@ -175,8 +183,11 @@ func BoxOf(values []float64) Box {
 	}
 }
 
-// quantile interpolates the q-th quantile of sorted v.
+// quantile interpolates the q-th quantile of sorted, NaN-free v.
 func quantile(v []float64, q float64) float64 {
+	if len(v) == 0 {
+		return math.NaN()
+	}
 	if len(v) == 1 {
 		return v[0]
 	}

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"math"
 	"math/rand"
 	"sort"
 	"strings"
@@ -162,6 +163,40 @@ func TestQuantileInterpolation(t *testing.T) {
 	// With 1001 uniform samples the quartiles approach 0.25/0.5/0.75.
 	if b.Q1 < 0.2 || b.Q1 > 0.3 || b.Median < 0.45 || b.Median > 0.55 || b.Q3 < 0.7 || b.Q3 > 0.8 {
 		t.Fatalf("quartiles off: %+v", b)
+	}
+}
+
+// TestBoxOfEdgeCases drives BoxOf through the degenerate inputs the
+// online pipeline can produce: empty, single, NaN-polluted, and
+// duplicate-heavy samples.
+func TestBoxOfEdgeCases(t *testing.T) {
+	nan := math.NaN()
+	cases := []struct {
+		name string
+		in   []float64
+		want Box
+	}{
+		{"empty", nil, Box{}},
+		{"single", []float64{7}, Box{Min: 7, Q1: 7, Median: 7, Q3: 7, Max: 7}},
+		{"all-NaN", []float64{nan, nan}, Box{}},
+		{"NaN-dropped", []float64{nan, 1, 2, 3, 4, 5, nan}, Box{Min: 1, Q1: 2, Median: 3, Q3: 4, Max: 5}},
+		{"duplicates", []float64{2, 2, 2, 2}, Box{Min: 2, Q1: 2, Median: 2, Q3: 2, Max: 2}},
+		{"two", []float64{1, 3}, Box{Min: 1, Q1: 1.5, Median: 2, Q3: 2.5, Max: 3}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := BoxOf(tc.in)
+			if got != tc.want {
+				t.Fatalf("BoxOf(%v) = %+v, want %+v", tc.in, got, tc.want)
+			}
+			// No field may ever be NaN: NaN inputs are dropped, not
+			// propagated.
+			for _, f := range []float64{got.Min, got.Q1, got.Median, got.Q3, got.Max} {
+				if math.IsNaN(f) {
+					t.Fatalf("BoxOf(%v) produced NaN field: %+v", tc.in, got)
+				}
+			}
+		})
 	}
 }
 

@@ -44,6 +44,16 @@ type Emulation struct {
 	// parse work (symbol resolution, DAG lowering) is paid once per
 	// grid rather than once per arrival of every cell.
 	Programs *core.ProgramCache
+	// Sink optionally streams per-record statistics out of the run
+	// (core.Options.Sink); the report's Tasks/Apps slices then stay
+	// empty. A sink is stateful, so cells that carry one must build
+	// the Emulation value — sink included — inside their Run closure
+	// rather than sharing it across invocations.
+	Sink stats.Sink
+	// Source, when non-nil, streams the workload through RunStream
+	// (lazy instantiation, bounded memory) and Arrivals is ignored.
+	// Sources are single-use; the same closure rule as Sink applies.
+	Source core.ArrivalSource
 }
 
 // Run builds the emulator against the worker's scratch and executes
@@ -59,9 +69,13 @@ func (em Emulation) Run(s *core.Scratch) (*stats.Report, error) {
 		Timing:        em.Timing,
 		Scratch:       s,
 		Programs:      em.Programs,
+		Sink:          em.Sink,
 	})
 	if err != nil {
 		return nil, err
+	}
+	if em.Source != nil {
+		return e.RunStream(em.Source)
 	}
 	return e.Run(em.Arrivals)
 }

@@ -1,0 +1,289 @@
+// Open-loop arrival processes: Poisson and bursty (on-off, MMPP-style)
+// generators that model sustained external traffic instead of the
+// paper's fixed periodic injection. Each generator exists in two
+// forms: a streaming core.ArrivalSource, which pairs with
+// core.Emulator.RunStream so arbitrarily long horizons never
+// materialise a trace in memory, and a frame-bounded slice builder for
+// the classic batch Run path.
+//
+// Determinism: every application's stream draws from its own generator
+// seeded by seedFor(Seed, app), so a trace is independent of the order
+// the processes are listed in; the merged output follows the package
+// ordering contract (time, then application name).
+package workload
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+
+	"repro/internal/appmodel"
+	"repro/internal/core"
+	"repro/internal/vtime"
+)
+
+// AppPoisson describes one application's open-loop Poisson process:
+// independent exponential inter-arrival gaps at the given mean rate.
+type AppPoisson struct {
+	App       string
+	JobsPerMS float64
+}
+
+// PoissonSpec is an open-loop Poisson workload description.
+type PoissonSpec struct {
+	// Frame bounds the horizon: arrivals land in [0, Frame). Zero
+	// means unbounded — valid only for the streaming source.
+	Frame vtime.Duration
+	// Rates lists the per-application processes.
+	Rates []AppPoisson
+	// Seed drives the arrival draws (per-app sub-seeded).
+	Seed int64
+}
+
+// AppBursty describes one application's on-off modulated Poisson
+// (MMPP-style) process: the process alternates between an "on" state,
+// during which arrivals follow a Poisson process at OnJobsPerMS, and a
+// silent "off" state; both dwell times are exponentially distributed.
+// Each on-window's arrival stream starts fresh at the window opening.
+type AppBursty struct {
+	App string
+	// OnJobsPerMS is the arrival rate while bursting.
+	OnJobsPerMS float64
+	// MeanOnMS / MeanOffMS are the mean dwell times of the two states
+	// in milliseconds. Every process starts in the on state at t=0.
+	MeanOnMS  float64
+	MeanOffMS float64
+}
+
+// BurstySpec is an open-loop bursty workload description.
+type BurstySpec struct {
+	// Frame bounds the horizon: arrivals land in [0, Frame). Zero
+	// means unbounded — valid only for the streaming source.
+	Frame vtime.Duration
+	// Bursts lists the per-application processes.
+	Bursts []AppBursty
+	// Seed drives the state and arrival draws (per-app sub-seeded).
+	Seed int64
+}
+
+// seedFor derives a per-application sub-seed, making each
+// application's stream independent of the process-list order.
+func seedFor(base int64, app string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(app))
+	return base ^ int64(h.Sum64())
+}
+
+// appStream is one application's arrival stream inside an OpenLoop
+// merge: the current head instant plus a draw function for the next.
+type appStream struct {
+	spec *appmodel.AppSpec
+	draw func() (vtime.Time, bool)
+	head vtime.Time
+	ok   bool
+}
+
+func (s *appStream) advance() { s.head, s.ok = s.draw() }
+
+// OpenLoop merges per-application arrival streams into one
+// time-ordered source implementing core.ArrivalSource. Ties between
+// applications resolve by name (the package ordering contract); a
+// source must not be shared between concurrent runs and is exhausted
+// after one pass.
+type OpenLoop struct {
+	streams []*appStream
+}
+
+// Next implements core.ArrivalSource.
+func (o *OpenLoop) Next() (core.Arrival, bool) {
+	best := -1
+	for i, s := range o.streams {
+		if !s.ok {
+			continue
+		}
+		if best < 0 || s.head < o.streams[best].head ||
+			(s.head == o.streams[best].head && s.spec.AppName < o.streams[best].spec.AppName) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return core.Arrival{}, false
+	}
+	s := o.streams[best]
+	a := core.Arrival{Spec: s.spec, At: s.head}
+	s.advance()
+	return a, true
+}
+
+// expGap draws one exponential gap with the given mean (in
+// nanoseconds), floored at 1ns so virtual time always advances.
+func expGap(rng *rand.Rand, meanNS float64) vtime.Duration {
+	g := vtime.Duration(rng.ExpFloat64() * meanNS)
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// NewPoissonSource builds the streaming form of the Poisson workload.
+func NewPoissonSource(specs map[string]*appmodel.AppSpec, ps PoissonSpec) (*OpenLoop, error) {
+	if ps.Frame < 0 {
+		return nil, fmt.Errorf("workload: negative time frame %v", ps.Frame)
+	}
+	if len(ps.Rates) == 0 {
+		return nil, fmt.Errorf("workload: poisson spec lists no applications")
+	}
+	o := &OpenLoop{}
+	for _, r := range ps.Rates {
+		spec, ok := specs[r.App]
+		if !ok {
+			return nil, fmt.Errorf("workload: application %q not found in parsed library", r.App)
+		}
+		if r.JobsPerMS <= 0 {
+			return nil, fmt.Errorf("workload: %s: non-positive rate %v jobs/ms", r.App, r.JobsPerMS)
+		}
+		rng := rand.New(rand.NewSource(seedFor(ps.Seed, r.App)))
+		meanGapNS := float64(vtime.Millisecond) / r.JobsPerMS
+		frame := ps.Frame
+		t := vtime.Time(0)
+		s := &appStream{spec: spec}
+		s.draw = func() (vtime.Time, bool) {
+			t = t.Add(expGap(rng, meanGapNS))
+			if frame > 0 && t >= vtime.Time(frame) {
+				return 0, false
+			}
+			return t, true
+		}
+		s.advance()
+		o.streams = append(o.streams, s)
+	}
+	return o, nil
+}
+
+// Poisson builds a frame-bounded Poisson trace as a slice, for the
+// batch Run path. The spec must carry a positive Frame.
+func Poisson(specs map[string]*appmodel.AppSpec, ps PoissonSpec) ([]core.Arrival, error) {
+	if ps.Frame <= 0 {
+		return nil, fmt.Errorf("workload: non-positive time frame %v", ps.Frame)
+	}
+	src, err := NewPoissonSource(specs, ps)
+	if err != nil {
+		return nil, err
+	}
+	return drain(src), nil
+}
+
+// NewBurstySource builds the streaming form of the bursty workload.
+func NewBurstySource(specs map[string]*appmodel.AppSpec, bs BurstySpec) (*OpenLoop, error) {
+	if bs.Frame < 0 {
+		return nil, fmt.Errorf("workload: negative time frame %v", bs.Frame)
+	}
+	if len(bs.Bursts) == 0 {
+		return nil, fmt.Errorf("workload: bursty spec lists no applications")
+	}
+	o := &OpenLoop{}
+	for _, b := range bs.Bursts {
+		spec, ok := specs[b.App]
+		if !ok {
+			return nil, fmt.Errorf("workload: application %q not found in parsed library", b.App)
+		}
+		if b.OnJobsPerMS <= 0 {
+			return nil, fmt.Errorf("workload: %s: non-positive burst rate %v jobs/ms", b.App, b.OnJobsPerMS)
+		}
+		if b.MeanOnMS <= 0 || b.MeanOffMS < 0 {
+			return nil, fmt.Errorf("workload: %s: bad dwell means on=%vms off=%vms", b.App, b.MeanOnMS, b.MeanOffMS)
+		}
+		rng := rand.New(rand.NewSource(seedFor(bs.Seed, b.App)))
+		meanGapNS := float64(vtime.Millisecond) / b.OnJobsPerMS
+		meanOnNS := b.MeanOnMS * float64(vtime.Millisecond)
+		meanOffNS := b.MeanOffMS * float64(vtime.Millisecond)
+		frame := bs.Frame
+		cur := vtime.Time(0)
+		onEnd := cur.Add(expGap(rng, meanOnNS))
+		s := &appStream{spec: spec}
+		s.draw = func() (vtime.Time, bool) {
+			for {
+				if frame > 0 && cur >= vtime.Time(frame) {
+					return 0, false
+				}
+				if cand := cur.Add(expGap(rng, meanGapNS)); cand < onEnd {
+					cur = cand
+					if frame > 0 && cur >= vtime.Time(frame) {
+						return 0, false
+					}
+					return cur, true
+				}
+				// On-window exhausted: dwell off, open the next window.
+				cur = onEnd.Add(expGap(rng, meanOffNS))
+				onEnd = cur.Add(expGap(rng, meanOnNS))
+			}
+		}
+		s.advance()
+		o.streams = append(o.streams, s)
+	}
+	return o, nil
+}
+
+// Bursty builds a frame-bounded bursty trace as a slice, for the batch
+// Run path. The spec must carry a positive Frame.
+func Bursty(specs map[string]*appmodel.AppSpec, bs BurstySpec) ([]core.Arrival, error) {
+	if bs.Frame <= 0 {
+		return nil, fmt.Errorf("workload: non-positive time frame %v", bs.Frame)
+	}
+	src, err := NewBurstySource(specs, bs)
+	if err != nil {
+		return nil, err
+	}
+	return drain(src), nil
+}
+
+// drain materialises a bounded source. The merge already emits the
+// package ordering contract, so no re-sort is needed.
+func drain(src *OpenLoop) []core.Arrival {
+	var out []core.Arrival
+	for {
+		a, ok := src.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, a)
+	}
+}
+
+// RatePoisson builds a PoissonSpec at the given aggregate rate using
+// the paper's application mix (the open-loop analogue of RateTrace).
+func RatePoisson(rateJobsPerMS float64, frame vtime.Duration, seed int64) (PoissonSpec, error) {
+	if rateJobsPerMS <= 0 {
+		return PoissonSpec{}, fmt.Errorf("workload: non-positive rate %v", rateJobsPerMS)
+	}
+	ps := PoissonSpec{Frame: frame, Seed: seed}
+	for _, app := range mixApps() {
+		ps.Rates = append(ps.Rates, AppPoisson{App: app, JobsPerMS: rateJobsPerMS * mixFractions[app]})
+	}
+	return ps, nil
+}
+
+// RateBursty builds a BurstySpec whose long-run average matches the
+// given aggregate rate under the paper's application mix: every
+// application bursts with the given mean on/off dwells, and the
+// on-state rate is scaled up by the inverse duty cycle so the average
+// over on and off periods lands on the requested rate.
+func RateBursty(rateJobsPerMS float64, frame vtime.Duration, seed int64, meanOnMS, meanOffMS float64) (BurstySpec, error) {
+	if rateJobsPerMS <= 0 {
+		return BurstySpec{}, fmt.Errorf("workload: non-positive rate %v", rateJobsPerMS)
+	}
+	if meanOnMS <= 0 || meanOffMS < 0 {
+		return BurstySpec{}, fmt.Errorf("workload: bad dwell means on=%vms off=%vms", meanOnMS, meanOffMS)
+	}
+	duty := meanOnMS / (meanOnMS + meanOffMS)
+	bs := BurstySpec{Frame: frame, Seed: seed}
+	for _, app := range mixApps() {
+		bs.Bursts = append(bs.Bursts, AppBursty{
+			App:         app,
+			OnJobsPerMS: rateJobsPerMS * mixFractions[app] / duty,
+			MeanOnMS:    meanOnMS,
+			MeanOffMS:   meanOffMS,
+		})
+	}
+	return bs, nil
+}

@@ -1,0 +1,263 @@
+package workload
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/vtime"
+)
+
+func TestPoissonTraceShape(t *testing.T) {
+	specs := apps.Specs()
+	ps := PoissonSpec{
+		Frame: 100 * vtime.Millisecond,
+		Rates: []AppPoisson{
+			{App: apps.NameWiFiTX, JobsPerMS: 2},
+			{App: apps.NameWiFiRX, JobsPerMS: 1},
+		},
+		Seed: 17,
+	}
+	trace, err := Poisson(specs, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expect ~300 arrivals over 100ms; allow a generous Poisson band.
+	if len(trace) < 220 || len(trace) > 380 {
+		t.Fatalf("poisson trace has %d arrivals, expected ~300", len(trace))
+	}
+	counts := Counts(trace)
+	if counts[apps.NameWiFiTX] <= counts[apps.NameWiFiRX] {
+		t.Fatalf("rate 2 app (%d) not denser than rate 1 app (%d)",
+			counts[apps.NameWiFiTX], counts[apps.NameWiFiRX])
+	}
+	if !sort.SliceIsSorted(trace, func(i, j int) bool { return trace[i].At < trace[j].At }) {
+		t.Fatal("trace not time-sorted")
+	}
+	for _, a := range trace {
+		if a.At < 0 || a.At >= vtime.Time(ps.Frame) {
+			t.Fatalf("arrival %v outside [0, frame)", a.At)
+		}
+	}
+}
+
+func TestPoissonDeterministicAndOrderIndependent(t *testing.T) {
+	specs := apps.Specs()
+	ps := PoissonSpec{
+		Frame: 50 * vtime.Millisecond,
+		Rates: []AppPoisson{
+			{App: apps.NameWiFiTX, JobsPerMS: 1.5},
+			{App: apps.NameRangeDetection, JobsPerMS: 3},
+		},
+		Seed: 5,
+	}
+	a, err := Poisson(specs, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same spec again: identical trace.
+	b, _ := Poisson(specs, ps)
+	// Reversed process list: per-app sub-seeding must make the trace
+	// independent of the listing order.
+	ps.Rates = []AppPoisson{ps.Rates[1], ps.Rates[0]}
+	c, err := Poisson(specs, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, other := range map[string][]core.Arrival{"same spec": b, "reordered list": c} {
+		if len(a) != len(other) {
+			t.Fatalf("%s: %d vs %d arrivals", name, len(a), len(other))
+		}
+		for i := range a {
+			if a[i].At != other[i].At || a[i].Spec != other[i].Spec {
+				t.Fatalf("%s: arrival %d diverged", name, i)
+			}
+		}
+	}
+}
+
+func TestPoissonSourceMatchesSlice(t *testing.T) {
+	specs := apps.Specs()
+	ps := PoissonSpec{
+		Frame: 20 * vtime.Millisecond,
+		Rates: []AppPoisson{{App: apps.NameWiFiTX, JobsPerMS: 4}},
+		Seed:  9,
+	}
+	slice, err := Poisson(specs, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewPoissonSource(specs, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; ; i++ {
+		a, ok := src.Next()
+		if !ok {
+			if i != len(slice) {
+				t.Fatalf("source ended after %d of %d arrivals", i, len(slice))
+			}
+			break
+		}
+		if i >= len(slice) || a != slice[i] {
+			t.Fatalf("source arrival %d diverged from slice", i)
+		}
+	}
+}
+
+func TestPoissonUnboundedSource(t *testing.T) {
+	specs := apps.Specs()
+	src, err := NewPoissonSource(specs, PoissonSpec{
+		Rates: []AppPoisson{{App: apps.NameWiFiTX, JobsPerMS: 1}},
+		Seed:  1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An unbounded source just keeps going; pull well past any frame.
+	var last vtime.Time
+	for i := 0; i < 10_000; i++ {
+		a, ok := src.Next()
+		if !ok {
+			t.Fatalf("unbounded source ended at %d", i)
+		}
+		if a.At < last {
+			t.Fatalf("arrival %d went backwards: %v after %v", i, a.At, last)
+		}
+		last = a.At
+	}
+	if last < vtime.Time(5000*vtime.Millisecond) {
+		t.Fatalf("10k arrivals at 1 job/ms only reached %v", last)
+	}
+}
+
+func TestPoissonErrors(t *testing.T) {
+	specs := apps.Specs()
+	if _, err := Poisson(specs, PoissonSpec{Frame: 0, Rates: []AppPoisson{{App: apps.NameWiFiTX, JobsPerMS: 1}}}); err == nil {
+		t.Fatal("zero frame accepted by slice builder")
+	}
+	if _, err := NewPoissonSource(specs, PoissonSpec{Rates: []AppPoisson{{App: "ghost", JobsPerMS: 1}}}); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+	if _, err := NewPoissonSource(specs, PoissonSpec{Rates: []AppPoisson{{App: apps.NameWiFiTX, JobsPerMS: 0}}}); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+	if _, err := NewPoissonSource(specs, PoissonSpec{}); err == nil {
+		t.Fatal("empty process list accepted")
+	}
+}
+
+func TestBurstyTraceShape(t *testing.T) {
+	specs := apps.Specs()
+	bs := BurstySpec{
+		Frame: 200 * vtime.Millisecond,
+		Bursts: []AppBursty{{
+			App:         apps.NameWiFiTX,
+			OnJobsPerMS: 10,
+			MeanOnMS:    2,
+			MeanOffMS:   8,
+		}},
+		Seed: 23,
+	}
+	trace, err := Bursty(specs, bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Duty cycle 20% at 10 jobs/ms over 200ms → ~400 arrivals; wide
+	// band because both dwell and arrival processes are random.
+	if len(trace) < 150 || len(trace) > 750 {
+		t.Fatalf("bursty trace has %d arrivals, expected ~400", len(trace))
+	}
+	if !sort.SliceIsSorted(trace, func(i, j int) bool { return trace[i].At < trace[j].At }) {
+		t.Fatal("trace not time-sorted")
+	}
+	for _, a := range trace {
+		if a.At < 0 || a.At >= vtime.Time(bs.Frame) {
+			t.Fatalf("arrival %v outside [0, frame)", a.At)
+		}
+	}
+	// Burstiness: the trace's inter-arrival gaps must be far more
+	// variable than a Poisson stream of the same average rate (index
+	// of dispersion >> 1 for the gaps).
+	gaps := make([]float64, 0, len(trace)-1)
+	var mean float64
+	for i := 1; i < len(trace); i++ {
+		g := float64(trace[i].At - trace[i-1].At)
+		gaps = append(gaps, g)
+		mean += g
+	}
+	mean /= float64(len(gaps))
+	var varsum float64
+	for _, g := range gaps {
+		varsum += (g - mean) * (g - mean)
+	}
+	cv2 := varsum / float64(len(gaps)) / (mean * mean)
+	if cv2 < 2 {
+		t.Fatalf("squared coefficient of variation %.2f; on-off trace should be much burstier than Poisson (cv2=1)", cv2)
+	}
+}
+
+func TestBurstyDeterministic(t *testing.T) {
+	specs := apps.Specs()
+	bs := BurstySpec{
+		Frame: 50 * vtime.Millisecond,
+		Bursts: []AppBursty{
+			{App: apps.NameWiFiTX, OnJobsPerMS: 5, MeanOnMS: 1, MeanOffMS: 3},
+			{App: apps.NameWiFiRX, OnJobsPerMS: 2, MeanOnMS: 2, MeanOffMS: 2},
+		},
+		Seed: 3,
+	}
+	a, err := Bursty(specs, bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Bursty(specs, bs)
+	if len(a) != len(b) {
+		t.Fatalf("same seed produced %d then %d arrivals", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at arrival %d", i)
+		}
+	}
+}
+
+func TestBurstyErrors(t *testing.T) {
+	specs := apps.Specs()
+	if _, err := NewBurstySource(specs, BurstySpec{Bursts: []AppBursty{{App: "ghost", OnJobsPerMS: 1, MeanOnMS: 1}}}); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+	if _, err := NewBurstySource(specs, BurstySpec{Bursts: []AppBursty{{App: apps.NameWiFiTX, OnJobsPerMS: 0, MeanOnMS: 1}}}); err == nil {
+		t.Fatal("zero burst rate accepted")
+	}
+	if _, err := NewBurstySource(specs, BurstySpec{Bursts: []AppBursty{{App: apps.NameWiFiTX, OnJobsPerMS: 1, MeanOnMS: 0}}}); err == nil {
+		t.Fatal("zero on-dwell accepted")
+	}
+	if _, err := NewBurstySource(specs, BurstySpec{}); err == nil {
+		t.Fatal("empty process list accepted")
+	}
+}
+
+func TestRatePoissonMix(t *testing.T) {
+	specs := apps.Specs()
+	ps, err := RatePoisson(10, 100*vtime.Millisecond, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := Poisson(specs, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := RateJobsPerMS(trace, 100*vtime.Millisecond)
+	if got < 8 || got > 12 {
+		t.Fatalf("realised rate %.2f not ~10", got)
+	}
+	counts := Counts(trace)
+	if counts[apps.NameRangeDetection] <= counts[apps.NamePulseDoppler] {
+		t.Fatalf("mix inverted: %v", counts)
+	}
+	if _, err := RatePoisson(0, 100*vtime.Millisecond, 7); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+}

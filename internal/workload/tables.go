@@ -3,6 +3,7 @@ package workload
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/appmodel"
 	"repro/internal/apps"
@@ -76,6 +77,17 @@ var mixFractions = map[string]float64{
 	apps.NameWiFiRX:         83.0 / 692.0,
 }
 
+// mixApps returns the mix's application names in deterministic
+// (sorted) order.
+func mixApps() []string {
+	names := make([]string, 0, len(mixFractions))
+	for app := range mixFractions {
+		names = append(names, app)
+	}
+	sort.Strings(names)
+	return names
+}
+
 // RateTrace builds a performance-mode trace at approximately the given
 // average rate (jobs/ms) over the frame, using the paper's application
 // mix.
@@ -85,8 +97,8 @@ func RateTrace(specs map[string]*appmodel.AppSpec, rateJobsPerMS float64, frame 
 	}
 	totalJobs := rateJobsPerMS * frame.Milliseconds()
 	var injections []AppInjection
-	for app, frac := range mixFractions {
-		count := int(math.Round(totalJobs * frac))
+	for _, app := range mixApps() {
+		count := int(math.Round(totalJobs * mixFractions[app]))
 		if count <= 0 {
 			continue
 		}
@@ -95,14 +107,6 @@ func RateTrace(specs map[string]*appmodel.AppSpec, rateJobsPerMS float64, frame 
 			Period: PeriodForCount(frame, count),
 			Prob:   1,
 		})
-	}
-	// Deterministic ordering of the injection processes.
-	for i := 0; i < len(injections); i++ {
-		for j := i + 1; j < len(injections); j++ {
-			if injections[j].App < injections[i].App {
-				injections[i], injections[j] = injections[j], injections[i]
-			}
-		}
 	}
 	return Performance(specs, PerfSpec{Frame: frame, Injections: injections})
 }

@@ -44,13 +44,24 @@ func Validation(specs map[string]*appmodel.AppSpec, counts map[string]int) ([]co
 	return out, nil
 }
 
+// NeverInject is the explicit "no injection" probability sentinel: an
+// AppInjection carrying it contributes zero arrivals (the application
+// is still validated against the library). It exists so that "never"
+// is distinguishable from an unset probability — a plain 0 is rejected
+// as ambiguous, see AppInjection.Prob.
+const NeverInject = -1
+
 // AppInjection describes one application's performance-mode injection
 // process: an instance is offered every Period with probability Prob.
 type AppInjection struct {
 	App    string
 	Period vtime.Duration
-	// Prob is the injection probability per period; the paper's case
-	// studies use 1.0 (deterministic periodic injection).
+	// Prob is the injection probability per period and must be set
+	// explicitly: in (0, 1] to inject (the paper's case studies use
+	// 1.0, deterministic periodic injection), or NeverInject for zero
+	// arrivals. A zero value is rejected: historically it was silently
+	// coerced to 1, so a trace requesting "never" injected every
+	// period — now the caller must say which of the two it means.
 	Prob float64
 }
 
@@ -65,8 +76,15 @@ type PerfSpec struct {
 	Seed int64
 }
 
-// Performance builds a performance-mode workload trace. Arrivals are
-// sorted by time (stable across runs for a fixed seed).
+// Performance builds a performance-mode workload trace.
+//
+// Ordering contract: arrivals are sorted by time, with same-timestamp
+// arrivals ordered by application name, so a trace is stable under
+// reordering of the injection list. Same-app ties (duplicate injection
+// entries) keep injection-list order. Probabilistic draws consume the
+// seeded generator in injection-list order, so for Prob < 1 the
+// realised arrival *set* still depends on the list order — only the
+// ordering of whatever arrivals exist is list-order independent.
 func Performance(specs map[string]*appmodel.AppSpec, ps PerfSpec) ([]core.Arrival, error) {
 	if ps.Frame <= 0 {
 		return nil, fmt.Errorf("workload: non-positive time frame %v", ps.Frame)
@@ -82,11 +100,13 @@ func Performance(specs map[string]*appmodel.AppSpec, ps PerfSpec) ([]core.Arriva
 			return nil, fmt.Errorf("workload: %s: non-positive period %v", inj.App, inj.Period)
 		}
 		prob := inj.Prob
-		if prob == 0 {
-			prob = 1
-		}
-		if prob < 0 || prob > 1 {
-			return nil, fmt.Errorf("workload: %s: probability %v outside [0,1]", inj.App, prob)
+		switch {
+		case prob == NeverInject:
+			continue
+		case prob == 0:
+			return nil, fmt.Errorf("workload: %s: injection probability unset; use a value in (0,1] or NeverInject", inj.App)
+		case prob < 0 || prob > 1:
+			return nil, fmt.Errorf("workload: %s: probability %v outside (0,1]", inj.App, prob)
 		}
 		for t := vtime.Time(0); t < vtime.Time(ps.Frame); t = t.Add(inj.Period) {
 			if prob >= 1 || rng.Float64() < prob {
@@ -94,8 +114,19 @@ func Performance(specs map[string]*appmodel.AppSpec, ps PerfSpec) ([]core.Arriva
 			}
 		}
 	}
-	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	sortArrivals(out)
 	return out, nil
+}
+
+// sortArrivals pins the trace ordering contract: by arrival time,
+// ties broken by application name, same-app ties stable.
+func sortArrivals(out []core.Arrival) {
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].At != out[j].At {
+			return out[i].At < out[j].At
+		}
+		return out[i].Spec.AppName < out[j].Spec.AppName
+	})
 }
 
 // PeriodForCount returns the injection period that yields exactly

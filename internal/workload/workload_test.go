@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"repro/internal/apps"
+	"repro/internal/core"
 	"repro/internal/vtime"
 )
 
@@ -117,6 +118,85 @@ func TestPerformanceErrors(t *testing.T) {
 	}
 }
 
+// TestPerformanceZeroProbRejected pins the Prob==0 fix: an unset (or
+// explicit-zero) probability used to be silently coerced to 1, so a
+// trace requesting "never" injected every period. Zero now errors and
+// NeverInject is the explicit way to say "never".
+func TestPerformanceZeroProbRejected(t *testing.T) {
+	specs := apps.Specs()
+	if _, err := Performance(specs, PerfSpec{
+		Frame:      10 * vtime.Millisecond,
+		Injections: []AppInjection{{App: apps.NameWiFiTX, Period: vtime.Millisecond}},
+	}); err == nil {
+		t.Fatal("unset probability accepted (historically coerced to 1)")
+	}
+}
+
+func TestPerformanceNeverInject(t *testing.T) {
+	specs := apps.Specs()
+	trace, err := Performance(specs, PerfSpec{
+		Frame: 10 * vtime.Millisecond,
+		Injections: []AppInjection{
+			{App: apps.NameWiFiTX, Period: vtime.Millisecond, Prob: NeverInject},
+			{App: apps.NameWiFiRX, Period: 2 * vtime.Millisecond, Prob: 1},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := Counts(trace)
+	if counts[apps.NameWiFiTX] != 0 {
+		t.Fatalf("NeverInject still injected %d instances", counts[apps.NameWiFiTX])
+	}
+	if counts[apps.NameWiFiRX] != 5 {
+		t.Fatalf("co-listed app injected %d of 5", counts[apps.NameWiFiRX])
+	}
+	// The sentinel still validates its application name.
+	if _, err := Performance(specs, PerfSpec{
+		Frame:      vtime.Millisecond,
+		Injections: []AppInjection{{App: "ghost", Period: 1, Prob: NeverInject}},
+	}); err == nil {
+		t.Fatal("NeverInject skipped app validation")
+	}
+}
+
+// TestPerformanceTieOrdering pins the arrival ordering contract:
+// same-timestamp arrivals are ordered by application name, so the
+// trace is invariant under injection-list reordering.
+func TestPerformanceTieOrdering(t *testing.T) {
+	specs := apps.Specs()
+	// Both apps fire at t=0, 2ms, 4ms, ... — every arrival is a tie.
+	mk := func(first, second string) []core.Arrival {
+		trace, err := Performance(specs, PerfSpec{
+			Frame: 10 * vtime.Millisecond,
+			Injections: []AppInjection{
+				{App: first, Period: 2 * vtime.Millisecond, Prob: 1},
+				{App: second, Period: 2 * vtime.Millisecond, Prob: 1},
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return trace
+	}
+	a := mk(apps.NameWiFiTX, apps.NameWiFiRX)
+	b := mk(apps.NameWiFiRX, apps.NameWiFiTX)
+	if len(a) != len(b) {
+		t.Fatalf("reordering changed the trace length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("arrival %d depends on injection-list order: %s@%v vs %s@%v",
+				i, a[i].Spec.AppName, a[i].At, b[i].Spec.AppName, b[i].At)
+		}
+		// Within a tie, names ascend.
+		if i > 0 && a[i].At == a[i-1].At && a[i].Spec.AppName < a[i-1].Spec.AppName {
+			t.Fatalf("tie at %v not name-ordered: %s before %s",
+				a[i].At, a[i-1].Spec.AppName, a[i].Spec.AppName)
+		}
+	}
+}
+
 func TestArrivalsSorted(t *testing.T) {
 	specs := apps.Specs()
 	trace, err := Performance(specs, PerfSpec{
@@ -152,6 +232,82 @@ func TestPeriodForCountProperty(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// TestWorkloadBoundaries pins the frame-edge behaviour: a requested
+// count beyond the frame's nanosecond capacity clamps the period at
+// 1ns (yielding one arrival per nanosecond, not `count`), a period
+// that divides the frame never lands an arrival exactly at Frame (the
+// frame is half-open), and the realised rate stays meaningful on
+// sub-millisecond frames.
+func TestWorkloadBoundaries(t *testing.T) {
+	specs := apps.Specs()
+
+	t.Run("count beyond frame capacity", func(t *testing.T) {
+		frame := vtime.Duration(10) // 10ns
+		p := PeriodForCount(frame, 25)
+		if p != 1 {
+			t.Fatalf("period for count>frame = %v, want the 1ns floor", p)
+		}
+		trace, err := Performance(specs, PerfSpec{
+			Frame:      frame,
+			Injections: []AppInjection{{App: apps.NameWiFiTX, Period: p, Prob: 1}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(trace) != 10 {
+			t.Fatalf("10ns frame at 1ns period injected %d (capacity is 10)", len(trace))
+		}
+	})
+
+	t.Run("no arrival exactly at Frame", func(t *testing.T) {
+		frame := 10 * vtime.Millisecond
+		trace, err := Performance(specs, PerfSpec{
+			Frame:      frame,
+			Injections: []AppInjection{{App: apps.NameWiFiTX, Period: 5 * vtime.Millisecond, Prob: 1}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(trace) != 2 {
+			t.Fatalf("dividing period injected %d of 2", len(trace))
+		}
+		for _, a := range trace {
+			if a.At >= vtime.Time(frame) {
+				t.Fatalf("arrival at %v >= frame %v; the frame is half-open", a.At, frame)
+			}
+		}
+		// Period == frame: exactly the t=0 arrival.
+		one, err := Performance(specs, PerfSpec{
+			Frame:      frame,
+			Injections: []AppInjection{{App: apps.NameWiFiTX, Period: frame, Prob: 1}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(one) != 1 || one[0].At != 0 {
+			t.Fatalf("period==frame trace: %v", one)
+		}
+	})
+
+	t.Run("rate on sub-millisecond frame", func(t *testing.T) {
+		frame := 500 * vtime.Microsecond
+		trace, err := Performance(specs, PerfSpec{
+			Frame:      frame,
+			Injections: []AppInjection{{App: apps.NameWiFiTX, Period: 100 * vtime.Microsecond, Prob: 1}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(trace) != 5 {
+			t.Fatalf("sub-ms frame injected %d of 5", len(trace))
+		}
+		got := RateJobsPerMS(trace, frame)
+		if got != 10 {
+			t.Fatalf("RateJobsPerMS on 0.5ms frame = %v, want 10", got)
+		}
+	})
 }
 
 func TestTableIIReproduced(t *testing.T) {
