@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench benchfull experiments
+.PHONY: check fmt vet build test race bench bench-check benchfull experiments
 
 check: fmt vet build test race
 
@@ -36,7 +36,7 @@ race:
 # cmd/benchreport. Bump BENCH_N when a PR moves the numbers. The
 # allocation regression gate lives in `test`: TestRunSteadyStateAllocs
 # plus its sink/stream companions (constant allocs with an Online sink).
-BENCH_N ?= 3
+BENCH_N ?= 4
 
 # Both steps land in temp files first so neither a failed benchmark run
 # nor a benchreport parse error can truncate the recorded
@@ -50,6 +50,19 @@ bench:
 	$(GO) run ./cmd/benchreport < BENCH_$(BENCH_N).out > BENCH_$(BENCH_N).json.tmp
 	@mv BENCH_$(BENCH_N).json.tmp BENCH_$(BENCH_N).json
 	@rm BENCH_$(BENCH_N).out
+
+# `make bench-check` is the perf-regression gate: it reruns the bench
+# suite and diffs it against the last recorded BENCH_$(BENCH_PREV).json
+# via benchreport -prev, failing on a >10% tasks/sec drop. The fresh
+# measurement is discarded (only the delta table on stderr survives);
+# run `make bench` to record a new trajectory point.
+BENCH_PREV ?= $(BENCH_N)
+bench-check:
+	$(GO) test -run NONE -bench 'EmulatorThroughput|SweepWorkers' \
+		-benchmem -benchtime 10x . > BENCH_check.out
+	@status=0; $(GO) run ./cmd/benchreport -prev BENCH_$(BENCH_PREV).json \
+		< BENCH_check.out > /dev/null || status=$$?; \
+	rm -f BENCH_check.out; exit $$status
 
 # The full benchmark harness (every table/figure of the paper) at one
 # iteration each.

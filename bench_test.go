@@ -304,6 +304,41 @@ func BenchmarkEmulatorThroughputManyPE(b *testing.B) {
 	b.ReportMetric(float64(tasks), "tasks/op")
 }
 
+// BenchmarkSchedulerPathAblation isolates the indexed scheduler
+// against the legacy slice path (sched.SliceOnly) on the saturated
+// many-PE workload of BenchmarkEmulatorThroughputManyPE. The reports
+// are byte-identical either way (the differential tests pin that);
+// the gap is pure host-side cost: per-invocation view rebuilds and
+// O(ready x PEs) scans versus incremental bitmaps and the ready
+// deque's prefix consumption.
+func BenchmarkSchedulerPathAblation(b *testing.B) {
+	cfg, err := platform.Synthetic(32, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	trace := mixedWorkload(b, 8)
+	for _, path := range []string{"indexed", "slice"} {
+		b.Run("path="+path, func(b *testing.B) {
+			s := core.NewScratch()
+			var tasks int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var p sched.Policy = sched.FRFS{}
+				if path == "slice" {
+					p = sched.SliceOnly(p)
+				}
+				e, _ := core.New(core.Options{Config: cfg, Policy: p, Registry: apps.Registry(), Seed: 1, SkipExecution: true, Scratch: s})
+				rep, err := e.Run(trace)
+				if err != nil {
+					b.Fatal(err)
+				}
+				tasks = len(rep.Tasks)
+			}
+			b.ReportMetric(float64(tasks), "tasks/op")
+		})
+	}
+}
+
 // BenchmarkEmulatorThroughputOnlineSink measures the PR 3 streaming
 // pipeline: an open-loop Poisson workload pulled through RunStream
 // with the constant-memory Online sink (P² percentiles) instead of the

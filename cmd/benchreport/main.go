@@ -3,16 +3,33 @@
 // performance trajectory is pinned in version control instead of
 // commit messages.
 //
-//	go test -run NONE -bench 'EmulatorThroughput|SweepWorkers' -benchmem . | benchreport > BENCH_2.json
+//	go test -run NONE -bench 'EmulatorThroughput|SweepWorkers' -benchmem . | benchreport > BENCH_4.json
 //
 // For benchmarks that report a tasks/op metric (the emulator
 // throughput benches), the derived tasks_per_sec field is the headline
 // number: emulated tasks processed per second of host time.
+//
+// Interpretability fields: the -N GOMAXPROCS suffix go test appends to
+// benchmark names is recorded as "gomaxprocs", and "single_cpu_host"
+// flags runs where it is 1 — on such hosts the SweepWorkers curves
+// collapse into noise, so a flat speedup trajectory there says nothing
+// about the sweep engine. Each BenchmarkSweepWorkers/workers=N entry
+// additionally carries an explicit speedup_vs_1 metric (ns/op of
+// workers=1 over ns/op of workers=N).
+//
+// Comparison mode:
+//
+//	benchreport -prev BENCH_3.json < bench.out > BENCH_4.json
+//
+// prints per-benchmark deltas against the previous record to stderr
+// and exits non-zero when any benchmark's tasks_per_sec regressed by
+// more than -max-regress (default 10%) — the `make bench-check` gate.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -32,18 +49,30 @@ type Benchmark struct {
 	TasksPerSec float64 `json:"tasks_per_sec,omitempty"`
 	BytesOp     float64 `json:"bytes_per_op,omitempty"`
 	AllocsOp    float64 `json:"allocs_per_op,omitempty"`
-	// Metrics carries every other custom ReportMetric column verbatim.
+	// Metrics carries every other custom ReportMetric column verbatim,
+	// plus the derived speedup_vs_1 on SweepWorkers sub-benches.
 	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Report is the BENCH_N.json document.
 type Report struct {
-	CPU        string      `json:"cpu,omitempty"`
-	GoVersion  string      `json:"go,omitempty"`
-	Benchmarks []Benchmark `json:"benchmarks"`
+	CPU       string `json:"cpu,omitempty"`
+	GoVersion string `json:"go,omitempty"`
+	// GoMaxProcs is the -N suffix of the benchmark names: the
+	// GOMAXPROCS the run executed under.
+	GoMaxProcs int `json:"gomaxprocs,omitempty"`
+	// SingleCPUHost marks records whose parallel-scaling numbers
+	// (SweepWorkers, speedup_vs_1) are meaningless: with one CPU the
+	// worker curves are indistinguishable noise.
+	SingleCPUHost bool        `json:"single_cpu_host"`
+	Benchmarks    []Benchmark `json:"benchmarks"`
 }
 
 func main() {
+	prev := flag.String("prev", "", "previous BENCH_N.json to diff against; >max-regress tasks/sec regressions exit non-zero")
+	maxRegress := flag.Float64("max-regress", 0.10, "tolerated fractional tasks/sec regression in -prev mode")
+	flag.Parse()
+
 	rep, err := parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchreport:", err)
@@ -59,6 +88,74 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchreport:", err)
 		os.Exit(1)
 	}
+	if *prev == "" {
+		return
+	}
+	data, err := os.ReadFile(*prev)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+	var prevRep Report
+	if err := json.Unmarshal(data, &prevRep); err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: decoding %s: %v\n", *prev, err)
+		os.Exit(1)
+	}
+	regressed := compare(os.Stderr, &prevRep, rep, *maxRegress)
+	if len(regressed) > 0 {
+		fmt.Fprintf(os.Stderr, "benchreport: tasks/sec regressed >%.0f%% on: %s\n",
+			*maxRegress*100, strings.Join(regressed, ", "))
+		os.Exit(2)
+	}
+}
+
+// compare prints per-benchmark deltas of cur against prev and returns
+// the names whose tasks_per_sec dropped by more than maxRegress. Only
+// the throughput headline gates: ns/op deltas of benches without a
+// tasks/op metric are reported for context but never fail the run. A
+// headline benchmark that exists in the previous record but not in the
+// current run also gates — otherwise renaming (or narrowing the -bench
+// regex past) a throughput bench would silently disarm the check.
+func compare(w io.Writer, prev, cur *Report, maxRegress float64) []string {
+	prevBy := make(map[string]Benchmark, len(prev.Benchmarks))
+	for _, b := range prev.Benchmarks {
+		prevBy[b.Name] = b
+	}
+	curBy := make(map[string]bool, len(cur.Benchmarks))
+	for _, b := range cur.Benchmarks {
+		curBy[b.Name] = true
+	}
+	var regressed []string
+	fmt.Fprintf(w, "benchreport: comparing against previous record\n")
+	for _, p := range prev.Benchmarks {
+		if p.TasksPerSec > 0 && !curBy[p.Name] {
+			fmt.Fprintf(w, "  %-50s MISSING from current run (was %12.0f tasks/sec)\n", p.Name, p.TasksPerSec)
+			regressed = append(regressed, p.Name+" (missing)")
+		}
+	}
+	for _, b := range cur.Benchmarks {
+		p, ok := prevBy[b.Name]
+		if !ok {
+			fmt.Fprintf(w, "  %-50s (new)\n", b.Name)
+			continue
+		}
+		switch {
+		case b.TasksPerSec > 0 && p.TasksPerSec > 0:
+			delta := (b.TasksPerSec - p.TasksPerSec) / p.TasksPerSec
+			verdict := ""
+			if delta < -maxRegress {
+				verdict = "  REGRESSION"
+				regressed = append(regressed, b.Name)
+			}
+			fmt.Fprintf(w, "  %-50s %12.0f -> %12.0f tasks/sec  %+6.1f%%%s\n",
+				b.Name, p.TasksPerSec, b.TasksPerSec, delta*100, verdict)
+		case b.NsOp > 0 && p.NsOp > 0:
+			delta := (b.NsOp - p.NsOp) / p.NsOp
+			fmt.Fprintf(w, "  %-50s %12.0f -> %12.0f ns/op      %+6.1f%%\n",
+				b.Name, p.NsOp, b.NsOp, delta*100)
+		}
+	}
+	return regressed
 }
 
 // parse consumes `go test -bench` output. Benchmark lines look like
@@ -92,7 +189,12 @@ func parse(r io.Reader) (*Report, error) {
 		if err != nil {
 			continue
 		}
-		b := Benchmark{Name: trimProcSuffix(fields[0]), Iter: iter}
+		name, procs := splitProcSuffix(fields[0])
+		if procs > 0 && rep.GoMaxProcs == 0 {
+			rep.GoMaxProcs = procs
+			rep.SingleCPUHost = procs == 1
+		}
+		b := Benchmark{Name: name, Iter: iter}
 		for i := 2; i+1 < len(fields); i += 2 {
 			val, err := strconv.ParseFloat(fields[i], 64)
 			if err != nil {
@@ -122,19 +224,54 @@ func parse(r io.Reader) (*Report, error) {
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
+	// go test appends the -N name suffix only when GOMAXPROCS > 1: a
+	// record whose benchmark names carry no suffix ran on one CPU.
+	if len(rep.Benchmarks) > 0 && rep.GoMaxProcs == 0 {
+		rep.GoMaxProcs = 1
+		rep.SingleCPUHost = true
+	}
+	deriveSweepSpeedups(rep)
 	return rep, nil
 }
 
-// trimProcSuffix drops the -GOMAXPROCS suffix go test appends to
-// benchmark names ("BenchmarkX-8" -> "BenchmarkX"), keeping sub-bench
-// paths intact.
-func trimProcSuffix(name string) string {
+// deriveSweepSpeedups stamps speedup_vs_1 onto every SweepWorkers
+// sub-benchmark: wall-clock of the workers=1 run over this run. On a
+// single-CPU host the values hover around 1.0 by construction — the
+// single_cpu_host flag tells readers to discount them.
+func deriveSweepSpeedups(rep *Report) {
+	var base float64
+	for _, b := range rep.Benchmarks {
+		if strings.HasSuffix(b.Name, "SweepWorkers/workers=1") {
+			base = b.NsOp
+			break
+		}
+	}
+	if base <= 0 {
+		return
+	}
+	for i := range rep.Benchmarks {
+		b := &rep.Benchmarks[i]
+		if !strings.Contains(b.Name, "SweepWorkers/workers=") || b.NsOp <= 0 {
+			continue
+		}
+		if b.Metrics == nil {
+			b.Metrics = map[string]float64{}
+		}
+		b.Metrics["speedup_vs_1"] = base / b.NsOp
+	}
+}
+
+// splitProcSuffix drops the -GOMAXPROCS suffix go test appends to
+// benchmark names ("BenchmarkX-8" -> "BenchmarkX", 8), keeping
+// sub-bench paths intact; procs is 0 when no suffix is present.
+func splitProcSuffix(name string) (string, int) {
 	i := strings.LastIndex(name, "-")
 	if i < 0 {
-		return name
+		return name, 0
 	}
-	if _, err := strconv.Atoi(name[i+1:]); err != nil {
-		return name
+	procs, err := strconv.Atoi(name[i+1:])
+	if err != nil || procs <= 0 {
+		return name, 0
 	}
-	return name[:i]
+	return name[:i], procs
 }

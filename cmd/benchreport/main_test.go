@@ -60,3 +60,104 @@ func TestParseEmpty(t *testing.T) {
 		t.Fatalf("phantom benchmarks: %+v", rep.Benchmarks)
 	}
 }
+
+const sweepSample = `cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkEmulatorThroughput-1 	      20	   6705221 ns/op	      8172 tasks/op
+BenchmarkSweepWorkers/workers=1-1 	       5	  52000000 ns/op
+BenchmarkSweepWorkers/workers=2-1 	       5	  50000000 ns/op
+BenchmarkSweepWorkers/workers=4-1 	       5	  53000000 ns/op
+PASS
+`
+
+func TestGoMaxProcsAndSweepSpeedups(t *testing.T) {
+	rep, err := parse(strings.NewReader(sweepSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GoMaxProcs != 1 || !rep.SingleCPUHost {
+		t.Fatalf("host provenance wrong: gomaxprocs=%d single_cpu=%v", rep.GoMaxProcs, rep.SingleCPUHost)
+	}
+	byName := map[string]Benchmark{}
+	for _, b := range rep.Benchmarks {
+		byName[b.Name] = b
+	}
+	if s := byName["BenchmarkSweepWorkers/workers=1"].Metrics["speedup_vs_1"]; s != 1.0 {
+		t.Fatalf("workers=1 speedup_vs_1 = %f, want 1.0", s)
+	}
+	if s := byName["BenchmarkSweepWorkers/workers=2"].Metrics["speedup_vs_1"]; s != 52.0/50.0 {
+		t.Fatalf("workers=2 speedup_vs_1 = %f", s)
+	}
+	if s := byName["BenchmarkSweepWorkers/workers=4"].Metrics["speedup_vs_1"]; s != 52.0/53.0 {
+		t.Fatalf("workers=4 speedup_vs_1 = %f", s)
+	}
+	// The throughput bench is untouched by the sweep derivation.
+	if _, ok := byName["BenchmarkEmulatorThroughput"].Metrics["speedup_vs_1"]; ok {
+		t.Fatal("speedup_vs_1 leaked onto a non-sweep bench")
+	}
+	// An 8-proc record is not flagged single-CPU.
+	rep8, err := parse(strings.NewReader(strings.ReplaceAll(sweepSample, "-1 ", "-8 ")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep8.GoMaxProcs != 8 || rep8.SingleCPUHost {
+		t.Fatalf("8-proc provenance wrong: %d %v", rep8.GoMaxProcs, rep8.SingleCPUHost)
+	}
+	// go test omits the suffix entirely at GOMAXPROCS=1, so a record
+	// with bare names is a single-CPU record.
+	repBare, err := parse(strings.NewReader(strings.ReplaceAll(sweepSample, "-1 ", " ")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repBare.GoMaxProcs != 1 || !repBare.SingleCPUHost {
+		t.Fatalf("bare-name provenance wrong: %d %v", repBare.GoMaxProcs, repBare.SingleCPUHost)
+	}
+}
+
+func benchWithRate(name string, tasksPerSec float64) Benchmark {
+	// ns/op chosen so TasksPerSec comes out exactly as requested.
+	return Benchmark{Name: name, NsOp: 1e9, TasksOp: tasksPerSec, TasksPerSec: tasksPerSec}
+}
+
+func TestCompareGatesOnTasksPerSec(t *testing.T) {
+	prev := &Report{Benchmarks: []Benchmark{
+		benchWithRate("BenchmarkEmulatorThroughput", 1_000_000),
+		benchWithRate("BenchmarkEmulatorThroughputManyPE", 500_000),
+		{Name: "BenchmarkSweepWorkers/workers=1", NsOp: 100},
+	}}
+	ok := &Report{Benchmarks: []Benchmark{
+		benchWithRate("BenchmarkEmulatorThroughput", 950_000), // -5%: tolerated
+		benchWithRate("BenchmarkEmulatorThroughputManyPE", 1_200_000),
+		{Name: "BenchmarkSweepWorkers/workers=1", NsOp: 500}, // ns/op never gates
+		benchWithRate("BenchmarkNew", 1),                     // no previous record
+	}}
+	var out strings.Builder
+	if regressed := compare(&out, prev, ok, 0.10); len(regressed) != 0 {
+		t.Fatalf("tolerable deltas flagged: %v\n%s", regressed, out.String())
+	}
+	bad := &Report{Benchmarks: []Benchmark{
+		benchWithRate("BenchmarkEmulatorThroughput", 880_000), // -12%
+		benchWithRate("BenchmarkEmulatorThroughputManyPE", 500_000),
+	}}
+	out.Reset()
+	regressed := compare(&out, prev, bad, 0.10)
+	if len(regressed) != 1 || regressed[0] != "BenchmarkEmulatorThroughput" {
+		t.Fatalf("regression not caught: %v\n%s", regressed, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Fatalf("delta table lacks the REGRESSION marker:\n%s", out.String())
+	}
+	// A headline benchmark that vanishes from the current run gates
+	// too: dropping it must not silently disarm the check.
+	missing := &Report{Benchmarks: []Benchmark{
+		benchWithRate("BenchmarkEmulatorThroughput", 1_100_000),
+	}}
+	out.Reset()
+	regressed = compare(&out, prev, missing, 0.10)
+	if len(regressed) != 1 || !strings.Contains(regressed[0], "BenchmarkEmulatorThroughputManyPE") {
+		t.Fatalf("missing headline bench not flagged: %v\n%s", regressed, out.String())
+	}
+	// ns/op-only benches may come and go freely.
+	if strings.Contains(out.String(), "SweepWorkers") && strings.Contains(out.String(), "MISSING") {
+		t.Fatalf("non-headline bench wrongly gated:\n%s", out.String())
+	}
+}

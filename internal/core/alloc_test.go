@@ -115,6 +115,86 @@ func TestRunSteadyStateAllocsOnlineSink(t *testing.T) {
 	}
 }
 
+// TestScheduleSteadyStateAllocs1024PE pins the indexed scheduler's
+// allocation behaviour at the synthetic testbed's extreme: 1024 PEs
+// (960 cores + 64 accelerators). Once the view's bitmap scratch and
+// the pooled buffers are warm, schedule() must not allocate per
+// invocation under any built-in policy family — the run's allocations
+// stay a small constant (report header + per-PE stats growth), with
+// no term proportional to invocations, ready length or PE count. The
+// run drives a few hundred invocations, so a single per-invocation
+// allocation blows the bound by an order of magnitude.
+func TestScheduleSteadyStateAllocs1024PE(t *testing.T) {
+	cfg, err := platform.Synthetic(960, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(cfg.PEs); got != 1024 {
+		t.Fatalf("synthetic config has %d PEs, want 1024", got)
+	}
+	// A dense drip of arrivals: every injection and every completion
+	// batch is a separate scheduler invocation, so the run exercises
+	// schedule() hundreds of times even though the huge pool never
+	// saturates.
+	rd := apps.RangeDetection(apps.DefaultRangeParams())
+	wtx := apps.WiFiTX(apps.DefaultWiFiParams())
+	wrx := apps.WiFiRX(apps.DefaultWiFiParams())
+	// Spacing matters: monitoring 1024 handlers charges ~340us of
+	// overlay time per collected completion (the Figure 11 effect at
+	// its extreme), so arrivals closer than a few milliseconds clump
+	// into one overhead window and share an invocation.
+	var trace []Arrival
+	at := vtime.Time(0)
+	for i := 0; i < 100; i++ {
+		trace = append(trace,
+			Arrival{Spec: rd, At: at},
+			Arrival{Spec: wtx, At: at + 3_400_000},
+			Arrival{Spec: wrx, At: at + 6_700_000},
+		)
+		at += 10_200_000
+	}
+	for _, policyName := range []string{"frfs", "met", "eft", "random", "frfs-rq", "eft-rq"} {
+		policy, err := sched.New(policyName, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := New(Options{
+			Config:        cfg,
+			Policy:        policy,
+			Registry:      apps.Registry(),
+			Seed:          1,
+			SkipExecution: true,
+			Sink:          stats.Discard{},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 2; i++ {
+			if _, err := e.Run(trace); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var invocations int
+		avg := testing.AllocsPerRun(5, func() {
+			rep, err := e.Run(trace)
+			if err != nil {
+				t.Fatal(err)
+			}
+			invocations = rep.Sched.Invocations
+		})
+		// Report struct + the PEs slice growing to 1024 entries (~12
+		// appends) + pool slack; ~4x the measured steady state and far
+		// below one allocation per invocation.
+		if avg > 64 {
+			t.Fatalf("%s: steady-state 1024-PE Run allocates %.0f objects over %d schedule() invocations; the indexed scheduler hot path has regressed",
+				policyName, avg, invocations)
+		}
+		if invocations < 100 {
+			t.Fatalf("%s: workload drove only %d invocations; the regression gate needs a busier trace", policyName, invocations)
+		}
+	}
+}
+
 // TestManyPEConfigDeterministic exercises the next-event tracker and
 // the scheduler hot path on a synthetic 64-PE configuration — far past
 // any COTS board — and checks full determinism across repeated runs.

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/vtime"
+)
+
+// The emulator-level half of the indexed-scheduler byte-determinism
+// contract: every built-in policy, run end to end over the COTS boards
+// and the synthetic many-PE grid, must produce a stats.Report
+// identical to the same run forced onto the legacy slice path with
+// sched.SliceOnly. This covers everything the policy-level parity test
+// cannot: the incremental maintenance of the idle/load/availability
+// state across dispatches, queue pulls and completion collection, the
+// ready-deque compaction, and the charged-overhead feedback into the
+// virtual clock.
+
+// differentialConfigs spans the interning shapes the index handles:
+// uniform two-type platforms (ZCU102, Synthetic) at several PE-pool
+// sizes, and the Odroid whose big.LITTLE cores intern into one
+// non-uniform "cpu" type (the EFT-family slice fallback).
+func differentialConfigs(t *testing.T) map[string]*platform.Config {
+	t.Helper()
+	out := map[string]*platform.Config{}
+	add := func(name string, cfg *platform.Config, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[name] = cfg
+	}
+	zcu, err := platform.ZCU102(3, 2)
+	add("zcu3c2f", zcu, err)
+	od, err := platform.OdroidXU3(4, 3)
+	add("odroid4b3l", od, err)
+	for _, cf := range [][2]int{{8, 2}, {32, 8}, {64, 16}} {
+		syn, err := platform.Synthetic(cf[0], cf[1])
+		add(syn.Name, syn, err)
+	}
+	return out
+}
+
+// differentialWorkload is dense enough to saturate the larger
+// synthetic pools (long ready windows, scattered assignments, queue
+// churn) while staying fast: ~1.1k tasks of all four applications in
+// tight bursts. (Built by hand: the workload package sits above core.)
+func differentialWorkload(t *testing.T) []Arrival {
+	t.Helper()
+	rd := apps.RangeDetection(apps.DefaultRangeParams())
+	pd := apps.PulseDoppler(apps.DefaultDopplerParams())
+	wtx := apps.WiFiTX(apps.DefaultWiFiParams())
+	wrx := apps.WiFiRX(apps.DefaultWiFiParams())
+	var out []Arrival
+	at := vtime.Time(0)
+	for i := 0; i < 36; i++ {
+		out = append(out,
+			Arrival{Spec: rd, At: at},
+			Arrival{Spec: pd, At: at + 2_000},
+			Arrival{Spec: wtx, At: at + 3_500},
+			Arrival{Spec: wrx, At: at + 5_000},
+		)
+		// Burst spacing far below the service capacity of the small
+		// boards, mildly loading even the 80-PE pool.
+		at += 11_000
+	}
+	return out
+}
+
+func runDifferential(t *testing.T, cfg *platform.Config, policy sched.Policy, trace []Arrival) *stats.Report {
+	t.Helper()
+	e, err := New(Options{
+		Config:        cfg,
+		Policy:        policy,
+		Registry:      apps.Registry(),
+		Seed:          42,
+		JitterSigma:   0.03,
+		SkipExecution: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Run(trace)
+	if err != nil {
+		t.Fatalf("%s/%s: %v", cfg.Name, policy.Name(), err)
+	}
+	return rep
+}
+
+func TestIndexedMatchesSlicePath(t *testing.T) {
+	trace := differentialWorkload(t)
+	for name, cfg := range differentialConfigs(t) {
+		for _, policyName := range sched.Names() {
+			t.Run(name+"/"+policyName, func(t *testing.T) {
+				indexed, err := sched.New(policyName, 5)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, ok := indexed.(sched.IndexedPolicy); !ok {
+					t.Fatalf("built-in policy %s lacks an indexed fast path", policyName)
+				}
+				slice, err := sched.New(policyName, 5)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := runDifferential(t, cfg, indexed, trace)
+				want := runDifferential(t, cfg, sched.SliceOnly(slice), trace)
+				compareReports(t, want, got)
+			})
+		}
+	}
+}
+
+// TestIndexedMatchesSlicePathStream repeats the differential over the
+// streaming entry point: lazy instantiation recycles task slabs
+// through free lists, so any stale pointer left in the consumed region
+// of the ready deque would surface here as a diverging (or corrupted)
+// report.
+func TestIndexedMatchesSlicePathStream(t *testing.T) {
+	cfg, err := platform.Synthetic(32, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := differentialWorkload(t)
+	for _, policyName := range []string{"frfs", "met", "eft", "frfs-rq", "eft-rq"} {
+		t.Run(policyName, func(t *testing.T) {
+			run := func(p sched.Policy) *stats.Report {
+				src := &sliceSource{arr: trace}
+				e, err := New(Options{
+					Config: cfg, Policy: p, Registry: apps.Registry(),
+					Seed: 9, SkipExecution: true,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				rep, err := e.RunStream(src)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return rep
+			}
+			indexed, _ := sched.New(policyName, 3)
+			slice, _ := sched.New(policyName, 3)
+			got := run(indexed)
+			want := run(sched.SliceOnly(slice))
+			compareReports(t, want, got)
+		})
+	}
+}

@@ -114,11 +114,24 @@ type Emulator struct {
 	handlers []*ResourceHandler
 	// handlerSlab backs handlers with one allocation.
 	handlerSlab []ResourceHandler
+	// peViews is the fixed scheduler view of the handlers, built once:
+	// the handler table never changes, so the per-invocation rebuild
+	// the pre-indexed emulator did was pure waste.
+	peViews []sched.PE
+	// view is the incrementally maintained indexed scheduler state
+	// (per-type idle bitmaps, per-PE load/availability, the ready list
+	// with compiled metadata). nil only for configurations outside the
+	// index's representation (> 64 interned types), which fall back to
+	// per-invocation slice rebuilds.
+	view *sched.View
 	// programs memoises this emulator's (config, registry) view of the
 	// template cache per spec, so the per-arrival lookup in Run is one
 	// map probe without cache locking.
 	programs map[*appmodel.AppSpec]*Program
 
+	// ready backs the no-view fallback only (configurations with > 64
+	// interned PE types): a plain slice with filter compaction. When a
+	// view exists, the view's deque is the one and only ready list.
 	ready     []*Task
 	instances []*AppInstance
 	// nextIdx is the next not-yet-injected entry of instances (slice
@@ -172,7 +185,9 @@ func New(opts Options) (*Emulator, error) {
 			typeIdx: int32(opts.Config.TypeIndex(pe.Type.Key)),
 		}
 		e.handlers = append(e.handlers, h)
+		e.peViews = append(e.peViews, h)
 	}
+	e.view = sched.NewView(e.peViews)
 	return e, nil
 }
 
@@ -214,6 +229,9 @@ func (e *Emulator) beginRun() *Scratch {
 	}
 	for _, h := range e.handlers {
 		h.resetForRun()
+	}
+	if e.view != nil {
+		e.view.Reset()
 	}
 	s.events = s.events[:0]
 	e.report = &stats.Report{
@@ -486,6 +504,43 @@ func (e *Emulator) popEventsDue(now vtime.Time) []int32 {
 	return due
 }
 
+// pushReady appends a task to the ready list. With an indexed view
+// the view's deque IS the ready list (one structure, one compaction);
+// the emulator-owned slice only backs the no-view fallback.
+func (e *Emulator) pushReady(t *Task) {
+	if e.view != nil {
+		e.view.PushReady(t, t.node.meta)
+		return
+	}
+	e.ready = append(e.ready, t)
+}
+
+// readyLen is the live ready count.
+func (e *Emulator) readyLen() int {
+	if e.view != nil {
+		return e.view.ReadyLen()
+	}
+	return len(e.ready)
+}
+
+// consumeReady applies a scheduling batch's removals to the fallback
+// ready slice with a plain order-preserving filter. The fallback is a
+// cold path (exotic > 64-type configurations only), so it keeps the
+// simplest correct shape; the performance-bearing equivalent for
+// view-backed runs is View.CompactReady's prefix-consuming deque.
+func (e *Emulator) consumeReady(remove []bool) {
+	kept := e.ready[:0]
+	for i, t := range e.ready {
+		if !remove[i] {
+			kept = append(kept, t)
+		}
+	}
+	for i := len(kept); i < len(e.ready); i++ {
+		e.ready[i] = nil // dropped slots must not pin instance slabs
+	}
+	e.ready = kept
+}
+
 // injectInstance marks the instance injected at now and appends its
 // head tasks to the ready list.
 func (e *Emulator) injectInstance(inst *AppInstance, now vtime.Time) {
@@ -493,7 +548,7 @@ func (e *Emulator) injectInstance(inst *AppInstance, now vtime.Time) {
 	for _, hid := range inst.prog.heads {
 		t := &inst.Tasks[hid]
 		t.readyAt = now
-		e.ready = append(e.ready, t)
+		e.pushReady(t)
 	}
 }
 
@@ -564,6 +619,9 @@ func (e *Emulator) loop() error {
 			h.status = StatusComplete
 			e.completeTask(h, now)
 			completions++
+			if e.view != nil {
+				e.view.AddLoad(int(h.idx), -1)
+			}
 			// Reservation-queue PEs pull their next task locally,
 			// without waiting for a scheduler invocation — the
 			// low-overhead dispatch the paper's future work targets.
@@ -573,6 +631,9 @@ func (e *Emulator) loop() error {
 				}
 			} else {
 				h.status = StatusIdle
+				if e.view != nil {
+					e.view.MarkIdle(int(h.idx))
+				}
 			}
 		}
 		if completions > 0 {
@@ -588,7 +649,7 @@ func (e *Emulator) loop() error {
 		}
 
 		// Run the heuristic scheduler over the ready list.
-		if dirty && len(e.ready) > 0 {
+		if dirty && e.readyLen() > 0 {
 			if _, err := e.schedule(); err != nil {
 				return err
 			}
@@ -615,9 +676,15 @@ func (e *Emulator) loop() error {
 			}
 		}
 		if !anyRunning && !morePending {
-			if len(e.ready) > 0 {
+			if e.readyLen() > 0 {
+				first := ""
+				if e.view != nil {
+					first = e.view.Ready()[0].Label()
+				} else {
+					first = e.ready[0].Label()
+				}
 				return fmt.Errorf("core: %d ready tasks cannot be scheduled on config %s (policy %s): first is %s",
-					len(e.ready), e.opts.Config.Name, e.opts.Policy.Name(), e.ready[0].Label())
+					e.readyLen(), e.opts.Config.Name, e.opts.Policy.Name(), first)
 			}
 			return nil // emulation complete
 		}
@@ -638,21 +705,30 @@ func (e *Emulator) loop() error {
 // was dispatched or queued.
 func (e *Emulator) schedule() (bool, error) {
 	now := e.clock.Now()
-	// The view slices come from scratch: the Policy contract forbids
-	// retaining them past the Schedule call, so the buffers are safe to
-	// reuse across invocations and across emulations.
 	s := e.opts.Scratch
-	readyViews := s.readyViews[:0]
-	for _, t := range e.ready {
-		readyViews = append(readyViews, t)
+	var res sched.Result
+	if e.view != nil {
+		// The maintained view: indexed policies consume the per-type
+		// idle bitmaps directly; everything else gets the incrementally
+		// maintained ready slice plus the fixed PE table — either way,
+		// nothing is rebuilt per invocation.
+		if ip, ok := e.opts.Policy.(sched.IndexedPolicy); ok {
+			res = ip.ScheduleIndexed(now, e.view)
+		} else {
+			res = e.opts.Policy.Schedule(now, e.view.Ready(), e.peViews)
+		}
+	} else {
+		// Exotic configuration (> 64 interned types): rebuild the ready
+		// view per invocation from scratch buffers. The Policy contract
+		// forbids retaining the slices, so the buffers are safe to
+		// reuse across invocations and across emulations.
+		readyViews := s.readyViews[:0]
+		for _, t := range e.ready {
+			readyViews = append(readyViews, t)
+		}
+		s.readyViews = readyViews
+		res = e.opts.Policy.Schedule(now, readyViews, e.peViews)
 	}
-	s.readyViews = readyViews
-	peViews := s.peViews[:0]
-	for _, h := range e.handlers {
-		peViews = append(peViews, h)
-	}
-	s.peViews = peViews
-	res := e.opts.Policy.Schedule(now, readyViews, peViews)
 
 	ops := res.Ops + e.pendingMonitorOps + invocationBaseOps +
 		dispatchOpsPerTask*len(res.Assignments)
@@ -661,9 +737,9 @@ func (e *Emulator) schedule() (bool, error) {
 	e.report.Sched.Invocations++
 	e.report.Sched.TotalOps += int64(ops)
 	e.report.Sched.OverheadNS += int64(overhead)
-	e.report.Sched.TotalReadyLn += int64(len(e.ready))
-	if len(e.ready) > e.report.Sched.MaxReadyLen {
-		e.report.Sched.MaxReadyLen = len(e.ready)
+	e.report.Sched.TotalReadyLn += int64(e.readyLen())
+	if e.readyLen() > e.report.Sched.MaxReadyLen {
+		e.report.Sched.MaxReadyLen = e.readyLen()
 	}
 	if err := e.clock.Advance(overhead); err != nil {
 		return false, err
@@ -675,18 +751,32 @@ func (e *Emulator) schedule() (bool, error) {
 		return false, nil
 	}
 	// Validate and apply the batch. The masks live in scratch; they
-	// are cleared on checkout, not retained.
+	// are cleared on checkout, not retained. Assignment TaskIndex
+	// values are window-relative, like the view the policy saw.
+	var window []*Task
+	var viewWin []sched.Task
+	if e.view != nil {
+		viewWin = e.view.Ready()
+	} else {
+		window = e.ready
+	}
+	winLen := len(window) + len(viewWin)
 	taken := s.takenMask(len(e.handlers))
-	remove := s.removeMask(len(e.ready))
+	remove := s.removeMask(winLen)
 	for _, a := range res.Assignments {
-		if a.TaskIndex < 0 || a.TaskIndex >= len(e.ready) || a.PEIndex < 0 || a.PEIndex >= len(e.handlers) {
+		if a.TaskIndex < 0 || a.TaskIndex >= winLen || a.PEIndex < 0 || a.PEIndex >= len(e.handlers) {
 			return false, fmt.Errorf("core: policy %s produced out-of-range assignment %+v", e.opts.Policy.Name(), a)
 		}
 		if remove[a.TaskIndex] {
 			return false, fmt.Errorf("core: policy %s assigned task %d twice", e.opts.Policy.Name(), a.TaskIndex)
 		}
 		h := e.handlers[a.PEIndex]
-		t := e.ready[a.TaskIndex]
+		var t *Task
+		if viewWin != nil {
+			t = viewWin[a.TaskIndex].(*Task)
+		} else {
+			t = window[a.TaskIndex]
+		}
 		if t.node.choiceByType[h.typeIdx] < 0 {
 			return false, fmt.Errorf("core: policy %s sent %s to unsupported PE %s",
 				e.opts.Policy.Name(), t.Label(), h.PE.Label())
@@ -707,15 +797,17 @@ func (e *Emulator) schedule() (bool, error) {
 			}
 			taken[a.PEIndex] = true
 		}
+		if e.view != nil {
+			// One task handed to the handler, dispatched or reserved.
+			e.view.AddLoad(a.PEIndex, 1)
+		}
 		remove[a.TaskIndex] = true
 	}
-	kept := e.ready[:0]
-	for i, t := range e.ready {
-		if !remove[i] {
-			kept = append(kept, t)
-		}
+	if e.view != nil {
+		e.view.CompactReady(remove)
+	} else {
+		e.consumeReady(remove)
 	}
-	e.ready = kept
 	// The batch is fully applied; recycle its buffer. Error paths above
 	// leave the buffer to the garbage collector — the emulation is
 	// aborting anyway.
@@ -753,6 +845,10 @@ func (e *Emulator) dispatch(t *Task, h *ResourceHandler, now vtime.Time) error {
 	h.current = t
 	h.status = StatusRun
 	h.busyUntil = t.end
+	if e.view != nil {
+		e.view.MarkBusy(int(h.idx))
+		e.view.SetAvail(int(h.idx), t.end)
+	}
 	e.pushEvent(t.end, h.idx)
 	return nil
 }
@@ -858,7 +954,7 @@ func (e *Emulator) completeTask(h *ResourceHandler, now vtime.Time) {
 		st.remainingPreds--
 		if st.remainingPreds == 0 {
 			st.readyAt = now
-			e.ready = append(e.ready, st)
+			e.pushReady(st)
 		}
 	}
 }

@@ -61,6 +61,11 @@ type progNode struct {
 	// supporting entry of choices, or -1: the dispatch-time
 	// replacement for PlatformFor's key-string scan.
 	choiceByType []int32
+	// meta is the indexed-scheduler metadata (compatible-type bitmask,
+	// compiled MET type, choice count) pushed with every ready task.
+	// Valid only when the configuration interns at most 64 types; the
+	// emulator doesn't build an indexed view otherwise.
+	meta sched.ReadyMeta
 	// dataBytes is the node's per-direction DMA volume
 	// (AppSpec.DataBytes), precomputed.
 	dataBytes int
@@ -182,6 +187,28 @@ func Compile(spec *appmodel.AppSpec, cfg *platform.Config, reg *kernels.Registry
 			if c.TypeID >= 0 && pn.choiceByType[c.TypeID] < 0 {
 				pn.choiceByType[c.TypeID] = int32(ci)
 			}
+		}
+
+		// Indexed-scheduler metadata: the compatible-type bitmask and
+		// MET's compiled best type (the first strict cost minimum over
+		// the choice list, mirroring MET.Schedule's scan — a minimum on
+		// an absent platform stays -1 and the task waits, exactly as on
+		// the slice path).
+		if cfg.NumTypes() <= 64 {
+			for t, ci := range pn.choiceByType {
+				if ci >= 0 {
+					pn.meta.TypeMask |= 1 << uint(t)
+				}
+			}
+			pn.meta.METType = -1
+			var bestCost int64 = -1
+			for _, c := range pn.choices {
+				if bestCost < 0 || c.CostNS < bestCost {
+					bestCost = c.CostNS
+					pn.meta.METType = int32(c.TypeID)
+				}
+			}
+			pn.meta.NumChoices = int32(len(pn.choices))
 		}
 
 		if pn.preds == 0 {

@@ -80,6 +80,22 @@ func referenceCompile(t *testing.T, spec *appmodel.AppSpec, cfg *platform.Config
 				pn.choiceByType[c.TypeID] = int32(ci)
 			}
 		}
+		// The indexed-scheduler metadata is part of the progNode
+		// contract; derive it independently from this lowering's own
+		// choice list.
+		pn.meta = sched.ReadyMeta{METType: -1, NumChoices: int32(len(pn.choices))}
+		for ti, ci := range pn.choiceByType {
+			if ci >= 0 {
+				pn.meta.TypeMask |= 1 << uint(ti)
+			}
+		}
+		var bestCost int64 = -1
+		for _, c := range pn.choices {
+			if bestCost < 0 || c.CostNS < bestCost {
+				bestCost = c.CostNS
+				pn.meta.METType = int32(c.TypeID)
+			}
+		}
 	}
 	// Heads in sorted-name order, exactly as AppSpec.Heads yields them.
 	for _, name := range spec.Heads() {

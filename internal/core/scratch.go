@@ -36,10 +36,13 @@ type peEvent struct {
 // A Scratch is not safe for concurrent use: at most one Emulator may
 // run against it at a time.
 type Scratch struct {
-	arrivals   []Arrival
-	ready      []*Task
+	arrivals []Arrival
+	ready    []*Task
+	// readyViews backs the per-invocation ready rebuild of the
+	// no-indexed-view fallback (configurations with > 64 interned
+	// types); emulators with a view maintain the ready slice
+	// incrementally instead.
 	readyViews []sched.Task
-	peViews    []sched.PE
 
 	// progs holds the per-arrival compiled template during Run setup.
 	progs []*Program
@@ -159,7 +162,6 @@ func (s *Scratch) release() {
 	clear(s.arrivals[:cap(s.arrivals)])
 	clear(s.ready[:cap(s.ready)])
 	clear(s.readyViews[:cap(s.readyViews)])
-	clear(s.peViews[:cap(s.peViews)])
 	clear(s.progs[:cap(s.progs)])
 	clear(s.tasks[len(s.tasks):cap(s.tasks)])
 	clear(s.instances[len(s.instances):cap(s.instances)])

@@ -25,7 +25,11 @@ import (
 // designed for? — and doubles as the emulator's scalability workout:
 // a full run emulates hundreds of thousands of tasks per cell, which
 // is only tractable because instantiation is compiled (one slab per
-// arrival) and the event loop tracks completions incrementally.
+// arrival), the event loop tracks completions incrementally, and the
+// scheduler runs on indexed state (sched.View: per-type idle bitmaps,
+// a prefix-consuming ready deque) instead of rebuilding and scanning
+// ready x PE views per invocation — the saturated cells of this very
+// study are where that host-side cost used to go quadratic.
 
 // ScaleConfigs are the synthetic testbeds of the study, from the
 // ZCU102's class up to 80 PEs.

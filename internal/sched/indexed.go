@@ -1,0 +1,325 @@
+package sched
+
+// Indexed fast paths for the built-in policies. Each ScheduleIndexed
+// reproduces its policy's slice-path Schedule byte for byte — same
+// assignment batch in the same order, same charged Ops — while only
+// examining idle PEs and compatible tasks through the View's bitmap
+// and heap queries. The slice implementations in sched.go and
+// extensions.go remain the semantic definition; the differential tests
+// (TestIndexedMatchesSlicePolicies here, TestIndexedMatchesSlicePath
+// in internal/core) pin the equivalence for every policy across the
+// synthetic platform grid.
+//
+// Charged-ops recipes (derived from the slice scans):
+//
+//	FRFS:     P + per task: failed idle probes below the match + 1,
+//	          or the whole idle pool when nothing supports it.
+//	MET:      P + per task: its choice-list length.
+//	EFT:      P + per task: placed/32 + eftPairWeight*P.
+//	RANDOM:   P + P per task.
+//	FRFS-RQ:  P + P per task while spare queue capacity remains.
+//	EFT-RQ:   P + eftPairWeight*P per task while capacity remains.
+//	EFT-PWR:  P + per task: eftPairWeight*P + its idle candidate count.
+
+import (
+	"math/bits"
+
+	"repro/internal/vtime"
+)
+
+// typeCost is costOn for a type with uniform speed: the annotated cost
+// of the task's first choice entry matching TypeID t, scaled. Only
+// called for types in the task's TypeMask, where a match exists.
+func typeCost(choices []PlatformChoice, t int, speed float64) int64 {
+	for _, c := range choices {
+		if c.TypeID == t {
+			return int64(float64(c.CostNS) * speed)
+		}
+	}
+	return 0
+}
+
+// ScheduleIndexed implements IndexedPolicy: the FRFS probe order is
+// "lowest-index idle supporting PE", so each ready task resolves to
+// one bitmap scan plus a popcount for the charged failed probes.
+func (FRFS) ScheduleIndexed(now vtime.Time, v *View) Result {
+	res := Result{Assignments: newAssignments()}
+	res.Ops += v.numPEs() // availability check per resource handler
+	v.beginIdleScratch()
+	ready := v.Ready()
+	meta := v.metas()
+	for ti := 0; ti < len(ready) && v.scr.idleTot > 0; ti++ {
+		pi := v.minIdleOfMask(meta[ti].TypeMask)
+		if pi < 0 {
+			// Every idle PE is probed and none supports the task.
+			res.Ops += v.scr.idleTot
+			continue
+		}
+		res.Ops += v.idleRankBelow(pi) + 1
+		res.Assignments = append(res.Assignments, Assignment{TaskIndex: ti, PEIndex: pi})
+		v.takeIdle(pi)
+	}
+	return res
+}
+
+// ScheduleIndexed implements IndexedPolicy: the minimum-cost type is
+// compiled into the ready metadata, so each task is one per-type
+// min-idle lookup.
+func (MET) ScheduleIndexed(now vtime.Time, v *View) Result {
+	res := Result{Assignments: newAssignments()}
+	res.Ops += v.numPEs()
+	v.beginIdleScratch()
+	meta := v.metas()
+	for ti := range meta {
+		m := &meta[ti]
+		res.Ops += int(m.NumChoices) // cost comparison per platform entry
+		if m.METType < 0 || int(m.METType) >= v.numTypes {
+			// A minimum-cost platform with no PEs of its type in this
+			// configuration: the task waits, as on the slice path.
+			continue
+		}
+		if pi := v.minIdleOfType(int(m.METType)); pi >= 0 {
+			res.Assignments = append(res.Assignments, Assignment{TaskIndex: ti, PEIndex: pi})
+			v.takeIdle(pi)
+		}
+		// Unassigned tasks simply wait for a PE of their MET type.
+	}
+	return res
+}
+
+// ScheduleIndexed implements IndexedPolicy. EFT's candidate set per
+// task decomposes by type: the best idle PE of a type is its
+// lowest-index one (all share the finish now+cost), and the best
+// busy/tentatively-placed PE is the per-type heap minimum over
+// (tentative, index); the global winner is the lexicographic minimum
+// (finish, index) across both kinds — exactly the slice scan's
+// first-strict-minimum in PE order. Tentative placements re-enter the
+// heaps, so later tasks observe them just like the slice path's
+// tentative table.
+func (p EFT) ScheduleIndexed(now vtime.Time, v *View) Result {
+	if !v.costUniform {
+		// Mixed speeds within one interned type (big.LITTLE): per-PE
+		// costs break the per-type decomposition; keep exactness via
+		// the slice scan over the maintained views.
+		return p.Schedule(now, v.Ready(), v.pes)
+	}
+	res := Result{Assignments: newAssignments()}
+	P := v.numPEs()
+	res.Ops += P
+	v.beginIdleScratch()
+	v.beginTentative(now)
+	ready := v.Ready()
+	meta := v.metas()
+	placed := 0
+	for ti, t := range ready {
+		// The reference implementation's tentative-placement rescan
+		// (see EFT.Schedule) plus one pair evaluation per PE.
+		res.Ops += placed / 32
+		res.Ops += eftPairWeight * P
+		choices := t.Choices()
+		bestPE := -1
+		var bestFinish vtime.Time
+		bestIdle := false
+		for m := meta[ti].TypeMask & v.allTypes; m != 0; m &= m - 1 {
+			tt := bits.TrailingZeros64(m)
+			cost := vtime.Duration(typeCost(choices, tt, v.speed[tt]))
+			if pi := v.minIdleOfType(tt); pi >= 0 {
+				f := now.Add(cost)
+				if bestPE == -1 || f < bestFinish || (f == bestFinish && pi < bestPE) {
+					bestPE, bestFinish, bestIdle = pi, f, true
+				}
+			}
+			if at, pi, ok := v.peekBusyMin(tt); ok {
+				f := at.Add(cost)
+				if bestPE == -1 || f < bestFinish || (f == bestFinish && pi < bestPE) {
+					bestPE, bestFinish, bestIdle = pi, f, false
+				}
+			}
+		}
+		if bestPE < 0 {
+			continue
+		}
+		placed++
+		if bestIdle {
+			res.Assignments = append(res.Assignments, Assignment{TaskIndex: ti, PEIndex: bestPE})
+			v.takeIdle(bestPE)
+		}
+		// Busy best: the task waits but its tentative placement
+		// influences later decisions. Assigned best: the PE joins the
+		// busy set with its committed finish. Either way the PE's
+		// tentative advances to bestFinish.
+		v.setTentative(bestPE, bestFinish)
+	}
+	return res
+}
+
+// ScheduleIndexed implements IndexedPolicy: RANDOM's candidate list is
+// the index-ordered idle supporting PEs, so the draw resolves to a
+// k-th-set-bit select. The generator is consumed exactly as the slice
+// path does (one Intn per task with candidates), keeping seeded runs
+// identical.
+func (r *Random) ScheduleIndexed(now vtime.Time, v *View) Result {
+	res := Result{Assignments: newAssignments()}
+	P := v.numPEs()
+	res.Ops += P
+	v.beginIdleScratch()
+	meta := v.metas()
+	for ti := range meta {
+		res.Ops += P
+		mask := meta[ti].TypeMask
+		n := v.idleCountOfMask(mask)
+		if n == 0 {
+			continue
+		}
+		pi := v.kthIdleOfMask(mask, r.rng.Intn(n))
+		res.Assignments = append(res.Assignments, Assignment{TaskIndex: ti, PEIndex: pi})
+		v.takeIdle(pi)
+	}
+	return res
+}
+
+// ScheduleIndexed implements IndexedPolicy: FRFSQ's shortest-queue
+// pick is a (load, index) minimum over per-(type, load) buckets.
+func (q FRFSQ) ScheduleIndexed(now vtime.Time, v *View) Result {
+	depth := int32(q.Depth)
+	if depth <= 0 {
+		depth = DefaultQueueDepth
+	}
+	if depth > maxBucketDepth {
+		return q.Schedule(now, v.Ready(), v.pes)
+	}
+	res := Result{Assignments: newAssignments()}
+	P := v.numPEs()
+	res.Ops += P
+	free := v.beginLoadBuckets(depth)
+	ready := v.Ready()
+	meta := v.metas()
+	for ti := 0; ti < len(ready) && free > 0; ti++ {
+		res.Ops += P
+		best := v.minLoadOfMask(meta[ti].TypeMask, depth)
+		if best < 0 {
+			continue
+		}
+		res.Assignments = append(res.Assignments, Assignment{TaskIndex: ti, PEIndex: best})
+		v.bumpLoadBucket(best, depth)
+		free--
+	}
+	return res
+}
+
+// maxBucketDepth bounds the per-(type, load) bucket table; deeper
+// reservation queues (never the DefaultQueueDepth) take the slice
+// path.
+const maxBucketDepth = 64
+
+// ScheduleIndexed implements IndexedPolicy: EFTQ's per-type best is
+// the heap minimum over (availability, index) of PEs with spare
+// capacity; committed placements advance availability and re-enter the
+// heap.
+func (q EFTQ) ScheduleIndexed(now vtime.Time, v *View) Result {
+	if !v.costUniform {
+		return q.Schedule(now, v.Ready(), v.pes)
+	}
+	depth := int32(q.Depth)
+	if depth <= 0 {
+		depth = DefaultQueueDepth
+	}
+	res := Result{Assignments: newAssignments()}
+	P := v.numPEs()
+	res.Ops += P
+	free := v.beginAvailHeaps(now, depth)
+	ready := v.Ready()
+	meta := v.metas()
+	for ti := 0; ti < len(ready) && free > 0; ti++ {
+		res.Ops += eftPairWeight * P
+		choices := ready[ti].Choices()
+		best := -1
+		var bestFinish vtime.Time
+		var bestCost vtime.Duration
+		for m := meta[ti].TypeMask & v.allTypes; m != 0; m &= m - 1 {
+			tt := bits.TrailingZeros64(m)
+			cost := vtime.Duration(typeCost(choices, tt, v.speed[tt]))
+			if a, pi, ok := v.peekAvailMin(tt, depth); ok {
+				f := a.Add(cost)
+				if best == -1 || f < bestFinish || (f == bestFinish && pi < best) {
+					best, bestFinish, bestCost = pi, f, cost
+				}
+			}
+		}
+		if best < 0 {
+			continue
+		}
+		res.Assignments = append(res.Assignments, Assignment{TaskIndex: ti, PEIndex: best})
+		free--
+		v.commitAvail(best, v.scr.avail[best].Add(bestCost), depth)
+	}
+	return res
+}
+
+// ScheduleIndexed implements IndexedPolicy: PowerEFT's candidates are
+// idle supporting PEs only, all of a type sharing one (finish, energy)
+// pair, so the slack window and energy minimum resolve per type; ties
+// fall to the type whose lowest-index idle PE comes first, matching
+// the slice scan's candidate order.
+func (p PowerEFT) ScheduleIndexed(now vtime.Time, v *View) Result {
+	if !v.costUniform {
+		return p.Schedule(now, v.Ready(), v.pes)
+	}
+	slack := p.Slack
+	if slack < 1 {
+		slack = 1
+	}
+	res := Result{Assignments: newAssignments()}
+	P := v.numPEs()
+	res.Ops += P
+	v.beginIdleScratch()
+	ready := v.Ready()
+	meta := v.metas()
+	for ti, t := range ready {
+		res.Ops += eftPairWeight * P
+		mask := meta[ti].TypeMask & v.allTypes
+		choices := t.Choices()
+		var bestFinish vtime.Time = -1
+		nCands := 0
+		for m := mask; m != 0; m &= m - 1 {
+			tt := bits.TrailingZeros64(m)
+			c := int(v.scr.idleCnt[tt])
+			if c == 0 {
+				continue
+			}
+			nCands += c
+			f := now.Add(vtime.Duration(typeCost(choices, tt, v.speed[tt])))
+			if bestFinish < 0 || f < bestFinish {
+				bestFinish = f
+			}
+		}
+		if nCands == 0 {
+			continue
+		}
+		res.Ops += nCands // slack-window scan over the candidate list
+		limit := vtime.Time(float64(bestFinish-vtime.Time(0)) * slack)
+		pick := -1
+		bestE := 0.0
+		for m := mask; m != 0; m &= m - 1 {
+			tt := bits.TrailingZeros64(m)
+			if v.scr.idleCnt[tt] == 0 {
+				continue
+			}
+			cost := typeCost(choices, tt, v.speed[tt])
+			if now.Add(vtime.Duration(cost)) > limit {
+				continue
+			}
+			e := float64(cost) * v.power[tt] * 1e-9
+			pi := v.minIdleOfType(tt)
+			if pick == -1 || e < bestE || (e == bestE && pi < pick) {
+				pick, bestE = pi, e
+			}
+		}
+		if pick == -1 {
+			pick = v.minIdleOfMask(mask)
+		}
+		res.Assignments = append(res.Assignments, Assignment{TaskIndex: ti, PEIndex: pick})
+		v.takeIdle(pick)
+	}
+	return res
+}

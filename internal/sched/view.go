@@ -1,0 +1,669 @@
+package sched
+
+// The indexed scheduler state. A View is the incrementally maintained
+// counterpart of the (ready []Task, pes []PE) slice pair: the owner
+// (the emulation core) keeps per-type idle-PE bitmaps, per-PE
+// availability and load counters, and the ready list with compiled
+// per-task metadata up to date as events happen — dispatch, completion
+// collection, reservation enqueue, ready push — instead of rebuilding
+// full views on every scheduler invocation. Policies that implement
+// IndexedPolicy consume the View through bitmap queries that only
+// touch idle PEs and compatible tasks, so the host-side cost of one
+// invocation no longer scales with ready-length x PE-count.
+//
+// The charged operation counts (Result.Ops) are part of the modelled
+// behaviour — the paper's Figure 10b quantity — and must therefore be
+// IDENTICAL between the two paths: ScheduleIndexed computes the same
+// ops the slice scan would have charged (idle ranks, probe counts,
+// pair weights) from the index structures. The byte-determinism
+// contract is pinned by TestIndexedMatchesSlicePolicies (package
+// sched) and TestIndexedMatchesSlicePath (package core).
+
+import (
+	"math/bits"
+
+	"repro/internal/vtime"
+)
+
+// ReadyMeta is the compiled per-task metadata the indexed fast paths
+// consume. The emulation core derives it once per DAG node at program
+// compile time (it depends only on the node's platform choices and
+// the configuration's type interning) and pushes it alongside every
+// ready task.
+type ReadyMeta struct {
+	// TypeMask has bit t set when the task carries a platform choice
+	// whose TypeID is t, i.e. the configuration can run it on a PE of
+	// type t.
+	TypeMask uint64
+	// METType is the TypeID of the task's minimum-cost platform entry,
+	// resolved with MET's exact scan (first strict minimum over the
+	// choice list in order); -1 when that entry's platform is absent
+	// from the configuration.
+	METType int32
+	// NumChoices is the length of the task's choice list — the
+	// per-task operation count MET charges for its cost scan.
+	NumChoices int32
+}
+
+// IndexedPolicy is the optional fast-path side of Policy. A policy
+// implementing it is handed the incrementally maintained View instead
+// of freshly built slices. ScheduleIndexed MUST return a Result that
+// is byte-identical — same assignments in the same order, same Ops —
+// to what Schedule would return for the equivalent slice state;
+// emulation reports are pinned on this. Third-party policies that
+// don't implement the interface keep receiving the slice views.
+type IndexedPolicy interface {
+	Policy
+	ScheduleIndexed(now vtime.Time, v *View) Result
+}
+
+// SliceOnly wraps a policy so that any indexed fast path it implements
+// is hidden, forcing the emulator onto the legacy slice path. It
+// exists for differential tests and path-ablation benchmarks; the
+// wrapper forwards Reset to stateful policies so seeded runs stay
+// comparable.
+func SliceOnly(p Policy) Policy { return sliceOnly{p} }
+
+type sliceOnly struct{ p Policy }
+
+func (w sliceOnly) Name() string     { return w.p.Name() }
+func (w sliceOnly) UsesQueues() bool { return w.p.UsesQueues() }
+func (w sliceOnly) Schedule(now vtime.Time, ready []Task, pes []PE) Result {
+	return w.p.Schedule(now, ready, pes)
+}
+func (w sliceOnly) Reset() {
+	if r, ok := w.p.(Resettable); ok {
+		r.Reset()
+	}
+}
+
+// availEntry is one (instant, PE index) pair in the per-type min-heaps
+// the EFT-family fast paths use; ordering is lexicographic (at, idx),
+// matching the slice scan's first-strict-minimum-in-index-order
+// tie-break.
+type availEntry struct {
+	at  vtime.Time
+	idx int32
+}
+
+func entryLess(a, b availEntry) bool {
+	return a.at < b.at || (a.at == b.at && a.idx < b.idx)
+}
+
+func pushEntry(h []availEntry, e availEntry) []availEntry {
+	h = append(h, e)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if entryLess(h[p], h[i]) {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+	return h
+}
+
+func popEntry(h []availEntry) []availEntry {
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && entryLess(h[l], h[min]) {
+			min = l
+		}
+		if r < n && entryLess(h[r], h[min]) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+	return h
+}
+
+// viewScratch is the per-Schedule working state of the fast paths.
+// Everything here is rebuilt (cheaply) or copied at the start of a
+// ScheduleIndexed call and never escapes it, so a policy's tentative
+// decisions cannot leak into the View's live state — the emulator
+// applies the returned batch itself.
+type viewScratch struct {
+	idle    []uint64
+	idleCnt []int32
+	idleTot int
+
+	tent  []vtime.Time
+	avail []vtime.Time
+	load  []int32
+	heaps [][]availEntry
+
+	buckets []uint64
+}
+
+// View is the indexed scheduler state; see the package comment above.
+// A View belongs to exactly one emulator and is not safe for
+// concurrent use.
+type View struct {
+	pes      []PE
+	peType   []int32
+	numTypes int
+	// allTypes masks off TypeMask bits beyond the interned types: a
+	// task may name a platform type no PE of this view carries (fake
+	// scenarios, foreign masks); such bits mean "no candidate PEs" and
+	// are dropped before any per-type table is indexed.
+	allTypes uint64
+	words    int // uint64 words per PE bitmap
+
+	// typeBits[t*words:(t+1)*words] is the static membership bitmap of
+	// type t over PE indices.
+	typeBits []uint64
+	// speed/power are the per-type cost parameters, valid only when
+	// costUniform: configurations may intern PEs with different speed
+	// or power under one type key (the Odroid's big.LITTLE cores both
+	// match "cpu"), and the cost-based fast paths must then fall back
+	// to the slice scan.
+	speed       []float64
+	power       []float64
+	costUniform bool
+
+	// Live state, maintained by the owner.
+	idleBits []uint64
+	idleCnt  []int32
+	idleTot  int
+	avail    []vtime.Time
+	load     []int32
+
+	// ready/meta hold the ready window as a head-offset deque: slots
+	// below head are consumed, the live window is ready[head:]. Batch
+	// removals are overwhelmingly a prefix of the FIFO window (FRFS
+	// assigns oldest-first), so consuming them by advancing head makes
+	// the per-batch cost proportional to the batch, not the window —
+	// the O(ready-length) compaction the slice path paid on every
+	// invocation was the dominant host cost of saturated runs.
+	ready []Task
+	meta  []ReadyMeta
+	head  int
+
+	scr viewScratch
+}
+
+// NewView builds the indexed state over a fixed PE table. It returns
+// nil when the configuration is outside the index's representation
+// (more than 64 interned types, or a PE without a valid TypeID); the
+// caller then stays on the slice path entirely. The pes slice is
+// retained and must stay valid and immutable for the View's lifetime.
+func NewView(pes []PE) *View {
+	if len(pes) == 0 {
+		return nil
+	}
+	numTypes := 0
+	for _, pe := range pes {
+		t := pe.TypeID()
+		if t < 0 || t > 63 {
+			return nil
+		}
+		if t+1 > numTypes {
+			numTypes = t + 1
+		}
+	}
+	words := (len(pes) + 63) / 64
+	v := &View{
+		pes:         pes,
+		peType:      make([]int32, len(pes)),
+		numTypes:    numTypes,
+		words:       words,
+		typeBits:    make([]uint64, numTypes*words),
+		speed:       make([]float64, numTypes),
+		power:       make([]float64, numTypes),
+		costUniform: true,
+		idleBits:    make([]uint64, words),
+		idleCnt:     make([]int32, numTypes),
+		avail:       make([]vtime.Time, len(pes)),
+		load:        make([]int32, len(pes)),
+	}
+	v.allTypes = uint64(1)<<uint(numTypes) - 1
+	seen := make([]bool, numTypes)
+	for i, pe := range pes {
+		t := pe.TypeID()
+		v.peType[i] = int32(t)
+		v.typeBits[t*words+i/64] |= 1 << uint(i%64)
+		if !seen[t] {
+			seen[t] = true
+			v.speed[t] = pe.SpeedFactor()
+			v.power[t] = pe.PowerW()
+		} else if pe.SpeedFactor() != v.speed[t] || pe.PowerW() != v.power[t] {
+			v.costUniform = false
+		}
+	}
+	v.Reset()
+	return v
+}
+
+// Reset restores the start-of-run state: every PE idle with zero
+// availability and load, and an empty ready list (backing arrays are
+// kept, pointers cleared).
+func (v *View) Reset() {
+	clear(v.idleBits)
+	clear(v.idleCnt)
+	for i := range v.pes {
+		v.idleBits[i/64] |= 1 << uint(i%64)
+		v.idleCnt[v.peType[i]]++
+	}
+	v.idleTot = len(v.pes)
+	clear(v.avail)
+	clear(v.load)
+	clear(v.ready[:cap(v.ready)])
+	v.ready = v.ready[:0]
+	v.meta = v.meta[:0]
+	v.head = 0
+}
+
+// MarkBusy removes a PE from the idle index; idempotent.
+func (v *View) MarkBusy(pi int) {
+	w, b := pi/64, uint64(1)<<uint(pi%64)
+	if v.idleBits[w]&b != 0 {
+		v.idleBits[w] &^= b
+		v.idleCnt[v.peType[pi]]--
+		v.idleTot--
+	}
+}
+
+// MarkIdle returns a PE to the idle index; idempotent.
+func (v *View) MarkIdle(pi int) {
+	w, b := pi/64, uint64(1)<<uint(pi%64)
+	if v.idleBits[w]&b == 0 {
+		v.idleBits[w] |= b
+		v.idleCnt[v.peType[pi]]++
+		v.idleTot++
+	}
+}
+
+// SetAvail records the instant the PE's current dispatch completes —
+// the AvailableAt the slice path would read back from the handler.
+func (v *View) SetAvail(pi int, at vtime.Time) { v.avail[pi] = at }
+
+// AddLoad adjusts the PE's held-task count (running or reserved): +1
+// per task handed to the handler by a scheduling batch, -1 per
+// completion collected. Mirrors QueueLen() plus the running slot.
+func (v *View) AddLoad(pi, delta int) { v.load[pi] += int32(delta) }
+
+// PushReady appends a task (with its compiled metadata) to the ready
+// list; order is the arrival order FRFS preserves.
+func (v *View) PushReady(t Task, m ReadyMeta) {
+	v.ready = append(v.ready, t)
+	v.meta = append(v.meta, m)
+}
+
+// CompactReady drops every window entry whose index is marked in
+// remove (indices are window-relative), preserving order. The removed
+// prefix is consumed by advancing the head; only removals scattered
+// beyond it cost a tail compaction. Once the dead prefix outweighs the
+// live window the backing array slides down, so storage stays
+// proportional to the peak window.
+func (v *View) CompactReady(remove []bool) {
+	base := v.head
+	i := 0
+	for ; i < len(remove) && remove[i]; i++ {
+		v.ready[base+i] = nil // consumed slots must not pin tasks
+	}
+	v.head = base + i
+	// Scattered removals beyond the prefix: everything before the first
+	// hole is already in place, so compaction shifts only the tail from
+	// there, moving the kept runs between holes with bulk copies.
+	f := -1
+	for j := i; j < len(remove); j++ {
+		if remove[j] {
+			f = j
+			break
+		}
+	}
+	if f >= 0 {
+		dst := base + f
+		j := f
+		for j < len(remove) {
+			if remove[j] {
+				j++
+				continue
+			}
+			k := j
+			for k < len(remove) && !remove[k] {
+				k++
+			}
+			copy(v.meta[dst:], v.meta[base+j:base+k])
+			dst += copy(v.ready[dst:], v.ready[base+j:base+k])
+			j = k
+		}
+		for i := dst; i < len(v.ready); i++ {
+			v.ready[i] = nil
+		}
+		v.ready = v.ready[:dst]
+		v.meta = v.meta[:dst]
+	}
+	if v.head == len(v.ready) {
+		v.ready = v.ready[:0]
+		v.meta = v.meta[:0]
+		v.head = 0
+	} else if v.head >= 64 && v.head > len(v.ready)-v.head {
+		n := copy(v.ready, v.ready[v.head:])
+		copy(v.meta, v.meta[v.head:])
+		for i := n; i < len(v.ready); i++ {
+			v.ready[i] = nil
+		}
+		v.ready = v.ready[:n]
+		v.meta = v.meta[:n]
+		v.head = 0
+	}
+}
+
+// ReadyLen is the live ready window length.
+func (v *View) ReadyLen() int { return len(v.ready) - v.head }
+
+// Ready exposes the live ready window. The slice aliases the View's
+// backing storage: policies may read it during a Schedule call but
+// must not retain it, the same contract as the scratch-built slices.
+func (v *View) Ready() []Task { return v.ready[v.head:] }
+
+// metas is the ready window's compiled metadata, index-aligned with
+// Ready().
+func (v *View) metas() []ReadyMeta { return v.meta[v.head:] }
+
+// PEs exposes the fixed PE table (index-aligned with assignment
+// PEIndex values).
+func (v *View) PEs() []PE { return v.pes }
+
+// IdleCount reports the number of currently idle PEs.
+func (v *View) IdleCount() int { return v.idleTot }
+
+// numPEs is the P every policy charges for its per-handler status
+// scan.
+func (v *View) numPEs() int { return len(v.pes) }
+
+// --- per-call scratch queries (fast paths only) -----------------------------
+
+// beginIdleScratch snapshots the idle index for one Schedule call;
+// tentative assignments then consume the snapshot via takeIdle without
+// touching live state.
+func (v *View) beginIdleScratch() {
+	v.scr.idle = append(v.scr.idle[:0], v.idleBits...)
+	v.scr.idleCnt = append(v.scr.idleCnt[:0], v.idleCnt...)
+	v.scr.idleTot = v.idleTot
+}
+
+// takeIdle consumes one idle PE from the call snapshot.
+func (v *View) takeIdle(pi int) {
+	v.scr.idle[pi/64] &^= 1 << uint(pi%64)
+	v.scr.idleCnt[v.peType[pi]]--
+	v.scr.idleTot--
+}
+
+// minIdleOfType returns the lowest-index idle PE of one type, or -1.
+func (v *View) minIdleOfType(t int) int {
+	if v.scr.idleCnt[t] == 0 {
+		return -1
+	}
+	tb := v.typeBits[t*v.words:]
+	for w, m := range v.scr.idle {
+		if x := m & tb[w]; x != 0 {
+			return w*64 + bits.TrailingZeros64(x)
+		}
+	}
+	return -1
+}
+
+// maskWord ORs the membership bitmaps of every type in mask for one
+// bitmap word.
+func (v *View) maskWord(mask uint64, w int) uint64 {
+	var u uint64
+	for mm := mask; mm != 0; mm &= mm - 1 {
+		u |= v.typeBits[bits.TrailingZeros64(mm)*v.words+w]
+	}
+	return u
+}
+
+// minIdleOfMask returns the lowest-index idle PE over every type in
+// mask — the first idle supporting PE the FRFS probe order finds — or
+// -1 when no compatible type has an idle PE.
+func (v *View) minIdleOfMask(mask uint64) int {
+	mask &= v.allTypes
+	for w, m := range v.scr.idle {
+		if x := m & v.maskWord(mask, w); x != 0 {
+			return w*64 + bits.TrailingZeros64(x)
+		}
+	}
+	return -1
+}
+
+// idleRankBelow counts idle PEs (of any type) with index strictly
+// below pi — the failed probes FRFS charges before its match.
+func (v *View) idleRankBelow(pi int) int {
+	w := pi / 64
+	n := 0
+	for i := 0; i < w; i++ {
+		n += bits.OnesCount64(v.scr.idle[i])
+	}
+	if r := uint(pi % 64); r > 0 {
+		n += bits.OnesCount64(v.scr.idle[w] & (1<<r - 1))
+	}
+	return n
+}
+
+// idleCountOfMask sums the idle counts of every type in mask.
+func (v *View) idleCountOfMask(mask uint64) int {
+	n := 0
+	for mm := mask & v.allTypes; mm != 0; mm &= mm - 1 {
+		n += int(v.scr.idleCnt[bits.TrailingZeros64(mm)])
+	}
+	return n
+}
+
+// kthIdleOfMask returns the (k+1)-th lowest-index idle PE over the
+// mask's types — the candidates[k] of RANDOM's index-ordered
+// candidate list. k must be < idleCountOfMask(mask).
+func (v *View) kthIdleOfMask(mask uint64, k int) int {
+	mask &= v.allTypes
+	for w, m := range v.scr.idle {
+		x := m & v.maskWord(mask, w)
+		c := bits.OnesCount64(x)
+		if k >= c {
+			k -= c
+			continue
+		}
+		for ; k > 0; k-- {
+			x &= x - 1
+		}
+		return w*64 + bits.TrailingZeros64(x)
+	}
+	return -1
+}
+
+// ensureHeaps sizes the per-type heap table.
+func (v *View) ensureHeaps() {
+	for len(v.scr.heaps) < v.numTypes {
+		v.scr.heaps = append(v.scr.heaps, nil)
+	}
+}
+
+// beginTentative builds EFT's call state: per-type min-heaps over the
+// busy PEs keyed by (max(AvailableAt, now), index), plus the tentative
+// table the heap entries validate against. Must run before any
+// takeIdle on the same call.
+func (v *View) beginTentative(now vtime.Time) {
+	v.ensureHeaps()
+	if cap(v.scr.tent) < len(v.pes) {
+		v.scr.tent = make([]vtime.Time, len(v.pes))
+	}
+	v.scr.tent = v.scr.tent[:len(v.pes)]
+	for t := 0; t < v.numTypes; t++ {
+		h := v.scr.heaps[t][:0]
+		tb := v.typeBits[t*v.words:]
+		for w := 0; w < v.words; w++ {
+			busy := tb[w] &^ v.idleBits[w]
+			for ; busy != 0; busy &= busy - 1 {
+				pi := w*64 + bits.TrailingZeros64(busy)
+				a := v.pes[pi].AvailableAt()
+				if a < now {
+					a = now
+				}
+				v.scr.tent[pi] = a
+				h = pushEntry(h, availEntry{a, int32(pi)})
+			}
+		}
+		v.scr.heaps[t] = h
+	}
+}
+
+// peekBusyMin returns the busy PE of type t with the lexicographically
+// smallest (tentative, index), discarding entries invalidated by
+// setTentative.
+func (v *View) peekBusyMin(t int) (vtime.Time, int, bool) {
+	h := v.scr.heaps[t]
+	for len(h) > 0 {
+		top := h[0]
+		if v.scr.tent[top.idx] == top.at {
+			v.scr.heaps[t] = h
+			return top.at, int(top.idx), true
+		}
+		h = popEntry(h)
+	}
+	v.scr.heaps[t] = h
+	return 0, -1, false
+}
+
+// setTentative updates a PE's tentative completion (EFT's placement
+// bookkeeping) and enters it into its type's busy heap.
+func (v *View) setTentative(pi int, at vtime.Time) {
+	v.scr.tent[pi] = at
+	t := v.peType[pi]
+	v.scr.heaps[t] = pushEntry(v.scr.heaps[t], availEntry{at, int32(pi)})
+}
+
+// beginAvailHeaps builds EFTQ's call state: scratch copies of the
+// per-PE load and availability (clamped to now), per-type min-heaps
+// keyed (avail, index) over PEs with spare queue capacity, and the
+// total free slot count the outer loop drains.
+func (v *View) beginAvailHeaps(now vtime.Time, depth int32) int {
+	v.ensureHeaps()
+	v.scr.load = append(v.scr.load[:0], v.load...)
+	if cap(v.scr.avail) < len(v.pes) {
+		v.scr.avail = make([]vtime.Time, len(v.pes))
+	}
+	v.scr.avail = v.scr.avail[:len(v.pes)]
+	free := 0
+	for t := 0; t < v.numTypes; t++ {
+		h := v.scr.heaps[t][:0]
+		tb := v.typeBits[t*v.words:]
+		for w := 0; w < v.words; w++ {
+			for x := tb[w]; x != 0; x &= x - 1 {
+				pi := w*64 + bits.TrailingZeros64(x)
+				a := v.avail[pi]
+				if a < now {
+					a = now
+				}
+				v.scr.avail[pi] = a
+				if l := v.scr.load[pi]; l < depth {
+					free += int(depth - l)
+					h = pushEntry(h, availEntry{a, int32(pi)})
+				}
+			}
+		}
+		v.scr.heaps[t] = h
+	}
+	return free
+}
+
+// peekAvailMin returns the spare-capacity PE of type t with the
+// lexicographically smallest (avail, index), discarding entries
+// invalidated by queue growth or availability pushes.
+func (v *View) peekAvailMin(t int, depth int32) (vtime.Time, int, bool) {
+	h := v.scr.heaps[t]
+	for len(h) > 0 {
+		top := h[0]
+		if v.scr.load[top.idx] < depth && v.scr.avail[top.idx] == top.at {
+			v.scr.heaps[t] = h
+			return top.at, int(top.idx), true
+		}
+		h = popEntry(h)
+	}
+	v.scr.heaps[t] = h
+	return 0, -1, false
+}
+
+// commitAvail applies one EFTQ placement: the PE's queue grows and its
+// availability advances by the committed cost.
+func (v *View) commitAvail(pi int, at vtime.Time, depth int32) {
+	v.scr.load[pi]++
+	v.scr.avail[pi] = at
+	if v.scr.load[pi] < depth {
+		t := v.peType[pi]
+		v.scr.heaps[t] = pushEntry(v.scr.heaps[t], availEntry{at, int32(pi)})
+	}
+}
+
+// beginLoadBuckets builds FRFSQ's call state: a scratch load copy and
+// per-(type, load) membership bitmaps for loads below depth, plus the
+// total free slot count.
+func (v *View) beginLoadBuckets(depth int32) int {
+	v.scr.load = append(v.scr.load[:0], v.load...)
+	n := v.numTypes * int(depth) * v.words
+	if cap(v.scr.buckets) < n {
+		v.scr.buckets = make([]uint64, n)
+	}
+	v.scr.buckets = v.scr.buckets[:n]
+	clear(v.scr.buckets)
+	free := 0
+	for pi := range v.pes {
+		l := v.scr.load[pi]
+		if d := depth - l; d > 0 {
+			free += int(d)
+		}
+		if l < depth {
+			t := int(v.peType[pi])
+			v.scr.buckets[(t*int(depth)+int(l))*v.words+pi/64] |= 1 << uint(pi%64)
+		}
+	}
+	return free
+}
+
+// minLoadOfMask returns the compatible PE with the smallest load below
+// depth, ties broken by lowest index — FRFSQ's shortest-queue pick —
+// or -1.
+func (v *View) minLoadOfMask(mask uint64, depth int32) int {
+	mask &= v.allTypes
+	for l := int32(0); l < depth; l++ {
+		best := -1
+		for mm := mask; mm != 0; mm &= mm - 1 {
+			t := bits.TrailingZeros64(mm)
+			row := v.scr.buckets[(t*int(depth)+int(l))*v.words:][:v.words]
+			for w, x := range row {
+				if x != 0 {
+					if pi := w*64 + bits.TrailingZeros64(x); best == -1 || pi < best {
+						best = pi
+					}
+					break
+				}
+			}
+		}
+		if best >= 0 {
+			return best
+		}
+	}
+	return -1
+}
+
+// bumpLoadBucket applies one FRFSQ placement: the PE moves from its
+// load bucket to the next (dropping out once full).
+func (v *View) bumpLoadBucket(pi int, depth int32) {
+	t := int(v.peType[pi])
+	l := v.scr.load[pi]
+	w, b := pi/64, uint64(1)<<uint(pi%64)
+	v.scr.buckets[(t*int(depth)+int(l))*v.words+w] &^= b
+	v.scr.load[pi] = l + 1
+	if l+1 < depth {
+		v.scr.buckets[(t*int(depth)+int(l+1))*v.words+w] |= b
+	}
+}

@@ -54,14 +54,25 @@ type Emulation struct {
 	// (lazy instantiation, bounded memory) and Arrivals is ignored.
 	// Sources are single-use; the same closure rule as Sink applies.
 	Source core.ArrivalSource
+	// SlicePath forces the emulator onto the legacy slice scheduling
+	// path (sched.SliceOnly), bypassing the built-in policies' indexed
+	// fast paths. Results are byte-identical either way — that contract
+	// is what the path-differential sweeps exist to pin — so the switch
+	// is for ablation benchmarks and differential grids, not for
+	// production sweeps.
+	SlicePath bool
 }
 
 // Run builds the emulator against the worker's scratch and executes
 // the trace, satisfying the Cell[*stats.Report] signature.
 func (em Emulation) Run(s *core.Scratch) (*stats.Report, error) {
+	policy := em.Policy
+	if em.SlicePath && policy != nil {
+		policy = sched.SliceOnly(policy)
+	}
 	e, err := core.New(core.Options{
 		Config:        em.Config,
-		Policy:        em.Policy,
+		Policy:        policy,
 		Registry:      em.Registry,
 		Seed:          em.Seed,
 		JitterSigma:   em.JitterSigma,

@@ -211,3 +211,63 @@ func TestProgressReporting(t *testing.T) {
 		}
 	}
 }
+
+// TestSchedulerPathParityGrid runs the synthetic platform grid under
+// every built-in policy through both scheduler paths — the indexed
+// fast path and the legacy slice path (Emulation.SlicePath) — in one
+// parallel sweep each, and requires byte-identical reports cell by
+// cell. This is the sweep-level pin of the indexed scheduler's
+// determinism contract.
+func TestSchedulerPathParityGrid(t *testing.T) {
+	specs := apps.Specs()
+	trace, err := workload.RateTrace(specs, 4, workload.TableIIFrame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := func(slicePath bool) []Cell[*stats.Report] {
+		var cells []Cell[*stats.Report]
+		for _, cf := range [][2]int{{8, 2}, {16, 4}} {
+			cfg, err := platform.Synthetic(cf[0], cf[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, name := range sched.Names() {
+				policy, err := sched.New(name, 13)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cells = append(cells, EmulationCell(
+					fmt.Sprintf("%s/%s/slice=%v", cfg.Name, name, slicePath),
+					Emulation{
+						Config: cfg, Policy: policy, Registry: apps.Registry(),
+						Arrivals: trace, Seed: 13, JitterSigma: 0.02,
+						SkipExecution: true, SlicePath: slicePath,
+					}))
+			}
+		}
+		return cells
+	}
+	indexed, err := Run(grid(false), Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slice, err := Run(grid(true), Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(indexed) != len(slice) {
+		t.Fatalf("cell counts differ: %d vs %d", len(indexed), len(slice))
+	}
+	for i := range indexed {
+		a, b := indexed[i], slice[i]
+		if a.Makespan != b.Makespan || a.Sched != b.Sched || len(a.Tasks) != len(b.Tasks) {
+			t.Fatalf("cell %d diverged between scheduler paths: indexed{%v %+v} slice{%v %+v}",
+				i, a.Makespan, a.Sched, b.Makespan, b.Sched)
+		}
+		for j := range a.Tasks {
+			if a.Tasks[j] != b.Tasks[j] {
+				t.Fatalf("cell %d task %d diverged: %+v vs %+v", i, j, a.Tasks[j], b.Tasks[j])
+			}
+		}
+	}
+}
