@@ -25,9 +25,11 @@ test:
 # repo; run it (and the core scratch plumbing it exercises) under the
 # race detector. The sweep package's own cells are timing-only, so
 # also race-run the experiments goldens, whose cells execute kernels
-# functionally in parallel.
+# functionally in parallel, and the scheduler package itself — its
+# pooled buffers and assignment recycling are shared across sweep
+# workers, so the policy parity suites run raced too.
 race:
-	$(GO) test -race ./internal/sweep/...
+	$(GO) test -race ./internal/sweep/... ./internal/sched/...
 	$(GO) test -race -run ParallelGolden ./internal/experiments
 
 # `make bench` records the perf trajectory: the emulator throughput
@@ -36,7 +38,12 @@ race:
 # cmd/benchreport. Bump BENCH_N when a PR moves the numbers. The
 # allocation regression gate lives in `test`: TestRunSteadyStateAllocs
 # plus its sink/stream companions (constant allocs with an Online sink).
-BENCH_N ?= 4
+BENCH_N ?= 5
+
+# The recorded regex includes the scheduler path ablation since PR 5:
+# BENCH_5.json pins the indexed-vs-slice gap on the big.LITTLE and
+# 512-PE heterogeneous pools alongside the throughput headlines.
+BENCH_REGEX = EmulatorThroughput|SweepWorkers|SchedulerPathAblation
 
 # Both steps land in temp files first so neither a failed benchmark run
 # nor a benchreport parse error can truncate the recorded
@@ -44,7 +51,7 @@ BENCH_N ?= 4
 # `>` truncates before the command runs). The .out temp survives a
 # failure for debugging.
 bench:
-	$(GO) test -run NONE -bench 'EmulatorThroughput|SweepWorkers' \
+	$(GO) test -run NONE -bench '$(BENCH_REGEX)' \
 		-benchmem -benchtime 10x . > BENCH_$(BENCH_N).out
 	@cat BENCH_$(BENCH_N).out
 	$(GO) run ./cmd/benchreport < BENCH_$(BENCH_N).out > BENCH_$(BENCH_N).json.tmp
@@ -53,12 +60,14 @@ bench:
 
 # `make bench-check` is the perf-regression gate: it reruns the bench
 # suite and diffs it against the last recorded BENCH_$(BENCH_PREV).json
-# via benchreport -prev, failing on a >10% tasks/sec drop. The fresh
-# measurement is discarded (only the delta table on stderr survives);
-# run `make bench` to record a new trajectory point.
-BENCH_PREV ?= $(BENCH_N)
+# via benchreport -prev, failing on a >10% tasks/sec drop — so after
+# PR 5 the fresh numbers (BENCH_5 shape) gate against the recorded
+# BENCH_4.json trajectory point. The fresh measurement is discarded
+# (only the delta table on stderr survives); run `make bench` to record
+# a new trajectory point.
+BENCH_PREV ?= 4
 bench-check:
-	$(GO) test -run NONE -bench 'EmulatorThroughput|SweepWorkers' \
+	$(GO) test -run NONE -bench '$(BENCH_REGEX)' \
 		-benchmem -benchtime 10x . > BENCH_check.out
 	@status=0; $(GO) run ./cmd/benchreport -prev BENCH_$(BENCH_PREV).json \
 		< BENCH_check.out > /dev/null || status=$$?; \

@@ -305,37 +305,57 @@ func BenchmarkEmulatorThroughputManyPE(b *testing.B) {
 }
 
 // BenchmarkSchedulerPathAblation isolates the indexed scheduler
-// against the legacy slice path (sched.SliceOnly) on the saturated
-// many-PE workload of BenchmarkEmulatorThroughputManyPE. The reports
-// are byte-identical either way (the differential tests pin that);
-// the gap is pure host-side cost: per-invocation view rebuilds and
-// O(ready x PEs) scans versus incremental bitmaps and the ready
-// deque's prefix consumption.
+// against the legacy slice path (sched.SliceOnly) on three platform
+// shapes: FRFS on the uniform many-PE pool (the PR 4 headline), EFT on
+// the Odroid's big.LITTLE pool — the cost-based configuration that
+// used to fall back to the slice scan even under the indexed view,
+// closed by PR 5's cost-class interning — and EFT on the 512-PE
+// heterogeneous synthetic pool that scales the split "cpu" type far
+// past any COTS board. The reports are byte-identical either way (the
+// differential tests pin that); the gap is pure host-side cost:
+// per-invocation view rebuilds and O(ready x PEs) scans versus
+// incremental bitmaps, per-class heaps and the ready deque's prefix
+// consumption.
 func BenchmarkSchedulerPathAblation(b *testing.B) {
-	cfg, err := platform.Synthetic(32, 8)
-	if err != nil {
-		b.Fatal(err)
+	cases := []struct {
+		label  string
+		config func() (*platform.Config, error)
+		policy string
+		rate   float64
+	}{
+		{"32C+8F-syn/frfs", func() (*platform.Config, error) { return platform.Synthetic(32, 8) }, "frfs", 8},
+		{"4BIG+3LTL/eft", func() (*platform.Config, error) { return platform.OdroidXU3(4, 3) }, "eft", 12},
+		{"256B+192L+64F-het/eft", func() (*platform.Config, error) { return platform.SyntheticHet(256, 192, 64) }, "eft", 8},
 	}
-	trace := mixedWorkload(b, 8)
-	for _, path := range []string{"indexed", "slice"} {
-		b.Run("path="+path, func(b *testing.B) {
-			s := core.NewScratch()
-			var tasks int
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				var p sched.Policy = sched.FRFS{}
-				if path == "slice" {
-					p = sched.SliceOnly(p)
+	for _, c := range cases {
+		cfg, err := c.config()
+		if err != nil {
+			b.Fatal(err)
+		}
+		trace := mixedWorkload(b, c.rate)
+		for _, path := range []string{"indexed", "slice"} {
+			b.Run("config="+c.label+"/path="+path, func(b *testing.B) {
+				s := core.NewScratch()
+				var tasks int
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					p, err := sched.New(c.policy, 1)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if path == "slice" {
+						p = sched.SliceOnly(p)
+					}
+					e, _ := core.New(core.Options{Config: cfg, Policy: p, Registry: apps.Registry(), Seed: 1, SkipExecution: true, Scratch: s})
+					rep, err := e.Run(trace)
+					if err != nil {
+						b.Fatal(err)
+					}
+					tasks = len(rep.Tasks)
 				}
-				e, _ := core.New(core.Options{Config: cfg, Policy: p, Registry: apps.Registry(), Seed: 1, SkipExecution: true, Scratch: s})
-				rep, err := e.Run(trace)
-				if err != nil {
-					b.Fatal(err)
-				}
-				tasks = len(rep.Tasks)
-			}
-			b.ReportMetric(float64(tasks), "tasks/op")
-		})
+				b.ReportMetric(float64(tasks), "tasks/op")
+			})
+		}
 	}
 }
 

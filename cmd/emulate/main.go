@@ -42,7 +42,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("emulate", flag.ContinueOnError)
 	var (
 		configPath = fs.String("config", "", "hardware configuration JSON file (overrides -platform/-cores/...)")
-		platName   = fs.String("platform", "zcu102", "platform: zcu102, odroid or synthetic")
+		platName   = fs.String("platform", "zcu102", "platform: zcu102, odroid, synthetic or synthetic-het")
 		cores      = fs.Int("cores", 3, "ZCU102/synthetic CPU cores")
 		ffts       = fs.Int("ffts", 2, "ZCU102/synthetic FFT accelerators")
 		big        = fs.Int("big", 3, "Odroid big cores")
@@ -170,6 +170,8 @@ func buildConfig(path, plat string, cores, ffts, big, little int) (*platform.Con
 		return platform.OdroidXU3(big, little)
 	case "synthetic", "syn":
 		return platform.Synthetic(cores, ffts)
+	case "synthetic-het", "syn-het", "het":
+		return platform.SyntheticHet(big, little, ffts)
 	default:
 		return nil, fmt.Errorf("unknown platform %q", plat)
 	}

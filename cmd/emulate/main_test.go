@@ -86,6 +86,8 @@ func TestRunErrors(t *testing.T) {
 		{"empty workload", []string{"-apps", ""}, "empty workload"},
 		{"unknown app", []string{"-apps", "ghost=1"}, "not found"},
 		{"missing config", []string{"-config", "/nope/x.json"}, "reading config"},
+		{"zero-PE flags", []string{"-platform", "odroid", "-big", "0", "-little", "0"}, "at least one PE"},
+		{"het without cores", []string{"-platform", "synthetic-het", "-big", "0", "-little", "0", "-ffts", "2"}, "at least one CPU core"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -94,5 +96,42 @@ func TestRunErrors(t *testing.T) {
 				t.Fatalf("want error containing %q, got %v", c.want, err)
 			}
 		})
+	}
+}
+
+// TestRunWithDegenerateConfigFile pins the JSON edge: a configuration
+// document describing zero PEs (the Odroid document with both counts
+// omitted) must fail with the platform package's descriptive error
+// instead of reaching the emulator as a stuck run.
+func TestRunWithDegenerateConfigFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "hw.json")
+	if err := os.WriteFile(path, []byte(`{"platform":"odroid-xu3"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"-config", path, "-apps", "wifi_tx=1"})
+	if err == nil || !strings.Contains(err.Error(), "at least one PE") {
+		t.Fatalf("degenerate config file: want 'at least one PE' error, got %v", err)
+	}
+}
+
+// TestRunHetPlatform drives a small heterogeneous synthetic pool (two
+// cost classes under the "cpu" key plus accelerators) end to end
+// through the CLI flags and the JSON document form.
+func TestRunHetPlatform(t *testing.T) {
+	err := run([]string{
+		"-platform", "synthetic-het", "-big", "2", "-little", "2", "-ffts", "1",
+		"-sched", "eft", "-apps", "wifi_tx=1,wifi_rx=1",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "hw.json")
+	if err := os.WriteFile(path, []byte(`{"platform":"synthetic-het","big":2,"little":1,"ffts":1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-config", path, "-sched", "eft-power", "-apps", "range_detection=1"}); err != nil {
+		t.Fatal(err)
 	}
 }

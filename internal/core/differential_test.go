@@ -21,9 +21,12 @@ import (
 // virtual clock.
 
 // differentialConfigs spans the interning shapes the index handles:
-// uniform two-type platforms (ZCU102, Synthetic) at several PE-pool
-// sizes, and the Odroid whose big.LITTLE cores intern into one
-// non-uniform "cpu" type (the EFT-family slice fallback).
+// platforms where classes coincide with types (ZCU102, Synthetic) at
+// several PE-pool sizes, the Odroid whose big.LITTLE cores split the
+// one "cpu" type into two cost classes — since PR 5 a first-class
+// indexed configuration, not an EFT-family fallback — and the
+// heterogeneous synthetic pool that scales that split past any COTS
+// board.
 func differentialConfigs(t *testing.T) map[string]*platform.Config {
 	t.Helper()
 	out := map[string]*platform.Config{}
@@ -41,6 +44,8 @@ func differentialConfigs(t *testing.T) map[string]*platform.Config {
 		syn, err := platform.Synthetic(cf[0], cf[1])
 		add(syn.Name, syn, err)
 	}
+	het, err := platform.SyntheticHet(16, 12, 4)
+	add("het16b12l4f", het, err)
 	return out
 }
 
@@ -118,35 +123,43 @@ func TestIndexedMatchesSlicePath(t *testing.T) {
 // streaming entry point: lazy instantiation recycles task slabs
 // through free lists, so any stale pointer left in the consumed region
 // of the ready deque would surface here as a diverging (or corrupted)
-// report.
+// report. It runs every built-in policy on both a uniform many-PE pool
+// and the Odroid's big.LITTLE pool, so the EFT family's cost-class
+// decomposition is pinned under streaming too, not just batch Run.
 func TestIndexedMatchesSlicePathStream(t *testing.T) {
-	cfg, err := platform.Synthetic(32, 8)
+	syn, err := platform.Synthetic(32, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	od, err := platform.OdroidXU3(4, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
 	trace := differentialWorkload(t)
-	for _, policyName := range []string{"frfs", "met", "eft", "frfs-rq", "eft-rq"} {
-		t.Run(policyName, func(t *testing.T) {
-			run := func(p sched.Policy) *stats.Report {
-				src := &sliceSource{arr: trace}
-				e, err := New(Options{
-					Config: cfg, Policy: p, Registry: apps.Registry(),
-					Seed: 9, SkipExecution: true,
-				})
-				if err != nil {
-					t.Fatal(err)
+	for _, cfg := range []*platform.Config{syn, od} {
+		for _, policyName := range sched.Names() {
+			t.Run(cfg.Name+"/"+policyName, func(t *testing.T) {
+				run := func(p sched.Policy) *stats.Report {
+					src := &sliceSource{arr: trace}
+					e, err := New(Options{
+						Config: cfg, Policy: p, Registry: apps.Registry(),
+						Seed: 9, SkipExecution: true,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					rep, err := e.RunStream(src)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return rep
 				}
-				rep, err := e.RunStream(src)
-				if err != nil {
-					t.Fatal(err)
-				}
-				return rep
-			}
-			indexed, _ := sched.New(policyName, 3)
-			slice, _ := sched.New(policyName, 3)
-			got := run(indexed)
-			want := run(sched.SliceOnly(slice))
-			compareReports(t, want, got)
-		})
+				indexed, _ := sched.New(policyName, 3)
+				slice, _ := sched.New(policyName, 3)
+				got := run(indexed)
+				want := run(sched.SliceOnly(slice))
+				compareReports(t, want, got)
+			})
+		}
 	}
 }

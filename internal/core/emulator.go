@@ -119,18 +119,28 @@ type Emulator struct {
 	// the pre-indexed emulator did was pure waste.
 	peViews []sched.PE
 	// view is the incrementally maintained indexed scheduler state
-	// (per-type idle bitmaps, per-PE load/availability, the ready list
+	// (per-class idle bitmaps, per-PE load/availability, the ready list
 	// with compiled metadata). nil only for configurations outside the
-	// index's representation (> 64 interned types), which fall back to
-	// per-invocation slice rebuilds.
+	// index's representation (> 64 interned cost classes), which fall
+	// back to per-invocation slice rebuilds.
 	view *sched.View
+	// schedPath names the scheduling path this emulator resolved to at
+	// construction (SchedulerPath* constants): which ready-list and
+	// policy machinery every Run uses. Exposed through SchedulerPath()
+	// and stamped into each report, so a configuration that silently
+	// misses the fast path is visible instead of just slow.
+	schedPath string
+	// streamed marks that the last Run went through RunStream, whose
+	// instance recycling makes Instances() meaningless (it would always
+	// be empty): reading it then is a loud error, not a silent nil.
+	streamed bool
 	// programs memoises this emulator's (config, registry) view of the
 	// template cache per spec, so the per-arrival lookup in Run is one
 	// map probe without cache locking.
 	programs map[*appmodel.AppSpec]*Program
 
 	// ready backs the no-view fallback only (configurations with > 64
-	// interned PE types): a plain slice with filter compaction. When a
+	// interned cost classes): a plain slice with filter compaction. When a
 	// view exists, the view's deque is the one and only ready list.
 	ready     []*Task
 	instances []*AppInstance
@@ -153,10 +163,40 @@ type Emulator struct {
 	pendingMonitorOps int
 }
 
-// New validates the options and builds an emulator.
+// SchedulerPath values: which scheduling machinery an emulator's runs
+// use. The distinction used to be invisible — a configuration past the
+// index's representation silently fell back to per-invocation slice
+// rebuilds — so the resolved path is now exposed on the emulator and
+// stamped into every report.
+const (
+	// SchedulerPathIndexed: indexed view + the policy's ScheduleIndexed
+	// fast path — the intended steady state for every built-in policy.
+	SchedulerPathIndexed = "indexed"
+	// SchedulerPathSlice: the view maintains the ready list
+	// incrementally, but the policy (third-party, or wrapped in
+	// sched.SliceOnly) consumes slice views.
+	SchedulerPathSlice = "slice"
+	// SchedulerPathSliceRebuild: no indexed view at all (> 64 interned
+	// cost classes, or a PE without a valid TypeID); ready views are
+	// rebuilt per invocation.
+	SchedulerPathSliceRebuild = "slice-rebuild"
+)
+
+// New validates the options and builds an emulator. Degenerate
+// configurations — no PEs, a PE without a type, a missing overlay
+// processor — fail here with a descriptive error instead of surfacing
+// as a crashed or stuck emulation at runtime.
 func New(opts Options) (*Emulator, error) {
 	if opts.Config == nil || len(opts.Config.PEs) == 0 {
 		return nil, fmt.Errorf("core: configuration with at least one PE required")
+	}
+	for i, pe := range opts.Config.PEs {
+		if pe == nil || pe.Type == nil {
+			return nil, fmt.Errorf("core: configuration %s: PE %d has no type", opts.Config.Name, i)
+		}
+	}
+	if opts.Config.Overlay == nil {
+		return nil, fmt.Errorf("core: configuration %s has no overlay (management) processor", opts.Config.Name)
 	}
 	if opts.Policy == nil {
 		return nil, fmt.Errorf("core: scheduling policy required")
@@ -188,8 +228,23 @@ func New(opts Options) (*Emulator, error) {
 		e.peViews = append(e.peViews, h)
 	}
 	e.view = sched.NewView(e.peViews)
+	switch {
+	case e.view == nil:
+		e.schedPath = SchedulerPathSliceRebuild
+	default:
+		if _, ok := opts.Policy.(sched.IndexedPolicy); ok {
+			e.schedPath = SchedulerPathIndexed
+		} else {
+			e.schedPath = SchedulerPathSlice
+		}
+	}
 	return e, nil
 }
+
+// SchedulerPath reports which scheduling path this emulator resolved
+// to at construction (one of the SchedulerPath* constants). It is also
+// stamped into every report as Report.SchedulerPath.
+func (e *Emulator) SchedulerPath() string { return e.schedPath }
 
 // program resolves the compiled template of one archetype for this
 // emulator's configuration and registry: the application handler's
@@ -233,10 +288,13 @@ func (e *Emulator) beginRun() *Scratch {
 	if e.view != nil {
 		e.view.Reset()
 	}
+	e.streamed = false
+	s.clearMasks()
 	s.events = s.events[:0]
 	e.report = &stats.Report{
-		ConfigName: e.opts.Config.Name,
-		PolicyName: e.opts.Policy.Name(),
+		ConfigName:    e.opts.Config.Name,
+		PolicyName:    e.opts.Policy.Name(),
+		SchedulerPath: e.schedPath,
 	}
 	if e.opts.Sink == nil {
 		e.report.Tasks = s.taskRecords()
@@ -338,15 +396,17 @@ func (e *Emulator) Run(arrivals []Arrival) (*stats.Report, error) {
 //
 // The source must yield arrivals in nondecreasing time order (the
 // workload package's generators do). A given trace produces the exact
-// same report through Run and RunStream. Instances() is empty after a
+// same report through Run and RunStream. Instances() PANICS after a
 // streamed run: completed instances are recycled, so functional
-// (memory-inspecting) validation should use Run.
+// (memory-inspecting) validation must use Run (or collect records
+// through a stats.Sink).
 func (e *Emulator) RunStream(src ArrivalSource) (*stats.Report, error) {
 	if src == nil {
 		return nil, fmt.Errorf("core: nil arrival source")
 	}
 	s := e.beginRun()
 	defer e.endRun(s)
+	e.streamed = true
 	e.src = src
 	if err := e.advancePending(); err != nil {
 		return nil, err
@@ -509,7 +569,7 @@ func (e *Emulator) popEventsDue(now vtime.Time) []int32 {
 // the emulator-owned slice only backs the no-view fallback.
 func (e *Emulator) pushReady(t *Task) {
 	if e.view != nil {
-		e.view.PushReady(t, t.node.meta)
+		e.view.PushReady(t, &t.node.meta)
 		return
 	}
 	e.ready = append(e.ready, t)
@@ -525,7 +585,7 @@ func (e *Emulator) readyLen() int {
 
 // consumeReady applies a scheduling batch's removals to the fallback
 // ready slice with a plain order-preserving filter. The fallback is a
-// cold path (exotic > 64-type configurations only), so it keeps the
+// cold path (exotic > 64-class configurations only), so it keeps the
 // simplest correct shape; the performance-bearing equivalent for
 // view-backed runs is View.CompactReady's prefix-consuming deque.
 func (e *Emulator) consumeReady(remove []bool) {
@@ -718,7 +778,7 @@ func (e *Emulator) schedule() (bool, error) {
 			res = e.opts.Policy.Schedule(now, e.view.Ready(), e.peViews)
 		}
 	} else {
-		// Exotic configuration (> 64 interned types): rebuild the ready
+		// Exotic configuration (> 64 interned cost classes): rebuild the ready
 		// view per invocation from scratch buffers. The Policy contract
 		// forbids retaining the slices, so the buffers are safe to
 		// reuse across invocations and across emulations.
@@ -750,9 +810,13 @@ func (e *Emulator) schedule() (bool, error) {
 		sched.ReleaseResult(&res)
 		return false, nil
 	}
-	// Validate and apply the batch. The masks live in scratch; they
-	// are cleared on checkout, not retained. Assignment TaskIndex
-	// values are window-relative, like the view the policy saw.
+	// Validate and apply the batch. The masks live in scratch under an
+	// all-false invariant: only the batch's own indices are dirtied, and
+	// they are reset after the batch is applied, so checking one out
+	// costs O(batch), not an O(window) clear per invocation (error
+	// paths abort the run, and beginRun re-clears defensively).
+	// Assignment TaskIndex values are window-relative, like the view
+	// the policy saw.
 	var window []*Task
 	var viewWin []sched.Task
 	if e.view != nil {
@@ -804,9 +868,14 @@ func (e *Emulator) schedule() (bool, error) {
 		remove[a.TaskIndex] = true
 	}
 	if e.view != nil {
-		e.view.CompactReady(remove)
+		e.view.CompactReady(remove, len(res.Assignments))
 	} else {
 		e.consumeReady(remove)
+	}
+	// Restore the masks' all-false invariant at O(batch).
+	for _, a := range res.Assignments {
+		remove[a.TaskIndex] = false
+		taken[a.PEIndex] = false
 	}
 	// The batch is fully applied; recycle its buffer. Error paths above
 	// leave the buffer to the garbage collector — the emulation is
@@ -967,4 +1036,15 @@ func (e *Emulator) Handlers() []*ResourceHandler { return e.handlers }
 // The instances are backed by the emulator's Scratch: they stay valid
 // until the next Run against the same Scratch (for the default private
 // scratch, until this emulator's next Run).
-func (e *Emulator) Instances() []*AppInstance { return e.instances }
+//
+// After RunStream there is nothing to expose — completed instances are
+// recycled through free lists — so calling Instances then panics
+// instead of silently returning an empty slice (the trap that used to
+// make streamed functional checks vacuously pass).
+func (e *Emulator) Instances() []*AppInstance {
+	if e.streamed {
+		panic("core: Instances() after RunStream: streamed instances are recycled; " +
+			"inspect memory with Run, or collect records through a stats.Sink")
+	}
+	return e.instances
+}

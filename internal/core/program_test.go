@@ -82,18 +82,27 @@ func referenceCompile(t *testing.T, spec *appmodel.AppSpec, cfg *platform.Config
 		}
 		// The indexed-scheduler metadata is part of the progNode
 		// contract; derive it independently from this lowering's own
-		// choice list.
-		pn.meta = sched.ReadyMeta{METType: -1, NumChoices: int32(len(pn.choices))}
-		for ti, ci := range pn.choiceByType {
-			if ci >= 0 {
-				pn.meta.TypeMask |= 1 << uint(ti)
+		// choice list, over the configuration's cost classes.
+		pn.meta = sched.ReadyMeta{NumChoices: int32(len(pn.choices))}
+		classes := cfg.Classes()
+		pn.meta.Costs = make([]int64, len(classes))
+		for c, sig := range classes {
+			if ci := pn.choiceByType[sig.TypeIdx]; ci >= 0 {
+				pn.meta.ClassMask |= 1 << uint(c)
+				pn.meta.Costs[c] = int64(float64(pn.choices[ci].CostNS) * sig.Speed)
 			}
 		}
+		bestType := int32(-1)
 		var bestCost int64 = -1
 		for _, c := range pn.choices {
 			if bestCost < 0 || c.CostNS < bestCost {
 				bestCost = c.CostNS
-				pn.meta.METType = int32(c.TypeID)
+				bestType = int32(c.TypeID)
+			}
+		}
+		for c, sig := range classes {
+			if bestType >= 0 && int32(sig.TypeIdx) == bestType {
+				pn.meta.METMask |= 1 << uint(c)
 			}
 		}
 	}

@@ -114,21 +114,33 @@ func (s *Scratch) instanceSlots(n int) ([]AppInstance, []*AppInstance) {
 	return s.instances, s.instPtrs
 }
 
-// boolMask returns a cleared length-n mask backed by *buf.
+// boolMask returns a length-n all-false mask backed by *buf. It does
+// NOT clear: the masks live under an all-false invariant — schedule()
+// dirties only its batch's indices and resets exactly those after the
+// batch is applied, so checkout is O(1) instead of an O(window) clear
+// per invocation (a fresh allocation is zeroed by the runtime, and
+// clearMasks restores the invariant per run for aborted batches).
 func boolMask(buf *[]bool, n int) []bool {
 	if cap(*buf) < n {
 		*buf = make([]bool, n)
 	}
 	*buf = (*buf)[:n]
-	clear(*buf)
 	return *buf
 }
 
-// takenMask returns schedule()'s cleared per-PE assignment mask.
+// takenMask returns schedule()'s all-false per-PE assignment mask.
 func (s *Scratch) takenMask(n int) []bool { return boolMask(&s.taken, n) }
 
-// removeMask returns schedule()'s cleared per-ready-index mask.
+// removeMask returns schedule()'s all-false per-ready-index mask.
 func (s *Scratch) removeMask(n int) []bool { return boolMask(&s.remove, n) }
+
+// clearMasks restores the masks' all-false invariant wholesale; called
+// once per run so a batch aborted mid-apply (policy contract
+// violation) cannot leak marks into the scratch's next emulation.
+func (s *Scratch) clearMasks() {
+	clear(s.taken[:cap(s.taken)])
+	clear(s.remove[:cap(s.remove)])
+}
 
 // taskRecords returns a fresh record slice presized to the largest
 // emulation this scratch has seen. The slice escapes with the report,

@@ -100,10 +100,24 @@ func TestRunStreamFunctional(t *testing.T) {
 	if len(rep.Apps) != 4 {
 		t.Fatalf("%d apps completed", len(rep.Apps))
 	}
-	// Streamed instances are recycled, so the inspection window is
-	// gone by design.
-	if got := e.Instances(); len(got) != 0 {
-		t.Fatalf("streamed run retained %d instances", len(got))
+	// Streamed instances are recycled, so the inspection window is gone
+	// by design — and reading it is a loud misuse, not a silent empty
+	// slice (the documented PR 3 trap).
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Instances() after RunStream did not panic")
+			}
+		}()
+		e.Instances()
+	}()
+	// A subsequent batch Run restores the inspection window.
+	trace2 := []Arrival{{Spec: wtx, At: 0}}
+	if _, err := e.Run(trace2); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Instances(); len(got) != 1 {
+		t.Fatalf("batch Run after a streamed run exposed %d instances, want 1", len(got))
 	}
 }
 

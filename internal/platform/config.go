@@ -35,6 +35,92 @@ type Config struct {
 	// TypeIndex falls back to a linear scan for hand-built Configs.
 	typeKeys []string
 	typeIdx  map[string]int
+
+	// classes/classOf intern the configuration's cost classes: the
+	// distinct (type key, speed factor, power) signatures, in
+	// first-appearance order over PEs. A type key may span several
+	// classes — the Odroid's big and LITTLE cores both match "cpu" but
+	// differ in speed and power — and cost is uniform *within* a class
+	// by construction, which is what lets the indexed scheduler's
+	// cost-based fast paths (EFT family) decompose per class on any
+	// configuration. Filled by finalize(); hand-built Configs recompute
+	// through computeClasses.
+	classes []ClassSig
+	classOf []int32
+}
+
+// ClassSig is the cost signature of one interned PE class: everything
+// the schedulers read per PE beyond its identity. Two PEs belong to the
+// same class exactly when their signatures are equal, so any per-class
+// quantity (scaled cost, energy) is exact for every member.
+type ClassSig struct {
+	// TypeIdx is the dense type index (TypeIndex of the class's key).
+	TypeIdx int
+	// Speed is the members' SpeedFactor.
+	Speed float64
+	// Power is the members' PowerW.
+	Power float64
+}
+
+// computeClasses derives the configuration's cost classes in
+// first-appearance order over PEs, with the per-PE class index. Like
+// computeTypeKeys this is THE definition of the class interning order:
+// sched.NewView re-derives the identical partition from its PE
+// interface (same PE order, same signature), so compiled class masks
+// and the view's class tables can never disagree.
+func (c *Config) computeClasses() ([]ClassSig, []int32) {
+	tidx := c.typeIdx
+	if tidx == nil {
+		_, tidx = c.computeTypeKeys()
+	}
+	classes := make([]ClassSig, 0, 2)
+	of := make([]int32, len(c.PEs))
+	for i, pe := range c.PEs {
+		sig := ClassSig{TypeIdx: tidx[pe.Type.Key], Speed: pe.Type.SpeedFactor, Power: pe.Type.PowerW}
+		ci := -1
+		for j, s := range classes {
+			if s == sig {
+				ci = j
+				break
+			}
+		}
+		if ci < 0 {
+			ci = len(classes)
+			classes = append(classes, sig)
+		}
+		of[i] = int32(ci)
+	}
+	return classes, of
+}
+
+// NumClasses reports how many distinct cost classes the configuration
+// interns (always >= NumTypes).
+func (c *Config) NumClasses() int {
+	if c.classOf != nil {
+		return len(c.classes)
+	}
+	classes, _ := c.computeClasses()
+	return len(classes)
+}
+
+// Classes lists the interned class signatures in index order. The
+// returned slice must not be mutated.
+func (c *Config) Classes() []ClassSig {
+	if c.classOf != nil {
+		return c.classes
+	}
+	classes, _ := c.computeClasses()
+	return classes
+}
+
+// ClassOf returns the class index of the PE at the given position in
+// PEs.
+func (c *Config) ClassOf(peIdx int) int {
+	if c.classOf != nil {
+		return int(c.classOf[peIdx])
+	}
+	_, of := c.computeClasses()
+	return int(of[peIdx])
 }
 
 // computeTypeKeys derives the configuration's distinct PE type keys in
@@ -61,6 +147,7 @@ func (c *Config) computeTypeKeys() ([]string, map[string]int) {
 // read-only across sweep workers).
 func (c *Config) finalize() {
 	c.typeKeys, c.typeIdx = c.computeTypeKeys()
+	c.classes, c.classOf = c.computeClasses()
 	for _, pe := range c.PEs {
 		pe.label = pe.Label()
 	}
@@ -206,6 +293,62 @@ func Synthetic(nCores, nFFT int) (*Config, error) {
 	return cfg, nil
 }
 
+// SyntheticHet builds a heterogeneous many-PE configuration no COTS
+// board provides: nBig A15-class performance cores and nLittle A7-class
+// efficiency cores (both matching the "cpu" platform key, like the
+// Odroid's big.LITTLE pool) plus nFFT accelerators, with manager
+// threads placed round-robin across all CPU cores. It exists to
+// exercise the cost-class interning at scale — "cpu" spans two cost
+// classes with different speed and power, so the EFT-family indexed
+// paths must handle a split type on pools far past the Odroid's seven
+// PEs. The overlay is an A53 (a slow LITTLE overlay at 512 PEs would
+// drown every run in monitor overhead); the timing model is the
+// ZCU102's, keeping results comparable with Synthetic.
+func SyntheticHet(nBig, nLittle, nFFT int) (*Config, error) {
+	if nBig < 0 || nBig > SyntheticMaxPEs {
+		return nil, fmt.Errorf("platform: synthetic-het supports 0..%d big cores, got %d", SyntheticMaxPEs, nBig)
+	}
+	if nLittle < 0 || nLittle > SyntheticMaxPEs {
+		return nil, fmt.Errorf("platform: synthetic-het supports 0..%d LITTLE cores, got %d", SyntheticMaxPEs, nLittle)
+	}
+	if nFFT < 0 || nFFT > SyntheticMaxPEs {
+		return nil, fmt.Errorf("platform: synthetic-het supports 0..%d FFT accelerators, got %d", SyntheticMaxPEs, nFFT)
+	}
+	nCores := nBig + nLittle
+	if nCores == 0 {
+		if nFFT == 0 {
+			return nil, fmt.Errorf("platform: configuration needs at least one PE")
+		}
+		return nil, fmt.Errorf("platform: synthetic-het needs at least one CPU core to host %d accelerator manager threads", nFFT)
+	}
+	cfg := &Config{
+		Name:     fmt.Sprintf("%dB+%dL+%dF-het", nBig, nLittle, nFFT),
+		Platform: "synthetic-het",
+		Overlay:  A53,
+		DMA:      zcu102DMA,
+	}
+	id := 0
+	for i := 0; i < nBig; i++ {
+		cfg.PEs = append(cfg.PEs, &PE{ID: id, Type: A15Big, HostCore: id, Share: 1})
+		id++
+	}
+	for i := 0; i < nLittle; i++ {
+		cfg.PEs = append(cfg.PEs, &PE{ID: id, Type: A7Little, HostCore: id, Share: 1})
+		id++
+	}
+	hosts := managerPlacement(nCores, nCores, nFFT)
+	occupancy := map[int]int{}
+	for _, h := range hosts {
+		occupancy[h]++
+	}
+	for i := 0; i < nFFT; i++ {
+		cfg.PEs = append(cfg.PEs, &PE{ID: id, Type: FFTAccel, HostCore: hosts[i], Share: occupancy[hosts[i]]})
+		id++
+	}
+	cfg.finalize()
+	return cfg, nil
+}
+
 // managerPlacement assigns accelerator manager threads to pool cores:
 // unused cores first (one each), then round-robin over the whole pool.
 // Returns the host core index per accelerator.
@@ -310,6 +453,11 @@ type configJSON struct {
 //	{"platform": "zcu102", "cores": 2, "ffts": 1}
 //	{"platform": "odroid-xu3", "big": 3, "little": 2}
 //	{"platform": "synthetic", "cores": 32, "ffts": 8}
+//	{"platform": "synthetic-het", "big": 256, "little": 192, "ffts": 64}
+//
+// Degenerate documents (zero PEs, counts beyond the board's pool,
+// unknown platform names) fail here with a descriptive error rather
+// than surfacing later as a stuck or crashing emulation.
 func LoadConfigFile(path string) (*Config, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -332,6 +480,8 @@ func ParseConfigJSON(data []byte) (*Config, error) {
 		return OdroidXU3(cj.Big, cj.Little)
 	case "synthetic", "syn":
 		return Synthetic(cj.Cores, cj.FFTs)
+	case "synthetic-het", "syn-het", "het":
+		return SyntheticHet(cj.Big, cj.Little, cj.FFTs)
 	default:
 		return nil, fmt.Errorf("platform: unknown platform %q", cj.Platform)
 	}

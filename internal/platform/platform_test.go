@@ -335,3 +335,121 @@ func TestViterbiDominatesWiFiRX(t *testing.T) {
 		t.Fatalf("viterbi (%d) should dwarf scrambler (%d)", vit, scr)
 	}
 }
+
+func TestClassInterning(t *testing.T) {
+	// ZCU102: speed and power are uniform per key, so classes coincide
+	// with types.
+	cfg, _ := ZCU102(3, 2)
+	if got := cfg.NumClasses(); got != 2 {
+		t.Fatalf("zcu NumClasses = %d, want 2", got)
+	}
+	classes := cfg.Classes()
+	if classes[0].TypeIdx != cfg.TypeIndex("cpu") || classes[1].TypeIdx != cfg.TypeIndex("fft") {
+		t.Fatalf("zcu class types wrong: %+v", classes)
+	}
+	// Odroid: one "cpu" type, but big and LITTLE split into two cost
+	// classes — the configuration the indexed EFT family used to bail
+	// on.
+	od, _ := OdroidXU3(4, 3)
+	if od.NumTypes() != 1 || od.NumClasses() != 2 {
+		t.Fatalf("odroid interning: %d types, %d classes, want 1/2", od.NumTypes(), od.NumClasses())
+	}
+	oc := od.Classes()
+	if oc[0].Speed != A15Big.SpeedFactor || oc[0].Power != A15Big.PowerW {
+		t.Fatalf("odroid class 0 is not the big cores: %+v", oc[0])
+	}
+	if oc[1].Speed != A7Little.SpeedFactor || oc[1].Power != A7Little.PowerW {
+		t.Fatalf("odroid class 1 is not the LITTLE cores: %+v", oc[1])
+	}
+	for i := range od.PEs {
+		want := 0
+		if od.PEs[i].Type == A7Little {
+			want = 1
+		}
+		if od.ClassOf(i) != want {
+			t.Fatalf("odroid PE %d classed %d, want %d", i, od.ClassOf(i), want)
+		}
+	}
+	// First-appearance order: LITTLE-first configurations intern the
+	// LITTLE class first.
+	lf, _ := OdroidXU3(0, 3)
+	if lf.NumClasses() != 1 || lf.Classes()[0].Speed != A7Little.SpeedFactor {
+		t.Fatalf("LITTLE-only odroid classes wrong: %+v", lf.Classes())
+	}
+	// Hand-built Config (no finalize) agrees via the recompute
+	// fallback.
+	hand := &Config{PEs: []*PE{
+		{ID: 0, Type: A15Big, Share: 1},
+		{ID: 1, Type: A7Little, Share: 1},
+		{ID: 2, Type: A15Big, Share: 1},
+	}}
+	if hand.NumClasses() != 2 || hand.ClassOf(0) != 0 || hand.ClassOf(1) != 1 || hand.ClassOf(2) != 0 {
+		t.Fatalf("fallback class interning wrong: n=%d of=%d,%d,%d",
+			hand.NumClasses(), hand.ClassOf(0), hand.ClassOf(1), hand.ClassOf(2))
+	}
+}
+
+func TestSyntheticHetConfig(t *testing.T) {
+	cfg, err := SyntheticHet(256, 192, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.PEs) != 512 {
+		t.Fatalf("het config has %d PEs, want 512", len(cfg.PEs))
+	}
+	if cfg.Name != "256B+192L+64F-het" {
+		t.Fatalf("het name %q", cfg.Name)
+	}
+	// "cpu" spans two cost classes, plus the accelerator class.
+	if cfg.NumTypes() != 2 || cfg.NumClasses() != 3 {
+		t.Fatalf("het interning: %d types, %d classes, want 2/3", cfg.NumTypes(), cfg.NumClasses())
+	}
+	// Manager threads share cores only once accelerators are placed
+	// (448 cores for 64 managers: all dedicated).
+	for _, pe := range cfg.PEs {
+		if pe.Share != 1 {
+			t.Fatalf("PE %d shares its manager core with %d threads", pe.ID, pe.Share)
+		}
+	}
+	// Degenerate shapes fail at build.
+	if _, err := SyntheticHet(0, 0, 0); err == nil {
+		t.Fatal("zero-PE het config accepted")
+	}
+	if _, err := SyntheticHet(0, 0, 4); err == nil {
+		t.Fatal("het config with managers but no host cores accepted")
+	}
+	if _, err := SyntheticHet(-1, 2, 0); err == nil {
+		t.Fatal("negative big count accepted")
+	}
+	if _, err := SyntheticHet(2000, 0, 0); err == nil {
+		t.Fatal("over-pool big count accepted")
+	}
+}
+
+func TestParseConfigJSONDegenerate(t *testing.T) {
+	// The documented cmd/emulate edge: JSON documents describing a
+	// configuration with no PEs (or impossible counts) must fail at
+	// parse with a descriptive error, never reach the emulator.
+	cases := []struct {
+		doc  string
+		want string
+	}{
+		{`{"platform":"odroid-xu3"}`, "at least one PE"},
+		{`{"platform":"zcu102","cores":0,"ffts":0}`, "at least one PE"},
+		{`{"platform":"synthetic","cores":0,"ffts":4}`, "supports 1.."},
+		{`{"platform":"synthetic-het"}`, "at least one PE"},
+		{`{"platform":"synthetic-het","ffts":4}`, "at least one CPU core"},
+		{`{"platform":"odroid-xu3","big":9,"little":1}`, "supports 0.."},
+	}
+	for _, c := range cases {
+		_, err := ParseConfigJSON([]byte(c.doc))
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Fatalf("%s: want error containing %q, got %v", c.doc, c.want, err)
+		}
+	}
+	// The het document round-trips.
+	cfg, err := ParseConfigJSON([]byte(`{"platform":"synthetic-het","big":4,"little":4,"ffts":2}`))
+	if err != nil || cfg.Name != "4B+4L+2F-het" {
+		t.Fatalf("het parse: %v %v", cfg, err)
+	}
+}

@@ -8,7 +8,13 @@ package sched
 // extensions.go remain the semantic definition; the differential tests
 // (TestIndexedMatchesSlicePolicies here, TestIndexedMatchesSlicePath
 // in internal/core) pin the equivalence for every policy across the
-// synthetic platform grid.
+// synthetic platform grid and the Odroid's big.LITTLE pools.
+//
+// Everything is indexed by cost class (see ReadyMeta): within a class,
+// speed and power are uniform by construction, so a task's cost on
+// every member PE is one compiled number (meta.Costs[c]) and the
+// EFT-family per-class decompositions are exact on any configuration —
+// there is no cost-non-uniform fallback left to fall back to.
 //
 // Charged-ops recipes (derived from the slice scans):
 //
@@ -27,18 +33,6 @@ import (
 	"repro/internal/vtime"
 )
 
-// typeCost is costOn for a type with uniform speed: the annotated cost
-// of the task's first choice entry matching TypeID t, scaled. Only
-// called for types in the task's TypeMask, where a match exists.
-func typeCost(choices []PlatformChoice, t int, speed float64) int64 {
-	for _, c := range choices {
-		if c.TypeID == t {
-			return int64(float64(c.CostNS) * speed)
-		}
-	}
-	return 0
-}
-
 // ScheduleIndexed implements IndexedPolicy: the FRFS probe order is
 // "lowest-index idle supporting PE", so each ready task resolves to
 // one bitmap scan plus a popcount for the charged failed probes.
@@ -49,7 +43,7 @@ func (FRFS) ScheduleIndexed(now vtime.Time, v *View) Result {
 	ready := v.Ready()
 	meta := v.metas()
 	for ti := 0; ti < len(ready) && v.scr.idleTot > 0; ti++ {
-		pi := v.minIdleOfMask(meta[ti].TypeMask)
+		pi := v.minIdleOfMask(meta[ti].ClassMask)
 		if pi < 0 {
 			// Every idle PE is probed and none supports the task.
 			res.Ops += v.scr.idleTot
@@ -62,23 +56,20 @@ func (FRFS) ScheduleIndexed(now vtime.Time, v *View) Result {
 	return res
 }
 
-// ScheduleIndexed implements IndexedPolicy: the minimum-cost type is
-// compiled into the ready metadata, so each task is one per-type
-// min-idle lookup.
+// ScheduleIndexed implements IndexedPolicy: the minimum-cost classes
+// are compiled into the ready metadata (every class of MET's chosen
+// type), so each task is one min-idle mask lookup.
 func (MET) ScheduleIndexed(now vtime.Time, v *View) Result {
 	res := Result{Assignments: newAssignments()}
 	res.Ops += v.numPEs()
 	v.beginIdleScratch()
 	meta := v.metas()
 	for ti := range meta {
-		m := &meta[ti]
+		m := meta[ti]
 		res.Ops += int(m.NumChoices) // cost comparison per platform entry
-		if m.METType < 0 || int(m.METType) >= v.numTypes {
-			// A minimum-cost platform with no PEs of its type in this
-			// configuration: the task waits, as on the slice path.
-			continue
-		}
-		if pi := v.minIdleOfType(int(m.METType)); pi >= 0 {
+		// An empty METMask is a minimum-cost platform with no PEs in
+		// this configuration: the task waits, as on the slice path.
+		if pi := v.minIdleOfMask(m.METMask); pi >= 0 {
 			res.Assignments = append(res.Assignments, Assignment{TaskIndex: ti, PEIndex: pi})
 			v.takeIdle(pi)
 		}
@@ -88,21 +79,16 @@ func (MET) ScheduleIndexed(now vtime.Time, v *View) Result {
 }
 
 // ScheduleIndexed implements IndexedPolicy. EFT's candidate set per
-// task decomposes by type: the best idle PE of a type is its
+// task decomposes by cost class: the best idle PE of a class is its
 // lowest-index one (all share the finish now+cost), and the best
-// busy/tentatively-placed PE is the per-type heap minimum over
+// busy/tentatively-placed PE is the per-class heap minimum over
 // (tentative, index); the global winner is the lexicographic minimum
 // (finish, index) across both kinds — exactly the slice scan's
 // first-strict-minimum in PE order. Tentative placements re-enter the
 // heaps, so later tasks observe them just like the slice path's
-// tentative table.
-func (p EFT) ScheduleIndexed(now vtime.Time, v *View) Result {
-	if !v.costUniform {
-		// Mixed speeds within one interned type (big.LITTLE): per-PE
-		// costs break the per-type decomposition; keep exactness via
-		// the slice scan over the maintained views.
-		return p.Schedule(now, v.Ready(), v.pes)
-	}
+// tentative table. Class costs come compiled (meta.Costs), so the
+// Odroid's split "cpu" type costs nothing extra.
+func (EFT) ScheduleIndexed(now vtime.Time, v *View) Result {
 	res := Result{Assignments: newAssignments()}
 	P := v.numPEs()
 	res.Ops += P
@@ -111,25 +97,25 @@ func (p EFT) ScheduleIndexed(now vtime.Time, v *View) Result {
 	ready := v.Ready()
 	meta := v.metas()
 	placed := 0
-	for ti, t := range ready {
+	for ti := range ready {
 		// The reference implementation's tentative-placement rescan
 		// (see EFT.Schedule) plus one pair evaluation per PE.
 		res.Ops += placed / 32
 		res.Ops += eftPairWeight * P
-		choices := t.Choices()
+		costs := meta[ti].Costs
 		bestPE := -1
 		var bestFinish vtime.Time
 		bestIdle := false
-		for m := meta[ti].TypeMask & v.allTypes; m != 0; m &= m - 1 {
-			tt := bits.TrailingZeros64(m)
-			cost := vtime.Duration(typeCost(choices, tt, v.speed[tt]))
-			if pi := v.minIdleOfType(tt); pi >= 0 {
+		for m := meta[ti].ClassMask & v.allClasses; m != 0; m &= m - 1 {
+			cc := bits.TrailingZeros64(m)
+			cost := vtime.Duration(costs[cc])
+			if pi := v.minIdleOfClass(cc); pi >= 0 {
 				f := now.Add(cost)
 				if bestPE == -1 || f < bestFinish || (f == bestFinish && pi < bestPE) {
 					bestPE, bestFinish, bestIdle = pi, f, true
 				}
 			}
-			if at, pi, ok := v.peekBusyMin(tt); ok {
+			if at, pi, ok := v.peekBusyMin(cc); ok {
 				f := at.Add(cost)
 				if bestPE == -1 || f < bestFinish || (f == bestFinish && pi < bestPE) {
 					bestPE, bestFinish, bestIdle = pi, f, false
@@ -166,7 +152,7 @@ func (r *Random) ScheduleIndexed(now vtime.Time, v *View) Result {
 	meta := v.metas()
 	for ti := range meta {
 		res.Ops += P
-		mask := meta[ti].TypeMask
+		mask := meta[ti].ClassMask
 		n := v.idleCountOfMask(mask)
 		if n == 0 {
 			continue
@@ -179,7 +165,7 @@ func (r *Random) ScheduleIndexed(now vtime.Time, v *View) Result {
 }
 
 // ScheduleIndexed implements IndexedPolicy: FRFSQ's shortest-queue
-// pick is a (load, index) minimum over per-(type, load) buckets.
+// pick is a (load, index) minimum over per-(class, load) buckets.
 func (q FRFSQ) ScheduleIndexed(now vtime.Time, v *View) Result {
 	depth := int32(q.Depth)
 	if depth <= 0 {
@@ -196,7 +182,7 @@ func (q FRFSQ) ScheduleIndexed(now vtime.Time, v *View) Result {
 	meta := v.metas()
 	for ti := 0; ti < len(ready) && free > 0; ti++ {
 		res.Ops += P
-		best := v.minLoadOfMask(meta[ti].TypeMask, depth)
+		best := v.minLoadOfMask(meta[ti].ClassMask, depth)
 		if best < 0 {
 			continue
 		}
@@ -207,19 +193,16 @@ func (q FRFSQ) ScheduleIndexed(now vtime.Time, v *View) Result {
 	return res
 }
 
-// maxBucketDepth bounds the per-(type, load) bucket table; deeper
+// maxBucketDepth bounds the per-(class, load) bucket table; deeper
 // reservation queues (never the DefaultQueueDepth) take the slice
 // path.
 const maxBucketDepth = 64
 
-// ScheduleIndexed implements IndexedPolicy: EFTQ's per-type best is
+// ScheduleIndexed implements IndexedPolicy: EFTQ's per-class best is
 // the heap minimum over (availability, index) of PEs with spare
-// capacity; committed placements advance availability and re-enter the
-// heap.
+// capacity (uniform class cost makes that the (finish, index) argmin);
+// committed placements advance availability and re-enter the heap.
 func (q EFTQ) ScheduleIndexed(now vtime.Time, v *View) Result {
-	if !v.costUniform {
-		return q.Schedule(now, v.Ready(), v.pes)
-	}
 	depth := int32(q.Depth)
 	if depth <= 0 {
 		depth = DefaultQueueDepth
@@ -232,14 +215,14 @@ func (q EFTQ) ScheduleIndexed(now vtime.Time, v *View) Result {
 	meta := v.metas()
 	for ti := 0; ti < len(ready) && free > 0; ti++ {
 		res.Ops += eftPairWeight * P
-		choices := ready[ti].Choices()
+		costs := meta[ti].Costs
 		best := -1
 		var bestFinish vtime.Time
 		var bestCost vtime.Duration
-		for m := meta[ti].TypeMask & v.allTypes; m != 0; m &= m - 1 {
-			tt := bits.TrailingZeros64(m)
-			cost := vtime.Duration(typeCost(choices, tt, v.speed[tt]))
-			if a, pi, ok := v.peekAvailMin(tt, depth); ok {
+		for m := meta[ti].ClassMask & v.allClasses; m != 0; m &= m - 1 {
+			cc := bits.TrailingZeros64(m)
+			cost := vtime.Duration(costs[cc])
+			if a, pi, ok := v.peekAvailMin(cc, depth); ok {
 				f := a.Add(cost)
 				if best == -1 || f < bestFinish || (f == bestFinish && pi < best) {
 					best, bestFinish, bestCost = pi, f, cost
@@ -257,14 +240,13 @@ func (q EFTQ) ScheduleIndexed(now vtime.Time, v *View) Result {
 }
 
 // ScheduleIndexed implements IndexedPolicy: PowerEFT's candidates are
-// idle supporting PEs only, all of a type sharing one (finish, energy)
-// pair, so the slack window and energy minimum resolve per type; ties
-// fall to the type whose lowest-index idle PE comes first, matching
-// the slice scan's candidate order.
+// idle supporting PEs only, all of a class sharing one (finish,
+// energy) pair, so the slack window and energy minimum resolve per
+// class; ties fall to the class whose lowest-index idle PE comes
+// first, matching the slice scan's candidate order. On big.LITTLE the
+// split "cpu" classes are exactly what makes the energy comparison
+// meaningful — big and LITTLE carry different (cost, power) pairs.
 func (p PowerEFT) ScheduleIndexed(now vtime.Time, v *View) Result {
-	if !v.costUniform {
-		return p.Schedule(now, v.Ready(), v.pes)
-	}
 	slack := p.Slack
 	if slack < 1 {
 		slack = 1
@@ -275,20 +257,20 @@ func (p PowerEFT) ScheduleIndexed(now vtime.Time, v *View) Result {
 	v.beginIdleScratch()
 	ready := v.Ready()
 	meta := v.metas()
-	for ti, t := range ready {
+	for ti := range ready {
 		res.Ops += eftPairWeight * P
-		mask := meta[ti].TypeMask & v.allTypes
-		choices := t.Choices()
+		mask := meta[ti].ClassMask & v.allClasses
+		costs := meta[ti].Costs
 		var bestFinish vtime.Time = -1
 		nCands := 0
 		for m := mask; m != 0; m &= m - 1 {
-			tt := bits.TrailingZeros64(m)
-			c := int(v.scr.idleCnt[tt])
+			cc := bits.TrailingZeros64(m)
+			c := int(v.scr.idleCnt[cc])
 			if c == 0 {
 				continue
 			}
 			nCands += c
-			f := now.Add(vtime.Duration(typeCost(choices, tt, v.speed[tt])))
+			f := now.Add(vtime.Duration(costs[cc]))
 			if bestFinish < 0 || f < bestFinish {
 				bestFinish = f
 			}
@@ -301,16 +283,16 @@ func (p PowerEFT) ScheduleIndexed(now vtime.Time, v *View) Result {
 		pick := -1
 		bestE := 0.0
 		for m := mask; m != 0; m &= m - 1 {
-			tt := bits.TrailingZeros64(m)
-			if v.scr.idleCnt[tt] == 0 {
+			cc := bits.TrailingZeros64(m)
+			if v.scr.idleCnt[cc] == 0 {
 				continue
 			}
-			cost := typeCost(choices, tt, v.speed[tt])
+			cost := costs[cc]
 			if now.Add(vtime.Duration(cost)) > limit {
 				continue
 			}
-			e := float64(cost) * v.power[tt] * 1e-9
-			pi := v.minIdleOfType(tt)
+			e := float64(cost) * v.power[cc] * 1e-9
+			pi := v.minIdleOfClass(cc)
 			if pick == -1 || e < bestE || (e == bestE && pi < pick) {
 				pick, bestE = pi, e
 			}

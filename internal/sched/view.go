@@ -2,7 +2,7 @@ package sched
 
 // The indexed scheduler state. A View is the incrementally maintained
 // counterpart of the (ready []Task, pes []PE) slice pair: the owner
-// (the emulation core) keeps per-type idle-PE bitmaps, per-PE
+// (the emulation core) keeps per-cost-class idle-PE bitmaps, per-PE
 // availability and load counters, and the ready list with compiled
 // per-task metadata up to date as events happen — dispatch, completion
 // collection, reservation enqueue, ready push — instead of rebuilding
@@ -28,21 +28,38 @@ import (
 // ReadyMeta is the compiled per-task metadata the indexed fast paths
 // consume. The emulation core derives it once per DAG node at program
 // compile time (it depends only on the node's platform choices and
-// the configuration's type interning) and pushes it alongside every
-// ready task.
+// the configuration's cost-class interning) and pushes it alongside
+// every ready task.
+//
+// Everything here is expressed over *cost classes*, not type keys: a
+// class is a maximal group of PEs sharing (type, speed factor, power),
+// interned in first-appearance order over the PE table — the same
+// partition View derives for itself, and the same one
+// platform.Config.Classes computes, so the two numberings agree by
+// construction. Cost is uniform within a class by definition, which is
+// what lets the EFT-family fast paths decompose per class on any
+// configuration, the Odroid's split "cpu" type included.
 type ReadyMeta struct {
-	// TypeMask has bit t set when the task carries a platform choice
-	// whose TypeID is t, i.e. the configuration can run it on a PE of
-	// type t.
-	TypeMask uint64
-	// METType is the TypeID of the task's minimum-cost platform entry,
-	// resolved with MET's exact scan (first strict minimum over the
-	// choice list in order); -1 when that entry's platform is absent
-	// from the configuration.
-	METType int32
+	// ClassMask has bit c set when the task carries a platform choice
+	// matching class c's type, i.e. the configuration can run it on a
+	// PE of class c.
+	ClassMask uint64
+	// METMask has bit c set for every class whose type is the task's
+	// minimum-cost platform entry, resolved with MET's exact scan
+	// (first strict minimum over the choice list in order); zero when
+	// that entry's platform is absent from the configuration, in which
+	// case the task waits, as on the slice path.
+	METMask uint64
 	// NumChoices is the length of the task's choice list — the
 	// per-task operation count MET charges for its cost scan.
 	NumChoices int32
+	// Costs[c] is the task's execution cost on class c — the annotated
+	// cost of its first choice matching c's type, scaled by the class
+	// speed factor, exactly costOn's arithmetic. Entries outside
+	// ClassMask are zero and must not be read. The slice is shared
+	// compiled data: per DAG node, immutable, aliased by every ready
+	// push of that node.
+	Costs []int64
 }
 
 // IndexedPolicy is the optional fast-path side of Policy. A policy
@@ -77,7 +94,7 @@ func (w sliceOnly) Reset() {
 	}
 }
 
-// availEntry is one (instant, PE index) pair in the per-type min-heaps
+// availEntry is one (instant, PE index) pair in the per-class min-heaps
 // the EFT-family fast paths use; ordering is lexicographic (at, idx),
 // matching the slice scan's first-strict-minimum-in-index-order
 // tie-break.
@@ -149,27 +166,30 @@ type viewScratch struct {
 // A View belongs to exactly one emulator and is not safe for
 // concurrent use.
 type View struct {
-	pes      []PE
-	peType   []int32
-	numTypes int
-	// allTypes masks off TypeMask bits beyond the interned types: a
-	// task may name a platform type no PE of this view carries (fake
-	// scenarios, foreign masks); such bits mean "no candidate PEs" and
-	// are dropped before any per-type table is indexed.
-	allTypes uint64
-	words    int // uint64 words per PE bitmap
+	pes []PE
+	// peClass is each PE's cost-class index. Classes — distinct
+	// (TypeID, speed, power) signatures in first-appearance order over
+	// pes — refine the type interning, so the Odroid's big and LITTLE
+	// cores land in two classes even though both intern under the one
+	// "cpu" type.
+	peClass    []int32
+	numClasses int
+	// allClasses masks off ClassMask bits beyond the interned classes:
+	// a task may carry a mask for classes no PE of this view belongs to
+	// (fake scenarios, foreign masks); such bits mean "no candidate
+	// PEs" and are dropped before any per-class table is indexed.
+	allClasses uint64
+	words      int // uint64 words per PE bitmap
 
-	// typeBits[t*words:(t+1)*words] is the static membership bitmap of
-	// type t over PE indices.
-	typeBits []uint64
-	// speed/power are the per-type cost parameters, valid only when
-	// costUniform: configurations may intern PEs with different speed
-	// or power under one type key (the Odroid's big.LITTLE cores both
-	// match "cpu"), and the cost-based fast paths must then fall back
-	// to the slice scan.
-	speed       []float64
-	power       []float64
-	costUniform bool
+	// classBits[c*words:(c+1)*words] is the static membership bitmap of
+	// class c over PE indices.
+	classBits []uint64
+	// classType/speed/power are the per-class signature: the TypeID the
+	// class's PEs intern under, and their (uniform, by construction)
+	// cost parameters.
+	classType []int32
+	speed     []float64
+	power     []float64
 
 	// Live state, maintained by the owner.
 	idleBits []uint64
@@ -184,64 +204,125 @@ type View struct {
 	// assigns oldest-first), so consuming them by advancing head makes
 	// the per-batch cost proportional to the batch, not the window —
 	// the O(ready-length) compaction the slice path paid on every
-	// invocation was the dominant host cost of saturated runs.
+	// invocation was the dominant host cost of saturated runs. The
+	// metadata rides as pointers to the (immutable, shared) compiled
+	// per-node records, so deque pushes and compaction shifts move 8
+	// bytes per entry, not the whole class-cost table.
 	ready []Task
-	meta  []ReadyMeta
+	meta  []*ReadyMeta
 	head  int
 
 	scr viewScratch
 }
 
-// NewView builds the indexed state over a fixed PE table. It returns
-// nil when the configuration is outside the index's representation
-// (more than 64 interned types, or a PE without a valid TypeID); the
-// caller then stays on the slice path entirely. The pes slice is
-// retained and must stay valid and immutable for the View's lifetime.
+// classSig is one interned cost class during view construction.
+type classSig struct {
+	typeID int32
+	speed  float64
+	power  float64
+}
+
+// NewView builds the indexed state over a fixed PE table, interning
+// the table's cost classes — distinct (TypeID, speed, power)
+// signatures in first-appearance order, the identical partition
+// platform.Config.Classes computes for the same PE sequence. It
+// returns nil when the configuration is outside the index's
+// representation (more than 64 interned classes, or a PE without a
+// valid TypeID); the caller then stays on the slice path entirely. The
+// pes slice is retained and must stay valid and immutable for the
+// View's lifetime.
 func NewView(pes []PE) *View {
 	if len(pes) == 0 {
 		return nil
 	}
-	numTypes := 0
-	for _, pe := range pes {
-		t := pe.TypeID()
-		if t < 0 || t > 63 {
+	classes := make([]classSig, 0, 4)
+	peClass := make([]int32, len(pes))
+	for i, pe := range pes {
+		if pe.TypeID() < 0 {
 			return nil
 		}
-		if t+1 > numTypes {
-			numTypes = t + 1
+		sig := classSig{typeID: int32(pe.TypeID()), speed: pe.SpeedFactor(), power: pe.PowerW()}
+		ci := -1
+		for j, s := range classes {
+			if s == sig {
+				ci = j
+				break
+			}
 		}
+		if ci < 0 {
+			if len(classes) == 64 {
+				return nil
+			}
+			ci = len(classes)
+			classes = append(classes, sig)
+		}
+		peClass[i] = int32(ci)
 	}
+	numClasses := len(classes)
 	words := (len(pes) + 63) / 64
 	v := &View{
-		pes:         pes,
-		peType:      make([]int32, len(pes)),
-		numTypes:    numTypes,
-		words:       words,
-		typeBits:    make([]uint64, numTypes*words),
-		speed:       make([]float64, numTypes),
-		power:       make([]float64, numTypes),
-		costUniform: true,
-		idleBits:    make([]uint64, words),
-		idleCnt:     make([]int32, numTypes),
-		avail:       make([]vtime.Time, len(pes)),
-		load:        make([]int32, len(pes)),
+		pes:        pes,
+		peClass:    peClass,
+		numClasses: numClasses,
+		words:      words,
+		classBits:  make([]uint64, numClasses*words),
+		classType:  make([]int32, numClasses),
+		speed:      make([]float64, numClasses),
+		power:      make([]float64, numClasses),
+		idleBits:   make([]uint64, words),
+		idleCnt:    make([]int32, numClasses),
+		avail:      make([]vtime.Time, len(pes)),
+		load:       make([]int32, len(pes)),
 	}
-	v.allTypes = uint64(1)<<uint(numTypes) - 1
-	seen := make([]bool, numTypes)
-	for i, pe := range pes {
-		t := pe.TypeID()
-		v.peType[i] = int32(t)
-		v.typeBits[t*words+i/64] |= 1 << uint(i%64)
-		if !seen[t] {
-			seen[t] = true
-			v.speed[t] = pe.SpeedFactor()
-			v.power[t] = pe.PowerW()
-		} else if pe.SpeedFactor() != v.speed[t] || pe.PowerW() != v.power[t] {
-			v.costUniform = false
-		}
+	v.allClasses = uint64(1)<<uint(numClasses) - 1
+	for c, sig := range classes {
+		v.classType[c] = sig.typeID
+		v.speed[c] = sig.speed
+		v.power[c] = sig.power
+	}
+	for i := range pes {
+		v.classBits[int(peClass[i])*words+i/64] |= 1 << uint(i%64)
 	}
 	v.Reset()
 	return v
+}
+
+// NumClasses reports how many cost classes the view interned.
+func (v *View) NumClasses() int { return v.numClasses }
+
+// MetaFor derives the compiled metadata of a choice list against this
+// view's class interning — the same lowering core.Compile performs
+// against platform.Config.Classes. It allocates (the Costs table), so
+// it serves tests, tooling and custom harnesses; the emulation core
+// pushes pre-compiled per-node metadata instead.
+func (v *View) MetaFor(choices []PlatformChoice) ReadyMeta {
+	m := ReadyMeta{NumChoices: int32(len(choices)), Costs: make([]int64, v.numClasses)}
+	for c := 0; c < v.numClasses; c++ {
+		for _, ch := range choices {
+			// First entry wins, matching costOn's scan order.
+			if int32(ch.TypeID) == v.classType[c] {
+				m.ClassMask |= 1 << uint(c)
+				m.Costs[c] = int64(float64(ch.CostNS) * v.speed[c])
+				break
+			}
+		}
+	}
+	bestType := int32(-1)
+	var bestCost int64 = -1
+	for _, ch := range choices {
+		if bestCost < 0 || ch.CostNS < bestCost {
+			bestCost = ch.CostNS
+			bestType = int32(ch.TypeID)
+		}
+	}
+	if bestType >= 0 {
+		for c := 0; c < v.numClasses; c++ {
+			if v.classType[c] == bestType {
+				m.METMask |= 1 << uint(c)
+			}
+		}
+	}
+	return m
 }
 
 // Reset restores the start-of-run state: every PE idle with zero
@@ -252,12 +333,13 @@ func (v *View) Reset() {
 	clear(v.idleCnt)
 	for i := range v.pes {
 		v.idleBits[i/64] |= 1 << uint(i%64)
-		v.idleCnt[v.peType[i]]++
+		v.idleCnt[v.peClass[i]]++
 	}
 	v.idleTot = len(v.pes)
 	clear(v.avail)
 	clear(v.load)
 	clear(v.ready[:cap(v.ready)])
+	clear(v.meta[:cap(v.meta)])
 	v.ready = v.ready[:0]
 	v.meta = v.meta[:0]
 	v.head = 0
@@ -268,7 +350,7 @@ func (v *View) MarkBusy(pi int) {
 	w, b := pi/64, uint64(1)<<uint(pi%64)
 	if v.idleBits[w]&b != 0 {
 		v.idleBits[w] &^= b
-		v.idleCnt[v.peType[pi]]--
+		v.idleCnt[v.peClass[pi]]--
 		v.idleTot--
 	}
 }
@@ -278,7 +360,7 @@ func (v *View) MarkIdle(pi int) {
 	w, b := pi/64, uint64(1)<<uint(pi%64)
 	if v.idleBits[w]&b == 0 {
 		v.idleBits[w] |= b
-		v.idleCnt[v.peType[pi]]++
+		v.idleCnt[v.peClass[pi]]++
 		v.idleTot++
 	}
 }
@@ -293,33 +375,44 @@ func (v *View) SetAvail(pi int, at vtime.Time) { v.avail[pi] = at }
 func (v *View) AddLoad(pi, delta int) { v.load[pi] += int32(delta) }
 
 // PushReady appends a task (with its compiled metadata) to the ready
-// list; order is the arrival order FRFS preserves.
-func (v *View) PushReady(t Task, m ReadyMeta) {
+// list; order is the arrival order FRFS preserves. The metadata is
+// retained by pointer: it must stay valid and immutable while the task
+// is in the window (the emulation core passes per-node records that
+// live as long as the compiled Program).
+func (v *View) PushReady(t Task, m *ReadyMeta) {
 	v.ready = append(v.ready, t)
 	v.meta = append(v.meta, m)
 }
 
 // CompactReady drops every window entry whose index is marked in
-// remove (indices are window-relative), preserving order. The removed
+// remove (indices are window-relative), preserving order; nRemoved is
+// the mark count, letting the all-prefix case — FRFS assigns
+// oldest-first, so batches overwhelmingly consume a prefix — return
+// without scanning the rest of the window for holes. The removed
 // prefix is consumed by advancing the head; only removals scattered
 // beyond it cost a tail compaction. Once the dead prefix outweighs the
 // live window the backing array slides down, so storage stays
 // proportional to the peak window.
-func (v *View) CompactReady(remove []bool) {
+func (v *View) CompactReady(remove []bool, nRemoved int) {
 	base := v.head
 	i := 0
 	for ; i < len(remove) && remove[i]; i++ {
 		v.ready[base+i] = nil // consumed slots must not pin tasks
+		v.meta[base+i] = nil
 	}
 	v.head = base + i
 	// Scattered removals beyond the prefix: everything before the first
 	// hole is already in place, so compaction shifts only the tail from
-	// there, moving the kept runs between holes with bulk copies.
+	// there, moving the kept runs between holes with bulk copies. When
+	// the prefix accounted for every mark there is no hole to find and
+	// the window scan is skipped entirely.
 	f := -1
-	for j := i; j < len(remove); j++ {
-		if remove[j] {
-			f = j
-			break
+	if i < nRemoved {
+		for j := i; j < len(remove); j++ {
+			if remove[j] {
+				f = j
+				break
+			}
 		}
 	}
 	if f >= 0 {
@@ -340,6 +433,7 @@ func (v *View) CompactReady(remove []bool) {
 		}
 		for i := dst; i < len(v.ready); i++ {
 			v.ready[i] = nil
+			v.meta[i] = nil
 		}
 		v.ready = v.ready[:dst]
 		v.meta = v.meta[:dst]
@@ -353,6 +447,7 @@ func (v *View) CompactReady(remove []bool) {
 		copy(v.meta, v.meta[v.head:])
 		for i := n; i < len(v.ready); i++ {
 			v.ready[i] = nil
+			v.meta[i] = nil
 		}
 		v.ready = v.ready[:n]
 		v.meta = v.meta[:n]
@@ -370,7 +465,7 @@ func (v *View) Ready() []Task { return v.ready[v.head:] }
 
 // metas is the ready window's compiled metadata, index-aligned with
 // Ready().
-func (v *View) metas() []ReadyMeta { return v.meta[v.head:] }
+func (v *View) metas() []*ReadyMeta { return v.meta[v.head:] }
 
 // PEs exposes the fixed PE table (index-aligned with assignment
 // PEIndex values).
@@ -397,16 +492,16 @@ func (v *View) beginIdleScratch() {
 // takeIdle consumes one idle PE from the call snapshot.
 func (v *View) takeIdle(pi int) {
 	v.scr.idle[pi/64] &^= 1 << uint(pi%64)
-	v.scr.idleCnt[v.peType[pi]]--
+	v.scr.idleCnt[v.peClass[pi]]--
 	v.scr.idleTot--
 }
 
-// minIdleOfType returns the lowest-index idle PE of one type, or -1.
-func (v *View) minIdleOfType(t int) int {
+// minIdleOfClass returns the lowest-index idle PE of one class, or -1.
+func (v *View) minIdleOfClass(t int) int {
 	if v.scr.idleCnt[t] == 0 {
 		return -1
 	}
-	tb := v.typeBits[t*v.words:]
+	tb := v.classBits[t*v.words:]
 	for w, m := range v.scr.idle {
 		if x := m & tb[w]; x != 0 {
 			return w*64 + bits.TrailingZeros64(x)
@@ -415,21 +510,21 @@ func (v *View) minIdleOfType(t int) int {
 	return -1
 }
 
-// maskWord ORs the membership bitmaps of every type in mask for one
+// maskWord ORs the membership bitmaps of every class in mask for one
 // bitmap word.
 func (v *View) maskWord(mask uint64, w int) uint64 {
 	var u uint64
 	for mm := mask; mm != 0; mm &= mm - 1 {
-		u |= v.typeBits[bits.TrailingZeros64(mm)*v.words+w]
+		u |= v.classBits[bits.TrailingZeros64(mm)*v.words+w]
 	}
 	return u
 }
 
-// minIdleOfMask returns the lowest-index idle PE over every type in
+// minIdleOfMask returns the lowest-index idle PE over every class in
 // mask — the first idle supporting PE the FRFS probe order finds — or
-// -1 when no compatible type has an idle PE.
+// -1 when no compatible class has an idle PE.
 func (v *View) minIdleOfMask(mask uint64) int {
-	mask &= v.allTypes
+	mask &= v.allClasses
 	for w, m := range v.scr.idle {
 		if x := m & v.maskWord(mask, w); x != 0 {
 			return w*64 + bits.TrailingZeros64(x)
@@ -452,20 +547,20 @@ func (v *View) idleRankBelow(pi int) int {
 	return n
 }
 
-// idleCountOfMask sums the idle counts of every type in mask.
+// idleCountOfMask sums the idle counts of every class in mask.
 func (v *View) idleCountOfMask(mask uint64) int {
 	n := 0
-	for mm := mask & v.allTypes; mm != 0; mm &= mm - 1 {
+	for mm := mask & v.allClasses; mm != 0; mm &= mm - 1 {
 		n += int(v.scr.idleCnt[bits.TrailingZeros64(mm)])
 	}
 	return n
 }
 
 // kthIdleOfMask returns the (k+1)-th lowest-index idle PE over the
-// mask's types — the candidates[k] of RANDOM's index-ordered
+// mask's classes — the candidates[k] of RANDOM's index-ordered
 // candidate list. k must be < idleCountOfMask(mask).
 func (v *View) kthIdleOfMask(mask uint64, k int) int {
-	mask &= v.allTypes
+	mask &= v.allClasses
 	for w, m := range v.scr.idle {
 		x := m & v.maskWord(mask, w)
 		c := bits.OnesCount64(x)
@@ -481,14 +576,14 @@ func (v *View) kthIdleOfMask(mask uint64, k int) int {
 	return -1
 }
 
-// ensureHeaps sizes the per-type heap table.
+// ensureHeaps sizes the per-class heap table.
 func (v *View) ensureHeaps() {
-	for len(v.scr.heaps) < v.numTypes {
+	for len(v.scr.heaps) < v.numClasses {
 		v.scr.heaps = append(v.scr.heaps, nil)
 	}
 }
 
-// beginTentative builds EFT's call state: per-type min-heaps over the
+// beginTentative builds EFT's call state: per-class min-heaps over the
 // busy PEs keyed by (max(AvailableAt, now), index), plus the tentative
 // table the heap entries validate against. Must run before any
 // takeIdle on the same call.
@@ -498,9 +593,9 @@ func (v *View) beginTentative(now vtime.Time) {
 		v.scr.tent = make([]vtime.Time, len(v.pes))
 	}
 	v.scr.tent = v.scr.tent[:len(v.pes)]
-	for t := 0; t < v.numTypes; t++ {
+	for t := 0; t < v.numClasses; t++ {
 		h := v.scr.heaps[t][:0]
-		tb := v.typeBits[t*v.words:]
+		tb := v.classBits[t*v.words:]
 		for w := 0; w < v.words; w++ {
 			busy := tb[w] &^ v.idleBits[w]
 			for ; busy != 0; busy &= busy - 1 {
@@ -517,7 +612,7 @@ func (v *View) beginTentative(now vtime.Time) {
 	}
 }
 
-// peekBusyMin returns the busy PE of type t with the lexicographically
+// peekBusyMin returns the busy PE of class t with the lexicographically
 // smallest (tentative, index), discarding entries invalidated by
 // setTentative.
 func (v *View) peekBusyMin(t int) (vtime.Time, int, bool) {
@@ -535,15 +630,15 @@ func (v *View) peekBusyMin(t int) (vtime.Time, int, bool) {
 }
 
 // setTentative updates a PE's tentative completion (EFT's placement
-// bookkeeping) and enters it into its type's busy heap.
+// bookkeeping) and enters it into its class's busy heap.
 func (v *View) setTentative(pi int, at vtime.Time) {
 	v.scr.tent[pi] = at
-	t := v.peType[pi]
+	t := v.peClass[pi]
 	v.scr.heaps[t] = pushEntry(v.scr.heaps[t], availEntry{at, int32(pi)})
 }
 
 // beginAvailHeaps builds EFTQ's call state: scratch copies of the
-// per-PE load and availability (clamped to now), per-type min-heaps
+// per-PE load and availability (clamped to now), per-class min-heaps
 // keyed (avail, index) over PEs with spare queue capacity, and the
 // total free slot count the outer loop drains.
 func (v *View) beginAvailHeaps(now vtime.Time, depth int32) int {
@@ -554,9 +649,9 @@ func (v *View) beginAvailHeaps(now vtime.Time, depth int32) int {
 	}
 	v.scr.avail = v.scr.avail[:len(v.pes)]
 	free := 0
-	for t := 0; t < v.numTypes; t++ {
+	for t := 0; t < v.numClasses; t++ {
 		h := v.scr.heaps[t][:0]
-		tb := v.typeBits[t*v.words:]
+		tb := v.classBits[t*v.words:]
 		for w := 0; w < v.words; w++ {
 			for x := tb[w]; x != 0; x &= x - 1 {
 				pi := w*64 + bits.TrailingZeros64(x)
@@ -576,7 +671,7 @@ func (v *View) beginAvailHeaps(now vtime.Time, depth int32) int {
 	return free
 }
 
-// peekAvailMin returns the spare-capacity PE of type t with the
+// peekAvailMin returns the spare-capacity PE of class t with the
 // lexicographically smallest (avail, index), discarding entries
 // invalidated by queue growth or availability pushes.
 func (v *View) peekAvailMin(t int, depth int32) (vtime.Time, int, bool) {
@@ -599,17 +694,17 @@ func (v *View) commitAvail(pi int, at vtime.Time, depth int32) {
 	v.scr.load[pi]++
 	v.scr.avail[pi] = at
 	if v.scr.load[pi] < depth {
-		t := v.peType[pi]
+		t := v.peClass[pi]
 		v.scr.heaps[t] = pushEntry(v.scr.heaps[t], availEntry{at, int32(pi)})
 	}
 }
 
 // beginLoadBuckets builds FRFSQ's call state: a scratch load copy and
-// per-(type, load) membership bitmaps for loads below depth, plus the
+// per-(class, load) membership bitmaps for loads below depth, plus the
 // total free slot count.
 func (v *View) beginLoadBuckets(depth int32) int {
 	v.scr.load = append(v.scr.load[:0], v.load...)
-	n := v.numTypes * int(depth) * v.words
+	n := v.numClasses * int(depth) * v.words
 	if cap(v.scr.buckets) < n {
 		v.scr.buckets = make([]uint64, n)
 	}
@@ -622,7 +717,7 @@ func (v *View) beginLoadBuckets(depth int32) int {
 			free += int(d)
 		}
 		if l < depth {
-			t := int(v.peType[pi])
+			t := int(v.peClass[pi])
 			v.scr.buckets[(t*int(depth)+int(l))*v.words+pi/64] |= 1 << uint(pi%64)
 		}
 	}
@@ -633,7 +728,7 @@ func (v *View) beginLoadBuckets(depth int32) int {
 // depth, ties broken by lowest index — FRFSQ's shortest-queue pick —
 // or -1.
 func (v *View) minLoadOfMask(mask uint64, depth int32) int {
-	mask &= v.allTypes
+	mask &= v.allClasses
 	for l := int32(0); l < depth; l++ {
 		best := -1
 		for mm := mask; mm != 0; mm &= mm - 1 {
@@ -658,7 +753,7 @@ func (v *View) minLoadOfMask(mask uint64, depth int32) int {
 // bumpLoadBucket applies one FRFSQ placement: the PE moves from its
 // load bucket to the next (dropping out once full).
 func (v *View) bumpLoadBucket(pi int, depth int32) {
-	t := int(v.peType[pi])
+	t := int(v.peClass[pi])
 	l := v.scr.load[pi]
 	w, b := pi/64, uint64(1)<<uint(pi%64)
 	v.scr.buckets[(t*int(depth)+int(l))*v.words+w] &^= b

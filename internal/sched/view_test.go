@@ -7,27 +7,10 @@ import (
 	"repro/internal/vtime"
 )
 
-// metaFor derives a fake task's ReadyMeta exactly as core.Compile
-// does: supported-type mask over non-negative TypeIDs, MET's
-// first-strict-minimum cost type, and the choice count.
-func metaFor(t Task) ReadyMeta {
-	m := ReadyMeta{METType: -1, NumChoices: int32(len(t.Choices()))}
-	var bestCost int64 = -1
-	for _, c := range t.Choices() {
-		if c.TypeID >= 0 {
-			m.TypeMask |= 1 << uint(c.TypeID)
-		}
-		if bestCost < 0 || c.CostNS < bestCost {
-			bestCost = c.CostNS
-			m.METType = int32(c.TypeID)
-		}
-	}
-	return m
-}
-
 // viewFor builds a View in the state the emulator would maintain for
 // the given fakes: busy PEs marked, availability and load mirrored,
-// ready tasks pushed with their compiled metadata.
+// ready tasks pushed with their compiled metadata (View.MetaFor is the
+// in-package equivalent of core.Compile's class-based lowering).
 func viewFor(t *testing.T, fakes []*fakePE, tasks []Task) *View {
 	t.Helper()
 	pes := make([]PE, len(fakes))
@@ -47,7 +30,8 @@ func viewFor(t *testing.T, fakes []*fakePE, tasks []Task) *View {
 		v.AddLoad(i, f.queued)
 	}
 	for _, tk := range tasks {
-		v.PushReady(tk, metaFor(tk))
+		m := v.MetaFor(tk.Choices())
+		v.PushReady(tk, &m)
 	}
 	return v
 }
@@ -56,10 +40,11 @@ func viewFor(t *testing.T, fakes []*fakePE, tasks []Task) *View {
 // PEs have empty queues and availability at or below now (a collected
 // completion), busy PEs complete strictly after now — the invariants
 // the workload-manager loop guarantees at every Schedule invocation.
-// With uniform=true, PEs of one type share speed and power (every
-// built-in platform constructor except the Odroid's big.LITTLE
-// interning); otherwise per-PE values diverge, forcing the EFT-family
-// fast paths onto their slice fallback.
+// With uniform=true, PEs of one type share speed and power, so type
+// and cost class coincide (the ZCU102/Synthetic shape); otherwise
+// per-PE values diverge and the view interns up to one cost class per
+// PE — the big.LITTLE shape taken to its extreme, exercising the
+// EFT-family class decomposition with no fallback to hide behind.
 func randomScenario(rng *rand.Rand, now vtime.Time, uniform bool) ([]*fakePE, []Task) {
 	nPE := 1 + rng.Intn(12)
 	fakes := make([]*fakePE, nPE)
@@ -205,7 +190,8 @@ func TestViewCompactReadySemantics(t *testing.T) {
 				tk = dualTask("t", int64(next+1), int64(next+2))
 			}
 			next++
-			v.PushReady(tk, metaFor(tk))
+			m := v.MetaFor(tk.Choices())
+			v.PushReady(tk, &m)
 			ref = append(ref, tk)
 		}
 		remove := make([]bool, len(ref))
@@ -218,7 +204,13 @@ func TestViewCompactReadySemantics(t *testing.T) {
 				remove[i] = rng.Intn(4) == 0
 			}
 		}
-		v.CompactReady(remove)
+		nRemoved := 0
+		for _, r := range remove {
+			if r {
+				nRemoved++
+			}
+		}
+		v.CompactReady(remove, nRemoved)
 		kept := ref[:0]
 		for i, tk := range ref {
 			if !remove[i] {
@@ -241,8 +233,7 @@ func TestViewCompactReadySemantics(t *testing.T) {
 	}
 }
 
-// settableTypePE is a fake whose TypeID can exceed the View's 64-type
-// representation.
+// settableTypePE is a fake whose TypeID can be set directly.
 type settableTypePE struct {
 	fakePE
 	typeID int
@@ -250,13 +241,35 @@ type settableTypePE struct {
 
 func (p *settableTypePE) TypeID() int { return p.typeID }
 
-// TestNewViewRejectsWideConfigs pins the fallback trigger: more than
-// 64 interned types (or a negative TypeID) must yield no view, sending
-// the emulator down the slice-rebuild path.
-func TestNewViewRejectsWideConfigs(t *testing.T) {
-	wide := &settableTypePE{fakePE: *idleCPU(0), typeID: 64}
-	if NewView([]PE{wide}) != nil {
-		t.Fatal("NewView accepted a 65th PE type")
+// speedClassedPEs builds n same-type "cpu" PEs with n distinct speeds —
+// n cost classes under one interned type, the big.LITTLE shape pushed
+// to the representation boundary.
+func speedClassedPEs(n int) []PE {
+	pes := make([]PE, n)
+	for i := range pes {
+		pe := idleCPU(i)
+		pe.speed = 1 + float64(i)/100
+		pes[i] = pe
+	}
+	return pes
+}
+
+// TestNewViewClassBoundary pins the fallback trigger at its exact
+// boundary: 64 interned cost classes are representable (even under a
+// single type key), the 65th is not and must yield no view, sending
+// the emulator down the slice-rebuild path. A negative TypeID and an
+// empty table reject as before; a TypeID beyond 63 is fine as long as
+// the class count fits — masks are per class, not per type.
+func TestNewViewClassBoundary(t *testing.T) {
+	v := NewView(speedClassedPEs(64))
+	if v == nil {
+		t.Fatal("NewView rejected 64 cost classes")
+	}
+	if v.NumClasses() != 64 {
+		t.Fatalf("interned %d classes, want 64", v.NumClasses())
+	}
+	if NewView(speedClassedPEs(65)) != nil {
+		t.Fatal("NewView accepted a 65th cost class")
 	}
 	neg := &settableTypePE{fakePE: *idleCPU(0), typeID: -1}
 	if NewView([]PE{neg}) != nil {
@@ -264,6 +277,62 @@ func TestNewViewRejectsWideConfigs(t *testing.T) {
 	}
 	if NewView(nil) != nil {
 		t.Fatal("NewView accepted an empty PE table")
+	}
+	high := &settableTypePE{fakePE: *idleCPU(0), typeID: 64}
+	hv := NewView([]PE{high})
+	if hv == nil || hv.NumClasses() != 1 {
+		t.Fatal("NewView rejected a high TypeID that interns into one class")
+	}
+}
+
+// TestIndexedParityAtClassBoundary runs the policy parity check on a
+// 64-class single-type pool — every mask word boundary in play — so
+// the exactly-representable edge is covered by the same byte-level
+// contract as the everyday shapes.
+func TestIndexedParityAtClassBoundary(t *testing.T) {
+	now := vtime.Time(5_000)
+	rng := rand.New(rand.NewSource(7))
+	fakes := make([]*fakePE, 64)
+	for i := range fakes {
+		pe := idleCPU(i)
+		pe.speed = 1 + float64(i)/100
+		pe.power = 0.5 + float64(i%7)/10
+		if rng.Intn(3) == 0 {
+			pe.idle = false
+			pe.queued = rng.Intn(3)
+			pe.avail = now + 1 + vtime.Time(rng.Intn(2000))
+		}
+		fakes[i] = pe
+	}
+	var tasks []Task
+	for i := 0; i < 40; i++ {
+		tasks = append(tasks, cpuTask("t", int64(rng.Intn(1000)+1)))
+	}
+	for _, name := range Names() {
+		pSlice, err := New(name, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pIdx, _ := New(name, 3)
+		pes := make([]PE, len(fakes))
+		for i, f := range fakes {
+			pes[i] = f
+		}
+		want := pSlice.Schedule(now, tasks, pes)
+		v := viewFor(t, fakes, tasks)
+		if v.NumClasses() != 64 {
+			t.Fatalf("boundary scenario interned %d classes, want 64", v.NumClasses())
+		}
+		got := pIdx.(IndexedPolicy).ScheduleIndexed(now, v)
+		if want.Ops != got.Ops || len(want.Assignments) != len(got.Assignments) {
+			t.Fatalf("%s: diverged at the 64-class boundary: slice ops %d/%d assignments, indexed %d/%d",
+				name, want.Ops, len(want.Assignments), got.Ops, len(got.Assignments))
+		}
+		for i := range want.Assignments {
+			if want.Assignments[i] != got.Assignments[i] {
+				t.Fatalf("%s: assignment %d diverged: %+v vs %+v", name, i, want.Assignments[i], got.Assignments[i])
+			}
+		}
 	}
 }
 

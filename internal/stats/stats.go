@@ -87,11 +87,18 @@ type PEStats struct {
 type Report struct {
 	ConfigName string
 	PolicyName string
-	Makespan   vtime.Duration
-	Tasks      []TaskRecord
-	Apps       []AppRecord
-	PEs        []PEStats
-	Sched      SchedStats
+	// SchedulerPath names the scheduling machinery the run used
+	// ("indexed", "slice", "slice-rebuild" — the core package's
+	// SchedulerPath* constants). It is host-side provenance, not
+	// modelled behaviour: the emulated results are byte-identical
+	// across paths, so parity comparisons ignore it. omitempty keeps
+	// pre-existing fixture documents (which predate the field) valid.
+	SchedulerPath string `json:",omitempty"`
+	Makespan      vtime.Duration
+	Tasks         []TaskRecord
+	Apps          []AppRecord
+	PEs           []PEStats
+	Sched         SchedStats
 }
 
 // Utilization returns the busy fraction of a PE over the makespan, the

@@ -212,25 +212,40 @@ func TestProgressReporting(t *testing.T) {
 	}
 }
 
-// TestSchedulerPathParityGrid runs the synthetic platform grid under
-// every built-in policy through both scheduler paths — the indexed
-// fast path and the legacy slice path (Emulation.SlicePath) — in one
-// parallel sweep each, and requires byte-identical reports cell by
-// cell. This is the sweep-level pin of the indexed scheduler's
-// determinism contract.
+// TestSchedulerPathParityGrid runs the platform grid — uniform
+// synthetic pools, the Odroid's big.LITTLE split-class pool, and the
+// heterogeneous synthetic pool — under every built-in policy through
+// both scheduler paths: the indexed fast path and the legacy slice
+// path (Emulation.SlicePath), in one parallel sweep each, and requires
+// byte-identical reports cell by cell. This is the sweep-level pin of
+// the indexed scheduler's determinism contract, cost-class interning
+// included.
 func TestSchedulerPathParityGrid(t *testing.T) {
 	specs := apps.Specs()
 	trace, err := workload.RateTrace(specs, 4, workload.TableIIFrame)
 	if err != nil {
 		t.Fatal(err)
 	}
+	var configs []*platform.Config
+	for _, cf := range [][2]int{{8, 2}, {16, 4}} {
+		cfg, err := platform.Synthetic(cf[0], cf[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		configs = append(configs, cfg)
+	}
+	od, err := platform.OdroidXU3(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	het, err := platform.SyntheticHet(8, 6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	configs = append(configs, od, het)
 	grid := func(slicePath bool) []Cell[*stats.Report] {
 		var cells []Cell[*stats.Report]
-		for _, cf := range [][2]int{{8, 2}, {16, 4}} {
-			cfg, err := platform.Synthetic(cf[0], cf[1])
-			if err != nil {
-				t.Fatal(err)
-			}
+		for _, cfg := range configs {
 			for _, name := range sched.Names() {
 				policy, err := sched.New(name, 13)
 				if err != nil {
