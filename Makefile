@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-check benchfull experiments
+.PHONY: check fmt vet build test race fuzz bench bench-check benchfull experiments
 
-check: fmt vet build test race
+check: fmt vet build test race fuzz
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -31,6 +31,16 @@ test:
 race:
 	$(GO) test -race ./internal/sweep/... ./internal/sched/...
 	$(GO) test -race -run ParallelGolden ./internal/experiments
+
+# Fuzz smoke: each native fuzz target gets a short engine run on top
+# of the committed seed corpus (which plain `go test` already replays).
+# One target per invocation — go's fuzz engine requires it. 10s each
+# keeps the gate fast while still mutating past the seeds.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -run NONE -fuzz '^FuzzCompile$$' -fuzztime $(FUZZTIME) ./internal/minic
+	$(GO) test -run NONE -fuzz '^FuzzConvert$$' -fuzztime $(FUZZTIME) ./internal/outliner
+	$(GO) test -run NONE -fuzz '^FuzzProgramLowering$$' -fuzztime $(FUZZTIME) ./internal/core
 
 # `make bench` records the perf trajectory: the emulator throughput
 # benches (tasks/sec, allocs/op — including the streaming Online-sink

@@ -1,0 +1,322 @@
+// Generated-corpus differential: the conversion toolchain (MiniC →
+// IR → outliner → DAG) feeds the scheduler parity harness. A seeded
+// minicgen corpus is compiled to specs, a recorded execution trace of
+// each batch supplies the arrival process (replayed through
+// workload.ReplaySource), and every built-in policy must produce a
+// report identical to the same run forced onto the legacy slice path —
+// batch and stream, across homogeneous, big.LITTLE and heterogeneous
+// configurations. This composes the PR 4/5 indexed-vs-slice harness
+// with application shapes no hand-written fixture covers.
+package core_test
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/appmodel"
+	"repro/internal/core"
+	"repro/internal/kernels"
+	"repro/internal/minic/minicgen"
+	"repro/internal/outliner"
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/tracer"
+	"repro/internal/workload"
+)
+
+// corpusGenConfig sweeps the generator's shape space by seed, the same
+// way the minicgen property tests do.
+func corpusGenConfig(seed int64) minicgen.Config {
+	return minicgen.Config{
+		Regions:      2 + int(seed%9),
+		Kernels:      1 + int(seed%4),
+		MaxLoopDepth: 1 + int(seed%3),
+		Helpers:      int(seed % 5),
+		MaxCallDepth: 1 + int(seed%3),
+		MaxArrayLen:  8 << (seed % 3),
+		FanIn:        1 + int(seed%4),
+	}
+}
+
+// corpusBatch is one generated application library plus its recorded
+// arrival trace.
+type corpusBatch struct {
+	names   []string // deterministic order
+	specs   map[string]*appmodel.AppSpec
+	prints  map[string]uint64
+	results map[string]*outliner.Result
+	rec     *tracer.Record
+	reg     *kernels.Registry
+}
+
+// buildCorpusBatch generates appsPer programs from consecutive seeds,
+// converts each through the full pipeline, and records reps rounds of
+// interpreter runs as the batch's arrival trace. PerInstrNS is
+// compressed far below the spec's cost scale so replayed arrivals
+// overlap heavily when emulated, loading the ready queues.
+func buildCorpusBatch(t *testing.T, batch, appsPer, reps int) *corpusBatch {
+	t.Helper()
+	cb := &corpusBatch{
+		specs:   map[string]*appmodel.AppSpec{},
+		prints:  map[string]uint64{},
+		results: map[string]*outliner.Result{},
+		reg:     kernels.NewRegistry(),
+	}
+	for i := 0; i < appsPer; i++ {
+		seed := int64(batch*appsPer + i)
+		p := minicgen.Generate(seed, corpusGenConfig(seed))
+		spec, res, err := p.Build(cb.reg)
+		if err != nil {
+			t.Fatalf("seed %d failed conversion: %v\nsource:\n%s", seed, err, p.Source())
+		}
+		cb.names = append(cb.names, spec.AppName)
+		cb.specs[spec.AppName] = spec
+		cb.prints[spec.AppName] = tracer.Fingerprint(res.Module)
+		cb.results[spec.AppName] = res
+	}
+	recorder := tracer.NewRecorder(0.02)
+	recorder.MaxSteps = 100_000_000
+	for r := 0; r < reps; r++ {
+		for _, name := range cb.names {
+			if err := recorder.Run(cb.results[name].Module, name, "main"); err != nil {
+				t.Fatalf("recording %s: %v", name, err)
+			}
+		}
+	}
+	cb.rec = recorder.Record()
+	return cb
+}
+
+// corpusConfigs spans the class-interning shapes: homogeneous+accel,
+// big.LITTLE (one type, two cost classes), and the synthetic
+// heterogeneous pool.
+func corpusConfigs(t *testing.T) []*platform.Config {
+	t.Helper()
+	syn, err := platform.Synthetic(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	od, err := platform.OdroidXU3(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	het, err := platform.SyntheticHet(8, 6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []*platform.Config{syn, od, het}
+}
+
+// compareCorpusReports mirrors the in-package compareReports over the
+// exported report surface (this file lives in core_test).
+func compareCorpusReports(t *testing.T, want, got *stats.Report) {
+	t.Helper()
+	if want.ConfigName != got.ConfigName || want.PolicyName != got.PolicyName {
+		t.Fatalf("header diverged: want %s/%s, got %s/%s",
+			want.ConfigName, want.PolicyName, got.ConfigName, got.PolicyName)
+	}
+	if want.Makespan != got.Makespan {
+		t.Errorf("makespan diverged: want %v, got %v", want.Makespan, got.Makespan)
+	}
+	if len(want.Tasks) != len(got.Tasks) {
+		t.Fatalf("task record count diverged: want %d, got %d", len(want.Tasks), len(got.Tasks))
+	}
+	for i := range want.Tasks {
+		if want.Tasks[i] != got.Tasks[i] {
+			t.Fatalf("task record %d diverged:\nwant %+v\ngot  %+v", i, want.Tasks[i], got.Tasks[i])
+		}
+	}
+	if len(want.Apps) != len(got.Apps) {
+		t.Fatalf("app record count diverged: want %d, got %d", len(want.Apps), len(got.Apps))
+	}
+	for i := range want.Apps {
+		if want.Apps[i] != got.Apps[i] {
+			t.Fatalf("app record %d diverged:\nwant %+v\ngot  %+v", i, want.Apps[i], got.Apps[i])
+		}
+	}
+	if !reflect.DeepEqual(want.PEs, got.PEs) {
+		t.Errorf("PE stats diverged:\nwant %+v\ngot  %+v", want.PEs, got.PEs)
+	}
+	if want.Sched != got.Sched {
+		t.Errorf("scheduler stats diverged:\nwant %+v\ngot  %+v", want.Sched, got.Sched)
+	}
+}
+
+// drainReplay materialises a fresh replay pass as a batch trace.
+func drainReplay(cb *corpusBatch) []core.Arrival {
+	src := workload.NewReplaySource(cb.rec, cb.specs, cb.prints)
+	var out []core.Arrival
+	for {
+		a, ok := src.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, a)
+	}
+}
+
+// TestGeneratedCorpusDifferential is the PR's acceptance bar: 120
+// generated DAGs (10 batches x 12 apps, >= 100), each batch replayed
+// from its recorded trace under all 7 policies, indexed vs slice-only,
+// batch Run and RunStream, on three interning shapes — every pairing
+// byte-identical. Everything derives from fixed seeds.
+func TestGeneratedCorpusDifferential(t *testing.T) {
+	const (
+		batches = 10
+		appsPer = 12
+		reps    = 3
+	)
+	configs := corpusConfigs(t)
+	for b := 0; b < batches; b++ {
+		cb := buildCorpusBatch(t, b, appsPer, reps)
+
+		// Replay-vs-record byte identity: the serialised trace survives
+		// a marshal round trip bit for bit, and a replay pass delivers
+		// exactly the recorded (app, instant) sequence.
+		data1, err := cb.rec.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec2, err := tracer.UnmarshalRecord(data1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data2, err := rec2.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(data1, data2) {
+			t.Fatalf("batch %d: record did not survive a marshal round trip byte-identically", b)
+		}
+		arrivals := drainReplay(cb)
+		if len(arrivals) != len(cb.rec.Entries) {
+			t.Fatalf("batch %d: replay delivered %d of %d arrivals", b, len(arrivals), len(cb.rec.Entries))
+		}
+		for i, a := range arrivals {
+			e := cb.rec.Entries[i]
+			if a.Spec.AppName != e.App || a.At != e.At {
+				t.Fatalf("batch %d: replay arrival %d is %s@%v, trace says %s@%v",
+					b, i, a.Spec.AppName, a.At, e.App, e.At)
+			}
+		}
+
+		cache := core.NewProgramCache()
+		for _, cfg := range configs {
+			for _, policyName := range sched.Names() {
+				t.Run(fmt.Sprintf("batch%02d/%s/%s", b, cfg.Name, policyName), func(t *testing.T) {
+					runBatch := func(p sched.Policy) *stats.Report {
+						e, err := core.New(core.Options{
+							Config: cfg, Policy: p, Registry: cb.reg,
+							Seed: 42, JitterSigma: 0.03,
+							SkipExecution: true, Programs: cache,
+						})
+						if err != nil {
+							t.Fatal(err)
+						}
+						rep, err := e.Run(arrivals)
+						if err != nil {
+							t.Fatal(err)
+						}
+						return rep
+					}
+					runStream := func(p sched.Policy) *stats.Report {
+						e, err := core.New(core.Options{
+							Config: cfg, Policy: p, Registry: cb.reg,
+							Seed: 42, JitterSigma: 0.03,
+							SkipExecution: true, Programs: cache,
+						})
+						if err != nil {
+							t.Fatal(err)
+						}
+						rep, err := e.RunStream(workload.NewReplaySource(cb.rec, cb.specs, cb.prints))
+						if err != nil {
+							t.Fatal(err)
+						}
+						return rep
+					}
+					indexed, err := sched.New(policyName, int64(b))
+					if err != nil {
+						t.Fatal(err)
+					}
+					slice, err := sched.New(policyName, int64(b))
+					if err != nil {
+						t.Fatal(err)
+					}
+					compareCorpusReports(t, runBatch(sched.SliceOnly(slice)), runBatch(indexed))
+
+					indexedS, _ := sched.New(policyName, int64(b))
+					sliceS, _ := sched.New(policyName, int64(b))
+					compareCorpusReports(t, runStream(sched.SliceOnly(sliceS)), runStream(indexedS))
+				})
+			}
+		}
+	}
+}
+
+// TestGeneratedCorpusExecutes drops SkipExecution for one batch: the
+// generated runfuncs (outlined IR run against instance memory) must
+// actually execute under the emulator, and every instance's final
+// memory must equal a ground-truth interpreter run of the converted
+// module — the functional half the differential's timing-only runs
+// don't see.
+func TestGeneratedCorpusExecutes(t *testing.T) {
+	cb := buildCorpusBatch(t, 99, 6, 2)
+	cfg, err := platform.Synthetic(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := sched.New("frfs", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := core.New(core.Options{Config: cfg, Policy: pol, Registry: cb.reg, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	arrivals := drainReplay(cb)
+	total := 0
+	for _, a := range arrivals {
+		total += a.Spec.TaskCount()
+	}
+	rep, err := e.Run(arrivals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Tasks) != total {
+		t.Fatalf("executed %d of %d generated tasks", len(rep.Tasks), total)
+	}
+	// Ground truth per app: one interpreter pass over the converted
+	// module.
+	truth := map[string]map[string][]float64{}
+	for _, name := range cb.names {
+		env, _, err := tracer.Run(cb.results[name].Module, "main", nil)
+		if err != nil {
+			t.Fatalf("ground-truth run of %s: %v", name, err)
+		}
+		truth[name] = env.Globals
+	}
+	for _, inst := range e.Instances() {
+		name := inst.Spec.AppName
+		mod := cb.results[name].Module
+		for _, gn := range mod.GlobalOrder {
+			want := truth[name][gn]
+			got := inst.Mem.MustLookup(gn).Float64s()
+			if len(want) != len(got) {
+				t.Fatalf("%s instance %d: global %s has %d elems, ground truth %d",
+					name, inst.Index, gn, len(got), len(want))
+			}
+			for i := range want {
+				// Bitwise: generated arithmetic legitimately produces
+				// NaNs, which DeepEqual would reject against themselves.
+				if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+					t.Fatalf("%s instance %d: global %s[%d] diverged from interpreter ground truth\nwant %v\ngot  %v",
+						name, inst.Index, gn, i, want, got)
+				}
+			}
+		}
+	}
+}

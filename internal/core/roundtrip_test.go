@@ -1,10 +1,14 @@
 package core
 
 import (
+	"reflect"
 	"testing"
 
 	"repro/internal/appmodel"
 	"repro/internal/apps"
+	"repro/internal/kernels"
+	"repro/internal/minic/minicgen"
+	"repro/internal/platform"
 	"repro/internal/sched"
 )
 
@@ -71,4 +75,103 @@ func TestJSONRoundTripEmulationEquality(t *testing.T) {
 			}
 		}
 	}
+}
+
+// compileOpIdentical compiles both specs and asserts the lowered
+// Programs are operationally identical: every field dispatch or the
+// indexed scheduler reads must match, node for node. Kernel function
+// pointers are covered by count (both sides resolve through the same
+// registry, so symbol identity follows from the spec comparison).
+func compileOpIdentical(t *testing.T, orig, reloaded *appmodel.AppSpec, cfg *platform.Config, reg *kernels.Registry) {
+	t.Helper()
+	a, err := Compile(orig, cfg, reg)
+	if err != nil {
+		t.Fatalf("compile original: %v", err)
+	}
+	b, err := Compile(reloaded, cfg, reg)
+	if err != nil {
+		t.Fatalf("compile reloaded: %v", err)
+	}
+	if a.TaskCount() != b.TaskCount() {
+		t.Fatalf("task count diverged: %d vs %d", a.TaskCount(), b.TaskCount())
+	}
+	if !reflect.DeepEqual(a.heads, b.heads) {
+		t.Fatalf("heads diverged: %v vs %v", a.heads, b.heads)
+	}
+	for i := range a.nodes {
+		na, nb := &a.nodes[i], &b.nodes[i]
+		if na.name != nb.name {
+			t.Fatalf("node %d name diverged: %q vs %q", i, na.name, nb.name)
+		}
+		if !reflect.DeepEqual(na.spec, nb.spec) {
+			t.Fatalf("node %s spec diverged:\n%+v\n%+v", na.name, na.spec, nb.spec)
+		}
+		if na.preds != nb.preds || !reflect.DeepEqual(na.succs, nb.succs) {
+			t.Fatalf("node %s wiring diverged: preds %d/%d succs %v/%v",
+				na.name, na.preds, nb.preds, na.succs, nb.succs)
+		}
+		if !reflect.DeepEqual(na.choices, nb.choices) {
+			t.Fatalf("node %s choices diverged:\n%+v\n%+v", na.name, na.choices, nb.choices)
+		}
+		if !reflect.DeepEqual(na.choiceByType, nb.choiceByType) {
+			t.Fatalf("node %s choiceByType diverged: %v vs %v", na.name, na.choiceByType, nb.choiceByType)
+		}
+		if !reflect.DeepEqual(na.meta, nb.meta) {
+			t.Fatalf("node %s indexed metadata diverged:\n%+v\n%+v", na.name, na.meta, nb.meta)
+		}
+		if na.dataBytes != nb.dataBytes {
+			t.Fatalf("node %s dataBytes diverged: %d vs %d", na.name, na.dataBytes, nb.dataBytes)
+		}
+		if len(na.funcs) != len(nb.funcs) {
+			t.Fatalf("node %s resolved %d funcs vs %d", na.name, len(na.funcs), len(nb.funcs))
+		}
+	}
+}
+
+// TestSpecJSONRoundTripCompilesIdentically is the cmd/appexport
+// satellite at the Program level: export a spec to its on-disk JSON
+// form, parse it back, and require the reloaded spec to compile to an
+// op-identical Program — stronger than emulation equality because it
+// pins the compiled metadata the indexed scheduler reads, not just
+// the observable schedule. Covers every built-in application (the
+// appexport surface) plus a converted generated DAG (the cmd/autodag
+// surface, with pointer variables carrying initial byte images).
+func TestSpecJSONRoundTripCompilesIdentically(t *testing.T) {
+	cfg, err := platform.ZCU102(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, spec := range apps.Specs() {
+		data, err := spec.MarshalIndentJSON()
+		if err != nil {
+			t.Fatalf("%s: export: %v", name, err)
+		}
+		back, err := appmodel.ParseJSON(data)
+		if err != nil {
+			t.Fatalf("%s: reload: %v", name, err)
+		}
+		compileOpIdentical(t, spec, back, cfg, apps.Registry())
+	}
+
+	// Generated DAG: conversion-produced specs exercise pointer
+	// variables with float64 init images and the auto-chain shape.
+	reg := kernels.NewRegistry()
+	gen := minicgen.Generate(11, minicgen.Config{Regions: 8, Kernels: 3, Helpers: 2})
+	spec, _, err := gen.Build(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn, err := platform.Synthetic(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := spec.MarshalIndentJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := appmodel.ParseJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compileOpIdentical(t, spec, back, syn, reg)
 }

@@ -1,0 +1,60 @@
+package minic
+
+import (
+	"testing"
+
+	"repro/internal/tracer"
+)
+
+// FuzzCompile throws arbitrary bytes at the front end: lexer, parser,
+// and codegen must either return an error or produce a module that
+// passes the ir validator — never panic, hang, or emit invalid IR.
+// When the module is small and carries a parameterless main, it is
+// also executed under a tight step budget, so the interpreter's
+// bounds and budget checks see adversarial programs too.
+func FuzzCompile(f *testing.F) {
+	seeds := []string{
+		"float main() { return 0; }",
+		"float x; float main() { x = 1.5; return x; }",
+		"float a[8];\nfloat main() { float i = 0; for (i = 0; i < 8; i = i + 1) { a[i] = i * 2; } return a[3]; }",
+		"float h(float p) { return p * p; }\nfloat main() { float v = h(3); while (v > 1) { v = v / 2; } return v; }",
+		"float main() { float v = 1; if (v < 2) { v = sin(v) + sqrt(v); } else { v = -v; } return v; }",
+		"float a[4] ; float main( ) { a [ 3 ] = 1e2 ; return a[0] % 3 ; }",
+		"// comment only\nfloat main() { return 0; }",
+		"float main() { return ((((1)))); }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := Compile(src, "fuzz")
+		if err != nil {
+			return
+		}
+		if !m.Finalized() {
+			t.Fatal("Compile returned an unfinalized module")
+		}
+		// Re-finalizing must agree with the validator: Compile may not
+		// hand out IR that fails its own checks.
+		if err := m.Finalize(); err != nil {
+			t.Fatalf("compiled module fails validation: %v", err)
+		}
+		// Execute small programs: storage stays tiny and the step budget
+		// bounds runaway loops, so this cannot hang or exhaust memory.
+		total := 0
+		for _, g := range m.Globals {
+			total += g.Elems
+		}
+		main, ok := m.Funcs["main"]
+		if !ok || main.NumParams != 0 || total > 1<<16 {
+			return
+		}
+		env := tracer.NewEnv(m)
+		ip, err := tracer.New(m, env, tracer.Options{MaxSteps: 100_000})
+		if err != nil {
+			t.Fatalf("interp rejected compiled module: %v", err)
+		}
+		// Runtime errors (budget, bounds) are fine; panics are not.
+		_, _ = ip.Call("main")
+	})
+}

@@ -292,3 +292,31 @@ float main() { bump(); bump(); return g; }`, "main")
 		t.Fatalf("got %v, want 2", ret)
 	}
 }
+
+// TestDeepNestingRejected pins the fuzzer-found crasher: recursive
+// descent with no depth budget turned deeply nested sources into a
+// process-fatal stack overflow. All three recursion channels —
+// parenthesis grouping, unary chains, nested control flow — must now
+// come back as parse errors, while anything under the budget still
+// compiles.
+func TestDeepNestingRejected(t *testing.T) {
+	deep := func(n int, open, close, body string) string {
+		return "float main() { return " + strings.Repeat(open, n) + body + strings.Repeat(close, n) + "; }"
+	}
+	cases := map[string]string{
+		"parens": deep(10_000, "(", ")", "1"),
+		"unary":  deep(10_000, "-", "", "1"),
+		"blocks": "float main() { " + strings.Repeat("if (1) { ", 10_000) + "return 0;" +
+			strings.Repeat(" }", 10_000) + " }",
+	}
+	for name, src := range cases {
+		if _, err := Compile(src, name); err == nil {
+			t.Fatalf("%s: deeply nested source compiled instead of erroring", name)
+		}
+	}
+	// Depth just inside the budget must keep working: the budget is a
+	// crash guard, not a language restriction real programs can feel.
+	if _, err := Compile(deep(200, "(", ")", "1"), "ok"); err != nil {
+		t.Fatalf("200-deep grouping rejected: %v", err)
+	}
+}

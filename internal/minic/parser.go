@@ -2,10 +2,32 @@ package minic
 
 import "fmt"
 
+// maxNestDepth bounds the recursive-descent depth — expression
+// grouping, unary chains, and nested control flow all recurse, so an
+// adversarial source ("(((((..." a few million deep, found by
+// FuzzCompile) would otherwise exhaust the goroutine stack, which is a
+// process-fatal crash rather than a recoverable error. Real programs
+// sit at single-digit depths; the codegen recursion over the produced
+// AST is bounded by the same budget.
+const maxNestDepth = 256
+
 type parser struct {
-	toks []token
-	pos  int
+	toks  []token
+	pos   int
+	depth int
 }
+
+// enter charges one level of the nesting budget; every recursive
+// production calls it (paired with leave) before descending.
+func (p *parser) enter() error {
+	p.depth++
+	if p.depth > maxNestDepth {
+		return fmt.Errorf("minic:%d: nesting deeper than %d levels", p.cur().line, maxNestDepth)
+	}
+	return nil
+}
+
+func (p *parser) leave() { p.depth-- }
 
 func (p *parser) cur() token { return p.toks[p.pos] }
 func (p *parser) peek() token {
@@ -176,6 +198,10 @@ func (p *parser) parseStmtOrBlock() ([]stmt, error) {
 }
 
 func (p *parser) parseStmt() (stmt, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	t := p.cur()
 	switch {
 	case t.kind == tokKeyword && t.text == "float":
@@ -386,6 +412,10 @@ func (p *parser) parseBinary(minPrec int) (expr, error) {
 }
 
 func (p *parser) parseUnary() (expr, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	t := p.cur()
 	if t.kind == tokPunct && (t.text == "-" || t.text == "!") {
 		p.advance()

@@ -1,0 +1,60 @@
+package outliner_test
+
+import (
+	"testing"
+
+	"repro/internal/kernels"
+	"repro/internal/minic/minicgen"
+)
+
+// FuzzConvert drives the whole conversion back end — trace, kernel
+// detection, outlining, memory analysis, DAG generation — with
+// generator shapes picked by the fuzzer. The generator's contract is
+// that every program it emits survives the full pipeline, so any
+// Build error here is a real finding in minic, the outliner, or the
+// generator itself, not an "invalid input" to be skipped.
+func FuzzConvert(f *testing.F) {
+	f.Add(int64(0), 8, 3, 2, 3, 2, 64, 3)
+	f.Add(int64(1), 1, 0, 1, 0, 1, 8, 1)
+	f.Add(int64(7), 64, 64, 3, 8, 4, 256, 6)
+	f.Add(int64(42), 12, 1, 3, 5, 4, 16, 2)
+	f.Add(int64(-9), 0, -1, 0, -1, 0, 0, 0)
+	f.Fuzz(func(t *testing.T, seed int64, regions, kern, depth, helpers, callDepth, arrLen, fanIn int) {
+		cfg := minicgen.Config{
+			Regions:      regions,
+			Kernels:      kern,
+			MaxLoopDepth: depth,
+			Helpers:      helpers,
+			MaxCallDepth: callDepth,
+			MaxArrayLen:  arrLen,
+			FanIn:        fanIn,
+		}
+		p := minicgen.Generate(seed, cfg)
+		spec, res, err := p.Build(kernels.NewRegistry())
+		if err != nil {
+			t.Fatalf("generated program failed conversion: %v\nsource:\n%s", err, p.Source())
+		}
+		if spec.TaskCount() < 1 {
+			t.Fatalf("conversion produced an empty DAG\nsource:\n%s", p.Source())
+		}
+		if _, err := spec.TopoOrder(); err != nil {
+			t.Fatalf("generated spec is not a DAG: %v", err)
+		}
+		// The refactored module must still be valid IR.
+		if err := res.Module.Finalize(); err != nil {
+			t.Fatalf("outlined module fails validation: %v", err)
+		}
+		// Profile accounting: group costs are non-negative and never
+		// exceed the tracing run's total.
+		var sum int64
+		for _, k := range res.Kernels {
+			if k.DynInstrs < 0 {
+				t.Fatalf("kernel %s has negative dynamic cost %d", k.Name, k.DynInstrs)
+			}
+			sum += k.DynInstrs
+		}
+		if sum > res.TotalDynInstrs {
+			t.Fatalf("group costs sum to %d > traced total %d", sum, res.TotalDynInstrs)
+		}
+	})
+}

@@ -1,0 +1,241 @@
+// Trace recording: a Recorder executes converted modules under the
+// interpreter and logs one entry per run — which application, a
+// structural fingerprint of the module it was built from, the dynamic
+// step count, and the virtual arrival instant derived from the
+// accumulated cost. The resulting Record serialises to a deterministic
+// byte stream, so two recordings of the same seeded corpus are
+// byte-identical and a replayed run can prove it is consuming the
+// trace it thinks it is.
+package tracer
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"repro/internal/ir"
+	"repro/internal/vtime"
+)
+
+// Fingerprint computes a structural FNV-1a hash of a module: globals,
+// functions, blocks, instructions and terminators in declaration
+// order. Two modules compare equal exactly when every part the
+// interpreter reads is identical, so a replay consumer can detect a
+// trace recorded against a different build of the same application.
+func Fingerprint(m *ir.Module) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	u64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	str := func(s string) {
+		u64(uint64(len(s)))
+		h.Write([]byte(s))
+	}
+	str(m.Name)
+	for _, gn := range m.GlobalOrder {
+		g := m.Globals[gn]
+		str(g.Name)
+		u64(uint64(g.Elems))
+		u64(uint64(len(g.Init)))
+		for _, v := range g.Init {
+			u64(math.Float64bits(v))
+		}
+	}
+	for _, fn := range m.FuncOrder {
+		f := m.Funcs[fn]
+		str(f.Name)
+		u64(uint64(f.NumParams))
+		u64(uint64(f.NumRegs))
+		u64(uint64(len(f.Blocks)))
+		for _, b := range f.Blocks {
+			str(b.Label)
+			u64(uint64(len(b.Instrs)))
+			for _, in := range b.Instrs {
+				u64(uint64(in.Op))
+				u64(uint64(int64(in.Dst)))
+				u64(uint64(int64(in.A)))
+				u64(uint64(int64(in.B)))
+				u64(math.Float64bits(in.Imm))
+				str(in.Sym)
+				u64(uint64(len(in.Args)))
+				for _, a := range in.Args {
+					u64(uint64(int64(a)))
+				}
+			}
+			u64(uint64(b.Term.Kind))
+			u64(uint64(int64(b.Term.Cond)))
+			u64(uint64(int64(b.Term.Then)))
+			u64(uint64(int64(b.Term.Else)))
+		}
+	}
+	return h.Sum64()
+}
+
+// Entry is one recorded run: an application arrival in the trace.
+type Entry struct {
+	// App names the application the run belongs to.
+	App string
+	// Hash is the Fingerprint of the module the run executed.
+	Hash uint64
+	// Steps is the dynamic instruction count of the run.
+	Steps int64
+	// At is the virtual instant the arrival lands on.
+	At vtime.Time
+}
+
+// Record is a completed recording: an ordered arrival trace plus the
+// cost scale it was recorded under.
+type Record struct {
+	// PerInstrNS is the per-instruction cost used to advance the
+	// recording clock between runs.
+	PerInstrNS float64
+	// Entries lists the arrivals in recording order; At is
+	// non-decreasing by construction.
+	Entries []Entry
+}
+
+// recordMagic versions the serialised form.
+const recordMagic = "TRCREC1\x00"
+
+// MarshalBinary renders the record as a deterministic little-endian
+// byte stream: same record in, same bytes out, always.
+func (r *Record) MarshalBinary() ([]byte, error) {
+	var out []byte
+	var buf [8]byte
+	u64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		out = append(out, buf[:]...)
+	}
+	out = append(out, recordMagic...)
+	u64(math.Float64bits(r.PerInstrNS))
+	u64(uint64(len(r.Entries)))
+	for _, e := range r.Entries {
+		if e.Steps < 0 {
+			return nil, fmt.Errorf("tracer: entry %q has negative step count %d", e.App, e.Steps)
+		}
+		u64(uint64(len(e.App)))
+		out = append(out, e.App...)
+		u64(e.Hash)
+		u64(uint64(e.Steps))
+		u64(uint64(int64(e.At)))
+	}
+	return out, nil
+}
+
+// UnmarshalRecord parses a stream produced by MarshalBinary.
+func UnmarshalRecord(data []byte) (*Record, error) {
+	if len(data) < len(recordMagic) || string(data[:len(recordMagic)]) != recordMagic {
+		return nil, fmt.Errorf("tracer: not a trace record (bad magic)")
+	}
+	data = data[len(recordMagic):]
+	u64 := func() (uint64, error) {
+		if len(data) < 8 {
+			return 0, fmt.Errorf("tracer: truncated trace record")
+		}
+		v := binary.LittleEndian.Uint64(data)
+		data = data[8:]
+		return v, nil
+	}
+	r := &Record{}
+	bits, err := u64()
+	if err != nil {
+		return nil, err
+	}
+	r.PerInstrNS = math.Float64frombits(bits)
+	n, err := u64()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < n; i++ {
+		var e Entry
+		l, err := u64()
+		if err != nil {
+			return nil, err
+		}
+		if uint64(len(data)) < l {
+			return nil, fmt.Errorf("tracer: truncated trace record")
+		}
+		e.App = string(data[:l])
+		data = data[l:]
+		if e.Hash, err = u64(); err != nil {
+			return nil, err
+		}
+		steps, err := u64()
+		if err != nil {
+			return nil, err
+		}
+		e.Steps = int64(steps)
+		at, err := u64()
+		if err != nil {
+			return nil, err
+		}
+		e.At = vtime.Time(int64(at))
+		r.Entries = append(r.Entries, e)
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("tracer: %d trailing bytes after trace record", len(data))
+	}
+	return r, nil
+}
+
+// Recorder accumulates a Record by executing module entry functions
+// under the interpreter and advancing a virtual clock by each run's
+// dynamic cost. Runs land back to back: entry i+1 arrives when entry
+// i's modelled execution finishes, which gives replayed workloads the
+// serial-baseline arrival cadence the emulated schedulers then overlap.
+type Recorder struct {
+	// PerInstrNS converts step counts to virtual nanoseconds; zero or
+	// negative falls back to 1.0.
+	PerInstrNS float64
+	// MaxSteps bounds each recorded run (0 = unbounded), exactly as
+	// tracer.Options.MaxSteps.
+	MaxSteps int64
+
+	rec Record
+	now vtime.Time
+}
+
+// NewRecorder returns a Recorder with the given cost scale.
+func NewRecorder(perInstrNS float64) *Recorder {
+	if perInstrNS <= 0 {
+		perInstrNS = 1
+	}
+	return &Recorder{PerInstrNS: perInstrNS, rec: Record{PerInstrNS: perInstrNS}}
+}
+
+// Run executes fn of the module against fresh storage, appends the
+// arrival entry for the given application name, and advances the
+// recording clock by the run's modelled cost.
+func (r *Recorder) Run(m *ir.Module, app, fn string, args ...float64) error {
+	env := NewEnv(m)
+	ip, err := New(m, env, Options{MaxSteps: r.MaxSteps})
+	if err != nil {
+		return err
+	}
+	if _, err := ip.Call(fn, args...); err != nil {
+		return fmt.Errorf("tracer: recording %s: %w", app, err)
+	}
+	r.rec.Entries = append(r.rec.Entries, Entry{
+		App:   app,
+		Hash:  Fingerprint(m),
+		Steps: ip.Steps(),
+		At:    r.now,
+	})
+	cost := vtime.Duration(float64(ip.Steps()) * r.PerInstrNS)
+	if cost < 1 {
+		cost = 1
+	}
+	r.now = r.now.Add(cost)
+	return nil
+}
+
+// Record returns the accumulated trace. The recorder may keep running
+// afterwards; the returned value is a snapshot.
+func (r *Recorder) Record() *Record {
+	snap := Record{PerInstrNS: r.rec.PerInstrNS}
+	snap.Entries = append(snap.Entries, r.rec.Entries...)
+	return &snap
+}

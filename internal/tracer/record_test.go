@@ -1,0 +1,146 @@
+package tracer_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/minic"
+	"repro/internal/tracer"
+)
+
+const recSrcA = `
+float a[16];
+float main() {
+  float i = 0;
+  for (i = 0; i < 16; i = i + 1) { a[i] = i * i; }
+  return a[15];
+}`
+
+const recSrcB = `
+float v = 1;
+float main() {
+  while (v < 100) { v = v * 2; }
+  return v;
+}`
+
+func recordCorpus(t *testing.T) *tracer.Record {
+	t.Helper()
+	ma, err := minic.Compile(recSrcA, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, err := minic.Compile(recSrcB, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := tracer.NewRecorder(0.25)
+	for i := 0; i < 3; i++ {
+		if err := r.Run(ma, "appA", "main"); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Run(mb, "appB", "main"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r.Record()
+}
+
+// TestRecorderDeterministic pins the recording contract the replay
+// parity harness stands on: two recordings of the same seeded run are
+// byte-identical.
+func TestRecorderDeterministic(t *testing.T) {
+	b1, err := recordCorpus(t).MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := recordCorpus(t).MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("two recordings of the same run serialised differently")
+	}
+}
+
+func TestRecordShape(t *testing.T) {
+	rec := recordCorpus(t)
+	if len(rec.Entries) != 6 {
+		t.Fatalf("recorded %d entries, want 6", len(rec.Entries))
+	}
+	for i, e := range rec.Entries {
+		if e.Steps <= 0 {
+			t.Fatalf("entry %d: non-positive step count %d", i, e.Steps)
+		}
+		if i > 0 && e.At <= rec.Entries[i-1].At {
+			t.Fatalf("entry %d at %v does not advance past %v", i, e.At, rec.Entries[i-1].At)
+		}
+	}
+	// Same app, same module: identical fingerprints and step counts
+	// across repetitions.
+	if rec.Entries[0].Hash != rec.Entries[2].Hash || rec.Entries[0].Steps != rec.Entries[2].Steps {
+		t.Fatal("repeated runs of one module disagree")
+	}
+	// Different modules: different fingerprints.
+	if rec.Entries[0].Hash == rec.Entries[1].Hash {
+		t.Fatal("distinct modules share a fingerprint")
+	}
+}
+
+func TestRecordMarshalRoundTrip(t *testing.T) {
+	rec := recordCorpus(t)
+	data, err := rec.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := tracer.UnmarshalRecord(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rec, back) {
+		t.Fatalf("round trip changed the record:\n%+v\n%+v", rec, back)
+	}
+}
+
+func TestUnmarshalRejectsCorruption(t *testing.T) {
+	data, err := recordCorpus(t).MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tracer.UnmarshalRecord(data[:len(data)-3]); err == nil {
+		t.Fatal("truncated record accepted")
+	}
+	if _, err := tracer.UnmarshalRecord(append(append([]byte{}, data...), 0)); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+	bad := append([]byte{}, data...)
+	bad[0] ^= 0xff
+	if _, err := tracer.UnmarshalRecord(bad); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+// TestFingerprintStructural: the fingerprint must move when any part
+// the interpreter reads moves, and must not depend on anything else.
+func TestFingerprintStructural(t *testing.T) {
+	m1, err := minic.Compile(recSrcA, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := minic.Compile(recSrcA, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tracer.Fingerprint(m1) != tracer.Fingerprint(m2) {
+		t.Fatal("identical compiles fingerprint differently")
+	}
+	// One constant changed: different program, different fingerprint.
+	m3, err := minic.Compile(
+		"\nfloat a[16];\nfloat main() {\n  float i = 0;\n  for (i = 0; i < 16; i = i + 1) { a[i] = i * i; }\n  return a[14];\n}", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tracer.Fingerprint(m1) == tracer.Fingerprint(m3) {
+		t.Fatal("distinct programs share a fingerprint")
+	}
+}

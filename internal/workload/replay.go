@@ -1,0 +1,74 @@
+// Trace replay: a recorded arrival trace (internal/tracer.Record)
+// played back as a core.ArrivalSource. Replay refuses to guess — any
+// mismatch between the trace and the application library it is being
+// replayed against (unknown application, fingerprint drift,
+// out-of-order entries) panics at construction instead of silently
+// truncating or reordering the workload.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/appmodel"
+	"repro/internal/core"
+	"repro/internal/tracer"
+)
+
+// ReplaySource plays a recorded trace back as a streaming arrival
+// source. Like the open-loop sources it is exhausted after one pass
+// and must not be shared between concurrent runs.
+type ReplaySource struct {
+	rec  *tracer.Record
+	spec map[string]*appmodel.AppSpec
+	pos  int
+}
+
+// NewReplaySource validates a recorded trace against an application
+// library and the fingerprints of the modules the specs were converted
+// from, then wraps it as a core.ArrivalSource.
+//
+// Validation is strict and panics on the first inconsistency: an entry
+// naming an application the library doesn't carry, an entry whose
+// module fingerprint disagrees with the library's (the trace was
+// recorded against a different build), or arrival times that go
+// backwards (a corrupt or hand-edited trace). A replayed experiment
+// that silently dropped or reordered arrivals would still produce a
+// plausible-looking report, which is exactly the failure mode this
+// guards against.
+//
+// fingerprints maps application name to the expected module
+// fingerprint; applications absent from the map skip the hash check
+// (for traces of apps whose module is no longer at hand).
+func NewReplaySource(rec *tracer.Record, specs map[string]*appmodel.AppSpec, fingerprints map[string]uint64) *ReplaySource {
+	if rec == nil {
+		panic("workload: replay of a nil trace record")
+	}
+	for i, e := range rec.Entries {
+		spec, ok := specs[e.App]
+		if !ok || spec == nil {
+			panic(fmt.Sprintf("workload: trace entry %d names application %q, not in the replay library", i, e.App))
+		}
+		if want, ok := fingerprints[e.App]; ok && want != e.Hash {
+			panic(fmt.Sprintf("workload: trace entry %d: %s recorded from module %016x, library carries %016x",
+				i, e.App, e.Hash, want))
+		}
+		if i > 0 && e.At < rec.Entries[i-1].At {
+			panic(fmt.Sprintf("workload: trace entry %d arrives at %v, before entry %d at %v",
+				i, e.At, i-1, rec.Entries[i-1].At))
+		}
+	}
+	return &ReplaySource{rec: rec, spec: specs}
+}
+
+// Next implements core.ArrivalSource.
+func (r *ReplaySource) Next() (core.Arrival, bool) {
+	if r.pos >= len(r.rec.Entries) {
+		return core.Arrival{}, false
+	}
+	e := r.rec.Entries[r.pos]
+	r.pos++
+	return core.Arrival{Spec: r.spec[e.App], At: e.At}, true
+}
+
+// Len reports the total number of arrivals in the trace.
+func (r *ReplaySource) Len() int { return len(r.rec.Entries) }

@@ -1,0 +1,86 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/appmodel"
+	"repro/internal/tracer"
+)
+
+func replayFixture() (*tracer.Record, map[string]*appmodel.AppSpec, map[string]uint64) {
+	rec := &tracer.Record{
+		PerInstrNS: 0.5,
+		Entries: []tracer.Entry{
+			{App: "alpha", Hash: 0xa1, Steps: 10, At: 0},
+			{App: "beta", Hash: 0xb2, Steps: 20, At: 100},
+			{App: "alpha", Hash: 0xa1, Steps: 10, At: 100},
+			{App: "beta", Hash: 0xb2, Steps: 20, At: 350},
+		},
+	}
+	specs := map[string]*appmodel.AppSpec{
+		"alpha": {AppName: "alpha"},
+		"beta":  {AppName: "beta"},
+	}
+	prints := map[string]uint64{"alpha": 0xa1, "beta": 0xb2}
+	return rec, specs, prints
+}
+
+func TestReplayDeliversTraceInOrder(t *testing.T) {
+	rec, specs, prints := replayFixture()
+	src := NewReplaySource(rec, specs, prints)
+	if src.Len() != len(rec.Entries) {
+		t.Fatalf("Len %d, want %d", src.Len(), len(rec.Entries))
+	}
+	for i, e := range rec.Entries {
+		a, ok := src.Next()
+		if !ok {
+			t.Fatalf("source dried up at entry %d", i)
+		}
+		if a.Spec != specs[e.App] || a.At != e.At {
+			t.Fatalf("entry %d replayed as %s@%v, want %s@%v", i, a.Spec.AppName, a.At, e.App, e.At)
+		}
+	}
+	if _, ok := src.Next(); ok {
+		t.Fatal("source yields past the end of the trace")
+	}
+}
+
+// mustPanic runs f and fails the test unless it panics.
+func mustPanic(t *testing.T, what string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: replay constructed instead of panicking", what)
+		}
+	}()
+	f()
+}
+
+// TestReplayPanicsOnMismatch pins the hard-failure contract: a trace
+// that disagrees with the replay library must refuse to construct, not
+// silently truncate or reorder the workload.
+func TestReplayPanicsOnMismatch(t *testing.T) {
+	rec, specs, prints := replayFixture()
+
+	mustPanic(t, "nil record", func() { NewReplaySource(nil, specs, prints) })
+
+	missing := map[string]*appmodel.AppSpec{"alpha": specs["alpha"]}
+	mustPanic(t, "unknown application", func() { NewReplaySource(rec, missing, prints) })
+
+	drifted := map[string]uint64{"alpha": 0xa1, "beta": 0xdead}
+	mustPanic(t, "fingerprint drift", func() { NewReplaySource(rec, specs, drifted) })
+
+	backwards, _, _ := replayFixture()
+	backwards.Entries[2].At = 50 // before entry 1's 100
+	mustPanic(t, "non-monotonic trace", func() { NewReplaySource(backwards, specs, prints) })
+}
+
+// TestReplaySkipsHashCheckWhenUnpinned: apps absent from the
+// fingerprint map replay without a hash check (module not at hand).
+func TestReplaySkipsHashCheckWhenUnpinned(t *testing.T) {
+	rec, specs, _ := replayFixture()
+	src := NewReplaySource(rec, specs, map[string]uint64{})
+	if src.Len() != len(rec.Entries) {
+		t.Fatal("unpinned replay dropped entries")
+	}
+}
