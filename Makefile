@@ -27,10 +27,17 @@ test:
 # also race-run the experiments goldens, whose cells execute kernels
 # functionally in parallel, and the scheduler package itself — its
 # pooled buffers and assignment recycling are shared across sweep
-# workers, so the policy parity suites run raced too.
+# workers, so the policy parity suites run raced too. Since the
+# dynamic-platform layer, platevent Schedules are shared read-only
+# across grid cells (the churn golden and the corpus event grid race
+# that sharing), so platevent itself races too, and the core package
+# contributes its zero-event dynamic differential — the full core
+# suite under -race is minutes, so the filter mirrors the
+# ParallelGolden pattern.
 race:
-	$(GO) test -race ./internal/sweep/... ./internal/sched/...
+	$(GO) test -race ./internal/sweep/... ./internal/sched/... ./internal/platevent/...
 	$(GO) test -race -run ParallelGolden ./internal/experiments
+	$(GO) test -race -run Dynamic ./internal/core
 
 # Fuzz smoke: each native fuzz target gets a short engine run on top
 # of the committed seed corpus (which plain `go test` already replays).
@@ -41,6 +48,7 @@ fuzz:
 	$(GO) test -run NONE -fuzz '^FuzzCompile$$' -fuzztime $(FUZZTIME) ./internal/minic
 	$(GO) test -run NONE -fuzz '^FuzzConvert$$' -fuzztime $(FUZZTIME) ./internal/outliner
 	$(GO) test -run NONE -fuzz '^FuzzProgramLowering$$' -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run NONE -fuzz '^FuzzEventSchedule$$' -fuzztime $(FUZZTIME) ./internal/core
 
 # `make bench` records the perf trajectory: the emulator throughput
 # benches (tasks/sec, allocs/op — including the streaming Online-sink
@@ -48,7 +56,12 @@ fuzz:
 # cmd/benchreport. Bump BENCH_N when a PR moves the numbers. The
 # allocation regression gate lives in `test`: TestRunSteadyStateAllocs
 # plus its sink/stream companions (constant allocs with an Online sink).
+# BENCH_TRIALS > 1 repeats the suite via -count; benchreport folds the
+# repeated lines into mean/stdev records, and bench-check then treats
+# over-threshold drops whose noise intervals overlap as warnings
+# rather than failures.
 BENCH_N ?= 5
+BENCH_TRIALS ?= 1
 
 # The recorded regex includes the scheduler path ablation since PR 5:
 # BENCH_5.json pins the indexed-vs-slice gap on the big.LITTLE and
@@ -62,7 +75,7 @@ BENCH_REGEX = EmulatorThroughput|SweepWorkers|SchedulerPathAblation
 # failure for debugging.
 bench:
 	$(GO) test -run NONE -bench '$(BENCH_REGEX)' \
-		-benchmem -benchtime 10x . > BENCH_$(BENCH_N).out
+		-benchmem -benchtime 10x -count $(BENCH_TRIALS) . > BENCH_$(BENCH_N).out
 	@cat BENCH_$(BENCH_N).out
 	$(GO) run ./cmd/benchreport < BENCH_$(BENCH_N).out > BENCH_$(BENCH_N).json.tmp
 	@mv BENCH_$(BENCH_N).json.tmp BENCH_$(BENCH_N).json
@@ -78,7 +91,7 @@ bench:
 BENCH_PREV ?= 4
 bench-check:
 	$(GO) test -run NONE -bench '$(BENCH_REGEX)' \
-		-benchmem -benchtime 10x . > BENCH_check.out
+		-benchmem -benchtime 10x -count $(BENCH_TRIALS) . > BENCH_check.out
 	@status=0; $(GO) run ./cmd/benchreport -prev BENCH_$(BENCH_PREV).json \
 		< BENCH_check.out > /dev/null || status=$$?; \
 	rm -f BENCH_check.out; exit $$status

@@ -17,6 +17,13 @@
 // additionally carries an explicit speedup_vs_1 metric (ns/op of
 // workers=1 over ns/op of workers=N).
 //
+// Multi-trial runs: `go test -count N -bench` emits N result lines
+// per benchmark. Repeated lines of one name are aggregated into a
+// single record carrying the mean of every column plus trials,
+// ns_per_op_stdev and tasks_per_sec_stdev, so a BENCH_N.json records
+// the spread of the measurement, not just one draw. Single-trial
+// output is unchanged (the extra fields are omitted).
+//
 // Comparison mode:
 //
 //	benchreport -prev BENCH_3.json < bench.out > BENCH_4.json
@@ -24,6 +31,9 @@
 // prints per-benchmark deltas against the previous record to stderr
 // and exits non-zero when any benchmark's tasks_per_sec regressed by
 // more than -max-regress (default 10%) — the `make bench-check` gate.
+// When both records carry trial spreads and their mean±stdev intervals
+// overlap, an over-threshold drop is reported as a warning instead of
+// failing the gate: the measurement cannot distinguish the two runs.
 package main
 
 import (
@@ -32,12 +42,14 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
 )
 
-// Benchmark is one parsed benchmark result line.
+// Benchmark is one parsed benchmark result (the mean over trials when
+// the run repeated it via -count).
 type Benchmark struct {
 	Name string  `json:"name"`
 	Iter int64   `json:"iterations"`
@@ -49,6 +61,14 @@ type Benchmark struct {
 	TasksPerSec float64 `json:"tasks_per_sec,omitempty"`
 	BytesOp     float64 `json:"bytes_per_op,omitempty"`
 	AllocsOp    float64 `json:"allocs_per_op,omitempty"`
+	// Trials is how many result lines were aggregated into this record
+	// (omitted for the common single-trial run). The value fields above
+	// are then means over the trials; the stdevs below are the sample
+	// standard deviations of ns/op and of the per-trial derived
+	// tasks/sec rate.
+	Trials           int     `json:"trials,omitempty"`
+	NsOpStdev        float64 `json:"ns_per_op_stdev,omitempty"`
+	TasksPerSecStdev float64 `json:"tasks_per_sec_stdev,omitempty"`
 	// Metrics carries every other custom ReportMetric column verbatim,
 	// plus the derived speedup_vs_1 on SweepWorkers sub-benches.
 	Metrics map[string]float64 `json:"metrics,omitempty"`
@@ -144,8 +164,17 @@ func compare(w io.Writer, prev, cur *Report, maxRegress float64) []string {
 			delta := (b.TasksPerSec - p.TasksPerSec) / p.TasksPerSec
 			verdict := ""
 			if delta < -maxRegress {
-				verdict = "  REGRESSION"
-				regressed = append(regressed, b.Name)
+				// An over-threshold drop whose mean±stdev intervals
+				// overlap is measurement noise, not a regression: warn
+				// without failing the gate. Single-trial records carry
+				// zero stdev, so their intervals are points and the
+				// strict gate is unchanged.
+				if rateIntervalsOverlap(p, b) {
+					verdict = "  WARNING (within trial noise, not gating)"
+				} else {
+					verdict = "  REGRESSION"
+					regressed = append(regressed, b.Name)
+				}
 			}
 			fmt.Fprintf(w, "  %-50s %12.0f -> %12.0f tasks/sec  %+6.1f%%%s\n",
 				b.Name, p.TasksPerSec, b.TasksPerSec, delta*100, verdict)
@@ -156,6 +185,16 @@ func compare(w io.Writer, prev, cur *Report, maxRegress float64) []string {
 		}
 	}
 	return regressed
+}
+
+// rateIntervalsOverlap reports whether the two benchmarks' tasks/sec
+// mean±stdev intervals intersect. Records without trial spreads have
+// zero-width intervals, so two single-trial measurements only
+// "overlap" when they are exactly equal.
+func rateIntervalsOverlap(a, b Benchmark) bool {
+	aLo, aHi := a.TasksPerSec-a.TasksPerSecStdev, a.TasksPerSec+a.TasksPerSecStdev
+	bLo, bHi := b.TasksPerSec-b.TasksPerSecStdev, b.TasksPerSec+b.TasksPerSecStdev
+	return aHi >= bLo && bHi >= aLo
 }
 
 // parse consumes `go test -bench` output. Benchmark lines look like
@@ -230,8 +269,89 @@ func parse(r io.Reader) (*Report, error) {
 		rep.GoMaxProcs = 1
 		rep.SingleCPUHost = true
 	}
+	aggregateTrials(rep)
 	deriveSweepSpeedups(rep)
 	return rep, nil
+}
+
+// aggregateTrials folds repeated result lines of one benchmark name
+// (`go test -count N`) into a single mean record with trial counts and
+// spreads. Iterations sum (total measured work); every per-op column
+// is the mean over trials; TasksPerSec becomes the mean of the
+// per-trial rates so its stdev describes the same population. A run
+// with no repeated names passes through untouched.
+func aggregateTrials(rep *Report) {
+	groups := map[string][]Benchmark{}
+	var order []string
+	multi := false
+	for _, b := range rep.Benchmarks {
+		if _, seen := groups[b.Name]; !seen {
+			order = append(order, b.Name)
+		} else {
+			multi = true
+		}
+		groups[b.Name] = append(groups[b.Name], b)
+	}
+	if !multi {
+		return
+	}
+	out := make([]Benchmark, 0, len(order))
+	for _, name := range order {
+		g := groups[name]
+		agg := Benchmark{Name: name, Trials: len(g)}
+		var nsTrials, rateTrials []float64
+		for _, b := range g {
+			agg.Iter += b.Iter
+			agg.NsOp += b.NsOp / float64(len(g))
+			agg.TasksOp += b.TasksOp / float64(len(g))
+			agg.BytesOp += b.BytesOp / float64(len(g))
+			agg.AllocsOp += b.AllocsOp / float64(len(g))
+			for k, v := range b.Metrics {
+				if agg.Metrics == nil {
+					agg.Metrics = map[string]float64{}
+				}
+				agg.Metrics[k] += v / float64(len(g))
+			}
+			nsTrials = append(nsTrials, b.NsOp)
+			if b.TasksOp > 0 && b.NsOp > 0 {
+				rateTrials = append(rateTrials, b.TasksOp/(b.NsOp*1e-9))
+			}
+		}
+		agg.NsOpStdev = stdev(nsTrials)
+		if len(rateTrials) > 0 {
+			agg.TasksPerSec = mean(rateTrials)
+			agg.TasksPerSecStdev = stdev(rateTrials)
+		}
+		if agg.Trials == 1 {
+			agg.Trials = 0 // single-trial records stay in the legacy shape
+		}
+		out = append(out, agg)
+	}
+	rep.Benchmarks = out
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// stdev is the sample standard deviation (n-1); zero below two points.
+func stdev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := mean(xs)
+	var ss float64
+	for _, x := range xs {
+		ss += (x - m) * (x - m)
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
 }
 
 // deriveSweepSpeedups stamps speedup_vs_1 onto every SweepWorkers

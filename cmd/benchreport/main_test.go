@@ -113,6 +113,92 @@ func TestGoMaxProcsAndSweepSpeedups(t *testing.T) {
 	}
 }
 
+const multiTrialSample = `cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkEmulatorThroughput-8 	      10	   1000000 ns/op	      1000 tasks/op	 500000 B/op	      40 allocs/op
+BenchmarkSweepWorkers/workers=1-8 	       5	  52000000 ns/op
+BenchmarkEmulatorThroughput-8 	      10	   2000000 ns/op	      1000 tasks/op	 700000 B/op	      44 allocs/op
+BenchmarkSweepWorkers/workers=1-8 	       5	  54000000 ns/op
+PASS
+`
+
+// TestAggregateTrials pins the -count N folding: repeated lines of one
+// name collapse into a single mean record with trial counts and sample
+// stdevs, grid order preserved and single-name runs untouched.
+func TestAggregateTrials(t *testing.T) {
+	rep, err := parse(strings.NewReader(multiTrialSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("aggregated to %d records, want 2", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[0]
+	if b.Name != "BenchmarkEmulatorThroughput" || b.Trials != 2 || b.Iter != 20 {
+		t.Fatalf("throughput aggregation wrong: %+v", b)
+	}
+	if b.NsOp != 1_500_000 || b.BytesOp != 600_000 || b.AllocsOp != 42 {
+		t.Fatalf("means wrong: %+v", b)
+	}
+	// Per-trial rates are 1e6 and 5e5 tasks/sec: mean 750k, sample
+	// stdev |1e6-5e5|/sqrt(2) ~ 353553.
+	if b.TasksPerSec != 750_000 {
+		t.Fatalf("tasks_per_sec = %f, want mean of per-trial rates", b.TasksPerSec)
+	}
+	if d := b.TasksPerSecStdev - 353553.39; d > 1 || d < -1 {
+		t.Fatalf("tasks_per_sec_stdev = %f", b.TasksPerSecStdev)
+	}
+	if d := b.NsOpStdev - 707106.78; d > 1 || d < -1 {
+		t.Fatalf("ns_per_op_stdev = %f", b.NsOpStdev)
+	}
+	// The sweep speedup derivation runs on the aggregated means.
+	sw := rep.Benchmarks[1]
+	if sw.Trials != 2 || sw.NsOp != 53_000_000 || sw.Metrics["speedup_vs_1"] != 1.0 {
+		t.Fatalf("sweep aggregation wrong: %+v", sw)
+	}
+	// A single-trial record keeps the legacy shape: no trial fields.
+	single, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range single.Benchmarks {
+		if b.Trials != 0 || b.NsOpStdev != 0 || b.TasksPerSecStdev != 0 {
+			t.Fatalf("single-trial record grew trial fields: %+v", b)
+		}
+	}
+}
+
+// TestCompareWarnsWithinTrialNoise pins the multi-trial gate: an
+// over-threshold tasks/sec drop whose mean±stdev intervals overlap is
+// a warning, not a regression; a drop clear of the noise still gates.
+func TestCompareWarnsWithinTrialNoise(t *testing.T) {
+	prev := &Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkEmulatorThroughput", NsOp: 1e9, TasksOp: 1_000_000,
+			TasksPerSec: 1_000_000, TasksPerSecStdev: 100_000, Trials: 5},
+	}}
+	noisy := &Report{Benchmarks: []Benchmark{
+		// -15% drop, but 850k+60k >= 1000k-100k: indistinguishable.
+		{Name: "BenchmarkEmulatorThroughput", NsOp: 1e9, TasksOp: 850_000,
+			TasksPerSec: 850_000, TasksPerSecStdev: 60_000, Trials: 5},
+	}}
+	var out strings.Builder
+	if regressed := compare(&out, prev, noisy, 0.10); len(regressed) != 0 {
+		t.Fatalf("noise-overlapped drop gated: %v\n%s", regressed, out.String())
+	}
+	if !strings.Contains(out.String(), "WARNING") {
+		t.Fatalf("overlapped drop not surfaced as a warning:\n%s", out.String())
+	}
+	clear := &Report{Benchmarks: []Benchmark{
+		// -30%: 700k+60k < 1000k-100k, outside the spread on both sides.
+		{Name: "BenchmarkEmulatorThroughput", NsOp: 1e9, TasksOp: 700_000,
+			TasksPerSec: 700_000, TasksPerSecStdev: 60_000, Trials: 5},
+	}}
+	out.Reset()
+	regressed := compare(&out, prev, clear, 0.10)
+	if len(regressed) != 1 || regressed[0] != "BenchmarkEmulatorThroughput" {
+		t.Fatalf("clear regression not caught: %v\n%s", regressed, out.String())
+	}
+}
+
 func benchWithRate(name string, tasksPerSec float64) Benchmark {
 	// ns/op chosen so TasksPerSec comes out exactly as requested.
 	return Benchmark{Name: name, NsOp: 1e9, TasksOp: tasksPerSec, TasksPerSec: tasksPerSec}

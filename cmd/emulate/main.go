@@ -25,6 +25,7 @@ import (
 	"repro/internal/appmodel"
 	"repro/internal/apps"
 	"repro/internal/core"
+	"repro/internal/platevent"
 	"repro/internal/platform"
 	"repro/internal/sched"
 	"repro/internal/vtime"
@@ -57,6 +58,7 @@ func run(args []string) error {
 		sigma    = fs.Float64("jitter", 0, "log-normal timing jitter sigma (0 = deterministic)")
 		timing   = fs.String("timing", "modeled", "task timing: modeled or measured")
 		appJSON  = fs.String("app-json", "", "additional application JSON file to load")
+		events   = fs.String("events", "", "dynamic-platform event schedule JSON file (faults, DVFS, power caps)")
 		tasks    = fs.Bool("tasks", false, "print the per-task trace")
 		traceOut = fs.String("trace", "", "write a Chrome trace-event JSON of the run here")
 	)
@@ -113,6 +115,17 @@ func run(args []string) error {
 		Seed:        *seed,
 		JitterSigma: *sigma,
 	}
+	if *events != "" {
+		data, err := os.ReadFile(*events)
+		if err != nil {
+			return err
+		}
+		schedule, err := platevent.ParseJSON(data)
+		if err != nil {
+			return err
+		}
+		opts.Events = schedule
+	}
 	switch *timing {
 	case "modeled":
 	case "measured":
@@ -131,6 +144,9 @@ func run(args []string) error {
 		return err
 	}
 	fmt.Print(report.Summary())
+	if report.PlatEvents > 0 {
+		fmt.Printf("platform events applied: %d (%d task requeues)\n", report.PlatEvents, report.Requeues)
+	}
 	fmt.Println("mean response time per application:")
 	for app, d := range report.AppResponse() {
 		fmt.Printf("  %-18s %v\n", app, d)

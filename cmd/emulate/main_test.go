@@ -99,6 +99,61 @@ func TestRunErrors(t *testing.T) {
 	}
 }
 
+// TestRunWithEvents drives a dynamic run through the CLI: a schedule
+// file faulting and restoring a PE plus a DVFS step and a power cap,
+// on a platform small enough that every event lands mid-run.
+func TestRunWithEvents(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "events.json")
+	doc := `[{"at_ns": 5000, "kind": "fault", "pe": 1},
+	 {"at_ns": 40000, "kind": "restore", "pe": 1},
+	 {"at_ns": 10000, "kind": "set-speed", "pe": 0, "speed": 1.6},
+	 {"at_ns": 20000, "kind": "power-cap", "watts": 1.0}]`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{
+		"-platform", "synthetic", "-cores", "2", "-ffts", "1",
+		"-sched", "eft-power", "-events", path,
+		"-apps", "range_detection=1,wifi_tx=1",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunEventsErrors pins the -events failure modes: unreadable file,
+// malformed document, and a schedule targeting a PE the configuration
+// does not have.
+func TestRunEventsErrors(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"kind":"fault"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	outOfRange := filepath.Join(dir, "range.json")
+	if err := os.WriteFile(outOfRange, []byte(`[{"at_ns":1,"kind":"fault","pe":99}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"missing file", []string{"-events", "/nope/events.json"}, "no such file"},
+		{"malformed", []string{"-events", bad}, "decoding schedule"},
+		{"out of range", []string{"-cores", "2", "-ffts", "0", "-events", outOfRange}, "targets PE 99"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := run(c.args)
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("want error containing %q, got %v", c.want, err)
+			}
+		})
+	}
+}
+
 // TestRunWithDegenerateConfigFile pins the JSON edge: a configuration
 // document describing zero PEs (the Odroid document with both counts
 // omitted) must fail with the platform package's descriptive error

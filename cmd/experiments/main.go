@@ -9,6 +9,7 @@
 //	experiments -exp cs4        Case Study 4 (automatic conversion)
 //	experiments -exp scale      synthetic many-PE scale study (up to 80 PEs)
 //	experiments -exp saturation open-loop Poisson rate sweep to divergence (online percentiles)
+//	experiments -exp churn      policy robustness under PE faults, DVFS and power caps
 //	experiments -exp all        everything
 //
 // The grid experiments fan out over the sweep engine; -workers bounds
@@ -36,7 +37,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		exp     = fs.String("exp", "all", "experiment: table1, table2, fig9, fig10, fig11, cs4, scale, saturation, all")
+		exp     = fs.String("exp", "all", "experiment: table1, table2, fig9, fig10, fig11, cs4, scale, saturation, churn, all")
 		iters   = fs.Int("iters", 50, "Figure 9 iteration count (paper uses 50)")
 		n       = fs.Int("n", 1024, "Case Study 4 transform length (paper uses 1024)")
 		csvDir  = fs.String("csv", "", "also write plot-ready CSV files into this directory")
@@ -143,6 +144,15 @@ func run(args []string) error {
 			if err := writeCSV("saturation.csv", func(f *os.File) error { return experiments.SaturationCSV(f, pts) }); err != nil {
 				return err
 			}
+		case "churn":
+			pts, err := experiments.Churn(0, sweepOpt("churn"))
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.RenderChurn(pts))
+			if err := writeCSV("churn.csv", func(f *os.File) error { return experiments.ChurnCSV(f, pts) }); err != nil {
+				return err
+			}
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -151,7 +161,7 @@ func run(args []string) error {
 	}
 
 	if *exp == "all" {
-		for _, name := range []string{"table1", "table2", "fig9", "fig10", "fig11", "cs4", "scale", "saturation"} {
+		for _, name := range []string{"table1", "table2", "fig9", "fig10", "fig11", "cs4", "scale", "saturation", "churn"} {
 			fmt.Printf("=== %s ===\n", name)
 			if err := runOne(name); err != nil {
 				return fmt.Errorf("%s: %w", name, err)

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/appmodel"
 	"repro/internal/kernels"
+	"repro/internal/platevent"
 	"repro/internal/platform"
 	"repro/internal/sched"
 	"repro/internal/stats"
@@ -86,6 +87,14 @@ type Options struct {
 	// which is what long-horizon and saturation runs need (pair with
 	// stats.Online). The sink must not be shared by concurrent runs.
 	Sink stats.Sink
+	// Events is the dynamic-platform event schedule: PE faults and
+	// restores, DVFS speed steps, power caps, applied at their virtual
+	// instants at the top of the discrete-event loop (platevent package
+	// doc). nil or empty leaves the platform static — byte-identical to
+	// an emulator built without the field. Every Run replays the same
+	// schedule from the top. The schedule is read-only here and may be
+	// shared across emulators.
+	Events *platevent.Schedule
 }
 
 // ArrivalSource is a workload stream: Next returns arrivals one at a
@@ -159,6 +168,20 @@ type Emulator struct {
 	arrivalSeq  int
 	freeInst    map[*Program][]*AppInstance
 
+	// platEvents is Options.Events sorted into application order;
+	// evCursor walks it once per run (reset by beginRun).
+	platEvents []platevent.Event
+	evCursor   int
+	// dynMeta re-lowers per-node ready metadata against the view's
+	// extended class table when DVFS pre-interning added cost classes
+	// beyond the configuration's own — the compiled meta's Costs tables
+	// are too short then. Nil on static runs and whenever the event
+	// speeds collapse into existing classes, so the zero-event path
+	// still pushes the compiled records untouched. Derivations are
+	// memoised per node (the class table never changes after New) and
+	// survive across runs.
+	dynMeta map[*progNode]*sched.ReadyMeta
+
 	report            *stats.Report
 	pendingMonitorOps int
 }
@@ -215,6 +238,9 @@ func New(opts Options) (*Emulator, error) {
 		jitter:   vtime.NewJitter(opts.Seed, opts.JitterSigma),
 		programs: make(map[*appmodel.AppSpec]*Program),
 	}
+	if err := opts.Events.Validate(len(opts.Config.PEs)); err != nil {
+		return nil, fmt.Errorf("core: configuration %s: %w", opts.Config.Name, err)
+	}
 	e.handlerSlab = make([]ResourceHandler, len(opts.Config.PEs))
 	for i, pe := range opts.Config.PEs {
 		h := &e.handlerSlab[i]
@@ -223,11 +249,34 @@ func New(opts Options) (*Emulator, error) {
 			status:  StatusIdle,
 			idx:     int32(i),
 			typeIdx: int32(opts.Config.TypeIndex(pe.Type.Key)),
+			speed:   pe.Type.SpeedFactor,
 		}
 		e.handlers = append(e.handlers, h)
 		e.peViews = append(e.peViews, h)
 	}
 	e.view = sched.NewView(e.peViews)
+	e.platEvents = opts.Events.Events()
+	if e.view != nil {
+		// Pre-intern every DVFS target signature: the event schedule is
+		// known now, so the view's class table is complete (and stable
+		// across runs) before the first task is compiled against it. A
+		// schedule that pushes past the 64-class ceiling drops the whole
+		// emulator to the slice-rebuild path — observable below via
+		// SchedulerPath, never a mid-run surprise.
+		for _, ev := range e.platEvents {
+			if ev.Kind != platevent.SetSpeed {
+				continue
+			}
+			h := e.handlers[ev.PE]
+			if e.view.InternClass(int32(h.TypeID()), ev.Speed, h.PowerW()) < 0 {
+				e.view = nil
+				break
+			}
+		}
+	}
+	if e.view != nil && e.view.NumClasses() > opts.Config.NumClasses() {
+		e.dynMeta = make(map[*progNode]*sched.ReadyMeta)
+	}
 	switch {
 	case e.view == nil:
 		e.schedPath = SchedulerPathSliceRebuild
@@ -276,6 +325,7 @@ func (e *Emulator) beginRun() *Scratch {
 	e.havePending = false
 	e.arrivalSeq = 0
 	e.pendingMonitorOps = 0
+	e.evCursor = 0
 	// Re-seed so repeated Runs of one emulator are identical; stateful
 	// policies (RANDOM's generator) reset the same way.
 	e.jitter.Reseed(e.opts.Seed, e.opts.JitterSigma)
@@ -564,15 +614,180 @@ func (e *Emulator) popEventsDue(now vtime.Time) []int32 {
 	return due
 }
 
+// removeEvent cancels a handler's pending completion event — a PE
+// fault discards its in-flight task, so the completion must never fire.
+// Each running handler has exactly one heap entry; the scan is linear
+// in the running-PE count, paid only on actual faults.
+func (e *Emulator) removeEvent(h int32) {
+	s := e.opts.Scratch
+	ev := s.events
+	for i := range ev {
+		if ev[i].h != h {
+			continue
+		}
+		n := len(ev) - 1
+		ev[i] = ev[n]
+		s.events = ev[:n]
+		ev = s.events
+		if i == n {
+			return
+		}
+		less := func(a, b peEvent) bool {
+			return a.at < b.at || (a.at == b.at && a.h < b.h)
+		}
+		// Restore the heap around the moved entry: sift down, and if it
+		// did not move, sift up.
+		j := i
+		for {
+			l, r := 2*j+1, 2*j+2
+			min := j
+			if l < n && less(ev[l], ev[min]) {
+				min = l
+			}
+			if r < n && less(ev[r], ev[min]) {
+				min = r
+			}
+			if min == j {
+				break
+			}
+			ev[j], ev[min] = ev[min], ev[j]
+			j = min
+		}
+		for j > 0 {
+			parent := (j - 1) / 2
+			if less(ev[parent], ev[j]) {
+				break
+			}
+			ev[parent], ev[j] = ev[j], ev[parent]
+			j = parent
+		}
+		return
+	}
+}
+
+// --- dynamic-platform events -------------------------------------------------
+
+// applyPlatEventsDue applies every platform event due at or before now,
+// in schedule order, and reports whether any was consumed. This runs at
+// the very top of the loop — before injection and completion monitoring
+// — so an event at instant T is visible to every decision at T, and a
+// fault at T beats a completion due at the same T: the in-flight task
+// is requeued, not collected.
+func (e *Emulator) applyPlatEventsDue(now vtime.Time) bool {
+	applied := false
+	for e.evCursor < len(e.platEvents) && e.platEvents[e.evCursor].At <= now {
+		ev := e.platEvents[e.evCursor]
+		e.evCursor++
+		switch ev.Kind {
+		case platevent.Fault:
+			e.faultPE(ev.PE, now)
+		case platevent.Restore:
+			e.restorePE(ev.PE)
+		case platevent.SetSpeed:
+			e.setSpeed(ev.PE, ev.Speed)
+		case platevent.PowerCap:
+			if pc, ok := e.opts.Policy.(sched.PowerCapped); ok {
+				pc.SetPowerCap(ev.CapW)
+			}
+		}
+		e.report.PlatEvents++
+		applied = true
+	}
+	return applied
+}
+
+// faultPE takes a PE offline: its pending completion is cancelled, the
+// in-flight task and every reserved task requeue as ready at the fault
+// instant (in-flight first, then the reservation queue FIFO), and the
+// PE leaves the indexed state atomically. Idempotent.
+func (e *Emulator) faultPE(pi int, now vtime.Time) {
+	h := e.handlers[pi]
+	if h.faulted {
+		return
+	}
+	h.faulted = true
+	if h.status == StatusRun {
+		e.removeEvent(h.idx)
+		t := h.current
+		h.current = nil
+		e.requeue(t, now)
+	}
+	for h.queueLen() > 0 {
+		e.requeue(h.dequeue(), now)
+	}
+	h.status = StatusFaulted
+	h.busyUntil = 0
+	if e.view != nil {
+		e.view.FaultPE(pi)
+	}
+}
+
+// requeue returns a fault-orphaned task to the ready list as of now.
+// The partial execution is lost — no busy time or task count accrues to
+// the dead PE — and the task will be dispatched afresh (its kernel,
+// already run functionally, is not re-executed: Task.executed).
+func (e *Emulator) requeue(t *Task, now vtime.Time) {
+	t.choice = -1
+	t.start, t.end = 0, 0
+	t.busyDur = 0
+	t.readyAt = now
+	e.pushReady(t)
+	e.report.Requeues++
+}
+
+// restorePE brings a faulted PE back online, idle. Idempotent.
+func (e *Emulator) restorePE(pi int) {
+	h := e.handlers[pi]
+	if !h.faulted {
+		return
+	}
+	h.faulted = false
+	h.status = StatusIdle
+	h.busyUntil = 0
+	if e.view != nil {
+		e.view.RestorePE(pi)
+	}
+}
+
+// setSpeed applies a DVFS step: the handler's speed factor changes and
+// the PE migrates to the cost class of its new signature — pre-interned
+// at construction, so the lookup cannot fail here.
+func (e *Emulator) setSpeed(pi int, speed float64) {
+	h := e.handlers[pi]
+	h.speed = speed
+	if e.view != nil {
+		e.view.SetClass(pi, e.view.InternClass(int32(h.TypeID()), speed, h.PowerW()))
+	}
+}
+
 // pushReady appends a task to the ready list. With an indexed view
 // the view's deque IS the ready list (one structure, one compaction);
 // the emulator-owned slice only backs the no-view fallback.
 func (e *Emulator) pushReady(t *Task) {
 	if e.view != nil {
-		e.view.PushReady(t, &t.node.meta)
+		e.view.PushReady(t, e.metaOf(t))
 		return
 	}
 	e.ready = append(e.ready, t)
+}
+
+// metaOf resolves the ready metadata pushed with a task: the compiled
+// per-node record, unless DVFS pre-interning extended the class table
+// past the configuration's — then a per-node re-lowering against the
+// view's table (View.MetaFor: the identical arithmetic, wider Costs),
+// derived once per node and memoised for the emulator's lifetime.
+func (e *Emulator) metaOf(t *Task) *sched.ReadyMeta {
+	if e.dynMeta == nil {
+		return &t.node.meta
+	}
+	nd := t.node
+	if m, ok := e.dynMeta[nd]; ok {
+		return m
+	}
+	m := new(sched.ReadyMeta)
+	*m = e.view.MetaFor(nd.choices)
+	e.dynMeta[nd] = m
+	return m
 }
 
 // readyLen is the live ready count.
@@ -661,6 +876,13 @@ func (e *Emulator) loop() error {
 	for {
 		now := e.clock.Now()
 
+		// Apply dynamic-platform events due now, before injection and
+		// completion monitoring: a fault at T beats a completion due at
+		// the same T (the in-flight task requeues instead of finishing).
+		if e.applyPlatEventsDue(now) {
+			dirty = true
+		}
+
 		// Inject applications whose arrival time has passed.
 		if injected, err := e.injectDue(now); err != nil {
 			return err
@@ -736,7 +958,13 @@ func (e *Emulator) loop() error {
 			}
 		}
 		if !anyRunning && !morePending {
-			if e.readyLen() > 0 {
+			if e.readyLen() == 0 {
+				// Emulation complete. Trailing platform events with
+				// nothing running, ready or arriving never apply — they
+				// cannot affect the makespan.
+				return nil
+			}
+			if e.evCursor >= len(e.platEvents) {
 				first := ""
 				if e.view != nil {
 					first = e.view.Ready()[0].Label()
@@ -746,7 +974,15 @@ func (e *Emulator) loop() error {
 				return fmt.Errorf("core: %d ready tasks cannot be scheduled on config %s (policy %s): first is %s",
 					e.readyLen(), e.opts.Config.Name, e.opts.Policy.Name(), first)
 			}
-			return nil // emulation complete
+			// Ready tasks are stranded (their capable PEs faulted or
+			// capped away), but platform events remain: one may free
+			// them, so advance to it instead of declaring deadlock.
+		}
+		if e.evCursor < len(e.platEvents) && e.platEvents[e.evCursor].At < nextEvent {
+			// applyPlatEventsDue consumed everything at or before now, so
+			// the pending head is strictly in the future — the advance
+			// below always makes progress.
+			nextEvent = e.platEvents[e.evCursor].At
 		}
 		if nextEvent == vtime.Time(math.MaxInt64) {
 			return fmt.Errorf("core: emulation stalled with no future event")
@@ -845,6 +1081,10 @@ func (e *Emulator) schedule() (bool, error) {
 			return false, fmt.Errorf("core: policy %s sent %s to unsupported PE %s",
 				e.opts.Policy.Name(), t.Label(), h.PE.Label())
 		}
+		if h.faulted {
+			return false, fmt.Errorf("core: policy %s assigned %s to faulted PE %s",
+				e.opts.Policy.Name(), t.Label(), h.PE.Label())
+		}
 		if h.status != StatusIdle {
 			if !e.opts.Policy.UsesQueues() {
 				return false, fmt.Errorf("core: policy %s assigned busy PE %s", e.opts.Policy.Name(), h.PE.Label())
@@ -896,7 +1136,7 @@ func (e *Emulator) dispatch(t *Task, h *ResourceHandler, now vtime.Time) error {
 	plat := &t.node.spec.Platforms[ci]
 
 	var measuredNS int64
-	if !e.opts.SkipExecution {
+	if !e.opts.SkipExecution && !t.executed {
 		f := t.node.funcs[ci]
 		ctx := &kernels.Context{Mem: t.App.Mem, Args: t.node.spec.Arguments, Node: t.node.name}
 		start := time.Now()
@@ -904,6 +1144,9 @@ func (e *Emulator) dispatch(t *Task, h *ResourceHandler, now vtime.Time) error {
 			return fmt.Errorf("core: task %s failed on %s: %w", t.Label(), h.PE.Label(), err)
 		}
 		measuredNS = time.Since(start).Nanoseconds()
+		// A fault can requeue and re-dispatch this task; its kernel has
+		// now run against the instance memory and must not run twice.
+		t.executed = true
 	}
 
 	dur, busy := e.taskDuration(t, h, plat, measuredNS)
@@ -937,7 +1180,7 @@ func (e *Emulator) taskDuration(t *Task, h *ResourceHandler, plat *appmodel.Plat
 		if e.opts.Timing == Measured && measuredNS > 0 {
 			cost = float64(measuredNS)
 		}
-		base = cost * h.PE.Type.SpeedFactor
+		base = cost * h.speed
 		used = base
 	case platform.Accelerator:
 		compute := float64(plat.ComputeNS)

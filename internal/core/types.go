@@ -34,6 +34,9 @@ const (
 	// StatusComplete means the task finished and awaits collection by
 	// the workload manager's monitor pass.
 	StatusComplete
+	// StatusFaulted means the PE is offline (platform fault event): it
+	// accepts no work and completes nothing until a restore event.
+	StatusFaulted
 )
 
 func (s Status) String() string {
@@ -44,6 +47,8 @@ func (s Status) String() string {
 		return "run"
 	case StatusComplete:
 		return "complete"
+	case StatusFaulted:
+		return "faulted"
 	default:
 		return fmt.Sprintf("Status(%d)", int(s))
 	}
@@ -69,6 +74,10 @@ type Task struct {
 	readyAt        vtime.Time
 	start, end     vtime.Time
 	busyDur        vtime.Duration
+	// executed marks that the task's kernel has run functionally. A PE
+	// fault can requeue and re-dispatch a task; its (non-idempotent)
+	// kernel must not run against the instance memory a second time.
+	executed bool
 }
 
 // Name is the DAG node name of the task.
@@ -135,6 +144,15 @@ type ResourceHandler struct {
 	idx     int32
 	typeIdx int32
 
+	// speed is the PE's current speed factor. It starts at the type's
+	// calibrated factor and moves under DVFS events; it lives here —
+	// never on the shared *platform.PEType singletons, which many
+	// emulators read concurrently.
+	speed float64
+	// faulted marks the PE offline (platform fault event); status is
+	// StatusFaulted while set.
+	faulted bool
+
 	current   *Task
 	busyUntil vtime.Time
 	// queue is the reservation queue used by queue-capable policies
@@ -172,6 +190,8 @@ func (h *ResourceHandler) resetForRun() {
 	h.status = StatusIdle
 	h.current = nil
 	h.busyUntil = 0
+	h.speed = h.PE.Type.SpeedFactor
+	h.faulted = false
 	clear(h.queue[:cap(h.queue)])
 	h.queue = h.queue[:0]
 	h.qhead = 0
@@ -188,11 +208,15 @@ func (h *ResourceHandler) TypeKey() string { return h.PE.Type.Key }
 // TypeID implements sched.PE.
 func (h *ResourceHandler) TypeID() int { return int(h.typeIdx) }
 
-// SpeedFactor implements sched.PE.
-func (h *ResourceHandler) SpeedFactor() float64 { return h.PE.Type.SpeedFactor }
+// SpeedFactor implements sched.PE: the PE's current (DVFS-stepped)
+// speed factor.
+func (h *ResourceHandler) SpeedFactor() float64 { return h.speed }
 
 // PowerW implements sched.PE.
 func (h *ResourceHandler) PowerW() float64 { return h.PE.Type.PowerW }
+
+// Faulted implements sched.Faulty: whether the PE is offline.
+func (h *ResourceHandler) Faulted() bool { return h.faulted }
 
 // Idle implements sched.PE.
 func (h *ResourceHandler) Idle() bool { return h.status == StatusIdle }

@@ -1,0 +1,308 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/platevent"
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/sweep"
+	"repro/internal/vtime"
+	"repro/internal/workload"
+)
+
+// The churn study asks the question the static figures cannot: which
+// scheduling policy degrades most gracefully when the platform itself
+// is dynamic? Every (configuration, regime, policy) cell replays the
+// same performance-mode workload under a deterministic platform-event
+// schedule — rolling PE faults, DVFS steps, power caps — and is scored
+// by makespan degradation against its own static baseline. The output
+// is a per-regime robustness ranking of the policy library on the
+// three churn testbeds: the uniform synthetic pool, the Odroid's
+// big.LITTLE split, and the heterogeneous synthetic pool.
+
+// ChurnFrame is the injection window of the churn workload.
+const ChurnFrame = 1 * vtime.Millisecond
+
+// ChurnHorizon bounds event instants: past the injection window, into
+// the drain tail, so late faults hit a platform with work in flight.
+const ChurnHorizon = vtime.Duration(3 * ChurnFrame / 2)
+
+// churnSeed drives the generated event schedules (per-config
+// sub-seeded) and the emulators' jitter model.
+const churnSeed = 61
+
+// churnInstancesPerApp sets the workload intensity: enough in-flight
+// work that a fault always orphans tasks, small enough that the full
+// grid (3 configs x 4 regimes x 7 policies) stays interactive.
+const churnInstancesPerApp = 8
+
+// ChurnPoint is one (configuration, regime, policy) cell. Static
+// baseline cells carry Regime "static" and zero events.
+type ChurnPoint struct {
+	Config string
+	PEs    int
+	Regime string
+	Policy string
+	// Events and Requeues are the run's dynamic-platform counters: how
+	// many schedule entries applied, and how many tasks PE faults threw
+	// back onto the ready list.
+	Events   int64
+	Requeues int64
+	Makespan vtime.Duration
+	// StaticMakespan is the same (config, policy, workload) without
+	// events; DegradationPct is the makespan stretch relative to it —
+	// the robustness score the ranking sorts on.
+	StaticMakespan vtime.Duration
+	DegradationPct float64
+	MeanRespMS     float64
+	// Rank orders policies within one (config, regime) group by
+	// degradation, 1 = most robust. Zero on static rows.
+	Rank int
+}
+
+// churnConfigs builds the three churn testbeds.
+func churnConfigs() ([]*platform.Config, error) {
+	syn, err := platform.Synthetic(8, 2)
+	if err != nil {
+		return nil, err
+	}
+	od, err := platform.OdroidXU3(4, 3)
+	if err != nil {
+		return nil, err
+	}
+	het, err := platform.SyntheticHet(8, 6, 2)
+	if err != nil {
+		return nil, err
+	}
+	return []*platform.Config{syn, od, het}, nil
+}
+
+// churnRegime names one event schedule; the order here is the render
+// and ranking order.
+type churnRegime struct {
+	name string
+	ev   *platevent.Schedule
+}
+
+// churnRegimes builds the per-configuration event regimes. Schedules
+// are deterministic in (regime, PE count) only, so every policy of a
+// group faces the identical stream.
+func churnRegimes(n int) []churnRegime {
+	seed := churnSeed + int64(n)*977
+	// DVFS-only: a deterministic round-robin of speed steps across the
+	// pool, alternating a throttle and a boost.
+	steps := []float64{0.6, 1.5}
+	dvfs := platevent.New()
+	for i := 0; i < 24; i++ {
+		at := vtime.Time(int64(ChurnHorizon) * int64(i+1) / 25)
+		dvfs.SetSpeedAt(at, i%n, steps[i%len(steps)])
+	}
+	return []churnRegime{
+		{"faults", platevent.Churn(seed, platevent.ChurnConfig{
+			NumPEs: n, Horizon: ChurnHorizon, Events: 48, FaultFraction: 1,
+		})},
+		{"dvfs", dvfs},
+		{"mixed", platevent.Churn(seed+1, platevent.ChurnConfig{
+			NumPEs: n, Horizon: ChurnHorizon, Events: 64,
+			Speeds: []float64{0.6, 1.5}, PowerCaps: []float64{0, 0.8, 1.2},
+			FaultFraction: 0.4,
+		})},
+	}
+}
+
+// Churn runs the robustness study over every built-in policy. configs
+// limits how many of the three testbeds run (0 = all).
+func Churn(configs int, opt sweep.Options) ([]ChurnPoint, error) {
+	cfgList, err := churnConfigs()
+	if err != nil {
+		return nil, err
+	}
+	if configs > 0 && configs < len(cfgList) {
+		cfgList = cfgList[:configs]
+	}
+	specs := apps.Specs()
+	names := make([]string, 0, len(specs))
+	for name := range specs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	period := workload.PeriodForCount(ChurnFrame, churnInstancesPerApp)
+	var injections []workload.AppInjection
+	for _, name := range names {
+		injections = append(injections, workload.AppInjection{App: name, Period: period, Prob: 1})
+	}
+	trace, err := workload.Performance(specs, workload.PerfSpec{Frame: ChurnFrame, Injections: injections})
+	if err != nil {
+		return nil, err
+	}
+
+	var cells []sweep.Cell[ChurnPoint]
+	addCell := func(cfg *platform.Config, regime string, ev *platevent.Schedule, policyName string) {
+		cells = append(cells, sweep.Cell[ChurnPoint]{
+			Label: fmt.Sprintf("churn %s/%s/%s", cfg.Name, regime, policyName),
+			Run: func(s *core.Scratch) (ChurnPoint, error) {
+				policy, err := sched.New(policyName, sched.DefaultQueueDepth)
+				if err != nil {
+					return ChurnPoint{}, err
+				}
+				em := sweep.Emulation{
+					Config:        cfg,
+					Policy:        policy,
+					Registry:      apps.Registry(),
+					Arrivals:      trace,
+					Seed:          churnSeed,
+					SkipExecution: true,
+					Events:        ev,
+				}
+				report, err := em.Run(s)
+				if err != nil {
+					return ChurnPoint{}, fmt.Errorf("experiments: churn %s/%s/%s: %w", cfg.Name, regime, policyName, err)
+				}
+				var respSum int64
+				for _, a := range report.Apps {
+					respSum += int64(a.ResponseTime())
+				}
+				p := ChurnPoint{
+					Config:   cfg.Name,
+					PEs:      len(cfg.PEs),
+					Regime:   regime,
+					Policy:   policyName,
+					Events:   report.PlatEvents,
+					Requeues: report.Requeues,
+					Makespan: report.Makespan,
+				}
+				if len(report.Apps) > 0 {
+					p.MeanRespMS = float64(respSum) / float64(len(report.Apps)) / float64(vtime.Millisecond)
+				}
+				return p, nil
+			},
+		})
+	}
+	for _, cfg := range cfgList {
+		for _, policyName := range sched.Names() {
+			addCell(cfg, "static", nil, policyName)
+		}
+		for _, reg := range churnRegimes(len(cfg.PEs)) {
+			for _, policyName := range sched.Names() {
+				addCell(cfg, reg.name, reg.ev, policyName)
+			}
+		}
+	}
+	points, err := sweep.Run(cells, labelled(opt, "churn"))
+	if err != nil {
+		return nil, err
+	}
+	rankChurn(points)
+	return points, nil
+}
+
+// rankChurn joins every dynamic row with its static baseline, computes
+// the degradation score, and assigns per-(config, regime) robustness
+// ranks (ties broken by policy name for determinism).
+func rankChurn(points []ChurnPoint) {
+	static := map[string]vtime.Duration{}
+	for _, p := range points {
+		if p.Regime == "static" {
+			static[p.Config+"/"+p.Policy] = p.Makespan
+		}
+	}
+	groups := map[string][]int{}
+	for i := range points {
+		p := &points[i]
+		if p.Regime == "static" {
+			continue
+		}
+		if base, ok := static[p.Config+"/"+p.Policy]; ok && base > 0 {
+			p.StaticMakespan = base
+			p.DegradationPct = (float64(p.Makespan)/float64(base) - 1) * 100
+		}
+		key := p.Config + "/" + p.Regime
+		groups[key] = append(groups[key], i)
+	}
+	for _, idx := range groups {
+		sort.Slice(idx, func(a, b int) bool {
+			pa, pb := &points[idx[a]], &points[idx[b]]
+			if pa.DegradationPct != pb.DegradationPct {
+				return pa.DegradationPct < pb.DegradationPct
+			}
+			return pa.Policy < pb.Policy
+		})
+		for rank, i := range idx {
+			points[i].Rank = rank + 1
+		}
+	}
+}
+
+// RenderChurn formats the study: per (config, regime), policies in
+// robustness order with their degradation against the static baseline.
+func RenderChurn(points []ChurnPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Churn study: policy robustness under dynamic platforms (%v frame, %v event horizon)\n",
+		vtime.Duration(ChurnFrame), ChurnHorizon)
+	type groupKey struct{ config, regime string }
+	var order []groupKey
+	seen := map[groupKey]bool{}
+	byGroup := map[groupKey][]ChurnPoint{}
+	for _, p := range points {
+		if p.Regime == "static" {
+			continue
+		}
+		k := groupKey{p.Config, p.Regime}
+		if !seen[k] {
+			seen[k] = true
+			order = append(order, k)
+		}
+		byGroup[k] = append(byGroup[k], p)
+	}
+	for _, k := range order {
+		group := byGroup[k]
+		sort.Slice(group, func(i, j int) bool { return group[i].Rank < group[j].Rank })
+		fmt.Fprintf(&b, "\n%s under %s (%d events applied):\n", k.config, k.regime, group[0].Events)
+		fmt.Fprintf(&b, "  %4s %-10s %14s %14s %9s %9s %12s\n",
+			"rank", "policy", "makespan (ms)", "static (ms)", "degr (%)", "requeues", "resp (ms)")
+		for _, p := range group {
+			fmt.Fprintf(&b, "  %4d %-10s %14.4f %14.4f %9.2f %9d %12.4f\n",
+				p.Rank, p.Policy, p.Makespan.Seconds()*1e3, p.StaticMakespan.Seconds()*1e3,
+				p.DegradationPct, p.Requeues, p.MeanRespMS)
+		}
+	}
+	return b.String()
+}
+
+// ChurnCSV writes every cell (static baselines included) as plot-ready
+// rows.
+func ChurnCSV(w io.Writer, points []ChurnPoint) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"config", "pes", "regime", "policy", "rank", "events", "requeues",
+		"makespan_ms", "static_makespan_ms", "degradation_pct", "resp_mean_ms",
+	}); err != nil {
+		return err
+	}
+	for _, p := range points {
+		if err := cw.Write([]string{
+			p.Config,
+			fmt.Sprintf("%d", p.PEs),
+			p.Regime,
+			p.Policy,
+			fmt.Sprintf("%d", p.Rank),
+			fmt.Sprintf("%d", p.Events),
+			fmt.Sprintf("%d", p.Requeues),
+			fmt.Sprintf("%.6f", p.Makespan.Seconds()*1e3),
+			fmt.Sprintf("%.6f", p.StaticMakespan.Seconds()*1e3),
+			fmt.Sprintf("%.4f", p.DegradationPct),
+			fmt.Sprintf("%.6f", p.MeanRespMS),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -93,6 +93,54 @@ func TestScaleParallelGolden(t *testing.T) {
 	}
 }
 
+func TestChurnParallelGolden(t *testing.T) {
+	// The robustness study on its first testbed only: every cell shares
+	// the platform-event schedules read-only across eight workers, and
+	// the ranking join must come out bit-identical at any worker count.
+	seq, err := Churn(1, sweep.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Churn(1, sweep.Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := RenderChurn(seq), RenderChurn(par); a != b {
+		t.Fatalf("parallel rendering diverged:\n--- workers=1\n%s--- workers=8\n%s", a, b)
+	}
+	var bufSeq, bufPar bytes.Buffer
+	if err := ChurnCSV(&bufSeq, seq); err != nil {
+		t.Fatal(err)
+	}
+	if err := ChurnCSV(&bufPar, par); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bufSeq.Bytes(), bufPar.Bytes()) {
+		t.Fatal("parallel churn CSV diverged")
+	}
+	// Sanity of the study itself: dynamic rows are ranked, carry a
+	// static baseline, and the fault regimes actually requeued work.
+	requeues := int64(0)
+	for _, p := range seq {
+		if p.Regime == "static" {
+			if p.Events != 0 || p.Requeues != 0 {
+				t.Fatalf("static row %s/%s saw %d events", p.Config, p.Policy, p.Events)
+			}
+			continue
+		}
+		if p.Rank == 0 || p.StaticMakespan == 0 {
+			t.Fatalf("dynamic row %s/%s/%s missing rank or baseline: %+v", p.Config, p.Regime, p.Policy, p)
+		}
+		if p.Events == 0 {
+			t.Fatalf("dynamic row %s/%s/%s applied no events", p.Config, p.Regime, p.Policy)
+		}
+		requeues += p.Requeues
+	}
+	if requeues == 0 {
+		t.Fatal("no regime requeued any task — the fault schedules tested nothing")
+	}
+}
+
 func TestTableIParallelGolden(t *testing.T) {
 	seq, err := TableI(sweep.Options{Workers: 1})
 	if err != nil {

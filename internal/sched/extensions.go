@@ -44,6 +44,11 @@ func (q FRFSQ) Schedule(now vtime.Time, ready []Task, pes []PE) Result {
 		if !pe.Idle() {
 			load[i]++ // count the running task
 		}
+		if isFaulted(pe) {
+			// A dead PE offers no queue capacity: saturate its load so
+			// it contributes nothing to free and never wins a pick.
+			load[i] = depth
+		}
 		if d := depth - load[i]; d > 0 {
 			free += d
 		}
@@ -110,6 +115,9 @@ func (q EFTQ) Schedule(now vtime.Time, ready []Task, pes []PE) Result {
 		if !pe.Idle() {
 			load[i]++
 		}
+		if isFaulted(pe) {
+			load[i] = depth // dead PE: no capacity, never a candidate
+		}
 		avail[i] = pe.AvailableAt()
 		if avail[i] < now {
 			avail[i] = now
@@ -166,6 +174,12 @@ type PowerEFT struct {
 	// Slack is the tolerated finish-time ratio (>= 1). 1.0 degenerates
 	// to plain EFT tie-broken by energy.
 	Slack float64
+	// cap is the active platform power cap in watts (0 = uncapped),
+	// set through SetPowerCap: PEs drawing more than the cap are
+	// excluded from candidacy entirely. Dynamic runtime state, not
+	// configuration — which is why sched.New hands the policy out as a
+	// pointer.
+	cap float64
 }
 
 // Name implements Policy.
@@ -173,6 +187,19 @@ func (PowerEFT) Name() string { return "eft-power" }
 
 // UsesQueues implements Policy.
 func (PowerEFT) UsesQueues() bool { return false }
+
+// SetPowerCap implements PowerCapped: an active cap (watts > 0) masks
+// every PE whose power draw exceeds it; 0 lifts the cap.
+func (p *PowerEFT) SetPowerCap(watts float64) {
+	if watts < 0 {
+		watts = 0
+	}
+	p.cap = watts
+}
+
+// Reset implements Resettable: a fresh run starts uncapped (the
+// emulator replays its cap events from the top).
+func (p *PowerEFT) Reset() { p.cap = 0 }
 
 // Schedule implements Policy.
 func (p PowerEFT) Schedule(now vtime.Time, ready []Task, pes []PE) Result {
@@ -202,6 +229,12 @@ func (p PowerEFT) Schedule(now vtime.Time, ready []Task, pes []PE) Result {
 			res.Ops += eftPairWeight
 			cost, ok := costOn(t, pe)
 			if !ok || busy[pi] {
+				continue
+			}
+			if p.cap > 0 && pe.PowerW() > p.cap {
+				// Over the active power cap: not a candidate (the pair
+				// evaluation above is still charged — the scan reads the
+				// PE's power before rejecting it).
 				continue
 			}
 			finish := avail[pi].Add(vtime.Duration(cost))

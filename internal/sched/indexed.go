@@ -255,11 +255,24 @@ func (p PowerEFT) ScheduleIndexed(now vtime.Time, v *View) Result {
 	P := v.numPEs()
 	res.Ops += P
 	v.beginIdleScratch()
+	// An active power cap masks over-budget classes out of candidacy
+	// (power is uniform within a class, so the cap resolves per class);
+	// the per-pair charge below still covers every PE, matching the
+	// slice scan that reads a PE's power before rejecting it.
+	capMask := v.allClasses
+	if p.cap > 0 {
+		capMask = 0
+		for c := 0; c < v.numClasses; c++ {
+			if v.power[c] <= p.cap {
+				capMask |= 1 << uint(c)
+			}
+		}
+	}
 	ready := v.Ready()
 	meta := v.metas()
 	for ti := range ready {
 		res.Ops += eftPairWeight * P
-		mask := meta[ti].ClassMask & v.allClasses
+		mask := meta[ti].ClassMask & v.allClasses & capMask
 		costs := meta[ti].Costs
 		var bestFinish vtime.Time = -1
 		nCands := 0

@@ -176,6 +176,7 @@ func supports(t Task, pe PE) bool {
 // sync.Pool across invocations, emulators and sweep workers.
 type buffers struct {
 	busy  []bool
+	fault []bool
 	load  []int
 	times []vtime.Time
 	cand  []int
@@ -196,6 +197,18 @@ func (b *buffers) boolSlice(n int) []bool {
 	b.busy = b.busy[:n]
 	clear(b.busy)
 	return b.busy
+}
+
+// faultSlice returns a cleared []bool of length n, distinct from
+// boolSlice's backing (policies that track busy and faulted separately
+// need both live at once).
+func (b *buffers) faultSlice(n int) []bool {
+	if cap(b.fault) < n {
+		b.fault = make([]bool, n)
+	}
+	b.fault = b.fault[:n]
+	clear(b.fault)
+	return b.fault
 }
 
 // intSlice returns a zeroed []int of length n.
@@ -235,7 +248,8 @@ func New(name string, seed int64) (Policy, error) {
 	case "eft-rq", "EFT-RQ":
 		return EFTQ{Depth: DefaultQueueDepth}, nil
 	case "eft-power", "EFT-POWER":
-		return PowerEFT{Slack: 1.25}, nil
+		// Pointer so power-cap events (PowerCapped) can reach it.
+		return &PowerEFT{Slack: 1.25}, nil
 	default:
 		return nil, fmt.Errorf("sched: unknown policy %q (have %s)", name, strings.Join(Names(), ", "))
 	}
@@ -376,10 +390,12 @@ func (EFT) Schedule(now vtime.Time, ready []Task, pes []PE) Result {
 	b := getBuffers()
 	defer b.put()
 	busy := b.boolSlice(len(pes))
+	faulted := b.faultSlice(len(pes))
 	tentative := b.timeSlice(len(pes))
 	for i, pe := range pes {
 		res.Ops++
 		busy[i] = !pe.Idle()
+		faulted[i] = isFaulted(pe)
 		tentative[i] = pe.AvailableAt()
 		if tentative[i] < now {
 			tentative[i] = now
@@ -396,6 +412,13 @@ func (EFT) Schedule(now vtime.Time, ready []Task, pes []PE) Result {
 		res.Ops += placed / 32
 		for pi, pe := range pes {
 			res.Ops += eftPairWeight
+			// A faulted PE is no candidate, not even as a tentative-wait
+			// target: its in-flight work was requeued and it never
+			// frees. The pair charge above still counts it, like the
+			// reference scan that discovers the dead status.
+			if faulted[pi] {
+				continue
+			}
 			cost, ok := costOn(t, pe)
 			if !ok {
 				continue

@@ -94,6 +94,38 @@ func (w sliceOnly) Reset() {
 	}
 }
 
+// SetPowerCap forwards an active power cap to the wrapped policy, so
+// cap events reach power-aware policies on the forced slice path too.
+func (w sliceOnly) SetPowerCap(watts float64) {
+	if pc, ok := w.p.(PowerCapped); ok {
+		pc.SetPowerCap(watts)
+	}
+}
+
+// PowerCapped is implemented by policies that honour a platform power
+// cap: with a cap active (watts > 0) the policy must not place work on
+// PEs drawing more than the cap. The emulation core pushes cap events
+// (platevent.PowerCap) through this interface; 0 lifts the cap.
+type PowerCapped interface {
+	SetPowerCap(watts float64)
+}
+
+// Faulty is the optional fault-status side of PE. A faulted PE is
+// offline: policies must not consider it a placement candidate at all —
+// not even as EFT's tentative-wait target or a reservation-queue slot —
+// though P-proportional charged scans still count it (the reference
+// manager's status scan reads a dead handler's status word like any
+// other). PEs that don't implement the interface are never faulted.
+type Faulty interface {
+	Faulted() bool
+}
+
+// isFaulted reports a PE's fault status through the optional interface.
+func isFaulted(pe PE) bool {
+	f, ok := pe.(Faulty)
+	return ok && f.Faulted()
+}
+
 // availEntry is one (instant, PE index) pair in the per-class min-heaps
 // the EFT-family fast paths use; ordering is lexicographic (at, idx),
 // matching the slice scan's first-strict-minimum-in-index-order
@@ -171,8 +203,11 @@ type View struct {
 	// (TypeID, speed, power) signatures in first-appearance order over
 	// pes — refine the type interning, so the Odroid's big and LITTLE
 	// cores land in two classes even though both intern under the one
-	// "cpu" type.
+	// "cpu" type. Membership is time-varying under DVFS re-classing
+	// (SetClass); peClass0 snapshots the construction-time membership
+	// Reset restores.
 	peClass    []int32
+	peClass0   []int32
 	numClasses int
 	// allClasses masks off ClassMask bits beyond the interned classes:
 	// a task may carry a mask for classes no PE of this view belongs to
@@ -197,6 +232,11 @@ type View struct {
 	idleTot  int
 	avail    []vtime.Time
 	load     []int32
+	// faultBits marks offline PEs (FaultPE/RestorePE). A faulted PE is
+	// withdrawn from its class-membership bitmap — so every per-class
+	// enumeration (idle lookups, busy heaps, load buckets) skips it
+	// without a per-query check — and from the idle index.
+	faultBits []uint64
 
 	// ready/meta hold the ready window as a head-offset deque: slots
 	// below head are consumed, the live window is ready[head:]. Batch
@@ -273,15 +313,14 @@ func NewView(pes []PE) *View {
 		idleCnt:    make([]int32, numClasses),
 		avail:      make([]vtime.Time, len(pes)),
 		load:       make([]int32, len(pes)),
+		faultBits:  make([]uint64, words),
 	}
+	v.peClass0 = append([]int32(nil), peClass...)
 	v.allClasses = uint64(1)<<uint(numClasses) - 1
 	for c, sig := range classes {
 		v.classType[c] = sig.typeID
 		v.speed[c] = sig.speed
 		v.power[c] = sig.power
-	}
-	for i := range pes {
-		v.classBits[int(peClass[i])*words+i/64] |= 1 << uint(i%64)
 	}
 	v.Reset()
 	return v
@@ -326,12 +365,19 @@ func (v *View) MetaFor(choices []PlatformChoice) ReadyMeta {
 }
 
 // Reset restores the start-of-run state: every PE idle with zero
-// availability and load, and an empty ready list (backing arrays are
-// kept, pointers cleared).
+// availability and load, all faults cleared, original class membership
+// (DVFS re-classing undone — though classes interned after construction
+// survive, so repeated runs of one dynamic emulator see one stable
+// class table), and an empty ready list (backing arrays are kept,
+// pointers cleared).
 func (v *View) Reset() {
+	copy(v.peClass, v.peClass0)
+	clear(v.faultBits)
+	clear(v.classBits)
 	clear(v.idleBits)
 	clear(v.idleCnt)
 	for i := range v.pes {
+		v.classBits[int(v.peClass[i])*v.words+i/64] |= 1 << uint(i%64)
 		v.idleBits[i/64] |= 1 << uint(i%64)
 		v.idleCnt[v.peClass[i]]++
 	}
@@ -363,6 +409,95 @@ func (v *View) MarkIdle(pi int) {
 		v.idleCnt[v.peClass[pi]]++
 		v.idleTot++
 	}
+}
+
+// FaultPE withdraws a PE from the schedulable pool atomically: out of
+// the idle index, out of its class-membership bitmap (so busy-PE
+// enumerations — EFT's tentative heaps, EFTQ's availability heaps —
+// skip it too), load and availability zeroed. The owner requeues the
+// PE's in-flight and reserved tasks itself (PushReady), since the View
+// doesn't hold them. Idempotent.
+func (v *View) FaultPE(pi int) {
+	w, b := pi/64, uint64(1)<<uint(pi%64)
+	if v.faultBits[w]&b != 0 {
+		return
+	}
+	v.MarkBusy(pi)
+	v.faultBits[w] |= b
+	v.classBits[int(v.peClass[pi])*v.words+w] &^= b
+	v.avail[pi] = 0
+	v.load[pi] = 0
+}
+
+// RestorePE returns a faulted PE to the pool, idle with a clean slate,
+// under its current class. Idempotent (a no-op on healthy PEs).
+func (v *View) RestorePE(pi int) {
+	w, b := pi/64, uint64(1)<<uint(pi%64)
+	if v.faultBits[w]&b == 0 {
+		return
+	}
+	v.faultBits[w] &^= b
+	v.classBits[int(v.peClass[pi])*v.words+w] |= b
+	v.avail[pi] = 0
+	v.load[pi] = 0
+	v.MarkIdle(pi)
+}
+
+// Faulted reports whether the PE is currently withdrawn by FaultPE.
+func (v *View) Faulted(pi int) bool {
+	return v.faultBits[pi/64]&(1<<uint(pi%64)) != 0
+}
+
+// SetClass migrates a PE to another interned cost class — the DVFS
+// re-classing path: membership bitmap, idle count, and class index all
+// move together, so every per-class structure built afterwards sees the
+// PE under its new signature. Works on faulted PEs too (the membership
+// bit is withdrawn either way; RestorePE re-files under the new class).
+func (v *View) SetClass(pi, ci int) {
+	old := int(v.peClass[pi])
+	if old == ci {
+		return
+	}
+	w, b := pi/64, uint64(1)<<uint(pi%64)
+	if v.faultBits[w]&b == 0 {
+		v.classBits[old*v.words+w] &^= b
+		v.classBits[ci*v.words+w] |= b
+	}
+	if v.idleBits[w]&b != 0 {
+		v.idleCnt[old]--
+		v.idleCnt[ci]++
+	}
+	v.peClass[pi] = int32(ci)
+}
+
+// ClassOf reports the PE's current cost class.
+func (v *View) ClassOf(pi int) int { return int(v.peClass[pi]) }
+
+// InternClass finds or adds the cost class of signature (typeID, speed,
+// power), returning its index, or -1 when adding it would exceed the
+// 64-class representation ceiling — the caller must then abandon the
+// indexed path (slice-rebuild). New classes start with no members; PEs
+// migrate in through SetClass. Interned classes are permanent: they
+// survive Reset, so an emulator that pre-interns its DVFS steps sees
+// one stable class numbering across runs.
+func (v *View) InternClass(typeID int32, speed, power float64) int {
+	for c := 0; c < v.numClasses; c++ {
+		if v.classType[c] == typeID && v.speed[c] == speed && v.power[c] == power {
+			return c
+		}
+	}
+	if v.numClasses == 64 {
+		return -1
+	}
+	c := v.numClasses
+	v.numClasses++
+	v.allClasses = uint64(1)<<uint(v.numClasses) - 1
+	v.classType = append(v.classType, typeID)
+	v.speed = append(v.speed, speed)
+	v.power = append(v.power, power)
+	v.idleCnt = append(v.idleCnt, 0)
+	v.classBits = append(v.classBits, make([]uint64, v.words)...)
+	return c
 }
 
 // SetAvail records the instant the PE's current dispatch completes —
@@ -712,6 +847,9 @@ func (v *View) beginLoadBuckets(depth int32) int {
 	clear(v.scr.buckets)
 	free := 0
 	for pi := range v.pes {
+		if v.faultBits[pi/64]&(1<<uint(pi%64)) != 0 {
+			continue
+		}
 		l := v.scr.load[pi]
 		if d := depth - l; d > 0 {
 			free += int(d)

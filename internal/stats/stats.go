@@ -95,10 +95,17 @@ type Report struct {
 	// pre-existing fixture documents (which predate the field) valid.
 	SchedulerPath string `json:",omitempty"`
 	Makespan      vtime.Duration
-	Tasks         []TaskRecord
-	Apps          []AppRecord
-	PEs           []PEStats
-	Sched         SchedStats
+	// PlatEvents counts dynamic-platform events (faults, restores, DVFS
+	// steps, power caps) applied during the run; Requeues counts tasks
+	// returned to the ready list by PE faults (in-flight and reserved).
+	// Both are zero — and absent from JSON, keeping pre-existing fixture
+	// documents byte-identical — on static runs.
+	PlatEvents int64 `json:",omitempty"`
+	Requeues   int64 `json:",omitempty"`
+	Tasks      []TaskRecord
+	Apps       []AppRecord
+	PEs        []PEStats
+	Sched      SchedStats
 }
 
 // Utilization returns the busy fraction of a PE over the makespan, the

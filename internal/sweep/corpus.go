@@ -1,0 +1,161 @@
+package sweep
+
+import (
+	"fmt"
+
+	"repro/internal/appmodel"
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/kernels"
+	"repro/internal/minic/minicgen"
+	"repro/internal/stats"
+	"repro/internal/tracer"
+	"repro/internal/workload"
+)
+
+// Generated-corpus scenario class: a seeded batch of MiniC programs is
+// compiled through the full conversion toolchain (MiniC -> IR ->
+// outliner -> DAG) once, its recorded interpreter trace becomes the
+// arrival process, and the result fans out across a sweep grid as
+// ordinary Emulation cells. Grids built this way exercise application
+// shapes no hand-written fixture covers while keeping the sweep
+// engine's determinism contract: everything derives from the batch
+// seeds, and each cell replays the same trace from a fresh single-use
+// source.
+
+// CorpusSpec describes one seeded corpus batch. The zero value of
+// every field takes the documented default, so CorpusSpec{Batch: n}
+// is a complete spec.
+type CorpusSpec struct {
+	// Batch selects the seed range: programs are generated from seeds
+	// Batch*Apps .. Batch*Apps+Apps-1, so distinct batches never share
+	// a program.
+	Batch int
+	// Apps is the number of generated programs in the batch. Default 8.
+	Apps int
+	// Reps is how many recorded interpreter rounds of the whole batch
+	// make up the arrival trace. Default 2.
+	Reps int
+	// PerInstrNS converts interpreter step counts to virtual
+	// nanoseconds in the recorded trace. The default 0.02 compresses
+	// arrivals far below the specs' cost scale so replayed runs overlap
+	// heavily, loading the ready queues. Zero takes the default.
+	PerInstrNS float64
+	// MaxSteps bounds each recorded interpreter run. Default 100M.
+	MaxSteps int64
+}
+
+func (cs CorpusSpec) withDefaults() CorpusSpec {
+	if cs.Apps <= 0 {
+		cs.Apps = 8
+	}
+	if cs.Reps <= 0 {
+		cs.Reps = 2
+	}
+	if cs.PerInstrNS <= 0 {
+		cs.PerInstrNS = 0.02
+	}
+	if cs.MaxSteps <= 0 {
+		cs.MaxSteps = 100_000_000
+	}
+	return cs
+}
+
+// corpusShape sweeps the generator's shape space by seed, the same way
+// the minicgen property tests and the core corpus differential do.
+func corpusShape(seed int64) minicgen.Config {
+	return minicgen.Config{
+		Regions:      2 + int(seed%9),
+		Kernels:      1 + int(seed%4),
+		MaxLoopDepth: 1 + int(seed%3),
+		Helpers:      int(seed % 5),
+		MaxCallDepth: 1 + int(seed%3),
+		MaxArrayLen:  8 << (seed % 3),
+		FanIn:        1 + int(seed%4),
+	}
+}
+
+// Corpus is a compiled batch: the application library, the kernel
+// registry its runfuncs were registered into, and the recorded arrival
+// trace. A Corpus is immutable after Compile and safe to share across
+// the cells of a grid; per-run state lives in the sources it hands out.
+type Corpus struct {
+	// Spec is the (default-filled) spec the corpus was compiled from.
+	Spec CorpusSpec
+	// Names lists the generated applications in seed order.
+	Names []string
+	// Registry resolves the generated runfunc symbols; cells built
+	// from this corpus must emulate against it.
+	Registry *kernels.Registry
+
+	specs  map[string]*appmodel.AppSpec
+	prints map[string]uint64
+	rec    *tracer.Record
+}
+
+// Compile generates the batch's programs, converts each through the
+// pipeline, and records Reps interpreter rounds as the arrival trace.
+// The work happens once per corpus, not once per cell.
+func (cs CorpusSpec) Compile() (*Corpus, error) {
+	cs = cs.withDefaults()
+	c := &Corpus{
+		Spec:     cs,
+		Registry: kernels.NewRegistry(),
+		specs:    map[string]*appmodel.AppSpec{},
+		prints:   map[string]uint64{},
+	}
+	mods := map[string]*ir.Module{}
+	for i := 0; i < cs.Apps; i++ {
+		seed := int64(cs.Batch*cs.Apps + i)
+		p := minicgen.Generate(seed, corpusShape(seed))
+		spec, res, err := p.Build(c.Registry)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: corpus seed %d failed conversion: %w", seed, err)
+		}
+		c.Names = append(c.Names, spec.AppName)
+		c.specs[spec.AppName] = spec
+		c.prints[spec.AppName] = tracer.Fingerprint(res.Module)
+		mods[spec.AppName] = res.Module
+	}
+	recorder := tracer.NewRecorder(cs.PerInstrNS)
+	recorder.MaxSteps = cs.MaxSteps
+	for r := 0; r < cs.Reps; r++ {
+		for _, name := range c.Names {
+			if err := recorder.Run(mods[name], name, "main"); err != nil {
+				return nil, fmt.Errorf("sweep: corpus recording: %w", err)
+			}
+		}
+	}
+	c.rec = recorder.Record()
+	return c, nil
+}
+
+// Arrivals reports how many application instances one replay pass
+// delivers (Apps x Reps).
+func (c *Corpus) Arrivals() int { return len(c.rec.Entries) }
+
+// Source returns a fresh single-use replay of the corpus trace. Each
+// emulator run needs its own.
+func (c *Corpus) Source() core.ArrivalSource {
+	return workload.NewReplaySource(c.rec, c.specs, c.prints)
+}
+
+// Cell wraps the corpus as a labelled grid cell: base supplies the
+// platform, policy and seeding exactly as for any Emulation, and the
+// corpus supplies the registry plus a fresh replay source on every
+// invocation (satisfying the single-use Source rule). Base's Arrivals,
+// Source and Registry fields are ignored. The usual Emulation sharing
+// rules still apply to base — in particular a stateful Policy must be
+// per-cell.
+func (c *Corpus) Cell(label string, base Emulation) Cell[*stats.Report] {
+	return Cell[*stats.Report]{
+		Label: label,
+		Run: func(s *core.Scratch) (*stats.Report, error) {
+			em := base
+			em.Registry = c.Registry
+			em.Arrivals = nil
+			em.Source = c.Source()
+			return em.Run(s)
+		},
+	}
+}

@@ -1,0 +1,127 @@
+package sweep
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/platevent"
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/vtime"
+)
+
+// corpusGrid stamps the compiled batch across configurations, the full
+// policy library and both scheduler paths — optionally under a
+// dynamic-platform event schedule shared read-only by every cell.
+func corpusGrid(t *testing.T, c *Corpus, ev *platevent.Schedule, slicePath bool) []Cell[*stats.Report] {
+	t.Helper()
+	syn, err := platform.Synthetic(6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	od, err := platform.OdroidXU3(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cells []Cell[*stats.Report]
+	for _, cfg := range []*platform.Config{syn, od} {
+		for _, name := range sched.Names() {
+			policy, err := sched.New(name, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cells = append(cells, c.Cell(
+				fmt.Sprintf("corpus/%s/%s/slice=%v", cfg.Name, name, slicePath),
+				Emulation{
+					Config: cfg, Policy: policy,
+					Seed: 5, JitterSigma: 0.02,
+					SkipExecution: true, SlicePath: slicePath,
+					Events: ev,
+				}))
+		}
+	}
+	return cells
+}
+
+// TestCorpusScenarioGrid is the scenario class's contract: one
+// compiled batch fans out over a parallel grid, results are
+// byte-identical at any worker count, every cell consumed the full
+// recorded trace, and the indexed scheduler path agrees with the
+// legacy slice path cell by cell.
+func TestCorpusScenarioGrid(t *testing.T) {
+	c, err := CorpusSpec{Batch: 3, Apps: 6}.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Arrivals() != 12 {
+		t.Fatalf("6 apps x 2 reps recorded %d arrivals", c.Arrivals())
+	}
+	seq, err := Run(corpusGrid(t, c, nil, false), Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Run(corpusGrid(t, c, nil, false), Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slice, err := Run(corpusGrid(t, c, nil, true), Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(par) || len(seq) != len(slice) {
+		t.Fatalf("cell counts differ: %d/%d/%d", len(seq), len(par), len(slice))
+	}
+	for i := range seq {
+		if len(seq[i].Apps) != c.Arrivals() {
+			t.Fatalf("cell %d emulated %d of %d corpus instances", i, len(seq[i].Apps), c.Arrivals())
+		}
+		for _, other := range [][]*stats.Report{par, slice} {
+			a, b := seq[i], other[i]
+			if a.Makespan != b.Makespan || a.Sched != b.Sched || len(a.Tasks) != len(b.Tasks) {
+				t.Fatalf("cell %d diverged: {%v %+v} vs {%v %+v}",
+					i, a.Makespan, a.Sched, b.Makespan, b.Sched)
+			}
+			for j := range a.Tasks {
+				if a.Tasks[j] != b.Tasks[j] {
+					t.Fatalf("cell %d task %d diverged: %+v vs %+v", i, j, a.Tasks[j], b.Tasks[j])
+				}
+			}
+		}
+	}
+}
+
+// TestCorpusScenarioUnderEvents composes the scenario class with the
+// dynamic-platform layer: the same corpus grid under a fault/DVFS/cap
+// schedule must apply events on every cell and still hold scheduler-
+// path parity, requeue counters included.
+func TestCorpusScenarioUnderEvents(t *testing.T) {
+	c, err := CorpusSpec{Batch: 7, Apps: 4}.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := platevent.New().
+		FaultAt(vtime.Time(2*vtime.Microsecond), 0).
+		SetSpeedAt(vtime.Time(5*vtime.Microsecond), 1, 1.4).
+		PowerCapAt(vtime.Time(8*vtime.Microsecond), 2.5).
+		RestoreAt(vtime.Time(12*vtime.Microsecond), 0)
+	indexed, err := Run(corpusGrid(t, c, ev, false), Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slice, err := Run(corpusGrid(t, c, ev, true), Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range indexed {
+		a, b := indexed[i], slice[i]
+		if a.PlatEvents == 0 {
+			t.Fatalf("cell %d applied no platform events", i)
+		}
+		if a.PlatEvents != b.PlatEvents || a.Requeues != b.Requeues ||
+			a.Makespan != b.Makespan || a.Sched != b.Sched {
+			t.Fatalf("cell %d diverged under events: {%v ev=%d rq=%d} vs {%v ev=%d rq=%d}",
+				i, a.Makespan, a.PlatEvents, a.Requeues, b.Makespan, b.PlatEvents, b.Requeues)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package sweep
 import (
 	"repro/internal/core"
 	"repro/internal/kernels"
+	"repro/internal/platevent"
 	"repro/internal/platform"
 	"repro/internal/sched"
 	"repro/internal/stats"
@@ -54,6 +55,11 @@ type Emulation struct {
 	// (lazy instantiation, bounded memory) and Arrivals is ignored.
 	// Sources are single-use; the same closure rule as Sink applies.
 	Source core.ArrivalSource
+	// Events is the dynamic-platform event schedule (PE faults, DVFS,
+	// power caps) replayed by every run of the cell. Schedules are
+	// read-only after construction, so one Schedule may be shared across
+	// the cells of a grid.
+	Events *platevent.Schedule
 	// SlicePath forces the emulator onto the legacy slice scheduling
 	// path (sched.SliceOnly), bypassing the built-in policies' indexed
 	// fast paths. Results are byte-identical either way — that contract
@@ -81,6 +87,7 @@ func (em Emulation) Run(s *core.Scratch) (*stats.Report, error) {
 		Scratch:       s,
 		Programs:      em.Programs,
 		Sink:          em.Sink,
+		Events:        em.Events,
 	})
 	if err != nil {
 		return nil, err
