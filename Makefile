@@ -1,12 +1,17 @@
 # Repo convention: `make check` is the pre-commit gate — formatting,
-# vet, build, the full test suite, and the sweep engine under the race
-# detector. Tier-1 (the driver's gate) is build + test.
+# vet, build, the full test suite, repolint (the repo's determinism &
+# ownership contracts as static-analysis passes), and the sweep engine
+# under the race detector. Tier-1 (the driver's gate) is build + test.
 
 GO ?= go
 
-.PHONY: check fmt vet build test race fuzz bench bench-check benchfull experiments
+.PHONY: check fmt vet build test lint race fuzz bench bench-check benchfull experiments
 
-check: fmt vet build test race fuzz
+# Inside `make check`, a missing-dependency lint probe downgrades to a
+# loud skip (exit 0) so the rest of the gate still runs; standalone
+# `make lint` keeps the hard failure.
+check: LINT_MISSING_DEPS_EXIT = 0
+check: fmt vet build test lint race fuzz
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -21,6 +26,35 @@ build:
 test:
 	$(GO) test ./...
 
+# repolint: the five contract analyzers (detorder, novtime, singleuse,
+# metafreeze, scratchown) over the whole module, _test.go files
+# included. The linter is deliberately stdlib-only — golang.org/x/tools
+# cannot be fetched in the offline/hermetic builds this repo targets,
+# so internal/lint/analysis mirrors the go/analysis surface instead of
+# pinning x/tools in go.mod (see ARCHITECTURE.md). The build probe
+# below exists for the day a module dependency creeps back in: if the
+# linter can't build because modules are unresolvable offline, fail
+# fast with an explicit message (standalone default, exit 1) or skip
+# loudly (LINT_MISSING_DEPS_EXIT=0, what `make check` sets) instead of
+# dying mid-gate on a cryptic resolution error.
+LINT_MISSING_DEPS_EXIT ?= 1
+lint:
+	@err=$$($(GO) build -o /dev/null ./cmd/repolint 2>&1); status=$$?; \
+	if [ $$status -ne 0 ]; then \
+		if echo "$$err" | grep -qE 'no required module provides|missing go.sum entry|cannot find module|cannot query module'; then \
+			echo "WARNING: repolint's dependencies cannot be resolved in this (offline?) build:" >&2; \
+			echo "$$err" >&2; \
+			if [ "$(LINT_MISSING_DEPS_EXIT)" = "0" ]; then \
+				echo "WARNING: skipping repolint — the determinism/ownership contracts were NOT checked." >&2; \
+			else \
+				echo "repolint is part of the gate; fix the module graph or run 'make check' for a loud skip." >&2; \
+			fi; \
+			exit $(LINT_MISSING_DEPS_EXIT); \
+		fi; \
+		echo "$$err" >&2; exit $$status; \
+	fi; \
+	$(GO) run ./cmd/repolint ./...
+
 # The sweep engine is the only deliberately concurrent code in the
 # repo; run it (and the core scratch plumbing it exercises) under the
 # race detector. The sweep package's own cells are timing-only, so
@@ -33,9 +67,12 @@ test:
 # that sharing), so platevent itself races too, and the core package
 # contributes its zero-event dynamic differential — the full core
 # suite under -race is minutes, so the filter mirrors the
-# ParallelGolden pattern.
+# ParallelGolden pattern. workload and stats ride along since the
+# repolint PR: replay sources feed RunStream from sweep workers and
+# sinks accumulate inside concurrently-executing cells, so both
+# packages' suites run raced in full (each is seconds, not minutes).
 race:
-	$(GO) test -race ./internal/sweep/... ./internal/sched/... ./internal/platevent/...
+	$(GO) test -race ./internal/sweep/... ./internal/sched/... ./internal/platevent/... ./internal/workload/... ./internal/stats/...
 	$(GO) test -race -run ParallelGolden ./internal/experiments
 	$(GO) test -race -run Dynamic ./internal/core
 

@@ -1,0 +1,54 @@
+// Command repolint runs the repo's determinism & ownership contract
+// analyzers (internal/lint) over the given packages and reports every
+// finding not covered by a reasoned //repolint:allow comment.
+//
+//	repolint [-tests=false] [packages...]   (default ./...)
+//
+// Exit status: 0 clean, 1 findings, 2 load/driver error. `make lint`
+// runs it over ./... as part of `make check` and CI.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	tests := flag.Bool("tests", true, "also lint _test.go files and external test packages")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: repolint [-tests=false] [packages...]\n\nanalyzers:\n")
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(os.Stderr, "  %-11s %s\n", a.Name, a.Doc)
+		}
+		fmt.Fprintf(os.Stderr, "\nsuppress a deliberate finding with //repolint:allow <analyzer> <reason>\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	findings, err := lint.Run(patterns, lint.Options{Tests: *tests})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "repolint: %v\n", err)
+		os.Exit(2)
+	}
+	cwd, _ := os.Getwd()
+	for _, f := range findings {
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, f.Pos.Filename); err == nil {
+				f.Pos.Filename = rel
+			}
+		}
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "repolint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

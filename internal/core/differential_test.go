@@ -27,14 +27,22 @@ import (
 // indexed configuration, not an EFT-family fallback — and the
 // heterogeneous synthetic pool that scales that split past any COTS
 // board.
-func differentialConfigs(t *testing.T) map[string]*platform.Config {
+// namedConfig keeps differential grids in declaration order, so
+// subtests always run (and first failures always report) in the same
+// sequence — repolint's detorder pass would flag a map here.
+type namedConfig struct {
+	name string
+	cfg  *platform.Config
+}
+
+func differentialConfigs(t *testing.T) []namedConfig {
 	t.Helper()
-	out := map[string]*platform.Config{}
+	var out []namedConfig
 	add := func(name string, cfg *platform.Config, err error) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		out[name] = cfg
+		out = append(out, namedConfig{name, cfg})
 	}
 	zcu, err := platform.ZCU102(3, 2)
 	add("zcu3c2f", zcu, err)
@@ -97,7 +105,8 @@ func runDifferential(t *testing.T, cfg *platform.Config, policy sched.Policy, tr
 
 func TestIndexedMatchesSlicePath(t *testing.T) {
 	trace := differentialWorkload(t)
-	for name, cfg := range differentialConfigs(t) {
+	for _, nc := range differentialConfigs(t) {
+		name, cfg := nc.name, nc.cfg
 		for _, policyName := range sched.Names() {
 			t.Run(name+"/"+policyName, func(t *testing.T) {
 				indexed, err := sched.New(policyName, 5)

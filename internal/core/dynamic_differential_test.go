@@ -29,25 +29,21 @@ import (
 // the uniform synthetic pool, the Odroid whose big.LITTLE split makes
 // one type two cost classes, and the heterogeneous synthetic pool with
 // three classes and accelerators.
-func dynamicConfigs(t *testing.T) map[string]*platform.Config {
+func dynamicConfigs(t *testing.T) []namedConfig {
 	t.Helper()
-	out := map[string]*platform.Config{}
 	syn, err := platform.Synthetic(8, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	out["synthetic"] = syn
 	od, err := platform.OdroidXU3(4, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	out["odroid"] = od
 	het, err := platform.SyntheticHet(8, 6, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	out["het"] = het
-	return out
+	return []namedConfig{{"synthetic", syn}, {"odroid", od}, {"het", het}}
 }
 
 // dynamicWorkload is a lighter sibling of differentialWorkload: the
@@ -74,43 +70,51 @@ func dynamicWorkload(t *testing.T) []Arrival {
 	return out
 }
 
+// namedSchedule keeps the event regimes in declaration order, like
+// namedConfig (deterministic subtest order; no map iteration).
+type namedSchedule struct {
+	name string
+	ev   *platevent.Schedule
+}
+
 // dynamicSchedules builds the event regimes the differential pins, per
 // configuration (PE indices and restored speeds depend on the layout).
-func dynamicSchedules(cfg *platform.Config) map[string]*platevent.Schedule {
+func dynamicSchedules(cfg *platform.Config) []namedSchedule {
 	n := len(cfg.PEs)
 	us := func(x int64) vtime.Time { return vtime.Time(x * 1000) }
-	out := map[string]*platevent.Schedule{}
+	var out []namedSchedule
+	add := func(name string, ev *platevent.Schedule) { out = append(out, namedSchedule{name, ev}) }
 
 	// Rolling faults with staggered restores, ending with the last PE
 	// (an accelerator where the config has one) out and back.
-	out["faults"] = platevent.New().
+	add("faults", platevent.New().
 		FaultAt(us(25), 0).
 		FaultAt(us(50), 1).
 		RestoreAt(us(90), 0).
 		FaultAt(us(110), n-1).
 		RestoreAt(us(140), 1).
-		RestoreAt(us(155), n-1)
+		RestoreAt(us(155), n-1))
 
 	// DVFS steps on two PEs, returning to the calibrated factors — the
 	// return migrates the PEs back into configuration classes.
-	out["dvfs"] = platevent.New().
+	add("dvfs", platevent.New().
 		SetSpeedAt(us(20), 0, 0.7).
 		SetSpeedAt(us(60), n/2, 1.4).
 		SetSpeedAt(us(100), 0, 1.15).
 		SetSpeedAt(us(130), n/2, cfg.PEs[n/2].Type.SpeedFactor).
-		SetSpeedAt(us(150), 0, cfg.PEs[0].Type.SpeedFactor)
+		SetSpeedAt(us(150), 0, cfg.PEs[0].Type.SpeedFactor))
 
 	// Tightening power caps, lifted before the tail. 1.0W masks the
 	// 1.6W big cores; 0.5W leaves only LITTLEs and accelerators.
-	out["powercap"] = platevent.New().
+	add("powercap", platevent.New().
 		PowerCapAt(us(30), 1.0).
 		PowerCapAt(us(80), 0.5).
-		PowerCapAt(us(140), 0)
+		PowerCapAt(us(140), 0))
 
 	// Everything at once, including same-instant pairs whose insertion
 	// order is the contract (fault then restore of one PE at one T) and
 	// idempotent no-ops (double fault, restore of a healthy PE).
-	out["mixed"] = platevent.New().
+	add("mixed", platevent.New().
 		SetSpeedAt(us(15), 1, 1.3).
 		FaultAt(us(40), 2%n).
 		FaultAt(us(40), 2%n).
@@ -120,7 +124,7 @@ func dynamicSchedules(cfg *platform.Config) map[string]*platevent.Schedule {
 		RestoreAt(us(85), 2%n).
 		RestoreAt(us(85), 3%n).
 		SetSpeedAt(us(95), 1, cfg.PEs[1].Type.SpeedFactor).
-		PowerCapAt(us(120), 0)
+		PowerCapAt(us(120), 0))
 
 	// Total blackout and recovery: every PE faults at one instant (all
 	// in-flight and reserved work requeues), the platform sits dark
@@ -132,17 +136,17 @@ func dynamicSchedules(cfg *platform.Config) map[string]*platevent.Schedule {
 	for pe := 0; pe < n; pe++ {
 		blackout.RestoreAt(us(115), pe)
 	}
-	out["blackout"] = blackout
+	add("blackout", blackout)
 
 	// Seeded churn: the generator the experiment uses, faults capped so
 	// at least one PE stays up at all times.
-	out["churn"] = platevent.Churn(int64(n)*101+7, platevent.ChurnConfig{
+	add("churn", platevent.Churn(int64(n)*101+7, platevent.ChurnConfig{
 		NumPEs:    n,
 		Horizon:   vtime.Duration(160 * 1000),
 		Events:    40,
 		Speeds:    []float64{0.7, 1.4},
 		PowerCaps: []float64{0, 0.5, 1.0},
-	})
+	}))
 	return out
 }
 
@@ -174,7 +178,8 @@ func runDynamic(t *testing.T, cfg *platform.Config, policy sched.Policy, trace [
 // byte-identical (JSON bytes included) to a static emulator's.
 func TestZeroEventDynamicMatchesStatic(t *testing.T) {
 	trace := dynamicWorkload(t)
-	for cname, cfg := range dynamicConfigs(t) {
+	for _, nc := range dynamicConfigs(t) {
+		cname, cfg := nc.name, nc.cfg
 		for _, policyName := range sched.Names() {
 			t.Run(cname+"/"+policyName, func(t *testing.T) {
 				mk := func() sched.Policy {
@@ -215,8 +220,10 @@ func TestZeroEventDynamicMatchesStatic(t *testing.T) {
 // three churn configurations, through batch Run.
 func TestIndexedMatchesSlicePathUnderEvents(t *testing.T) {
 	trace := dynamicWorkload(t)
-	for cname, cfg := range dynamicConfigs(t) {
-		for sname, ev := range dynamicSchedules(cfg) {
+	for _, nc := range dynamicConfigs(t) {
+		cname, cfg := nc.name, nc.cfg
+		for _, ns := range dynamicSchedules(cfg) {
+			sname, ev := ns.name, ns.ev
 			for _, policyName := range sched.Names() {
 				t.Run(cname+"/"+sname+"/"+policyName, func(t *testing.T) {
 					indexed, err := sched.New(policyName, 5)
@@ -244,8 +251,10 @@ func TestIndexedMatchesSlicePathUnderEvents(t *testing.T) {
 // requeues is exactly where a stale slab pointer would surface.
 func TestIndexedMatchesSlicePathUnderEventsStream(t *testing.T) {
 	trace := dynamicWorkload(t)
-	for cname, cfg := range dynamicConfigs(t) {
-		for sname, ev := range dynamicSchedules(cfg) {
+	for _, nc := range dynamicConfigs(t) {
+		cname, cfg := nc.name, nc.cfg
+		for _, ns := range dynamicSchedules(cfg) {
+			sname, ev := ns.name, ns.ev
 			for _, policyName := range sched.Names() {
 				t.Run(cname+"/"+sname+"/"+policyName, func(t *testing.T) {
 					run := func(p sched.Policy) *stats.Report {

@@ -102,6 +102,7 @@ func TestTaskRecordsConsistent(t *testing.T) {
 		byNode[r.Node] = r.End
 		startOf[r.Node] = r.Start
 	}
+	//repolint:allow detorder assertion-only scan; any precedence violation fails the test whichever node is visited first
 	for name, node := range spec.DAG {
 		for _, pred := range node.Predecessors {
 			if startOf[name] < byNode[pred] {

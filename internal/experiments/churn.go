@@ -226,7 +226,16 @@ func rankChurn(points []ChurnPoint) {
 		key := p.Config + "/" + p.Regime
 		groups[key] = append(groups[key], i)
 	}
-	for _, idx := range groups {
+	// Iterate groups in sorted-key order: rank writes are disjoint per
+	// group today, but map order leaking into a report path is exactly
+	// the bug class detorder exists to keep out.
+	keys := make([]string, 0, len(groups))
+	for key := range groups {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		idx := groups[key]
 		sort.Slice(idx, func(a, b int) bool {
 			pa, pb := &points[idx[a]], &points[idx[b]]
 			if pa.DegradationPct != pb.DegradationPct {

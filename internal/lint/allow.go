@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppression comments. A finding is deliberate when the offending
+// line carries (or is immediately preceded by) a comment of the form
+//
+//	//repolint:allow <analyzer> <reason>
+//
+// The reason is mandatory and free-form: every silenced finding must
+// say why the contract doesn't apply, so suppressions stay auditable.
+// A malformed allow — missing analyzer, unknown analyzer, empty
+// reason — is itself reported as a finding (analyzer "repolint") and
+// suppresses nothing.
+
+const allowPrefix = "repolint:allow"
+
+// allowKey addresses one source line.
+type allowKey struct {
+	file string
+	line int
+}
+
+// allowSet records, per source line, which analyzers are suppressed.
+type allowSet map[allowKey]map[string]string // analyzer -> reason
+
+// covers reports whether a diagnostic from analyzer at pos is
+// suppressed.
+func (s allowSet) covers(pos token.Position, analyzer string) bool {
+	m := s[allowKey{pos.Filename, pos.Line}]
+	if _, ok := m["*"]; ok {
+		return true
+	}
+	_, ok := m[analyzer]
+	return ok
+}
+
+// parseAllows scans one file's comments for suppression directives
+// and merges them into allows. known is the set of valid analyzer
+// names ("*" suppresses all); malformed directives are returned as
+// findings. A directive covers its own line (trailing comment) and
+// the next line (a comment placed above the finding).
+func parseAllows(fset *token.FileSet, file *ast.File, known map[string]bool, allows allowSet) []Finding {
+	var bad []Finding
+	malformed := func(pos token.Pos, msg string) {
+		bad = append(bad, Finding{
+			Pos:      fset.Position(pos),
+			Analyzer: "repolint",
+			Message:  msg,
+		})
+	}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//"+allowPrefix)
+			if !ok {
+				continue
+			}
+			fields := strings.Fields(text)
+			if len(fields) == 0 {
+				malformed(c.Pos(), "malformed //repolint:allow: missing analyzer name and reason")
+				continue
+			}
+			analyzer := fields[0]
+			if !known[analyzer] {
+				malformed(c.Pos(), "//repolint:allow names unknown analyzer "+analyzer)
+				continue
+			}
+			reason := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(text), analyzer))
+			if reason == "" {
+				malformed(c.Pos(), "//repolint:allow "+analyzer+" needs a reason: every suppression must say why the contract doesn't apply here")
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			for _, l := range []int{pos.Line, pos.Line + 1} {
+				key := allowKey{pos.Filename, l}
+				m := allows[key]
+				if m == nil {
+					m = map[string]string{}
+					allows[key] = m
+				}
+				m[analyzer] = reason
+			}
+		}
+	}
+	return bad
+}

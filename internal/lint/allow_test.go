@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseAllowsFromSource(t *testing.T, src string) (allowSet, []Finding, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "allow_fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	allows := allowSet{}
+	known := map[string]bool{"*": true}
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	bad := parseAllows(fset, f, known, allows)
+	return allows, bad, fset
+}
+
+func TestAllowCoversOwnAndNextLine(t *testing.T) {
+	allows, bad, _ := parseAllowsFromSource(t, `package p
+
+func f() {
+	_ = 1 //repolint:allow detorder trailing comment with a reason
+	_ = 2
+	//repolint:allow novtime comment above the finding
+	_ = 3
+}
+`)
+	if len(bad) != 0 {
+		t.Fatalf("well-formed directives reported as malformed: %v", bad)
+	}
+	cases := []struct {
+		line     int
+		analyzer string
+		want     bool
+	}{
+		{4, "detorder", true},  // trailing comment, same line
+		{5, "detorder", true},  // next line
+		{6, "detorder", false}, // two lines down: out of range
+		{4, "novtime", false},  // wrong analyzer
+		{6, "novtime", true},   // comment's own line
+		{7, "novtime", true},   // line below the comment
+	}
+	for _, c := range cases {
+		pos := token.Position{Filename: "allow_fixture.go", Line: c.line}
+		if got := allows.covers(pos, c.analyzer); got != c.want {
+			t.Errorf("covers(line %d, %s) = %v, want %v", c.line, c.analyzer, got, c.want)
+		}
+	}
+}
+
+func TestAllowRequiresNonEmptyReason(t *testing.T) {
+	_, bad, _ := parseAllowsFromSource(t, `package p
+
+//repolint:allow detorder
+func f() {}
+`)
+	if len(bad) != 1 {
+		t.Fatalf("expected exactly one malformed-directive finding, got %d: %v", len(bad), bad)
+	}
+	if bad[0].Analyzer != "repolint" {
+		t.Errorf("malformed directive attributed to %q, want \"repolint\"", bad[0].Analyzer)
+	}
+	if !strings.Contains(bad[0].Message, "needs a reason") {
+		t.Errorf("message %q does not demand a reason", bad[0].Message)
+	}
+}
+
+func TestAllowReasonMustSuppressNothing(t *testing.T) {
+	// A reasonless directive must not silence anything on its lines.
+	allows, _, _ := parseAllowsFromSource(t, `package p
+
+//repolint:allow detorder
+func f() {}
+`)
+	for line := 3; line <= 4; line++ {
+		pos := token.Position{Filename: "allow_fixture.go", Line: line}
+		if allows.covers(pos, "detorder") {
+			t.Errorf("reasonless directive suppresses detorder on line %d", line)
+		}
+	}
+}
+
+func TestAllowUnknownAnalyzer(t *testing.T) {
+	allows, bad, _ := parseAllowsFromSource(t, `package p
+
+//repolint:allow nosuchpass this analyzer does not exist
+func f() {}
+`)
+	if len(bad) != 1 || !strings.Contains(bad[0].Message, "unknown analyzer") {
+		t.Fatalf("expected one unknown-analyzer finding, got %v", bad)
+	}
+	if len(allows) != 0 {
+		t.Errorf("unknown-analyzer directive populated the allow set: %v", allows)
+	}
+}
+
+func TestAllowMissingEverything(t *testing.T) {
+	_, bad, _ := parseAllowsFromSource(t, `package p
+
+//repolint:allow
+func f() {}
+`)
+	if len(bad) != 1 || !strings.Contains(bad[0].Message, "missing analyzer name") {
+		t.Fatalf("expected one missing-analyzer finding, got %v", bad)
+	}
+}
+
+func TestAllowWildcard(t *testing.T) {
+	allows, bad, _ := parseAllowsFromSource(t, `package p
+
+func f() {
+	_ = 1 //repolint:allow * generated table; every contract vetted by its generator
+}
+`)
+	if len(bad) != 0 {
+		t.Fatalf("wildcard directive reported as malformed: %v", bad)
+	}
+	pos := token.Position{Filename: "allow_fixture.go", Line: 4}
+	for _, a := range Analyzers() {
+		if !allows.covers(pos, a.Name) {
+			t.Errorf("wildcard does not cover %s", a.Name)
+		}
+	}
+}

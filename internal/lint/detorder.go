@@ -1,0 +1,196 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// DetOrder flags `for range` over a map in the byte-determinism
+// packages unless the loop body is provably order-insensitive or the
+// loop is the collect-keys-then-sort idiom. Go randomizes map
+// iteration order per run, so any map range whose iteration order can
+// reach output — CSV rows, report fields, appends later emitted,
+// hashes, float accumulation — is a nondeterminism bug of exactly the
+// class PR 1 found (and fixed by luck, not tooling) in Fig9CSV.
+//
+// Order-insensitive bodies are exempt: statements that only transfer
+// entries into another map, delete keys, or accumulate into integer /
+// boolean state (integer addition commutes; float addition does NOT —
+// summing float64 map values in map order is order-sensitive in the
+// last bits, which the byte-determinism goldens would catch only
+// sometimes). The sorted-keys idiom — append keys to a slice, sort it
+// after the loop, iterate the slice — is recognized and exempt.
+var DetOrder = &analysis.Analyzer{
+	Name: "detorder",
+	Doc:  "flag map iteration whose order can reach output; sort keys first",
+	Run:  runDetOrder,
+}
+
+func runDetOrder(pass *analysis.Pass) (any, error) {
+	info := pass.TypesInfo
+	inspectStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := info.Types[rs.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if orderInsensitiveBody(info, rs.Body.List) {
+			return true
+		}
+		if keysCollectedThenSorted(info, rs, stack) {
+			return true
+		}
+		pass.Reportf(rs.Pos(), "map iteration order is randomized per run and this loop body is not order-insensitive; iterate sorted keys instead (the Fig9CSV bug class)")
+		return true
+	})
+	return nil, nil
+}
+
+// orderInsensitiveBody reports whether every statement in body
+// commutes across iterations: map stores, deletes, and integer or
+// boolean accumulation cannot observe iteration order.
+func orderInsensitiveBody(info *types.Info, body []ast.Stmt) bool {
+	for _, stmt := range body {
+		if !orderInsensitiveStmt(info, stmt) {
+			return false
+		}
+	}
+	return true
+}
+
+func orderInsensitiveStmt(info *types.Info, stmt ast.Stmt) bool {
+	switch s := stmt.(type) {
+	case *ast.AssignStmt:
+		if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+			return false
+		}
+		lhs := ast.Unparen(s.Lhs[0])
+		// m2[k] = v / delete-and-rebuild transfers: the destination is
+		// a map, so the write order is invisible.
+		if ix, ok := lhs.(*ast.IndexExpr); ok && s.Tok == token.ASSIGN {
+			if tv, ok := info.Types[ix.X]; ok {
+				_, isMap := tv.Type.Underlying().(*types.Map)
+				return isMap
+			}
+			return false
+		}
+		// Integer/boolean accumulation commutes; float accumulation is
+		// order-sensitive in the low bits and stays flagged.
+		switch s.Tok {
+		case token.ADD_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN, token.MUL_ASSIGN:
+			tv, ok := info.Types[lhs]
+			if !ok {
+				return false
+			}
+			b, ok := tv.Type.Underlying().(*types.Basic)
+			return ok && b.Info()&(types.IsInteger|types.IsBoolean) != 0
+		}
+		return false
+	case *ast.IncDecStmt:
+		tv, ok := info.Types[ast.Unparen(s.X)]
+		if !ok {
+			return false
+		}
+		b, ok := tv.Type.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsInteger != 0
+	case *ast.ExprStmt:
+		call, ok := s.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok {
+			if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "delete" {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// keysCollectedThenSorted recognizes the canonical fix:
+//
+//	for k := range m { keys = append(keys, k) }
+//	sort.Strings(keys) // or sort.Slice / slices.Sort*, after the loop
+//
+// The range value must be unused and the loop body must be exactly the
+// append; the sort call must name the same slice object later in the
+// same function.
+func keysCollectedThenSorted(info *types.Info, rs *ast.RangeStmt, stack []ast.Node) bool {
+	if rs.Value != nil {
+		if id, ok := rs.Value.(*ast.Ident); !ok || id.Name != "_" {
+			return false
+		}
+	}
+	if len(rs.Body.List) != 1 {
+		return false
+	}
+	assign, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+		return false
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if b, ok := info.Uses[fn].(*types.Builtin); !ok || b.Name() != "append" {
+		return false
+	}
+	keysObj := identObj(info, assign.Lhs[0])
+	if keysObj == nil || len(call.Args) < 1 || identObj(info, call.Args[0]) != keysObj {
+		return false
+	}
+
+	fnNode := enclosingFunc(stack)
+	if fnNode == nil {
+		return false
+	}
+	sorted := false
+	ast.Inspect(fnNode, func(n ast.Node) bool {
+		if sorted || n == nil {
+			return !sorted
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		if !isSortCall(info, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if identObj(info, arg) == keysObj {
+				sorted = true
+			}
+		}
+		return true
+	})
+	return sorted
+}
+
+// isSortCall matches any function from package sort or slices.
+func isSortCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := info.Uses[sel.Sel]
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	path := fn.Pkg().Path()
+	return path == "sort" || path == "slices"
+}

@@ -1,0 +1,169 @@
+// Package lint is repolint: the repo's determinism and ownership
+// contracts compiled into static-analysis passes. Each PR so far
+// shipped those contracts as prose "behavior notes" in CHANGES.md and
+// pinned them with golden tests after the fact; the analyzers here
+// check them at the source level on every `make check` and CI push,
+// before a violation ever reaches an emulation run.
+//
+// The five analyzers and the notes they mechanize:
+//
+//   - detorder: map iteration feeding output must sort keys first
+//     (the Fig9CSV class of bug PR 1 fixed by luck).
+//   - novtime: virtual-clock packages use vtime and seeded RNGs only —
+//     no wall clock, no global math/rand (determinism by construction).
+//   - singleuse: sinks and arrival sources are single-use per run and
+//     must be built inside the sweep cell that uses them (PR 3/PR 6).
+//   - metafreeze: a *sched.ReadyMeta is frozen once pushed into the
+//     ready window (PR 5's pointer-validity contract).
+//   - scratchown: Instances() views die at the next Run on the same
+//     emulator, and a core.Scratch never crosses goroutines (PR 2).
+//
+// The driver loads packages itself (see load.go) and applies
+// per-analyzer package scoping, so analyzers stay pure functions of
+// one type-checked package and remain testable on fixtures.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzers returns repolint's analyzer suite.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{DetOrder, NoVTime, SingleUse, MetaFreeze, ScratchOwn}
+}
+
+// Scope restricts analyzers to the packages whose contract they
+// encode; an absent entry means the analyzer runs everywhere. Paths
+// match the package or any subpackage, with test variants normalized
+// (external test packages match their package under test).
+var Scope = map[string][]string{
+	// The byte-determinism surface: packages whose output lands in
+	// CSVs, reports, goldens, or hashes.
+	"detorder": {
+		"repro/internal/core", "repro/internal/sched", "repro/internal/sweep",
+		"repro/internal/experiments", "repro/internal/stats", "repro/internal/platevent",
+	},
+	// The virtual-clock packages: everything inside an emulation's
+	// causal order. sweep is deliberately absent (its progress/ETA
+	// output is wall-clock by design), as is vtime itself (the jitter
+	// model owns its seeded RNG).
+	"novtime": {
+		"repro/internal/core", "repro/internal/sched", "repro/internal/platevent",
+		"repro/internal/workload", "repro/internal/experiments",
+	},
+}
+
+// Finding is one reported diagnostic, position-resolved.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// Options configure Run.
+type Options struct {
+	// Dir is where `go list` runs; empty = current directory.
+	Dir string
+	// Tests includes _test.go files (default in cmd/repolint: on).
+	Tests bool
+	// Analyzers overrides the suite; nil runs Analyzers().
+	Analyzers []*analysis.Analyzer
+}
+
+// Run loads the packages matched by patterns and applies the analyzer
+// suite, honouring Scope and //repolint:allow suppressions. The
+// returned findings are sorted by position; a non-empty slice means
+// the tree violates a contract (or carries a malformed suppression).
+func Run(patterns []string, opts Options) ([]Finding, error) {
+	analyzers := opts.Analyzers
+	if analyzers == nil {
+		analyzers = Analyzers()
+	}
+	pkgs, fset, err := Load(patterns, LoadOptions{Dir: opts.Dir, Tests: opts.Tests})
+	if err != nil {
+		return nil, err
+	}
+
+	known := map[string]bool{"*": true}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	var findings []Finding
+	for _, pkg := range pkgs {
+		allows := allowSet{}
+		for _, f := range pkg.Files {
+			findings = append(findings, parseAllows(fset, f, known, allows)...)
+		}
+		for _, a := range analyzers {
+			if !inScope(a.Name, pkg.Path) {
+				continue
+			}
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Pkg,
+				TypesInfo: pkg.Info,
+			}
+			var diags []analysis.Diagnostic
+			pass.Report = func(d analysis.Diagnostic) { diags = append(diags, d) }
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %v", a.Name, pkg.Path, err)
+			}
+			for _, d := range diags {
+				pos := fset.Position(d.Pos)
+				if allows.covers(pos, a.Name) {
+					continue
+				}
+				findings = append(findings, Finding{Pos: pos, Analyzer: a.Name, Message: d.Message})
+			}
+		}
+	}
+	sortFindings(findings)
+	return findings, nil
+}
+
+// inScope applies Scope to a normalized package path; external test
+// packages ("p_test") inherit the scope of p.
+func inScope(analyzer, pkgPath string) bool {
+	roots, restricted := Scope[analyzer]
+	if !restricted {
+		return true
+	}
+	path := strings.TrimSuffix(pkgPath, "_test")
+	for _, root := range roots {
+		if path == root || strings.HasPrefix(path, root+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}

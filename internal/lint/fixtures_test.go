@@ -1,0 +1,58 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+// Golden-fixture coverage: every analyzer gets at least one true
+// positive and one near-miss (a case just on the legal side of the
+// contract) under testdata/<name>/.
+
+func TestDetOrderFixtures(t *testing.T)   { linttest.Run(t, lint.DetOrder, "testdata/detorder") }
+func TestNoVTimeFixtures(t *testing.T)    { linttest.Run(t, lint.NoVTime, "testdata/novtime") }
+func TestSingleUseFixtures(t *testing.T)  { linttest.Run(t, lint.SingleUse, "testdata/singleuse") }
+func TestMetaFreezeFixtures(t *testing.T) { linttest.Run(t, lint.MetaFreeze, "testdata/metafreeze") }
+func TestScratchOwnFixtures(t *testing.T) { linttest.Run(t, lint.ScratchOwn, "testdata/scratchown") }
+
+// TestRunCleanAtHead drives the real driver end to end over a package
+// that carries //repolint:allow suppressions (core's TimingMeasured
+// wall-clock reads, assertion-only map scans in its tests): the load
+// path, scoping, and allow filtering must leave zero findings.
+func TestRunCleanAtHead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs go list + full typecheck of internal/core")
+	}
+	findings, err := lint.Run([]string{"repro/internal/core"}, lint.Options{
+		Dir:   moduleRoot(t),
+		Tests: true,
+	})
+	if err != nil {
+		t.Fatalf("lint.Run: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("unexpected finding at HEAD: %s", f)
+	}
+}
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above test directory")
+		}
+		dir = parent
+	}
+}

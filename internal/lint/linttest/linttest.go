@@ -1,0 +1,198 @@
+// Package linttest is repolint's golden-fixture harness, a stdlib
+// stand-in for golang.org/x/tools/go/analysis/analysistest: it
+// type-checks a fixture package (which may import this module's real
+// packages — analyzers match real types, so stubs would test
+// nothing), runs one analyzer over it, and compares the diagnostics
+// against `// want "regex"` comments, analysistest-style: every
+// diagnostic must match a want on its line, every want must be hit.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+)
+
+// exportsOnce loads, once per test binary, the gc export data table
+// for the whole module plus the stdlib packages fixtures lean on.
+var exportsOnce = sync.OnceValues(loadExports)
+
+func loadExports() (map[string]string, error) {
+	return lint.ExportData([]string{"./...", "fmt", "sort", "slices", "time", "math/rand", "io", "encoding/csv"}, moduleRoot())
+}
+
+// moduleRoot walks up from the working directory to the go.mod; tests
+// run in their package directory, so this finds the repo root without
+// shelling out.
+func moduleRoot() string {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "."
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "."
+		}
+		dir = parent
+	}
+}
+
+// Run applies analyzer a to the fixture package rooted at dir
+// (conventionally "testdata/<analyzer name>") and diffs diagnostics
+// against want comments.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	exports, err := exportsOnce()
+	if err != nil {
+		t.Fatalf("linttest: loading export data: %v", err)
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("linttest: %v", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("linttest: no fixture files in %s", dir)
+	}
+
+	pkg, info, err := lint.CheckFiles(fset, "fixtures/"+filepath.Base(dir), files, exports, nil)
+	if err != nil {
+		t.Fatalf("linttest: type-checking fixtures: %v", err)
+	}
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("linttest: %s: %v", a.Name, err)
+	}
+
+	wants := collectWants(t, fset, files)
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		key := wantKey{pos.Filename, pos.Line}
+		matched := false
+		for i, w := range wants[key] {
+			if w != nil && w.re.MatchString(d.Message) {
+				matched = true
+				wants[key][i] = nil
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, d.Message)
+		}
+	}
+	var missed []string
+	for key, ws := range wants {
+		for _, w := range ws {
+			if w != nil {
+				missed = append(missed, fmt.Sprintf("%s:%d: expected diagnostic matching %q, got none", key.file, key.line, w.re.String()))
+			}
+		}
+	}
+	sort.Strings(missed)
+	for _, m := range missed {
+		t.Error(m)
+	}
+}
+
+type wantKey struct {
+	file string
+	line int
+}
+
+type want struct {
+	re *regexp.Regexp
+}
+
+// collectWants parses `// want "re" "re2"` comments; regexes may be
+// double- or back-quoted. The expectation anchors to the comment's
+// own line.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) map[wantKey][]*want {
+	t.Helper()
+	wants := map[wantKey][]*want{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(strings.TrimSpace(strings.TrimPrefix(c.Text, "//")), "want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, pat := range splitQuoted(t, pos, text) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp: %v", pos.Filename, pos.Line, err)
+					}
+					key := wantKey{pos.Filename, pos.Line}
+					wants[key] = append(wants[key], &want{re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitQuoted extracts the sequence of quoted strings after "want".
+func splitQuoted(t *testing.T, pos token.Position, s string) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var quote byte = s[0]
+		if quote != '"' && quote != '`' {
+			t.Fatalf("%s:%d: want expects quoted regexps, got %q", pos.Filename, pos.Line, s)
+		}
+		end := strings.IndexByte(s[1:], quote)
+		if end < 0 {
+			t.Fatalf("%s:%d: unterminated want regexp: %q", pos.Filename, pos.Line, s)
+		}
+		raw := s[:end+2]
+		if quote == '"' {
+			unq, err := strconv.Unquote(raw)
+			if err != nil {
+				t.Fatalf("%s:%d: bad want string %q: %v", pos.Filename, pos.Line, raw, err)
+			}
+			out = append(out, unq)
+		} else {
+			out = append(out, raw[1:len(raw)-1])
+		}
+		s = strings.TrimSpace(s[end+2:])
+	}
+	return out
+}

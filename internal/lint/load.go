@@ -1,0 +1,257 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package loading without golang.org/x/tools/go/packages: `go list
+// -deps -export -json` yields, for every package in the build, the
+// compiled export data the gc toolchain already produced in the build
+// cache. Targets (this module's packages) are parsed from source and
+// type-checked with go/types; every import — stdlib included — is
+// satisfied from export data through importer.ForCompiler's lookup
+// hook, so no dependency is ever re-type-checked from source. This is
+// the same division of labour a go/packages NeedTypes load performs.
+
+// listedPackage is the subset of `go list -json` output the loader
+// consumes.
+type listedPackage struct {
+	Dir        string
+	ImportPath string
+	// ForTest is set on test-augmented variants ("p [p.test]" has
+	// ForTest == "p").
+	ForTest  string
+	Export   string
+	Standard bool
+	// GoFiles of a test-augmented variant already include the
+	// in-package _test.go files; external test packages carry their
+	// sources in XTestGoFiles instead.
+	GoFiles      []string
+	XTestGoFiles []string
+	CgoFiles     []string
+	// ImportMap rewrites source-level import paths to build-graph
+	// package identities (external tests import the test-augmented
+	// variant of the package under test).
+	ImportMap map[string]string
+	Error     *struct{ Err string }
+}
+
+// LoadedPackage is one fully type-checked target package.
+type LoadedPackage struct {
+	// Path is the package's import path with any " [p.test]" build
+	// variant suffix stripped — the path scoping rules match against.
+	Path  string
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// LoadOptions configure Load.
+type LoadOptions struct {
+	// Dir is the directory to run `go list` in (the module root or
+	// below). Empty means current directory.
+	Dir string
+	// Tests includes _test.go files and external test packages.
+	Tests bool
+}
+
+// Load lists patterns, then parses and type-checks every non-standard
+// module package matched, resolving all imports from gc export data.
+func Load(patterns []string, opts LoadOptions) ([]*LoadedPackage, *token.FileSet, error) {
+	args := []string{"list", "-e", "-deps", "-export",
+		"-json=Dir,ImportPath,ForTest,Export,Standard,GoFiles,XTestGoFiles,CgoFiles,ImportMap,Error"}
+	if opts.Tests {
+		args = append(args, "-test")
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = opts.Dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+
+	exports := map[string]string{}
+	var listed []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listedPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, fmt.Errorf("go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		listed = append(listed, p)
+	}
+
+	targets := selectTargets(listed, opts.Tests)
+	fset := token.NewFileSet()
+	var loaded []*LoadedPackage
+	for _, p := range targets {
+		lp, err := typecheck(fset, p, exports)
+		if err != nil {
+			return nil, nil, err
+		}
+		loaded = append(loaded, lp)
+	}
+	sort.Slice(loaded, func(i, j int) bool { return loaded[i].Path < loaded[j].Path })
+	return loaded, fset, nil
+}
+
+// ExportData runs `go list -deps -export -json` over patterns in dir
+// and returns the ImportPath -> export-data-file table. The linttest
+// fixture harness uses it to type-check fixture packages against the
+// module's real types.
+func ExportData(patterns []string, dir string) (map[string]string, error) {
+	args := append([]string{"list", "-deps", "-export", "-json=ImportPath,Export"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	exports := map[string]string{}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p struct{ ImportPath, Export string }
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+}
+
+// selectTargets picks the packages to analyze from the listing: the
+// module's own packages, deduplicated so that when a test-augmented
+// variant exists it replaces the plain package (its GoFiles are a
+// superset), and synthesized ".test" mains are dropped.
+func selectTargets(listed []*listedPackage, tests bool) []*listedPackage {
+	byBase := map[string]*listedPackage{}
+	var order []string
+	for _, p := range listed {
+		if p.Standard || strings.HasSuffix(basePath(p.ImportPath), ".test") {
+			continue
+		}
+		// Only packages with local sources (the module under lint);
+		// dependencies resolved from a module cache would have no Dir
+		// under the repo, but offline builds have none anyway.
+		if len(p.GoFiles) == 0 && len(p.XTestGoFiles) == 0 {
+			continue
+		}
+		base := basePath(p.ImportPath)
+		prev, ok := byBase[base]
+		if !ok {
+			byBase[base] = p
+			order = append(order, base)
+			continue
+		}
+		// Prefer the test-augmented variant over the plain package.
+		if tests && p.ForTest != "" && prev.ForTest == "" {
+			byBase[base] = p
+		}
+	}
+	sort.Strings(order)
+	out := make([]*listedPackage, 0, len(order))
+	for _, base := range order {
+		out = append(out, byBase[base])
+	}
+	return out
+}
+
+// basePath strips the " [p.test]" build-variant suffix.
+func basePath(importPath string) string {
+	if i := strings.IndexByte(importPath, ' '); i >= 0 {
+		return importPath[:i]
+	}
+	return importPath
+}
+
+// typecheck parses and checks one target against export data.
+func typecheck(fset *token.FileSet, p *listedPackage, exports map[string]string) (*LoadedPackage, error) {
+	if len(p.CgoFiles) > 0 {
+		return nil, fmt.Errorf("%s: cgo packages are not supported by repolint", p.ImportPath)
+	}
+	names := p.GoFiles
+	if len(names) == 0 {
+		names = p.XTestGoFiles
+	}
+	var files []*ast.File
+	for _, name := range names {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(p.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	pkg, info, err := CheckFiles(fset, basePath(p.ImportPath), files, exports, p.ImportMap)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %v", p.ImportPath, err)
+	}
+	return &LoadedPackage{Path: basePath(p.ImportPath), Files: files, Pkg: pkg, Info: info}, nil
+}
+
+// CheckFiles type-checks one package's parsed files, resolving every
+// import from the export-data table (after applying importMap, which
+// may be nil). Shared with the linttest fixture loader.
+func CheckFiles(fset *token.FileSet, path string, files []*ast.File, exports map[string]string, importMap map[string]string) (*types.Package, *types.Info, error) {
+	lookup := func(importPath string) (io.ReadCloser, error) {
+		if mapped, ok := importMap[importPath]; ok {
+			importPath = mapped
+		}
+		file, ok := exports[importPath]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q (not in the `go list -deps -export` closure)", importPath)
+		}
+		return os.Open(file)
+	}
+	conf := types.Config{
+		// A fresh importer per target: test-augmented variants of the
+		// same import path must not share a package cache.
+		Importer: importer.ForCompiler(fset, "gc", lookup),
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}

@@ -1,0 +1,144 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"repro/internal/lint/analysis"
+)
+
+// MetaFreeze enforces the PR 5 ReadyMeta pointer contract: a
+// *sched.ReadyMeta handed to View.PushReady is retained by the ready
+// window (8 bytes per entry, no copy) and must stay valid and
+// immutable until the task leaves the window. Two violation shapes,
+// both checked per function, flow-insensitively by source position:
+//
+//   - the address of a ReadyMeta variable declared OUTSIDE a loop is
+//     pushed INSIDE the loop: every iteration pushes the same pointer
+//     and each overwrite mutates every queued entry retroactively;
+//   - any write through (or to the storage of) a ReadyMeta after its
+//     pointer escaped into PushReady: in-window metadata is frozen.
+//
+// Compiled programs push shared immutable records (&prog.meta[i]);
+// those reach PushReady through selector expressions and are not
+// tracked — the analyzer watches local variables, where the overwrite
+// bug class lives.
+var MetaFreeze = &analysis.Analyzer{
+	Name: "metafreeze",
+	Doc:  "ReadyMeta is frozen once pushed into the ready window",
+	Run:  runMetaFreeze,
+}
+
+const schedPath = "repro/internal/sched"
+
+func runMetaFreeze(pass *analysis.Pass) (any, error) {
+	info := pass.TypesInfo
+
+	// escaped[obj] is the earliest PushReady position per variable;
+	// valueVar records whether obj is a ReadyMeta value (escaped via
+	// &obj — reassigning the variable rewrites pushed storage) rather
+	// than a pointer variable (reassigning just repoints it).
+	type escape struct {
+		pos      token.Pos
+		valueVar bool
+	}
+	escaped := map[types.Object]escape{}
+
+	inspectStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if _, ok := methodCall(info, call, schedPath, "View", "PushReady"); !ok || len(call.Args) != 2 {
+			return true
+		}
+		arg := ast.Unparen(call.Args[1])
+		var obj types.Object
+		valueVar := false
+		if u, ok := arg.(*ast.UnaryExpr); ok && u.Op == token.AND {
+			obj = identObj(info, u.X)
+			valueVar = true
+		} else {
+			obj = identObj(info, arg)
+		}
+		if v, ok := obj.(*types.Var); !ok || v.IsField() {
+			return true
+		}
+
+		if valueVar {
+			if loop := enclosingLoop(stack); loop != nil &&
+				!(obj.Pos() >= loop.Pos() && obj.Pos() < loop.End()) {
+				pass.Reportf(call.Args[1].Pos(),
+					"&%s pushed from inside a loop but declared outside it: every iteration pushes the same pointer and later writes mutate every queued entry (declare the ReadyMeta inside the loop or push compiled per-node meta)",
+					obj.Name())
+			}
+		}
+		if prev, ok := escaped[obj]; !ok || call.Pos() < prev.pos {
+			escaped[obj] = escape{call.Pos(), valueVar}
+		}
+		return true
+	})
+
+	if len(escaped) == 0 {
+		return nil, nil
+	}
+
+	// Writes after the escape. Source order within one function is the
+	// contract boundary the analyzer can see; same-line pushes inside
+	// loops are covered by the loop rule above.
+	type finding struct {
+		pos token.Pos
+		msg string
+	}
+	var finds []finding
+	checkWrite := func(target ast.Expr, writePos token.Pos) {
+		target = ast.Unparen(target)
+		var obj types.Object
+		through := false // write through the pointer / to a field
+		switch t := target.(type) {
+		case *ast.SelectorExpr:
+			obj = identObj(info, t.X)
+			through = true
+		case *ast.StarExpr:
+			obj = identObj(info, t.X)
+			through = true
+		case *ast.Ident:
+			obj = info.Uses[t]
+		}
+		v, ok := obj.(*types.Var)
+		if !ok || v.IsField() {
+			return
+		}
+		esc, ok := escaped[obj]
+		if !ok || writePos <= esc.pos {
+			return
+		}
+		// Reassigning a pointer variable repoints it without touching
+		// the pushed record; everything else mutates pushed storage.
+		if !through && !esc.valueVar {
+			return
+		}
+		finds = append(finds, finding{writePos,
+			"write to ReadyMeta " + obj.Name() + " after its pointer escaped into PushReady; in-window metadata is frozen until the task leaves the ready window"})
+	}
+
+	inspectStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				checkWrite(lhs, n.Pos())
+			}
+		case *ast.IncDecStmt:
+			checkWrite(n.X, n.Pos())
+		}
+		return true
+	})
+
+	sort.Slice(finds, func(i, j int) bool { return finds[i].pos < finds[j].pos })
+	for _, f := range finds {
+		pass.Report(analysis.Diagnostic{Pos: f.pos, Message: f.msg})
+	}
+	return nil, nil
+}

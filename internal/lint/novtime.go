@@ -1,0 +1,62 @@
+package lint
+
+import (
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// NoVTime forbids wall-clock and globally-seeded randomness inside
+// the virtual-clock packages. Everything an emulation computes must
+// be a function of (inputs, seed): the only legal clock is
+// vtime.Time advanced by the discrete-event loop, and the only legal
+// randomness is a rand.Rand built from an explicit seed
+// (rand.New(rand.NewSource(seed))). A time.Now() or a global
+// rand.Intn() in these packages silently breaks byte-determinism —
+// fixtures, workers=1 vs N goldens, and the indexed-vs-slice
+// differentials all rest on its absence.
+var NoVTime = &analysis.Analyzer{
+	Name: "novtime",
+	Doc:  "virtual-clock packages: no wall clock, no global math/rand",
+	Run:  runNoVTime,
+}
+
+// bannedTimeFuncs are the wall-clock entry points. Types and
+// constants from package time (Duration, Millisecond) stay legal:
+// they are units, not clocks.
+var bannedTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// randConstructors are the explicitly-seeded entry points that remain
+// legal; every other package-level math/rand func either consults the
+// global source or reseeds it.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func runNoVTime(pass *analysis.Pass) (any, error) {
+	for id, obj := range pass.TypesInfo.Uses {
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			continue
+		}
+		if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+			continue
+		}
+		switch fn.Pkg().Path() {
+		case "time":
+			if bannedTimeFuncs[fn.Name()] {
+				pass.Reportf(id.Pos(), "time.%s reads the wall clock; virtual-clock packages must use vtime.Time only", fn.Name())
+			}
+		case "math/rand", "math/rand/v2":
+			if !randConstructors[fn.Name()] {
+				pass.Reportf(id.Pos(), "rand.%s uses the global random source; build a seeded rand.New(rand.NewSource(seed)) instead", fn.Name())
+			}
+		}
+	}
+	return nil, nil
+}

@@ -1,0 +1,183 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"repro/internal/lint/analysis"
+)
+
+// ScratchOwn enforces the Scratch/instance ownership contract (the
+// PR 2 behavior note, hardened in PR 5 where stale Instances() access
+// became a panic at RunStream but stayed silent for batch Run):
+//
+//   - a slice returned by Emulator.Instances() is backed by the
+//     emulator's Scratch slabs and dies at the next Run/RunStream on
+//     the same emulator — using the old value afterwards reads
+//     reclaimed (and possibly overwritten) storage;
+//   - a core.Scratch is single-owner: handing one to a goroutine —
+//     capturing it in a `go func(){...}` literal or passing it as a
+//     `go f(s)` argument — shares mutable slabs across threads, which
+//     the sweep engine deliberately never does (each worker gets its
+//     own scratch from the pool, inside the goroutine).
+var ScratchOwn = &analysis.Analyzer{
+	Name: "scratchown",
+	Doc:  "Instances() views die at the next Run; Scratch never crosses goroutines",
+	Run:  runScratchOwn,
+}
+
+func runScratchOwn(pass *analysis.Pass) (any, error) {
+	info := pass.TypesInfo
+	type finding struct {
+		pos token.Pos
+		msg string
+	}
+	var finds []finding
+
+	// Rule 1: Instances() retained across Run/RunStream.
+	type retained struct {
+		instObj types.Object // the variable holding the Instances() slice
+		emuObj  types.Object // the emulator it came from
+		callPos token.Pos
+	}
+	var views []retained
+	inspectStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		recv, ok := methodCall(info, call, corePath, "Emulator", "Instances")
+		if !ok {
+			return true
+		}
+		emuObj := identObj(info, recv)
+		if emuObj == nil || len(assign.Lhs) != 1 {
+			return true
+		}
+		id, ok := assign.Lhs[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		instObj := info.Defs[id]
+		if instObj == nil {
+			instObj = info.Uses[id]
+		}
+		if instObj == nil {
+			return true
+		}
+		views = append(views, retained{instObj, emuObj, call.Pos()})
+		return true
+	})
+
+	// Re-acquisition resets the clock: only the LAST assignment of a
+	// given variable defines when a later Run invalidates it (so
+	// `insts = e.Instances()` after a Run is not a stale use).
+	last := map[types.Object]retained{}
+	for _, v := range views {
+		if prev, ok := last[v.instObj]; !ok || v.callPos > prev.callPos {
+			last[v.instObj] = v
+		}
+	}
+	views = views[:0]
+	for _, v := range last {
+		views = append(views, v)
+	}
+
+	if len(views) > 0 {
+		// Invalidation: a later Run/RunStream on the same emulator.
+		invalidated := map[types.Object]token.Pos{} // instObj -> earliest invalidation
+		inspectStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			var recv ast.Expr
+			if r, ok := methodCall(info, call, corePath, "Emulator", "Run"); ok {
+				recv = r
+			} else if r, ok := methodCall(info, call, corePath, "Emulator", "RunStream"); ok {
+				recv = r
+			} else {
+				return true
+			}
+			emuObj := identObj(info, recv)
+			if emuObj == nil {
+				return true
+			}
+			for _, v := range views {
+				if v.emuObj == emuObj && call.Pos() > v.callPos {
+					if prev, ok := invalidated[v.instObj]; !ok || call.Pos() < prev {
+						invalidated[v.instObj] = call.Pos()
+					}
+				}
+			}
+			return true
+		})
+		if len(invalidated) > 0 {
+			inspectStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				obj := info.Uses[id]
+				if obj == nil {
+					return true
+				}
+				if pos, ok := invalidated[obj]; ok && id.Pos() > pos {
+					finds = append(finds, finding{id.Pos(),
+						"Instances() result " + obj.Name() + " is used after a later Run/RunStream on the same emulator reclaimed the slabs backing it; copy what you need before re-running"})
+				}
+				return true
+			})
+		}
+	}
+
+	// Rule 2: Scratch crossing a goroutine boundary.
+	isScratch := func(t types.Type) bool { return namedAs(t, corePath, "Scratch") }
+	inspectStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		for _, arg := range g.Call.Args {
+			if obj := identObj(info, arg); obj != nil && isScratch(obj.Type()) {
+				finds = append(finds, finding{arg.Pos(),
+					"Scratch " + obj.Name() + " passed into a goroutine; a Scratch is single-owner — create one inside the goroutine (or take one from a pool there)"})
+			}
+		}
+		lit, ok := g.Call.Fun.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		seen := map[types.Object]bool{}
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			id, ok := m.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj, ok := info.Uses[id].(*types.Var)
+			if !ok || obj.IsField() || seen[obj] || !isScratch(obj.Type()) {
+				return true
+			}
+			if obj.Pos() >= lit.Pos() && obj.Pos() < lit.End() {
+				return true // goroutine-local scratch: the legal pattern
+			}
+			seen[obj] = true
+			finds = append(finds, finding{id.Pos(),
+				"Scratch " + obj.Name() + " captured by a goroutine from the enclosing scope; a Scratch is single-owner — create one inside the goroutine (or take one from a pool there)"})
+			return true
+		})
+		return true
+	})
+
+	sort.Slice(finds, func(i, j int) bool { return finds[i].pos < finds[j].pos })
+	for _, f := range finds {
+		pass.Report(analysis.Diagnostic{Pos: f.pos, Message: f.msg})
+	}
+	return nil, nil
+}

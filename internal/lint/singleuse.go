@@ -1,0 +1,215 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"repro/internal/lint/analysis"
+)
+
+// SingleUse enforces the one-run-per-value contract on measurement
+// sinks and arrival sources (the PR 3 / PR 6 behavior notes):
+//
+//   - a stats.Sink, core.ArrivalSource, or workload.ReplaySource value
+//     captured by a sweep cell closure from an enclosing scope is
+//     shared across cells (every worker runs against the same value)
+//     and must instead be constructed inside the closure;
+//   - the same source value driving two RunStream calls, or the same
+//     sink value wired into two core.Options / sweep.Emulation
+//     literals, is reused across runs — sources are exhausted after
+//     one pass and sinks accumulate records from at most one run.
+//
+// stats.Discard is exempt: it is stateless by construction and safe
+// to share.
+var SingleUse = &analysis.Analyzer{
+	Name: "singleuse",
+	Doc:  "sinks and arrival sources are single-use and cell-local",
+	Run:  runSingleUse,
+}
+
+const (
+	statsPath    = "repro/internal/stats"
+	corePath     = "repro/internal/core"
+	workloadPath = "repro/internal/workload"
+	sweepPath    = "repro/internal/sweep"
+)
+
+func runSingleUse(pass *analysis.Pass) (any, error) {
+	info := pass.TypesInfo
+	sinkIface := findInterface(pass, statsPath, "Sink")
+	srcIface := findInterface(pass, corePath, "ArrivalSource")
+
+	// kindOf classifies a type under the single-use contract; "" means
+	// unconstrained.
+	kindOf := func(t types.Type) string {
+		if t == nil || namedAs(t, statsPath, "Discard") {
+			return ""
+		}
+		switch {
+		case implements(t, sinkIface):
+			return "sink"
+		case implements(t, srcIface), namedAs(t, workloadPath, "ReplaySource"):
+			return "arrival source"
+		}
+		return ""
+	}
+
+	// Rule 1: single-use values captured by sweep cell closures.
+	inspectStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		lit, ok := n.(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		tv, ok := info.Types[lit]
+		if !ok || !namedAs(tv.Type, sweepPath, "Cell") {
+			return true
+		}
+		for _, elt := range lit.Elts {
+			kv, ok := elt.(*ast.KeyValueExpr)
+			if !ok {
+				continue
+			}
+			key, ok := kv.Key.(*ast.Ident)
+			if !ok || key.Name != "Run" {
+				continue
+			}
+			fn, ok := kv.Value.(*ast.FuncLit)
+			if !ok {
+				continue
+			}
+			reportCapturedSingleUse(pass, fn, kindOf)
+		}
+		return true
+	})
+
+	// Rule 2: reuse across runs. Collected per object so the second
+	// and every later use is reported, in source order.
+	type useSite struct {
+		pos  token.Pos
+		what string
+	}
+	uses := map[types.Object][]useSite{}
+	record := func(obj types.Object, pos token.Pos, what string) {
+		if obj == nil {
+			return
+		}
+		if kindOf(obj.Type()) == "" {
+			return
+		}
+		uses[obj] = append(uses[obj], useSite{pos, what})
+	}
+
+	inspectStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if _, ok := methodCall(info, n, corePath, "Emulator", "RunStream"); ok && len(n.Args) == 1 {
+				record(argObj(info, n.Args[0]), n.Args[0].Pos(), "RunStream call")
+			}
+		case *ast.CompositeLit:
+			tv, ok := info.Types[n]
+			if !ok {
+				return true
+			}
+			isOptions := namedAs(tv.Type, corePath, "Options")
+			isEmulation := namedAs(tv.Type, sweepPath, "Emulation")
+			if !isOptions && !isEmulation {
+				return true
+			}
+			for _, elt := range n.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				key, ok := kv.Key.(*ast.Ident)
+				if !ok || (key.Name != "Sink" && key.Name != "Source") {
+					continue
+				}
+				what := "core.Options literal"
+				if isEmulation {
+					what = "sweep.Emulation literal"
+				}
+				record(argObj(info, kv.Value), kv.Value.Pos(), what)
+			}
+		}
+		return true
+	})
+
+	type reuse struct {
+		site useSite
+		obj  types.Object
+		n    int
+	}
+	var reuses []reuse
+	for obj, sites := range uses {
+		if len(sites) < 2 {
+			continue
+		}
+		sort.Slice(sites, func(i, j int) bool { return sites[i].pos < sites[j].pos })
+		for i, s := range sites[1:] {
+			reuses = append(reuses, reuse{s, obj, i + 2})
+		}
+	}
+	sort.Slice(reuses, func(i, j int) bool { return reuses[i].site.pos < reuses[j].site.pos })
+	for _, r := range reuses {
+		pass.Reportf(r.site.pos, "%s %s is reused (use %d, via %s); sinks and sources are single-use per run — build a fresh one",
+			kindOf(r.obj.Type()), r.obj.Name(), r.n, r.site.what)
+	}
+	return nil, nil
+}
+
+// reportCapturedSingleUse flags identifiers inside fn that resolve to
+// single-use values declared outside it.
+func reportCapturedSingleUse(pass *analysis.Pass, fn *ast.FuncLit, kindOf func(types.Type) string) {
+	info := pass.TypesInfo
+	type capture struct {
+		pos  token.Pos
+		name string
+		kind string
+	}
+	var caps []capture
+	seen := map[types.Object]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := info.Uses[id].(*types.Var)
+		if !ok || obj.IsField() || seen[obj] {
+			return true
+		}
+		if obj.Pos() >= fn.Pos() && obj.Pos() < fn.End() {
+			return true // declared inside the closure: cell-local, fine
+		}
+		kind := kindOf(obj.Type())
+		if kind == "" {
+			return true
+		}
+		seen[obj] = true
+		caps = append(caps, capture{id.Pos(), obj.Name(), kind})
+		return true
+	})
+	sort.Slice(caps, func(i, j int) bool { return caps[i].pos < caps[j].pos })
+	for _, c := range caps {
+		pass.Report(analysis.Diagnostic{Pos: c.pos, Message: fmt.Sprintf(
+			"%s %s is captured from outside the sweep cell closure; cells run concurrently and sinks/sources are single-use — construct it inside the closure",
+			c.kind, c.name)})
+	}
+}
+
+// argObj resolves an expression used as a single-use value to a
+// variable object: a plain identifier or &ident.
+func argObj(info *types.Info, expr ast.Expr) types.Object {
+	expr = ast.Unparen(expr)
+	if u, ok := expr.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		expr = ast.Unparen(u.X)
+	}
+	if id, ok := expr.(*ast.Ident); ok {
+		if v, ok := info.Uses[id].(*types.Var); ok && !v.IsField() {
+			return v
+		}
+	}
+	return nil
+}

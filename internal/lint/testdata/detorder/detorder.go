@@ -1,0 +1,91 @@
+// Fixtures for the detorder analyzer: map ranges whose iteration
+// order can reach output are flagged; order-insensitive bodies and
+// the collect-keys-then-sort idiom are not.
+package fixture
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// True positive: map order feeds CSV-style output directly — the
+// Fig9CSV bug class.
+func emitUnsorted(w io.Writer, m map[string]float64) {
+	for k, v := range m { // want `map iteration order is randomized`
+		fmt.Fprintf(w, "%s,%f\n", k, v)
+	}
+}
+
+// Near miss: the canonical fix. Keys are collected, sorted after the
+// loop, and only the sorted slice feeds output.
+func emitSorted(w io.Writer, m map[string]float64) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s,%f\n", k, m[k])
+	}
+}
+
+// True positive: appending entries for later emission without a sort
+// bakes map order into the slice.
+func collectNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `map iteration order is randomized`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Near miss: sort.Slice also counts as the sorted-keys idiom.
+func collectSortSlice(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// Near miss: integer accumulation commutes exactly; order cannot be
+// observed.
+func sumInts(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// True positive: float accumulation is order-sensitive in the low
+// bits — exactly what byte-determinism goldens diff.
+func sumFloats(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m { // want `map iteration order is randomized`
+		total += v
+	}
+	return total
+}
+
+// Near miss: map-to-map transfer plus deletes; destination order is
+// invisible.
+func transfer(dst, src map[string]int) {
+	for k, v := range src {
+		dst[k] = v
+	}
+	for k := range src {
+		delete(src, k)
+	}
+}
+
+// Near miss: counting entries is pure integer accumulation.
+func count(m map[int]struct{}) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}

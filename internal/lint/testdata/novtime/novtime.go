@@ -1,0 +1,43 @@
+// Fixtures for the novtime analyzer: wall-clock reads and global
+// math/rand are flagged in virtual-clock packages; vtime arithmetic,
+// time units, and explicitly seeded RNGs are legal.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/vtime"
+)
+
+// True positives: every wall-clock entry point.
+func wallClock() int64 {
+	start := time.Now()          // want `time.Now reads the wall clock`
+	elapsed := time.Since(start) // want `time.Since reads the wall clock`
+	time.Sleep(time.Millisecond) // want `time.Sleep reads the wall clock`
+	return int64(elapsed)
+}
+
+// True positive: the global random source is process-wide state that
+// no seed controls.
+func globalRand(n int) int {
+	return rand.Intn(n) // want `rand.Intn uses the global random source`
+}
+
+// Near miss: time.Duration and the unit constants are units, not
+// clocks.
+func units(d time.Duration) time.Duration {
+	return d + 5*time.Millisecond
+}
+
+// Near miss: an explicitly seeded rand.Rand is the sanctioned
+// randomness — byte-reproducible from the seed.
+func seeded(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+// Near miss: virtual-clock arithmetic is the whole point.
+func virtual(now vtime.Time, d vtime.Duration) vtime.Time {
+	return now.Add(d)
+}

@@ -1,0 +1,59 @@
+// Fixtures for the scratchown analyzer: Instances() views die at the
+// next Run/RunStream on the same emulator, and a Scratch never
+// crosses a goroutine boundary.
+package fixture
+
+import "repro/internal/core"
+
+// True positive: the slice returned by Instances() is backed by the
+// emulator's slabs, which the second Run reclaims.
+func staleInstances(e *core.Emulator, arrivals []core.Arrival) int {
+	insts := e.Instances()
+	e.Run(arrivals)
+	return insts[0].Index // want `is used after a later Run/RunStream`
+}
+
+// Near miss: re-acquiring after the Run resets the view; only the
+// fresh slice is read.
+func refetch(e *core.Emulator, arrivals []core.Arrival) int {
+	insts := e.Instances()
+	_ = insts
+	e.Run(arrivals)
+	insts = e.Instances()
+	return len(insts)
+}
+
+// Near miss: everything the caller needs is copied out before the
+// next Run invalidates the view.
+func copyBefore(e *core.Emulator, arrivals []core.Arrival) int {
+	insts := e.Instances()
+	n := len(insts)
+	e.Run(arrivals)
+	return n
+}
+
+// True positive: a Scratch captured by a goroutine shares mutable
+// slabs across threads.
+func sharedScratch() {
+	s := core.NewScratch()
+	go func() {
+		_ = s // want `captured by a goroutine from the enclosing scope`
+	}()
+}
+
+// True positive: passing a Scratch as a goroutine argument is the
+// same ownership violation.
+func passedScratch(s *core.Scratch) {
+	go consume(s) // want `passed into a goroutine`
+}
+
+func consume(s *core.Scratch) { _ = s }
+
+// Near miss: the sanctioned shape — each goroutine creates (or pools)
+// its own Scratch inside its own frame.
+func goroutineLocal() {
+	go func() {
+		s := core.NewScratch()
+		_ = s
+	}()
+}

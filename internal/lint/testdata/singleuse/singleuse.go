@@ -1,0 +1,108 @@
+// Fixtures for the singleuse analyzer: sinks and arrival sources are
+// single-use per run and must be constructed inside the sweep cell
+// that uses them.
+package fixture
+
+import (
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/sweep"
+	"repro/internal/workload"
+)
+
+// True positive: one sink shared by every cell of the grid — the
+// PR 3 trap.
+func capturedSink() []sweep.Cell[int] {
+	shared := &stats.FullReport{}
+	var cells []sweep.Cell[int]
+	for i := 0; i < 4; i++ {
+		cells = append(cells, sweep.Cell[int]{
+			Label: "bad",
+			Run: func(s *core.Scratch) (int, error) {
+				return len(shared.Tasks), nil // want `sink shared is captured from outside the sweep cell closure`
+			},
+		})
+	}
+	return cells
+}
+
+// Near miss: the sanctioned shape — each cell builds its own sink
+// inside the closure.
+func cellLocalSink() []sweep.Cell[int] {
+	var cells []sweep.Cell[int]
+	for i := 0; i < 4; i++ {
+		cells = append(cells, sweep.Cell[int]{
+			Label: "good",
+			Run: func(s *core.Scratch) (int, error) {
+				local := &stats.FullReport{}
+				return len(local.Tasks), nil
+			},
+		})
+	}
+	return cells
+}
+
+// Near miss: stats.Discard is stateless by construction and exempt.
+func sharedDiscard() []sweep.Cell[int] {
+	d := stats.Discard{}
+	var cells []sweep.Cell[int]
+	for i := 0; i < 4; i++ {
+		cells = append(cells, sweep.Cell[int]{
+			Label: "discard",
+			Run: func(s *core.Scratch) (int, error) {
+				_ = d
+				return 0, nil
+			},
+		})
+	}
+	return cells
+}
+
+// True positive: a captured replay source — exhausted by whichever
+// cell runs first, every other cell replays nothing.
+func capturedReplay(src *workload.ReplaySource) sweep.Cell[int] {
+	return sweep.Cell[int]{
+		Label: "replay",
+		Run: func(s *core.Scratch) (int, error) {
+			_ = src // want `arrival source src is captured from outside the sweep cell closure`
+			return 0, nil
+		},
+	}
+}
+
+// True positive: an open-loop source is exhausted after one pass; the
+// second RunStream sees an empty stream.
+func reusedSource(e *core.Emulator, src *workload.OpenLoop) {
+	e.RunStream(src)
+	e.RunStream(src) // want `arrival source src is reused`
+}
+
+// Near miss: a fresh source per run.
+func freshSources(e *core.Emulator, mk func() *workload.OpenLoop) {
+	a := mk()
+	e.RunStream(a)
+	b := mk()
+	e.RunStream(b)
+}
+
+// True positive: one sink wired into two emulator option sets mixes
+// two runs' records.
+func reusedSinkOptions(snk *stats.FullReport) (core.Options, core.Options) {
+	o1 := core.Options{Sink: snk}
+	o2 := core.Options{Sink: snk} // want `sink snk is reused`
+	return o1, o2
+}
+
+// Near miss: one options literal per sink.
+func freshSinkOptions() (core.Options, core.Options) {
+	a := &stats.FullReport{}
+	b := &stats.FullReport{}
+	return core.Options{Sink: a}, core.Options{Sink: b}
+}
+
+// True positive: one source stamped into two sweep.Emulation specs.
+func reusedEmulationSource(src *workload.OpenLoop) (sweep.Emulation, sweep.Emulation) {
+	e1 := sweep.Emulation{Source: src}
+	e2 := sweep.Emulation{Source: src} // want `arrival source src is reused`
+	return e1, e2
+}
