@@ -5,13 +5,13 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test lint race fuzz bench bench-check benchfull experiments
+.PHONY: check fmt vet build test lint race fuzz serve-smoke bench bench-check benchfull experiments
 
 # Inside `make check`, a missing-dependency lint probe downgrades to a
 # loud skip (exit 0) so the rest of the gate still runs; standalone
 # `make lint` keeps the hard failure.
 check: LINT_MISSING_DEPS_EXIT = 0
-check: fmt vet build test lint race fuzz
+check: fmt vet build test lint race serve-smoke fuzz
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -71,10 +71,22 @@ lint:
 # repolint PR: replay sources feed RunStream from sweep workers and
 # sinks accumulate inside concurrently-executing cells, so both
 # packages' suites run raced in full (each is seconds, not minutes).
+# The serving layer joins since the daemon PR: admission waiters, the
+# snapshot ticker, drain, and the grid-order emitter are all
+# goroutine-heavy by design.
 race:
-	$(GO) test -race ./internal/sweep/... ./internal/sched/... ./internal/platevent/... ./internal/workload/... ./internal/stats/...
+	$(GO) test -race ./internal/sweep/... ./internal/sched/... ./internal/platevent/... ./internal/workload/... ./internal/stats/... ./internal/serve/...
 	$(GO) test -race -run ParallelGolden ./internal/experiments
 	$(GO) test -race -run Dynamic ./internal/core
+
+# serve-smoke is the daemon's crash-resume acceptance, run against the
+# real binary: SIGKILL mid-sweep, restart over the half-written
+# journal, assert zero journaled cells recomputed and byte-identical
+# merged output, plus a clean SIGTERM drain (exit 0). The in-process
+# halves of the same contracts live in internal/serve's tests; this
+# target proves them across a process boundary.
+serve-smoke:
+	bash scripts/serve_smoke.sh
 
 # Fuzz smoke: each native fuzz target gets a short engine run on top
 # of the committed seed corpus (which plain `go test` already replays).

@@ -1,0 +1,138 @@
+// Command emulated is the long-lived emulation service: it keeps the
+// process-wide compiled-program cache warm across requests and runs
+// sweep grids submitted over HTTP, streaming NDJSON events back.
+//
+// Robustness contract (see ARCHITECTURE.md "Emulation as a service"):
+//
+//   - Admission control: per-tenant token buckets plus a bounded
+//     global queue; past the bound the daemon answers 429 with a
+//     computed Retry-After instead of buffering without limit.
+//   - Crash safety: every finished cell is fsynced to an append-only
+//     content-hashed ledger before its bytes reach the client, so a
+//     kill -9 loses at most the cells still in flight and a restarted
+//     daemon resumes without recomputing anything it journaled.
+//   - Graceful shutdown: SIGTERM (or SIGINT) drains — in-flight cells
+//     finish, interrupted sweeps get an explicit "incomplete" event,
+//     new work is refused with 503 — then the process exits 0.
+//
+// Example:
+//
+//	emulated -addr :8080 -state /var/lib/emulated &
+//	curl -N localhost:8080/v1/sweeps -d '{
+//	  "tenant": "alice",
+//	  "platform": {"name": "zcu102", "cores": 3, "ffts": 2},
+//	  "policies": ["frfs", "eft"],
+//	  "rates_jobs_per_ms": [2, 4, 8],
+//	  "seeds": [1, 2, 3]
+//	}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
+	if err := run(os.Args[1:], os.Stderr, sig, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "emulated:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the daemon and blocks until a shutdown signal arrives and
+// the drain completes. ready, if non-nil, is called with the bound
+// listen address once the server accepts connections (tests use
+// ":0" and need the resolved port).
+func run(args []string, logw io.Writer, shutdown <-chan os.Signal, ready func(addr string)) error {
+	fs := flag.NewFlagSet("emulated", flag.ContinueOnError)
+	fs.SetOutput(logw)
+	var (
+		addr        = fs.String("addr", ":8080", "HTTP listen address")
+		state       = fs.String("state", "", "state directory for the cell ledger (required)")
+		workers     = fs.Int("workers", 0, "sweep worker goroutines per request (0 = GOMAXPROCS)")
+		maxActive   = fs.Int("max-active", 2, "sweeps running concurrently")
+		queueDepth  = fs.Int("queue-depth", 4, "sweeps waiting beyond the active set before 429s start")
+		tenantRate  = fs.Float64("tenant-rate", 1, "per-tenant sustained sweeps/sec")
+		tenantBurst = fs.Float64("tenant-burst", 4, "per-tenant burst size")
+		snapEvery   = fs.Duration("snapshot-every", 250*time.Millisecond, "mid-sweep stats snapshot interval (<0 disables)")
+		reqTimeout  = fs.Duration("timeout", 5*time.Minute, "default per-request deadline")
+		drainGrace  = fs.Duration("drain-grace", 30*time.Second, "how long shutdown waits for in-flight cells")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *state == "" {
+		return errors.New("-state is required (the ledger makes the daemon crash-safe; there is no stateless mode)")
+	}
+	if err := os.MkdirAll(*state, 0o755); err != nil {
+		return err
+	}
+
+	s, err := serve.New(serve.Options{
+		StateDir: *state,
+		Workers:  *workers,
+		Admission: serve.AdmissionConfig{
+			MaxActive:   *maxActive,
+			QueueDepth:  *queueDepth,
+			TenantRate:  *tenantRate,
+			TenantBurst: *tenantBurst,
+		},
+		SnapshotEvery:  *snapEvery,
+		DefaultTimeout: *reqTimeout,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	fmt.Fprintf(logw, "emulated: listening on %s, state in %s\n", ln.Addr(), *state)
+	if ready != nil {
+		ready(ln.Addr().String())
+	}
+
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-shutdown:
+		fmt.Fprintf(logw, "emulated: %v, draining (grace %v)\n", sig, *drainGrace)
+	}
+
+	// Drain order matters: first stop the sweeps (in-flight cells
+	// finish and are journaled, interrupted streams get their
+	// "incomplete" terminal event), then close the listener and wait
+	// for response bodies to flush.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainGrace)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		// Exceeding the grace period is a degraded exit, not a crash:
+		// the ledger already holds every finished cell.
+		fmt.Fprintf(logw, "emulated: drain incomplete: %v\n", err)
+	}
+	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Fprintln(logw, "emulated: drained, exiting")
+	return nil
+}

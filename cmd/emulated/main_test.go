@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestRunServesAndDrains boots the daemon on an ephemeral port, runs a
+// sweep through it, sends SIGTERM, and requires a clean (exit 0) drain.
+func TestRunServesAndDrains(t *testing.T) {
+	state := t.TempDir()
+	shutdown := make(chan os.Signal, 1)
+	addrc := make(chan string, 1)
+	done := make(chan error, 1)
+	var logbuf bytes.Buffer
+	go func() {
+		done <- run(
+			[]string{"-addr", "127.0.0.1:0", "-state", state, "-snapshot-every", "-1ms"},
+			&logbuf, shutdown, func(a string) { addrc <- a },
+		)
+	}()
+	var addr string
+	select {
+	case addr = <-addrc:
+	case err := <-done:
+		t.Fatalf("daemon exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+
+	body := `{"tenant":"t","platform":{"name":"synthetic","cores":8,"ffts":2},
+	          "policies":["frfs"],"rates_jobs_per_ms":[2],"frame_ms":20,
+	          "seeds":[1],"skip_execution":true}`
+	resp, err := http.Post("http://"+addr+"/v1/sweeps", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(stream), `"type":"done"`) {
+		t.Fatalf("sweep via daemon: status %d, stream %q", resp.StatusCode, stream)
+	}
+
+	shutdown <- syscall.SIGTERM
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drain exit: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon never exited after SIGTERM")
+	}
+	if !strings.Contains(logbuf.String(), "drained, exiting") {
+		t.Fatalf("log: %s", logbuf.String())
+	}
+
+	// Ledger survived in the state dir for the next process.
+	if _, err := os.Stat(state + "/ledger.ndjson"); err != nil {
+		t.Fatalf("ledger missing after drain: %v", err)
+	}
+}
+
+func TestRunRequiresState(t *testing.T) {
+	err := run([]string{"-addr", "127.0.0.1:0"}, io.Discard, nil, nil)
+	if err == nil || !strings.Contains(err.Error(), "-state") {
+		t.Fatalf("missing -state accepted: %v", err)
+	}
+}

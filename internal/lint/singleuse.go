@@ -20,7 +20,12 @@ import (
 //   - the same source value driving two RunStream calls, or the same
 //     sink value wired into two core.Options / sweep.Emulation
 //     literals, is reused across runs — sources are exhausted after
-//     one pass and sinks accumulate records from at most one run.
+//     one pass and sinks accumulate records from at most one run;
+//   - an HTTP handler closure (func(http.ResponseWriter,
+//     *http.Request)) capturing a sink or source from an enclosing
+//     scope shares one single-use value across concurrent requests —
+//     the serving-layer variant of the same trap; request-scoped
+//     values must be constructed inside the handler.
 //
 // stats.Discard is exempt: it is stateless by construction and safe
 // to share.
@@ -80,8 +85,23 @@ func runSingleUse(pass *analysis.Pass) (any, error) {
 			if !ok {
 				continue
 			}
-			reportCapturedSingleUse(pass, fn, kindOf)
+			reportCapturedSingleUse(pass, fn, kindOf,
+				"%s %s is captured from outside the sweep cell closure; cells run concurrently and sinks/sources are single-use — construct it inside the closure")
 		}
+		return true
+	})
+
+	// Rule 1b (the serving layer): the same capture trap in
+	// request-handler shape. A handler closure runs once per request,
+	// concurrently; anything single-use it captures from the enclosing
+	// scope is shared by every request it serves.
+	inspectStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		fn, ok := n.(*ast.FuncLit)
+		if !ok || !isHandlerShape(info, fn) {
+			return true
+		}
+		reportCapturedSingleUse(pass, fn, kindOf,
+			"%s %s is constructed outside the request-scoped handler closure but captured inside; handlers serve concurrent requests and sinks/sources are single-use — construct it per request")
 		return true
 	})
 
@@ -160,9 +180,30 @@ func runSingleUse(pass *analysis.Pass) (any, error) {
 	return nil, nil
 }
 
+// isHandlerShape reports whether fn has the http.HandlerFunc signature
+// func(http.ResponseWriter, *http.Request) — the shape the router
+// invokes once per request.
+func isHandlerShape(info *types.Info, fn *ast.FuncLit) bool {
+	tv, ok := info.Types[fn]
+	if !ok {
+		return false
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok || sig.Params().Len() != 2 || sig.Results().Len() != 0 {
+		return false
+	}
+	req := sig.Params().At(1).Type()
+	if _, isPtr := req.(*types.Pointer); !isPtr {
+		return false
+	}
+	return namedAs(sig.Params().At(0).Type(), "net/http", "ResponseWriter") &&
+		namedAs(req, "net/http", "Request")
+}
+
 // reportCapturedSingleUse flags identifiers inside fn that resolve to
-// single-use values declared outside it.
-func reportCapturedSingleUse(pass *analysis.Pass, fn *ast.FuncLit, kindOf func(types.Type) string) {
+// single-use values declared outside it. format receives the kind and
+// the name, in that order.
+func reportCapturedSingleUse(pass *analysis.Pass, fn *ast.FuncLit, kindOf func(types.Type) string, format string) {
 	info := pass.TypesInfo
 	type capture struct {
 		pos  token.Pos
@@ -193,9 +234,7 @@ func reportCapturedSingleUse(pass *analysis.Pass, fn *ast.FuncLit, kindOf func(t
 	})
 	sort.Slice(caps, func(i, j int) bool { return caps[i].pos < caps[j].pos })
 	for _, c := range caps {
-		pass.Report(analysis.Diagnostic{Pos: c.pos, Message: fmt.Sprintf(
-			"%s %s is captured from outside the sweep cell closure; cells run concurrently and sinks/sources are single-use — construct it inside the closure",
-			c.kind, c.name)})
+		pass.Report(analysis.Diagnostic{Pos: c.pos, Message: fmt.Sprintf(format, c.kind, c.name)})
 	}
 }
 

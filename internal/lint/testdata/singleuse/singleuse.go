@@ -4,6 +4,8 @@
 package fixture
 
 import (
+	"net/http"
+
 	"repro/internal/core"
 	"repro/internal/stats"
 	"repro/internal/sweep"
@@ -105,4 +107,33 @@ func reusedEmulationSource(src *workload.OpenLoop) (sweep.Emulation, sweep.Emula
 	e1 := sweep.Emulation{Source: src}
 	e2 := sweep.Emulation{Source: src} // want `arrival source src is reused`
 	return e1, e2
+}
+
+// True positive (serving layer): a sink built at registration time and
+// captured by the handler closure is shared by every request the
+// handler serves concurrently.
+func handlerCapturedSink(mux *http.ServeMux) {
+	shared := &stats.FullReport{}
+	mux.HandleFunc("/sweep", func(w http.ResponseWriter, r *http.Request) {
+		_ = len(shared.Tasks) // want `sink shared is constructed outside the request-scoped handler closure`
+	})
+}
+
+// Near miss: the sanctioned request-scoped shape — the sink is built
+// inside the handler, one per request.
+func handlerLocalSink(mux *http.ServeMux) {
+	mux.HandleFunc("/sweep", func(w http.ResponseWriter, r *http.Request) {
+		local := &stats.FullReport{}
+		_ = len(local.Tasks)
+	})
+}
+
+// Near miss: a non-handler two-argument closure capturing a sink is
+// outside this rule's shape (rule 1 still applies if it becomes a
+// sweep cell).
+func notAHandler() func(int, *http.Request) {
+	shared := &stats.FullReport{}
+	return func(n int, r *http.Request) {
+		_ = len(shared.Tasks)
+	}
 }

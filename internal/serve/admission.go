@@ -1,0 +1,230 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"time"
+)
+
+// Admission errors. Both map to HTTP 429 with a computed Retry-After;
+// they are distinct so /statz and tests can tell tenant throttling
+// from global saturation apart.
+var (
+	// ErrTenantThrottled: the tenant's token bucket is empty.
+	ErrTenantThrottled = errors.New("tenant rate limit exceeded")
+	// ErrQueueFull: the bounded global queue is at its depth
+	// threshold. This is the serving-layer mirror of the saturation
+	// study's divergence criterion: once the backlog grows past the
+	// bound, waiting longer cannot help — the honest answer is
+	// "not now, retry after".
+	ErrQueueFull = errors.New("sweep queue full")
+)
+
+// AdmissionConfig sizes the gate.
+type AdmissionConfig struct {
+	// MaxActive bounds concurrently running sweeps (each runs its own
+	// bounded worker pool); <=0 defaults to 1.
+	MaxActive int
+	// QueueDepth bounds sweeps waiting for an active slot; past it new
+	// work is rejected, never buffered. <0 defaults to 4; 0 means no
+	// queueing at all (reject unless a slot is free).
+	QueueDepth int
+	// TenantRate is each tenant's sustained budget in requests/second;
+	// <=0 defaults to 1.
+	TenantRate float64
+	// TenantBurst is the bucket capacity; <=0 defaults to 4.
+	TenantBurst float64
+}
+
+func (c AdmissionConfig) withDefaults() AdmissionConfig {
+	if c.MaxActive <= 0 {
+		c.MaxActive = 1
+	}
+	if c.QueueDepth < 0 {
+		c.QueueDepth = 4
+	}
+	if c.TenantRate <= 0 {
+		c.TenantRate = 1
+	}
+	if c.TenantBurst <= 0 {
+		c.TenantBurst = 4
+	}
+	return c
+}
+
+// Admission is the two-layer gate in front of the sweep engine:
+// per-tenant token buckets (fairness: one hot tenant cannot starve the
+// rest) and a bounded global active+queue pool (stability: total work
+// held in the process is hard-capped, so overload degrades into 429s
+// with bounded RSS instead of an OOM).
+type Admission struct {
+	cfg AdmissionConfig
+	// now is the time source, injectable so tests don't sleep.
+	now func() time.Time
+
+	mu      sync.Mutex
+	tenants map[string]*bucket
+	active  int
+	waiting int
+	// slotFree is signalled (best-effort, capacity 1) on release so
+	// queued waiters re-check.
+	slotFree chan struct{}
+	// avgRunNS is an EWMA of completed sweep wall times, the basis of
+	// the queue's computed Retry-After.
+	avgRunNS float64
+}
+
+// bucket is a standard lazily-refilled token bucket.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// NewAdmission builds the gate. now==nil uses time.Now.
+func NewAdmission(cfg AdmissionConfig, now func() time.Time) *Admission {
+	if now == nil {
+		now = time.Now
+	}
+	return &Admission{
+		cfg:      cfg.withDefaults(),
+		now:      now,
+		tenants:  make(map[string]*bucket),
+		slotFree: make(chan struct{}, 1),
+		// Seed the estimate at one second so the very first rejection
+		// already carries a sane Retry-After.
+		avgRunNS: float64(time.Second),
+	}
+}
+
+// Acquire admits one sweep for tenant or reports how long the caller
+// should back off. On success the returned release function MUST be
+// called exactly once when the sweep finishes; it feeds the run's
+// duration back into the Retry-After estimate. On rejection err is
+// ErrTenantThrottled or ErrQueueFull and retryAfter is the computed
+// backoff; on cancellation err is the context's error.
+//
+// Waiting happens only inside the bounded queue: at most QueueDepth
+// callers block here, everyone else is rejected immediately — the
+// admission layer never buffers unboundedly.
+func (a *Admission) Acquire(ctx context.Context, tenant string) (release func(), retryAfter time.Duration, err error) {
+	a.mu.Lock()
+	// Layer 1: tenant token bucket.
+	b := a.tenants[tenant]
+	t := a.now()
+	if b == nil {
+		b = &bucket{tokens: a.cfg.TenantBurst, last: t}
+		a.tenants[tenant] = b
+	} else {
+		b.tokens = math.Min(a.cfg.TenantBurst,
+			b.tokens+t.Sub(b.last).Seconds()*a.cfg.TenantRate)
+		b.last = t
+	}
+	if b.tokens < 1 {
+		need := (1 - b.tokens) / a.cfg.TenantRate
+		a.mu.Unlock()
+		return nil, ceilSecond(time.Duration(need * float64(time.Second))), ErrTenantThrottled
+	}
+	b.tokens--
+
+	// Layer 2: bounded global pool.
+	if a.active < a.cfg.MaxActive {
+		a.active++
+		start := t
+		a.mu.Unlock()
+		return a.releaseFunc(start), 0, nil
+	}
+	if a.waiting >= a.cfg.QueueDepth {
+		ra := a.queueRetryAfterLocked()
+		a.mu.Unlock()
+		return nil, ra, ErrQueueFull
+	}
+	a.waiting++
+	a.mu.Unlock()
+
+	for {
+		select {
+		case <-ctx.Done():
+			a.mu.Lock()
+			a.waiting--
+			a.mu.Unlock()
+			return nil, 0, context.Cause(ctx)
+		case <-a.slotFree:
+			a.mu.Lock()
+			if a.active < a.cfg.MaxActive {
+				a.active++
+				a.waiting--
+				start := a.now()
+				a.mu.Unlock()
+				a.wake()
+				return a.releaseFunc(start), 0, nil
+			}
+			a.mu.Unlock()
+		}
+	}
+}
+
+// releaseFunc returns the idempotence-guarded release closure.
+func (a *Admission) releaseFunc(start time.Time) func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			d := a.now().Sub(start)
+			a.mu.Lock()
+			a.active--
+			// EWMA, alpha=0.3: recent sweeps dominate but one outlier
+			// does not own the estimate.
+			a.avgRunNS = 0.7*a.avgRunNS + 0.3*float64(d)
+			a.mu.Unlock()
+			a.wake()
+		})
+	}
+}
+
+// wake nudges one queued waiter (capacity-1 channel, so the
+// signal coalesces; waiters re-check under the lock).
+func (a *Admission) wake() {
+	select {
+	case a.slotFree <- struct{}{}:
+	default:
+	}
+}
+
+// queueRetryAfterLocked computes the backoff for a full queue: the
+// estimated time for the backlog ahead of the caller to drain through
+// MaxActive slots, floored at one second. Callers hold a.mu.
+func (a *Admission) queueRetryAfterLocked() time.Duration {
+	backlog := float64(a.waiting+1) / float64(a.cfg.MaxActive)
+	return ceilSecond(time.Duration(backlog * a.avgRunNS))
+}
+
+// ceilSecond rounds up to whole seconds (the Retry-After header's
+// resolution), minimum one.
+func ceilSecond(d time.Duration) time.Duration {
+	if d <= 0 {
+		return time.Second
+	}
+	s := (d + time.Second - 1) / time.Second
+	return s * time.Second
+}
+
+// Stats is the /statz snapshot of the gate.
+type Stats struct {
+	Active   int     `json:"active"`
+	Waiting  int     `json:"waiting"`
+	Tenants  int     `json:"tenants"`
+	AvgRunMS float64 `json:"avg_run_ms"`
+}
+
+// Snapshot reads the gate's counters.
+func (a *Admission) Snapshot() Stats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return Stats{
+		Active:   a.active,
+		Waiting:  a.waiting,
+		Tenants:  len(a.tenants),
+		AvgRunMS: a.avgRunNS / 1e6,
+	}
+}

@@ -1,0 +1,184 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a mutex-guarded manual time source.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestTenantTokenBucket(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	a := NewAdmission(AdmissionConfig{
+		MaxActive: 100, QueueDepth: 100, TenantRate: 1, TenantBurst: 2,
+	}, clk.now)
+	ctx := context.Background()
+
+	// Burst of 2 admits, third is throttled with a computed backoff.
+	for i := 0; i < 2; i++ {
+		rel, _, err := a.Acquire(ctx, "alice")
+		if err != nil {
+			t.Fatalf("burst admit %d: %v", i, err)
+		}
+		rel()
+	}
+	_, retry, err := a.Acquire(ctx, "alice")
+	if !errors.Is(err, ErrTenantThrottled) {
+		t.Fatalf("third acquire: %v", err)
+	}
+	if retry < time.Second || retry > 2*time.Second {
+		t.Fatalf("retry-after = %v, want ~1s", retry)
+	}
+
+	// Tenants are independent: bob is untouched by alice's burst.
+	if rel, _, err := a.Acquire(ctx, "bob"); err != nil {
+		t.Fatalf("bob throttled by alice: %v", err)
+	} else {
+		rel()
+	}
+
+	// Refill at 1 token/sec: after 1.5s alice gets exactly one more.
+	clk.advance(1500 * time.Millisecond)
+	rel, _, err := a.Acquire(ctx, "alice")
+	if err != nil {
+		t.Fatalf("post-refill acquire: %v", err)
+	}
+	rel()
+	if _, _, err := a.Acquire(ctx, "alice"); !errors.Is(err, ErrTenantThrottled) {
+		t.Fatalf("bucket refilled too much: %v", err)
+	}
+}
+
+func TestQueueBoundAndRetryAfter(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	a := NewAdmission(AdmissionConfig{
+		MaxActive: 1, QueueDepth: 0, TenantRate: 1000, TenantBurst: 1000,
+	}, clk.now)
+	ctx := context.Background()
+
+	rel, _, err := a.Acquire(ctx, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// QueueDepth 0: while one sweep is active the next is rejected
+	// immediately — no hidden buffering anywhere.
+	_, retry, err := a.Acquire(ctx, "t")
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("want ErrQueueFull, got %v", err)
+	}
+	if retry < time.Second {
+		t.Fatalf("queue-full Retry-After = %v, want >= 1s", retry)
+	}
+	rel()
+	if rel2, _, err := a.Acquire(ctx, "t"); err != nil {
+		t.Fatalf("post-release acquire: %v", err)
+	} else {
+		rel2()
+	}
+}
+
+// TestQueueWaitsAndWakes: a waiter inside the bounded queue gets the
+// slot when the active sweep releases it.
+func TestQueueWaitsAndWakes(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{
+		MaxActive: 1, QueueDepth: 2, TenantRate: 1000, TenantBurst: 1000,
+	}, nil)
+	ctx := context.Background()
+	rel, _, err := a.Acquire(ctx, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() {
+		rel2, _, err := a.Acquire(ctx, "t")
+		if err == nil {
+			rel2()
+		}
+		got <- err
+	}()
+	// The waiter must be parked, not rejected.
+	select {
+	case err := <-got:
+		t.Fatalf("queued acquire returned early: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	rel()
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatalf("woken waiter failed: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter never woke after release")
+	}
+}
+
+// TestQueueCancellation: a cancelled waiter leaves the queue and
+// surrenders its count (the next caller is not spuriously rejected).
+func TestQueueCancellation(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{
+		MaxActive: 1, QueueDepth: 1, TenantRate: 1000, TenantBurst: 1000,
+	}, nil)
+	rel, _, err := a.Acquire(context.Background(), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cause := errors.New("client went away")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	got := make(chan error, 1)
+	go func() {
+		_, _, err := a.Acquire(ctx, "t")
+		got <- err
+	}()
+	// Wait until the waiter is queued, then cancel it.
+	deadline := time.Now().Add(2 * time.Second)
+	for a.Snapshot().Waiting == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel(cause)
+	if err := <-got; !errors.Is(err, cause) {
+		t.Fatalf("cancelled waiter error = %v", err)
+	}
+	if w := a.Snapshot().Waiting; w != 0 {
+		t.Fatalf("waiting count leaked: %d", w)
+	}
+	rel()
+}
+
+// TestReleaseIdempotent: double release must not free two slots.
+func TestReleaseIdempotent(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{
+		MaxActive: 1, QueueDepth: 0, TenantRate: 1000, TenantBurst: 1000,
+	}, nil)
+	rel, _, err := a.Acquire(context.Background(), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel()
+	rel()
+	if got := a.Snapshot().Active; got != 0 {
+		t.Fatalf("active = %d after double release", got)
+	}
+}

@@ -1,0 +1,152 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/apps"
+)
+
+func planFor(t *testing.T, req SweepRequest) *sweepPlan {
+	t.Helper()
+	p, err := planSweep(req, apps.Specs(), apps.Registry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func perfRequest() SweepRequest {
+	return SweepRequest{
+		Tenant:         "t",
+		Platform:       PlatformSpec{Name: "synthetic", Cores: 8, FFTs: 2},
+		Policies:       []string{"frfs", "eft"},
+		RatesJobsPerMS: []float64{2, 4},
+		FrameMS:        20,
+		Seeds:          []int64{1, 2},
+		SkipExecution:  true,
+	}
+}
+
+// TestGridExpansionOrder pins the cell index space: policy-major,
+// rate-middle, seed-minor — the order every response event refers to.
+func TestGridExpansionOrder(t *testing.T) {
+	p := planFor(t, perfRequest())
+	if len(p.cells) != 8 {
+		t.Fatalf("grid size %d, want 8", len(p.cells))
+	}
+	want := []string{
+		"frfs@2/seed1", "frfs@2/seed2", "frfs@4/seed1", "frfs@4/seed2",
+		"eft@2/seed1", "eft@2/seed2", "eft@4/seed1", "eft@4/seed2",
+	}
+	for i, w := range want {
+		if p.cells[i].label != w {
+			t.Fatalf("cell %d label %q, want %q", i, p.cells[i].label, w)
+		}
+	}
+}
+
+// TestCellHashIdentity: the hash is a pure function of what the cell
+// means — identical across grid shapes and request framing — and
+// distinct whenever any semantic knob differs.
+func TestCellHashIdentity(t *testing.T) {
+	a := planFor(t, perfRequest())
+
+	// The same coordinate carved out as a 1-cell request hashes the
+	// same: resume and cross-request dedup both rest on this.
+	solo := perfRequest()
+	solo.Policies = []string{"eft"}
+	solo.RatesJobsPerMS = []float64{4}
+	solo.Seeds = []int64{2}
+	b := planFor(t, solo)
+	if b.cells[0].hash != a.cells[7].hash {
+		t.Fatal("same cell spec hashed differently across grid shapes")
+	}
+
+	// Tenant and label are serving metadata, not cell identity.
+	relabeled := perfRequest()
+	relabeled.Tenant = "someone-else"
+	relabeled.Label = "renamed"
+	c := planFor(t, relabeled)
+	for i := range a.cells {
+		if c.cells[i].hash != a.cells[i].hash {
+			t.Fatalf("cell %d hash changed with serving metadata", i)
+		}
+	}
+
+	// Every semantic knob must move the hash.
+	seen := map[string]string{}
+	for i, pc := range a.cells {
+		if prev, dup := seen[pc.hash]; dup {
+			t.Fatalf("cells %s and %d share a hash", prev, i)
+		}
+		seen[pc.hash] = pc.label
+	}
+	jittered := perfRequest()
+	jittered.JitterSigma = 0.1
+	for _, pc := range planFor(t, jittered).cells {
+		if _, dup := seen[pc.hash]; dup {
+			t.Fatal("jitter_sigma not folded into the hash")
+		}
+	}
+	functional := perfRequest()
+	functional.SkipExecution = false
+	for _, pc := range planFor(t, functional).cells {
+		if _, dup := seen[pc.hash]; dup {
+			t.Fatal("skip_execution not folded into the hash")
+		}
+	}
+}
+
+// TestValidationModeCanonicalApps: app maps hash identically whatever
+// their (unordered) JSON spelling, via the sorted canonical form.
+func TestValidationModeCanonicalApps(t *testing.T) {
+	mk := func(m map[string]int) *sweepPlan {
+		return planFor(t, SweepRequest{
+			Tenant:   "t",
+			Platform: PlatformSpec{Name: "zcu102"},
+			Policies: []string{"frfs"},
+			Apps:     m,
+		})
+	}
+	a := mk(map[string]int{"wifi_tx": 2, "range_detection": 1})
+	b := mk(map[string]int{"range_detection": 1, "wifi_tx": 2})
+	if a.cells[0].hash != b.cells[0].hash {
+		t.Fatal("app map order leaked into the hash")
+	}
+	if !strings.Contains(a.cells[0].label, "validation") {
+		t.Fatalf("validation label: %q", a.cells[0].label)
+	}
+}
+
+func TestPlanRejects(t *testing.T) {
+	base := perfRequest()
+	cases := []struct {
+		name   string
+		mutate func(*SweepRequest)
+		want   string
+	}{
+		{"no tenant", func(r *SweepRequest) { r.Tenant = "" }, "tenant"},
+		{"bad platform", func(r *SweepRequest) { r.Platform.Name = "cray" }, "unknown platform"},
+		{"no policies", func(r *SweepRequest) { r.Policies = nil }, "policy"},
+		{"bad policy", func(r *SweepRequest) { r.Policies = []string{"lottery"} }, "lottery"},
+		{"no workload", func(r *SweepRequest) { r.RatesJobsPerMS = nil }, "rates_jobs_per_ms or apps"},
+		{"bad rate", func(r *SweepRequest) { r.RatesJobsPerMS = []float64{-1} }, "rate"},
+		{"unknown app", func(r *SweepRequest) {
+			r.RatesJobsPerMS = nil
+			r.Apps = map[string]int{"doom": 1}
+		}, "unknown application"},
+		{"bad count", func(r *SweepRequest) {
+			r.RatesJobsPerMS = nil
+			r.Apps = map[string]int{"wifi_tx": 0}
+		}, "positive"},
+	}
+	for _, tc := range cases {
+		req := base
+		tc.mutate(&req)
+		_, err := planSweep(req, apps.Specs(), apps.Registry())
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/vtime"
+)
+
+func recordN(o *Online, n int, rng *rand.Rand) {
+	for i := 0; i < n; i++ {
+		o.RecordTask(TaskRecord{
+			PEID:  i % 3,
+			Ready: vtime.Time(i * 1000),
+			Start: vtime.Time(i*1000 + rng.Intn(500)),
+			End:   vtime.Time(i*1000 + 900),
+		})
+		o.RecordApp(AppRecord{
+			Arrival: vtime.Time(i * 1000),
+			Done:    vtime.Time(i*1000 + 700 + rng.Intn(300)),
+		})
+	}
+}
+
+// TestSnapshotMatchesLive: immediately after Snapshot, every statistic
+// the sink exposes reads identically from the copy and the original —
+// counts, means, min/max, and the P² quantile estimates.
+func TestSnapshotMatchesLive(t *testing.T) {
+	o := NewOnline(0)
+	recordN(o, 500, rand.New(rand.NewSource(1)))
+	snap := o.Snapshot()
+
+	if snap.TasksSeen != o.TasksSeen || snap.AppsSeen != o.AppsSeen {
+		t.Fatalf("seen counters diverge: snap %d/%d live %d/%d",
+			snap.TasksSeen, snap.AppsSeen, o.TasksSeen, o.AppsSeen)
+	}
+	pairs := []struct {
+		name       string
+		live, copy *Dist
+	}{
+		{"wait", &o.Wait, &snap.Wait},
+		{"response", &o.Response, &snap.Response},
+		{"pe0", o.PEBusy(0), snap.PEBusy(0)},
+		{"pe2", o.PEBusy(2), snap.PEBusy(2)},
+	}
+	for _, p := range pairs {
+		if p.live == nil || p.copy == nil {
+			t.Fatalf("%s: nil distribution (live=%v copy=%v)", p.name, p.live, p.copy)
+		}
+		if p.copy.Count() != p.live.Count() || p.copy.Mean() != p.live.Mean() ||
+			p.copy.Min() != p.live.Min() || p.copy.Max() != p.live.Max() {
+			t.Fatalf("%s: summary diverges", p.name)
+		}
+		for _, q := range DefaultQuantiles {
+			if p.copy.Quantile(q) != p.live.Quantile(q) {
+				t.Fatalf("%s: q%.2f diverges: %v vs %v",
+					p.name, q, p.copy.Quantile(q), p.live.Quantile(q))
+			}
+		}
+	}
+}
+
+// TestSnapshotIsIndependent pins the deep-copy property on the P²
+// marker state: recording thousands of further observations into the
+// live sink (including new PEs) must not move a single statistic of an
+// earlier snapshot, and the snapshot itself must keep answering.
+func TestSnapshotIsIndependent(t *testing.T) {
+	o := NewOnline(0)
+	rng := rand.New(rand.NewSource(2))
+	recordN(o, 200, rng)
+	snap := o.Snapshot()
+
+	type frozen struct {
+		count    int64
+		mean     float64
+		p50, p99 float64
+	}
+	freeze := func(d *Dist) frozen {
+		return frozen{d.Count(), d.Mean(), d.Quantile(0.50), d.Quantile(0.99)}
+	}
+	wantWait := freeze(&snap.Wait)
+	wantResp := freeze(&snap.Response)
+	wantPE := freeze(snap.PEBusy(1))
+
+	// Hammer the live sink; the distribution shifts hard (10x larger
+	// observations), which must drag live quantiles but not the copy's.
+	for i := 0; i < 5000; i++ {
+		o.RecordTask(TaskRecord{
+			PEID:  i % 7, // PEs 3..6 are new: live perPE grows, snapshot's must not
+			Ready: vtime.Time(i * 1000),
+			Start: vtime.Time(i*1000 + 5000 + rng.Intn(5000)),
+			End:   vtime.Time(i*1000 + 20000),
+		})
+		o.RecordApp(AppRecord{Arrival: vtime.Time(i * 1000), Done: vtime.Time(i*1000 + 15000)})
+	}
+
+	if got := freeze(&snap.Wait); got != wantWait {
+		t.Fatalf("snapshot Wait moved: %+v -> %+v", wantWait, got)
+	}
+	if got := freeze(&snap.Response); got != wantResp {
+		t.Fatalf("snapshot Response moved: %+v -> %+v", wantResp, got)
+	}
+	if got := freeze(snap.PEBusy(1)); got != wantPE {
+		t.Fatalf("snapshot PEBusy(1) moved: %+v -> %+v", wantPE, got)
+	}
+	if snap.PEBusy(5) != nil {
+		t.Fatal("snapshot grew a PE recorded only after the copy")
+	}
+	if o.Wait.Quantile(0.50) == wantWait.p50 {
+		t.Fatal("live p50 did not move — the independence check proved nothing")
+	}
+
+	// The converse too: writing into the snapshot must not leak back.
+	liveP50 := o.Wait.Quantile(0.50)
+	for i := 0; i < 1000; i++ {
+		snap.RecordTask(TaskRecord{PEID: 0, Ready: 0, Start: 1, End: 2})
+	}
+	if o.Wait.Quantile(0.50) != liveP50 || o.TasksSeen != 5200 {
+		t.Fatal("writes into the snapshot leaked into the live sink")
+	}
+}
+
+// TestSnapshotBootstrapPhase covers the pre-P² regime: with fewer than
+// five observations quantiles are answered exactly from the boot
+// buffer, and a snapshot taken there stays exact while the live sink
+// crosses into P² marker mode.
+func TestSnapshotBootstrapPhase(t *testing.T) {
+	o := NewOnline(0)
+	for _, w := range []int64{40, 10, 30} {
+		o.RecordTask(TaskRecord{PEID: 0, Ready: 0, Start: vtime.Time(w), End: vtime.Time(w + 1)})
+	}
+	snap := o.Snapshot()
+	if got := snap.Wait.Quantile(0.50); got != 30 {
+		t.Fatalf("bootstrap snapshot p50 = %v, want exact 30", got)
+	}
+	// Push the live sink past five observations: its markers
+	// initialise; the snapshot must still answer from its own boot copy.
+	for _, w := range []int64{100, 200, 300, 400} {
+		o.RecordTask(TaskRecord{PEID: 0, Ready: 0, Start: vtime.Time(w), End: vtime.Time(w + 1)})
+	}
+	if got := snap.Wait.Quantile(0.50); got != 30 {
+		t.Fatalf("snapshot p50 moved to %v after live sink crossed into P² mode", got)
+	}
+	if snap.Wait.Count() != 3 {
+		t.Fatalf("snapshot count = %d, want 3", snap.Wait.Count())
+	}
+}
+
+// TestSnapshotEmpty: a zero-observation snapshot is valid and answers
+// like a fresh sink.
+func TestSnapshotEmpty(t *testing.T) {
+	o := NewOnline(50, 0.5, 0.9)
+	snap := o.Snapshot()
+	if snap.Warmup != 50 || snap.Wait.Count() != 0 {
+		t.Fatalf("empty snapshot malformed: warmup=%v count=%d", snap.Warmup, snap.Wait.Count())
+	}
+	if !math.IsNaN(snap.Wait.Quantile(0.5)) {
+		t.Fatal("empty snapshot quantile should be NaN")
+	}
+	// And it keeps the warm-up trim: a pre-warmup record is dropped.
+	snap.RecordTask(TaskRecord{Ready: 10, Start: 20, End: 30})
+	if snap.Wait.Count() != 0 || snap.TasksSeen != 1 {
+		t.Fatalf("warm-up trim lost in snapshot: count=%d seen=%d", snap.Wait.Count(), snap.TasksSeen)
+	}
+}

@@ -22,10 +22,12 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
 	"runtime/debug"
+	"sort"
 	"sync"
 	"time"
 
@@ -55,6 +57,71 @@ type Options struct {
 	Progress io.Writer
 	// Label names the sweep in progress output.
 	Label string
+	// KeepGoing runs every cell even after failures: a failing or
+	// panicking cell becomes a CellError in the Outcome instead of
+	// aborting the grid, so long-lived callers (the emulated daemon)
+	// can merge the completed cells and report the broken ones
+	// per-coordinate. The default (false) preserves the classic
+	// abort-on-first-error semantics.
+	KeepGoing bool
+}
+
+// CellError is the structured failure of one grid cell: the grid
+// coordinate (Index), the cell's label, and whether the failure was a
+// recovered panic. A sweep converts worker panics into CellErrors so a
+// single bad cell can never take down the process that hosts the pool.
+type CellError struct {
+	// Index is the cell's grid coordinate (cells[Index] failed).
+	Index int
+	// Label is the failing cell's label.
+	Label string
+	// Panicked records that Err was recovered from a panic rather than
+	// returned by the cell.
+	Panicked bool
+	// Err is the underlying failure; for panics it carries the panic
+	// value and stack.
+	Err error
+}
+
+// Error renders the classic sweep error shape ("sweep: cell 5 (eft@6.92): ...").
+func (e *CellError) Error() string {
+	return fmt.Sprintf("sweep: cell %d (%s): %v", e.Index, e.Label, e.Err)
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *CellError) Unwrap() error { return e.Err }
+
+// Outcome is the full result of a context-aware sweep, partial
+// completion included. Results is always in grid order; Results[i] is
+// meaningful only where Done[i] is true.
+type Outcome[T any] struct {
+	// Results holds per-cell results in grid order.
+	Results []T
+	// Done marks which cells completed successfully. Under
+	// cancellation or abort the set of completed cells depends on
+	// worker timing, but every completed cell's value is the
+	// deterministic value that cell always computes.
+	Done []bool
+	// Errs lists failed cells in ascending grid order (empty on a
+	// clean run). With Options.KeepGoing it covers every failed cell;
+	// without, it covers the failures observed before the abort.
+	Errs []*CellError
+	// Incomplete is true when not every cell was attempted — the
+	// context was cancelled or a failure aborted the grid. A caller
+	// that consumes partial results must check this flag: a sweep
+	// never silently truncates.
+	Incomplete bool
+}
+
+// NumDone counts the successfully completed cells.
+func (o *Outcome[T]) NumDone() int {
+	n := 0
+	for _, d := range o.Done {
+		if d {
+			n++
+		}
+	}
+	return n
 }
 
 // scratchPool recycles per-worker emulator scratch state across sweeps
@@ -67,8 +134,39 @@ var scratchPool = sync.Pool{New: func() any { return core.NewScratch() }}
 // the workers finished in. On failure it returns the error of the
 // lowest-indexed cell that was observed to fail (remaining cells are
 // skipped, so under concurrency the identity of that cell can vary
-// between runs; successful sweeps are fully deterministic).
+// between runs; successful sweeps are fully deterministic). Callers
+// that need cancellation, partial-result merging, or keep-going
+// semantics use RunContext.
 func Run[T any](cells []Cell[T], opts Options) ([]T, error) {
+	opts.KeepGoing = false
+	oc, err := RunContext(context.Background(), cells, opts)
+	if err != nil {
+		return nil, err
+	}
+	if len(oc.Results) == 0 {
+		return nil, nil
+	}
+	return oc.Results, nil
+}
+
+// RunContext is the context-aware sweep entry point. It executes cells
+// over the worker pool until the grid is exhausted, the context is
+// cancelled, or (without Options.KeepGoing) a cell fails. The returned
+// Outcome always carries every completed cell's result in grid order —
+// cancellation and failure surrender the remaining cells, never the
+// finished ones — with Incomplete set whenever some cell was not run.
+//
+// Cancellation is drain-shaped: in-flight cells finish (a cell is an
+// independent emulation against its own virtual clock and cannot be
+// preempted mid-run), no new cells start, and every worker goroutine
+// has exited by the time RunContext returns, so a cancelled sweep
+// leaks nothing.
+//
+// The error is non-nil when the run was cut short: the context's
+// cancellation cause, or the lowest-indexed observed *CellError when a
+// cell failure aborted the grid. With KeepGoing, cell failures are
+// reported only through Outcome.Errs and the error stays nil.
+func RunContext[T any](ctx context.Context, cells []Cell[T], opts Options) (*Outcome[T], error) {
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -76,28 +174,39 @@ func Run[T any](cells []Cell[T], opts Options) ([]T, error) {
 	if workers > len(cells) {
 		workers = len(cells)
 	}
+	oc := &Outcome[T]{
+		Results: make([]T, len(cells)),
+		Done:    make([]bool, len(cells)),
+	}
 	if len(cells) == 0 {
-		return nil, nil
+		return oc, ctx.Err()
 	}
 
-	out := make([]T, len(cells))
-	errs := make([]error, len(cells))
+	errs := make([]*CellError, len(cells))
 	prog := newProgress(opts.Progress, opts.Label, len(cells))
+	attempted := 0
 
 	if workers <= 1 {
 		// Sequential fast path: same code shape, no goroutines, and
 		// errors abort at the exact failing cell.
 		s := scratchPool.Get().(*core.Scratch)
 		defer scratchPool.Put(s)
+	seq:
 		for i, c := range cells {
-			var err error
-			if out[i], err = runCell(c, s); err != nil {
-				return nil, fmt.Errorf("sweep: cell %d (%s): %w", i, c.Label, err)
+			if ctx.Err() != nil {
+				break seq
 			}
+			attempted++
+			if err := runCell(&oc.Results[i], i, c, s, errs); err != nil {
+				if !opts.KeepGoing {
+					break seq
+				}
+				continue
+			}
+			oc.Done[i] = true
 			prog.step()
 		}
-		prog.finish()
-		return out, nil
+		return finishOutcome(ctx, oc, errs, attempted, len(cells), opts, prog)
 	}
 
 	next := make(chan int)
@@ -113,12 +222,13 @@ func Run[T any](cells []Cell[T], opts Options) ([]T, error) {
 			s := scratchPool.Get().(*core.Scratch)
 			defer scratchPool.Put(s)
 			for i := range next {
-				var err error
-				if out[i], err = runCell(cells[i], s); err != nil {
-					errs[i] = err
-					failed.Do(func() { close(abort) })
+				if err := runCell(&oc.Results[i], i, cells[i], s, errs); err != nil {
+					if !opts.KeepGoing {
+						failed.Do(func() { close(abort) })
+					}
 					continue
 				}
+				oc.Done[i] = true
 				prog.step()
 			}
 		}()
@@ -127,32 +237,70 @@ feed:
 	for i := range cells {
 		select {
 		case next <- i:
+			attempted++
 		case <-abort:
+			break feed
+		case <-ctx.Done():
 			break feed
 		}
 	}
 	close(next)
 	wg.Wait()
 
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("sweep: cell %d (%s): %w", i, cells[i].Label, err)
-		}
-	}
-	prog.finish()
-	return out, nil
+	return finishOutcome(ctx, oc, errs, attempted, len(cells), opts, prog)
 }
 
-// runCell executes one cell, converting a panic into an error so a
-// bad cell fails its sweep instead of killing the process from a
-// worker goroutine.
-func runCell[T any](c Cell[T], s *core.Scratch) (out T, err error) {
+// finishOutcome assembles the Outcome shared by the sequential and
+// parallel paths: collect per-cell errors in grid order, classify the
+// run as complete/incomplete, and pick the error to surface.
+func finishOutcome[T any](ctx context.Context, oc *Outcome[T], errs []*CellError,
+	attempted, total int, opts Options, prog *progress) (*Outcome[T], error) {
+	for _, e := range errs {
+		if e != nil {
+			oc.Errs = append(oc.Errs, e)
+		}
+	}
+	sort.Slice(oc.Errs, func(i, j int) bool { return oc.Errs[i].Index < oc.Errs[j].Index })
+
+	if err := context.Cause(ctx); err != nil {
+		oc.Incomplete = true
+		return oc, err
+	}
+	if !opts.KeepGoing && len(oc.Errs) > 0 {
+		oc.Incomplete = true
+		return oc, oc.Errs[0]
+	}
+	if attempted < total {
+		// Aborted without a recorded error or cancellation: the
+		// failing worker's error lands before wg.Wait returns, so this
+		// is unreachable — but classify defensively rather than lie
+		// about completeness.
+		oc.Incomplete = true
+		return oc, nil
+	}
+	if len(oc.Errs) == 0 {
+		prog.finish()
+	}
+	return oc, nil
+}
+
+// runCell executes one cell, converting a panic into a structured
+// CellError so a bad cell fails its sweep (or, under KeepGoing, only
+// itself) instead of killing the process from a worker goroutine.
+func runCell[T any](out *T, i int, c Cell[T], s *core.Scratch, errs []*CellError) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("panic: %v\n%s", r, debug.Stack())
+			errs[i] = &CellError{Index: i, Label: c.Label, Panicked: true, Err: err}
 		}
 	}()
-	return c.Run(s)
+	v, err := c.Run(s)
+	if err != nil {
+		errs[i] = &CellError{Index: i, Label: c.Label, Err: err}
+		return err
+	}
+	*out = v
+	return nil
 }
 
 // progress is the throttled done/total + ETA reporter. The wall clock

@@ -1,0 +1,132 @@
+#!/usr/bin/env bash
+# serve-smoke: the crash-resume acceptance for the emulation daemon.
+#
+#   1. Baseline: run a 64-cell sweep to completion on a fresh state
+#      dir, then SIGTERM the daemon and require a clean exit 0.
+#   2. Crash: run the same sweep on a second state dir and SIGKILL the
+#      daemon mid-run, after K cells have reached the journal.
+#   3. Resume: restart over the half-written journal, resubmit, and
+#      assert (a) exactly K ledger hits — zero journaled cells were
+#      recomputed — and (b) the merged cell output is byte-identical
+#      to the uninterrupted baseline's.
+#
+# Everything the script asserts is deterministic: cells are
+# content-hashed, cell events are emitted in grid order, and ledger
+# hits replay stored bytes verbatim. Only *where* the kill lands is
+# timing-dependent, and the assertions are written relative to the
+# journal length the kill actually left behind.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+WORK=$(mktemp -d)
+DPID=""
+cleanup() {
+    [ -n "$DPID" ] && kill -9 "$DPID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+go build -o "$WORK/emulated" ./cmd/emulated
+
+# 64 timing-only cells (2 policies x 2 rates x 16 seeds), a few
+# seconds of work at 2 workers — wide enough to kill mid-run.
+REQ='{
+  "tenant": "smoke",
+  "platform": {"name": "synthetic", "cores": 16, "ffts": 4},
+  "policies": ["frfs", "eft"],
+  "rates_jobs_per_ms": [4, 6],
+  "frame_ms": 100,
+  "seeds": [1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16],
+  "skip_execution": true
+}'
+CELLS=64
+
+# start_daemon <statedir> <logfile>: sets DPID and ADDR.
+start_daemon() {
+    "$WORK/emulated" -addr 127.0.0.1:0 -state "$1" -workers 2 \
+        -snapshot-every -1ms -tenant-rate 1000 -tenant-burst 1000 \
+        >"$2" 2>&1 &
+    DPID=$!
+    ADDR=""
+    for _ in $(seq 1 100); do
+        ADDR=$(sed -n 's/.*listening on \([0-9.:]*\),.*/\1/p' "$2" | head -n1)
+        [ -n "$ADDR" ] && return 0
+        sleep 0.1
+    done
+    echo "serve-smoke: daemon never became ready" >&2
+    cat "$2" >&2
+    exit 1
+}
+
+post_sweep() { # <outfile>
+    curl -sS -N -X POST "http://$ADDR/v1/sweeps" \
+        -H 'Content-Type: application/json' -d "$REQ" >"$1"
+}
+
+field() { # <file> <name>: last value of "name":N in the terminal event, 0 if absent
+    grep -o "\"$2\":[0-9]*" "$1" | tail -n1 | cut -d: -f2 || echo 0
+}
+
+# --- 1. Baseline: uninterrupted run, then a clean SIGTERM drain. ---
+start_daemon "$WORK/baseline" "$WORK/baseline.log"
+post_sweep "$WORK/baseline.ndjson"
+grep '"type":"cell"' "$WORK/baseline.ndjson" >"$WORK/baseline.cells"
+if [ "$(wc -l <"$WORK/baseline.cells")" -ne "$CELLS" ]; then
+    echo "serve-smoke: baseline produced $(wc -l <"$WORK/baseline.cells") cells, want $CELLS" >&2
+    exit 1
+fi
+kill -TERM "$DPID"
+if ! wait "$DPID"; then
+    echo "serve-smoke: SIGTERM drain did not exit 0" >&2
+    cat "$WORK/baseline.log" >&2
+    exit 1
+fi
+DPID=""
+
+# --- 2. Crash: SIGKILL once a few cells are journaled. ---
+STATE="$WORK/state"
+start_daemon "$STATE" "$WORK/crash.log"
+post_sweep "$WORK/partial.ndjson" &
+CURL=$!
+for _ in $(seq 1 300); do
+    LINES=$(wc -l <"$STATE/ledger.ndjson" 2>/dev/null || echo 0)
+    [ "$LINES" -ge 5 ] && break
+    sleep 0.1
+done
+kill -9 "$DPID"
+wait "$DPID" 2>/dev/null || true
+wait "$CURL" 2>/dev/null || true
+DPID=""
+# wc -l counts newline-terminated lines only, so a torn final append is
+# excluded here exactly as the ledger's replay excludes it.
+PRE=$(wc -l <"$STATE/ledger.ndjson")
+if [ "$PRE" -lt 1 ] || [ "$PRE" -ge "$CELLS" ]; then
+    echo "serve-smoke: kill landed outside mid-run ($PRE of $CELLS cells journaled)" >&2
+    exit 1
+fi
+echo "serve-smoke: SIGKILL with $PRE/$CELLS cells journaled"
+
+# --- 3. Resume: restart, resubmit, prove zero recompute + identical bytes. ---
+start_daemon "$STATE" "$WORK/resume.log"
+post_sweep "$WORK/resumed.ndjson"
+HITS=$(field "$WORK/resumed.ndjson" ledger_hits)
+COMPUTED=$(field "$WORK/resumed.ndjson" computed)
+if [ "$HITS" -ne "$PRE" ]; then
+    echo "serve-smoke: resume recomputed journaled cells (ledger_hits=$HITS, want $PRE)" >&2
+    exit 1
+fi
+if [ "$COMPUTED" -ne $((CELLS - PRE)) ]; then
+    echo "serve-smoke: resume computed $COMPUTED cells, want $((CELLS - PRE))" >&2
+    exit 1
+fi
+grep '"type":"cell"' "$WORK/resumed.ndjson" >"$WORK/resumed.cells"
+if ! cmp -s "$WORK/baseline.cells" "$WORK/resumed.cells"; then
+    echo "serve-smoke: resumed merged output differs from the uninterrupted baseline:" >&2
+    diff "$WORK/baseline.cells" "$WORK/resumed.cells" >&2 || true
+    exit 1
+fi
+kill -TERM "$DPID"
+wait "$DPID"
+DPID=""
+
+echo "serve-smoke: OK — drain exits 0; resume after SIGKILL replayed $PRE cells from the ledger, recomputed $COMPUTED, byte-identical output"
