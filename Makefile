@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test lint race fuzz serve-smoke bench bench-check benchfull experiments
+.PHONY: check fmt vet build test lint sharing-report race fuzz serve-smoke bench bench-check benchfull experiments
 
 # Inside `make check`, a missing-dependency lint probe downgrades to a
 # loud skip (exit 0) so the rest of the gate still runs; standalone
@@ -26,9 +26,11 @@ build:
 test:
 	$(GO) test ./...
 
-# repolint: the five contract analyzers (detorder, novtime, singleuse,
-# metafreeze, scratchown) over the whole module, _test.go files
-# included. The linter is deliberately stdlib-only — golang.org/x/tools
+# repolint: the eight contract analyzers (detorder, novtime, singleuse,
+# metafreeze, scratchown, vtflow, sharedmut, singlewriter) over the
+# whole module, _test.go files included — the last three are
+# interprocedural, propagating facts bottom-up over the import graph.
+# The linter is deliberately stdlib-only — golang.org/x/tools
 # cannot be fetched in the offline/hermetic builds this repo targets,
 # so internal/lint/analysis mirrors the go/analysis surface instead of
 # pinning x/tools in go.mod (see ARCHITECTURE.md). The build probe
@@ -54,6 +56,14 @@ lint:
 		echo "$$err" >&2; exit $$status; \
 	fi; \
 	$(GO) run ./cmd/repolint ./...
+
+# Regenerate the PDES sharing baseline (the sharedmut analyzer's
+# inventory of package-level mutable state across the simulation
+# surface). TestSharingReportFresh pins the committed file to the code,
+# so rerun this after adding/removing/re-classifying a package-level
+# variable.
+sharing-report:
+	$(GO) run ./cmd/repolint -sharing-report > PDES_SHARING.md
 
 # The sweep engine is the only deliberately concurrent code in the
 # repo; run it (and the core scratch plumbing it exercises) under the
@@ -105,45 +115,51 @@ fuzz:
 # cmd/benchreport. Bump BENCH_N when a PR moves the numbers. The
 # allocation regression gate lives in `test`: TestRunSteadyStateAllocs
 # plus its sink/stream companions (constant allocs with an Online sink).
-# BENCH_TRIALS > 1 repeats the suite via -count; benchreport folds the
-# repeated lines into mean/stdev records, and bench-check then treats
-# over-threshold drops whose noise intervals overlap as warnings
-# rather than failures.
-BENCH_N ?= 5
-BENCH_TRIALS ?= 1
+# BENCH_TRIALS > 1 repeats the suite as separate processes (benchreport
+# -exec); benchreport folds the repeated lines into mean/stdev records,
+# and bench-check then treats over-threshold drops whose noise
+# intervals overlap as warnings rather than failures. Each trial
+# process additionally contributes a trial_resources record — wall /
+# user / system time, peak RSS, and summed stop-the-world GC pauses
+# under GODEBUG=gctrace=1 — so BENCH files carry memory-pressure
+# context next to the throughput numbers.
+BENCH_N ?= 10
+BENCH_TRIALS ?= 3
 
 # The recorded regex includes the scheduler path ablation since PR 5:
 # BENCH_5.json pins the indexed-vs-slice gap on the big.LITTLE and
 # 512-PE heterogeneous pools alongside the throughput headlines.
 BENCH_REGEX = EmulatorThroughput|SweepWorkers|SchedulerPathAblation
 
-# Both steps land in temp files first so neither a failed benchmark run
-# nor a benchreport parse error can truncate the recorded
-# BENCH_$(BENCH_N).json (a pipe would mask go test's exit status, and
-# `>` truncates before the command runs). The .out temp survives a
-# failure for debugging.
+# The report lands in a temp file first so neither a failed benchmark
+# trial nor a parse error can truncate the recorded
+# BENCH_$(BENCH_N).json (`>` truncates before the command runs).
+# benchreport -exec runs the go test child itself — one process per
+# trial — and -raw preserves the combined raw benchmark text alongside
+# the JSON for debugging a failed run.
 bench:
-	$(GO) test -run NONE -bench '$(BENCH_REGEX)' \
-		-benchmem -benchtime 10x -count $(BENCH_TRIALS) . > BENCH_$(BENCH_N).out
+	$(GO) run ./cmd/benchreport -exec -trials $(BENCH_TRIALS) \
+		-raw BENCH_$(BENCH_N).out \
+		$(GO) test -run NONE -bench '$(BENCH_REGEX)' \
+		-benchmem -benchtime 10x . > BENCH_$(BENCH_N).json.tmp
 	@cat BENCH_$(BENCH_N).out
-	$(GO) run ./cmd/benchreport < BENCH_$(BENCH_N).out > BENCH_$(BENCH_N).json.tmp
 	@mv BENCH_$(BENCH_N).json.tmp BENCH_$(BENCH_N).json
 	@rm BENCH_$(BENCH_N).out
 
 # `make bench-check` is the perf-regression gate: it reruns the bench
 # suite and diffs it against the last recorded BENCH_$(BENCH_PREV).json
-# via benchreport -prev, failing on a >10% tasks/sec drop — so after
-# PR 5 the fresh numbers (BENCH_5 shape) gate against the recorded
-# BENCH_4.json trajectory point. The fresh measurement is discarded
-# (only the delta table on stderr survives); run `make bench` to record
-# a new trajectory point.
-BENCH_PREV ?= 4
+# via benchreport -prev, failing on a >10% tasks/sec drop — the fresh
+# numbers gate against the recorded BENCH_5.json trajectory point
+# (BENCH_10 re-recorded the same suite with trial_resources). The
+# fresh measurement is discarded (only the delta table on stderr
+# survives); run `make bench` to record a new trajectory point.
+BENCH_PREV ?= 5
 bench-check:
-	$(GO) test -run NONE -bench '$(BENCH_REGEX)' \
-		-benchmem -benchtime 10x -count $(BENCH_TRIALS) . > BENCH_check.out
-	@status=0; $(GO) run ./cmd/benchreport -prev BENCH_$(BENCH_PREV).json \
-		< BENCH_check.out > /dev/null || status=$$?; \
-	rm -f BENCH_check.out; exit $$status
+	@status=0; $(GO) run ./cmd/benchreport -exec -trials $(BENCH_TRIALS) \
+		-prev BENCH_$(BENCH_PREV).json \
+		$(GO) test -run NONE -bench '$(BENCH_REGEX)' \
+		-benchmem -benchtime 10x . > /dev/null || status=$$?; \
+	exit $$status
 
 # The full benchmark harness (every table/figure of the paper) at one
 # iteration each.

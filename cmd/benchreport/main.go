@@ -34,18 +34,37 @@
 // When both records carry trial spreads and their mean±stdev intervals
 // overlap, an over-threshold drop is reported as a warning instead of
 // failing the gate: the measurement cannot distinguish the two runs.
+//
+// Exec mode:
+//
+//	benchreport -exec -trials 3 -raw BENCH_5.out go test -run NONE -bench . -benchmem . > BENCH_5.json
+//
+// runs the benchmark command itself, once per trial, instead of
+// reading a pipe — which is what lets a BENCH file record what a pipe
+// cannot carry: each trial's OS resource usage (user/system CPU
+// seconds and peak RSS via the child's rusage) and its total
+// stop-the-world GC pause (the command runs under GODEBUG=gctrace=1;
+// the sweep- and mark-termination clock phases of every gc line are
+// summed, covering the whole process tree of the trial). The combined
+// stdout of all trials is parsed as usual, so repeated benchmark lines
+// fold into mean/stdev records exactly like -count output, and the
+// per-trial records land in trial_resources.
 package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"math"
 	"os"
+	"os/exec"
+	"regexp"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // Benchmark is one parsed benchmark result (the mean over trials when
@@ -86,14 +105,48 @@ type Report struct {
 	// worker curves are indistinguishable noise.
 	SingleCPUHost bool        `json:"single_cpu_host"`
 	Benchmarks    []Benchmark `json:"benchmarks"`
+	// TrialResources is one record per -exec trial process: OS-level
+	// cost (rusage) and GC stop-the-world totals that per-op columns
+	// cannot express. Absent for piped (non-exec) input.
+	TrialResources []TrialResource `json:"trial_resources,omitempty"`
+}
+
+// TrialResource is the resource footprint of one exec-mode trial.
+type TrialResource struct {
+	WallSec float64 `json:"wall_sec"`
+	UserSec float64 `json:"user_sec,omitempty"`
+	SysSec  float64 `json:"sys_sec,omitempty"`
+	// MaxRSSKB is the trial process's peak resident set size in KiB.
+	MaxRSSKB int64 `json:"max_rss_kb,omitempty"`
+	// GCPauseMs sums the stop-the-world clock phases of every gctrace
+	// line the trial emitted; GCCount is how many collections ran.
+	GCPauseMs float64 `json:"gc_pause_ms,omitempty"`
+	GCCount   int     `json:"gc_count,omitempty"`
 }
 
 func main() {
 	prev := flag.String("prev", "", "previous BENCH_N.json to diff against; >max-regress tasks/sec regressions exit non-zero")
 	maxRegress := flag.Float64("max-regress", 0.10, "tolerated fractional tasks/sec regression in -prev mode")
+	execMode := flag.Bool("exec", false, "run the benchmark command given as trailing arguments instead of reading stdin")
+	trials := flag.Int("trials", 1, "exec mode: how many times to run the command (one process, one trial_resources record each)")
+	rawPath := flag.String("raw", "", "exec mode: also write the combined raw benchmark output to this file")
 	flag.Parse()
 
-	rep, err := parse(os.Stdin)
+	var rep *Report
+	var err error
+	if *execMode {
+		var out []byte
+		var resources []TrialResource
+		out, resources, err = runTrials(flag.Args(), *trials, *rawPath)
+		if err == nil {
+			rep, err = parse(bytes.NewReader(out))
+		}
+		if rep != nil {
+			rep.TrialResources = resources
+		}
+	} else {
+		rep, err = parse(os.Stdin)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchreport:", err)
 		os.Exit(1)
@@ -379,6 +432,97 @@ func deriveSweepSpeedups(rep *Report) {
 		}
 		b.Metrics["speedup_vs_1"] = base / b.NsOp
 	}
+}
+
+// runTrials executes the benchmark command n times under
+// GODEBUG=gctrace=1, returning the concatenated stdout (parsed like
+// -count output) and one resource record per trial. gctrace lines are
+// consumed for the GC pause totals; every other stderr line is
+// forwarded so test failures stay visible.
+func runTrials(args []string, n int, rawPath string) ([]byte, []TrialResource, error) {
+	if len(args) == 0 {
+		return nil, nil, fmt.Errorf("-exec needs a command: benchreport -exec [-trials N] go test -bench ...")
+	}
+	if n < 1 {
+		n = 1
+	}
+	var raw io.Writer = io.Discard
+	if rawPath != "" {
+		f, err := os.Create(rawPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer f.Close()
+		raw = f
+	}
+	var combined bytes.Buffer
+	var resources []TrialResource
+	for i := 0; i < n; i++ {
+		cmd := exec.Command(args[0], args[1:]...)
+		cmd.Env = append(os.Environ(), "GODEBUG=gctrace=1")
+		var stdout, stderr bytes.Buffer
+		cmd.Stdout = &stdout
+		cmd.Stderr = &stderr
+		start := time.Now()
+		runErr := cmd.Run()
+		wall := time.Since(start)
+		// `go test` merges the test binary's stderr — where gctrace
+		// writes — into its own stdout, interleaving gc lines even
+		// mid-benchmark-line. Both streams are sieved: gc traces feed
+		// the pause totals and are excised (with their newline, so a
+		// split benchmark line rejoins); the rest passes through to
+		// the benchmark parser / the operator.
+		outBytes, outMs, outN := stripGCTrace(stdout.Bytes())
+		combined.Write(outBytes)
+		raw.Write(outBytes)
+		errBytes, errMs, errN := stripGCTrace(stderr.Bytes())
+		os.Stderr.Write(errBytes)
+		pauseMs, gcCount := outMs+errMs, outN+errN
+		if runErr != nil {
+			return nil, nil, fmt.Errorf("trial %d: %v", i+1, runErr)
+		}
+		tr := TrialResource{WallSec: wall.Seconds(), GCPauseMs: pauseMs, GCCount: gcCount}
+		if user, sys, rss, ok := rusageOf(cmd.ProcessState); ok {
+			tr.UserSec, tr.SysSec, tr.MaxRSSKB = user, sys, rss
+		}
+		resources = append(resources, tr)
+	}
+	return combined.Bytes(), resources, nil
+}
+
+// gcTraceRE matches one GODEBUG=gctrace=1 record through its trailing
+// newline. The runtime emits each record atomically but the host
+// stream may already hold a partial benchmark line, so records are
+// located anywhere, not just at line starts.
+var gcTraceRE = regexp.MustCompile(`gc \d+ @[0-9.]+s \d+%: (\S+) ms clock[^\n]*\n?`)
+
+// stripGCTrace excises every gctrace record from b, summing the
+// stop-the-world sweep- and mark-termination clock phases
+// ("0.018+1.2+0.003 ms clock": first and third are STW) into pauseMs.
+func stripGCTrace(b []byte) (out []byte, pauseMs float64, count int) {
+	matches := gcTraceRE.FindAllSubmatchIndex(b, -1)
+	if len(matches) == 0 {
+		return b, 0, 0
+	}
+	out = make([]byte, 0, len(b))
+	prev := 0
+	for _, m := range matches {
+		out = append(out, b[prev:m[0]]...)
+		prev = m[1]
+		phases := strings.Split(string(b[m[2]:m[3]]), "+")
+		if len(phases) != 3 {
+			continue
+		}
+		stw1, err1 := strconv.ParseFloat(phases[0], 64)
+		stw2, err2 := strconv.ParseFloat(phases[2], 64)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		pauseMs += stw1 + stw2
+		count++
+	}
+	out = append(out, b[prev:]...)
+	return out, pauseMs, count
 }
 
 // splitProcSuffix drops the -GOMAXPROCS suffix go test appends to

@@ -1,0 +1,11 @@
+//go:build !unix
+
+package main
+
+import "os"
+
+// rusageOf has no portable source on non-unix platforms; the trial
+// record then carries wall clock and GC pauses only.
+func rusageOf(ps *os.ProcessState) (userSec, sysSec float64, maxRSSKB int64, ok bool) {
+	return 0, 0, 0, false
+}

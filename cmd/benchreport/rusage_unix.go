@@ -1,0 +1,26 @@
+//go:build unix
+
+package main
+
+import (
+	"os"
+	"runtime"
+	"syscall"
+)
+
+// rusageOf extracts the child's resource usage from its exit state:
+// user/system CPU seconds and peak resident set size in KiB. ok is
+// false when the platform delivered no rusage.
+func rusageOf(ps *os.ProcessState) (userSec, sysSec float64, maxRSSKB int64, ok bool) {
+	ru, isRusage := ps.SysUsage().(*syscall.Rusage)
+	if !isRusage {
+		return 0, 0, 0, false
+	}
+	userSec = float64(ru.Utime.Sec) + float64(ru.Utime.Usec)/1e6
+	sysSec = float64(ru.Stime.Sec) + float64(ru.Stime.Usec)/1e6
+	maxRSSKB = ru.Maxrss
+	if runtime.GOOS == "darwin" {
+		maxRSSKB /= 1024 // darwin reports ru_maxrss in bytes, linux in KiB
+	}
+	return userSec, sysSec, maxRSSKB, true
+}

@@ -2,27 +2,44 @@
 // analyzers (internal/lint) over the given packages and reports every
 // finding not covered by a reasoned //repolint:allow comment.
 //
-//	repolint [-tests=false] [packages...]   (default ./...)
+//	repolint [-tests=false] [-json] [-github] [-sharing-report] [packages...]
+//
+// Default packages: ./... . Output modes:
+//
+//	(default)        one finding per line, editor-clickable
+//	-json            machine-readable array (file/line/analyzer/message,
+//	                 plus the suppressed findings with their allow
+//	                 reasons, so audits see what the allows hold back)
+//	-github          GitHub Actions workflow commands (::error ...) so
+//	                 findings land as inline annotations on the PR diff
+//	-sharing-report  run only the sharedmut inventory and print the
+//	                 PDES sharing baseline markdown (PDES_SHARING.md)
 //
 // Exit status: 0 clean, 1 findings, 2 load/driver error. `make lint`
 // runs it over ./... as part of `make check` and CI.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"repro/internal/lint"
+	"repro/internal/lint/analysis"
 )
 
 func main() {
 	tests := flag.Bool("tests", true, "also lint _test.go files and external test packages")
+	jsonOut := flag.Bool("json", false, "emit findings as JSON (includes suppressed findings with reasons)")
+	github := flag.Bool("github", false, "emit findings as GitHub Actions ::error annotations")
+	sharing := flag.Bool("sharing-report", false, "print the PDES sharing baseline (sharedmut inventory) and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: repolint [-tests=false] [packages...]\n\nanalyzers:\n")
+		fmt.Fprintf(os.Stderr, "usage: repolint [-tests=false] [-json] [-github] [-sharing-report] [packages...]\n\nanalyzers:\n")
 		for _, a := range lint.Analyzers() {
-			fmt.Fprintf(os.Stderr, "  %-11s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
 		}
 		fmt.Fprintf(os.Stderr, "\nsuppress a deliberate finding with //repolint:allow <analyzer> <reason>\n")
 		flag.PrintDefaults()
@@ -33,22 +50,95 @@ func main() {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	findings, err := lint.Run(patterns, lint.Options{Tests: *tests})
+
+	if *sharing {
+		// The inventory comes from facts, not diagnostics, so the
+		// report is built from a sharedmut-only pass over the module
+		// without test files (test-only helpers are not part of the
+		// sharing surface a partitioned loop would see).
+		facts := analysis.NewFactStore()
+		if _, err := lint.Run(patterns, lint.Options{
+			Tests:     false,
+			Analyzers: []*analysis.Analyzer{lint.SharedMut},
+			Facts:     facts,
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "repolint: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Print(lint.SharingReport(facts))
+		return
+	}
+
+	findings, err := lint.Run(patterns, lint.Options{Tests: *tests, KeepSuppressed: *jsonOut})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "repolint: %v\n", err)
 		os.Exit(2)
 	}
 	cwd, _ := os.Getwd()
-	for _, f := range findings {
+	rel := func(name string) string {
 		if cwd != "" {
-			if rel, err := filepath.Rel(cwd, f.Pos.Filename); err == nil {
-				f.Pos.Filename = rel
+			if r, err := filepath.Rel(cwd, name); err == nil {
+				return r
 			}
 		}
-		fmt.Println(f)
+		return name
 	}
-	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "repolint: %d finding(s)\n", len(findings))
+
+	live := 0
+	for _, f := range findings {
+		if !f.Suppressed {
+			live++
+		}
+	}
+
+	switch {
+	case *jsonOut:
+		type finding struct {
+			File       string `json:"file"`
+			Line       int    `json:"line"`
+			Column     int    `json:"column"`
+			Analyzer   string `json:"analyzer"`
+			Category   string `json:"category,omitempty"`
+			Message    string `json:"message"`
+			Suppressed bool   `json:"suppressed"`
+			Reason     string `json:"reason,omitempty"`
+		}
+		out := make([]finding, 0, len(findings))
+		for _, f := range findings {
+			out = append(out, finding{
+				File: rel(f.Pos.Filename), Line: f.Pos.Line, Column: f.Pos.Column,
+				Analyzer: f.Analyzer, Category: f.Category, Message: f.Message,
+				Suppressed: f.Suppressed, Reason: f.Reason,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "repolint: %v\n", err)
+			os.Exit(2)
+		}
+	case *github:
+		for _, f := range findings {
+			if f.Suppressed {
+				continue
+			}
+			// Workflow command: newlines and the %-escapes per the
+			// Actions annotation grammar.
+			msg := strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A").Replace(f.Message)
+			fmt.Printf("::error file=%s,line=%d,col=%d,title=repolint/%s::%s\n",
+				rel(f.Pos.Filename), f.Pos.Line, f.Pos.Column, f.Analyzer, msg)
+		}
+	default:
+		for _, f := range findings {
+			if f.Suppressed {
+				continue
+			}
+			f.Pos.Filename = rel(f.Pos.Filename)
+			fmt.Println(f)
+		}
+	}
+	if live > 0 {
+		fmt.Fprintf(os.Stderr, "repolint: %d finding(s)\n", live)
 		os.Exit(1)
 	}
 }

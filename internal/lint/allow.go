@@ -15,7 +15,10 @@ import (
 // say why the contract doesn't apply, so suppressions stay auditable.
 // A malformed allow — missing analyzer, unknown analyzer, empty
 // reason — is itself reported as a finding (analyzer "repolint") and
-// suppresses nothing.
+// suppresses nothing. A well-formed allow that suppresses nothing is
+// reported too (category "stale-allow"): the finding it once silenced
+// no longer occurs, so the directive is dead weight that would rot the
+// `git grep repolint:allow` audit.
 
 const allowPrefix = "repolint:allow"
 
@@ -25,18 +28,50 @@ type allowKey struct {
 	line int
 }
 
-// allowSet records, per source line, which analyzers are suppressed.
-type allowSet map[allowKey]map[string]string // analyzer -> reason
+// allowDirective is one parsed //repolint:allow comment. used flips
+// when the directive suppresses at least one finding, so the driver
+// can report the stale ones after all analyzers ran.
+type allowDirective struct {
+	pos      token.Position
+	analyzer string
+	reason   string
+	used     bool
+}
+
+// allowSet records, per source line, which analyzers are suppressed;
+// entries of one directive share the *allowDirective so a suppression
+// on either covered line marks it used.
+type allowSet map[allowKey]map[string]*allowDirective
 
 // covers reports whether a diagnostic from analyzer at pos is
-// suppressed.
-func (s allowSet) covers(pos token.Position, analyzer string) bool {
+// suppressed, marking the covering directive as used.
+func (s allowSet) covers(pos token.Position, analyzer string) (string, bool) {
 	m := s[allowKey{pos.Filename, pos.Line}]
-	if _, ok := m["*"]; ok {
-		return true
+	if d, ok := m["*"]; ok {
+		d.used = true
+		return d.reason, true
 	}
-	_, ok := m[analyzer]
-	return ok
+	if d, ok := m[analyzer]; ok {
+		d.used = true
+		return d.reason, true
+	}
+	return "", false
+}
+
+// directives lists every distinct directive in the set, in no
+// particular order (the driver sorts findings afterwards).
+func (s allowSet) directives() []*allowDirective {
+	seen := map[*allowDirective]bool{}
+	var out []*allowDirective
+	for _, m := range s {
+		for _, d := range m {
+			if !seen[d] {
+				seen[d] = true
+				out = append(out, d)
+			}
+		}
+	}
+	return out
 }
 
 // parseAllows scans one file's comments for suppression directives
@@ -50,6 +85,7 @@ func parseAllows(fset *token.FileSet, file *ast.File, known map[string]bool, all
 		bad = append(bad, Finding{
 			Pos:      fset.Position(pos),
 			Analyzer: "repolint",
+			Category: "malformed-allow",
 			Message:  msg,
 		})
 	}
@@ -75,14 +111,15 @@ func parseAllows(fset *token.FileSet, file *ast.File, known map[string]bool, all
 				continue
 			}
 			pos := fset.Position(c.Pos())
+			d := &allowDirective{pos: pos, analyzer: analyzer, reason: reason}
 			for _, l := range []int{pos.Line, pos.Line + 1} {
 				key := allowKey{pos.Filename, l}
 				m := allows[key]
 				if m == nil {
-					m = map[string]string{}
+					m = map[string]*allowDirective{}
 					allows[key] = m
 				}
-				m[analyzer] = reason
+				m[analyzer] = d
 			}
 		}
 	}

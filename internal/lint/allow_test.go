@@ -50,7 +50,7 @@ func f() {
 	}
 	for _, c := range cases {
 		pos := token.Position{Filename: "allow_fixture.go", Line: c.line}
-		if got := allows.covers(pos, c.analyzer); got != c.want {
+		if _, got := allows.covers(pos, c.analyzer); got != c.want {
 			t.Errorf("covers(line %d, %s) = %v, want %v", c.line, c.analyzer, got, c.want)
 		}
 	}
@@ -82,7 +82,7 @@ func f() {}
 `)
 	for line := 3; line <= 4; line++ {
 		pos := token.Position{Filename: "allow_fixture.go", Line: line}
-		if allows.covers(pos, "detorder") {
+		if _, suppressed := allows.covers(pos, "detorder"); suppressed {
 			t.Errorf("reasonless directive suppresses detorder on line %d", line)
 		}
 	}
@@ -125,8 +125,46 @@ func f() {
 	}
 	pos := token.Position{Filename: "allow_fixture.go", Line: 4}
 	for _, a := range Analyzers() {
-		if !allows.covers(pos, a.Name) {
+		if _, suppressed := allows.covers(pos, a.Name); !suppressed {
 			t.Errorf("wildcard does not cover %s", a.Name)
 		}
+	}
+}
+
+func TestAllowTracksUse(t *testing.T) {
+	allows, _, _ := parseAllowsFromSource(t, `package p
+
+func f() {
+	_ = 1 //repolint:allow detorder reason one
+	//repolint:allow novtime reason two
+	_ = 2
+}
+`)
+	if _, ok := allows.covers(token.Position{Filename: "allow_fixture.go", Line: 4}, "detorder"); !ok {
+		t.Fatalf("detorder directive did not cover its own line")
+	}
+	var used, unused int
+	for _, d := range allows.directives() {
+		if d.used {
+			used++
+		} else {
+			unused++
+		}
+	}
+	if used != 1 || unused != 1 {
+		t.Errorf("used=%d unused=%d after one suppression, want 1 and 1 (the novtime directive is stale)", used, unused)
+	}
+}
+
+func TestAllowReasonReturned(t *testing.T) {
+	allows, _, _ := parseAllowsFromSource(t, `package p
+
+func f() {
+	_ = 1 //repolint:allow detorder assertion-only iteration
+}
+`)
+	reason, ok := allows.covers(token.Position{Filename: "allow_fixture.go", Line: 4}, "detorder")
+	if !ok || reason != "assertion-only iteration" {
+		t.Errorf("covers returned (%q, %v), want the directive's reason", reason, ok)
 	}
 }

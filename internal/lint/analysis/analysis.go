@@ -32,6 +32,15 @@ type Analyzer struct {
 	Doc string
 	// Run applies the analyzer to one package.
 	Run func(*Pass) (any, error)
+
+	// FactTypes declares the fact types the analyzer exports and
+	// imports (one zero value per concrete type, x/tools-style). A
+	// non-empty list makes the analyzer interprocedural: the driver
+	// runs it over every package of the module bottom-up in import
+	// order — package Scope then filters which packages' diagnostics
+	// are kept, never which packages are analyzed — so facts computed
+	// in a dependency are visible when its importers are analyzed.
+	FactTypes []Fact
 }
 
 // Pass is one (analyzer, package) unit of work. The driver guarantees
@@ -48,6 +57,21 @@ type Pass struct {
 	// order (ranging over TypesInfo maps is fine); the driver sorts
 	// all findings by position before output.
 	Report func(Diagnostic)
+
+	// Fact plumbing, bound by the driver from its FactStore (no-ops
+	// when the analyzer declares no FactTypes). Semantics mirror
+	// x/tools: ExportObjectFact may only attach facts to objects of
+	// the package under analysis; ImportObjectFact retrieves a fact
+	// previously exported for obj — by this pass or by the pass over
+	// obj's defining package — copying it into the supplied pointer
+	// and reporting whether one existed.
+	ExportObjectFact func(obj types.Object, fact Fact)
+	ImportObjectFact func(obj types.Object, fact Fact) bool
+	// ExportPackageFact attaches a fact to the package under analysis;
+	// ImportPackageFact reads the fact attached to any package in the
+	// import closure (including the current one).
+	ExportPackageFact func(fact Fact)
+	ImportPackageFact func(pkg *types.Package, fact Fact) bool
 }
 
 // Diagnostic is one finding at a source position.

@@ -5,7 +5,7 @@
 // check them at the source level on every `make check` and CI push,
 // before a violation ever reaches an emulation run.
 //
-// The five analyzers and the notes they mechanize:
+// The eight analyzers and the notes they mechanize:
 //
 //   - detorder: map iteration feeding output must sort keys first
 //     (the Fig9CSV class of bug PR 1 fixed by luck).
@@ -17,10 +17,24 @@
 //     ready window (PR 5's pointer-validity contract).
 //   - scratchown: Instances() views die at the next Run on the same
 //     emulator, and a core.Scratch never crosses goroutines (PR 2).
+//   - vtflow: the novtime contract made transitive — wall-clock and
+//     global-rand values are tracked through helper functions and
+//     struct fields (via analyzer facts) into the virtual-clock
+//     packages, wherever in the module the source lives.
+//   - sharedmut: the PDES-readiness inventory — package-level mutable
+//     state a domain-partitioned event loop would race on, including
+//     cross-package writes; also emits the PDES_SHARING.md baseline.
+//   - singlewriter: //repolint:contract single-writer types (the
+//     stats.Online / serve.progressMirror contract) — unlocked
+//     mutating methods reached from more than one goroutine-spawn
+//     site per value.
 //
-// The driver loads packages itself (see load.go) and applies
-// per-analyzer package scoping, so analyzers stay pure functions of
-// one type-checked package and remain testable on fixtures.
+// The driver loads packages itself (see load.go), orders them
+// bottom-up over the import graph, and applies per-analyzer package
+// scoping. Analyzers without facts stay pure functions of one
+// type-checked package; analyzers with FactTypes run over every
+// package (facts must be computed module-wide) and Scope then filters
+// which packages' diagnostics are reported.
 package lint
 
 import (
@@ -34,13 +48,19 @@ import (
 
 // Analyzers returns repolint's analyzer suite.
 func Analyzers() []*analysis.Analyzer {
-	return []*analysis.Analyzer{DetOrder, NoVTime, SingleUse, MetaFreeze, ScratchOwn}
+	return []*analysis.Analyzer{
+		DetOrder, NoVTime, SingleUse, MetaFreeze, ScratchOwn,
+		VTFlow, SharedMut, SingleWriter,
+	}
 }
 
 // Scope restricts analyzers to the packages whose contract they
-// encode; an absent entry means the analyzer runs everywhere. Paths
+// encode; an absent entry means the analyzer reports everywhere. Paths
 // match the package or any subpackage, with test variants normalized
-// (external test packages match their package under test).
+// (external test packages match their package under test). For
+// analyzers without facts the driver skips out-of-scope packages
+// entirely; fact-carrying analyzers run everywhere (facts are a
+// whole-module computation) and only their diagnostics are filtered.
 var Scope = map[string][]string{
 	// The byte-determinism surface: packages whose output lands in
 	// CSVs, reports, goldens, or hashes.
@@ -56,13 +76,40 @@ var Scope = map[string][]string{
 		"repro/internal/core", "repro/internal/sched", "repro/internal/platevent",
 		"repro/internal/workload", "repro/internal/experiments",
 	},
+	// vtflow reports where novtime does — the same virtual-clock
+	// surface, but with taint arriving through any number of helper
+	// hops; facts are still computed over the whole module.
+	"vtflow": {
+		"repro/internal/core", "repro/internal/sched", "repro/internal/platevent",
+		"repro/internal/workload", "repro/internal/experiments",
+	},
+	// The PDES sharing surface: everything a domain-partitioned event
+	// loop would touch concurrently — the loop itself, the scheduler
+	// state, platform events, workload sources, the sinks it records
+	// into, and the clock.
+	"sharedmut": {
+		"repro/internal/core", "repro/internal/sched", "repro/internal/platevent",
+		"repro/internal/workload", "repro/internal/stats", "repro/internal/vtime",
+	},
+	// singlewriter is unscoped: the contract travels with the
+	// annotated type, wherever it is used.
 }
 
 // Finding is one reported diagnostic, position-resolved.
 type Finding struct {
 	Pos      token.Position
 	Analyzer string
+	// Category refines repolint's own findings ("malformed-allow",
+	// "stale-allow"); empty for ordinary analyzer diagnostics.
+	Category string
 	Message  string
+	// Suppressed marks findings covered by a reasoned
+	// //repolint:allow; they are only collected under
+	// Options.KeepSuppressed (the -json machine-readable output
+	// records them so audits see what the allows are holding back).
+	Suppressed bool
+	// Reason is the allow directive's reason for suppressed findings.
+	Reason string
 }
 
 func (f Finding) String() string {
@@ -77,12 +124,20 @@ type Options struct {
 	Tests bool
 	// Analyzers overrides the suite; nil runs Analyzers().
 	Analyzers []*analysis.Analyzer
+	// KeepSuppressed also returns findings covered by an allow
+	// directive, marked Suppressed with their Reason.
+	KeepSuppressed bool
+	// Facts, when non-nil, is used as the run's fact store and left
+	// populated afterwards (the PDES sharing report reads the
+	// sharedmut inventory facts out of it).
+	Facts *analysis.FactStore
 }
 
 // Run loads the packages matched by patterns and applies the analyzer
 // suite, honouring Scope and //repolint:allow suppressions. The
-// returned findings are sorted by position; a non-empty slice means
-// the tree violates a contract (or carries a malformed suppression).
+// returned findings are sorted by position; a non-empty slice of
+// unsuppressed findings means the tree violates a contract (or
+// carries a malformed or stale suppression).
 func Run(patterns []string, opts Options) ([]Finding, error) {
 	analyzers := opts.Analyzers
 	if analyzers == nil {
@@ -93,7 +148,19 @@ func Run(patterns []string, opts Options) ([]Finding, error) {
 		return nil, err
 	}
 
+	facts := opts.Facts
+	if facts == nil {
+		facts = analysis.NewFactStore()
+	}
+
+	// Directives must recognize every suite analyzer, not just the
+	// ones this run executes: a subset run (the sharing report, a
+	// focused -run) must not misreport another analyzer's allow as
+	// unknown.
 	known := map[string]bool{"*": true}
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
 	for _, a := range analyzers {
 		known[a.Name] = true
 	}
@@ -104,9 +171,16 @@ func Run(patterns []string, opts Options) ([]Finding, error) {
 		for _, f := range pkg.Files {
 			findings = append(findings, parseAllows(fset, f, known, allows)...)
 		}
+		// reporting is the set of analyzers whose findings can surface
+		// in this package — what an allow directive here could
+		// legitimately be suppressing.
+		reporting := map[string]bool{}
 		for _, a := range analyzers {
-			if !inScope(a.Name, pkg.Path) {
-				continue
+			interproc := len(a.FactTypes) > 0
+			if inScope(a.Name, pkg.Path) {
+				reporting[a.Name] = true
+			} else if !interproc {
+				continue // out of scope, no facts to compute: skip entirely
 			}
 			pass := &analysis.Pass{
 				Analyzer:  a,
@@ -117,16 +191,47 @@ func Run(patterns []string, opts Options) ([]Finding, error) {
 			}
 			var diags []analysis.Diagnostic
 			pass.Report = func(d analysis.Diagnostic) { diags = append(diags, d) }
+			if interproc {
+				facts.Bind(pass, pkg.Path)
+			}
 			if _, err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("%s on %s: %v", a.Name, pkg.Path, err)
 			}
+			if !reporting[a.Name] {
+				continue // fact-only visit: diagnostics filtered by Scope
+			}
 			for _, d := range diags {
 				pos := fset.Position(d.Pos)
-				if allows.covers(pos, a.Name) {
+				reason, suppressed := allows.covers(pos, a.Name)
+				if suppressed && !opts.KeepSuppressed {
 					continue
 				}
-				findings = append(findings, Finding{Pos: pos, Analyzer: a.Name, Message: d.Message})
+				findings = append(findings, Finding{
+					Pos: pos, Analyzer: a.Name, Message: d.Message,
+					Suppressed: suppressed, Reason: reason,
+				})
 			}
+		}
+		// Stale-allow detection: a directive whose analyzer reported
+		// nothing on its lines is dead and would rot the audit. Only
+		// directives whose analyzer actually could report here are
+		// judged — an allow for an analyzer excluded from this run (or
+		// scoped away from this package) is merely unused, not stale.
+		for _, d := range allows.directives() {
+			if d.used {
+				continue
+			}
+			applicable := d.analyzer == "*" && len(reporting) > 0 || reporting[d.analyzer]
+			if !applicable {
+				continue
+			}
+			findings = append(findings, Finding{
+				Pos:      d.pos,
+				Analyzer: "repolint",
+				Category: "stale-allow",
+				Message: fmt.Sprintf("stale //repolint:allow %s: no %s finding occurs on its lines anymore — remove the directive",
+					d.analyzer, d.analyzer),
+			})
 		}
 	}
 	sortFindings(findings)

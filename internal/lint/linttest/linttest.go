@@ -12,6 +12,7 @@ import (
 	"go/ast"
 	"go/parser"
 	"go/token"
+	"go/types"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -97,10 +98,21 @@ func Run(t *testing.T, a *analysis.Analyzer, dir string) {
 		TypesInfo: info,
 		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
 	}
+	if len(a.FactTypes) > 0 {
+		analysis.NewFactStore().Bind(pass, pkg.Path())
+	}
 	if _, err := a.Run(pass); err != nil {
 		t.Fatalf("linttest: %s: %v", a.Name, err)
 	}
 
+	matchWants(t, fset, files, diags)
+}
+
+// matchWants diffs diagnostics against the files' want comments,
+// analysistest-style: every diagnostic must match a want on its line,
+// every want must be hit.
+func matchWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
 	wants := collectWants(t, fset, files)
 	for _, d := range diags {
 		pos := fset.Position(d.Pos)
@@ -129,6 +141,134 @@ func Run(t *testing.T, a *analysis.Analyzer, dir string) {
 	for _, m := range missed {
 		t.Error(m)
 	}
+}
+
+// RunPackages applies analyzer a to a multi-package fixture tree:
+// every subdirectory of dir is one fixture package with import path
+// "fixtures/<base(dir)>/<sub>", type-checked in dependency order with
+// analyzer facts flowing through one shared FactStore — the harness
+// proof that an analyzer's interprocedural reasoning survives package
+// boundaries. Diagnostics from every package are matched against the
+// want comments of every package (the raw analyzer is scope-free;
+// Scope filtering is the driver's concern, not the analyzer's).
+// It returns the populated fact store for tests that assert on the
+// facts themselves.
+func RunPackages(t *testing.T, a *analysis.Analyzer, dir string) *analysis.FactStore {
+	t.Helper()
+	exports, err := exportsOnce()
+	if err != nil {
+		t.Fatalf("linttest: loading export data: %v", err)
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	prefix := "fixtures/" + filepath.Base(dir) + "/"
+	fset := token.NewFileSet()
+	type fixturePkg struct {
+		path    string
+		files   []*ast.File
+		imports []string // fixture-local imports only
+	}
+	byPath := map[string]*fixturePkg{}
+	var paths []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		sub := filepath.Join(dir, e.Name())
+		var files []*ast.File
+		subEntries, err := os.ReadDir(sub)
+		if err != nil {
+			t.Fatalf("linttest: %v", err)
+		}
+		for _, se := range subEntries {
+			if se.IsDir() || !strings.HasSuffix(se.Name(), ".go") {
+				continue
+			}
+			f, err := parser.ParseFile(fset, filepath.Join(sub, se.Name()), nil, parser.ParseComments)
+			if err != nil {
+				t.Fatalf("linttest: %v", err)
+			}
+			files = append(files, f)
+		}
+		if len(files) == 0 {
+			continue
+		}
+		p := &fixturePkg{path: prefix + e.Name(), files: files}
+		for _, f := range files {
+			for _, imp := range f.Imports {
+				ip, _ := strconv.Unquote(imp.Path.Value)
+				if strings.HasPrefix(ip, prefix) {
+					p.imports = append(p.imports, ip)
+				}
+			}
+		}
+		byPath[p.path] = p
+		paths = append(paths, p.path)
+	}
+	if len(paths) == 0 {
+		t.Fatalf("linttest: no fixture packages under %s", dir)
+	}
+	sort.Strings(paths)
+
+	// Dependency order over the fixture-local import edges.
+	var order []string
+	state := map[string]int{}
+	var visit func(path string)
+	visit = func(path string) {
+		p, ok := byPath[path]
+		if !ok || state[path] != 0 {
+			return
+		}
+		state[path] = 1
+		deps := append([]string(nil), p.imports...)
+		sort.Strings(deps)
+		for _, dep := range deps {
+			visit(dep)
+		}
+		state[path] = 2
+		order = append(order, path)
+	}
+	for _, path := range paths {
+		visit(path)
+	}
+
+	facts := analysis.NewFactStore()
+	local := map[string]*types.Package{}
+	// One importer for the whole tree: fixture packages exchange types
+	// (and stdlib type identities) with each other, unlike the driver's
+	// per-target isolation.
+	imp := lint.NewImporter(fset, exports, nil, local)
+	var diags []analysis.Diagnostic
+	var allFiles []*ast.File
+	for _, path := range order {
+		p := byPath[path]
+		pkg, info, err := lint.CheckFilesWith(fset, path, p.files, imp)
+		if err != nil {
+			t.Fatalf("linttest: type-checking %s: %v", path, err)
+		}
+		local[path] = pkg
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     p.files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+		}
+		if len(a.FactTypes) > 0 {
+			facts.Bind(pass, path)
+		}
+		if _, err := a.Run(pass); err != nil {
+			t.Fatalf("linttest: %s on %s: %v", a.Name, path, err)
+		}
+		allFiles = append(allFiles, p.files...)
+	}
+
+	matchWants(t, fset, allFiles, diags)
+	return facts
 }
 
 type wantKey struct {

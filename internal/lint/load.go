@@ -43,6 +43,10 @@ type listedPackage struct {
 	GoFiles      []string
 	XTestGoFiles []string
 	CgoFiles     []string
+	// Imports are the package's source-level import paths; the loader
+	// orders targets bottom-up over this graph so analyzer facts
+	// computed in a dependency exist before its importers run.
+	Imports []string
 	// ImportMap rewrites source-level import paths to build-graph
 	// package identities (external tests import the test-augmented
 	// variant of the package under test).
@@ -73,7 +77,7 @@ type LoadOptions struct {
 // module package matched, resolving all imports from gc export data.
 func Load(patterns []string, opts LoadOptions) ([]*LoadedPackage, *token.FileSet, error) {
 	args := []string{"list", "-e", "-deps", "-export",
-		"-json=Dir,ImportPath,ForTest,Export,Standard,GoFiles,XTestGoFiles,CgoFiles,ImportMap,Error"}
+		"-json=Dir,ImportPath,ForTest,Export,Standard,GoFiles,XTestGoFiles,CgoFiles,Imports,ImportMap,Error"}
 	if opts.Tests {
 		args = append(args, "-test")
 	}
@@ -116,7 +120,6 @@ func Load(patterns []string, opts LoadOptions) ([]*LoadedPackage, *token.FileSet
 		}
 		loaded = append(loaded, lp)
 	}
-	sort.Slice(loaded, func(i, j int) bool { return loaded[i].Path < loaded[j].Path })
 	return loaded, fset, nil
 }
 
@@ -153,7 +156,10 @@ func ExportData(patterns []string, dir string) (map[string]string, error) {
 // selectTargets picks the packages to analyze from the listing: the
 // module's own packages, deduplicated so that when a test-augmented
 // variant exists it replaces the plain package (its GoFiles are a
-// superset), and synthesized ".test" mains are dropped.
+// superset), and synthesized ".test" mains are dropped. The result is
+// in dependency order — every target precedes the targets importing
+// it — so analyzer facts flow bottom-up over the module graph; ties
+// are broken by path so the order stays deterministic.
 func selectTargets(listed []*listedPackage, tests bool) []*listedPackage {
 	byBase := map[string]*listedPackage{}
 	var order []string
@@ -180,9 +186,34 @@ func selectTargets(listed []*listedPackage, tests bool) []*listedPackage {
 		}
 	}
 	sort.Strings(order)
+
+	// Topological sort (deps first) over the module-internal import
+	// edges of the selected variants. Import paths route through
+	// ImportMap first, so an external test's dependency on the
+	// test-augmented variant of its package under test lands on that
+	// target's base path.
 	out := make([]*listedPackage, 0, len(order))
+	state := map[string]int{} // 0 unvisited, 1 in progress, 2 done
+	var visit func(base string)
+	visit = func(base string) {
+		p, ok := byBase[base]
+		if !ok || state[base] != 0 {
+			return // not a target, already emitted, or an import cycle
+		}
+		state[base] = 1
+		deps := append([]string(nil), p.Imports...)
+		sort.Strings(deps)
+		for _, imp := range deps {
+			if mapped, ok := p.ImportMap[imp]; ok {
+				imp = mapped
+			}
+			visit(basePath(imp))
+		}
+		state[base] = 2
+		out = append(out, p)
+	}
 	for _, base := range order {
-		out = append(out, byBase[base])
+		visit(base)
 	}
 	return out
 }
@@ -227,6 +258,25 @@ func typecheck(fset *token.FileSet, p *listedPackage, exports map[string]string)
 // import from the export-data table (after applying importMap, which
 // may be nil). Shared with the linttest fixture loader.
 func CheckFiles(fset *token.FileSet, path string, files []*ast.File, exports map[string]string, importMap map[string]string) (*types.Package, *types.Info, error) {
+	return CheckFilesAmong(fset, path, files, exports, importMap, nil)
+}
+
+// CheckFilesAmong is CheckFiles with a table of already-checked local
+// packages consulted before the export data: the linttest harness
+// type-checks multi-package fixture trees (package b importing fixture
+// package a) through it, since fixture packages have no gc export data
+// of their own.
+func CheckFilesAmong(fset *token.FileSet, path string, files []*ast.File, exports map[string]string, importMap map[string]string, local map[string]*types.Package) (*types.Package, *types.Info, error) {
+	// A fresh importer per target: test-augmented variants of the
+	// same import path must not share a package cache.
+	return CheckFilesWith(fset, path, files, NewImporter(fset, exports, importMap, local))
+}
+
+// NewImporter builds the loader's import resolver: already-checked
+// local packages first (shared by pointer, so one importer can serve a
+// whole fixture tree and keep its stdlib type identities consistent),
+// gc export data for everything else.
+func NewImporter(fset *token.FileSet, exports map[string]string, importMap map[string]string, local map[string]*types.Package) types.Importer {
 	lookup := func(importPath string) (io.ReadCloser, error) {
 		if mapped, ok := importMap[importPath]; ok {
 			importPath = mapped
@@ -237,10 +287,17 @@ func CheckFiles(fset *token.FileSet, path string, files []*ast.File, exports map
 		}
 		return os.Open(file)
 	}
+	return &chainImporter{
+		local:    local,
+		fallback: importer.ForCompiler(fset, "gc", lookup),
+	}
+}
+
+// CheckFilesWith type-checks one package's parsed files against an
+// existing importer.
+func CheckFilesWith(fset *token.FileSet, path string, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, error) {
 	conf := types.Config{
-		// A fresh importer per target: test-augmented variants of the
-		// same import path must not share a package cache.
-		Importer: importer.ForCompiler(fset, "gc", lookup),
+		Importer: imp,
 		Sizes:    types.SizesFor("gc", runtime.GOARCH),
 	}
 	info := &types.Info{
@@ -254,4 +311,18 @@ func CheckFiles(fset *token.FileSet, path string, files []*ast.File, exports map
 		return nil, nil, err
 	}
 	return pkg, info, nil
+}
+
+// chainImporter resolves imports from an in-memory table of
+// already-checked packages first, then from gc export data.
+type chainImporter struct {
+	local    map[string]*types.Package
+	fallback types.Importer
+}
+
+func (c *chainImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := c.local[path]; ok {
+		return pkg, nil
+	}
+	return c.fallback.Import(path)
 }

@@ -1,0 +1,287 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+
+	"repro/internal/lint/analysis"
+)
+
+// SharedMut is the PDES-readiness inventory. The paper's scheduler
+// runs inside one sequential event loop today; splitting that loop
+// into LP domains (the optimistic/conservative PDES variants the
+// roadmap keeps open) turns every piece of package-level mutable
+// state into a potential cross-domain race. This analyzer inventories
+// each package's package-level variables into classes —
+//
+//	self-synchronizing    sync.Pool / sync.Map / sync.Once / mutexes /
+//	                      atomics: safe to share as-is
+//	mutex-guarded         a struct (or pointer to one) carrying its own
+//	                      sync.Mutex/RWMutex field
+//	immutable-by-convention  written only from init context (package
+//	                      initializers and init funcs)
+//	mutable               written at runtime with no synchronization
+//	                      story
+//
+// — publishes the inventory as a package fact (the committed
+// PDES_SHARING.md baseline is generated from those facts), attaches a
+// per-variable fact, and reports the writes a partitioned loop would
+// race on: any runtime write to a `mutable` variable, any runtime
+// *reassignment* of a variable regardless of class (swapping out a
+// mutex-guarded object races even if its interior is safe), and —
+// via the per-variable facts — cross-package runtime writes, where
+// the importing package breaks an owner's init-only convention the
+// owner cannot see.
+//
+// Interior writes through self-synchronizing or mutex-guarded
+// variables are presumed to happen under the object's own lock and are
+// not reported; the class records where to audit if that presumption
+// is ever wrong.
+var SharedMut = &analysis.Analyzer{
+	Name:      "sharedmut",
+	Doc:       "package-level mutable state a domain-partitioned event loop would race on",
+	Run:       runSharedMut,
+	FactTypes: []analysis.Fact{(*SharedVarFact)(nil), (*SharingFact)(nil)},
+}
+
+// SharedVarFact classifies one package-level variable for importers
+// (cross-package writes consult it).
+type SharedVarFact struct{ Class, Type string }
+
+// AFact marks SharedVarFact as an analyzer fact.
+func (*SharedVarFact) AFact() {}
+
+// SharedVar is one inventoried package-level variable.
+type SharedVar struct{ Name, Type, Class string }
+
+// SharingFact is the package's full inventory, consumed by
+// SharingReport when it renders PDES_SHARING.md.
+type SharingFact struct{ Vars []SharedVar }
+
+// AFact marks SharingFact as an analyzer fact.
+func (*SharingFact) AFact() {}
+
+// Classification names (shared with the report).
+const (
+	classSelfSync = "self-synchronizing"
+	classMutex    = "mutex-guarded"
+	classInitOnly = "immutable-by-convention"
+	classMutable  = "mutable"
+)
+
+type sharedWrite struct {
+	v       *types.Var
+	pos     ast.Node
+	direct  bool // reassignment of the var itself, not an interior write
+	runtime bool // outside init context
+}
+
+func runSharedMut(pass *analysis.Pass) (any, error) {
+	info := pass.TypesInfo
+
+	// Collect this package's package-level vars, in declaration order.
+	var vars []*types.Var
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if name.Name == "_" {
+						continue
+					}
+					if v, ok := info.Defs[name].(*types.Var); ok && v.Parent() == pass.Pkg.Scope() {
+						vars = append(vars, v)
+					}
+				}
+			}
+		}
+	}
+
+	// Collect every write whose root is a package-level var (own or
+	// imported).
+	var writes []sharedWrite
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			isInit := fd.Recv == nil && fd.Name.Name == "init"
+			record := func(lhs ast.Expr, at ast.Node) {
+				if v, direct, ok := rootSharedVar(info, lhs); ok {
+					writes = append(writes, sharedWrite{v: v, pos: at, direct: direct, runtime: !isInit})
+				}
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range n.Lhs {
+						record(lhs, n)
+					}
+				case *ast.IncDecStmt:
+					record(n.X, n)
+				}
+				return true
+			})
+		}
+	}
+
+	// Classify own vars: type first, then write behaviour.
+	runtimeWritten := map[*types.Var]bool{}
+	for _, w := range writes {
+		if w.runtime {
+			runtimeWritten[w.v] = true
+		}
+	}
+	class := map[*types.Var]string{}
+	var inventory []SharedVar
+	for _, v := range vars {
+		c := classifyShared(v.Type())
+		if c == "" {
+			if runtimeWritten[v] {
+				c = classMutable
+			} else {
+				c = classInitOnly
+			}
+		}
+		class[v] = c
+		inventory = append(inventory, SharedVar{Name: v.Name(), Type: types.TypeString(v.Type(), types.RelativeTo(pass.Pkg)), Class: c})
+		pass.ExportObjectFact(v, &SharedVarFact{Class: c, Type: inventory[len(inventory)-1].Type})
+	}
+	sort.Slice(inventory, func(i, j int) bool { return inventory[i].Name < inventory[j].Name })
+	pass.ExportPackageFact(&SharingFact{Vars: inventory})
+
+	// Report the racy writes.
+	sort.Slice(writes, func(i, j int) bool { return writes[i].pos.Pos() < writes[j].pos.Pos() })
+	for _, w := range writes {
+		if !w.runtime {
+			continue
+		}
+		if w.v.Pkg() == pass.Pkg {
+			c := class[w.v]
+			switch {
+			case w.direct && c != classMutable:
+				pass.Reportf(w.pos.Pos(), "runtime reassignment of package-level %s var %s; swapping the object out from under concurrent users races even though its interior is synchronized", c, w.v.Name())
+			case c == classMutable:
+				kind := "write to"
+				if w.direct {
+					kind = "reassignment of"
+				}
+				pass.Reportf(w.pos.Pos(), "runtime %s package-level var %s (class %s); a domain-partitioned event loop would race here — move it into per-run state or give it a synchronization story", kind, w.v.Name(), c)
+			}
+			continue
+		}
+		// Cross-package write: consult the owner's inventory fact.
+		var fact SharedVarFact
+		if !pass.ImportObjectFact(w.v, &fact) {
+			continue // outside the module (no facts); not ours to police
+		}
+		if !w.direct && (fact.Class == classSelfSync || fact.Class == classMutex) {
+			continue
+		}
+		pass.Reportf(w.pos.Pos(), "cross-package runtime write to %s.%s, inventoried as %s by its owner; the owning package cannot see this write when reasoning about partitioning", w.v.Pkg().Path(), w.v.Name(), fact.Class)
+	}
+	return nil, nil
+}
+
+// rootSharedVar resolves the package-level variable (own or imported)
+// at the root of an assignment target, reporting whether the target is
+// the variable itself (direct reassignment) rather than something
+// reached through it.
+func rootSharedVar(info *types.Info, e ast.Expr) (v *types.Var, direct bool, ok bool) {
+	direct = true
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			direct = false
+			e = x.X
+		case *ast.StarExpr:
+			direct = false
+			e = x.X
+		case *ast.SelectorExpr:
+			if id, isIdent := x.X.(*ast.Ident); isIdent {
+				if _, isPkg := info.Uses[id].(*types.PkgName); isPkg {
+					v := pkgLevelVar(info.Uses[x.Sel])
+					return v, direct, v != nil
+				}
+			}
+			direct = false
+			e = x.X
+		case *ast.Ident:
+			v := pkgLevelVar(info.Uses[x])
+			return v, direct, v != nil
+		default:
+			return nil, false, false
+		}
+	}
+}
+
+func pkgLevelVar(obj types.Object) *types.Var {
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return nil
+	}
+	return v
+}
+
+// classifyShared returns the type-based class of a variable, or ""
+// when the class depends on write behaviour.
+func classifyShared(t types.Type) string {
+	if isSelfSyncType(t) {
+		return classSelfSync
+	}
+	if hasMutexField(t) {
+		return classMutex
+	}
+	return ""
+}
+
+func isSelfSyncType(t types.Type) bool {
+	named, ok := types.Unalias(derefShared(t)).(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	switch named.Obj().Pkg().Path() {
+	case "sync":
+		switch named.Obj().Name() {
+		case "Pool", "Map", "Once", "Mutex", "RWMutex", "WaitGroup", "Cond":
+			return true
+		}
+	case "sync/atomic":
+		return true // every named type in sync/atomic is an atomic box
+	}
+	return false
+}
+
+func hasMutexField(t types.Type) bool {
+	st, ok := types.Unalias(derefShared(t)).Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := types.Unalias(derefShared(st.Field(i).Type()))
+		if named, ok := f.(*types.Named); ok && named.Obj().Pkg() != nil &&
+			named.Obj().Pkg().Path() == "sync" &&
+			(named.Obj().Name() == "Mutex" || named.Obj().Name() == "RWMutex") {
+			return true
+		}
+	}
+	return false
+}
+
+func derefShared(t types.Type) types.Type {
+	if p, ok := types.Unalias(t).(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}

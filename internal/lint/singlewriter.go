@@ -1,0 +1,515 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// SingleWriter mechanizes the documented single-writer/snapshot-reader
+// contract (stats.Online and serve.progressMirror, PR 7/PR 9): a type
+// opts in by carrying
+//
+//	//repolint:contract single-writer
+//
+// in its doc comment. For an annotated type the analyzer auto-detects
+// its mutating methods — methods that write through the receiver or
+// call another mutating method on it — and classifies each as locked
+// (the method takes the receiver's own sync.Mutex/RWMutex before its
+// first mutation) or unlocked. Read-only methods, snapshot copies
+// included, are exempt by construction: they never mutate, so they
+// never enter the method table.
+//
+// The contract is then checked at every use site in the module (the
+// method table travels as a fact on the type): within one function,
+// unlocked mutating calls on the same value must all come from a
+// single goroutine context. The function body is one context; every
+// `go` statement opens another; a `go` inside a loop is multiple
+// writers by itself. A context whose mutating calls are preceded by an
+// explicit X.Lock() on some mutex is externally serialized and exempt
+// — that is precisely how serve.progressMirror drives stats.Online:
+// every touch happens under the mirror's own mutex, one layer up.
+var SingleWriter = &analysis.Analyzer{
+	Name:      "singlewriter",
+	Doc:       "//repolint:contract single-writer types must have one writing goroutine per value",
+	Run:       runSingleWriter,
+	FactTypes: []analysis.Fact{(*SingleWriterFact)(nil)},
+}
+
+const contractPrefix = "repolint:contract"
+
+// SingleWriterFact is the mutating-method table of an annotated type,
+// attached to its *types.TypeName.
+type SingleWriterFact struct{ Unlocked, Locked []string }
+
+// AFact marks SingleWriterFact as an analyzer fact.
+func (*SingleWriterFact) AFact() {}
+
+func runSingleWriter(pass *analysis.Pass) (any, error) {
+	sw := &singleWriter{pass: pass, info: pass.TypesInfo}
+	sw.collectAnnotated()
+	sw.buildMethodTables()
+	for tn, fact := range sw.tables {
+		pass.ExportObjectFact(tn, fact)
+	}
+	sw.checkSites()
+	return nil, nil
+}
+
+type singleWriter struct {
+	pass *analysis.Pass
+	info *types.Info
+	// annotated: this package's contract-carrying named types.
+	annotated map[*types.TypeName]bool
+	// methods: receiver type -> method decls, for table building.
+	methods map[*types.TypeName][]*ast.FuncDecl
+	// tables: computed mutating-method tables for this package's types.
+	tables map[*types.TypeName]*SingleWriterFact
+}
+
+// collectAnnotated finds `//repolint:contract single-writer` type
+// declarations. The directive may sit in the TypeSpec's doc or, for
+// single-spec declarations, the GenDecl's.
+func (sw *singleWriter) collectAnnotated() {
+	sw.annotated = map[*types.TypeName]bool{}
+	hasContract := func(groups ...*ast.CommentGroup) bool {
+		for _, g := range groups {
+			if g == nil {
+				continue
+			}
+			for _, c := range g.List {
+				rest, ok := strings.CutPrefix(strings.TrimPrefix(c.Text, "//"), contractPrefix)
+				if !ok {
+					continue
+				}
+				if strings.TrimSpace(rest) == "single-writer" {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	for _, f := range sw.pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				docs := []*ast.CommentGroup{ts.Doc}
+				if len(gd.Specs) == 1 {
+					docs = append(docs, gd.Doc)
+				}
+				if !hasContract(docs...) {
+					continue
+				}
+				if tn, ok := sw.info.Defs[ts.Name].(*types.TypeName); ok {
+					sw.annotated[tn] = true
+				}
+			}
+		}
+	}
+}
+
+// buildMethodTables classifies the annotated types' methods by a
+// fixpoint over direct mutations and calls to already-known mutating
+// methods on the receiver.
+func (sw *singleWriter) buildMethodTables() {
+	sw.methods = map[*types.TypeName][]*ast.FuncDecl{}
+	sw.tables = map[*types.TypeName]*SingleWriterFact{}
+	if len(sw.annotated) == 0 {
+		return
+	}
+	for _, f := range sw.pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			tn := sw.recvTypeName(fd)
+			if tn != nil && sw.annotated[tn] {
+				sw.methods[tn] = append(sw.methods[tn], fd)
+			}
+		}
+	}
+	for tn, decls := range sw.methods {
+		mutating := map[string]bool{}
+		locked := map[string]bool{}
+		for round := 0; round <= len(decls); round++ {
+			changed := false
+			for _, fd := range decls {
+				name := fd.Name.Name
+				if mutating[name] {
+					continue
+				}
+				mutates, underOwnLock := sw.classifyMethod(fd, mutating)
+				if mutates {
+					mutating[name] = true
+					locked[name] = underOwnLock
+					changed = true
+				}
+			}
+			if !changed {
+				break
+			}
+		}
+		fact := &SingleWriterFact{}
+		for name := range mutating {
+			if locked[name] {
+				fact.Locked = append(fact.Locked, name)
+			} else {
+				fact.Unlocked = append(fact.Unlocked, name)
+			}
+		}
+		sort.Strings(fact.Unlocked)
+		sort.Strings(fact.Locked)
+		sw.tables[tn] = fact
+	}
+}
+
+// recvTypeName resolves a method's receiver to its named type.
+func (sw *singleWriter) recvTypeName(fd *ast.FuncDecl) *types.TypeName {
+	if len(fd.Recv.List) != 1 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	obj := sw.info.Defs[fd.Recv.List[0].Names[0]]
+	if obj == nil {
+		return nil
+	}
+	named, ok := types.Unalias(derefShared(obj.Type())).(*types.Named)
+	if !ok {
+		return nil
+	}
+	return named.Obj()
+}
+
+// classifyMethod reports whether the method mutates the receiver and,
+// if so, whether it takes the receiver's own mutex before the first
+// mutation.
+func (sw *singleWriter) classifyMethod(fd *ast.FuncDecl, mutating map[string]bool) (mutates, underOwnLock bool) {
+	recvObj := sw.info.Defs[fd.Recv.List[0].Names[0]]
+	if recvObj == nil {
+		return false, false
+	}
+	firstMut := token.NoPos
+	firstLock := token.NoPos
+	note := func(pos token.Pos, isLock bool) {
+		if isLock {
+			if !firstLock.IsValid() || pos < firstLock {
+				firstLock = pos
+			}
+		} else if !firstMut.IsValid() || pos < firstMut {
+			firstMut = pos
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if sw.writesThrough(lhs, recvObj) {
+					note(n.Pos(), false)
+				}
+			}
+		case *ast.IncDecStmt:
+			if sw.writesThrough(n.X, recvObj) {
+				note(n.Pos(), false)
+			}
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if sel.Sel.Name == "Lock" && sw.isMutexExpr(sel.X) && rootIdentIs(sw.info, sel.X, recvObj) {
+				note(n.Pos(), true)
+				return true
+			}
+			// recv.M(...) where M already known mutating.
+			if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && sw.info.Uses[id] == recvObj && mutating[sel.Sel.Name] {
+				note(n.Pos(), false)
+			}
+		}
+		return true
+	})
+	if !firstMut.IsValid() {
+		return false, false
+	}
+	return true, firstLock.IsValid() && firstLock < firstMut
+}
+
+// writesThrough reports whether an assignment target reaches shared
+// state through the receiver object: recv.f = x, recv.f[i] = x,
+// *recv = x. A plain `recv = x` only rebinds the local receiver
+// variable and is not a mutation.
+func (sw *singleWriter) writesThrough(lhs ast.Expr, recvObj types.Object) bool {
+	through := false
+	e := lhs
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			through = true
+			e = x.X
+		case *ast.IndexExpr:
+			through = true
+			e = x.X
+		case *ast.StarExpr:
+			through = true
+			e = x.X
+		case *ast.Ident:
+			return through && sw.info.Uses[x] == recvObj
+		default:
+			return false
+		}
+	}
+}
+
+// isMutexExpr reports whether an expression denotes a
+// sync.Mutex/RWMutex (value or pointer).
+func (sw *singleWriter) isMutexExpr(e ast.Expr) bool {
+	tv, ok := sw.info.Types[e]
+	if !ok {
+		return false
+	}
+	named, ok := types.Unalias(derefShared(tv.Type)).(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "sync" &&
+		(named.Obj().Name() == "Mutex" || named.Obj().Name() == "RWMutex")
+}
+
+// rootIdentIs walks selector/star/index chains down to the base
+// identifier and compares it to obj.
+func rootIdentIs(info *types.Info, e ast.Expr, obj types.Object) bool {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.Ident:
+			return info.Uses[x] == obj || info.Defs[x] == obj
+		default:
+			return false
+		}
+	}
+}
+
+// table resolves the mutating-method table of a named type: local
+// tables for this package's types, facts for imported ones. nil when
+// the type carries no contract.
+func (sw *singleWriter) table(tn *types.TypeName) *SingleWriterFact {
+	if tn.Pkg() == sw.pass.Pkg {
+		return sw.tables[tn]
+	}
+	var fact SingleWriterFact
+	if sw.pass.ImportObjectFact(tn, &fact) {
+		return &fact
+	}
+	return nil
+}
+
+// swCall is one unlocked mutating call observed at a use site.
+type swCall struct {
+	pos     token.Pos
+	method  string
+	typ     string
+	recvKey string
+	ctx     int  // 0 = function body; each `go` statement opens a new one
+	looped  bool // the call's context is a `go` inside a loop
+	guarded bool // an explicit X.Lock() precedes it in the same context
+}
+
+// checkSites walks every function in the package and enforces the
+// one-writing-context rule per receiver value.
+func (sw *singleWriter) checkSites() {
+	for _, f := range sw.pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			sw.checkFunc(fd)
+		}
+	}
+}
+
+func (sw *singleWriter) checkFunc(fd *ast.FuncDecl) {
+	var calls []swCall
+	nextCtx := 1
+
+	// walk explores one context's subtree; `go` statements divert their
+	// payload into a fresh context. locks collects the explicit Lock()
+	// calls seen per context, in source order.
+	locks := map[int][]token.Pos{}
+	handleCall := func(m *ast.CallExpr, ctx int, looped bool) {
+		sel, ok := m.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		if sel.Sel.Name == "Lock" && sw.isMutexExpr(sel.X) {
+			locks[ctx] = append(locks[ctx], m.Pos())
+			return
+		}
+		fn, ok := sw.info.Uses[sel.Sel].(*types.Func)
+		if !ok {
+			return
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil {
+			return
+		}
+		named, ok := types.Unalias(derefShared(sig.Recv().Type())).(*types.Named)
+		if !ok {
+			return
+		}
+		table := sw.table(named.Obj())
+		if table == nil {
+			return
+		}
+		for _, name := range table.Unlocked {
+			if name == fn.Name() {
+				calls = append(calls, swCall{
+					pos:     m.Pos(),
+					method:  name,
+					typ:     named.Obj().Pkg().Name() + "." + named.Obj().Name(),
+					recvKey: exprKey(sel.X),
+					ctx:     ctx,
+					looped:  looped,
+				})
+				break
+			}
+		}
+	}
+	var walk func(n ast.Node, ctx int, looped bool)
+	walk = func(n ast.Node, ctx int, looped bool) {
+		loopDepth := 0
+		var stack []ast.Node
+		ast.Inspect(n, func(m ast.Node) bool {
+			if m == nil {
+				top := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				switch top.(type) {
+				case *ast.ForStmt, *ast.RangeStmt:
+					loopDepth--
+				}
+				return true
+			}
+			stack = append(stack, m)
+			switch m := m.(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				loopDepth++
+			case *ast.GoStmt:
+				id := nextCtx
+				nextCtx++
+				walk(m.Call, id, loopDepth > 0)
+				stack = stack[:len(stack)-1] // Inspect won't pop a pruned node
+				return false
+			case *ast.CallExpr:
+				handleCall(m, ctx, looped)
+			}
+			return true
+		})
+	}
+	walk(fd.Body, 0, false)
+
+	// A call is externally serialized when an explicit Lock() in its
+	// own context precedes it.
+	for i := range calls {
+		for _, lp := range locks[calls[i].ctx] {
+			if lp < calls[i].pos {
+				calls[i].guarded = true
+				break
+			}
+		}
+	}
+
+	// Group the unguarded calls by receiver value and count writing
+	// contexts (a looped `go` is multiple writers on its own).
+	type group struct {
+		calls  []swCall
+		ctxs   map[int]bool
+		weight int
+	}
+	groups := map[string]*group{}
+	ctxSeen := map[string]map[int]bool{}
+	var keys []string
+	for _, c := range calls {
+		if c.guarded {
+			continue
+		}
+		key := c.typ + "|" + c.recvKey
+		g := groups[key]
+		if g == nil {
+			g = &group{ctxs: map[int]bool{}}
+			groups[key] = g
+			ctxSeen[key] = map[int]bool{}
+			keys = append(keys, key)
+		}
+		g.calls = append(g.calls, c)
+		if !ctxSeen[key][c.ctx] {
+			ctxSeen[key][c.ctx] = true
+			g.ctxs[c.ctx] = true
+			if c.looped {
+				g.weight += 2
+			} else {
+				g.weight++
+			}
+		}
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		g := groups[key]
+		if g.weight < 2 {
+			continue
+		}
+		sort.Slice(g.calls, func(i, j int) bool { return g.calls[i].pos < g.calls[j].pos })
+		firstCtx := g.calls[0].ctx
+		reported := map[int]bool{}
+		for _, c := range g.calls {
+			if c.looped && !reported[c.ctx] {
+				reported[c.ctx] = true
+				sw.pass.Reportf(c.pos, "single-writer contract of %s: unlocked mutating method %s is called from a goroutine spawned in a loop — every iteration is another writer on %s", c.typ, c.method, c.recvKey)
+				continue
+			}
+			if c.ctx == firstCtx || reported[c.ctx] {
+				continue
+			}
+			reported[c.ctx] = true
+			sw.pass.Reportf(c.pos, "single-writer contract of %s: unlocked mutating method %s on %s is also called from another goroutine-spawn site in this function; only one goroutine may write a single-writer value", c.typ, c.method, c.recvKey)
+		}
+	}
+}
+
+// exprKey renders a receiver expression as a stable grouping key.
+func exprKey(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprKey(e.X) + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return exprKey(e.X)
+	case *ast.StarExpr:
+		return "*" + exprKey(e.X)
+	case *ast.IndexExpr:
+		return exprKey(e.X) + "[i]"
+	case *ast.CallExpr:
+		return exprKey(e.Fun) + "()"
+	default:
+		return "?"
+	}
+}

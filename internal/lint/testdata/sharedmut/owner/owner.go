@@ -1,0 +1,60 @@
+// Fixture package owner: one package-level variable per sharedmut
+// class, plus the write sites that do and do not count as races under
+// a domain-partitioned event loop.
+package owner
+
+import "sync"
+
+// Pool is self-synchronizing: safe to share as-is.
+var Pool sync.Pool
+
+// Registry is immutable-by-convention: written only from init.
+var Registry = map[string]int{}
+
+// Counter is mutable: the runtime writes below are the findings.
+var Counter int
+
+type cache struct {
+	mu sync.Mutex
+	m  map[string]int
+}
+
+// Cache is mutex-guarded: its struct carries its own lock.
+var Cache = &cache{m: map[string]int{}}
+
+// Init-context writes are the convention, not a race.
+func init() {
+	Registry["a"] = 1
+}
+
+// Bump and Reset are the mutable-class true positives.
+func Bump() {
+	Counter++ // want `runtime reassignment of package-level var Counter .class mutable.`
+}
+
+func Reset() {
+	Counter = 0 // want `runtime reassignment of package-level var Counter .class mutable.`
+}
+
+// Swap is the reassignment true positive: replacing a mutex-guarded
+// object races even though its interior is synchronized.
+func Swap() {
+	Cache = &cache{m: map[string]int{}} // want `runtime reassignment of package-level mutex-guarded var Cache`
+}
+
+// Put is the near miss: an interior write through the mutex-guarded
+// object, presumed to be under its lock.
+func Put(k string, v int) {
+	Cache.mu.Lock()
+	defer Cache.mu.Unlock()
+	Cache.m[k] = v
+}
+
+// Locals are nobody's business.
+func Sum() int {
+	total := 0
+	for _, v := range Registry {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,33 @@
+// Fixture package writer: cross-package runtime writes, judged against
+// the owner's inventory facts — the owning package cannot see these
+// writes when reasoning about partitioning.
+package writer
+
+import (
+	"sync"
+
+	"fixtures/sharedmut/owner"
+)
+
+// Poison breaks owner's init-only convention from outside.
+func Poison() {
+	owner.Registry["x"] = 2 // want `cross-package runtime write to fixtures/sharedmut/owner.Registry, inventoried as immutable-by-convention`
+}
+
+// Replace swaps out a self-synchronizing object: direct reassignment
+// is a race regardless of the object's own synchronization.
+func Replace() {
+	owner.Pool = sync.Pool{} // want `cross-package runtime write to fixtures/sharedmut/owner.Pool, inventoried as self-synchronizing`
+}
+
+// UsePool is the near miss: method calls on a self-synchronizing
+// object are what it is for.
+func UsePool() any {
+	return owner.Pool.Get()
+}
+
+// UseCache is the mutex-guarded near miss: interior access is presumed
+// to take the owner's lock.
+func UseCache() {
+	owner.Put("k", 1)
+}

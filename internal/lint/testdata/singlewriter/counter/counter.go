@@ -1,0 +1,115 @@
+// Fixture package counter: two annotated types — one whose mutating
+// methods are bare (the single-writer discipline is the caller's
+// burden), one whose methods take their own lock (no discipline
+// needed).
+package counter
+
+import "sync"
+
+// Tally is an accumulation cell owned by exactly one writing
+// goroutine; readers get copies via Total.
+//
+//repolint:contract single-writer
+type Tally struct {
+	n int
+}
+
+// Add is an unlocked mutating method: it enters the contract's method
+// table.
+func (t *Tally) Add(d int) { t.n += d }
+
+// Bump mutates via another mutating method; the fixpoint classifies it
+// too.
+func (t *Tally) Bump() { t.Add(1) }
+
+// Total is read-only — the snapshot side of the contract, exempt by
+// construction.
+func (t *Tally) Total() int { return t.n }
+
+// Safe locks its own mutex before mutating; its methods never enter
+// the unlocked table, so call sites are unconstrained.
+//
+//repolint:contract single-writer
+type Safe struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Add is a locked mutating method.
+func (s *Safe) Add(d int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n += d
+}
+
+// True positive: the same Tally written from the function body and a
+// spawned goroutine.
+func twoWriters() int {
+	t := &Tally{}
+	t.Add(1)
+	go t.Bump() // want `single-writer contract of counter.Tally`
+	return t.Total()
+}
+
+// True positive: one `go` inside a loop is a writer per iteration.
+func fanOut(t *Tally) {
+	for i := 0; i < 4; i++ {
+		go func() {
+			t.Add(i) // want `single-writer contract of counter.Tally.*spawned in a loop`
+		}()
+	}
+}
+
+// Near miss: all writes stay in one spawned goroutine.
+func oneWriter(t *Tally) {
+	go func() {
+		t.Add(1)
+		t.Add(2)
+	}()
+}
+
+// Near miss: a reader goroutine beside the writer is the contract
+// working as designed.
+func writerAndReader(t *Tally) {
+	done := make(chan int, 1)
+	go func() { done <- t.Total() }()
+	t.Add(1)
+	<-done
+}
+
+// Near miss: two distinct values, one writer each.
+func twoValues() {
+	a, b := &Tally{}, &Tally{}
+	a.Add(1)
+	go func() { b.Add(1) }()
+}
+
+// Near miss: locked methods carry their own serialization.
+func lockedEverywhere(s *Safe) {
+	s.Add(1)
+	go s.Add(2)
+}
+
+// Near miss: both contexts serialize through an external mutex, the
+// progressMirror-drives-Online pattern.
+type mirror struct {
+	mu sync.Mutex
+	t  *Tally
+}
+
+func (m *mirror) observe() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.t.Add(1)
+}
+
+func externallyLocked(m *mirror) {
+	m.mu.Lock()
+	m.t.Add(1)
+	m.mu.Unlock()
+	go func() {
+		m.mu.Lock()
+		m.t.Add(2)
+		m.mu.Unlock()
+	}()
+}

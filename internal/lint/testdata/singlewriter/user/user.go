@@ -1,0 +1,21 @@
+// Fixture package user: the contract travels with the type. Tally's
+// mutating-method table arrives here as a fact on the imported type;
+// nothing in this package re-derives it from source.
+package user
+
+import "fixtures/singlewriter/counter"
+
+// True positive across the package boundary.
+func race(t *counter.Tally) {
+	t.Add(1)
+	go t.Add(2) // want `single-writer contract of counter.Tally`
+}
+
+// Near miss: a single writer plus snapshot readers, the documented
+// usage.
+func disciplined(t *counter.Tally) {
+	results := make(chan int, 1)
+	go func() { results <- t.Total() }()
+	t.Add(1)
+	<-results
+}

@@ -1,0 +1,25 @@
+// Fixture package a: the wall-clock sources. The direct time.Now
+// calls here are novtime's findings (vtflow never double-reports a
+// direct source); what vtflow owns is the taint they leave behind —
+// on Stamp's results, on Epoch — which packages b and c inherit.
+package a
+
+import "time"
+
+// Stamp returns a wall-clock timestamp; its result carries taint into
+// every caller, however many imports away.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// Epoch is tainted by its initializer; reads of it anywhere in the
+// module are vtflow findings.
+var Epoch = time.Now()
+
+// Vetted is the near miss: the source is covered by a reasoned allow,
+// so the taint stops here and callers stay clean — existing allow
+// sites keep their meaning under the transitive analysis.
+func Vetted() int64 {
+	//repolint:allow novtime fixture: vetted measured-timing read, flow audited by hand
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,34 @@
+// Fixture package b: the middle hop. Calling a tainted helper is a
+// finding here, and b's own wrappers and fields become tainted in
+// turn — the facts c will consume.
+package b
+
+import "fixtures/vtflow/a"
+
+// Wrap keeps the taint: its result derives from a.Stamp.
+func Wrap() int64 {
+	return a.Stamp() // want `call to Stamp returns a wall-clock-derived value`
+}
+
+// Cfg carries taint in a field once Stamp fills it.
+type Cfg struct {
+	Deadline int64
+	Budget   int64
+}
+
+// Fill stores a tainted value into a field; the field fact makes every
+// later read of Deadline a finding, in any package.
+func (c *Cfg) Fill() {
+	c.Deadline = a.Stamp() // want `call to Stamp returns a wall-clock-derived value` `stores a wall-clock-derived value .ultimately time.Now. into field Deadline`
+}
+
+// Safe is the near miss: nothing here touches a clock.
+func Safe() int64 {
+	return 42
+}
+
+// WrapVetted calls the allow-vetted source; no taint arrives, so no
+// finding — here or in WrapVetted's callers.
+func WrapVetted() int64 {
+	return a.Vetted()
+}

@@ -1,0 +1,43 @@
+// Fixture package c: the sink, two imports from the time.Now calls in
+// package a. Every finding here exists only because TaintFacts crossed
+// two package boundaries.
+package c
+
+import (
+	"fixtures/vtflow/a"
+	"fixtures/vtflow/b"
+)
+
+// Use consumes a helper whose taint arrived via b's fact.
+func Use() int64 {
+	d := b.Wrap() // want `call to Wrap returns a wall-clock-derived value .ultimately time.Now.`
+	return d
+}
+
+// ReadField consumes a tainted struct field via its fact.
+func ReadField(cfg *b.Cfg) int64 {
+	return cfg.Deadline // want `Deadline holds a wall-clock-derived value`
+}
+
+// ReadVar consumes a tainted package-level var via its fact.
+func ReadVar() int64 {
+	return a.Epoch.UnixNano() // want `Epoch holds a wall-clock-derived value`
+}
+
+// UseSafe is the near miss: an untainted helper from the same package
+// as the tainted ones stays silent.
+func UseSafe() int64 {
+	return b.Safe()
+}
+
+// UseVetted is the allow-respecting near miss: the source behind
+// WrapVetted carries a reasoned allow two packages away.
+func UseVetted() int64 {
+	return b.WrapVetted()
+}
+
+// UntaintedField is the field-level near miss: Budget never saw a
+// clock.
+func UntaintedField(cfg *b.Cfg) int64 {
+	return cfg.Budget
+}

@@ -1,0 +1,634 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+
+	"repro/internal/lint/analysis"
+)
+
+// VTFlow is the novtime contract made transitive: a call-graph taint
+// pass that tracks wall-clock and global-rand values — time.Now,
+// time.Since, time.Until results, everything the global math/rand
+// source produces — through helper functions, package-level variables
+// and struct fields, across package boundaries, into the
+// virtual-clock packages. novtime catches `time.Now()` written
+// directly inside core; vtflow catches `core` calling
+// `util.Stamp()` where util.Stamp (two imports away) returns
+// time.Now().UnixNano(), or reading a struct field some constructor
+// filled from the wall clock.
+//
+// Division of labour with novtime: a *direct* banned call is reported
+// by novtime alone (vtflow never double-reports the same line);
+// vtflow reports the indirect flows — calls to functions whose
+// results are tainted, reads of tainted variables or fields, and
+// stores of tainted values into variables or fields. Taint is carried
+// between packages as analyzer facts (TaintFact), computed bottom-up
+// over the whole module; Scope only filters where diagnostics surface.
+//
+// Allow sites stay authoritative: a wall-clock read carrying a
+// //repolint:allow novtime (or vtflow) directive is a vetted source —
+// taint does not propagate out of it, so the two TimingMeasured reads
+// in core keep their existing allows and their downstream flow
+// (measured kernel time entering the duration model, the documented
+// purpose of the mode) stays clean without new directives.
+var VTFlow = &analysis.Analyzer{
+	Name:      "vtflow",
+	Doc:       "wall-clock/global-rand taint must not reach virtual-clock packages, even through helpers",
+	Run:       runVTFlow,
+	FactTypes: []analysis.Fact{(*TaintFact)(nil)},
+}
+
+// TaintFact marks a function whose results, or a package-level
+// variable or struct field whose value, derives from the wall clock or
+// the global random source. Source names the ultimate origin
+// ("time.Now", "rand.Intn", ...) for diagnostics.
+type TaintFact struct{ Source string }
+
+// AFact marks TaintFact as an analyzer fact.
+func (*TaintFact) AFact() {}
+
+// wallClockValueFuncs are the value-producing wall-clock entry points
+// (Sleep and the timer constructors are novtime-only: they misbehave
+// but produce no value to track).
+var wallClockValueFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+}
+
+func runVTFlow(pass *analysis.Pass) (any, error) {
+	v := &vtflow{
+		pass:    pass,
+		info:    pass.TypesInfo,
+		allowed: vtflowAllowedLines(pass),
+		funcs:   map[*types.Func]string{},
+		objs:    map[types.Object]string{},
+	}
+
+	// Package-level var initializers seed object taint directly.
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, val := range vs.Values {
+					if src, tainted := v.taintOf(val, nil); tainted && i < len(vs.Names) {
+						if obj := v.info.Defs[vs.Names[i]]; obj != nil {
+							v.objs[obj] = src
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// Fixpoint over the package's functions: summaries feed each other
+	// (helper chains within one package can be declared in any order).
+	decls := v.funcDecls()
+	for round := 0; round <= len(decls)+1; round++ {
+		changed := false
+		for _, d := range decls {
+			if v.summarize(d) {
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Publish facts for this package's own tainted objects.
+	for fn, src := range v.funcs {
+		if fn.Pkg() == pass.Pkg {
+			pass.ExportObjectFact(fn, &TaintFact{Source: src})
+		}
+	}
+	for obj, src := range v.objs {
+		if obj.Pkg() == pass.Pkg {
+			pass.ExportObjectFact(obj, &TaintFact{Source: src})
+		}
+	}
+
+	v.report(decls)
+	return nil, nil
+}
+
+type vtflow struct {
+	pass    *analysis.Pass
+	info    *types.Info
+	allowed map[allowKey]bool
+	// funcs: functions whose results are tainted; objs: package-level
+	// vars and struct fields holding tainted values (local map covers
+	// same-package flow before facts are published).
+	funcs map[*types.Func]string
+	objs  map[types.Object]string
+}
+
+type vtFuncDecl struct {
+	decl *ast.FuncDecl
+	obj  *types.Func
+}
+
+func (v *vtflow) funcDecls() []vtFuncDecl {
+	var out []vtFuncDecl
+	for _, f := range v.pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := v.info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			out = append(out, vtFuncDecl{fd, obj})
+		}
+	}
+	return out
+}
+
+// funcTaint resolves the taint of calling fn: the local summary first,
+// then the cross-package fact.
+func (v *vtflow) funcTaint(fn *types.Func) (string, bool) {
+	if src, ok := v.funcs[fn]; ok {
+		return src, true
+	}
+	var fact TaintFact
+	if v.pass.ImportObjectFact(fn, &fact) {
+		return fact.Source, true
+	}
+	return "", false
+}
+
+// objTaint resolves the taint of reading a variable or field object.
+func (v *vtflow) objTaint(obj types.Object) (string, bool) {
+	if src, ok := v.objs[obj]; ok {
+		return src, true
+	}
+	var fact TaintFact
+	if v.pass.ImportObjectFact(obj, &fact) {
+		return fact.Source, true
+	}
+	return "", false
+}
+
+// directSource classifies a call as a wall-clock or global-rand value
+// source. Allowed lines (a novtime/vtflow //repolint:allow on or above
+// the call) are vetted and do not seed taint.
+func (v *vtflow) directSource(call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := v.info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return "", false
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return "", false
+	}
+	var src string
+	switch fn.Pkg().Path() {
+	case "time":
+		if !wallClockValueFuncs[fn.Name()] {
+			return "", false
+		}
+		src = "time." + fn.Name()
+	case "math/rand", "math/rand/v2":
+		if randConstructors[fn.Name()] {
+			return "", false
+		}
+		src = "rand." + fn.Name()
+	default:
+		return "", false
+	}
+	pos := v.pass.Fset.Position(call.Pos())
+	if v.allowed[allowKey{pos.Filename, pos.Line}] {
+		return "", false
+	}
+	return src, true
+}
+
+// taintOf evaluates whether an expression's value derives from a
+// wall-clock/global-rand source. locals is the enclosing function's
+// tainted-local set (nil at package scope).
+func (v *vtflow) taintOf(e ast.Expr, locals map[types.Object]string) (string, bool) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := v.info.Uses[e]
+		if obj == nil {
+			return "", false
+		}
+		if src, ok := locals[obj]; ok {
+			return src, true
+		}
+		if _, ok := obj.(*types.Var); ok {
+			return v.objTaint(obj)
+		}
+		return "", false
+	case *ast.SelectorExpr:
+		if obj := v.info.Uses[e.Sel]; obj != nil {
+			if _, ok := obj.(*types.Var); ok {
+				if src, ok := v.objTaint(obj); ok {
+					return src, true
+				}
+			}
+		}
+		// A field or method value of a tainted composite keeps taint
+		// (x.t where x itself holds a wall-clock-derived value).
+		return v.taintOf(e.X, locals)
+	case *ast.CallExpr:
+		if tv, ok := v.info.Types[e.Fun]; ok && tv.IsType() {
+			// Conversion: int64(tainted) is still tainted.
+			return v.anyTainted(e.Args, locals)
+		}
+		if src, ok := v.directSource(e); ok {
+			return src, true
+		}
+		switch fun := ast.Unparen(e.Fun).(type) {
+		case *ast.Ident:
+			if fn, ok := v.info.Uses[fun].(*types.Func); ok {
+				return v.funcTaint(fn)
+			}
+		case *ast.SelectorExpr:
+			if fn, ok := v.info.Uses[fun.Sel].(*types.Func); ok {
+				if src, ok := v.funcTaint(fn); ok {
+					return src, true
+				}
+				if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+					// Method on a tainted receiver: t.Add(d), t.UnixNano().
+					return v.taintOf(fun.X, locals)
+				}
+			}
+		}
+		// Calls to untainted functions launder their arguments:
+		// fmt.Sprintf(..., elapsed) is reporting, not timekeeping.
+		return "", false
+	case *ast.BinaryExpr:
+		if src, ok := v.taintOf(e.X, locals); ok {
+			return src, true
+		}
+		return v.taintOf(e.Y, locals)
+	case *ast.UnaryExpr:
+		return v.taintOf(e.X, locals)
+	case *ast.ParenExpr:
+		return v.taintOf(e.X, locals)
+	case *ast.StarExpr:
+		return v.taintOf(e.X, locals)
+	case *ast.IndexExpr:
+		return v.taintOf(e.X, locals)
+	case *ast.CompositeLit:
+		for _, elt := range e.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				elt = kv.Value
+			}
+			if src, ok := v.taintOf(elt, locals); ok {
+				return src, true
+			}
+		}
+		return "", false
+	}
+	return "", false
+}
+
+func (v *vtflow) anyTainted(es []ast.Expr, locals map[types.Object]string) (string, bool) {
+	for _, e := range es {
+		if src, ok := v.taintOf(e, locals); ok {
+			return src, true
+		}
+	}
+	return "", false
+}
+
+// summarize runs the intraprocedural dataflow over one function,
+// updating the function summary and the package-level object taint
+// maps; it reports whether anything new was learned.
+func (v *vtflow) summarize(d vtFuncDecl) bool {
+	changed := false
+	locals := map[types.Object]string{}
+	results := v.namedResults(d.decl)
+
+	// Local fixpoint: loops can carry taint backwards through the body.
+	for round := 0; ; round++ {
+		roundChanged := false
+		v.walkOwn(d.decl, func(n ast.Node, inOwnFunc bool) {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					rhs := n.Rhs[0]
+					if len(n.Rhs) == len(n.Lhs) {
+						rhs = n.Rhs[i]
+					}
+					src, tainted := v.taintOf(rhs, locals)
+					if !tainted {
+						continue
+					}
+					if v.recordStore(lhs, src, locals) {
+						roundChanged = true
+					}
+				}
+			case *ast.GenDecl:
+				for _, spec := range n.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for i, val := range vs.Values {
+						if src, tainted := v.taintOf(val, locals); tainted && i < len(vs.Names) {
+							if obj := v.info.Defs[vs.Names[i]]; obj != nil {
+								if _, had := locals[obj]; !had {
+									locals[obj] = src
+									roundChanged = true
+								}
+							}
+						}
+					}
+				}
+			case *ast.ReturnStmt:
+				if !inOwnFunc {
+					return // a closure's return is not this function's
+				}
+				src, tainted := v.anyTainted(n.Results, locals)
+				if !tainted && len(n.Results) == 0 {
+					// Bare return: named results may carry taint.
+					for _, r := range results {
+						if s, ok := locals[r]; ok {
+							src, tainted = s, true
+							break
+						}
+					}
+				}
+				if tainted {
+					if _, had := v.funcs[d.obj]; !had {
+						v.funcs[d.obj] = src
+						changed = true
+					}
+				}
+			}
+		})
+		if roundChanged {
+			changed = true
+		}
+		if !roundChanged || round > 32 {
+			break
+		}
+	}
+	return changed
+}
+
+// recordStore propagates taint into an assignment target: locals stay
+// in the local set; package-level vars and struct fields enter the
+// object taint map (and, if they belong to this package, become
+// facts). Reports true when new taint was recorded.
+func (v *vtflow) recordStore(lhs ast.Expr, src string, locals map[types.Object]string) bool {
+	switch lhs := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if lhs.Name == "_" {
+			return false
+		}
+		obj := v.info.Defs[lhs]
+		if obj == nil {
+			obj = v.info.Uses[lhs]
+		}
+		if obj == nil {
+			return false
+		}
+		if vr, ok := obj.(*types.Var); ok && vr.Pkg() != nil && vr.Parent() == vr.Pkg().Scope() {
+			if _, had := v.objs[obj]; !had {
+				v.objs[obj] = src
+				return true
+			}
+			return false
+		}
+		if _, had := locals[obj]; !had {
+			locals[obj] = src
+			return true
+		}
+	case *ast.SelectorExpr:
+		obj, ok := v.info.Uses[lhs.Sel].(*types.Var)
+		if !ok {
+			return false
+		}
+		if _, had := v.objs[obj]; !had {
+			v.objs[obj] = src
+			return true
+		}
+	}
+	return false
+}
+
+// namedResults collects the function's named result objects.
+func (v *vtflow) namedResults(fd *ast.FuncDecl) []types.Object {
+	var out []types.Object
+	if fd.Type.Results == nil {
+		return out
+	}
+	for _, field := range fd.Type.Results.List {
+		for _, name := range field.Names {
+			if obj := v.info.Defs[name]; obj != nil {
+				out = append(out, obj)
+			}
+		}
+	}
+	return out
+}
+
+// walkOwn walks a function declaration's body, telling the callback
+// whether the node belongs to the declaration itself rather than to a
+// nested function literal (closure returns must not be attributed to
+// the outer function).
+func (v *vtflow) walkOwn(fd *ast.FuncDecl, fn func(n ast.Node, inOwnFunc bool)) {
+	depth := 0
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			return true
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			depth++
+			// Walk the literal with inOwnFunc=false, then prune.
+			ast.Inspect(n, func(m ast.Node) bool {
+				if m == nil || m == n {
+					return true
+				}
+				fn(m, false)
+				return true
+			})
+			depth--
+			return false
+		}
+		fn(n, depth == 0)
+		return true
+	})
+}
+
+// report emits the diagnostics: indirect taint arriving at calls,
+// reads, and stores. Direct banned calls are novtime's findings and
+// never double-reported here.
+func (v *vtflow) report(decls []vtFuncDecl) {
+	type diag struct {
+		pos ast.Node
+		msg string
+	}
+	var diags []diag
+	seen := map[ast.Node]bool{}
+	add := func(n ast.Node, format string, args ...any) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		diags = append(diags, diag{n, fmt.Sprintf(format, args...)})
+	}
+
+	// lhsRoots collects identifiers being assigned to, so a store is
+	// not also reported as a read.
+	lhsIdents := map[*ast.Ident]bool{}
+	for _, f := range v.pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for _, lhs := range as.Lhs {
+				switch lhs := ast.Unparen(lhs).(type) {
+				case *ast.Ident:
+					lhsIdents[lhs] = true
+				case *ast.SelectorExpr:
+					lhsIdents[lhs.Sel] = true
+				}
+			}
+			return true
+		})
+	}
+
+	for _, d := range decls {
+		locals := v.taintedLocalsOf(d)
+		ast.Inspect(d.decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if _, isDirect := v.directSource(n); isDirect {
+					return true // novtime's finding
+				}
+				var fn *types.Func
+				switch fun := ast.Unparen(n.Fun).(type) {
+				case *ast.Ident:
+					fn, _ = v.info.Uses[fun].(*types.Func)
+				case *ast.SelectorExpr:
+					fn, _ = v.info.Uses[fun.Sel].(*types.Func)
+				}
+				if fn != nil {
+					if src, ok := v.funcTaint(fn); ok {
+						add(n, "call to %s returns a wall-clock-derived value (ultimately %s); virtual-clock code must compute times from vtime and seeded RNGs only", fn.Name(), src)
+					}
+				}
+			case *ast.Ident:
+				if lhsIdents[n] {
+					return true
+				}
+				obj, ok := v.info.Uses[n].(*types.Var)
+				if !ok {
+					return true
+				}
+				if src, tainted := v.objTaint(obj); tainted {
+					add(n, "%s holds a wall-clock-derived value (ultimately %s); virtual-clock code must not consume it", obj.Name(), src)
+				}
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					rhs := n.Rhs[0]
+					if len(n.Rhs) == len(n.Lhs) {
+						rhs = n.Rhs[i]
+					}
+					src, tainted := v.taintOf(rhs, locals)
+					if !tainted {
+						continue
+					}
+					switch lhs := ast.Unparen(lhs).(type) {
+					case *ast.SelectorExpr:
+						if obj, ok := v.info.Uses[lhs.Sel].(*types.Var); ok && obj.IsField() {
+							add(n, "stores a wall-clock-derived value (ultimately %s) into field %s; the taint now outlives this function", src, obj.Name())
+						}
+					case *ast.Ident:
+						obj := v.info.Uses[lhs]
+						if vr, ok := obj.(*types.Var); ok && vr.Pkg() != nil && vr.Parent() == vr.Pkg().Scope() {
+							add(n, "stores a wall-clock-derived value (ultimately %s) into package-level var %s; every reader inherits the taint", src, vr.Name())
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	sort.Slice(diags, func(i, j int) bool { return diags[i].pos.Pos() < diags[j].pos.Pos() })
+	for _, d := range diags {
+		v.pass.Reportf(d.pos.Pos(), "%s", d.msg)
+	}
+}
+
+// taintedLocalsOf re-derives the function's tainted-local set for the
+// reporting walk (summaries keep only the cross-function state).
+func (v *vtflow) taintedLocalsOf(d vtFuncDecl) map[types.Object]string {
+	locals := map[types.Object]string{}
+	for round := 0; ; round++ {
+		changed := false
+		v.walkOwn(d.decl, func(n ast.Node, _ bool) {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return
+			}
+			for i, lhs := range as.Lhs {
+				rhs := as.Rhs[0]
+				if len(as.Rhs) == len(as.Lhs) {
+					rhs = as.Rhs[i]
+				}
+				src, tainted := v.taintOf(rhs, locals)
+				if !tainted {
+					continue
+				}
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && id.Name != "_" {
+					obj := v.info.Defs[id]
+					if obj == nil {
+						obj = v.info.Uses[id]
+					}
+					if obj != nil {
+						if vr, isVar := obj.(*types.Var); isVar && vr.Parent() != nil && vr.Pkg() != nil && vr.Parent() != vr.Pkg().Scope() {
+							if _, had := locals[obj]; !had {
+								locals[obj] = src
+								changed = true
+							}
+						}
+					}
+				}
+			}
+		})
+		if !changed || round > 32 {
+			return locals
+		}
+	}
+}
+
+// vtflowAllowedLines collects the lines vetted by a novtime or vtflow
+// allow directive (own line and the next), so taint never seeds from a
+// deliberately-suppressed wall-clock read.
+func vtflowAllowedLines(pass *analysis.Pass) map[allowKey]bool {
+	known := map[string]bool{"novtime": true, "vtflow": true, "*": true}
+	allowed := map[allowKey]bool{}
+	allows := allowSet{}
+	for _, f := range pass.Files {
+		parseAllows(pass.Fset, f, known, allows)
+	}
+	for key, m := range allows {
+		for name := range m {
+			if known[name] {
+				allowed[key] = true
+			}
+		}
+	}
+	return allowed
+}

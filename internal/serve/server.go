@@ -430,6 +430,8 @@ func (e *emitter) writeLine(b []byte) {
 // across cells follows worker timing, which is fine: snapshots are
 // progress telemetry, deliberately excluded from the deterministic
 // merged output.
+//
+//repolint:contract single-writer
 type progressMirror struct {
 	mu     sync.Mutex
 	online *stats.Online

@@ -26,6 +26,8 @@ var DefaultQuantiles = []float64{0.50, 0.95, 0.99}
 //
 // The zero value is not ready for use; construct with NewOnline. An
 // Online must not be shared by concurrent runs.
+//
+//repolint:contract single-writer
 type Online struct {
 	// Warmup is the trim instant; records originating before it are
 	// dropped (0 keeps everything).
